@@ -1,0 +1,40 @@
+//! Reproduces the Section 5.3 accuracy study on the synthetic corpus:
+//! per-method false-classification rates plus per-kind distance summaries.
+//!
+//! Run with: `cargo run -p osprof-analysis --example corpus_accuracy`
+
+use std::collections::BTreeMap;
+
+use osprof_analysis::accuracy::evaluate;
+use osprof_analysis::compare::Metric;
+use osprof_analysis::corpus;
+
+fn main() {
+    let c = corpus::generate(42);
+    println!("Section 5.3 replication: best-threshold false classification over {} pairs", c.len());
+    println!("(paper: chi-squared 5%, total-ops 4%, total-latency 3%, EMD 2%)\n");
+    for m in [Metric::ChiSquared, Metric::TotalOps, Metric::TotalLatency, Metric::Emd] {
+        let acc = evaluate(m, &c);
+        println!(
+            "{:<24} threshold={:<8.3} false-pos={:<3} false-neg={:<3} error={:.1}%",
+            m.name(),
+            acc.threshold,
+            acc.false_positives,
+            acc.false_negatives,
+            acc.error_rate() * 100.0
+        );
+        let mut by: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for p in &c {
+            by.entry(format!("{:?}", p.kind)).or_default().push(m.distance(&p.left, &p.right));
+        }
+        for (k, mut v) in by {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            println!(
+                "    {k:<16} min={:<8.3} med={:<8.3} max={:<8.3}",
+                v[0],
+                v[v.len() / 2],
+                v[v.len() - 1]
+            );
+        }
+    }
+}

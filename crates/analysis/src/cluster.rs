@@ -1,0 +1,134 @@
+//! Cluster-scale profile aggregation (paper §7, future work).
+//!
+//! "Because of the compactness of our profiles, we believe that OSprof
+//! is suitable for clusters and distributed systems." This module
+//! implements that direction: merge per-node profile sets into a
+//! cluster-wide view, and rank nodes by how far their profiles diverge
+//! from the aggregate — the natural "which node is sick?" query.
+
+use osprof_core::error::CoreError;
+use osprof_core::profile::{Profile, ProfileSet};
+use serde::{Deserialize, Serialize};
+
+use crate::compare::Metric;
+
+/// One node's divergence from the cluster aggregate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeDivergence {
+    /// Node label (as passed to [`aggregate`]).
+    pub node: String,
+    /// Worst-diverging operation on this node.
+    pub worst_op: String,
+    /// Distance of that operation's profile from the aggregate profile.
+    pub distance: f64,
+    /// Mean distance across all operations present on the node.
+    pub mean_distance: f64,
+}
+
+/// The aggregate view of a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    /// Sum of every node's profiles.
+    pub aggregate: ProfileSet,
+    /// Per-node divergences, worst first.
+    pub divergences: Vec<NodeDivergence>,
+}
+
+/// Merges per-node profile sets and ranks nodes by divergence under
+/// `metric`.
+///
+/// # Errors
+///
+/// Fails if node sets use mismatched resolutions.
+pub fn aggregate(nodes: &[(String, ProfileSet)], metric: Metric) -> Result<ClusterView, CoreError> {
+    let mut agg = ProfileSet::new("cluster");
+    for (_, set) in nodes {
+        agg.merge(set)?;
+    }
+    let mut divergences = Vec::new();
+    for (node, set) in nodes {
+        let mut worst: Option<(String, f64)> = None;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (op, p) in set.iter() {
+            let Some(cluster_p) = agg.get(op) else { continue };
+            let d = metric.distance(p, cluster_p);
+            sum += d;
+            n += 1;
+            if worst.as_ref().map_or(true, |(_, wd)| d > *wd) {
+                worst = Some((op.to_string(), d));
+            }
+        }
+        let (worst_op, distance) = worst.unwrap_or(("<empty>".into(), 0.0));
+        divergences.push(NodeDivergence {
+            node: node.clone(),
+            worst_op,
+            distance,
+            mean_distance: if n > 0 { sum / n as f64 } else { 0.0 },
+        });
+    }
+    divergences.sort_by(|a, b| b.distance.partial_cmp(&a.distance).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(ClusterView { aggregate: agg, divergences })
+}
+
+/// Convenience: finds nodes whose worst-op distance exceeds `threshold`.
+pub fn outliers(view: &ClusterView, threshold: f64) -> Vec<&NodeDivergence> {
+    view.divergences.iter().filter(|d| d.distance >= threshold).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, read_bucket: usize, n: u64) -> (String, ProfileSet) {
+        let mut set = ProfileSet::new(name);
+        let mut p = Profile::new("read");
+        p.record_n(1u64 << read_bucket, n);
+        set.insert(p);
+        let mut q = Profile::new("write");
+        q.record_n(1 << 12, n / 2);
+        set.insert(q);
+        (name.to_string(), set)
+    }
+
+    #[test]
+    fn healthy_cluster_has_low_divergence() {
+        let nodes: Vec<_> = (0..8).map(|i| node(&format!("n{i}"), 10, 10_000)).collect();
+        let view = aggregate(&nodes, Metric::Emd).unwrap();
+        assert_eq!(view.aggregate.get("read").unwrap().total_ops(), 80_000);
+        assert!(view.divergences.iter().all(|d| d.distance < 0.5), "{:?}", view.divergences);
+        assert!(outliers(&view, 1.0).is_empty());
+    }
+
+    #[test]
+    fn sick_node_is_ranked_first() {
+        let mut nodes: Vec<_> = (0..7).map(|i| node(&format!("n{i}"), 10, 10_000)).collect();
+        // Node 7's reads are 1000x slower (a dying disk).
+        nodes.push(node("sick", 20, 10_000));
+        let view = aggregate(&nodes, Metric::Emd).unwrap();
+        assert_eq!(view.divergences[0].node, "sick");
+        assert_eq!(view.divergences[0].worst_op, "read");
+        assert!(view.divergences[0].distance > 5.0);
+        let out = outliers(&view, 5.0);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_is_order_insensitive() {
+        let a = vec![node("a", 10, 100), node("b", 14, 200)];
+        let b = vec![node("b", 14, 200), node("a", 10, 100)];
+        let va = aggregate(&a, Metric::Emd).unwrap();
+        let vb = aggregate(&b, Metric::Emd).unwrap();
+        assert_eq!(
+            va.aggregate.get("read").unwrap().buckets(),
+            vb.aggregate.get("read").unwrap().buckets()
+        );
+    }
+
+    #[test]
+    fn empty_cluster_is_fine() {
+        let view = aggregate(&[], Metric::Emd).unwrap();
+        assert!(view.aggregate.is_empty());
+        assert!(view.divergences.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Histogram comparison metrics (paper §3.2, "Comparing two profiles").
+//!
+//! The paper surveys bin-by-bin methods — "the chi-squared test, the
+//! Minkowski form distance, histogram intersection, and the
+//! Kullback-Leibler/Jeffrey divergence" — whose "results do not take
+//! factors such as distance into account", and recommends the **Earth
+//! Mover's Distance**, a cross-bin method "commonly used in data
+//! visualization as a goodness-of-fit test". Two "simple" whole-profile
+//! methods are also evaluated: the normalized difference of total
+//! operations and of total latency.
+//!
+//! All distances below operate on [`Profile`]s; histogram metrics first
+//! normalize both sides to unit mass ("the histograms are normalized so
+//! that we have exactly enough earth to fill the holes").
+
+use serde::{Deserialize, Serialize};
+
+use osprof_core::profile::Profile;
+
+/// The comparison methods evaluated in Section 5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Earth Mover's Distance (cross-bin; the paper's recommendation,
+    /// lowest false-classification rate, 2%).
+    Emd,
+    /// Chi-squared test (bin-by-bin; 5% false classification).
+    ChiSquared,
+    /// Normalized difference of total operation counts (4%).
+    TotalOps,
+    /// Normalized difference of total latency (3%).
+    TotalLatency,
+    /// Minkowski-form distance with p = 2 (bin-by-bin; surveyed).
+    Minkowski,
+    /// Histogram intersection (bin-by-bin; surveyed).
+    Intersection,
+    /// Jeffrey divergence (symmetrized KL; bin-by-bin; surveyed).
+    Jeffrey,
+}
+
+impl Metric {
+    /// All metrics, in the order Section 5.3 reports them.
+    pub const ALL: [Metric; 7] = [
+        Metric::ChiSquared,
+        Metric::TotalOps,
+        Metric::TotalLatency,
+        Metric::Emd,
+        Metric::Minkowski,
+        Metric::Intersection,
+        Metric::Jeffrey,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Emd => "Earth Mover's Distance",
+            Metric::ChiSquared => "Chi-squared",
+            Metric::TotalOps => "Total operations",
+            Metric::TotalLatency => "Total latency",
+            Metric::Minkowski => "Minkowski (p=2)",
+            Metric::Intersection => "Histogram intersection",
+            Metric::Jeffrey => "Jeffrey divergence",
+        }
+    }
+
+    /// Computes this metric's distance between two profiles.
+    ///
+    /// All metrics return 0 for identical profiles and grow with
+    /// dissimilarity (intersection is reported as `1 - overlap`).
+    pub fn distance(self, a: &Profile, b: &Profile) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Metric::Emd => emd(a, b),
+            Metric::ChiSquared => chi_squared(a, b),
+            Metric::TotalOps => total_ops_diff(a, b),
+            Metric::TotalLatency => total_latency_diff(a, b),
+            Metric::Minkowski => minkowski(a, b, 2.0),
+            Metric::Intersection => 1.0 - intersection(a, b),
+            Metric::Jeffrey => jeffrey(a, b),
+        }
+    }
+}
+
+fn normalized_pair(a: &Profile, b: &Profile) -> (Vec<f64>, Vec<f64>) {
+    let mut na = a.normalized();
+    let mut nb = b.normalized();
+    let len = na.len().max(nb.len());
+    na.resize(len, 0.0);
+    nb.resize(len, 0.0);
+    (na, nb)
+}
+
+/// Earth Mover's Distance between two profiles, in **buckets** of work
+/// per unit mass.
+///
+/// For one-dimensional histograms with unit ground distance, EMD equals
+/// the L1 distance between the cumulative distributions: the amount of
+/// "earth" crossing each bucket boundary is the running difference of the
+/// prefix sums.
+pub fn emd(a: &Profile, b: &Profile) -> f64 {
+    let (na, nb) = normalized_pair(a, b);
+    let mut carried = 0.0f64;
+    let mut work = 0.0f64;
+    for i in 0..na.len() {
+        carried += na[i] - nb[i];
+        work += carried.abs();
+    }
+    work
+}
+
+/// Chi-squared distance: `Σ (aᵢ-bᵢ)² / (aᵢ+bᵢ)` over normalized buckets.
+pub fn chi_squared(a: &Profile, b: &Profile) -> f64 {
+    let (na, nb) = normalized_pair(a, b);
+    na.iter()
+        .zip(&nb)
+        .map(|(&x, &y)| {
+            let s = x + y;
+            if s == 0.0 {
+                0.0
+            } else {
+                (x - y) * (x - y) / s
+            }
+        })
+        .sum()
+}
+
+/// Minkowski-form distance of order `p` over normalized buckets.
+pub fn minkowski(a: &Profile, b: &Profile, p: f64) -> f64 {
+    assert!(p >= 1.0, "Minkowski order must be >= 1");
+    let (na, nb) = normalized_pair(a, b);
+    na.iter().zip(&nb).map(|(&x, &y)| (x - y).abs().powf(p)).sum::<f64>().powf(1.0 / p)
+}
+
+/// Histogram intersection: `Σ min(aᵢ, bᵢ)` over normalized buckets
+/// (1.0 = identical shape, 0.0 = disjoint support).
+pub fn intersection(a: &Profile, b: &Profile) -> f64 {
+    let (na, nb) = normalized_pair(a, b);
+    na.iter().zip(&nb).map(|(&x, &y)| x.min(y)).sum()
+}
+
+/// Jeffrey divergence: the symmetrized, smoothed Kullback-Leibler
+/// divergence `Σ aᵢ log(aᵢ/mᵢ) + bᵢ log(bᵢ/mᵢ)` with `mᵢ = (aᵢ+bᵢ)/2`.
+pub fn jeffrey(a: &Profile, b: &Profile) -> f64 {
+    let (na, nb) = normalized_pair(a, b);
+    let mut d = 0.0;
+    for (&x, &y) in na.iter().zip(&nb) {
+        let m = (x + y) / 2.0;
+        if m == 0.0 {
+            continue;
+        }
+        if x > 0.0 {
+            d += x * (x / m).ln();
+        }
+        if y > 0.0 {
+            d += y * (y / m).ln();
+        }
+    }
+    d
+}
+
+/// Normalized difference of total operation counts:
+/// `|ops_a - ops_b| / max(ops_a, ops_b)` (0 when both are empty).
+pub fn total_ops_diff(a: &Profile, b: &Profile) -> f64 {
+    let (x, y) = (a.total_ops() as f64, b.total_ops() as f64);
+    let m = x.max(y);
+    if m == 0.0 {
+        0.0
+    } else {
+        (x - y).abs() / m
+    }
+}
+
+/// Normalized difference of total latency:
+/// `|lat_a - lat_b| / max(lat_a, lat_b)` (0 when both are zero).
+pub fn total_latency_diff(a: &Profile, b: &Profile) -> f64 {
+    let (x, y) = (a.total_latency() as f64, b.total_latency() as f64);
+    let m = x.max(y);
+    if m == 0.0 {
+        0.0
+    } else {
+        (x - y).abs() / m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_from(buckets: &[(usize, u64)]) -> Profile {
+        let mut p = Profile::new("t");
+        for &(b, n) in buckets {
+            p.record_n(1u64 << b, n);
+        }
+        p
+    }
+
+    #[test]
+    fn all_metrics_zero_on_identical_profiles() {
+        let a = profile_from(&[(5, 100), (10, 50), (20, 3)]);
+        for m in Metric::ALL {
+            let d = m.distance(&a, &a);
+            assert!(d.abs() < 1e-12, "{} returned {d} for identical profiles", m.name());
+        }
+    }
+
+    #[test]
+    fn emd_is_shift_distance() {
+        // All mass moving one bucket = EMD 1; two buckets = EMD 2.
+        let a = profile_from(&[(10, 100)]);
+        let b = profile_from(&[(11, 100)]);
+        let c = profile_from(&[(12, 100)]);
+        assert!((emd(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((emd(&a, &c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_is_symmetric() {
+        let a = profile_from(&[(5, 10), (9, 90)]);
+        let b = profile_from(&[(6, 50), (20, 50)]);
+        assert!((emd(&a, &b) - emd(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_squared_saturates_on_disjoint_shift() {
+        // Chi-squared can't tell a 1-bucket shift from a 10-bucket shift
+        // once supports are disjoint — the flaw the paper calls out.
+        let a = profile_from(&[(10, 100)]);
+        let near = profile_from(&[(11, 100)]);
+        let far = profile_from(&[(20, 100)]);
+        let d_near = chi_squared(&a, &near);
+        let d_far = chi_squared(&a, &far);
+        assert!((d_near - d_far).abs() < 1e-12, "chi-squared should not see distance");
+        // EMD does see it.
+        assert!(emd(&a, &far) > emd(&a, &near) * 5.0);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_zero() {
+        let a = profile_from(&[(5, 10)]);
+        let b = profile_from(&[(15, 10)]);
+        assert!(intersection(&a, &b).abs() < 1e-12);
+        assert!((Metric::Intersection.distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jeffrey_is_symmetric_and_finite_on_disjoint() {
+        let a = profile_from(&[(5, 10)]);
+        let b = profile_from(&[(15, 10)]);
+        let d = jeffrey(&a, &b);
+        assert!(d.is_finite());
+        assert!((d - jeffrey(&b, &a)).abs() < 1e-12);
+        // Disjoint Jeffrey divergence is 2 ln 2.
+        assert!((d - 2.0 * std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_ops_diff_scales() {
+        let a = profile_from(&[(5, 100)]);
+        let b = profile_from(&[(5, 50)]);
+        assert!((total_ops_diff(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_latency_diff_sees_slow_requests() {
+        // Same op counts, but one profile's ops are ~32x slower.
+        let a = profile_from(&[(10, 100)]);
+        let b = profile_from(&[(15, 100)]);
+        assert!(total_ops_diff(&a, &b).abs() < 1e-12);
+        assert!(total_latency_diff(&a, &b) > 0.9);
+    }
+
+    #[test]
+    fn minkowski_order_one_is_l1() {
+        let a = profile_from(&[(5, 100)]);
+        let b = profile_from(&[(6, 100)]);
+        assert!((minkowski(&a, &b, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Minkowski")]
+    fn minkowski_rejects_bad_order() {
+        let a = profile_from(&[(5, 1)]);
+        minkowski(&a, &a, 0.5);
+    }
+
+    #[test]
+    fn empty_profiles_compare_as_identical() {
+        let a = Profile::new("x");
+        let b = Profile::new("x");
+        for m in Metric::ALL {
+            assert_eq!(m.distance(&a, &b), 0.0, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Prior-knowledge peak annotation (paper §3.1).
+//!
+//! "Many OS operations have characteristic times. For example, we know
+//! that on our test machines, a context switch takes approximately 5–6 µs,
+//! a full stroke disk head seek takes approximately 8 ms, a full disk
+//! rotation takes approximately 4 ms, the network latency between our
+//! test machines is about 112 µs, and the scheduling quantum is about
+//! 58 ms. Therefore, if some of the profiles have peaks close to these
+//! times, then we can hypothesize right away that they are related to the
+//! corresponding OS activity."
+//!
+//! This module turns that table of folklore into code: given a peak, it
+//! lists the characteristic-time hypotheses whose bucket is within a
+//! small distance of the peak apex.
+
+use serde::{Deserialize, Serialize};
+
+use osprof_core::bucket::{bucket_of, Resolution};
+use osprof_core::clock::{characteristic, Cycles};
+
+use crate::peaks::Peak;
+
+/// A named characteristic time of the profiled system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacteristicTime {
+    /// Human-readable label, e.g. `"context switch"`.
+    pub label: String,
+    /// The characteristic duration in cycles.
+    pub cycles: Cycles,
+}
+
+/// The knowledge base: a set of characteristic times to match against.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    entries: Vec<CharacteristicTime>,
+}
+
+impl KnowledgeBase {
+    /// An empty knowledge base.
+    pub fn new() -> Self {
+        KnowledgeBase::default()
+    }
+
+    /// The paper's test-machine knowledge base (§3.1 values).
+    pub fn paper_defaults() -> Self {
+        let mut kb = KnowledgeBase::new();
+        kb.add("context switch", characteristic::context_switch());
+        kb.add("full-stroke disk seek", characteristic::full_stroke_seek());
+        kb.add("track-to-track disk seek", characteristic::track_to_track_seek());
+        kb.add("full disk rotation", characteristic::full_rotation());
+        kb.add("network latency", characteristic::network_latency());
+        kb.add("scheduling quantum", characteristic::scheduling_quantum());
+        kb.add("timer interrupt service", osprof_core::clock::secs_to_cycles(5e-6));
+        kb
+    }
+
+    /// Adds a characteristic time.
+    pub fn add(&mut self, label: impl Into<String>, cycles: Cycles) {
+        self.entries.push(CharacteristicTime { label: label.into(), cycles });
+    }
+
+    /// The registered characteristic times.
+    pub fn entries(&self) -> &[CharacteristicTime] {
+        &self.entries
+    }
+
+    /// Returns hypotheses for a peak: every characteristic time whose
+    /// bucket is within `tolerance` buckets of the peak apex.
+    ///
+    /// One factor of two is the paper's own matching slop — a peak "close
+    /// to" 4 ms could be a rotation; logarithmic buckets make the match
+    /// scale-free.
+    pub fn hypotheses(&self, peak: &Peak, tolerance: usize) -> Vec<&CharacteristicTime> {
+        self.entries
+            .iter()
+            .filter(|ct| bucket_of(ct.cycles, Resolution::R1).abs_diff(peak.apex) <= tolerance)
+            .collect()
+    }
+
+    /// Annotates every peak with its hypothesis labels.
+    pub fn annotate(&self, peaks: &[Peak], tolerance: usize) -> Vec<(Peak, Vec<String>)> {
+        peaks
+            .iter()
+            .map(|p| (*p, self.hypotheses(p, tolerance).iter().map(|h| h.label.clone()).collect()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peak_at(apex: usize) -> Peak {
+        Peak { start: apex.saturating_sub(1), apex, end: apex + 1, ops: 100, apex_count: 80 }
+    }
+
+    #[test]
+    fn rotation_peak_is_recognized() {
+        let kb = KnowledgeBase::paper_defaults();
+        // Full rotation 4ms -> bucket 22.
+        let hyps = kb.hypotheses(&peak_at(22), 1);
+        assert!(hyps.iter().any(|h| h.label.contains("rotation")), "{hyps:?}");
+    }
+
+    #[test]
+    fn quantum_peak_is_recognized() {
+        let kb = KnowledgeBase::paper_defaults();
+        let hyps = kb.hypotheses(&peak_at(26), 0);
+        assert!(hyps.iter().any(|h| h.label.contains("quantum")));
+    }
+
+    #[test]
+    fn fast_cpu_peak_has_no_io_hypotheses() {
+        let kb = KnowledgeBase::paper_defaults();
+        let hyps = kb.hypotheses(&peak_at(6), 1);
+        assert!(hyps.is_empty(), "{hyps:?}");
+    }
+
+    #[test]
+    fn tolerance_widens_matching() {
+        let kb = KnowledgeBase::paper_defaults();
+        // Bucket 21 is one off the rotation bucket (22), two off seek (23).
+        assert_eq!(kb.hypotheses(&peak_at(21), 0).len(), 0);
+        assert!(kb.hypotheses(&peak_at(21), 1).len() >= 1);
+        assert!(kb.hypotheses(&peak_at(21), 2).len() >= 2);
+    }
+
+    #[test]
+    fn annotate_labels_all_peaks() {
+        let kb = KnowledgeBase::paper_defaults();
+        let out = kb.annotate(&[peak_at(6), peak_at(22)], 1);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].1.is_empty());
+        assert!(!out[1].1.is_empty());
+    }
+
+    #[test]
+    fn custom_entries_participate() {
+        let mut kb = KnowledgeBase::new();
+        kb.add("bdflush period", osprof_core::clock::secs_to_cycles(5.0));
+        let b = bucket_of(kb.entries()[0].cycles, Resolution::R1);
+        assert!(!kb.hypotheses(&peak_at(b), 0).is_empty());
+    }
+}

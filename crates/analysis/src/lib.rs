@@ -1,0 +1,44 @@
+//! # osprof-analysis — automated latency-profile analysis
+//!
+//! The analysis half of the OSprof method (OSDI 2006, Sections 3.1–3.3
+//! and 5.3):
+//!
+//! - [`peaks`] — multi-modal peak identification on logarithmic latency
+//!   histograms ("our tool examines the changes between bins to identify
+//!   individual peaks, and reports differences in the number of peaks and
+//!   their locations").
+//! - [`compare`] — histogram distance metrics: the Earth Mover's Distance
+//!   the paper recommends, plus the bin-by-bin alternatives it evaluates
+//!   (chi-squared, Minkowski-form, histogram intersection,
+//!   Kullback-Leibler/Jeffrey divergence) and the two "simple" methods
+//!   (normalized difference of total operations / total latency).
+//! - [`select`] — the three-phase automated profile selection pipeline
+//!   that reduces a complete set of profiles to "a small set of
+//!   interesting profiles for manual analysis".
+//! - [`preemption`] — the forced-preemption probability model
+//!   (Equation 3) and expected preempted-request counts used to validate
+//!   Figure 3.
+//! - [`knowledge`] — prior-knowledge peak annotation: hypothesis labels
+//!   from the characteristic times of the test setup (§3.1).
+//! - [`corpus`] — the synthetic labeled profile-pair corpus reproducing
+//!   the Section 5.3 accuracy study.
+//! - [`accuracy`] — false-classification-rate evaluation of each
+//!   comparison method over a labeled corpus.
+//! - [`cluster`] — cluster-scale aggregation and per-node divergence
+//!   ranking (the paper's §7 future-work direction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod cluster;
+pub mod compare;
+pub mod corpus;
+pub mod knowledge;
+pub mod peaks;
+pub mod preemption;
+pub mod select;
+
+pub use compare::Metric;
+pub use peaks::{find_peaks, Peak, PeakConfig};
+pub use select::{select_interesting, Selection, SelectionConfig};

@@ -1,0 +1,344 @@
+//! Peak identification on logarithmic latency histograms.
+//!
+//! A peak in an OSprof profile corresponds to one execution path of the
+//! operation (paper §3: "different OS internal activities create
+//! different peaks on the collected distributions"). The automated
+//! analysis tool (§3.2) "examines the changes between bins to identify
+//! individual peaks, and reports differences in the number of peaks and
+//! their locations".
+//!
+//! Because the y-axis of OSprof profiles is logarithmic (counts span
+//! 1..10⁸ on one plot), peak separation is decided on log-counts: two
+//! local maxima are distinct peaks when the valley between them drops by
+//! at least a configurable factor (default 8×) below the smaller maximum,
+//! or touches zero.
+
+use serde::{Deserialize, Serialize};
+
+use osprof_core::profile::Profile;
+
+/// One identified peak of a latency profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Peak {
+    /// First bucket of the peak (inclusive).
+    pub start: usize,
+    /// Bucket with the maximum count.
+    pub apex: usize,
+    /// Last bucket of the peak (inclusive).
+    pub end: usize,
+    /// Total operations inside `[start, end]`.
+    pub ops: u64,
+    /// Count at the apex bucket.
+    pub apex_count: u64,
+}
+
+impl Peak {
+    /// Mean latency of the peak in cycles, estimated from bucket means.
+    ///
+    /// §3.1 derives per-path costs this way ("the CPU time necessary to
+    /// complete a clone request with no contention [is the] average
+    /// latency in the leftmost peak").
+    pub fn mean_latency(&self, profile: &Profile) -> f64 {
+        let mut ops = 0f64;
+        let mut sum = 0f64;
+        for b in self.start..=self.end {
+            let n = profile.count_in(b) as f64;
+            ops += n;
+            sum += n * osprof_core::bucket::bucket_mean_cycles(b, profile.resolution());
+        }
+        if ops == 0.0 {
+            0.0
+        } else {
+            sum / ops
+        }
+    }
+}
+
+/// Tuning knobs for [`find_peaks`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakConfig {
+    /// Minimum factor by which the valley between two local maxima must
+    /// drop below the smaller maximum for them to count as separate
+    /// peaks. The paper plots counts on a log10 axis, where a visually
+    /// obvious valley is roughly one decade; 8× is slightly more lenient.
+    pub valley_ratio: f64,
+    /// Buckets with fewer operations than this are treated as empty
+    /// (suppresses single-sample noise in huge profiles).
+    pub noise_floor: u64,
+    /// Minimum total operations for a region to be reported as a peak.
+    pub min_ops: u64,
+}
+
+impl Default for PeakConfig {
+    fn default() -> Self {
+        PeakConfig { valley_ratio: 8.0, noise_floor: 0, min_ops: 1 }
+    }
+}
+
+/// Finds the peaks of a profile.
+///
+/// The algorithm walks the non-empty bucket regions; inside each region it
+/// splits at valleys that are at least `valley_ratio` below the smaller of
+/// the two flanking local maxima. Plateaus report their left-most highest
+/// bucket as the apex.
+///
+/// # Examples
+///
+/// ```
+/// use osprof_core::profile::Profile;
+/// use osprof_analysis::peaks::{find_peaks, PeakConfig};
+///
+/// let mut p = Profile::new("clone");
+/// p.record_n(1 << 9, 10_000);  // no-contention path
+/// p.record_n(1 << 15, 300);    // lock-contention path
+/// let peaks = find_peaks(&p, &PeakConfig::default());
+/// assert_eq!(peaks.len(), 2);
+/// assert_eq!(peaks[0].apex, 9);
+/// assert_eq!(peaks[1].apex, 15);
+/// ```
+pub fn find_peaks(profile: &Profile, cfg: &PeakConfig) -> Vec<Peak> {
+    let counts: Vec<u64> = profile
+        .buckets()
+        .iter()
+        .map(|&n| if n <= cfg.noise_floor && n > 0 { 0 } else { n })
+        .collect();
+    let mut peaks = Vec::new();
+
+    // Identify contiguous non-empty regions.
+    let mut i = 0;
+    while i < counts.len() {
+        if counts[i] == 0 {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < counts.len() && counts[i] > 0 {
+            i += 1;
+        }
+        let end = i - 1; // inclusive
+        split_region(&counts, start, end, cfg, &mut peaks);
+    }
+    peaks.retain(|p| p.ops >= cfg.min_ops);
+    peaks
+}
+
+/// Splits one contiguous region into peaks at qualifying valleys.
+fn split_region(counts: &[u64], start: usize, end: usize, cfg: &PeakConfig, out: &mut Vec<Peak>) {
+    // Find local maxima (plateau-aware) within [start, end].
+    let mut maxima: Vec<usize> = Vec::new();
+    let mut b = start;
+    while b <= end {
+        // Extend over a plateau of equal counts.
+        let mut plateau_end = b;
+        while plateau_end < end && counts[plateau_end + 1] == counts[b] {
+            plateau_end += 1;
+        }
+        let left_lower = b == start || counts[b - 1] < counts[b];
+        let right_lower = plateau_end == end || counts[plateau_end + 1] < counts[b];
+        if left_lower && right_lower {
+            maxima.push(b);
+        }
+        b = plateau_end + 1;
+    }
+
+    if maxima.is_empty() {
+        // Flat region (can happen when everything is equal): one peak.
+        maxima.push(start);
+    }
+
+    // Decide split points: between consecutive maxima, find the minimum
+    // valley; split when it is deep enough relative to the smaller max.
+    let mut boundaries = vec![start];
+    for w in maxima.windows(2) {
+        let (m1, m2) = (w[0], w[1]);
+        let valley_pos = (m1..=m2).min_by_key(|&k| counts[k]).expect("non-empty window");
+        let valley = counts[valley_pos].max(0) as f64;
+        let smaller_max = counts[m1].min(counts[m2]) as f64;
+        if valley == 0.0 || smaller_max / valley.max(1.0) >= cfg.valley_ratio {
+            boundaries.push(valley_pos + 1);
+        }
+    }
+    boundaries.push(end + 1);
+
+    for w in boundaries.windows(2) {
+        let (s, e) = (w[0], w[1] - 1);
+        if s > e {
+            continue;
+        }
+        let apex = (s..=e).max_by_key(|&k| (counts[k], usize::MAX - k)).expect("non-empty peak range");
+        let ops: u64 = counts[s..=e].iter().sum();
+        if ops > 0 {
+            out.push(Peak { start: s, apex, end: e, ops, apex_count: counts[apex] });
+        }
+    }
+}
+
+/// Describes the structural difference between two peak lists.
+///
+/// Used in phase 2 of the automated analysis: "reports differences in the
+/// number of peaks and their locations".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeakDiff {
+    /// Peak count in the left profile.
+    pub left_count: usize,
+    /// Peak count in the right profile.
+    pub right_count: usize,
+    /// Apexes present in the left profile with no right apex within one
+    /// bucket.
+    pub unmatched_left: Vec<usize>,
+    /// Apexes present in the right profile with no left apex within one
+    /// bucket.
+    pub unmatched_right: Vec<usize>,
+}
+
+impl PeakDiff {
+    /// True when the two profiles have the same number of peaks, each
+    /// matched within ±1 bucket.
+    pub fn is_structurally_same(&self) -> bool {
+        self.left_count == self.right_count
+            && self.unmatched_left.is_empty()
+            && self.unmatched_right.is_empty()
+    }
+}
+
+/// Compares the peak structure of two profiles.
+pub fn diff_peaks(left: &Profile, right: &Profile, cfg: &PeakConfig) -> PeakDiff {
+    let lp = find_peaks(left, cfg);
+    let rp = find_peaks(right, cfg);
+    let l_apex: Vec<usize> = lp.iter().map(|p| p.apex).collect();
+    let r_apex: Vec<usize> = rp.iter().map(|p| p.apex).collect();
+    let unmatched = |a: &[usize], b: &[usize]| -> Vec<usize> {
+        a.iter().copied().filter(|&x| !b.iter().any(|&y| x.abs_diff(y) <= 1)).collect()
+    };
+    PeakDiff {
+        left_count: lp.len(),
+        right_count: rp.len(),
+        unmatched_left: unmatched(&l_apex, &r_apex),
+        unmatched_right: unmatched(&r_apex, &l_apex),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_from(buckets: &[(usize, u64)]) -> Profile {
+        let mut p = Profile::new("t");
+        for &(b, n) in buckets {
+            p.record_n(1u64 << b, n);
+        }
+        p
+    }
+
+    #[test]
+    fn single_peak_detected() {
+        let p = profile_from(&[(10, 5), (11, 100), (12, 7)]);
+        let peaks = find_peaks(&p, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].apex, 11);
+        assert_eq!(peaks[0].start, 10);
+        assert_eq!(peaks[0].end, 12);
+        assert_eq!(peaks[0].ops, 112);
+    }
+
+    #[test]
+    fn zero_gap_separates_peaks() {
+        let p = profile_from(&[(6, 1000), (7, 200), (15, 40), (16, 90)]);
+        let peaks = find_peaks(&p, &PeakConfig::default());
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].apex, 6);
+        assert_eq!(peaks[1].apex, 16);
+    }
+
+    #[test]
+    fn shallow_valley_keeps_one_peak() {
+        // Valley at 80 vs maxima 100/90: ratio < 8, no split.
+        let p = profile_from(&[(10, 100), (11, 80), (12, 90)]);
+        let peaks = find_peaks(&p, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].apex, 10);
+    }
+
+    #[test]
+    fn deep_valley_splits_contiguous_region() {
+        // Contiguous but with a 100x drop between the two maxima.
+        let p = profile_from(&[(10, 10_000), (11, 50), (12, 8_000)]);
+        let peaks = find_peaks(&p, &PeakConfig::default());
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].apex, 10);
+        assert_eq!(peaks[1].apex, 12);
+    }
+
+    #[test]
+    fn clone_figure1_shape() {
+        // Figure 1: left peak (no contention) around bucket 9-10, right
+        // peak (lock contention) around 14-16, contiguousish.
+        let p = profile_from(&[(8, 300), (9, 9_000), (10, 2_000), (11, 30), (14, 200), (15, 1_500), (16, 400)]);
+        let peaks = find_peaks(&p, &PeakConfig::default());
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].apex, 9);
+        assert_eq!(peaks[1].apex, 15);
+        // Contention ratio: right ops / left ops, §3.1's derivation.
+        let ratio = peaks[1].ops as f64 / peaks[0].ops as f64;
+        assert!(ratio > 0.1 && ratio < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn plateau_reports_leftmost_apex() {
+        let p = profile_from(&[(5, 100), (6, 100), (7, 100)]);
+        let peaks = find_peaks(&p, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].apex, 5);
+    }
+
+    #[test]
+    fn noise_floor_suppresses_stray_samples() {
+        let p = profile_from(&[(10, 50_000), (25, 2)]);
+        let cfg = PeakConfig { noise_floor: 3, ..PeakConfig::default() };
+        let peaks = find_peaks(&p, &cfg);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].apex, 10);
+    }
+
+    #[test]
+    fn min_ops_filters_small_peaks() {
+        let p = profile_from(&[(10, 1_000), (20, 5)]);
+        let cfg = PeakConfig { min_ops: 10, ..PeakConfig::default() };
+        let peaks = find_peaks(&p, &cfg);
+        assert_eq!(peaks.len(), 1);
+    }
+
+    #[test]
+    fn empty_profile_has_no_peaks() {
+        let p = Profile::new("t");
+        assert!(find_peaks(&p, &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn peak_mean_latency_is_weighted() {
+        let p = profile_from(&[(10, 100)]);
+        let peaks = find_peaks(&p, &PeakConfig::default());
+        let mean = peaks[0].mean_latency(&p);
+        // Bucket 10 mean is 1.5 * 1024 = 1536.
+        assert!((mean - 1536.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn diff_peaks_matches_within_one_bucket() {
+        let a = profile_from(&[(10, 1_000), (20, 100)]);
+        let b = profile_from(&[(11, 900), (20, 120)]);
+        let d = diff_peaks(&a, &b, &PeakConfig::default());
+        assert!(d.is_structurally_same());
+    }
+
+    #[test]
+    fn diff_peaks_reports_new_peak() {
+        let one = profile_from(&[(10, 1_000)]);
+        let two = profile_from(&[(10, 1_000), (16, 250)]);
+        let d = diff_peaks(&one, &two, &PeakConfig::default());
+        assert!(!d.is_structurally_same());
+        assert_eq!(d.unmatched_right, vec![16]);
+        assert_eq!(d.left_count, 1);
+        assert_eq!(d.right_count, 2);
+    }
+}

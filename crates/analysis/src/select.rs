@@ -1,0 +1,238 @@
+//! The three-phase automated profile selection pipeline (paper §3.2).
+//!
+//! "First, it ignores any profile pairs that have very similar total
+//! latencies, or where the total latency or number of operations is very
+//! small when compared to the rest of the profiles (the threshold is
+//! configurable). ... In the second phase, our tool examines the changes
+//! between bins to identify individual peaks, and reports differences in
+//! the number of peaks and their locations. Third, we use one of several
+//! methods to rate the difference between the profiles."
+//!
+//! The input is two *complete sets* of profiles (e.g. one per kernel
+//! configuration, or the same workload before/after a patch); the output
+//! is "a small set of interesting profiles for manual analysis", ranked.
+
+use serde::{Deserialize, Serialize};
+
+use osprof_core::profile::{Profile, ProfileSet};
+
+use crate::compare::{total_latency_diff, Metric};
+use crate::peaks::{diff_peaks, PeakConfig, PeakDiff};
+
+/// Thresholds for the selection pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectionConfig {
+    /// Phase 1: pairs whose normalized total-latency difference is below
+    /// this are "very similar" and dropped.
+    pub min_latency_diff: f64,
+    /// Phase 1: operations contributing less than this fraction of the
+    /// set-wide total latency are dropped as "very small".
+    pub min_latency_share: f64,
+    /// Phase 1: operations with fewer ops than this fraction of the
+    /// set-wide maximum are dropped.
+    pub min_ops_share: f64,
+    /// Phase 3: the rating metric.
+    pub metric: Metric,
+    /// Phase 3: pairs scoring below this distance are dropped.
+    pub min_distance: f64,
+    /// Peak detection knobs for phase 2.
+    pub peak_config: PeakConfig,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            min_latency_diff: 0.10,
+            min_latency_share: 0.01,
+            min_ops_share: 0.0,
+            metric: Metric::Emd,
+            min_distance: 0.5,
+            peak_config: PeakConfig::default(),
+        }
+    }
+}
+
+/// One selected (interesting) profile pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Selection {
+    /// Operation name.
+    pub op: String,
+    /// Phase-3 distance under the configured metric.
+    pub distance: f64,
+    /// Normalized total-latency difference (phase 1 signal).
+    pub latency_diff: f64,
+    /// Share of the left set's total latency contributed by this op.
+    pub latency_share: f64,
+    /// Phase-2 structural peak difference.
+    pub peak_diff: PeakDiff,
+}
+
+impl Selection {
+    /// A one-line human-readable reason why this pair was selected —
+    /// the "report" the paper's tool gives the analyst.
+    pub fn reason(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.peak_diff.is_structurally_same() {
+            parts.push(format!(
+                "peaks {} -> {} (new at {:?}, gone at {:?})",
+                self.peak_diff.left_count,
+                self.peak_diff.right_count,
+                self.peak_diff.unmatched_right,
+                self.peak_diff.unmatched_left
+            ));
+        }
+        if self.latency_diff >= 0.10 {
+            parts.push(format!("total latency changed {:.0}%", self.latency_diff * 100.0));
+        }
+        parts.push(format!("distance {:.2}", self.distance));
+        format!("{}: {}", self.op, parts.join("; "))
+    }
+}
+
+/// Runs the three-phase selection over two complete profile sets.
+///
+/// Operations present in only one set are treated as paired with an empty
+/// profile (an operation appearing or disappearing is maximally
+/// interesting). The result is sorted by descending distance.
+pub fn select_interesting(left: &ProfileSet, right: &ProfileSet, cfg: &SelectionConfig) -> Vec<Selection> {
+    let empty = Profile::new("");
+    let total_latency_left: f64 = left.total_latency() as f64;
+    let max_ops =
+        left.iter().map(|(_, p)| p.total_ops()).chain(right.iter().map(|(_, p)| p.total_ops())).max().unwrap_or(0) as f64;
+
+    // Union of operation names, preserving sorted order.
+    let mut ops: Vec<&str> = left.iter().map(|(n, _)| n).collect();
+    for (n, _) in right.iter() {
+        if left.get(n).is_none() {
+            ops.push(n);
+        }
+    }
+    ops.sort_unstable();
+
+    let mut out = Vec::new();
+    for op in ops {
+        let a = left.get(op).unwrap_or(&empty);
+        let b = right.get(op).unwrap_or(&empty);
+
+        // Phase 1: drop tiny contributors and near-identical totals.
+        let latency_share = if total_latency_left > 0.0 {
+            a.total_latency() as f64 / total_latency_left
+        } else {
+            0.0
+        };
+        let share = latency_share.max(if right.total_latency() > 0 {
+            b.total_latency() as f64 / right.total_latency() as f64
+        } else {
+            0.0
+        });
+        if share < cfg.min_latency_share {
+            continue;
+        }
+        if max_ops > 0.0 {
+            let ops_share = a.total_ops().max(b.total_ops()) as f64 / max_ops;
+            if ops_share < cfg.min_ops_share {
+                continue;
+            }
+        }
+        let latency_diff = total_latency_diff(a, b);
+        // Phase 2: structural peak comparison.
+        let peak_diff = diff_peaks(a, b, &cfg.peak_config);
+        // Phase 3: rate the difference.
+        let distance = cfg.metric.distance(a, b);
+        // A significant pair is selected when any of the three signals
+        // fires: the totals moved (phase 1), the peak structure changed
+        // (phase 2 — a new peak with a small total effect is still
+        // interesting; it is how Figure 6's llseek was found), or the
+        // rating metric reports a large distance (phase 3).
+        if latency_diff < cfg.min_latency_diff
+            && peak_diff.is_structurally_same()
+            && distance < cfg.min_distance
+        {
+            continue;
+        }
+        out.push(Selection { op: op.to_string(), distance, latency_diff, latency_share, peak_diff });
+    }
+    out.sort_by(|x, y| y.distance.partial_cmp(&x.distance).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_with(ops: &[(&str, &[(usize, u64)])]) -> ProfileSet {
+        let mut set = ProfileSet::new("t");
+        for &(name, buckets) in ops {
+            let mut p = Profile::new(name);
+            for &(b, n) in buckets {
+                p.record_n(1u64 << b, n);
+            }
+            set.insert(p);
+        }
+        set
+    }
+
+    #[test]
+    fn identical_sets_select_nothing() {
+        let a = set_with(&[("read", &[(10, 1000)]), ("write", &[(12, 500)])]);
+        let out = select_interesting(&a, &a.clone(), &SelectionConfig::default());
+        assert!(out.is_empty(), "selected {out:?}");
+    }
+
+    #[test]
+    fn new_contention_peak_is_selected() {
+        // The llseek scenario (Figure 6): 1-process run has one peak;
+        // 2-process run grows a contention peak near the read I/O peak.
+        let one = set_with(&[("llseek", &[(8, 10_000)]), ("read", &[(22, 10_000)])]);
+        let two = set_with(&[("llseek", &[(8, 7_500), (22, 2_500)]), ("read", &[(22, 10_000)])]);
+        let out = select_interesting(&one, &two, &SelectionConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].op, "llseek");
+        assert!(!out[0].peak_diff.is_structurally_same());
+        assert!(out[0].reason().contains("llseek"));
+    }
+
+    #[test]
+    fn tiny_contributors_are_pruned() {
+        // "ignores ... pairs where the total latency or number of
+        // operations is very small when compared to the rest".
+        let a = set_with(&[("read", &[(20, 100_000)]), ("tiny", &[(4, 3)])]);
+        let b = set_with(&[("read", &[(20, 100_000)]), ("tiny", &[(9, 3)])]);
+        let out = select_interesting(&a, &b, &SelectionConfig::default());
+        assert!(out.is_empty(), "tiny op should be pruned: {out:?}");
+    }
+
+    #[test]
+    fn disappearing_operation_is_selected() {
+        let a = set_with(&[("read", &[(20, 1000)]), ("fsync", &[(22, 800)])]);
+        let b = set_with(&[("read", &[(20, 1000)])]);
+        let out = select_interesting(&a, &b, &SelectionConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].op, "fsync");
+    }
+
+    #[test]
+    fn ranking_is_by_distance_descending() {
+        let a = set_with(&[("x", &[(10, 1000)]), ("y", &[(10, 1000)])]);
+        let b = set_with(&[
+            ("x", &[(12, 1000)]), // shift by 2
+            ("y", &[(20, 1000)]), // shift by 10
+        ]);
+        let cfg = SelectionConfig { min_latency_diff: 0.0, ..Default::default() };
+        let out = select_interesting(&a, &b, &cfg);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].op, "y");
+        assert!(out[0].distance > out[1].distance);
+    }
+
+    #[test]
+    fn pure_growth_without_structure_change_needs_latency_diff() {
+        // Same shape, 3x the operations: total latency moved, EMD shape
+        // distance is 0 — the latency-diff escape hatch must select it.
+        let a = set_with(&[("read", &[(10, 1000)])]);
+        let b = set_with(&[("read", &[(10, 3000)])]);
+        let out = select_interesting(&a, &b, &SelectionConfig::default());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].latency_diff > 0.6);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the analysis algorithms.
+
+use osprof_analysis::compare::{self, Metric};
+use osprof_analysis::peaks::{find_peaks, PeakConfig};
+use osprof_core::profile::Profile;
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    prop::collection::vec((0usize..40, 1u64..100_000), 0..20).prop_map(|buckets| {
+        let mut p = Profile::new("op");
+        for (b, n) in buckets {
+            p.record_n((1u64 << b) + (1u64 << b) / 2, n);
+        }
+        p
+    })
+}
+
+proptest! {
+    /// Every metric is symmetric.
+    #[test]
+    fn metrics_are_symmetric(a in arb_profile(), b in arb_profile()) {
+        for m in Metric::ALL {
+            let ab = m.distance(&a, &b);
+            let ba = m.distance(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-9, "{} asymmetric: {ab} vs {ba}", m.name());
+        }
+    }
+
+    /// Every metric satisfies identity of indiscernibles (d(x,x) = 0) and
+    /// non-negativity.
+    #[test]
+    fn metrics_identity_and_nonnegative(a in arb_profile(), b in arb_profile()) {
+        for m in Metric::ALL {
+            prop_assert!(m.distance(&a, &a).abs() < 1e-9, "{} d(x,x) != 0", m.name());
+            prop_assert!(m.distance(&a, &b) >= -1e-12, "{} negative", m.name());
+        }
+    }
+
+    /// EMD satisfies the triangle inequality (it is a true metric on
+    /// normalized histograms).
+    #[test]
+    fn emd_triangle_inequality(a in arb_profile(), b in arb_profile(), c in arb_profile()) {
+        prop_assume!(!a.is_empty() && !b.is_empty() && !c.is_empty());
+        let ab = compare::emd(&a, &b);
+        let bc = compare::emd(&b, &c);
+        let ac = compare::emd(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9, "EMD triangle violated: {ac} > {ab} + {bc}");
+    }
+
+    /// EMD is bounded by the histogram span (mass 1 moving end to end).
+    #[test]
+    fn emd_bounded_by_span(a in arb_profile(), b in arb_profile()) {
+        let d = compare::emd(&a, &b);
+        prop_assert!(d <= 64.0, "EMD {d} exceeds bucket span");
+    }
+
+    /// Histogram intersection is within [0, 1].
+    #[test]
+    fn intersection_in_unit_interval(a in arb_profile(), b in arb_profile()) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let i = compare::intersection(&a, &b);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&i), "intersection {i}");
+    }
+
+    /// Peaks partition a subset of the profile: disjoint, ordered, apex
+    /// inside [start, end], and their ops sum to the profile total.
+    #[test]
+    fn peaks_are_well_formed(p in arb_profile()) {
+        let peaks = find_peaks(&p, &PeakConfig::default());
+        let mut prev_end: Option<usize> = None;
+        let mut ops_sum = 0u64;
+        for pk in &peaks {
+            prop_assert!(pk.start <= pk.apex && pk.apex <= pk.end);
+            if let Some(pe) = prev_end {
+                prop_assert!(pk.start > pe, "overlapping peaks");
+            }
+            prev_end = Some(pk.end);
+            ops_sum += pk.ops;
+            prop_assert!(pk.apex_count > 0);
+        }
+        prop_assert_eq!(ops_sum, p.total_ops(), "peaks must cover all operations");
+    }
+
+    /// Merging two profiles never decreases the peak count below the
+    /// maximum single-profile count minus overlaps — sanity: find_peaks
+    /// never panics on merged profiles.
+    #[test]
+    fn peaks_never_panic_on_merge(a in arb_profile(), b in arb_profile()) {
+        let mut m = a.clone();
+        m.merge(&b).unwrap();
+        let _ = find_peaks(&m, &PeakConfig::default());
+    }
+}

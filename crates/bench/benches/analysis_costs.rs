@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the analysis pipeline: profile comparison
+//! metrics and peak detection at realistic profile sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use osprof_analysis::compare::Metric;
+use osprof_analysis::peaks::{find_peaks, PeakConfig};
+use osprof_core::profile::Profile;
+
+fn multimodal(seed: u64) -> Profile {
+    let mut p = Profile::new("op");
+    for (b, n) in [(6, 40_000u64), (10, 9_000), (17, 800), (22, 120)] {
+        p.record_n((1u64 << b) + seed % 7, n + seed % 97);
+    }
+    p
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let a = multimodal(1);
+    let b = multimodal(5);
+    let mut g = c.benchmark_group("compare-metrics");
+    for m in Metric::ALL {
+        g.bench_function(m.name(), |bch| {
+            bch.iter(|| black_box(m.distance(black_box(&a), black_box(&b))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_peaks(c: &mut Criterion) {
+    let p = multimodal(3);
+    c.bench_function("find-peaks", |b| {
+        b.iter(|| black_box(find_peaks(black_box(&p), &PeakConfig::default())));
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    use osprof_core::profile::ProfileSet;
+    let mut left = ProfileSet::new("a");
+    let mut right = ProfileSet::new("b");
+    for i in 0..50 {
+        let name = format!("op{i}");
+        let mut p = multimodal(i);
+        left.insert({
+            let mut q = Profile::new(&name);
+            q.merge(&p).unwrap();
+            q
+        });
+        p.record_n(1 << ((i % 20) + 5), 1_000);
+        right.insert({
+            let mut q = Profile::new(&name);
+            q.merge(&p).unwrap();
+            q
+        });
+    }
+    c.bench_function("select-interesting-50-ops", |b| {
+        b.iter(|| {
+            black_box(osprof_analysis::select::select_interesting(
+                black_box(&left),
+                black_box(&right),
+                &osprof_analysis::select::SelectionConfig::default(),
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_metrics, bench_peaks, bench_selection);
+criterion_main!(benches);

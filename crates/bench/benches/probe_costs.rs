@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the real probe path (paper §5.2 / §7):
+//! the per-operation costs of reading the TSC, bucketing a latency, and
+//! the full begin/end probe — on this machine, for real.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use osprof_core::bucket::{bucket_of, Resolution};
+use osprof_core::profile::Profile;
+use osprof_core::stats::Profiler;
+use osprof_core::update::{SharedHistogram, UpdatePolicy};
+use osprof_host::TscClock;
+
+fn bench_probe_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe-components");
+
+    // Component 1: reading the cycle counter (paper: ~0.5% of system
+    // time; the window between two reads is ~40 cycles).
+    let clock = TscClock::new();
+    g.bench_function("tsc-read", |b| {
+        b.iter(|| black_box(osprof_core::clock::Clock::now(&clock)));
+    });
+
+    // Component 2: sorting into a bucket.
+    g.bench_function("bucket-of", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(bucket_of(black_box(x >> 16), Resolution::R1))
+        });
+    });
+
+    // Component 3: the full store (bucket + checksum + totals).
+    g.bench_function("profile-record", |b| {
+        let mut p = Profile::new("op");
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            p.record(black_box(x >> 40));
+        });
+    });
+
+    // The whole probe pair around an empty operation — the paper's
+    // "~200 CPU cycles per profiled OS entry point".
+    g.bench_function("begin-end-probe", |b| {
+        let clock = TscClock::new();
+        let mut prof = Profiler::new("user", &clock);
+        b.iter(|| {
+            let t0 = prof.begin("noop");
+            prof.end("noop", black_box(t0));
+        });
+    });
+    g.finish();
+}
+
+fn bench_update_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update-policies");
+    for (name, policy) in [("atomic", UpdatePolicy::Atomic), ("racy", UpdatePolicy::Racy)] {
+        g.bench_function(name, |b| {
+            let h = SharedHistogram::new("op", Resolution::R1, policy);
+            b.iter(|| h.record(black_box(1000)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe_components, bench_update_policies);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation: profile resolution (paper §3: "r = 2, for example, would
+//! double the profile resolution (bucket density) with a negligible
+//! increase in CPU overheads and doubled (yet small overall) memory
+//! overheads").
+//!
+//! Two latency populations 1.5x apart are indistinguishable at r = 1
+//! (same power-of-two bucket) but split cleanly at r = 2 and r = 4.
+
+use osprof::core::bucket::Resolution;
+use osprof::core::clock::ManualClock;
+use osprof::core::stats::Profiler;
+use osprof_analysis::peaks::{find_peaks, PeakConfig};
+
+/// Runs the resolution ablation.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("Ablation — profile resolution r (bucket density)\n\n");
+    out.push_str("workload: two latency populations, 9000 and 14500 cycles (ratio 1.6x)\n\n");
+    for r in [Resolution::R1, Resolution::R2, Resolution::R4] {
+        let clock = ManualClock::new();
+        let mut prof = Profiler::with_resolution("fs", &clock, r);
+        for i in 0..10_000u64 {
+            prof.record("op", 9_000 + i % 257);
+            prof.record("op", 14_500 + i % 391);
+        }
+        let set = prof.into_profiles();
+        let p = set.get("op").unwrap();
+        let peaks = find_peaks(p, &PeakConfig::default());
+        let fp = osprof::core::footprint::profile_footprint(r);
+        out.push_str(&format!(
+            "r={}: {} peak(s) detected; profile buffer {} B; non-empty buckets {:?}\n",
+            r.get(),
+            peaks.len(),
+            fp.bucket_bytes,
+            p.buckets().iter().enumerate().filter(|(_, &n)| n > 0).map(|(b, _)| b).collect::<Vec<_>>()
+        ));
+    }
+    out.push_str(
+        "\nexpected: r=1 merges both populations into bucket 13; r=2 resolves them into\n\
+         adjacent half-octave buckets (visible split, one contiguous region); r=4 puts\n\
+         an empty bucket between them and the peak finder reports two peaks — the\n\
+         paper's trade-off: higher r buys discrimination for memory, not CPU.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn higher_resolution_splits_close_peaks() {
+        let report = super::run();
+        assert!(report.contains("r=1: 1 peak(s)"), "{report}");
+        assert!(report.contains("r=4: 2 peak(s)"), "{report}");
+    }
+}

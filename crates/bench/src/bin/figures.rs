@@ -1,0 +1,45 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures               # list experiments
+//! figures all           # run everything, tee into results/
+//! figures fig6 tbl-acc  # run specific experiments
+//! ```
+//!
+//! `OSPROF_SCALE=N` shrinks the long runs by N for quick checks.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("experiments:");
+        for (id, what, _) in osprof_bench::EXPERIMENTS {
+            eprintln!("  {id:<9} {what}");
+        }
+        eprintln!("\nusage: figures all | figures <id> [<id>...]   (OSPROF_SCALE=N to shrink)");
+        std::process::exit(2);
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        osprof_bench::EXPERIMENTS.iter().map(|(id, _, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    for id in ids {
+        let Some(report) = osprof_bench::run_experiment(id) else {
+            eprintln!("unknown experiment '{id}'");
+            std::process::exit(2);
+        };
+        let banner = format!("\n{:=^78}\n", format!(" {id} "));
+        print!("{banner}{report}");
+        let path = format!("results/{id}.txt");
+        let mut f = std::fs::File::create(&path).expect("write results file");
+        f.write_all(report.as_bytes()).expect("write report");
+        eprintln!("[written {path}]");
+    }
+}

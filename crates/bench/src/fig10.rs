@@ -1,0 +1,68 @@
+//! Figure 10: FindFirst, FindNext and read on the Windows CIFS client.
+
+use osprof::prelude::*;
+use osprof::simnet::wire::{CifsConfig, CifsLink, ClientKind};
+use osprof::simnet::RemoteFs;
+use osprof::workloads::{grep, tree};
+use osprof_simfs::image::ROOT;
+
+/// Regenerates Figure 10.
+pub fn run() -> String {
+    let mut cfg = tree::TreeConfig::small_kernel_tree();
+    cfg.dirs = (120 / crate::scale().min(4)) as usize;
+    cfg.files_per_dir_min = 10;
+    cfg.files_per_dir_max = 450;
+    let t = tree::build(&cfg);
+
+    let mut kernel = Kernel::new(KernelConfig::uniprocessor());
+    let user = kernel.add_layer("user");
+    let client = kernel.add_layer("cifs-client");
+    let (link, wire) = CifsLink::new(CifsConfig::paper_lan(ClientKind::WindowsDelayedAck));
+    let dev = kernel.attach_device(Box::new(link));
+    let rfs = RemoteFs::new(t.image.clone(), wire.clone(), dev, Some(client));
+    grep::spawn_remote(&mut kernel, rfs.state(), ROOT, user, 2_000);
+    kernel.run();
+
+    let p = kernel.layer_profiles(client);
+    let mut out = String::new();
+    out.push_str("Figure 10 — Windows client over CIFS under grep\n");
+    out.push_str("(paper: FindFirst/FindNext peaks in buckets 26-30; bucket >= 18 involves the server)\n\n");
+    for op in ["FIND_FIRST", "FIND_NEXT", "read"] {
+        if let Some(prof) = p.get(op) {
+            out.push_str(&osprof::viz::ascii_profile(prof));
+            out.push('\n');
+        }
+    }
+
+    let ff = p.get("FIND_FIRST").unwrap();
+    let fnx = p.get("FIND_NEXT").unwrap();
+    let rd = p.get("read").unwrap();
+    let remote = |prof: &Profile| (18..=32).map(|b| prof.count_in(b)).sum::<u64>();
+    let local = |prof: &Profile| (0..18).map(|b| prof.count_in(b)).sum::<u64>();
+    out.push_str(&format!(
+        "local/remote split at bucket 18 (~168us):\n  \
+         FIND_FIRST: {} local / {} remote (paper: all remote)\n  \
+         FIND_NEXT:  {} local / {} remote (paper: only the rightmost peaks remote)\n  \
+         read:       {} local / {} remote\n",
+        local(ff),
+        remote(ff),
+        local(fnx),
+        remote(fnx),
+        local(rd),
+        remote(rd)
+    ));
+    let stalled_ff: u64 = (26..=31).map(|b| ff.count_in(b)).sum();
+    out.push_str(&format!(
+        "FindFirst calls in the delayed-ACK buckets 26+: {stalled_ff} of {} \
+         ({} wire stalls of ~200ms total)\n",
+        ff.total_ops(),
+        wire.borrow().stats.delayed_ack_stalls
+    ));
+    // Elapsed share of FindFirst+FindNext (paper: 12% of elapsed time).
+    let dir_latency = ff.total_latency() + fnx.total_latency();
+    out.push_str(&format!(
+        "FindFirst+FindNext account for {:.0}% of elapsed time (paper: 12%)\n",
+        100.0 * dir_latency as f64 / kernel.now() as f64
+    ));
+    out
+}

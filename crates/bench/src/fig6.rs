@@ -1,0 +1,88 @@
+//! Figure 6: the llseek inode-semaphore contention and its fix.
+
+use osprof::prelude::*;
+use osprof::workloads::random_read::{self, RandomReadConfig};
+use osprof_simfs::image::ROOT;
+
+const FILE_BYTES: u64 = 32 * 1024 * 1024;
+
+fn run_case(procs: usize, patched: bool, iterations: u64) -> ProfileSet {
+    let mut img = FsImage::new();
+    let file = img.create_file(ROOT, "data", FILE_BYTES);
+    let mut kernel = Kernel::new(KernelConfig::uniprocessor());
+    let user = kernel.add_layer("user");
+    let fs_layer = kernel.add_layer("file-system");
+    let dev = kernel.attach_device(Box::new(DiskDevice::new(DiskConfig::paper_disk())));
+    let mut opts = MountOpts::ext2(Some(fs_layer));
+    opts.llseek_takes_i_sem = !patched;
+    let mount = Mount::new(&mut kernel, img, dev, opts);
+    let mut cfg = RandomReadConfig::paper_scaled(FILE_BYTES);
+    cfg.iterations = iterations;
+    random_read::spawn(&mut kernel, &mount.state(), file, user, procs, cfg);
+    kernel.run();
+    kernel.layer_profiles(fs_layer)
+}
+
+/// Regenerates Figure 6.
+pub fn run() -> String {
+    let iters = 2_000 / crate::scale().min(10);
+    let one = run_case(1, false, iters);
+    let two = run_case(2, false, iters);
+    let fixed = run_case(2, true, iters);
+
+    let mut out = String::new();
+    out.push_str("Figure 6 — llseek under random direct-I/O reads (paper: contention peak matches read; fix: 400 -> 120 cycles)\n\n");
+    out.push_str(&osprof::viz::ascii_profile(two.get("read").unwrap()));
+    out.push('\n');
+    out.push_str(&osprof::viz::ascii_overlay(
+        two.get("llseek").unwrap(),
+        one.get("llseek").unwrap(),
+        "LLSEEK-UNPATCHED (# = 2 processes, o = 1 process)",
+    ));
+    out.push('\n');
+    out.push_str(&osprof::viz::ascii_profile(fixed.get("llseek").unwrap()));
+
+    let ls2 = two.get("llseek").unwrap();
+    // Three populations: uncontended, blocked behind the other llseek
+    // (context-switch scale), blocked behind a direct-I/O read's i_sem
+    // hold (disk scale — the peak the paper calls "strikingly similar
+    // with the read operation").
+    let fast: u64 = (0..=10).map(|b| ls2.count_in(b)).sum();
+    let short_wait: u64 = (11..=15).map(|b| ls2.count_in(b)).sum();
+    let long_wait: u64 = (16..=32).map(|b| ls2.count_in(b)).sum();
+    let total = ls2.total_ops() as f64;
+    out.push_str(&format!(
+        "\nllseek populations with 2 processes: {:.1}% uncontended, {:.1}% behind the other \
+         llseek (~context switch), {:.1}% behind a read's disk I/O\n(paper: contention 'happens \
+         25% of the time'; our strictly-alternating deterministic\n processes serialize harder — \
+         see EXPERIMENTS.md)\n",
+        100.0 * fast as f64 / total,
+        100.0 * short_wait as f64 / total,
+        100.0 * long_wait as f64 / total
+    ));
+    // Read-peak alignment: the long-wait llseek apex matches the read
+    // apex.
+    let rd = two.get("read").unwrap();
+    let read_apex = (10..=30).max_by_key(|&b| rd.count_in(b)).unwrap();
+    let ls_apex = (16..=30).max_by_key(|&b| ls2.count_in(b)).unwrap();
+    out.push_str(&format!(
+        "llseek right-peak apex: bucket {ls_apex}; read apex: bucket {read_apex} (paper: 'strikingly similar')\n"
+    ));
+    // The uncontended-path improvement, measured like the paper (the
+    // fast path without competition): 1-process unpatched vs patched.
+    let before = one.get("llseek").unwrap().estimated_mean_latency().unwrap();
+    let after = fixed.get("llseek").unwrap().estimated_mean_latency().unwrap();
+    out.push_str(&format!(
+        "fix: uncontended mean llseek {before:.0} -> {after:.0} cycles, {:.0}% reduction \
+         (paper: 400 -> 120, 70%)\n",
+        100.0 * (before - after) / before
+    ));
+
+    // The automated analysis flags llseek between 1- and 2-process runs.
+    let sel = select_interesting(&one, &two, &SelectionConfig::default());
+    out.push_str("\nautomated selection (1 proc vs 2 procs):\n");
+    for s in &sel {
+        out.push_str(&format!("  {}\n", s.reason()));
+    }
+    out
+}

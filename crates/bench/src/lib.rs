@@ -1,0 +1,90 @@
+//! # osprof-bench — regenerating every table and figure
+//!
+//! One module per paper artifact; each exposes `run() -> String`
+//! producing the report text (figures rendered in ASCII plus the
+//! numbers the paper states). The `figures` binary dispatches by
+//! experiment id and tees reports into `results/`.
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | `fig1` | Figure 1 — FreeBSD clone, 4 processes, 2 CPUs |
+//! | `fig3` | Figure 3 — zero-byte reads, preemptive vs non-preemptive |
+//! | `eq3` | Equation 3 — forced-preemption probability & expectations |
+//! | `fig6` | Figure 6 — llseek under random reads + the i_sem fix |
+//! | `fig7` | Figure 7 — Ext2 readdir/readpage four-peak profile |
+//! | `fig8` | Figure 8 — readdir_past_EOF correlation |
+//! | `fig9` | Figure 9 — Reiserfs write_super/read timeline |
+//! | `fig10` | Figure 10 — CIFS FindFirst/FindNext/read profiles |
+//! | `fig11` | Figure 11 — FindFirst packet timelines + registry fix |
+//! | `tbl-mem` | §5.1 — memory and cache footprint |
+//! | `tbl-cpu` | §5.2 — Postmark CPU-time overhead decomposition |
+//! | `tbl-acc` | §5.3 — automated-analysis accuracy (250 pairs) |
+//! | `tbl-auto` | §6.4 — automated selection over the CIFS grep |
+//! | `abl-locks` | ablation — lock wake semantics vs contention shape |
+//! | `abl-resolution` | ablation — resolution r vs peak discrimination |
+//! | `ext-cluster` | extension — cluster aggregation & outlier node detection |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abl_locks;
+pub mod abl_resolution;
+pub mod eq3;
+pub mod ext_cluster;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod tbl_acc;
+pub mod tbl_auto;
+pub mod tbl_cpu;
+pub mod tbl_mem;
+
+/// All experiments: `(id, paper artifact, runner)`.
+pub const EXPERIMENTS: &[(&str, &str, fn() -> String)] = &[
+    ("fig1", "Figure 1: clone contention, 4 procs / 2 CPUs", fig1::run),
+    ("fig3", "Figure 3: zero-byte reads, preemption toggle", fig3::run),
+    ("eq3", "Equation 3: forced-preemption probability", eq3::run),
+    ("fig6", "Figure 6: llseek under random reads + fix", fig6::run),
+    ("fig7", "Figure 7: Ext2 readdir/readpage peaks", fig7::run),
+    ("fig8", "Figure 8: readdir_past_EOF correlation", fig8::run),
+    ("fig9", "Figure 9: Reiserfs write_super timeline", fig9::run),
+    ("fig10", "Figure 10: CIFS FindFirst/FindNext/read", fig10::run),
+    ("fig11", "Figure 11: FindFirst packet timelines", fig11::run),
+    ("tbl-mem", "Section 5.1: memory footprint", tbl_mem::run),
+    ("tbl-cpu", "Section 5.2: Postmark overhead decomposition", tbl_cpu::run),
+    ("tbl-acc", "Section 5.3: analysis accuracy, 250 pairs", tbl_acc::run),
+    ("tbl-auto", "Section 6.4: automated selection, CIFS grep", tbl_auto::run),
+    ("abl-locks", "Ablation: lock wake semantics", abl_locks::run),
+    ("abl-resolution", "Ablation: profile resolution r", abl_resolution::run),
+    ("ext-cluster", "Extension: cluster aggregation (paper §7)", ext_cluster::run),
+];
+
+/// Runs one experiment by id.
+pub fn run_experiment(id: &str) -> Option<String> {
+    EXPERIMENTS.iter().find(|(eid, _, _)| *eid == id).map(|(_, _, f)| f())
+}
+
+/// Scale factor for long experiments, from `OSPROF_SCALE` (default 1;
+/// larger = smaller/faster runs).
+pub fn scale() -> u64 {
+    std::env::var("OSPROF_SCALE").ok().and_then(|v| v.parse().ok()).filter(|&v| v >= 1).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for (id, _, _) in EXPERIMENTS {
+            assert!(seen.insert(*id), "duplicate id {id}");
+        }
+        assert!(run_experiment("nope").is_none());
+    }
+}

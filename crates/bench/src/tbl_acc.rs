@@ -1,0 +1,43 @@
+//! Section 5.3: automated profile analysis accuracy.
+
+use osprof::analysis::accuracy::evaluate;
+use osprof::analysis::compare::Metric;
+use osprof::analysis::corpus;
+
+/// Regenerates the §5.3 accuracy comparison.
+pub fn run() -> String {
+    let c = corpus::generate(42);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Section 5.3 — false-classification rates over {} labeled profile pairs\n",
+        c.len()
+    ));
+    out.push_str("(paper: chi-squared 5%, total-ops 4%, total-latency 3%, EMD 2%)\n\n");
+    out.push_str("method                    false-pos  false-neg  error    (paper)\n");
+    let paper = [("Chi-squared", "5%"), ("Total operations", "4%"), ("Total latency", "3%"), ("Earth Mover's Distance", "2%")];
+    for (m, (_, paper_rate)) in
+        [Metric::ChiSquared, Metric::TotalOps, Metric::TotalLatency, Metric::Emd].iter().zip(paper)
+    {
+        let acc = evaluate(*m, &c);
+        out.push_str(&format!(
+            "{:<25} {:>6}     {:>6}     {:>5.1}%   {:>6}\n",
+            m.name(),
+            acc.false_positives,
+            acc.false_negatives,
+            acc.error_rate() * 100.0,
+            paper_rate
+        ));
+    }
+    // The surveyed bin-by-bin alternatives, for completeness.
+    out.push_str("\nsurveyed bin-by-bin methods (paper §3.2 lists, does not rank):\n");
+    for m in [Metric::Minkowski, Metric::Intersection, Metric::Jeffrey] {
+        let acc = evaluate(m, &c);
+        out.push_str(&format!("{:<25} error {:>5.1}%\n", m.name(), acc.error_rate() * 100.0));
+    }
+    out.push_str(
+        "\ncorpus: 125 unimportant pairs (run-to-run noise, bucket-boundary jitter, small\n\
+         scale changes) + 125 important ones (new contention peaks, >=3-bucket shifts,\n\
+         peak-ratio changes, slowdowns); see osprof-analysis::corpus.\n",
+    );
+    out
+}

@@ -1,0 +1,114 @@
+//! Section 5.2: CPU-time overheads under Postmark.
+//!
+//! The paper instruments Ext2 and decomposes the +4.0% system time into
+//! making function calls (+1.5%), reading the TSC (+0.5% more) and
+//! sorting/storing (+2.0% more). We run the same decomposition: the
+//! probe cost is staged (calls only → calls+TSC → full probes), and the
+//! real per-probe costs on the build machine are measured by the
+//! criterion bench `probe_costs`.
+
+use osprof::prelude::*;
+use osprof::workloads::postmark::{self, PostmarkConfig};
+use osprof_simkernel::kernel::Pid;
+
+/// Probe-cost stages (cycles of overhead per probed call).
+/// Calibrated to the paper's component ratios: 1.5% : 0.5% : 2.0%.
+const STAGES: &[(&str, u64, u64)] = &[
+    // (label, probe_overhead, probe_window)
+    ("vanilla (no instrumentation)", 0, 0),
+    ("empty probe functions", 75, 0),
+    ("probes + TSC reads", 100, 20),
+    ("full profiling (sort+store)", 200, 40),
+];
+
+fn run_stage(overhead: u64, window: u64, instrument: bool, scale: u64) -> (Pid, Kernel) {
+    let mut kcfg = KernelConfig::uniprocessor();
+    kcfg.probe_overhead = overhead;
+    kcfg.probe_window = window;
+    let mut kernel = Kernel::new(kcfg);
+    let user = kernel.add_layer("user");
+    if !instrument {
+        kernel.set_layer_enabled(user, false);
+    }
+    let dev = kernel.attach_device(Box::new(DiskDevice::new(DiskConfig::paper_disk())));
+    let mount = Mount::new(&mut kernel, FsImage::new(), dev, MountOpts::ext2(None));
+    let cfg = PostmarkConfig::paper_scaled(20 * scale);
+    let pid = postmark::spawn(&mut kernel, &mount.state(), user, cfg);
+    kernel.run();
+    (pid, kernel)
+}
+
+/// Regenerates the §5.2 overhead table.
+pub fn run() -> String {
+    let scale = crate::scale();
+    let mut out = String::new();
+    out.push_str("Section 5.2 — Postmark CPU-time overhead decomposition\n");
+    out.push_str(&format!(
+        "(paper: 20,000 files / 200,000 transactions on Ext2; ours scaled by 1/{})\n\n",
+        20 * scale
+    ));
+    out.push_str("stage                              sys time     vs vanilla   (paper)\n");
+
+    let paper = ["", "+1.5%", "+2.0%", "+4.0%"];
+    let mut base = 0f64;
+    for (i, &(label, overhead, window)) in STAGES.iter().enumerate() {
+        let (pid, kernel) = run_stage(overhead, window, i > 0, scale);
+        let sys = kernel.proc_stats(pid).sys_cycles as f64;
+        if i == 0 {
+            base = sys;
+        }
+        let delta = (sys - base) / base * 100.0;
+        out.push_str(&format!(
+            "{label:<34} {:>8.3}s    {:>+7.2}%     {:>6}\n",
+            osprof::core::clock::cycles_to_secs(sys as u64),
+            delta,
+            paper[i]
+        ));
+    }
+
+    // Wait/user time invariance (paper: "wait and user times are not
+    // affected by the added code").
+    let (pid_v, k_v) = run_stage(0, 0, false, scale);
+    let (pid_f, k_f) = run_stage(200, 40, true, scale);
+    let wait_v = k_v.proc_stats(pid_v).wait_cycles;
+    let wait_f = k_f.proc_stats(pid_f).wait_cycles;
+    let user_v = k_v.proc_stats(pid_v).user_cycles;
+    let user_f = k_f.proc_stats(pid_f).user_cycles;
+    out.push_str(&format!(
+        "\nwait time:  vanilla {:.3}s vs instrumented {:.3}s (paper: unaffected)\n",
+        osprof::core::clock::cycles_to_secs(wait_v),
+        osprof::core::clock::cycles_to_secs(wait_f)
+    ));
+    out.push_str(&format!(
+        "user time:  vanilla {:.3}s vs instrumented {:.3}s (identical by construction)\n",
+        osprof::core::clock::cycles_to_secs(user_v),
+        osprof::core::clock::cycles_to_secs(user_f)
+    ));
+
+    // The probe window bounds the smallest recordable latency.
+    let profiles = k_f.layer_profiles(osprof_simkernel::probe::LayerId(0));
+    let min_bucket = profiles.iter().filter_map(|(_, p)| p.first_bucket()).min();
+    out.push_str(&format!(
+        "\nsmallest observed bucket across Postmark's instrumented profiles: {:?}.\n\
+         The paper's global minimum is bucket 5 because its ~40-cycle probe window is\n\
+         the only latency of a no-op operation; our cheapest probed op here does real\n\
+         work. The zero-byte reads of fig3 bottom out at bucket 6 (60-cycle body + 40).\n",
+        min_bucket
+    ));
+
+    // Real-machine probe costs (the actual library, actual rdtsc).
+    let window = osprof::host::tsc::probe_window(100_000);
+    let clock = osprof::host::TscClock::new();
+    let mut profile = Profile::new("calibration");
+    let t0 = osprof::core::clock::Clock::now(&clock);
+    let iters = 1_000_000u64;
+    for i in 0..iters {
+        profile.record(40 + (i & 63));
+    }
+    let record_cost = (osprof::core::clock::Clock::now(&clock) - t0) as f64 / iters as f64;
+    out.push_str(&format!(
+        "\nreal host measurements: back-to-back TSC reads = {window} cycles (paper: ~40); \
+         record() = {record_cost:.0} cycles/op (paper: sort+store within ~200-cycle probes)\n"
+    ));
+    out
+}

@@ -1,0 +1,214 @@
+//! Logarithmic bucket index math.
+//!
+//! The OSprof paper (Section 3) sorts request latencies into buckets
+//! `b = floor(log_{2^(1/r)}(latency)) = floor(r * log2(latency))`, where
+//! `r` is the *resolution*. The paper always uses `r = 1` "for
+//! efficiency", noting that `r = 2` would double the profile density with
+//! negligible CPU cost; we support arbitrary small resolutions.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum bucket index supported at resolution 1.
+///
+/// A `u64` latency in cycles fits in buckets `0..=63`; the TSC "is 64 bit
+/// wide and can count for a century without overflowing" (paper §4), so 64
+/// buckets per unit of resolution always suffice.
+pub const MAX_BUCKETS_R1: usize = 64;
+
+/// Profile resolution `r`: the number of buckets per factor-of-two of
+/// latency.
+///
+/// `Resolution::R1` is the paper's default. Higher resolutions multiply
+/// the bucket density (paper §3: "r = 2 ... would double the profile
+/// resolution").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Resolution(u8);
+
+impl Resolution {
+    /// The paper's default resolution (`r = 1`).
+    pub const R1: Resolution = Resolution(1);
+    /// Double density (`r = 2`).
+    pub const R2: Resolution = Resolution(2);
+    /// Quadruple density (`r = 4`).
+    pub const R4: Resolution = Resolution(4);
+
+    /// Creates a resolution; valid values are `1..=8`.
+    ///
+    /// Returns `None` for 0 or for resolutions above 8 (which would make
+    /// profile buffers needlessly large — the paper's motivation for
+    /// logarithmic buckets is that profiles stay tiny).
+    pub fn new(r: u8) -> Option<Resolution> {
+        if (1..=8).contains(&r) {
+            Some(Resolution(r))
+        } else {
+            None
+        }
+    }
+
+    /// The raw multiplier `r`.
+    #[inline]
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Number of buckets a profile at this resolution needs.
+    #[inline]
+    pub fn bucket_count(self) -> usize {
+        MAX_BUCKETS_R1 * self.0 as usize
+    }
+}
+
+impl Default for Resolution {
+    fn default() -> Self {
+        Resolution::R1
+    }
+}
+
+/// Returns the bucket index for `latency` cycles at resolution `r`.
+///
+/// Latency 0 is placed in bucket 0 (the paper's probes can never observe a
+/// zero latency — reading the TSC twice always costs a few cycles — but
+/// simulated environments may produce it).
+///
+/// For `r = 1` this is exactly `floor(log2(latency))`, computed with
+/// integer bit operations. For `r > 1` the fractional part of `log2` is
+/// refined by exact integer comparison against bucket boundaries so that
+/// results are deterministic across platforms.
+#[inline]
+pub fn bucket_of(latency: u64, r: Resolution) -> usize {
+    if latency <= 1 {
+        return 0;
+    }
+    let k = 63 - latency.leading_zeros() as usize; // floor(log2(latency))
+    let r_val = r.get() as usize;
+    if r_val == 1 {
+        return k;
+    }
+    // Candidate bucket from the integer part; refine within [r*k, r*k+r).
+    let base = r_val * k;
+    // Find the largest sub-index i in 0..r with boundary(base + i) <= latency.
+    let mut idx = base;
+    for i in 1..r_val {
+        if bucket_lower_bound(base + i, r) <= latency {
+            idx = base + i;
+        } else {
+            break;
+        }
+    }
+    idx
+}
+
+/// Returns the smallest latency (in cycles) that falls into bucket `b` at
+/// resolution `r`, i.e. `ceil(2^(b/r))`.
+///
+/// For `r = 1` the bound is exact (`2^b`). For fractional exponents the
+/// boundary is rounded to the nearest integer cycle, which is the
+/// convention [`bucket_of`] uses for refinement, keeping the pair mutually
+/// consistent.
+pub fn bucket_lower_bound(b: usize, r: Resolution) -> u64 {
+    let r_val = r.get() as usize;
+    let k = b / r_val;
+    let frac = b % r_val;
+    let base = 1u64 << k.min(63);
+    if frac == 0 {
+        return base;
+    }
+    // 2^(k + frac/r) = 2^k * 2^(frac/r); compute the multiplier in f64 and
+    // round. The multiplier is in (1, 2), so precision is ample for any
+    // bucket boundary below 2^52; above that, profiles are in the
+    // multi-day range where sub-cycle boundary placement is irrelevant.
+    let mult = 2f64.powf(frac as f64 / r_val as f64);
+    ((base as f64) * mult).round() as u64
+}
+
+/// Returns the half-open latency range `[lo, hi)` covered by bucket `b`.
+pub fn bucket_range(b: usize, r: Resolution) -> (u64, u64) {
+    let lo = bucket_lower_bound(b, r);
+    let hi = if b + 1 >= r.bucket_count() {
+        u64::MAX
+    } else {
+        bucket_lower_bound(b + 1, r)
+    };
+    (lo, hi)
+}
+
+/// Returns the mean latency of bucket `b` in cycles.
+///
+/// For `r = 1` and a locally-uniform latency density, the mean of bucket
+/// `b` is `1.5 * 2^b` — the figure labels in the paper ("28ns" over bucket
+/// 5, "29ms" over bucket 25 at 1.7 GHz) follow exactly this convention.
+pub fn bucket_mean_cycles(b: usize, r: Resolution) -> f64 {
+    let (lo, hi) = bucket_range(b, r);
+    if hi == u64::MAX {
+        return lo as f64 * 1.5;
+    }
+    (lo as f64 + hi as f64) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_r1_matches_ilog2() {
+        assert_eq!(bucket_of(0, Resolution::R1), 0);
+        assert_eq!(bucket_of(1, Resolution::R1), 0);
+        assert_eq!(bucket_of(2, Resolution::R1), 1);
+        assert_eq!(bucket_of(3, Resolution::R1), 1);
+        assert_eq!(bucket_of(4, Resolution::R1), 2);
+        assert_eq!(bucket_of(1023, Resolution::R1), 9);
+        assert_eq!(bucket_of(1024, Resolution::R1), 10);
+        assert_eq!(bucket_of(u64::MAX, Resolution::R1), 63);
+    }
+
+    #[test]
+    fn bucket_boundaries_r1_are_powers_of_two() {
+        for b in 0..40 {
+            assert_eq!(bucket_lower_bound(b, Resolution::R1), 1u64 << b);
+        }
+    }
+
+    #[test]
+    fn bucket_of_r2_doubles_density() {
+        // At r = 2, latency 2^10 lands in bucket 20 and 2^10*sqrt(2) in 21.
+        assert_eq!(bucket_of(1024, Resolution::R2), 20);
+        let sqrt2_1024 = (1024f64 * std::f64::consts::SQRT_2).round() as u64;
+        assert_eq!(bucket_of(sqrt2_1024, Resolution::R2), 21);
+        assert_eq!(bucket_of(2048, Resolution::R2), 22);
+    }
+
+    #[test]
+    fn bucket_range_is_contiguous() {
+        for r in [Resolution::R1, Resolution::R2, Resolution::R4] {
+            for b in 0..(40 * r.get() as usize) {
+                let (_, hi) = bucket_range(b, r);
+                let (lo_next, _) = bucket_range(b + 1, r);
+                assert_eq!(hi, lo_next, "gap between buckets {b} and {} at r={}", b + 1, r.get());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure_labels_match_bucket_means() {
+        // Figure 1/3/6/7/10 x-axis labels at 1.7 GHz: bucket 5 -> 28ns,
+        // bucket 10 -> 903ns, bucket 15 -> ~28.9us, bucket 20 -> ~925us,
+        // bucket 25 -> ~29.6ms, bucket 30 -> ~947ms.
+        let hz = 1.7e9;
+        let ns = |b: usize| bucket_mean_cycles(b, Resolution::R1) / hz * 1e9;
+        assert!((ns(5) - 28.2).abs() < 0.5, "bucket 5 = {} ns", ns(5));
+        assert!((ns(10) - 903.5).abs() < 5.0, "bucket 10 = {} ns", ns(10));
+        assert!((ns(15) / 1e3 - 28.9).abs() < 0.2, "bucket 15 = {} us", ns(15) / 1e3);
+        assert!((ns(20) / 1e6 - 0.925).abs() < 0.01, "bucket 20 = {} ms", ns(20) / 1e6);
+        assert!((ns(25) / 1e6 - 29.6).abs() < 0.3, "bucket 25 = {} ms", ns(25) / 1e6);
+        assert!((ns(30) / 1e6 - 947.0).abs() < 10.0, "bucket 30 = {} ms", ns(30) / 1e6);
+    }
+
+    #[test]
+    fn resolution_validation() {
+        assert!(Resolution::new(0).is_none());
+        assert!(Resolution::new(9).is_none());
+        assert_eq!(Resolution::new(4), Some(Resolution::R4));
+        assert_eq!(Resolution::default(), Resolution::R1);
+        assert_eq!(Resolution::R2.bucket_count(), 128);
+    }
+}

@@ -1,0 +1,213 @@
+//! Cycle-counter abstraction.
+//!
+//! The paper measures time with the CPU cycle counter (TSC on x86)
+//! "because it has a resolution of tens of nanoseconds, and querying it
+//! uses a single instruction" (§4). All latencies in this workspace are
+//! therefore expressed in **cycles**. This module defines the [`Clock`]
+//! trait, the deterministic [`ManualClock`] used by tests and the
+//! simulator, and the nominal frequency used to label buckets in seconds.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// A point in time or a duration, in CPU cycles.
+pub type Cycles = u64;
+
+/// Nominal clock frequency of the paper's test machine (1.7 GHz Pentium 4).
+///
+/// Used only for *labeling* buckets in seconds; all arithmetic stays in
+/// cycles.
+pub const NOMINAL_HZ: f64 = 1.7e9;
+
+/// Converts a cycle count to seconds at the nominal frequency.
+pub fn cycles_to_secs(c: Cycles) -> f64 {
+    c as f64 / NOMINAL_HZ
+}
+
+/// Converts seconds to cycles at the nominal frequency.
+pub fn secs_to_cycles(s: f64) -> Cycles {
+    (s * NOMINAL_HZ).round() as Cycles
+}
+
+/// Formats a cycle count as a human-readable time (ns/µs/ms/s) at the
+/// nominal frequency — the unit convention of the paper's figure labels.
+pub fn format_cycles(c: Cycles) -> String {
+    // Truncate (floor) like the paper's figure labels: bucket 10 at
+    // 1.7 GHz is labeled "903ns" (903.5 truncated), bucket 25 "29ms".
+    let ns = cycles_to_secs(c) * 1e9;
+    if ns < 1_000.0 {
+        format!("{}ns", ns.floor())
+    } else if ns < 1_000_000.0 {
+        format!("{}us", (ns / 1e3).floor())
+    } else if ns < 1_000_000_000.0 {
+        format!("{}ms", (ns / 1e6).floor())
+    } else {
+        format!("{:.1}s", ns / 1e9)
+    }
+}
+
+/// A source of monotonically non-decreasing cycle counts.
+///
+/// Implementations: [`ManualClock`] (tests), the simulator's per-CPU
+/// virtual TSC (in `osprof-simkernel`, including configurable inter-CPU
+/// skew, paper §3.4), and the host's real `rdtsc` (in `osprof-host`).
+pub trait Clock {
+    /// Reads the current cycle count.
+    fn now(&self) -> Cycles;
+}
+
+impl<C: Clock + ?Sized> Clock for &C {
+    fn now(&self) -> Cycles {
+        (**self).now()
+    }
+}
+
+/// A deterministic, manually-advanced clock.
+///
+/// # Examples
+///
+/// ```
+/// use osprof_core::clock::{Clock, ManualClock};
+/// let c = ManualClock::new();
+/// assert_eq!(c.now(), 0);
+/// c.advance(100);
+/// assert_eq!(c.now(), 100);
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: Cell<Cycles>,
+}
+
+impl ManualClock {
+    /// Creates a clock starting at cycle 0.
+    pub fn new() -> Self {
+        ManualClock { now: Cell::new(0) }
+    }
+
+    /// Creates a clock starting at `start` cycles.
+    pub fn starting_at(start: Cycles) -> Self {
+        ManualClock { now: Cell::new(start) }
+    }
+
+    /// Advances the clock by `delta` cycles.
+    pub fn advance(&self, delta: Cycles) {
+        self.now.set(self.now.get().saturating_add(delta));
+    }
+
+    /// Sets the clock to an absolute cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` would move the clock backwards; [`Clock`] sources
+    /// must be monotonic.
+    pub fn set(&self, t: Cycles) {
+        assert!(t >= self.now.get(), "ManualClock must not go backwards");
+        self.now.set(t);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Cycles {
+        self.now.get()
+    }
+}
+
+impl fmt::Display for ManualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ManualClock@{}", self.now.get())
+    }
+}
+
+/// Well-known characteristic times of the paper's test setup (§3.1,
+/// "prior knowledge-based analysis"), in cycles at [`NOMINAL_HZ`].
+///
+/// "a context switch takes approximately 5–6 µs, a full stroke disk head
+/// seek takes approximately 8 ms, a full disk rotation takes approximately
+/// 4 ms, the network latency between our test machines is about 112 µs,
+/// and the scheduling quantum is about 58 ms."
+pub mod characteristic {
+    use super::{secs_to_cycles, Cycles};
+
+    /// Context switch: ~5.5 µs.
+    pub fn context_switch() -> Cycles {
+        secs_to_cycles(5.5e-6)
+    }
+    /// Full-stroke disk seek: ~8 ms.
+    pub fn full_stroke_seek() -> Cycles {
+        secs_to_cycles(8e-3)
+    }
+    /// Track-to-track disk seek: ~0.3 ms.
+    pub fn track_to_track_seek() -> Cycles {
+        secs_to_cycles(0.3e-3)
+    }
+    /// Full disk rotation (15k RPM): ~4 ms.
+    pub fn full_rotation() -> Cycles {
+        secs_to_cycles(4e-3)
+    }
+    /// One-way network latency between the test machines: ~112 µs.
+    pub fn network_latency() -> Cycles {
+        secs_to_cycles(112e-6)
+    }
+    /// Scheduling quantum: ~58 ms.
+    pub fn scheduling_quantum() -> Cycles {
+        secs_to_cycles(58e-3)
+    }
+    /// Timer interrupt period (250 Hz Linux 2.6): 4 ms.
+    pub fn timer_period() -> Cycles {
+        secs_to_cycles(4e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now(), 15);
+        c.set(100);
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_backwards() {
+        let c = ManualClock::starting_at(50);
+        c.set(10);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let c = secs_to_cycles(1e-3);
+        assert_eq!(c, 1_700_000);
+        assert!((cycles_to_secs(c) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn characteristic_times_land_in_expected_buckets() {
+        use crate::bucket::{bucket_of, Resolution};
+        let b = |c| bucket_of(c, Resolution::R1);
+        // Context switch ~5.5us = ~9350 cycles -> bucket 13.
+        assert_eq!(b(characteristic::context_switch()), 13);
+        // Full rotation 4ms = 6.8M cycles -> bucket 22.
+        assert_eq!(b(characteristic::full_rotation()), 22);
+        // Full stroke seek 8ms -> bucket 23.
+        assert_eq!(b(characteristic::full_stroke_seek()), 23);
+        // Track-to-track 0.3ms -> bucket 18.
+        assert_eq!(b(characteristic::track_to_track_seek()), 18);
+        // Network one-way 112us -> bucket 17.
+        assert_eq!(b(characteristic::network_latency()), 17);
+        // Quantum 58ms -> bucket 26 (the Figure 3 preemption peak).
+        assert_eq!(b(characteristic::scheduling_quantum()), 26);
+    }
+
+    #[test]
+    fn format_cycles_uses_figure_units() {
+        assert_eq!(format_cycles(48), "28ns");
+        assert_eq!(format_cycles(secs_to_cycles(29e-3)), "29ms");
+        assert_eq!(format_cycles(secs_to_cycles(2.0)), "2.0s");
+    }
+}

@@ -1,0 +1,162 @@
+//! Direct profile/value correlation (paper §3.1; Figure 8).
+//!
+//! "We first capture our standard latency profiles. Next, we sort OS
+//! requests based on the peak they belong to, according to their measured
+//! latency. We then store logarithmic profiles of internal OS parameters
+//! in separate profiles for separate peaks. In many cases, this allows us
+//! to correlate the values of internal OS variables directly with the
+//! different peaks."
+//!
+//! The paper's worked example (Figure 8): for every `readdir` call,
+//! compute `readdir_past_EOF` (1 if the file position is at or past the end
+//! of the directory, else 0), scale it by 1024 so zero and one are
+//! separated on a log scale, and bucket it into a "first peak" profile
+//! when the call's latency fell into the first peak, and an "other peaks"
+//! profile otherwise. The resulting split proves the first peak is exactly
+//! the past-EOF reads.
+
+use std::ops::RangeInclusive;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bucket::{bucket_of, Resolution};
+use crate::clock::Cycles;
+use crate::profile::Profile;
+
+/// Correlates an internal variable's values with latency peaks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelationProfile {
+    /// Name of the correlated variable (e.g. `readdir_past_EOF`).
+    variable: String,
+    /// Latency bucket ranges defining each tracked peak.
+    peaks: Vec<RangeInclusive<usize>>,
+    /// One value histogram per peak.
+    per_peak: Vec<Profile>,
+    /// Value histogram for requests outside all peak ranges.
+    other: Profile,
+    /// Scale factor applied to values before bucketing (the paper uses
+    /// ×1024 to separate 0 from 1 on the log axis).
+    scale: u64,
+    resolution: Resolution,
+}
+
+impl CorrelationProfile {
+    /// Creates a correlation profile for `variable` with the given peak
+    /// latency-bucket ranges and value scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn new(variable: impl Into<String>, peaks: Vec<RangeInclusive<usize>>, scale: u64) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        let variable = variable.into();
+        let per_peak = peaks
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Profile::new(format!("{variable}[peak{} b{}..={}]", i, r.start(), r.end())))
+            .collect();
+        CorrelationProfile {
+            other: Profile::new(format!("{variable}[other]")),
+            variable,
+            peaks,
+            per_peak,
+            scale,
+            resolution: Resolution::R1,
+        }
+    }
+
+    /// Records one request: its measured latency decides the peak; the
+    /// scaled variable value is bucketed into that peak's profile.
+    pub fn record(&mut self, latency: Cycles, value: u64) {
+        let b = bucket_of(latency, self.resolution);
+        let scaled = value.saturating_mul(self.scale);
+        for (i, range) in self.peaks.iter().enumerate() {
+            if range.contains(&b) {
+                self.per_peak[i].record(scaled);
+                return;
+            }
+        }
+        self.other.record(scaled);
+    }
+
+    /// The variable name.
+    pub fn variable(&self) -> &str {
+        &self.variable
+    }
+
+    /// Value histogram for peak `i`.
+    pub fn peak(&self, i: usize) -> Option<&Profile> {
+        self.per_peak.get(i)
+    }
+
+    /// Value histogram for requests outside all peaks.
+    pub fn other(&self) -> &Profile {
+        &self.other
+    }
+
+    /// All per-peak histograms in peak order.
+    pub fn peaks(&self) -> &[Profile] {
+        &self.per_peak
+    }
+
+    /// Fraction of requests in peak `i` whose scaled value is nonzero
+    /// (i.e. landed above bucket 0). `None` if the peak is empty.
+    ///
+    /// For Figure 8 this is the readdir-past-EOF rate of each peak: ~1.0
+    /// for the first peak, ~0.0 for the rest.
+    pub fn nonzero_fraction(&self, i: usize) -> Option<f64> {
+        let p = self.per_peak.get(i)?;
+        let total = p.total_ops();
+        if total == 0 {
+            return None;
+        }
+        Some((total - p.count_in(0)) as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_split_by_peak() {
+        // First peak: buckets 6..=7; other peaks catch everything else.
+        let mut c = CorrelationProfile::new("readdir_past_EOF", vec![6..=7], 1024);
+        // Past-EOF requests are fast (bucket 6) and have value 1.
+        for _ in 0..100 {
+            c.record(70, 1);
+        }
+        // Real reads are slower (bucket 15) and have value 0.
+        for _ in 0..40 {
+            c.record(40_000, 0);
+        }
+        let first = c.peak(0).unwrap();
+        assert_eq!(first.total_ops(), 100);
+        // Scaled value 1024 lands in bucket 10.
+        assert_eq!(first.count_in(10), 100);
+        assert_eq!(c.other().total_ops(), 40);
+        assert_eq!(c.other().count_in(0), 40);
+        assert_eq!(c.nonzero_fraction(0), Some(1.0));
+    }
+
+    #[test]
+    fn overlapping_first_match_wins() {
+        let mut c = CorrelationProfile::new("v", vec![0..=10, 5..=20], 1);
+        c.record(100, 3); // bucket 6 -> matches both; first wins
+        assert_eq!(c.peak(0).unwrap().total_ops(), 1);
+        assert_eq!(c.peak(1).unwrap().total_ops(), 0);
+    }
+
+    #[test]
+    fn nonzero_fraction_empty_peak_is_none() {
+        let c = CorrelationProfile::new("v", vec![0..=3], 1024);
+        assert_eq!(c.nonzero_fraction(0), None);
+        assert_eq!(c.nonzero_fraction(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = CorrelationProfile::new("v", vec![], 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for the core crate.
+
+use std::fmt;
+
+/// Errors produced by profile construction, merging and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A profile's bucket counts do not add up to its operation checksum.
+    ///
+    /// The paper's reporting scripts compare bucket sums against the
+    /// library checksum to "catch potential code instrumentation errors".
+    ChecksumMismatch {
+        /// Operation name of the offending profile.
+        name: String,
+        /// Sum over all buckets.
+        bucket_sum: u64,
+        /// Recorded operation count.
+        total_ops: u64,
+    },
+    /// Two profiles with different resolutions were combined.
+    ResolutionMismatch {
+        /// Left resolution multiplier.
+        left: u8,
+        /// Right resolution multiplier.
+        right: u8,
+    },
+    /// A serialized profile could not be parsed.
+    Parse {
+        /// Line number (1-based) where parsing failed.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ChecksumMismatch { name, bucket_sum, total_ops } => {
+                write!(f, "profile '{name}': bucket sum {bucket_sum} != recorded operations {total_ops}")
+            }
+            CoreError::ResolutionMismatch { left, right } => {
+                write!(f, "profile resolution mismatch: r={left} vs r={right}")
+            }
+            CoreError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_cleanly() {
+        let e = CoreError::ChecksumMismatch { name: "read".into(), bucket_sum: 9, total_ops: 10 };
+        assert!(e.to_string().contains("read"));
+        let e = CoreError::ResolutionMismatch { left: 1, right: 2 };
+        assert!(e.to_string().contains("r=1"));
+        let e = CoreError::Parse { line: 3, message: "bad bucket".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Static memory accounting (paper §5.1, "Memory Usage and Caches").
+//!
+//! The paper's memory-overhead claims: the aggregation functions touch
+//! "231 bytes" of instruction cache, per-file-system probe code is under
+//! 9 KB, and "a profile occupies a fixed memory area ... usually less than
+//! 1 KB". This module computes the equivalent numbers for our Rust
+//! implementation so the `tbl-mem` experiment can report them.
+
+use std::mem::size_of;
+
+use crate::bucket::Resolution;
+use crate::profile::{Profile, ProfileSet};
+
+/// Memory footprint of one profile and its fixed bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Bytes of the `Profile` struct itself (stack/inline part).
+    pub struct_bytes: usize,
+    /// Bytes of the heap-allocated bucket array.
+    pub bucket_bytes: usize,
+    /// Total per-profile bytes (struct + buckets), excluding the name.
+    pub total_bytes: usize,
+}
+
+/// Computes the footprint of a single operation profile at resolution `r`.
+pub fn profile_footprint(r: Resolution) -> Footprint {
+    let struct_bytes = size_of::<Profile>();
+    let bucket_bytes = r.bucket_count() * size_of::<u64>();
+    Footprint { struct_bytes, bucket_bytes, total_bytes: struct_bytes + bucket_bytes }
+}
+
+/// Computes the footprint of a complete profile set with `ops` operations.
+///
+/// This is the number to compare against the paper's "usually less than
+/// 1 KB" per profile: each operation's bucket buffer plus bookkeeping.
+pub fn set_footprint(ops: usize, r: Resolution) -> usize {
+    let per_op = profile_footprint(r).total_bytes;
+    size_of::<ProfileSet>() + ops * per_op
+}
+
+/// A rendered report for the `tbl-mem` experiment.
+pub fn report(r: Resolution) -> String {
+    let fp = profile_footprint(r);
+    let mut out = String::new();
+    out.push_str("Memory footprint (osprof-core), cf. paper Section 5.1\n");
+    out.push_str(&format!("  per-profile struct:       {:>6} B\n", fp.struct_bytes));
+    out.push_str(&format!(
+        "  per-profile buckets:      {:>6} B ({} buckets x 8 B, r={})\n",
+        fp.bucket_bytes,
+        r.bucket_count(),
+        r.get()
+    ));
+    out.push_str(&format!("  per-profile total:        {:>6} B (paper: 'usually less than 1KB')\n", fp.total_bytes));
+    out.push_str(&format!(
+        "  30-operation profile set: {:>6} B\n",
+        set_footprint(30, r)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_profile_footprint_is_under_1kb_at_r1() {
+        // The paper's claim we must preserve: one operation's profile
+        // stays under 1 KB at the default resolution.
+        let fp = profile_footprint(Resolution::R1);
+        assert_eq!(fp.bucket_bytes, 64 * 8);
+        assert!(fp.total_bytes < 1024, "profile footprint {} B >= 1KB", fp.total_bytes);
+    }
+
+    #[test]
+    fn footprint_scales_linearly_with_resolution() {
+        let r1 = profile_footprint(Resolution::R1);
+        let r4 = profile_footprint(Resolution::R4);
+        assert_eq!(r4.bucket_bytes, 4 * r1.bucket_bytes);
+    }
+
+    #[test]
+    fn report_mentions_paper_claim() {
+        let r = report(Resolution::R1);
+        assert!(r.contains("less than 1KB"));
+        assert!(r.contains("512 B") || r.contains("512"));
+    }
+}

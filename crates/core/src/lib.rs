@@ -1,0 +1,79 @@
+//! # osprof-core — the aggregate latency statistics library
+//!
+//! This crate is the Rust re-implementation of the "aggregate stats"
+//! library from *Operating System Profiling via Latency Analysis*
+//! (Joukov, Traeger, Iyer, Wright, Zadok — OSDI 2006), the OSprof paper.
+//!
+//! The central idea: the latency of every OS request is measured with the
+//! CPU cycle counter and sorted at runtime into **logarithmic buckets**.
+//! A bucket `b` counts the requests whose latency satisfies
+//!
+//! ```text
+//! b = floor(log_{2^(1/r)}(latency)) = floor(r * log2(latency))
+//! ```
+//!
+//! where `r` is the profile resolution (the paper always uses `r = 1`).
+//! Different internal OS activities (cache hits, lock contention, disk
+//! seeks, network round trips, preemption) form different peaks on the
+//! resulting distribution, which can then be analyzed visually or with the
+//! automated tools in the `osprof-analysis` crate.
+//!
+//! ## Crate layout
+//!
+//! - [`bucket`] — bucket index math and bucket⇄latency conversions.
+//! - [`clock`] — the cycle-counter abstraction ([`clock::Clock`]) and the
+//!   nominal calibration used to label buckets in seconds.
+//! - [`profile`] — [`profile::Profile`], the per-operation histogram, and
+//!   [`profile::ProfileSet`], a complete profile (one histogram per
+//!   operation per layer).
+//! - [`stats`] — the runtime recording facade mirroring the paper's C API
+//!   (probe begin/end, guard-based probes).
+//! - [`update`] — concurrent bucket-update policies (per-thread exact,
+//!   racy shared, atomic shared) from Section 3.4 of the paper.
+//! - [`sampling`] — time-segmented "3-D" profiles (Section 3.1, profile
+//!   sampling; Figure 9).
+//! - [`correlation`] — direct profile/value correlation (Section 3.1;
+//!   Figure 8).
+//! - [`serialize`] — the `/proc`-style text format and JSON round trips.
+//! - [`footprint`] — static memory accounting used to reproduce the
+//!   Section 5.1 memory-overhead discussion.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use osprof_core::clock::ManualClock;
+//! use osprof_core::stats::Profiler;
+//!
+//! let clock = ManualClock::new();
+//! let mut prof = Profiler::new("demo", &clock);
+//! for latency in [100u64, 110, 120, 5_000, 5_100] {
+//!     let t0 = prof.begin("read");
+//!     clock.advance(latency);
+//!     prof.end("read", t0);
+//! }
+//! let profile = prof.profiles().get("read").unwrap();
+//! // Latencies 100..=120 land in bucket 6 (2^6..2^7), 5000..5100 in 12.
+//! assert_eq!(profile.count_in(6), 3);
+//! assert_eq!(profile.count_in(12), 2);
+//! assert_eq!(profile.total_ops(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod clock;
+pub mod correlation;
+pub mod error;
+pub mod footprint;
+pub mod profile;
+pub mod sampling;
+pub mod serialize;
+pub mod stats;
+pub mod update;
+
+pub use bucket::{bucket_mean_cycles, bucket_of, bucket_range, Resolution};
+pub use clock::{Clock, Cycles, ManualClock, NOMINAL_HZ};
+pub use error::CoreError;
+pub use profile::{Profile, ProfileSet};
+pub use stats::{Probe, Profiler};

@@ -1,0 +1,469 @@
+//! Latency profiles: per-operation logarithmic histograms.
+//!
+//! A [`Profile`] is the paper's fundamental data object — "a bucket `b`
+//! contains the number of requests whose latency satisfies
+//! `b = floor(log2(latency))`" — plus the bookkeeping the paper's
+//! `aggregate_stats` library maintains: a checksum of the number of
+//! measurements (used by the reporting scripts to "catch potential code
+//! instrumentation errors", §4) and the total latency (used by the
+//! automated analysis to rank operations by contribution, §3.2).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bucket::{bucket_mean_cycles, bucket_of, Resolution};
+use crate::clock::Cycles;
+use crate::error::CoreError;
+
+/// A latency histogram with logarithmic buckets for one operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Operation name, e.g. `"read"`, `"readdir"`, `"FIND_FIRST"`.
+    name: String,
+    /// Resolution `r` (buckets per factor of two).
+    resolution: Resolution,
+    /// Bucket counts; length is `resolution.bucket_count()`.
+    buckets: Vec<u64>,
+    /// Total number of recorded operations (the paper's checksum).
+    total_ops: u64,
+    /// Sum of all recorded latencies, in cycles.
+    total_latency: u128,
+    /// Smallest latency ever recorded (cycles); `u64::MAX` when empty.
+    min_latency: Cycles,
+    /// Largest latency ever recorded (cycles).
+    max_latency: Cycles,
+}
+
+impl Profile {
+    /// Creates an empty profile at the paper's default resolution.
+    pub fn new(name: impl Into<String>) -> Self {
+        Profile::with_resolution(name, Resolution::R1)
+    }
+
+    /// Creates an empty profile at resolution `r`.
+    pub fn with_resolution(name: impl Into<String>, r: Resolution) -> Self {
+        Profile {
+            name: name.into(),
+            resolution: r,
+            buckets: vec![0; r.bucket_count()],
+            total_ops: 0,
+            total_latency: 0,
+            min_latency: u64::MAX,
+            max_latency: 0,
+        }
+    }
+
+    /// Operation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resolution of this profile.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Records one request of the given latency (in cycles).
+    #[inline]
+    pub fn record(&mut self, latency: Cycles) {
+        let b = bucket_of(latency, self.resolution);
+        self.buckets[b] += 1;
+        self.total_ops += 1;
+        self.total_latency += latency as u128;
+        self.min_latency = self.min_latency.min(latency);
+        self.max_latency = self.max_latency.max(latency);
+    }
+
+    /// Records `n` requests that all fall at latency `latency`.
+    pub fn record_n(&mut self, latency: Cycles, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = bucket_of(latency, self.resolution);
+        self.buckets[b] += n;
+        self.total_ops += n;
+        self.total_latency += latency as u128 * n as u128;
+        self.min_latency = self.min_latency.min(latency);
+        self.max_latency = self.max_latency.max(latency);
+    }
+
+    /// Number of operations recorded in bucket `b` (0 if out of range).
+    pub fn count_in(&self, b: usize) -> u64 {
+        self.buckets.get(b).copied().unwrap_or(0)
+    }
+
+    /// The bucket counts as a slice.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total operations recorded (the checksum).
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Total latency in cycles across all recorded operations.
+    pub fn total_latency(&self) -> u128 {
+        self.total_latency
+    }
+
+    /// Smallest recorded latency, or `None` when the profile is empty.
+    pub fn min_latency(&self) -> Option<Cycles> {
+        if self.total_ops == 0 {
+            None
+        } else {
+            Some(self.min_latency)
+        }
+    }
+
+    /// Largest recorded latency, or `None` when the profile is empty.
+    pub fn max_latency(&self) -> Option<Cycles> {
+        if self.total_ops == 0 {
+            None
+        } else {
+            Some(self.max_latency)
+        }
+    }
+
+    /// Mean recorded latency in cycles, or `None` when empty.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.total_ops == 0 {
+            None
+        } else {
+            Some(self.total_latency as f64 / self.total_ops as f64)
+        }
+    }
+
+    /// Estimates the mean latency from bucket contents only.
+    ///
+    /// This is what the paper's analysis can do with a collected profile
+    /// (the raw latencies are gone): it weights each bucket's mean by its
+    /// count. Section 3.1 uses exactly this to derive "the CPU time
+    /// necessary to complete a clone request with no contention (average
+    /// latency in the leftmost peak)".
+    pub fn estimated_mean_latency(&self) -> Option<f64> {
+        if self.total_ops == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(b, &n)| n as f64 * bucket_mean_cycles(b, self.resolution))
+            .sum();
+        Some(sum / self.total_ops as f64)
+    }
+
+    /// Index of the lowest non-empty bucket, or `None` when empty.
+    pub fn first_bucket(&self) -> Option<usize> {
+        self.buckets.iter().position(|&n| n > 0)
+    }
+
+    /// Index of the highest non-empty bucket, or `None` when empty.
+    pub fn last_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&n| n > 0)
+    }
+
+    /// Verifies the checksum: the bucket counts must sum to `total_ops`.
+    ///
+    /// The paper's reporting scripts perform this verification to "catch
+    /// potential code instrumentation errors" (§4).
+    pub fn verify_checksum(&self) -> Result<(), CoreError> {
+        let sum: u64 = self.buckets.iter().sum();
+        if sum == self.total_ops {
+            Ok(())
+        } else {
+            Err(CoreError::ChecksumMismatch { name: self.name.clone(), bucket_sum: sum, total_ops: self.total_ops })
+        }
+    }
+
+    /// Merges another profile of the same operation into this one.
+    ///
+    /// Used to combine per-thread/per-CPU profiles (the paper's fix for
+    /// lost updates on many-CPU systems, §3.4) and to aggregate cluster
+    /// nodes (§7 future work).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the resolutions differ.
+    pub fn merge(&mut self, other: &Profile) -> Result<(), CoreError> {
+        if self.resolution != other.resolution {
+            return Err(CoreError::ResolutionMismatch { left: self.resolution.get(), right: other.resolution.get() });
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += *src;
+        }
+        self.total_ops += other.total_ops;
+        self.total_latency += other.total_latency;
+        self.min_latency = self.min_latency.min(other.min_latency);
+        self.max_latency = self.max_latency.max(other.max_latency);
+        Ok(())
+    }
+
+    /// Returns the bucket counts normalized to sum to 1.0.
+    ///
+    /// Used by histogram-comparison metrics (e.g. the Earth Mover's
+    /// Distance normalizes histograms "so that we have exactly enough
+    /// earth to fill the holes", §3.2). Returns an all-zero vector for an
+    /// empty profile.
+    pub fn normalized(&self) -> Vec<f64> {
+        if self.total_ops == 0 {
+            return vec![0.0; self.buckets.len()];
+        }
+        let total = self.total_ops as f64;
+        self.buckets.iter().map(|&n| n as f64 / total).collect()
+    }
+
+    /// Resets all counters, keeping name and resolution.
+    ///
+    /// Profile sampling (paper §3.1) swaps in "new sets of buckets ... at
+    /// predefined time intervals"; [`crate::sampling`] uses this.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.total_ops = 0;
+        self.total_latency = 0;
+        self.min_latency = u64::MAX;
+        self.max_latency = 0;
+    }
+
+    /// True when no operations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total_ops == 0
+    }
+}
+
+/// A complete profile: one [`Profile`] per operation, as collected by one
+/// profiler layer over one run.
+///
+/// "A complete profile may consist of dozens of profiles of individual
+/// operations" (§3.1). Operations are keyed by name and kept sorted so
+/// reports are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileSet {
+    /// Label of the layer that collected this set (e.g. `"user"`,
+    /// `"file-system"`, `"driver"` — Figure 2 of the paper).
+    layer: String,
+    profiles: BTreeMap<String, Profile>,
+    resolution: Resolution,
+}
+
+impl ProfileSet {
+    /// Creates an empty set for the given layer at default resolution.
+    pub fn new(layer: impl Into<String>) -> Self {
+        ProfileSet::with_resolution(layer, Resolution::R1)
+    }
+
+    /// Creates an empty set at resolution `r`.
+    pub fn with_resolution(layer: impl Into<String>, r: Resolution) -> Self {
+        ProfileSet { layer: layer.into(), profiles: BTreeMap::new(), resolution: r }
+    }
+
+    /// The layer label.
+    pub fn layer(&self) -> &str {
+        &self.layer
+    }
+
+    /// Resolution used for new profiles in this set.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Records a latency for `op`, creating its profile on first use.
+    pub fn record(&mut self, op: &str, latency: Cycles) {
+        self.entry(op).record(latency);
+    }
+
+    /// Returns the profile for `op`, creating it if absent.
+    pub fn entry(&mut self, op: &str) -> &mut Profile {
+        let r = self.resolution;
+        self.profiles.entry(op.to_string()).or_insert_with(|| Profile::with_resolution(op, r))
+    }
+
+    /// Returns the profile for `op`, if any.
+    pub fn get(&self, op: &str) -> Option<&Profile> {
+        self.profiles.get(op)
+    }
+
+    /// Iterates over `(operation, profile)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Profile)> {
+        self.profiles.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of operations with profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when no operation has been profiled.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Inserts (or replaces) a profile wholesale.
+    pub fn insert(&mut self, profile: Profile) {
+        self.profiles.insert(profile.name().to_string(), profile);
+    }
+
+    /// Removes the profile for `op`, returning it if present.
+    pub fn remove(&mut self, op: &str) -> Option<Profile> {
+        self.profiles.remove(op)
+    }
+
+    /// Sum of `total_latency` over all operations.
+    pub fn total_latency(&self) -> u128 {
+        self.profiles.values().map(Profile::total_latency).sum()
+    }
+
+    /// Sum of `total_ops` over all operations.
+    pub fn total_ops(&self) -> u64 {
+        self.profiles.values().map(Profile::total_ops).sum()
+    }
+
+    /// Merges another set collected at the same resolution into this one.
+    ///
+    /// # Errors
+    ///
+    /// Fails on resolution mismatch of any operation profile.
+    pub fn merge(&mut self, other: &ProfileSet) -> Result<(), CoreError> {
+        for (op, prof) in other.iter() {
+            match self.profiles.get_mut(op) {
+                Some(mine) => mine.merge(prof)?,
+                None => {
+                    self.profiles.insert(op.to_string(), prof.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the checksums of every contained profile.
+    pub fn verify_checksums(&self) -> Result<(), CoreError> {
+        for p in self.profiles.values() {
+            p.verify_checksum()?;
+        }
+        Ok(())
+    }
+
+    /// Operations sorted by total latency, largest first.
+    ///
+    /// This is step (1) of the automated analysis (§3.2): "sorts
+    /// individual profiles of a complete profile according to their total
+    /// latencies".
+    pub fn by_total_latency(&self) -> Vec<&Profile> {
+        let mut v: Vec<&Profile> = self.profiles.values().collect();
+        v.sort_by(|a, b| b.total_latency().cmp(&a.total_latency()).then_with(|| a.name().cmp(b.name())));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_places_latencies_in_buckets() {
+        let mut p = Profile::new("read");
+        p.record(1); // bucket 0
+        p.record(2); // bucket 1
+        p.record(3); // bucket 1
+        p.record(1 << 20); // bucket 20
+        assert_eq!(p.count_in(0), 1);
+        assert_eq!(p.count_in(1), 2);
+        assert_eq!(p.count_in(20), 1);
+        assert_eq!(p.total_ops(), 4);
+        assert_eq!(p.total_latency(), 1 + 2 + 3 + (1 << 20));
+        assert_eq!(p.min_latency(), Some(1));
+        assert_eq!(p.max_latency(), Some(1 << 20));
+        p.verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn record_n_is_equivalent_to_repeated_record() {
+        let mut a = Profile::new("x");
+        let mut b = Profile::new("x");
+        for _ in 0..7 {
+            a.record(1000);
+        }
+        b.record_n(1000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Profile::new("op");
+        let mut b = Profile::new("op");
+        a.record(10);
+        b.record(10_000);
+        a.merge(&b).unwrap();
+        assert_eq!(a.total_ops(), 2);
+        assert_eq!(a.count_in(3), 1);
+        assert_eq!(a.count_in(13), 1);
+        assert_eq!(a.min_latency(), Some(10));
+        assert_eq!(a.max_latency(), Some(10_000));
+    }
+
+    #[test]
+    fn merge_rejects_resolution_mismatch() {
+        let mut a = Profile::new("op");
+        let b = Profile::with_resolution("op", Resolution::R2);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn estimated_mean_tracks_true_mean() {
+        let mut p = Profile::new("op");
+        for l in [100u64, 120, 90, 105] {
+            p.record(l);
+        }
+        let est = p.estimated_mean_latency().unwrap();
+        let truth = p.mean_latency().unwrap();
+        // Bucket quantization bounds the estimate within a factor of 2.
+        assert!(est / truth < 2.0 && truth / est < 2.0, "est={est} truth={truth}");
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut p = Profile::new("op");
+        for i in 1..100u64 {
+            p.record(i * 37);
+        }
+        let n = p.normalized();
+        let sum: f64 = n.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_set_sorts_by_total_latency() {
+        let mut set = ProfileSet::new("user");
+        set.record("cheap", 100);
+        set.record("dear", 1 << 30);
+        set.record("mid", 1 << 15);
+        let order: Vec<&str> = set.by_total_latency().iter().map(|p| p.name()).collect();
+        assert_eq!(order, ["dear", "mid", "cheap"]);
+        assert_eq!(set.total_ops(), 3);
+    }
+
+    #[test]
+    fn profile_set_merge_unions_operations() {
+        let mut a = ProfileSet::new("fs");
+        a.record("read", 64);
+        let mut b = ProfileSet::new("fs");
+        b.record("read", 64);
+        b.record("write", 128);
+        a.merge(&b).unwrap();
+        assert_eq!(a.get("read").unwrap().total_ops(), 2);
+        assert_eq!(a.get("write").unwrap().total_ops(), 1);
+        a.verify_checksums().unwrap();
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut p = Profile::new("op");
+        p.record(42);
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.count_in(5), 0);
+        assert_eq!(p.min_latency(), None);
+    }
+}

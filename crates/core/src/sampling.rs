@@ -1,0 +1,171 @@
+//! Profile sampling: time-segmented ("3-D") profiles.
+//!
+//! "OSprof is capable of taking successive snapshots by using new sets of
+//! buckets to capture latency at predefined time intervals. ... This type
+//! of three-dimensional profiling is useful when observing periodic
+//! interactions" (§3.1). Figure 9 of the paper shows Reiserfs
+//! `write_super` and `read` profiles sampled at 2.5-second intervals,
+//! exposing the 5-second `bdflush` metadata flush cycle.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bucket::Resolution;
+use crate::clock::Cycles;
+use crate::profile::ProfileSet;
+
+/// A sequence of [`ProfileSet`] segments, one per fixed time interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampledProfile {
+    layer: String,
+    resolution: Resolution,
+    /// Segment length in cycles.
+    interval: Cycles,
+    /// Time origin (cycle count of segment 0's start).
+    origin: Cycles,
+    /// One profile set per elapsed interval; index `i` covers
+    /// `[origin + i*interval, origin + (i+1)*interval)`.
+    segments: Vec<ProfileSet>,
+}
+
+impl SampledProfile {
+    /// Creates an empty sampled profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(layer: impl Into<String>, interval: Cycles, origin: Cycles) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        SampledProfile {
+            layer: layer.into(),
+            resolution: Resolution::R1,
+            interval,
+            origin,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Segment length in cycles.
+    pub fn interval(&self) -> Cycles {
+        self.interval
+    }
+
+    /// The layer label.
+    pub fn layer(&self) -> &str {
+        &self.layer
+    }
+
+    /// Records an operation completion at absolute time `now`.
+    ///
+    /// The operation is attributed to the segment containing `now`;
+    /// completions before the origin are clamped into segment 0 (this can
+    /// happen with skewed multi-CPU clocks, §3.4).
+    pub fn record(&mut self, op: &str, latency: Cycles, now: Cycles) {
+        let idx = (now.saturating_sub(self.origin) / self.interval) as usize;
+        while self.segments.len() <= idx {
+            let n = self.segments.len();
+            let mut set = ProfileSet::with_resolution(format!("{}[{}]", self.layer, n), self.resolution);
+            // Preserve layer association for mergers.
+            let _ = &mut set;
+            self.segments.push(set);
+        }
+        self.segments[idx].record(op, latency);
+    }
+
+    /// The collected segments in time order.
+    pub fn segments(&self) -> &[ProfileSet] {
+        &self.segments
+    }
+
+    /// Start time (cycles) of segment `i`.
+    pub fn segment_start(&self, i: usize) -> Cycles {
+        self.origin + self.interval * i as u64
+    }
+
+    /// Collapses all segments into a single flat profile set.
+    ///
+    /// The flat view must equal what a non-sampling profiler would have
+    /// collected; tests rely on this invariant.
+    pub fn flatten(&self) -> ProfileSet {
+        let mut out = ProfileSet::with_resolution(self.layer.clone(), self.resolution);
+        for seg in &self.segments {
+            out.merge(seg).expect("segments share one resolution by construction");
+        }
+        out
+    }
+
+    /// Extracts the time series of one operation: for each segment, the
+    /// bucket counts of `op` (empty vector when the op is absent).
+    ///
+    /// This is the data behind each horizontal stripe of Figure 9.
+    pub fn series(&self, op: &str) -> Vec<Vec<u64>> {
+        self.segments
+            .iter()
+            .map(|seg| seg.get(op).map(|p| p.buckets().to_vec()).unwrap_or_default())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_go_to_correct_segment() {
+        let mut s = SampledProfile::new("fs", 1_000, 0);
+        s.record("read", 64, 10); // segment 0
+        s.record("read", 64, 999); // segment 0
+        s.record("read", 64, 1_000); // segment 1
+        s.record("read", 64, 5_500); // segment 5
+        assert_eq!(s.segments().len(), 6);
+        assert_eq!(s.segments()[0].get("read").unwrap().total_ops(), 2);
+        assert_eq!(s.segments()[1].get("read").unwrap().total_ops(), 1);
+        assert!(s.segments()[2].get("read").is_none());
+        assert_eq!(s.segments()[5].get("read").unwrap().total_ops(), 1);
+    }
+
+    #[test]
+    fn flatten_equals_unsampled_collection() {
+        let mut s = SampledProfile::new("fs", 500, 0);
+        let mut reference = ProfileSet::new("fs");
+        for i in 0..100u64 {
+            let latency = (i % 13 + 1) * 50;
+            s.record("write", latency, i * 37);
+            reference.record("write", latency);
+        }
+        let flat = s.flatten();
+        assert_eq!(flat.get("write").unwrap().buckets(), reference.get("write").unwrap().buckets());
+        assert_eq!(flat.total_ops(), reference.total_ops());
+    }
+
+    #[test]
+    fn pre_origin_records_clamp_to_first_segment() {
+        let mut s = SampledProfile::new("fs", 100, 1_000);
+        s.record("read", 8, 500); // before the origin
+        assert_eq!(s.segments().len(), 1);
+        assert_eq!(s.segments()[0].get("read").unwrap().total_ops(), 1);
+    }
+
+    #[test]
+    fn series_reports_per_segment_buckets() {
+        let mut s = SampledProfile::new("fs", 100, 0);
+        s.record("read", 1 << 10, 0);
+        s.record("read", 1 << 20, 150);
+        let series = s.series("read");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0][10], 1);
+        assert_eq!(series[1][20], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = SampledProfile::new("fs", 0, 0);
+    }
+
+    #[test]
+    fn segment_start_times() {
+        let s = SampledProfile::new("fs", 250, 1_000);
+        assert_eq!(s.segment_start(0), 1_000);
+        assert_eq!(s.segment_start(4), 2_000);
+    }
+}

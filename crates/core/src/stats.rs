@@ -1,0 +1,174 @@
+//! The runtime recording facade — the paper's `aggregate_stats` C API.
+//!
+//! The original library "provides routines to allocate and free statistics
+//! buffers, store request start times in context variables, calculate
+//! request latencies, and store them in the appropriate bucket" (§4), and
+//! is wrapped by `FSPROF_PRE(op)` / `FSPROF_POST(op)` macros inserted at
+//! every operation's entry and return points. [`Profiler::begin`] /
+//! [`Profiler::end`] are those macros; [`Profiler::probe`] is a guard-based
+//! convenience for straight-line Rust code.
+
+use crate::clock::{Clock, Cycles};
+use crate::profile::ProfileSet;
+use crate::bucket::Resolution;
+
+/// A single-layer latency profiler bound to a clock.
+///
+/// One `Profiler` corresponds to one instrumentation layer of Figure 2
+/// (user, file-system, or driver level). It owns a [`ProfileSet`] and
+/// timestamps requests with the supplied [`Clock`].
+#[derive(Debug)]
+pub struct Profiler<'c, C: Clock + ?Sized> {
+    clock: &'c C,
+    set: ProfileSet,
+}
+
+impl<'c, C: Clock + ?Sized> Profiler<'c, C> {
+    /// Creates a profiler for the given layer at default resolution.
+    pub fn new(layer: impl Into<String>, clock: &'c C) -> Self {
+        Profiler { clock, set: ProfileSet::new(layer) }
+    }
+
+    /// Creates a profiler at resolution `r`.
+    pub fn with_resolution(layer: impl Into<String>, clock: &'c C, r: Resolution) -> Self {
+        Profiler { clock, set: ProfileSet::with_resolution(layer, r) }
+    }
+
+    /// `FSPROF_PRE`: reads the clock at request entry.
+    ///
+    /// The operation name is accepted (and ignored) for symmetry with the
+    /// paper's macro pair; the start time is returned as the "context
+    /// variable" the caller passes back to [`Profiler::end`].
+    #[inline]
+    pub fn begin(&mut self, _op: &str) -> Cycles {
+        self.clock.now()
+    }
+
+    /// `FSPROF_POST`: computes the latency since `start` and records it.
+    #[inline]
+    pub fn end(&mut self, op: &str, start: Cycles) {
+        let now = self.clock.now();
+        self.set.record(op, now.saturating_sub(start));
+    }
+
+    /// Records an externally measured latency directly.
+    #[inline]
+    pub fn record(&mut self, op: &str, latency: Cycles) {
+        self.set.record(op, latency);
+    }
+
+    /// Measures a closure and records its latency under `op`.
+    pub fn measure<T>(&mut self, op: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = self.clock.now();
+        let out = f();
+        let dt = self.clock.now().saturating_sub(t0);
+        self.set.record(op, dt);
+        out
+    }
+
+    /// Starts a guard-based probe; the latency is recorded when the
+    /// returned [`Probe`] is dropped.
+    pub fn probe<'p>(&'p mut self, op: &'p str) -> Probe<'p, 'c, C> {
+        let start = self.clock.now();
+        Probe { profiler: self, op, start }
+    }
+
+    /// The collected profiles.
+    pub fn profiles(&self) -> &ProfileSet {
+        &self.set
+    }
+
+    /// Consumes the profiler and returns its profiles.
+    pub fn into_profiles(self) -> ProfileSet {
+        self.set
+    }
+
+    /// Takes the current profiles, leaving an empty set (used by sampling
+    /// collectors that snapshot at intervals).
+    pub fn take_profiles(&mut self) -> ProfileSet {
+        let layer = self.set.layer().to_string();
+        let r = self.set.resolution();
+        std::mem::replace(&mut self.set, ProfileSet::with_resolution(layer, r))
+    }
+
+    /// The clock this profiler timestamps with.
+    pub fn clock(&self) -> &'c C {
+        self.clock
+    }
+}
+
+/// A scope guard recording one operation's latency on drop.
+#[derive(Debug)]
+pub struct Probe<'p, 'c, C: Clock + ?Sized> {
+    profiler: &'p mut Profiler<'c, C>,
+    op: &'p str,
+    start: Cycles,
+}
+
+impl<C: Clock + ?Sized> Drop for Probe<'_, '_, C> {
+    fn drop(&mut self) {
+        let now = self.profiler.clock.now();
+        self.profiler.set.record(self.op, now.saturating_sub(self.start));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn begin_end_records_latency() {
+        let clock = ManualClock::new();
+        let mut prof = Profiler::new("user", &clock);
+        let t0 = prof.begin("read");
+        clock.advance(300);
+        prof.end("read", t0);
+        let p = prof.profiles().get("read").unwrap();
+        assert_eq!(p.total_ops(), 1);
+        assert_eq!(p.count_in(8), 1); // 300 is in [256, 512)
+    }
+
+    #[test]
+    fn probe_guard_records_on_drop() {
+        let clock = ManualClock::new();
+        let mut prof = Profiler::new("user", &clock);
+        {
+            let _probe = prof.probe("unlink");
+            clock.advance(1 << 14);
+        }
+        assert_eq!(prof.profiles().get("unlink").unwrap().count_in(14), 1);
+    }
+
+    #[test]
+    fn measure_wraps_closure() {
+        let clock = ManualClock::new();
+        let mut prof = Profiler::new("user", &clock);
+        let out = prof.measure("op", || {
+            clock.advance(77);
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(prof.profiles().get("op").unwrap().count_in(6), 1);
+    }
+
+    #[test]
+    fn take_profiles_leaves_empty_set() {
+        let clock = ManualClock::new();
+        let mut prof = Profiler::new("fs", &clock);
+        prof.record("read", 100);
+        let taken = prof.take_profiles();
+        assert_eq!(taken.total_ops(), 1);
+        assert_eq!(taken.layer(), "fs");
+        assert!(prof.profiles().is_empty());
+        assert_eq!(prof.profiles().layer(), "fs");
+    }
+
+    #[test]
+    fn resolution_is_propagated() {
+        let clock = ManualClock::new();
+        let mut prof = Profiler::with_resolution("fs", &clock, Resolution::R2);
+        prof.record("read", 1024);
+        assert_eq!(prof.profiles().get("read").unwrap().count_in(20), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the core invariants.
+
+use osprof_core::bucket::{bucket_lower_bound, bucket_of, bucket_range, Resolution};
+use osprof_core::profile::{Profile, ProfileSet};
+use osprof_core::sampling::SampledProfile;
+use osprof_core::serialize::{from_json, from_text, to_json, to_text};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucketing is monotone: larger latency never lands in a smaller bucket.
+    #[test]
+    fn bucket_of_is_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX, r in 1u8..=4) {
+        let r = Resolution::new(r).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_of(lo, r) <= bucket_of(hi, r));
+    }
+
+    /// Every latency falls inside the range its bucket claims to cover.
+    #[test]
+    fn bucket_contains_its_latency(latency in 2u64.., r in 1u8..=4) {
+        let r = Resolution::new(r).unwrap();
+        let b = bucket_of(latency, r);
+        let (lo, hi) = bucket_range(b, r);
+        prop_assert!(latency >= lo, "latency {latency} below bucket {b} lower bound {lo}");
+        prop_assert!(latency < hi || hi == u64::MAX, "latency {latency} above bucket {b} upper bound {hi}");
+    }
+
+    /// Bucket lower bounds are strictly increasing within range.
+    #[test]
+    fn bucket_bounds_increase(b in 0usize..250, r in 1u8..=4) {
+        let r = Resolution::new(r).unwrap();
+        prop_assume!(b + 1 < r.bucket_count());
+        prop_assert!(bucket_lower_bound(b, r) <= bucket_lower_bound(b + 1, r));
+    }
+
+    /// The checksum invariant holds under any update sequence.
+    #[test]
+    fn checksum_always_consistent(latencies in prop::collection::vec(0u64.., 0..200)) {
+        let mut p = Profile::new("op");
+        for &l in &latencies {
+            p.record(l);
+        }
+        prop_assert!(p.verify_checksum().is_ok());
+        prop_assert_eq!(p.total_ops(), latencies.len() as u64);
+    }
+
+    /// Merging is order-insensitive on bucket counts (commutative monoid).
+    #[test]
+    fn merge_commutes(xs in prop::collection::vec(1u64..1_000_000, 0..100),
+                      ys in prop::collection::vec(1u64..1_000_000, 0..100)) {
+        let mut a = Profile::new("op");
+        let mut b = Profile::new("op");
+        for &l in &xs { a.record(l); }
+        for &l in &ys { b.record(l); }
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        prop_assert_eq!(ab.buckets(), ba.buckets());
+        prop_assert_eq!(ab.total_ops(), ba.total_ops());
+        prop_assert_eq!(ab.total_latency(), ba.total_latency());
+    }
+
+    /// Text serialization round-trips bucket contents for arbitrary sets.
+    #[test]
+    fn text_round_trip(latencies in prop::collection::vec((0u8..4, 1u64..u64::MAX), 0..100)) {
+        let mut set = ProfileSet::new("layer");
+        let ops = ["read", "write", "llseek", "readdir"];
+        for &(op, l) in &latencies {
+            set.record(ops[op as usize], l);
+        }
+        let parsed = from_text(&to_text(&set)).unwrap();
+        for (op, p) in set.iter() {
+            let q = parsed.get(op).unwrap();
+            prop_assert_eq!(p.buckets(), q.buckets());
+        }
+    }
+
+    /// JSON serialization round-trips exactly.
+    #[test]
+    fn json_round_trip(latencies in prop::collection::vec(1u64..u64::MAX, 0..100)) {
+        let mut set = ProfileSet::new("layer");
+        for &l in &latencies {
+            set.record("op", l);
+        }
+        prop_assert_eq!(from_json(&to_json(&set)).unwrap(), set);
+    }
+
+    /// Sampled profiles flatten to exactly the unsampled collection.
+    #[test]
+    fn sampling_flatten_is_lossless(
+        events in prop::collection::vec((1u64..1_000_000_000, 1u64..1_000_000), 0..200),
+        interval in 1u64..10_000_000,
+    ) {
+        let mut sampled = SampledProfile::new("fs", interval, 0);
+        let mut flat = ProfileSet::new("fs");
+        for &(now, latency) in &events {
+            sampled.record("op", latency, now);
+            flat.record("op", latency);
+        }
+        let merged = sampled.flatten();
+        match (merged.get("op"), flat.get("op")) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.buckets(), b.buckets());
+                prop_assert_eq!(a.total_ops(), b.total_ops());
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "one side missing 'op'"),
+        }
+    }
+
+    /// `estimated_mean_latency` is within a factor of two of the true
+    /// mean (bucket quantization bound at r = 1).
+    #[test]
+    fn estimated_mean_within_quantization_bound(latencies in prop::collection::vec(2u64..1_000_000_000, 1..100)) {
+        let mut p = Profile::new("op");
+        for &l in &latencies { p.record(l); }
+        let est = p.estimated_mean_latency().unwrap();
+        let truth = p.mean_latency().unwrap();
+        prop_assert!(est <= truth * 2.0 + 1.0, "est {est} truth {truth}");
+        prop_assert!(est >= truth / 2.0 - 1.0, "est {est} truth {truth}");
+    }
+}

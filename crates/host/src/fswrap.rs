@@ -1,0 +1,190 @@
+//! Probed `std::fs` wrappers: the instrumented-syscall macros, as a type.
+//!
+//! Each wrapper reads the TSC, performs the real operation, reads the
+//! TSC again and stores the latency in the operation's bucket — exactly
+//! the paper's `PRE`/`POST` macro expansion around system calls.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use osprof_core::clock::Clock;
+use osprof_core::profile::ProfileSet;
+
+use crate::tsc::TscClock;
+
+/// A user-level profiler wrapping real file-system calls.
+#[derive(Debug)]
+pub struct ProfiledFs {
+    clock: TscClock,
+    profiles: ProfileSet,
+}
+
+impl Default for ProfiledFs {
+    fn default() -> Self {
+        ProfiledFs::new()
+    }
+}
+
+impl ProfiledFs {
+    /// Creates a profiler with an empty profile set.
+    pub fn new() -> Self {
+        ProfiledFs { clock: TscClock::new(), profiles: ProfileSet::new("user") }
+    }
+
+    /// The collected profiles.
+    pub fn profiles(&self) -> &ProfileSet {
+        &self.profiles
+    }
+
+    /// Consumes the profiler, returning the profiles.
+    pub fn into_profiles(self) -> ProfileSet {
+        self.profiles
+    }
+
+    fn measure<T>(&mut self, op: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = self.clock.now();
+        let out = f();
+        let dt = self.clock.now().saturating_sub(t0);
+        self.profiles.record(op, dt);
+        out
+    }
+
+    /// Probed `File::open`.
+    pub fn open(&mut self, path: impl AsRef<Path>) -> std::io::Result<File> {
+        self.measure("open", || File::open(path))
+    }
+
+    /// Probed `File::create`.
+    pub fn create(&mut self, path: impl AsRef<Path>) -> std::io::Result<File> {
+        self.measure("create", || File::create(path))
+    }
+
+    /// Probed read into `buf`.
+    pub fn read(&mut self, file: &mut File, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.measure("read", || file.read(buf))
+    }
+
+    /// Probed write of `buf`.
+    pub fn write(&mut self, file: &mut File, buf: &[u8]) -> std::io::Result<usize> {
+        self.measure("write", || file.write(buf))
+    }
+
+    /// Probed `seek` (the llseek of §6.1).
+    pub fn llseek(&mut self, file: &mut File, pos: SeekFrom) -> std::io::Result<u64> {
+        self.measure("llseek", || file.seek(pos))
+    }
+
+    /// Probed `fs::metadata` (stat).
+    pub fn stat(&mut self, path: impl AsRef<Path>) -> std::io::Result<std::fs::Metadata> {
+        self.measure("stat", || std::fs::metadata(path))
+    }
+
+    /// Probed `read_dir` full iteration (readdir loop until past-EOF).
+    pub fn readdir(&mut self, path: impl AsRef<Path>) -> std::io::Result<usize> {
+        let iter = self.measure("opendir", || std::fs::read_dir(path))?;
+        let mut n = 0;
+        let mut iter = iter;
+        loop {
+            let next = self.measure("readdir", || iter.next());
+            match next {
+                Some(Ok(_)) => n += 1,
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
+        }
+        Ok(n)
+    }
+
+    /// Probed `unlink`.
+    pub fn unlink(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.measure("unlink", || std::fs::remove_file(path))
+    }
+
+    /// Probed `fsync`.
+    pub fn fsync(&mut self, file: &File) -> std::io::Result<()> {
+        self.measure("fsync", || file.sync_all())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("osprof-host-{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("create temp dir");
+        d
+    }
+
+    #[test]
+    fn real_write_read_cycle_is_profiled() {
+        let dir = tmpdir();
+        let path = dir.join("probe.dat");
+        let mut fs = ProfiledFs::new();
+
+        let mut f = fs.create(&path).unwrap();
+        let data = vec![7u8; 64 * 1024];
+        for _ in 0..16 {
+            fs.write(&mut f, &data).unwrap();
+        }
+        fs.fsync(&f).unwrap();
+        drop(f);
+
+        let mut f = fs.open(&path).unwrap();
+        let mut buf = vec![0u8; 4096];
+        let mut reads = 0;
+        loop {
+            let n = fs.read(&mut f, &mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            reads += 1;
+        }
+        fs.llseek(&mut f, SeekFrom::Start(0)).unwrap();
+        fs.unlink(&path).unwrap();
+
+        let p = fs.profiles();
+        assert_eq!(p.get("write").unwrap().total_ops(), 16);
+        assert_eq!(p.get("read").unwrap().total_ops(), reads + 1); // + EOF read
+        assert_eq!(p.get("llseek").unwrap().total_ops(), 1);
+        p.verify_checksums().unwrap();
+        // Latencies are real: nothing can be faster than the probe window.
+        assert!(p.get("read").unwrap().min_latency().unwrap() > 0);
+    }
+
+    #[test]
+    fn readdir_profile_counts_entries_plus_eof() {
+        let dir = tmpdir().join("d1");
+        std::fs::create_dir_all(&dir).unwrap();
+        for i in 0..10 {
+            std::fs::write(dir.join(format!("f{i}")), b"x").unwrap();
+        }
+        let mut fs = ProfiledFs::new();
+        let n = fs.readdir(&dir).unwrap();
+        assert_eq!(n, 10);
+        // 10 entry reads + 1 past-EOF call.
+        assert_eq!(fs.profiles().get("readdir").unwrap().total_ops(), 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_byte_reads_are_the_fast_path() {
+        let dir = tmpdir();
+        let path = dir.join("zero.dat");
+        std::fs::write(&path, b"hello").unwrap();
+        let mut fs = ProfiledFs::new();
+        let mut f = fs.open(&path).unwrap();
+        let mut empty: [u8; 0] = [];
+        for _ in 0..1_000 {
+            fs.read(&mut f, &mut empty).unwrap();
+        }
+        let p = fs.profiles().get("read").unwrap().clone();
+        assert_eq!(p.total_ops(), 1_000);
+        // Real zero-byte reads stay in the CPU-only region: well under
+        // the disk-latency buckets even on slow machines.
+        let slow: u64 = (24..=40).map(|b| p.count_in(b)).sum();
+        assert!(slow < 5, "zero-read buckets: {:?}", p.buckets());
+        fs.unlink(&path).unwrap();
+    }
+}

@@ -1,0 +1,23 @@
+//! # osprof-host — the real user-level profiler
+//!
+//! The paper's POSIX user-level profilers "directly instrumented the
+//! source code of several programs ... in such a way that system calls
+//! are replaced with macros that call our library functions to retrieve
+//! the value of the CPU timer, execute the system call, and then
+//! calculate the latency and store it in the appropriate bucket" (§4).
+//!
+//! This crate does the same for this machine, for real: [`TscClock`]
+//! reads the CPU cycle counter (`rdtsc` on x86-64, a calibrated
+//! monotonic-clock fallback elsewhere), and [`ProfiledFs`] wraps
+//! `std::fs` operations with begin/end probes recording into an
+//! [`osprof_core::ProfileSet`]. Running the wrappers against a real file
+//! system produces genuine multi-modal OSprof profiles (page-cache hits
+//! vs. media reads) on the host OS.
+
+#![warn(missing_docs)]
+
+pub mod fswrap;
+pub mod tsc;
+
+pub use fswrap::ProfiledFs;
+pub use tsc::TscClock;

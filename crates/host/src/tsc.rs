@@ -1,0 +1,112 @@
+//! The real CPU cycle counter.
+//!
+//! "We use the CPU cycle counter (TSC on x86) to measure time because it
+//! has a resolution of tens of nanoseconds, and querying it uses a single
+//! instruction. The TSC register is 64 bit wide and can count for a
+//! century without overflowing" (§4).
+
+use osprof_core::clock::{Clock, Cycles};
+
+/// A [`Clock`] backed by the hardware cycle counter.
+///
+/// On x86-64 this is a raw `rdtsc`; on other architectures it falls back
+/// to `std::time::Instant` scaled by a calibrated frequency, preserving
+/// the cycles-based bucket semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TscClock;
+
+impl TscClock {
+    /// Creates the clock.
+    pub fn new() -> Self {
+        TscClock
+    }
+
+    /// Reads the cycle counter.
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    pub fn read(&self) -> Cycles {
+        // SAFETY: `_rdtsc` has no preconditions; it reads the time-stamp
+        // counter and is available on every x86-64 CPU.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    /// Reads the cycle counter (monotonic-clock fallback).
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline]
+    pub fn read(&self) -> Cycles {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static ORIGIN: OnceLock<Instant> = OnceLock::new();
+        let origin = ORIGIN.get_or_init(Instant::now);
+        // Scale nanoseconds to "cycles" at the nominal frequency so
+        // bucket labels stay meaningful.
+        let ns = origin.elapsed().as_nanos() as f64;
+        (ns * osprof_core::clock::NOMINAL_HZ / 1e9) as Cycles
+    }
+}
+
+impl Clock for TscClock {
+    fn now(&self) -> Cycles {
+        self.read()
+    }
+}
+
+/// Estimates this machine's TSC frequency in Hz by sampling the counter
+/// across a short busy interval measured with the monotonic clock.
+pub fn calibrate_hz(sample: std::time::Duration) -> f64 {
+    let clock = TscClock::new();
+    let t0 = std::time::Instant::now();
+    let c0 = clock.read();
+    while t0.elapsed() < sample {
+        std::hint::spin_loop();
+    }
+    let c1 = clock.read();
+    let dt = t0.elapsed().as_secs_f64();
+    (c1.saturating_sub(c0)) as f64 / dt
+}
+
+/// Measures the probe window of this machine: the cycles between two
+/// back-to-back TSC reads (the §5.2 "40 cycles" that bound the smallest
+/// recordable latency). Returns the minimum over `iters` samples.
+pub fn probe_window(iters: u32) -> Cycles {
+    let clock = TscClock::new();
+    let mut min = Cycles::MAX;
+    for _ in 0..iters {
+        let a = clock.read();
+        let b = clock.read();
+        min = min.min(b.saturating_sub(a));
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsc_is_monotone_nondecreasing() {
+        let c = TscClock::new();
+        let mut prev = c.read();
+        for _ in 0..10_000 {
+            let now = c.read();
+            assert!(now >= prev, "TSC went backwards: {now} < {prev}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn probe_window_is_small_and_positive() {
+        let w = probe_window(10_000);
+        // The paper's machine: ~40 cycles. Anything below a few hundred
+        // on modern hardware is plausible; zero would mean a broken
+        // counter.
+        assert!(w < 10_000, "probe window suspiciously large: {w}");
+    }
+
+    #[test]
+    fn calibration_is_plausible() {
+        let hz = calibrate_hz(std::time::Duration::from_millis(20));
+        // Between 200 MHz and 10 GHz covers every real machine.
+        assert!((2e8..1e10).contains(&hz), "calibrated {hz} Hz");
+    }
+}

@@ -1,0 +1,59 @@
+//! `osprofctl` — post-process serialized OSprof profiles.
+//!
+//! ```text
+//! osprofctl render  <file>            ASCII figures + consistency check
+//! osprofctl peaks   <file>            peak table with hypotheses
+//! osprofctl diff    <a> <b>           automated selection between sets
+//! osprofctl gnuplot <file> <outdir>   one .gp script per operation
+//! osprofctl cluster <file>...         aggregate nodes, rank divergence
+//! ```
+//!
+//! Files are the text or JSON formats produced by
+//! `osprof_core::serialize` (e.g. what the examples print, or what a
+//! layer's `ProfileSet` serializes to).
+
+use osprof::tool;
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn run() -> Result<(), tool::ToolError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("render") if args.len() == 2 => print!("{}", tool::render(&read(&args[1]))?),
+        Some("peaks") if args.len() == 2 => print!("{}", tool::peaks(&read(&args[1]))?),
+        Some("diff") if args.len() == 3 => print!("{}", tool::diff(&read(&args[1]), &read(&args[2]))?),
+        Some("gnuplot") if args.len() == 3 => {
+            std::fs::create_dir_all(&args[2])?;
+            for (name, script) in tool::gnuplot(&read(&args[1]))? {
+                let path = std::path::Path::new(&args[2]).join(&name);
+                std::fs::write(&path, script)?;
+                println!("wrote {}", path.display());
+            }
+        }
+        Some("cluster") if args.len() >= 2 => {
+            let nodes: Vec<(String, String)> =
+                args[1..].iter().map(|p| (p.clone(), read(p))).collect();
+            print!("{}", tool::cluster_report(&nodes)?);
+        }
+        _ => {
+            eprintln!(
+                "usage: osprofctl render <file> | peaks <file> | diff <a> <b> | \
+                 gnuplot <file> <outdir> | cluster <file>..."
+            );
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("osprofctl: {e}");
+        std::process::exit(1);
+    }
+}

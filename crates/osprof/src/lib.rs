@@ -1,0 +1,68 @@
+//! # OSprof — operating system profiling via latency analysis
+//!
+//! A from-scratch Rust reproduction of *"Operating System Profiling via
+//! Latency Analysis"* (Joukov, Traeger, Iyer, Wright, Zadok — OSDI 2006).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `osprof-core` | log₂-bucket latency profiles, clocks, sampling, correlation |
+//! | [`analysis`] | `osprof-analysis` | peaks, EMD & friends, automated selection, Eq. 3 |
+//! | [`viz`] | `osprof-viz` | ASCII figures, gnuplot scripts, timeline maps |
+//! | [`simkernel`] | `osprof-simkernel` | the discrete-event kernel (scheduler, locks, interrupts) |
+//! | [`simdisk`] | `osprof-simdisk` | seek/rotation disk model with readahead cache |
+//! | [`simfs`] | `osprof-simfs` | VFS, page cache, ext2/reiserfs-like FSs, bdflush |
+//! | [`simnet`] | `osprof-simnet` | CIFS/SMB over TCP with delayed ACKs |
+//! | [`workloads`] | `osprof-workloads` | grep, random-read, Postmark, zero-read, clone storm |
+//! | [`host`] | `osprof-host` | real rdtsc profiling of this machine |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use osprof::prelude::*;
+//!
+//! // Simulate the Figure 1 experiment: 4 processes calling clone on a
+//! // dual-CPU machine, profiled from user level.
+//! let mut kernel = Kernel::new(KernelConfig::smp(2));
+//! let user = kernel.add_layer("user");
+//! osprof::workloads::clone_storm::spawn(&mut kernel, user, 4, 500, 10_000);
+//! kernel.run();
+//!
+//! let profiles = kernel.layer_profiles(user);
+//! let clone = profiles.get("clone").unwrap();
+//! let peaks = find_peaks(clone, &PeakConfig::default());
+//! assert!(peaks.len() >= 2, "contention creates a second peak");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tool;
+
+pub use osprof_analysis as analysis;
+pub use osprof_core as core;
+pub use osprof_host as host;
+pub use osprof_simdisk as simdisk;
+pub use osprof_simfs as simfs;
+pub use osprof_simkernel as simkernel;
+pub use osprof_simnet as simnet;
+pub use osprof_viz as viz;
+pub use osprof_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use osprof_analysis::accuracy::evaluate;
+    pub use osprof_analysis::compare::Metric;
+    pub use osprof_analysis::peaks::{find_peaks, PeakConfig};
+    pub use osprof_analysis::select::{select_interesting, SelectionConfig};
+    pub use osprof_core::clock::{Clock, Cycles, ManualClock};
+    pub use osprof_core::profile::{Profile, ProfileSet};
+    pub use osprof_core::stats::Profiler;
+    pub use osprof_simdisk::{DiskConfig, DiskDevice};
+    pub use osprof_simfs::{FsImage, Mount, MountOpts};
+    pub use osprof_simkernel::config::KernelConfig;
+    pub use osprof_simkernel::kernel::Kernel;
+    pub use osprof_simkernel::op::{KernelOp, OpCtx, Step};
+    pub use osprof_viz::{ascii_overlay, ascii_profile, timeline_map};
+}

@@ -1,0 +1,235 @@
+//! The post-processing tool behind the `osprofctl` binary.
+//!
+//! The paper's §4: "we wrote several scripts to generate formatted text
+//! views and Gnuplot scripts ... In addition, these scripts check the
+//! profiles for consistency." `osprofctl` is those scripts as one
+//! program operating on serialized profile sets (the text or JSON
+//! formats of `osprof-core::serialize`):
+//!
+//! - `render <file>` — consistency check + ASCII figures;
+//! - `peaks <file>` — peak table with prior-knowledge hypotheses;
+//! - `diff <a> <b>` — the three-phase automated selection between two
+//!   complete sets;
+//! - `gnuplot <file> <outdir>` — emit one gnuplot script per operation;
+//! - `cluster <file...>` — aggregate many node profiles and rank
+//!   divergence.
+//!
+//! All functions take/return strings so they are directly testable; the
+//! binary is a thin argument parser around them.
+
+use osprof_analysis::cluster;
+use osprof_analysis::compare::Metric;
+use osprof_analysis::knowledge::KnowledgeBase;
+use osprof_analysis::peaks::{find_peaks, PeakConfig};
+use osprof_analysis::select::{select_interesting, SelectionConfig};
+use osprof_core::profile::ProfileSet;
+use osprof_core::serialize;
+
+/// Errors from tool commands.
+#[derive(Debug)]
+pub enum ToolError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Profile parse/consistency failure.
+    Profile(osprof_core::error::CoreError),
+    /// Bad command usage.
+    Usage(String),
+}
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolError::Io(e) => write!(f, "i/o error: {e}"),
+            ToolError::Profile(e) => write!(f, "profile error: {e}"),
+            ToolError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+impl From<std::io::Error> for ToolError {
+    fn from(e: std::io::Error) -> Self {
+        ToolError::Io(e)
+    }
+}
+
+impl From<osprof_core::error::CoreError> for ToolError {
+    fn from(e: osprof_core::error::CoreError) -> Self {
+        ToolError::Profile(e)
+    }
+}
+
+/// Loads a profile set from text or JSON (sniffed by the first byte).
+pub fn load(content: &str) -> Result<ProfileSet, ToolError> {
+    let trimmed = content.trim_start();
+    let set = if trimmed.starts_with('{') {
+        serialize::from_json(content)?
+    } else {
+        serialize::from_text(content)?
+    };
+    set.verify_checksums()?;
+    Ok(set)
+}
+
+/// `render`: consistency line plus ASCII figures for every operation.
+pub fn render(content: &str) -> Result<String, ToolError> {
+    let set = load(content)?;
+    Ok(osprof_viz::ascii_profile_set(&set))
+}
+
+/// `peaks`: peak table annotated with characteristic-time hypotheses.
+pub fn peaks(content: &str) -> Result<String, ToolError> {
+    let set = load(content)?;
+    let kb = KnowledgeBase::paper_defaults();
+    let mut out = String::new();
+    for p in set.by_total_latency() {
+        if p.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("{} ({} ops):\n", p.name(), p.total_ops()));
+        for (peak, hyp) in kb.annotate(&find_peaks(p, &PeakConfig::default()), 1) {
+            out.push_str(&format!(
+                "  buckets {:>2}..{:<2} apex {:>2}: {:>8} ops, mean {:>8}{}\n",
+                peak.start,
+                peak.end,
+                peak.apex,
+                peak.ops,
+                osprof_core::clock::format_cycles(peak.mean_latency(p) as u64),
+                if hyp.is_empty() { String::new() } else { format!("  <- {}", hyp.join(", ")) }
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `diff`: the automated three-phase selection between two sets.
+pub fn diff(left: &str, right: &str) -> Result<String, ToolError> {
+    let a = load(left)?;
+    let b = load(right)?;
+    let sel = select_interesting(&a, &b, &SelectionConfig::default());
+    if sel.is_empty() {
+        return Ok("no interesting differences\n".into());
+    }
+    let mut out = String::new();
+    for s in &sel {
+        out.push_str(&format!("{}\n", s.reason()));
+    }
+    Ok(out)
+}
+
+/// `gnuplot`: one gnuplot script per non-empty operation; returns
+/// `(file name, script)` pairs.
+pub fn gnuplot(content: &str) -> Result<Vec<(String, String)>, ToolError> {
+    let set = load(content)?;
+    Ok(set
+        .iter()
+        .filter(|(_, p)| !p.is_empty())
+        .map(|(op, p)| {
+            let png = format!("{op}.png");
+            (format!("{op}.gp"), osprof_viz::gnuplot_script(p, &png))
+        })
+        .collect())
+}
+
+/// `cluster`: aggregates `(label, content)` node profiles and reports
+/// divergences.
+pub fn cluster_report(nodes: &[(String, String)]) -> Result<String, ToolError> {
+    let parsed: Result<Vec<(String, ProfileSet)>, ToolError> =
+        nodes.iter().map(|(n, c)| Ok((n.clone(), load(c)?))).collect();
+    let view = cluster::aggregate(&parsed?, Metric::Emd)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "cluster aggregate: {} operations, {} records\n\nnode divergence (EMD vs aggregate, worst first):\n",
+        view.aggregate.len(),
+        view.aggregate.total_ops()
+    ));
+    for d in &view.divergences {
+        out.push_str(&format!(
+            "  {:<16} worst op {:<12} distance {:>6.2} (mean {:.2})\n",
+            d.node, d.worst_op, d.distance, d.mean_distance
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprof_core::profile::Profile;
+
+    fn sample() -> String {
+        let mut set = ProfileSet::new("fs");
+        let mut p = Profile::new("read");
+        p.record_n(1 << 10, 1_000);
+        p.record_n(1 << 22, 40);
+        set.insert(p);
+        serialize::to_text(&set)
+    }
+
+    #[test]
+    fn load_sniffs_both_formats() {
+        let text = sample();
+        let set = load(&text).unwrap();
+        let json = serialize::to_json(&set);
+        assert_eq!(load(&json).unwrap(), set);
+    }
+
+    #[test]
+    fn render_includes_figures() {
+        let out = render(&sample()).unwrap();
+        assert!(out.contains("READ"));
+        assert!(out.contains("checksums OK"));
+    }
+
+    #[test]
+    fn peaks_annotates_rotation() {
+        let out = peaks(&sample()).unwrap();
+        assert!(out.contains("read (1040 ops)"), "{out}");
+        assert!(out.contains("rotation"), "bucket-22 peak should carry the rotation hypothesis:\n{out}");
+    }
+
+    #[test]
+    fn diff_reports_changes_and_silence() {
+        let a = sample();
+        assert_eq!(diff(&a, &a).unwrap(), "no interesting differences\n");
+        let mut set = load(&a).unwrap();
+        set.record("fsync", 1 << 24);
+        let b = serialize::to_text(&set);
+        let out = diff(&a, &b).unwrap();
+        assert!(out.contains("fsync"), "{out}");
+    }
+
+    #[test]
+    fn gnuplot_emits_one_script_per_op() {
+        let scripts = gnuplot(&sample()).unwrap();
+        assert_eq!(scripts.len(), 1);
+        assert_eq!(scripts[0].0, "read.gp");
+        assert!(scripts[0].1.contains("logscale"));
+    }
+
+    #[test]
+    fn cluster_report_ranks_nodes() {
+        let healthy = sample();
+        let mut sick_set = ProfileSet::new("fs");
+        let mut p = Profile::new("read");
+        p.record_n(1 << 27, 1_040);
+        sick_set.insert(p);
+        let sick = serialize::to_text(&sick_set);
+        let out = cluster_report(&[
+            ("node-a".into(), healthy.clone()),
+            ("node-b".into(), healthy),
+            ("node-c".into(), sick),
+        ])
+        .unwrap();
+        let a_pos = out.find("node-a").unwrap();
+        let c_pos = out.find("node-c").unwrap();
+        assert!(c_pos < a_pos, "sick node first:\n{out}");
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        let text = sample().replace("ops=1040", "ops=1041");
+        assert!(matches!(load(&text), Err(ToolError::Profile(_))));
+    }
+}

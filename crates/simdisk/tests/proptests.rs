@@ -1,0 +1,88 @@
+//! Property-based tests for the disk model.
+
+use osprof_simdisk::{DiskConfig, DiskDevice};
+use osprof_simkernel::device::{Device, IoKind, IoRequest, IoToken};
+use proptest::prelude::*;
+
+fn drain(disk: &mut DiskDevice) -> Vec<(u64, IoToken)> {
+    let mut out = Vec::new();
+    while let Some((t, tok)) = disk.next_completion() {
+        disk.complete(tok);
+        out.push((t, tok));
+    }
+    out
+}
+
+proptest! {
+    /// Completions are FIFO and non-decreasing in time, for any request
+    /// mix.
+    #[test]
+    fn completions_are_fifo_and_monotone(
+        reqs in prop::collection::vec((0u64..30_000_000, 1u32..64, any::<bool>()), 1..40),
+    ) {
+        let mut disk = DiskDevice::new(DiskConfig::paper_disk());
+        for (i, &(lba, len, write)) in reqs.iter().enumerate() {
+            let kind = if write { IoKind::Write } else { IoKind::Read };
+            disk.submit(0, IoToken(i as u64), IoRequest { kind, lba, len });
+        }
+        let done = drain(&mut disk);
+        prop_assert_eq!(done.len(), reqs.len());
+        let mut prev = 0u64;
+        for (i, &(t, tok)) in done.iter().enumerate() {
+            prop_assert_eq!(tok, IoToken(i as u64), "FIFO order violated");
+            prop_assert!(t >= prev, "completion time went backwards");
+            prev = t;
+        }
+    }
+
+    /// Every service time is within the mechanical bounds: at least the
+    /// controller+transfer cost, at most full stroke + a rotation +
+    /// transfer + controller.
+    #[test]
+    fn service_times_within_mechanical_bounds(
+        reqs in prop::collection::vec((0u64..30_000_000, 1u32..64), 1..30),
+    ) {
+        let cfg = DiskConfig::paper_disk();
+        let mut disk = DiskDevice::new(cfg.clone());
+        let mut now = 0u64;
+        for (i, &(lba, len)) in reqs.iter().enumerate() {
+            disk.submit(now, IoToken(i as u64), IoRequest { kind: IoKind::Read, lba, len });
+            let (end, tok) = disk.next_completion().unwrap();
+            disk.complete(tok);
+            let service = end - now;
+            let transfer = cfg.per_sector * len as u64;
+            let lower = cfg.controller_overhead + transfer;
+            let upper = cfg.controller_overhead + cfg.full_stroke + cfg.rotation + transfer;
+            prop_assert!(service >= lower, "service {service} < lower bound {lower}");
+            prop_assert!(service <= upper, "service {service} > upper bound {upper}");
+            now = end;
+        }
+    }
+
+    /// Re-reading the same location back-to-back always hits the drive
+    /// cache (readahead covers the request).
+    #[test]
+    fn rereads_hit_the_cache(lba in 0u64..30_000_000, len in 1u32..32) {
+        let cfg = DiskConfig::paper_disk();
+        let mut disk = DiskDevice::new(cfg.clone());
+        disk.submit(0, IoToken(1), IoRequest { kind: IoKind::Read, lba, len });
+        let (e1, t1) = disk.next_completion().unwrap();
+        disk.complete(t1);
+        disk.submit(e1, IoToken(2), IoRequest { kind: IoKind::Read, lba, len });
+        let (e2, t2) = disk.next_completion().unwrap();
+        disk.complete(t2);
+        prop_assert_eq!(disk.stats().cache_hits, 1);
+        prop_assert_eq!(e2 - e1, cfg.controller_overhead + cfg.per_sector * len.max(1) as u64);
+    }
+
+    /// Seek time is symmetric and respects the triangle-ish monotonicity
+    /// in distance.
+    #[test]
+    fn seek_time_symmetric_and_monotone(a in 0u64..35_000, b in 0u64..35_000, c in 0u64..35_000) {
+        let cfg = DiskConfig::paper_disk();
+        prop_assert_eq!(cfg.seek_time(a, b), cfg.seek_time(b, a));
+        // Larger distance from `a` never seeks faster.
+        let (near, far) = if a.abs_diff(b) <= a.abs_diff(c) { (b, c) } else { (c, b) };
+        prop_assert!(cfg.seek_time(a, near) <= cfg.seek_time(a, far));
+    }
+}

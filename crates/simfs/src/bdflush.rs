@@ -1,0 +1,76 @@
+//! The `bdflush` buffer-flushing daemon.
+//!
+//! "On Linux, atime updates are handled by the Linux buffer flushing
+//! daemon, bdflush. This daemon writes data out to disk only after a
+//! certain amount of time has passed since the buffer was released; the
+//! default is thirty seconds for data and five seconds for metadata.
+//! This means that every five and thirty seconds, file system behavior
+//! may change due to the influence of bdflush." (§6.3)
+//!
+//! [`BdflushOp`] sleeps on the metadata interval and calls the mounted
+//! file system's `write_super`; every sixth wakeup (with the default
+//! 5 s/30 s ratio) it also flushes data pages. On a Reiserfs mount the
+//! flush runs synchronously under the superblock lock, producing the
+//! Figure 9 read stalls.
+
+use osprof_core::clock::{secs_to_cycles, Cycles};
+use osprof_simkernel::op::{KernelOp, OpCtx, Step};
+
+use crate::mount::FsRef;
+use crate::ops;
+
+/// The bdflush daemon body; spawn with
+/// [`Kernel::spawn_daemon`](osprof_simkernel::kernel::Kernel::spawn_daemon).
+pub struct BdflushOp {
+    fs: FsRef,
+    meta_interval: Cycles,
+    wakeups_per_data_flush: u64,
+    wakeups: u64,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Sleep,
+    Flush,
+}
+
+impl BdflushOp {
+    /// Creates a bdflush with the Linux defaults: metadata every 5 s,
+    /// data every 30 s.
+    pub fn new(fs: FsRef) -> Self {
+        BdflushOp::with_intervals(fs, secs_to_cycles(5.0), 6)
+    }
+
+    /// Creates a bdflush waking every `meta_interval` cycles, flushing
+    /// data on every `wakeups_per_data_flush`-th wakeup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wakeups_per_data_flush` is zero.
+    pub fn with_intervals(fs: FsRef, meta_interval: Cycles, wakeups_per_data_flush: u64) -> Self {
+        assert!(wakeups_per_data_flush > 0, "data flush ratio must be positive");
+        BdflushOp { fs, meta_interval, wakeups_per_data_flush, wakeups: 0, phase: Phase::Sleep }
+    }
+}
+
+impl KernelOp for BdflushOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            Phase::Sleep => {
+                self.phase = Phase::Flush;
+                Step::Sleep(self.meta_interval)
+            }
+            Phase::Flush => {
+                self.phase = Phase::Sleep;
+                self.wakeups += 1;
+                let include_data = self.wakeups % self.wakeups_per_data_flush == 0;
+                Step::call(ops::write_super(&self.fs, include_data))
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bdflush"
+    }
+}

@@ -1,0 +1,296 @@
+//! The on-disk file-system image: namespace, sizes, block layout.
+//!
+//! The image is the static geometry a simulated file system serves. The
+//! block allocator lays files and directories out contiguously, with a
+//! configurable gap between allocations — close logical blocks are close
+//! physically, exactly the assumption the paper attributes to the OS
+//! ("the OS generally assumes that blocks with close logical block
+//! numbers are also physically close to each other on the disk").
+
+use serde::{Deserialize, Serialize};
+
+/// Inode number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ino(pub u32);
+
+/// Page size in bytes (4 KiB, as Linux x86).
+pub const PAGE_BYTES: u64 = 4096;
+/// 512-byte sectors per page.
+pub const SECTORS_PER_PAGE: u64 = 8;
+/// Bytes per directory entry record (name + inode + padding).
+pub const DIRENT_BYTES: u64 = 32;
+
+/// What an inode is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A directory with named children.
+    Dir {
+        /// Child entries in creation order.
+        entries: Vec<(String, Ino)>,
+    },
+    /// A regular file of the given byte size.
+    File {
+        /// File size in bytes.
+        size: u64,
+    },
+}
+
+/// One inode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inode {
+    /// Directory or file payload.
+    pub kind: NodeKind,
+    /// First disk sector of this inode's data.
+    pub start_lba: u64,
+    /// Whether the inode still exists (unlinked inodes stay as tombstones
+    /// so inode numbers remain stable).
+    pub live: bool,
+}
+
+impl Inode {
+    /// Data size in bytes (directories: entry records).
+    pub fn data_bytes(&self) -> u64 {
+        match &self.kind {
+            NodeKind::Dir { entries } => entries.len() as u64 * DIRENT_BYTES,
+            NodeKind::File { size } => *size,
+        }
+    }
+
+    /// Data size in pages (at least one page for live nodes).
+    pub fn data_pages(&self) -> u64 {
+        self.data_bytes().div_ceil(PAGE_BYTES).max(1)
+    }
+}
+
+/// A mutable file-system image.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FsImage {
+    nodes: Vec<Inode>,
+    /// Bump allocator: next free sector.
+    next_lba: u64,
+    /// Extra sectors left between consecutive allocations (fragmentation
+    /// knob: 0 = perfectly sequential layout).
+    pub alloc_gap_sectors: u64,
+    /// Deterministic LCG state for gap jitter.
+    lcg: u64,
+    /// Maximum jitter (sectors) added on top of `alloc_gap_sectors`.
+    pub alloc_jitter_sectors: u64,
+}
+
+/// The root directory's inode number.
+pub const ROOT: Ino = Ino(0);
+
+impl FsImage {
+    /// Creates an empty image with just a root directory.
+    pub fn new() -> Self {
+        let mut img = FsImage {
+            nodes: Vec::new(),
+            next_lba: 64, // superblock/bitmap area
+            alloc_gap_sectors: 0,
+            lcg: 0x5DEECE66D,
+            alloc_jitter_sectors: 0,
+        };
+        let root_lba = img.alloc(8);
+        img.nodes.push(Inode { kind: NodeKind::Dir { entries: Vec::new() }, start_lba: root_lba, live: true });
+        img
+    }
+
+    /// Sets layout fragmentation: a fixed gap plus deterministic jitter
+    /// between consecutive allocations.
+    pub fn with_fragmentation(mut self, gap_sectors: u64, jitter_sectors: u64) -> Self {
+        self.alloc_gap_sectors = gap_sectors;
+        self.alloc_jitter_sectors = jitter_sectors;
+        self
+    }
+
+    fn alloc(&mut self, sectors: u64) -> u64 {
+        let jitter = if self.alloc_jitter_sectors > 0 {
+            self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (self.lcg >> 33) % self.alloc_jitter_sectors
+        } else {
+            0
+        };
+        let lba = self.next_lba + self.alloc_gap_sectors + jitter;
+        self.next_lba = lba + sectors;
+        lba
+    }
+
+    /// Number of inodes ever created (including tombstones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Access an inode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range inode number.
+    pub fn node(&self, ino: Ino) -> &Inode {
+        &self.nodes[ino.0 as usize]
+    }
+
+    /// Creates a directory under `parent`, returning the new inode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a live directory.
+    pub fn mkdir(&mut self, parent: Ino, name: impl Into<String>) -> Ino {
+        let lba = self.alloc(SECTORS_PER_PAGE);
+        let ino = Ino(self.nodes.len() as u32);
+        self.nodes.push(Inode { kind: NodeKind::Dir { entries: Vec::new() }, start_lba: lba, live: true });
+        self.link(parent, name.into(), ino);
+        ino
+    }
+
+    /// Creates a file of `size` bytes under `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a live directory.
+    pub fn create_file(&mut self, parent: Ino, name: impl Into<String>, size: u64) -> Ino {
+        let sectors = size.div_ceil(PAGE_BYTES).max(1) * SECTORS_PER_PAGE;
+        let lba = self.alloc(sectors);
+        let ino = Ino(self.nodes.len() as u32);
+        self.nodes.push(Inode { kind: NodeKind::File { size }, start_lba: lba, live: true });
+        self.link(parent, name.into(), ino);
+        ino
+    }
+
+    fn link(&mut self, parent: Ino, name: String, ino: Ino) {
+        match &mut self.nodes[parent.0 as usize] {
+            Inode { kind: NodeKind::Dir { entries }, live: true, .. } => entries.push((name, ino)),
+            _ => panic!("parent {parent:?} is not a live directory"),
+        }
+    }
+
+    /// Removes a file from `parent`, leaving a tombstone inode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a live directory or the file is absent.
+    pub fn unlink(&mut self, parent: Ino, ino: Ino) {
+        match &mut self.nodes[parent.0 as usize] {
+            Inode { kind: NodeKind::Dir { entries }, .. } => {
+                let pos = entries.iter().position(|&(_, e)| e == ino).expect("entry not found in parent");
+                entries.remove(pos);
+            }
+            _ => panic!("parent {parent:?} is not a directory"),
+        }
+        self.nodes[ino.0 as usize].live = false;
+    }
+
+    /// Grows a file by `delta` bytes (append). The tail allocation is
+    /// approximated as staying contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ino` is not a live file.
+    pub fn append(&mut self, ino: Ino, delta: u64) {
+        match &mut self.nodes[ino.0 as usize] {
+            Inode { kind: NodeKind::File { size }, live: true, .. } => *size += delta,
+            _ => panic!("{ino:?} is not a live file"),
+        }
+    }
+
+    /// Directory entries of `ino`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ino` is not a directory.
+    pub fn entries(&self, ino: Ino) -> &[(String, Ino)] {
+        match &self.node(ino).kind {
+            NodeKind::Dir { entries } => entries,
+            NodeKind::File { .. } => panic!("{ino:?} is not a directory"),
+        }
+    }
+
+    /// The sector holding byte offset `off` of `ino`'s data.
+    pub fn lba_of(&self, ino: Ino, page: u64) -> u64 {
+        self.node(ino).start_lba + page * SECTORS_PER_PAGE
+    }
+
+    /// Total allocated sectors (high-water mark).
+    pub fn allocated_sectors(&self) -> u64 {
+        self.next_lba
+    }
+}
+
+impl Default for FsImage {
+    fn default() -> Self {
+        FsImage::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_a_small_tree() {
+        let mut img = FsImage::new();
+        let d = img.mkdir(ROOT, "src");
+        let f = img.create_file(d, "main.c", 10_000);
+        assert_eq!(img.entries(ROOT).len(), 1);
+        assert_eq!(img.entries(d), &[("main.c".to_string(), f)]);
+        assert_eq!(img.node(f).data_bytes(), 10_000);
+        assert_eq!(img.node(f).data_pages(), 3);
+    }
+
+    #[test]
+    fn layout_is_sequential_without_fragmentation() {
+        let mut img = FsImage::new();
+        let a = img.create_file(ROOT, "a", 4096);
+        let b = img.create_file(ROOT, "b", 4096);
+        assert_eq!(img.node(b).start_lba, img.node(a).start_lba + SECTORS_PER_PAGE);
+    }
+
+    #[test]
+    fn fragmentation_spreads_allocations() {
+        let mut img = FsImage::new().with_fragmentation(1000, 500);
+        let a = img.create_file(ROOT, "a", 4096);
+        let b = img.create_file(ROOT, "b", 4096);
+        let gap = img.node(b).start_lba - (img.node(a).start_lba + SECTORS_PER_PAGE);
+        assert!(gap >= 1000 && gap < 1500, "gap {gap}");
+    }
+
+    #[test]
+    fn unlink_leaves_tombstone() {
+        let mut img = FsImage::new();
+        let f = img.create_file(ROOT, "f", 100);
+        img.unlink(ROOT, f);
+        assert!(!img.node(f).live);
+        assert!(img.entries(ROOT).is_empty());
+    }
+
+    #[test]
+    fn append_grows_file() {
+        let mut img = FsImage::new();
+        let f = img.create_file(ROOT, "f", 100);
+        img.append(f, 8_092);
+        assert_eq!(img.node(f).data_bytes(), 8_192);
+        assert_eq!(img.node(f).data_pages(), 2);
+    }
+
+    #[test]
+    fn directory_data_size_tracks_entries() {
+        let mut img = FsImage::new();
+        for i in 0..200 {
+            img.create_file(ROOT, format!("f{i}"), 10);
+        }
+        // 200 entries * 32 B = 6400 B = 2 pages.
+        assert_eq!(img.node(ROOT).data_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a directory")]
+    fn entries_of_file_panics() {
+        let mut img = FsImage::new();
+        let f = img.create_file(ROOT, "f", 1);
+        let _ = img.entries(f);
+    }
+}

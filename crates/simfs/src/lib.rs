@@ -1,0 +1,37 @@
+//! # osprof-simfs — simulated file systems over the event kernel
+//!
+//! The substrate behind the paper's file-system experiments: a VFS with
+//! per-operation state machines, a page cache, per-inode semaphores, an
+//! ext2-like and a reiserfs-like file system, the `bdflush` writeback
+//! daemon, and a stackable null-layer file system.
+//!
+//! Mechanisms reproduced (with the paper section that profiles them):
+//!
+//! - `readdir`/`readpage` interplay and the four-peak read pattern
+//!   (§6.2, Figures 7–8): past-EOF fast path, page-cache hits, disk-cache
+//!   (readahead) hits, and real media reads;
+//! - `generic_file_llseek` taking the inode semaphore (§6.1, Figure 6),
+//!   with the paper's fix available as a mount option;
+//! - direct I/O reads holding the inode semaphore during the disk access
+//!   (the contention partner of `llseek`);
+//! - Reiserfs `write_super` flushing synchronously under the superblock
+//!   lock while reads briefly take the same lock (§6.3, Figure 9);
+//! - `bdflush` flushing dirty metadata every 5 s and data every 30 s
+//!   (§6.3: "the default is thirty seconds for data and five seconds for
+//!   metadata");
+//! - FoSgen-style instrumentation: every VFS operation is wrapped with
+//!   entry/exit probes recording into a file-system layer, exactly where
+//!   `FSPROF_PRE`/`FSPROF_POST` macros would be inserted (§4). Disabling
+//!   the layer removes both the records and the probe cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdflush;
+pub mod image;
+pub mod mount;
+pub mod ops;
+pub mod stackable;
+
+pub use image::{FsImage, Ino, NodeKind, PAGE_BYTES, SECTORS_PER_PAGE};
+pub use mount::{FsCosts, FsType, Mount, MountOpts};

@@ -1,0 +1,873 @@
+//! VFS operation state machines.
+//!
+//! Each public constructor returns a system-call op. When the mount has a
+//! file-system layer attached, the inner file-system op is wrapped with
+//! entry/exit probes — the placement FoSgen produces by rewriting
+//! operation vectors with `FSPROF_PRE(op)`/`FSPROF_POST(op)` (paper §4).
+//! `readpage` is probed as its own operation nested inside `read`/
+//! `readdir`, reproducing the layered-profiling relationship of Figure 7.
+
+use osprof_simkernel::device::{IoKind, IoRequest, IoToken};
+use osprof_simkernel::op::{KernelOp, OpCtx, Step};
+
+use crate::image::{Ino, NodeKind, DIRENT_BYTES, PAGE_BYTES, SECTORS_PER_PAGE};
+use crate::mount::{FsRef, FsType};
+
+/// Builds the probed (or plain) call step for a file-system-level op.
+fn fs_call(fs: &FsRef, op: impl KernelOp + 'static, name: &'static str) -> Step {
+    match fs.borrow().opts.fs_layer {
+        Some(layer) => Step::call_probed(op, layer, name),
+        None => Step::call(op),
+    }
+}
+
+/// A system call wrapping one file-system op.
+pub struct Syscall {
+    fs: FsRef,
+    inner: Option<(Box<dyn KernelOp>, &'static str)>,
+    called: bool,
+}
+
+impl Syscall {
+    fn new(fs: FsRef, op: impl KernelOp + 'static, name: &'static str) -> Self {
+        Syscall { fs, inner: Some((Box::new(op), name)), called: false }
+    }
+}
+
+impl KernelOp for Syscall {
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+        if !self.called {
+            self.called = true;
+            let (op, name) = self.inner.take().expect("syscall invoked once");
+            return match self.fs.borrow().opts.fs_layer {
+                Some(layer) => Step::Call(op, Some(osprof_simkernel::op::ProbeTag { layer, op: name })),
+                None => Step::Call(op, None),
+            };
+        }
+        Step::Done(ctx.retval.unwrap_or(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "syscall"
+    }
+}
+
+// ---------------------------------------------------------------------
+// llseek
+// ---------------------------------------------------------------------
+
+/// `generic_file_llseek`: update the file pointer, optionally under the
+/// inode semaphore (the §6.1 contention).
+pub struct LlseekOp {
+    fs: FsRef,
+    ino: Ino,
+    phase: u8,
+}
+
+/// Creates an `llseek` system call.
+pub fn llseek(fs: &FsRef, ino: Ino) -> Syscall {
+    Syscall::new(fs.clone(), LlseekOp { fs: fs.clone(), ino, phase: 0 }, "llseek")
+}
+
+impl KernelOp for LlseekOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        let locked = self.fs.borrow().opts.llseek_takes_i_sem;
+        match (self.phase, locked) {
+            (0, true) => {
+                self.phase = 1;
+                let sem = {
+                    let st = self.fs.borrow();
+                    st.i_sem(self.ino)
+                };
+                Step::Lock(sem)
+            }
+            (0, false) | (1, _) => {
+                self.phase = 2;
+                Step::Cpu(self.fs.borrow().opts.costs.llseek)
+            }
+            (2, true) => {
+                self.phase = 3;
+                let sem = {
+                    let st = self.fs.borrow();
+                    st.i_sem(self.ino)
+                };
+                Step::Unlock(sem)
+            }
+            _ => Step::Done(0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "llseek"
+    }
+}
+
+// ---------------------------------------------------------------------
+// readpage
+// ---------------------------------------------------------------------
+
+/// `readpage`: initiates the disk read of one page and returns without
+/// waiting — "readpage just initiates the I/O and does not wait for its
+/// completion" (§6.2). The parent waits on the submitted token.
+pub struct ReadPageOp {
+    fs: FsRef,
+    ino: Ino,
+    page: u64,
+    phase: u8,
+}
+
+impl ReadPageOp {
+    fn new(fs: FsRef, ino: Ino, page: u64) -> Self {
+        ReadPageOp { fs, ino, page, phase: 0 }
+    }
+}
+
+impl KernelOp for ReadPageOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Cpu(self.fs.borrow().opts.costs.readpage)
+            }
+            1 => {
+                self.phase = 2;
+                let (dev, lba) = {
+                    let st = self.fs.borrow();
+                    (st.dev, st.image.lba_of(self.ino, self.page))
+                };
+                Step::SubmitIo(dev, IoRequest { kind: IoKind::Read, lba, len: SECTORS_PER_PAGE as u32 })
+            }
+            _ => Step::Done(0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "readpage"
+    }
+}
+
+// ---------------------------------------------------------------------
+// read
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadPhase {
+    Entry,
+    SuperLocked,
+    SuperDone,
+    CheckPage,
+    AfterReadpage,
+    AfterIo,
+    CopyAfterIo,
+    DirectLocked,
+    DirectSubmitted,
+    DirectIoDone,
+    DirectUnlocked,
+    Finish,
+    Exit,
+}
+
+/// `generic_file_read`: buffered (page cache) or direct I/O.
+pub struct ReadOp {
+    fs: FsRef,
+    ino: Ino,
+    offset: u64,
+    len: u64,
+    direct: bool,
+    phase: ReadPhase,
+    cur_page: u64,
+    end_page: u64,
+    io_token: Option<IoToken>,
+    bytes: i64,
+}
+
+/// Creates a buffered `read` system call.
+pub fn read(fs: &FsRef, ino: Ino, offset: u64, len: u64) -> Syscall {
+    Syscall::new(fs.clone(), ReadOp::new(fs.clone(), ino, offset, len, false), "read")
+}
+
+/// Creates a direct-I/O `read` system call (the random-read workload of
+/// §6.1 uses O_DIRECT 512-byte reads).
+pub fn read_direct(fs: &FsRef, ino: Ino, offset: u64, len: u64) -> Syscall {
+    Syscall::new(fs.clone(), ReadOp::new(fs.clone(), ino, offset, len, true), "read")
+}
+
+impl ReadOp {
+    fn new(fs: FsRef, ino: Ino, offset: u64, len: u64, direct: bool) -> Self {
+        ReadOp {
+            fs,
+            ino,
+            offset,
+            len,
+            direct,
+            phase: ReadPhase::Entry,
+            cur_page: 0,
+            end_page: 0,
+            io_token: None,
+            bytes: 0,
+        }
+    }
+
+    fn sem(&self) -> osprof_simkernel::kernel::LockId {
+        self.fs.borrow().i_sem(self.ino)
+    }
+}
+
+impl KernelOp for ReadOp {
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            ReadPhase::Entry => {
+                let (entry_cost, size, is_reiser) = {
+                    let st = self.fs.borrow();
+                    let size = st.image.node(self.ino).data_bytes();
+                    (st.opts.costs.entry, size, st.opts.fs_type == FsType::Reiserfs)
+                };
+                if self.len == 0 || self.offset >= size {
+                    // Zero-byte / past-EOF read: the Figure 3 fast path.
+                    self.phase = ReadPhase::Exit;
+                    return Step::Cpu(entry_cost);
+                }
+                let clamped = self.len.min(size - self.offset);
+                self.bytes = clamped as i64;
+                self.cur_page = self.offset / PAGE_BYTES;
+                self.end_page = (self.offset + clamped - 1) / PAGE_BYTES;
+                self.phase = if is_reiser {
+                    ReadPhase::SuperLocked
+                } else if self.direct {
+                    ReadPhase::DirectLocked
+                } else {
+                    ReadPhase::CheckPage
+                };
+                Step::Cpu(entry_cost)
+            }
+            ReadPhase::SuperLocked => {
+                // Reiserfs reads briefly take the superblock lock (the
+                // partner of the Figure 9 write_super contention).
+                self.phase = ReadPhase::SuperDone;
+                let l = self.fs.borrow().super_lock;
+                Step::Lock(l)
+            }
+            ReadPhase::SuperDone => {
+                self.phase = if self.direct { ReadPhase::DirectLocked } else { ReadPhase::CheckPage };
+                let l = self.fs.borrow().super_lock;
+                Step::Unlock(l)
+            }
+            ReadPhase::CheckPage => {
+                if self.cur_page > self.end_page {
+                    self.phase = ReadPhase::Finish;
+                    return self.step(ctx);
+                }
+                let (cached, in_flight, chan, copy) = {
+                    let st = self.fs.borrow();
+                    (
+                        st.page_cached(self.ino, self.cur_page),
+                        st.in_flight.contains(&(self.ino, self.cur_page)),
+                        st.page_chan(self.ino, self.cur_page),
+                        st.opts.costs.copy_page,
+                    )
+                };
+                if cached {
+                    self.cur_page += 1;
+                    return Step::Cpu(copy);
+                }
+                if in_flight {
+                    // Another process is reading this page; wait on the
+                    // hashed page channel and re-check (spurious-safe).
+                    return Step::Wait(chan);
+                }
+                self.fs.borrow_mut().in_flight.insert((self.ino, self.cur_page));
+                self.phase = ReadPhase::AfterReadpage;
+                // File data goes through the readahead path: Linux calls
+                // the address-space `readpages` op here, so the singular
+                // `readpage` profile stays a directory-read profile (the
+                // Figure 7 invariant depends on this split).
+                fs_call(&self.fs, ReadPageOp::new(self.fs.clone(), self.ino, self.cur_page), "readpages")
+            }
+            ReadPhase::AfterReadpage => {
+                self.io_token = ctx.last_io_token;
+                self.phase = ReadPhase::AfterIo;
+                Step::WaitIo(self.io_token.expect("readpage submitted I/O"))
+            }
+            ReadPhase::AfterIo => {
+                let chan = {
+                    let mut st = self.fs.borrow_mut();
+                    st.cache_page(self.ino, self.cur_page);
+                    st.in_flight.remove(&(self.ino, self.cur_page));
+                    st.page_chan(self.ino, self.cur_page)
+                };
+                self.phase = ReadPhase::CopyAfterIo;
+                Step::Signal(chan)
+            }
+            ReadPhase::CopyAfterIo => {
+                self.cur_page += 1;
+                self.phase = ReadPhase::CheckPage;
+                Step::Cpu(self.fs.borrow().opts.costs.copy_page)
+            }
+            ReadPhase::DirectLocked => {
+                // Direct I/O reads hold i_sem across the disk access
+                // (Linux 2.6 DIO locking) — the llseek contention source.
+                self.phase = ReadPhase::DirectSubmitted;
+                Step::Lock(self.sem())
+            }
+            ReadPhase::DirectSubmitted => {
+                self.phase = ReadPhase::DirectIoDone;
+                let (dev, lba) = {
+                    let st = self.fs.borrow();
+                    let lba = st.image.node(self.ino).start_lba + self.offset / 512;
+                    (st.dev, lba)
+                };
+                let sectors = (self.len.div_ceil(512)).max(1) as u32;
+                Step::SubmitIo(dev, IoRequest { kind: IoKind::Read, lba, len: sectors })
+            }
+            ReadPhase::DirectIoDone => {
+                self.phase = ReadPhase::DirectUnlocked;
+                Step::WaitIo(ctx.last_io_token.expect("direct read submitted I/O"))
+            }
+            ReadPhase::DirectUnlocked => {
+                self.phase = ReadPhase::Finish;
+                Step::Unlock(self.sem())
+            }
+            ReadPhase::Finish => {
+                let (atime, copy) = {
+                    let st = self.fs.borrow();
+                    (st.opts.atime, st.opts.costs.copy_page / 8)
+                };
+                if atime {
+                    self.fs.borrow_mut().mark_dirty_meta(self.ino);
+                }
+                self.phase = ReadPhase::Exit;
+                Step::Cpu(copy.max(1))
+            }
+            ReadPhase::Exit => Step::Done(self.bytes),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "read"
+    }
+}
+
+// ---------------------------------------------------------------------
+// readdir
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReaddirPhase {
+    Entry,
+    CheckPage,
+    AfterReadpage,
+    AfterIo,
+    Process,
+    Exit,
+}
+
+/// Entries a single `readdir` (getdents) call returns — the user-space
+/// buffer capacity. It is deliberately smaller than the 128 records a
+/// directory page holds: user-space dirent records are fatter than
+/// on-disk ones, so consecutive getdents calls alternate between pages
+/// already in the cache and fresh pages. That alternation is what
+/// produces Figure 7's *second* peak ("readdir requests that were
+/// satisfied from the cache").
+pub const READDIR_BUFFER_ENTRIES: u64 = 80;
+
+/// `readdir` (getdents): returns up to [`READDIR_BUFFER_ENTRIES`]
+/// directory entries starting at `pos`; 0 past the end of the directory
+/// (the Figure 7/8 first peak).
+pub struct ReaddirOp {
+    fs: FsRef,
+    ino: Ino,
+    pos: u64,
+    phase: ReaddirPhase,
+    cur_page: u64,
+    end_page: u64,
+    n: i64,
+}
+
+/// Creates a `readdir` system call reading entries from index `pos`.
+pub fn readdir(fs: &FsRef, ino: Ino, pos: u64) -> Syscall {
+    Syscall::new(
+        fs.clone(),
+        ReaddirOp { fs: fs.clone(), ino, pos, phase: ReaddirPhase::Entry, cur_page: 0, end_page: 0, n: 0 },
+        "readdir",
+    )
+}
+
+impl KernelOp for ReaddirOp {
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            ReaddirPhase::Entry => {
+                let (entry_cost, total) = {
+                    let st = self.fs.borrow();
+                    let total = match &st.image.node(self.ino).kind {
+                        NodeKind::Dir { entries } => entries.len() as u64,
+                        NodeKind::File { .. } => 0,
+                    };
+                    (st.opts.costs.entry, total)
+                };
+                if self.pos >= total {
+                    // Past-EOF readdir: returns immediately (first peak).
+                    self.phase = ReaddirPhase::Exit;
+                    self.n = 0;
+                    return Step::Cpu(entry_cost);
+                }
+                let per_page = PAGE_BYTES / DIRENT_BYTES;
+                self.n = (total - self.pos).min(READDIR_BUFFER_ENTRIES) as i64;
+                self.cur_page = self.pos / per_page;
+                self.end_page = (self.pos + self.n as u64 - 1) / per_page;
+                self.phase = ReaddirPhase::CheckPage;
+                Step::Cpu(entry_cost)
+            }
+            ReaddirPhase::CheckPage => {
+                if self.cur_page > self.end_page {
+                    self.phase = ReaddirPhase::Process;
+                    return self.step(ctx);
+                }
+                let (cached, in_flight, chan) = {
+                    let st = self.fs.borrow();
+                    (
+                        st.page_cached(self.ino, self.cur_page),
+                        st.in_flight.contains(&(self.ino, self.cur_page)),
+                        st.page_chan(self.ino, self.cur_page),
+                    )
+                };
+                if cached {
+                    self.cur_page += 1;
+                    return self.step(ctx);
+                }
+                if in_flight {
+                    return Step::Wait(chan);
+                }
+                self.fs.borrow_mut().in_flight.insert((self.ino, self.cur_page));
+                self.phase = ReaddirPhase::AfterReadpage;
+                fs_call(&self.fs, ReadPageOp::new(self.fs.clone(), self.ino, self.cur_page), "readpage")
+            }
+            ReaddirPhase::AfterReadpage => {
+                self.phase = ReaddirPhase::AfterIo;
+                Step::WaitIo(ctx.last_io_token.expect("readpage submitted I/O"))
+            }
+            ReaddirPhase::AfterIo => {
+                let chan = {
+                    let mut st = self.fs.borrow_mut();
+                    st.cache_page(self.ino, self.cur_page);
+                    st.in_flight.remove(&(self.ino, self.cur_page));
+                    st.page_chan(self.ino, self.cur_page)
+                };
+                self.cur_page += 1;
+                self.phase = ReaddirPhase::CheckPage;
+                Step::Signal(chan)
+            }
+            ReaddirPhase::Process => {
+                let (cost, atime) = {
+                    let st = self.fs.borrow();
+                    (st.opts.costs.readdir_page + st.opts.costs.per_entry * self.n as u64, st.opts.atime)
+                };
+                if atime {
+                    self.fs.borrow_mut().mark_dirty_meta(self.ino);
+                }
+                self.phase = ReaddirPhase::Exit;
+                Step::Cpu(cost)
+            }
+            ReaddirPhase::Exit => Step::Done(self.n),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "readdir"
+    }
+}
+
+// ---------------------------------------------------------------------
+// write / create / unlink / fsync / open
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WritePhase {
+    Entry,
+    Locked,
+    PageLoop,
+    Unlocked,
+    Exit,
+}
+
+/// Buffered `write`: dirties page-cache pages and returns without disk
+/// I/O — "file system writes ... return immediately after scheduling the
+/// I/O request" (§4); `bdflush` picks the pages up later.
+pub struct WriteOp {
+    fs: FsRef,
+    ino: Ino,
+    offset: u64,
+    len: u64,
+    phase: WritePhase,
+    cur_page: u64,
+    end_page: u64,
+}
+
+/// Creates a buffered `write` system call (appends grow the file).
+pub fn write(fs: &FsRef, ino: Ino, offset: u64, len: u64) -> Syscall {
+    Syscall::new(
+        fs.clone(),
+        WriteOp { fs: fs.clone(), ino, offset, len, phase: WritePhase::Entry, cur_page: 0, end_page: 0 },
+        "write",
+    )
+}
+
+impl KernelOp for WriteOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            WritePhase::Entry => {
+                let entry = self.fs.borrow().opts.costs.entry;
+                let len = self.len.max(1);
+                self.cur_page = self.offset / PAGE_BYTES;
+                self.end_page = (self.offset + len - 1) / PAGE_BYTES;
+                self.phase = WritePhase::Locked;
+                Step::Cpu(entry)
+            }
+            WritePhase::Locked => {
+                self.phase = WritePhase::PageLoop;
+                let sem = self.fs.borrow().i_sem(self.ino);
+                Step::Lock(sem)
+            }
+            WritePhase::PageLoop => {
+                if self.cur_page > self.end_page {
+                    self.phase = WritePhase::Unlocked;
+                    let sem = self.fs.borrow().i_sem(self.ino);
+                    return Step::Unlock(sem);
+                }
+                let cost = {
+                    let mut st = self.fs.borrow_mut();
+                    let p = self.cur_page;
+                    st.cache_page(self.ino, p);
+                    st.mark_dirty_data(self.ino, p);
+                    st.opts.costs.write_page
+                };
+                self.cur_page += 1;
+                Step::Cpu(cost)
+            }
+            WritePhase::Unlocked => {
+                {
+                    let mut st = self.fs.borrow_mut();
+                    // Grow the file on append.
+                    let size = st.image.node(self.ino).data_bytes();
+                    if self.offset + self.len > size {
+                        let delta = self.offset + self.len - size;
+                        st.image.append(self.ino, delta);
+                    }
+                    st.mark_dirty_meta(self.ino);
+                }
+                self.phase = WritePhase::Exit;
+                Step::Cpu(1)
+            }
+            WritePhase::Exit => Step::Done(self.len as i64),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "write"
+    }
+}
+
+/// `creat`: allocates an inode and directory entry; returns the new
+/// inode number.
+pub struct CreateOp {
+    fs: FsRef,
+    parent: Ino,
+    size: u64,
+    seq: u64,
+    phase: u8,
+    new_ino: i64,
+}
+
+/// Creates a `create` system call making a `size`-byte file under
+/// `parent`; `seq` uniquifies the generated name.
+pub fn create(fs: &FsRef, parent: Ino, size: u64, seq: u64) -> Syscall {
+    Syscall::new(fs.clone(), CreateOp { fs: fs.clone(), parent, size, seq, phase: 0, new_ino: -1 }, "create")
+}
+
+impl KernelOp for CreateOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Cpu(self.fs.borrow().opts.costs.create)
+            }
+            1 => {
+                self.phase = 2;
+                let mut st = self.fs.borrow_mut();
+                let ino = st.image.create_file(self.parent, format!("pm{}", self.seq), self.size);
+                st.mark_dirty_meta(self.parent);
+                st.mark_dirty_meta(ino);
+                self.new_ino = ino.0 as i64;
+                Step::Cpu(1)
+            }
+            _ => Step::Done(self.new_ino),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "create"
+    }
+}
+
+/// `unlink`: removes a file.
+pub struct UnlinkOp {
+    fs: FsRef,
+    parent: Ino,
+    ino: Ino,
+    phase: u8,
+}
+
+/// Creates an `unlink` system call.
+pub fn unlink(fs: &FsRef, parent: Ino, ino: Ino) -> Syscall {
+    Syscall::new(fs.clone(), UnlinkOp { fs: fs.clone(), parent, ino, phase: 0 }, "unlink")
+}
+
+impl KernelOp for UnlinkOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Cpu(self.fs.borrow().opts.costs.unlink)
+            }
+            1 => {
+                self.phase = 2;
+                let mut st = self.fs.borrow_mut();
+                st.image.unlink(self.parent, self.ino);
+                st.mark_dirty_meta(self.parent);
+                Step::Cpu(1)
+            }
+            _ => Step::Done(0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "unlink"
+    }
+}
+
+/// `open` (lookup): CPU-only once the dentry cache is warm.
+pub struct OpenOp {
+    fs: FsRef,
+    phase: u8,
+}
+
+/// Creates an `open` system call.
+pub fn open(fs: &FsRef, _ino: Ino) -> Syscall {
+    Syscall::new(fs.clone(), OpenOp { fs: fs.clone(), phase: 0 }, "open")
+}
+
+impl KernelOp for OpenOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        if self.phase == 0 {
+            self.phase = 1;
+            return Step::Cpu(self.fs.borrow().opts.costs.open);
+        }
+        Step::Done(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "open"
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FsyncPhase {
+    Entry,
+    Submit,
+    Exit,
+}
+
+/// `fsync`: synchronously writes out the file's dirty pages.
+pub struct FsyncOp {
+    fs: FsRef,
+    ino: Ino,
+    phase: FsyncPhase,
+    to_write: Vec<u64>,
+    submitted: u64,
+}
+
+/// Creates an `fsync` system call.
+pub fn fsync(fs: &FsRef, ino: Ino) -> Syscall {
+    Syscall::new(
+        fs.clone(),
+        FsyncOp { fs: fs.clone(), ino, phase: FsyncPhase::Entry, to_write: Vec::new(), submitted: 0 },
+        "fsync",
+    )
+}
+
+impl KernelOp for FsyncOp {
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            FsyncPhase::Entry => {
+                let entry = {
+                    let mut st = self.fs.borrow_mut();
+                    let ino = self.ino;
+                    // Claim this inode's dirty pages, leaving the rest.
+                    let mut rest = Vec::new();
+                    for (i, p) in st.take_dirty_data() {
+                        if i == ino {
+                            self.to_write.push(p);
+                        } else {
+                            rest.push((i, p));
+                        }
+                    }
+                    st.dirty_data = rest;
+                    st.opts.costs.entry
+                };
+                self.phase = FsyncPhase::Submit;
+                Step::Cpu(entry)
+            }
+            FsyncPhase::Submit => {
+                if let Some(page) = self.to_write.pop() {
+                    self.submitted += 1;
+                    let (dev, lba) = {
+                        let st = self.fs.borrow();
+                        (st.dev, st.image.lba_of(self.ino, page))
+                    };
+                    return Step::SubmitIo(
+                        dev,
+                        IoRequest { kind: IoKind::Write, lba, len: SECTORS_PER_PAGE as u32 },
+                    );
+                }
+                self.phase = FsyncPhase::Exit;
+                if self.submitted > 0 {
+                    // The disk services FIFO: the last-submitted write
+                    // completes last, so one wait covers the batch.
+                    return Step::WaitIo(ctx.last_io_token.expect("fsync submitted I/O"));
+                }
+                Step::Cpu(1)
+            }
+            FsyncPhase::Exit => Step::Done(self.submitted as i64),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fsync"
+    }
+}
+
+// ---------------------------------------------------------------------
+// write_super (superblock / journal flush)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WsPhase {
+    MaybeLock,
+    Collect,
+    Submit,
+    MaybeWait,
+    MaybeUnlock,
+    Exit,
+}
+
+/// `write_super`: flushes dirty metadata (and optionally data) to disk.
+///
+/// Under Reiserfs semantics the flush holds the superblock lock and
+/// waits for the I/O synchronously — the Figure 9 contention; under Ext2
+/// semantics the submission is asynchronous and lock-free.
+pub struct WriteSuperOp {
+    fs: FsRef,
+    include_data: bool,
+    phase: WsPhase,
+    writes: Vec<(Ino, u64)>,
+    flushed: u64,
+}
+
+/// Creates a `write_super` flush op (bdflush calls this periodically).
+pub fn write_super(fs: &FsRef, include_data: bool) -> Syscall {
+    Syscall::new(
+        fs.clone(),
+        WriteSuperOp { fs: fs.clone(), include_data, phase: WsPhase::MaybeLock, writes: Vec::new(), flushed: 0 },
+        "write_super",
+    )
+}
+
+impl KernelOp for WriteSuperOp {
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+        let is_reiser = self.fs.borrow().opts.fs_type == FsType::Reiserfs;
+        match self.phase {
+            WsPhase::MaybeLock => {
+                self.phase = WsPhase::Collect;
+                if is_reiser {
+                    let l = self.fs.borrow().super_lock;
+                    return Step::Lock(l);
+                }
+                Step::Cpu(1)
+            }
+            WsPhase::Collect => {
+                {
+                    let mut st = self.fs.borrow_mut();
+                    // Metadata: inode-table blocks near the start of the
+                    // volume (one page per 128 inodes). Dirty inodes
+                    // sharing a table page coalesce into one write —
+                    // without this batching a flush of N dirty atimes
+                    // costs N disk rotations instead of N/128.
+                    let mut meta_pages = std::collections::BTreeSet::new();
+                    for ino in st.take_dirty_meta() {
+                        meta_pages.insert(ino.0 as u64 / 128);
+                    }
+                    for page in meta_pages {
+                        self.writes.push((Ino(0), u64::MAX - page)); // marker: metadata table page
+                    }
+                    if self.include_data {
+                        let mut data_pages = std::collections::BTreeSet::new();
+                        for (ino, page) in st.take_dirty_data() {
+                            data_pages.insert((ino, page));
+                        }
+                        for (ino, page) in data_pages {
+                            self.writes.push((ino, page));
+                        }
+                    }
+                }
+                self.phase = WsPhase::Submit;
+                Step::Cpu(self.fs.borrow().opts.costs.entry)
+            }
+            WsPhase::Submit => {
+                if let Some((ino, page)) = self.writes.pop() {
+                    self.flushed += 1;
+                    let (dev, lba) = {
+                        let st = self.fs.borrow();
+                        let lba = if page > u64::MAX / 2 {
+                            // Metadata marker: inode table region at the
+                            // front of the disk, page index u64::MAX-page.
+                            8 + (u64::MAX - page) * SECTORS_PER_PAGE
+                        } else {
+                            st.image.lba_of(ino, page)
+                        };
+                        (st.dev, lba)
+                    };
+                    return Step::SubmitIo(
+                        dev,
+                        IoRequest { kind: IoKind::Write, lba, len: SECTORS_PER_PAGE as u32 },
+                    );
+                }
+                self.phase = WsPhase::MaybeWait;
+                Step::Cpu(self.fs.borrow().opts.costs.flush_page.max(1))
+            }
+            WsPhase::MaybeWait => {
+                self.phase = WsPhase::MaybeUnlock;
+                if is_reiser && self.flushed > 0 {
+                    // Synchronous journal flush: wait for the batch (the
+                    // disk is FIFO; the last-submitted write completes
+                    // last).
+                    if let Some(t) = ctx.last_io_token {
+                        return Step::WaitIo(t);
+                    }
+                }
+                Step::Cpu(1)
+            }
+            WsPhase::MaybeUnlock => {
+                self.phase = WsPhase::Exit;
+                if is_reiser {
+                    let l = self.fs.borrow().super_lock;
+                    return Step::Unlock(l);
+                }
+                Step::Cpu(1)
+            }
+            WsPhase::Exit => Step::Done(self.flushed as i64),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "write_super"
+    }
+}

@@ -1,0 +1,53 @@
+//! A stackable null-layer file system (nullfs/Wrapfs).
+//!
+//! The paper instruments "nullfs and Wrapfs — stackable file systems
+//! that can be mounted on top of other file systems to collect their
+//! latency profiles" (§4). [`nullfs`] wraps any lower operation with a
+//! thin pass-through layer that has its own instrumentation layer: the
+//! stackable profile sees the lower file system's latency plus the
+//! (small) stacking overhead, without touching the lower file system's
+//! code — gray-box layered profiling.
+
+use osprof_core::clock::Cycles;
+use osprof_simkernel::op::{KernelOp, OpCtx, ProbeTag, Step};
+use osprof_simkernel::probe::LayerId;
+
+/// Pass-through CPU cost of one nullfs operation (cycles).
+pub const NULLFS_OVERHEAD: Cycles = 150;
+
+/// A stackable pass-through operation.
+pub struct NullfsOp {
+    layer: Option<LayerId>,
+    inner: Option<(Box<dyn KernelOp>, &'static str)>,
+    phase: u8,
+}
+
+/// Wraps `inner` (any lower-file-system op) in a nullfs layer whose
+/// probes record into `layer` under the same operation name.
+pub fn nullfs(layer: Option<LayerId>, inner: impl KernelOp + 'static, name: &'static str) -> NullfsOp {
+    NullfsOp { layer, inner: Some((Box::new(inner), name)), phase: 0 }
+}
+
+impl KernelOp for NullfsOp {
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Cpu(NULLFS_OVERHEAD)
+            }
+            1 => {
+                self.phase = 2;
+                let (op, name) = self.inner.take().expect("nullfs calls inner once");
+                match self.layer {
+                    Some(layer) => Step::Call(op, Some(ProbeTag { layer, op: name })),
+                    None => Step::Call(op, None),
+                }
+            }
+            _ => Step::Done(ctx.retval.unwrap_or(0)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "nullfs"
+    }
+}

@@ -1,0 +1,165 @@
+//! Kernel configuration.
+
+use osprof_core::clock::{characteristic, secs_to_cycles, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a simulated kernel.
+///
+/// Defaults model the paper's test machine: a 1.7 GHz Pentium 4 running
+/// Linux 2.6.11 — 58 ms scheduling quantum, 4 ms timer tick, ~5.5 µs
+/// context switch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Number of CPUs.
+    pub num_cpus: usize,
+    /// Scheduling quantum in cycles (paper: ~58 ms).
+    pub quantum: Cycles,
+    /// Whether the kernel may preempt a process inside a system call
+    /// (Linux 2.6 `CONFIG_PREEMPT`; the Figure 3 toggle). When false,
+    /// quantum expiry inside a syscall only sets need-resched; the switch
+    /// happens at the next kernel/user boundary.
+    pub kernel_preemption: bool,
+    /// Timer interrupt period in cycles (paper: 4 ms — 250 Hz).
+    pub timer_period: Cycles,
+    /// CPU time consumed by one timer interrupt (cycles).
+    pub timer_service: Cycles,
+    /// Context switch cost in cycles (paper: ~5–6 µs).
+    pub context_switch: Cycles,
+    /// Cost of an uncontended semaphore/mutex acquire or release.
+    ///
+    /// §6.1: "semaphore and lock-related operations impose relatively
+    /// high overheads even without contention, because the semaphore
+    /// function is called twice and its size is comparable to llseek."
+    pub lock_overhead: Cycles,
+    /// Per-CPU TSC offsets in cycles (clock skew, §3.4). Missing entries
+    /// default to 0. Linux-style boot synchronization leaves ~130 ns.
+    pub tsc_skew: Vec<i64>,
+    /// Extra wall-clock cycles consumed by one instrumented probe
+    /// (entry + exit). The paper measures ~200 cycles per profiled OS
+    /// entry point (§7).
+    pub probe_overhead: Cycles,
+    /// Cycles of the probe overhead that fall *between* the two TSC
+    /// reads and are therefore included in recorded latencies (paper
+    /// §5.2: ~40 cycles, which is why "the smallest values we observed
+    /// in any profile were always in the 5th bucket").
+    pub probe_window: Cycles,
+    /// Sleeping-lock wake semantics. `false` (default) models strict
+    /// FIFO ownership handoff — fair, starvation-free, and what Linux's
+    /// `sem->sleepers` protocol approximates in practice. `true` models
+    /// steal-capable wake-one (`up()` marks the lock free; a running
+    /// process that calls `down()` before the woken waiter is scheduled
+    /// takes the lock). Stealing without a priority boost starves lock
+    /// waiters of I/O-bound processes on a single CPU; the flag exists
+    /// for the lock-semantics ablation bench.
+    pub lock_stealing: bool,
+    /// Whether a woken sleeper preempts a CPU running user-mode code,
+    /// as interactivity-boosting schedulers (Linux O(1)) do for
+    /// I/O-bound tasks. Without it, FIFO lock handoff forms convoys on
+    /// oversubscribed CPUs (every waiter also waits for the current
+    /// CPU occupant's user burst).
+    pub wakeup_preemption: bool,
+}
+
+impl KernelConfig {
+    /// Single-CPU configuration with the paper's characteristic times.
+    pub fn uniprocessor() -> Self {
+        KernelConfig {
+            num_cpus: 1,
+            quantum: characteristic::scheduling_quantum(),
+            kernel_preemption: false,
+            timer_period: characteristic::timer_period(),
+            timer_service: secs_to_cycles(5e-6),
+            context_switch: characteristic::context_switch(),
+            lock_overhead: 140,
+            tsc_skew: Vec::new(),
+            probe_overhead: 200,
+            probe_window: 40,
+            lock_stealing: false,
+            wakeup_preemption: true,
+        }
+    }
+
+    /// Dual-CPU SMP configuration (the Figure 1 FreeBSD machine).
+    pub fn smp(num_cpus: usize) -> Self {
+        KernelConfig { num_cpus, ..KernelConfig::uniprocessor() }
+    }
+
+    /// Enables in-kernel preemption (Linux `CONFIG_PREEMPT=y`).
+    pub fn with_kernel_preemption(mut self, on: bool) -> Self {
+        self.kernel_preemption = on;
+        self
+    }
+
+    /// Sets per-CPU TSC skew.
+    pub fn with_tsc_skew(mut self, skew: Vec<i64>) -> Self {
+        self.tsc_skew = skew;
+        self
+    }
+
+    /// Returns the TSC offset of `cpu`.
+    pub fn skew(&self, cpu: usize) -> i64 {
+        self.tsc_skew.get(cpu).copied().unwrap_or(0)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cpus == 0 {
+            return Err("num_cpus must be at least 1".into());
+        }
+        if self.quantum == 0 {
+            return Err("quantum must be positive".into());
+        }
+        if self.timer_period == 0 {
+            return Err("timer_period must be positive".into());
+        }
+        if self.timer_service >= self.timer_period {
+            return Err("timer_service must be shorter than timer_period".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig::uniprocessor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_characteristics() {
+        let c = KernelConfig::uniprocessor();
+        assert_eq!(c.num_cpus, 1);
+        assert!(!c.kernel_preemption);
+        // 58ms at 1.7GHz.
+        assert_eq!(c.quantum, 98_600_000);
+        // 4ms timer.
+        assert_eq!(c.timer_period, 6_800_000);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = KernelConfig::uniprocessor();
+        c.num_cpus = 0;
+        assert!(c.validate().is_err());
+        let mut c = KernelConfig::uniprocessor();
+        c.timer_service = c.timer_period;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn skew_defaults_to_zero() {
+        let c = KernelConfig::smp(4).with_tsc_skew(vec![0, 220]);
+        assert_eq!(c.skew(0), 0);
+        assert_eq!(c.skew(1), 220);
+        assert_eq!(c.skew(3), 0);
+    }
+}

@@ -1,0 +1,1133 @@
+//! The discrete-event kernel: scheduler, locks, interrupts, devices.
+//!
+//! See the crate docs for the execution model. Everything here is
+//! deterministic: events are ordered by `(time, sequence)` and all state
+//! transitions happen inside event handlers.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+use osprof_core::clock::Cycles;
+use osprof_core::profile::ProfileSet;
+
+use crate::config::KernelConfig;
+use crate::device::{DevId, Device, IoToken};
+use crate::op::{KernelOp, OpCtx, Step};
+use crate::probe::{Layer, LayerId};
+use crate::stats::{KernelStats, ProcStats};
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub usize);
+
+/// Sleeping-lock (semaphore/mutex) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LockId(pub usize);
+
+/// Wait-channel identifier (condition-variable-like).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChanId(pub usize);
+
+/// CPU index.
+type CpuId = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Ready,
+    Running(CpuId),
+    Blocked,
+    Sleeping,
+    Done,
+}
+
+/// A pending (partially executed) timed step.
+#[derive(Debug, Clone, Copy)]
+struct PendingCpu {
+    remaining: Cycles,
+    user: bool,
+    /// Probe overhead cycles inside this pending work (for accounting).
+    probe: bool,
+}
+
+struct ActiveProbe {
+    layer: LayerId,
+    op: &'static str,
+    /// TSC captured at entry (on the entry CPU), minus window adjustment.
+    start_tsc: i128,
+}
+
+struct Frame {
+    op: Box<dyn KernelOp>,
+    probe: Option<ActiveProbe>,
+}
+
+struct Proc {
+    stack: Vec<Frame>,
+    state: ProcState,
+    pending: Option<PendingCpu>,
+    retval: Option<i64>,
+    last_io_token: Option<IoToken>,
+    need_resched: bool,
+    /// Lock this process is blocked on (re-acquired at dispatch under
+    /// stealing semantics).
+    waiting_lock: Option<LockId>,
+    daemon: bool,
+    stats: ProcStats,
+    exit_value: Option<i64>,
+    blocked_since: Cycles,
+}
+
+struct CpuState {
+    running: Option<Pid>,
+    last_pid: Option<Pid>,
+    /// Invalidates stale segment-end events after a mid-segment
+    /// preemption.
+    seg_stamp: u64,
+    /// Start of the current run segment.
+    seg_start: Cycles,
+    /// Next timer tick on this CPU.
+    next_tick: Cycles,
+    /// End of the running process's quantum.
+    quantum_end: Cycles,
+}
+
+struct LockState {
+    owner: Option<Pid>,
+    waiters: VecDeque<Pid>,
+    #[allow(dead_code)]
+    name: &'static str,
+}
+
+/// The simulated kernel.
+pub struct Kernel {
+    config: KernelConfig,
+    now: Cycles,
+    seq: u64,
+    events: BinaryHeap<Reverse<(Cycles, u64, u8, usize)>>, // (time, seq, kind, arg)
+    cpus: Vec<CpuState>,
+    run_queue: VecDeque<Pid>,
+    procs: Vec<Proc>,
+    locks: Vec<LockState>,
+    chans: Vec<Vec<Pid>>,
+    devices: Vec<Box<dyn Device>>,
+    io_waiters: HashMap<IoToken, Pid>,
+    io_done: HashSet<IoToken>,
+    io_ev_scheduled: Vec<Option<Cycles>>,
+    next_token: u64,
+    layers: Vec<Layer>,
+    stats: KernelStats,
+    live_procs: usize,
+}
+
+const EV_SEG: u8 = 0;
+const EV_WAKE: u8 = 1;
+const EV_IO: u8 = 2;
+
+impl Kernel {
+    /// Creates a kernel from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: KernelConfig) -> Self {
+        config.validate().expect("invalid kernel configuration");
+        let cpus = (0..config.num_cpus)
+            .map(|_| CpuState {
+                running: None,
+                last_pid: None,
+                seg_stamp: 0,
+                seg_start: 0,
+                next_tick: config.timer_period,
+                quantum_end: 0,
+            })
+            .collect();
+        Kernel {
+            config,
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            cpus,
+            run_queue: VecDeque::new(),
+            procs: Vec::new(),
+            locks: Vec::new(),
+            chans: Vec::new(),
+            devices: Vec::new(),
+            io_waiters: HashMap::new(),
+            io_done: HashSet::new(),
+            io_ev_scheduled: Vec::new(),
+            next_token: 0,
+            layers: Vec::new(),
+            stats: KernelStats::default(),
+            live_procs: 0,
+        }
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Current simulation time in cycles.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Reads CPU `cpu`'s cycle counter (global time plus skew).
+    pub fn tsc(&self, cpu: usize) -> i128 {
+        self.now as i128 + self.config.skew(cpu) as i128
+    }
+
+    /// Global kernel counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Per-process counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid.
+    pub fn proc_stats(&self, pid: Pid) -> &ProcStats {
+        &self.procs[pid.0].stats
+    }
+
+    /// Exit value of a finished process (None while running).
+    pub fn exit_value(&self, pid: Pid) -> Option<i64> {
+        self.procs[pid.0].exit_value
+    }
+
+    // ----- setup -------------------------------------------------------
+
+    /// Registers a flat instrumentation layer.
+    pub fn add_layer(&mut self, name: impl Into<String>) -> LayerId {
+        self.layers.push(Layer::flat(name));
+        LayerId(self.layers.len() - 1)
+    }
+
+    /// Registers a sampled instrumentation layer (Figure 9 timelines).
+    pub fn add_sampled_layer(&mut self, name: impl Into<String>, interval: Cycles) -> LayerId {
+        self.layers.push(Layer::sampled(name, interval));
+        LayerId(self.layers.len() - 1)
+    }
+
+    /// Enables/disables a layer (a disabled layer's probes cost nothing
+    /// and record nothing — the "vanilla kernel" baseline of §5.2).
+    pub fn set_layer_enabled(&mut self, layer: LayerId, enabled: bool) {
+        self.layers[layer.0].enabled = enabled;
+    }
+
+    /// A flat snapshot of the profiles collected by `layer`.
+    pub fn layer_profiles(&self, layer: LayerId) -> ProfileSet {
+        self.layers[layer.0].profiles()
+    }
+
+    /// Direct access to a layer (e.g. for its sampled store).
+    pub fn layer(&self, layer: LayerId) -> &Layer {
+        &self.layers[layer.0]
+    }
+
+    /// Attaches a device.
+    pub fn attach_device(&mut self, dev: Box<dyn Device>) -> DevId {
+        self.devices.push(dev);
+        self.io_ev_scheduled.push(None);
+        DevId(self.devices.len() - 1)
+    }
+
+    /// Access to an attached device (e.g. its driver-level profiles).
+    pub fn device(&self, dev: DevId) -> &dyn Device {
+        self.devices[dev.0].as_ref()
+    }
+
+    /// Allocates a sleeping lock (semaphore/mutex).
+    pub fn alloc_lock(&mut self, name: &'static str) -> LockId {
+        self.locks.push(LockState { owner: None, waiters: VecDeque::new(), name });
+        LockId(self.locks.len() - 1)
+    }
+
+    /// Allocates a wait channel.
+    pub fn alloc_chan(&mut self) -> ChanId {
+        self.chans.push(Vec::new());
+        ChanId(self.chans.len() - 1)
+    }
+
+    /// Spawns a process running `op`. The run ends when all non-daemon
+    /// processes finish.
+    pub fn spawn(&mut self, op: impl KernelOp + 'static) -> Pid {
+        self.spawn_inner(Box::new(op), false)
+    }
+
+    /// Spawns a daemon (kernel thread); daemons do not keep the run
+    /// alive (bdflush-style background threads).
+    pub fn spawn_daemon(&mut self, op: impl KernelOp + 'static) -> Pid {
+        self.spawn_inner(Box::new(op), true)
+    }
+
+    fn spawn_inner(&mut self, op: Box<dyn KernelOp>, daemon: bool) -> Pid {
+        let pid = Pid(self.procs.len());
+        self.procs.push(Proc {
+            stack: vec![Frame { op, probe: None }],
+            // Spawn in Blocked: make_ready() below performs the real
+            // transition to Ready (and asserts against double-queuing).
+            state: ProcState::Blocked,
+            pending: None,
+            retval: None,
+            last_io_token: None,
+            need_resched: false,
+            waiting_lock: None,
+            daemon,
+            stats: ProcStats::default(),
+            exit_value: None,
+            blocked_since: self.now,
+        });
+        if !daemon {
+            self.live_procs += 1;
+        }
+        self.make_ready(pid);
+        pid
+    }
+
+    // ----- event plumbing ----------------------------------------------
+
+    fn push_event(&mut self, time: Cycles, kind: u8, arg: usize) {
+        self.seq += 1;
+        self.events.push(Reverse((time, self.seq, kind, arg)));
+    }
+
+    /// Runs until all non-daemon processes exit.
+    pub fn run(&mut self) {
+        self.run_inner(None);
+    }
+
+    /// Runs until `deadline` cycles (or all non-daemon processes exit).
+    pub fn run_until(&mut self, deadline: Cycles) {
+        self.run_inner(Some(deadline));
+    }
+
+    fn run_inner(&mut self, deadline: Option<Cycles>) {
+        loop {
+            // `run()` stops when the last non-daemon process exits;
+            // `run_until()` keeps driving daemons and pending I/O to the
+            // deadline.
+            if deadline.is_none() && self.live_procs == 0 {
+                break;
+            }
+            let Some(&Reverse((t, _, kind, arg))) = self.events.peek() else {
+                break;
+            };
+            if let Some(d) = deadline {
+                if t > d {
+                    self.now = d;
+                    return;
+                }
+            }
+            self.events.pop();
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            match kind {
+                EV_SEG => self.on_segment_end(arg),
+                EV_WAKE => self.on_wake(Pid(arg)),
+                EV_IO => self.on_io(DevId(arg)),
+                _ => unreachable!("unknown event kind"),
+            }
+        }
+        if let Some(d) = deadline {
+            self.now = self.now.max(d.min(self.now));
+        }
+    }
+
+    // ----- scheduler ----------------------------------------------------
+
+    fn make_ready(&mut self, pid: Pid) {
+        let proc_ = &mut self.procs[pid.0];
+        debug_assert!(!matches!(proc_.state, ProcState::Ready | ProcState::Running(_)));
+        let was_blocked = matches!(proc_.state, ProcState::Blocked | ProcState::Sleeping);
+        if was_blocked {
+            let waited = self.now.saturating_sub(proc_.blocked_since);
+            proc_.stats.wait_cycles += waited;
+        }
+        proc_.state = ProcState::Ready;
+        if was_blocked {
+            // A process that just slept gets a priority boost, like
+            // interactivity-aware Unix schedulers.
+            self.run_queue.push_front(pid);
+        } else {
+            self.run_queue.push_back(pid);
+        }
+        // Kick an idle CPU, if any.
+        if let Some(cpu) = self.cpus.iter().position(|c| c.running.is_none()) {
+            self.dispatch(cpu);
+            return;
+        }
+        if !was_blocked || !self.config.wakeup_preemption {
+            return;
+        }
+        // Wakeup preemption: a woken sleeper may preempt a CPU running in
+        // user mode (or anywhere, with in-kernel preemption). Without
+        // this, FIFO lock handoffs form convoys real kernels avoid.
+        let candidate = self.cpus.iter().position(|c| {
+            c.running.map_or(false, |r| {
+                self.procs[r.0].pending.map_or(false, |p| p.user || self.config.kernel_preemption)
+            })
+        });
+        if let Some(cpu) = candidate {
+            self.preempt_running_now(cpu);
+            self.dispatch(cpu);
+        }
+    }
+
+    /// Preempts the process currently on `cpu` mid-segment, accounting
+    /// the partially consumed CPU time and re-queueing it.
+    fn preempt_running_now(&mut self, cpu: CpuId) {
+        let Some(victim) = self.cpus[cpu].running else {
+            return;
+        };
+        let seg_start = self.cpus[cpu].seg_start;
+        let elapsed = self.now.saturating_sub(seg_start);
+        if let Some(mut pending) = self.procs[victim.0].pending {
+            let consumed = elapsed.min(pending.remaining);
+            pending.remaining -= consumed;
+            {
+                let st = &mut self.procs[victim.0].stats;
+                if pending.user {
+                    st.user_cycles += consumed;
+                } else {
+                    st.sys_cycles += consumed;
+                    if pending.probe {
+                        st.probe_cycles += consumed;
+                    }
+                }
+            }
+            self.procs[victim.0].pending = if pending.remaining > 0 { Some(pending) } else { None };
+        }
+        self.stats.forced_preemptions += 1;
+        self.procs[victim.0].state = ProcState::Ready;
+        self.run_queue.push_back(victim);
+        // Invalidate the in-flight segment event.
+        self.cpus[cpu].seg_stamp += 1;
+        self.cpus[cpu].running = None;
+    }
+
+    /// Picks the next process for `cpu` (which must be idle) and starts
+    /// its first segment.
+    fn dispatch(&mut self, cpu: CpuId) {
+        debug_assert!(self.cpus[cpu].running.is_none());
+        let Some(pid) = self.run_queue.pop_front() else {
+            return;
+        };
+        debug_assert_eq!(self.procs[pid.0].state, ProcState::Ready);
+        self.procs[pid.0].state = ProcState::Running(cpu);
+
+        let switch_cost = if self.cpus[cpu].last_pid == Some(pid) { 0 } else { self.config.context_switch };
+        if switch_cost > 0 {
+            self.stats.context_switches += 1;
+        }
+        let start = self.now + switch_cost;
+        let c = &mut self.cpus[cpu];
+        c.running = Some(pid);
+        c.last_pid = Some(pid);
+        c.quantum_end = start + self.config.quantum;
+        // Keep the tick train aligned and in the future.
+        while c.next_tick <= self.now {
+            c.next_tick += self.config.timer_period;
+        }
+        self.begin_segment(cpu, start);
+    }
+
+    /// Starts (or resumes) execution of the CPU's running process at
+    /// `start`, scheduling the segment-end event.
+    fn begin_segment(&mut self, cpu: CpuId, start: Cycles) {
+        let pid = self.cpus[cpu].running.expect("begin_segment on idle cpu");
+        // Under stealing semantics, a woken lock waiter re-attempts the
+        // acquisition now; a running thief may have taken the lock.
+        if let Some(lock) = self.procs[pid.0].waiting_lock {
+            let l = &mut self.locks[lock.0];
+            if l.owner.is_none() {
+                l.owner = Some(pid);
+                self.procs[pid.0].waiting_lock = None;
+                self.procs[pid.0].pending =
+                    Some(PendingCpu { remaining: self.config.lock_overhead.max(1), user: false, probe: false });
+            } else {
+                // Stolen: back to the front of the wait queue.
+                l.waiters.push_front(pid);
+                self.procs[pid.0].state = ProcState::Blocked;
+                self.procs[pid.0].blocked_since = self.now;
+                self.cpus[cpu].running = None;
+                self.dispatch(cpu);
+                return;
+            }
+        }
+        if self.procs[pid.0].pending.is_none() {
+            // Advance the state machine right now (time `start` is when
+            // the CPU becomes available; instantaneous steps happen
+            // then). We model the advance at current `now` but charge
+            // the segment from `start`.
+            if !self.advance(pid, cpu) {
+                return; // blocked/exited; dispatch already handled
+            }
+        }
+        let pending = self.procs[pid.0].pending.expect("advance must set pending");
+        let completion = start + pending.remaining;
+        let tick = self.cpus[cpu].next_tick.max(start);
+        let end = completion.min(tick);
+        self.cpus[cpu].seg_start = start;
+        self.cpus[cpu].seg_stamp += 1;
+        debug_assert!(cpu < 256, "CPU index must fit the event encoding");
+        self.push_event(end, EV_SEG, cpu | ((self.cpus[cpu].seg_stamp as usize) << 8));
+    }
+
+    fn on_segment_end(&mut self, arg: usize) {
+        let cpu: CpuId = arg & 0xFF;
+        let stamp = (arg >> 8) as u64;
+        if stamp != self.cpus[cpu].seg_stamp {
+            // A newer segment replaced this one (mid-segment preemption
+            // or block); stale event.
+            return;
+        }
+        let Some(pid) = self.cpus[cpu].running else {
+            // CPU went idle before the event fired (process blocked at
+            // segment start); stale event.
+            return;
+        };
+        let seg_start = self.cpus[cpu].seg_start;
+        if self.now < seg_start {
+            // Stale event from before a context-switch delay.
+            return;
+        }
+        let elapsed = self.now - seg_start;
+        let Some(mut pending) = self.procs[pid.0].pending else {
+            return;
+        };
+        let consumed = elapsed.min(pending.remaining);
+        pending.remaining -= consumed;
+        {
+            let st = &mut self.procs[pid.0].stats;
+            if pending.user {
+                st.user_cycles += consumed;
+            } else {
+                st.sys_cycles += consumed;
+                if pending.probe {
+                    st.probe_cycles += consumed;
+                }
+            }
+        }
+        self.procs[pid.0].pending = if pending.remaining > 0 { Some(pending) } else { None };
+
+        // Timer tick due?
+        let mut resume_at = self.now;
+        if self.now >= self.cpus[cpu].next_tick {
+            self.stats.timer_interrupts += 1;
+            self.cpus[cpu].next_tick += self.config.timer_period;
+            resume_at = self.now + self.config.timer_service;
+            // Quantum check happens at the scheduler tick, like a real
+            // kernel.
+            if self.now >= self.cpus[cpu].quantum_end && !self.run_queue.is_empty() {
+                let in_user = self.procs[pid.0].pending.map(|p| p.user).unwrap_or(false);
+                if in_user || self.config.kernel_preemption {
+                    self.stats.forced_preemptions += 1;
+                    if !in_user {
+                        self.stats.kernel_preemptions += 1;
+                    }
+                    self.preempt(cpu, pid);
+                    return;
+                }
+                self.procs[pid.0].need_resched = true;
+            }
+        }
+
+        if self.procs[pid.0].pending.is_some() {
+            // Step not finished: continue in a new segment.
+            self.begin_segment(cpu, resume_at);
+        } else {
+            // Step finished: advance the state machine.
+            if self.advance(pid, cpu) {
+                self.begin_segment(cpu, resume_at);
+            }
+        }
+    }
+
+    fn preempt(&mut self, cpu: CpuId, pid: Pid) {
+        self.procs[pid.0].state = ProcState::Ready;
+        self.run_queue.push_back(pid);
+        self.cpus[cpu].running = None;
+        self.dispatch(cpu);
+    }
+
+    fn block(&mut self, cpu: CpuId, pid: Pid, state: ProcState) {
+        self.procs[pid.0].state = state;
+        self.procs[pid.0].blocked_since = self.now;
+        self.stats.voluntary_switches += 1;
+        self.cpus[cpu].running = None;
+        self.dispatch(cpu);
+    }
+
+    fn on_wake(&mut self, pid: Pid) {
+        if self.procs[pid.0].state == ProcState::Sleeping {
+            self.make_ready(pid);
+        }
+    }
+
+    // ----- I/O -----------------------------------------------------------
+
+    fn schedule_io_event(&mut self, dev: DevId) {
+        if let Some((t, _)) = self.devices[dev.0].next_completion() {
+            let t = t.max(self.now);
+            match self.io_ev_scheduled[dev.0] {
+                Some(s) if s <= t => {}
+                _ => {
+                    self.io_ev_scheduled[dev.0] = Some(t);
+                    self.push_event(t, EV_IO, dev.0);
+                }
+            }
+        }
+    }
+
+    fn on_io(&mut self, dev: DevId) {
+        self.io_ev_scheduled[dev.0] = None;
+        while let Some((t, token)) = self.devices[dev.0].next_completion() {
+            if t > self.now {
+                break;
+            }
+            self.devices[dev.0].complete(token);
+            self.stats.io_completed += 1;
+            if let Some(pid) = self.io_waiters.remove(&token) {
+                self.make_ready(pid);
+            } else {
+                self.io_done.insert(token);
+            }
+        }
+        self.schedule_io_event(dev);
+    }
+
+    // ----- the state machine driver --------------------------------------
+
+    /// Advances `pid`'s op stack until a timed step begins (returns true,
+    /// `pending` set) or the process blocks/exits (returns false; the CPU
+    /// has been re-dispatched).
+    fn advance(&mut self, pid: Pid, cpu: CpuId) -> bool {
+        loop {
+            let Some(mut frame) = self.procs[pid.0].stack.pop() else {
+                unreachable!("advance on empty stack");
+            };
+            let mut ctx = OpCtx {
+                pid,
+                now: self.now,
+                retval: self.procs[pid.0].retval,
+                last_io_token: self.procs[pid.0].last_io_token,
+                _marker: std::marker::PhantomData,
+            };
+            let step = frame.op.step(&mut ctx);
+            match step {
+                Step::Cpu(n) => {
+                    self.procs[pid.0].stack.push(frame);
+                    self.procs[pid.0].pending = Some(PendingCpu { remaining: n.max(1), user: false, probe: false });
+                    return true;
+                }
+                Step::UserCpu(n) => {
+                    self.procs[pid.0].stack.push(frame);
+                    self.procs[pid.0].pending = Some(PendingCpu { remaining: n.max(1), user: true, probe: false });
+                    // Kernel/user boundary: honor deferred rescheduling.
+                    if self.procs[pid.0].need_resched && !self.run_queue.is_empty() {
+                        self.procs[pid.0].need_resched = false;
+                        self.stats.forced_preemptions += 1;
+                        self.preempt(cpu, pid);
+                        return false;
+                    }
+                    return true;
+                }
+                Step::Lock(lock) => {
+                    self.procs[pid.0].stack.push(frame);
+                    self.stats.lock_acquisitions += 1;
+                    let l = &mut self.locks[lock.0];
+                    if l.owner.is_none() {
+                        l.owner = Some(pid);
+                        self.procs[pid.0].pending =
+                            Some(PendingCpu { remaining: self.config.lock_overhead.max(1), user: false, probe: false });
+                        return true;
+                    }
+                    self.stats.lock_contentions += 1;
+                    l.waiters.push_back(pid);
+                    self.procs[pid.0].waiting_lock = Some(lock);
+                    self.block(cpu, pid, ProcState::Blocked);
+                    return false;
+                }
+                Step::Unlock(lock) => {
+                    self.procs[pid.0].stack.push(frame);
+                    let stealing = self.config.lock_stealing;
+                    let l = &mut self.locks[lock.0];
+                    debug_assert_eq!(l.owner, Some(pid), "unlock by non-owner");
+                    if stealing {
+                        // Linux-2.6-semaphore style: mark free, wake the
+                        // first waiter; it re-acquires when scheduled and
+                        // may find the lock stolen by a running process.
+                        l.owner = None;
+                        if let Some(next) = l.waiters.pop_front() {
+                            self.make_ready(next);
+                        }
+                    } else {
+                        // FIFO ownership handoff: deterministic and fair.
+                        l.owner = l.waiters.pop_front();
+                        if let Some(next) = l.owner {
+                            // The woken process finishes its acquire path
+                            // when scheduled; charge the cost then.
+                            self.procs[next.0].waiting_lock = None;
+                            self.procs[next.0].pending = Some(PendingCpu {
+                                remaining: self.config.lock_overhead.max(1),
+                                user: false,
+                                probe: false,
+                            });
+                            self.make_ready(next);
+                        }
+                    }
+                    self.procs[pid.0].pending =
+                        Some(PendingCpu { remaining: self.config.lock_overhead.max(1), user: false, probe: false });
+                    return true;
+                }
+                Step::Wait(chan) => {
+                    self.procs[pid.0].stack.push(frame);
+                    self.chans[chan.0].push(pid);
+                    self.block(cpu, pid, ProcState::Blocked);
+                    return false;
+                }
+                Step::Signal(chan) => {
+                    self.procs[pid.0].stack.push(frame);
+                    let waiters = std::mem::take(&mut self.chans[chan.0]);
+                    for w in waiters {
+                        self.make_ready(w);
+                    }
+                    // Instantaneous; keep stepping.
+                    continue;
+                }
+                Step::SubmitIo(dev, req) => {
+                    self.procs[pid.0].stack.push(frame);
+                    self.next_token += 1;
+                    let token = IoToken(self.next_token);
+                    self.procs[pid.0].last_io_token = Some(token);
+                    self.stats.io_submitted += 1;
+                    self.devices[dev.0].submit(self.now, token, req);
+                    self.schedule_io_event(dev);
+                    continue;
+                }
+                Step::WaitIo(token) => {
+                    self.procs[pid.0].stack.push(frame);
+                    if self.io_done.remove(&token) {
+                        continue;
+                    }
+                    self.io_waiters.insert(token, pid);
+                    self.block(cpu, pid, ProcState::Blocked);
+                    return false;
+                }
+                Step::Sleep(n) => {
+                    self.procs[pid.0].stack.push(frame);
+                    self.push_event(self.now + n.max(1), EV_WAKE, pid.0);
+                    self.block(cpu, pid, ProcState::Sleeping);
+                    return false;
+                }
+                Step::Yield => {
+                    self.procs[pid.0].stack.push(frame);
+                    if self.run_queue.is_empty() {
+                        // Nothing to yield to: continue immediately. This
+                        // also breaks the zero-time recursion a lone
+                        // yield-looping process would otherwise cause
+                        // (yield -> dispatch -> advance -> yield ...).
+                        continue;
+                    }
+                    self.stats.voluntary_switches += 1;
+                    self.procs[pid.0].state = ProcState::Ready;
+                    self.run_queue.push_back(pid);
+                    self.cpus[cpu].running = None;
+                    self.dispatch(cpu);
+                    return false;
+                }
+                Step::Call(child, tag) => {
+                    self.procs[pid.0].stack.push(frame);
+                    let probe = tag.and_then(|tag| {
+                        if !self.layers[tag.layer.0].enabled {
+                            return None;
+                        }
+                        // TSC read happens `window` cycles before the
+                        // probed body starts; the pre-half of the probe
+                        // overhead is charged below.
+                        let pre = self.config.probe_overhead / 2;
+                        let start_tsc = self.tsc(cpu) + pre as i128 - self.config.probe_window as i128;
+                        Some(ActiveProbe { layer: tag.layer, op: tag.op, start_tsc })
+                    });
+                    let probed = probe.is_some();
+                    self.procs[pid.0].stack.push(Frame { op: child, probe });
+                    self.procs[pid.0].retval = None;
+                    if probed && self.config.probe_overhead > 0 {
+                        self.procs[pid.0].pending = Some(PendingCpu {
+                            remaining: (self.config.probe_overhead / 2).max(1),
+                            user: false,
+                            probe: true,
+                        });
+                        return true;
+                    }
+                    continue;
+                }
+                Step::Done(v) => {
+                    // `frame` is dropped: the op finished.
+                    let mut post_cost = false;
+                    if let Some(probe) = frame.probe {
+                        let end_tsc = self.tsc(cpu);
+                        let latency = (end_tsc - probe.start_tsc).max(0) as u64;
+                        self.layers[probe.layer.0].record(probe.op, latency, self.now);
+                        self.stats.probes_recorded += 1;
+                        post_cost = self.config.probe_overhead > 0;
+                    }
+                    self.procs[pid.0].retval = Some(v);
+                    if self.procs[pid.0].stack.is_empty() {
+                        // Process exit.
+                        self.procs[pid.0].state = ProcState::Done;
+                        self.procs[pid.0].exit_value = Some(v);
+                        self.procs[pid.0].stats.exited_at = Some(self.now);
+                        if !self.procs[pid.0].daemon {
+                            self.live_procs -= 1;
+                        }
+                        self.cpus[cpu].running = None;
+                        self.dispatch(cpu);
+                        return false;
+                    }
+                    if post_cost {
+                        self.procs[pid.0].pending = Some(PendingCpu {
+                            remaining: (self.config.probe_overhead - self.config.probe_overhead / 2).max(1),
+                            user: false,
+                            probe: true,
+                        });
+                        return true;
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{FixedLatencyDevice, IoKind, IoRequest};
+    use crate::op::{FixedCost, Script};
+
+    fn quiet_config() -> KernelConfig {
+        // No probe overhead, tiny context switch: easier arithmetic.
+        let mut c = KernelConfig::uniprocessor();
+        c.probe_overhead = 0;
+        c.probe_window = 0;
+        c.context_switch = 0;
+        c.lock_overhead = 1;
+        c
+    }
+
+    #[test]
+    fn single_process_runs_to_completion() {
+        let mut k = Kernel::new(quiet_config());
+        let pid = k.spawn(FixedCost::new(1_000));
+        k.run();
+        assert_eq!(k.exit_value(pid), Some(0));
+        assert_eq!(k.proc_stats(pid).sys_cycles, 1_000);
+    }
+
+    #[test]
+    fn timer_interrupts_stretch_wall_time() {
+        let mut k = Kernel::new(quiet_config());
+        let period = k.config().timer_period;
+        let service = k.config().timer_service;
+        // Run 2.5 timer periods of CPU work.
+        let work = period * 5 / 2;
+        let pid = k.spawn(FixedCost::new(work));
+        k.run();
+        assert_eq!(k.proc_stats(pid).sys_cycles, work);
+        // Two ticks hit during the run; each added `service` wall cycles.
+        assert_eq!(k.stats().timer_interrupts, 2);
+        assert_eq!(k.now(), work + 2 * service);
+    }
+
+    #[test]
+    fn two_processes_share_one_cpu_round_robin() {
+        let mut k = Kernel::new(quiet_config());
+        let q = k.config().quantum;
+        let a = k.spawn(FixedCost::new(3 * q));
+        let b = k.spawn(FixedCost::new(3 * q));
+        k.run();
+        assert_eq!(k.proc_stats(a).sys_cycles, 3 * q);
+        assert_eq!(k.proc_stats(b).sys_cycles, 3 * q);
+        // Kernel-mode work without kernel preemption: deferred resched
+        // never fires because the processes never return to user mode —
+        // so A runs to completion, then B (FIFO). Forced preemptions: 0.
+        assert_eq!(k.stats().forced_preemptions, 0);
+        let ea = k.proc_stats(a).exited_at.unwrap();
+        let eb = k.proc_stats(b).exited_at.unwrap();
+        assert!(ea < eb);
+    }
+
+    #[test]
+    fn kernel_preemption_interleaves_cpu_hogs() {
+        let mut cfg = quiet_config();
+        cfg.kernel_preemption = true;
+        let q = cfg.quantum;
+        let mut k = Kernel::new(cfg);
+        let a = k.spawn(FixedCost::new(3 * q));
+        let b = k.spawn(FixedCost::new(3 * q));
+        k.run();
+        assert!(k.stats().forced_preemptions >= 3, "preemptions: {}", k.stats().forced_preemptions);
+        assert!(k.stats().kernel_preemptions >= 3);
+        // Both finish within ~one quantum of each other.
+        let ea = k.proc_stats(a).exited_at.unwrap();
+        let eb = k.proc_stats(b).exited_at.unwrap();
+        assert!(ea.abs_diff(eb) <= q + k.config().timer_period, "ea={ea} eb={eb}");
+    }
+
+    #[test]
+    fn user_mode_preemption_works_without_kernel_preemption() {
+        let mut k = Kernel::new(quiet_config());
+        let q = k.config().quantum;
+        // Processes alternating tiny syscalls and long user loops.
+        struct UserHog {
+            left: u64,
+            q: Cycles,
+        }
+        impl KernelOp for UserHog {
+            fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+                if self.left == 0 {
+                    return Step::Done(0);
+                }
+                self.left -= 1;
+                Step::UserCpu(self.q / 4)
+            }
+        }
+        let a = k.spawn(UserHog { left: 12, q });
+        let b = k.spawn(UserHog { left: 12, q });
+        k.run();
+        assert!(k.stats().forced_preemptions >= 2, "preemptions: {}", k.stats().forced_preemptions);
+        let ea = k.proc_stats(a).exited_at.unwrap();
+        let eb = k.proc_stats(b).exited_at.unwrap();
+        assert!(ea.abs_diff(eb) <= 2 * q);
+    }
+
+    #[test]
+    fn lock_contention_serializes() {
+        // Two CPUs: on one non-preemptive CPU the scripts would simply
+        // serialize and never contend.
+        let mut cfg = quiet_config();
+        cfg.num_cpus = 2;
+        let mut k = Kernel::new(cfg);
+        let lock = k.alloc_lock("test-sem");
+        let mk = |lock: LockId| {
+            Script::new(vec![Step::Lock(lock), Step::Cpu(10_000), Step::Unlock(lock), Step::Done(0)])
+        };
+        let a = k.spawn(mk(lock));
+        let b = k.spawn(mk(lock));
+        k.run();
+        assert_eq!(k.stats().lock_acquisitions, 2);
+        assert_eq!(k.stats().lock_contentions, 1);
+        // B waits for A's critical section.
+        let ea = k.proc_stats(a).exited_at.unwrap();
+        let eb = k.proc_stats(b).exited_at.unwrap();
+        assert!(eb > ea);
+        assert!(k.proc_stats(b).wait_cycles >= 9_000, "wait: {}", k.proc_stats(b).wait_cycles);
+    }
+
+    #[test]
+    fn smp_runs_processes_in_parallel() {
+        let mut cfg = quiet_config();
+        cfg.num_cpus = 2;
+        let mut k = Kernel::new(cfg);
+        let a = k.spawn(FixedCost::new(1_000_000));
+        let b = k.spawn(FixedCost::new(1_000_000));
+        k.run();
+        let ea = k.proc_stats(a).exited_at.unwrap();
+        let eb = k.proc_stats(b).exited_at.unwrap();
+        // Parallel: both end near 1M cycles, not 2M.
+        assert!(ea < 1_100_000 && eb < 1_100_000, "ea={ea} eb={eb}");
+    }
+
+    #[test]
+    fn io_blocks_until_completion() {
+        let mut k = Kernel::new(quiet_config());
+        let dev = k.attach_device(Box::new(FixedLatencyDevice::new(500_000)));
+        struct IoOp {
+            dev: DevId,
+            phase: u8,
+        }
+        impl KernelOp for IoOp {
+            fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Step::SubmitIo(self.dev, IoRequest { kind: IoKind::Read, lba: 8, len: 8 })
+                    }
+                    1 => {
+                        self.phase = 2;
+                        Step::WaitIo(ctx.last_io_token.expect("token set after submit"))
+                    }
+                    _ => Step::Done(0),
+                }
+            }
+        }
+        let pid = k.spawn(IoOp { dev, phase: 0 });
+        k.run();
+        assert_eq!(k.stats().io_submitted, 1);
+        assert_eq!(k.stats().io_completed, 1);
+        assert!(k.proc_stats(pid).wait_cycles >= 500_000);
+        assert!(k.now() >= 500_000);
+    }
+
+    #[test]
+    fn probed_calls_record_latency() {
+        let mut cfg = quiet_config();
+        cfg.probe_overhead = 200;
+        cfg.probe_window = 40;
+        let mut k = Kernel::new(cfg);
+        let layer = k.add_layer("fs");
+        struct Caller {
+            layer: LayerId,
+            calls: u32,
+            in_call: bool,
+        }
+        impl KernelOp for Caller {
+            fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+                if self.in_call {
+                    self.in_call = false;
+                    self.calls -= 1;
+                    return if self.calls == 0 { Step::Done(0) } else { Step::UserCpu(50) };
+                }
+                self.in_call = true;
+                Step::call_probed(FixedCost::new(960), self.layer, "read")
+            }
+        }
+        let pid = k.spawn(Caller { layer, calls: 100, in_call: false });
+        k.run();
+        let profiles = k.layer_profiles(layer);
+        let p = profiles.get("read").unwrap();
+        assert_eq!(p.total_ops(), 100);
+        // Recorded latency = 960 + window (40) = 1000 -> bucket 9.
+        assert_eq!(p.count_in(9), 100, "buckets: {:?}", p.buckets());
+        // Probe overhead charged to system time.
+        assert_eq!(k.proc_stats(pid).probe_cycles, 100 * 200);
+        assert_eq!(k.stats().probes_recorded, 100);
+    }
+
+    #[test]
+    fn disabled_layer_costs_and_records_nothing() {
+        let mut cfg = quiet_config();
+        cfg.probe_overhead = 200;
+        let mut k = Kernel::new(cfg);
+        let layer = k.add_layer("fs");
+        k.set_layer_enabled(layer, false);
+        let pid = k.spawn(Script::new(vec![Step::call_probed(FixedCost::new(100), layer, "read")]));
+        k.run();
+        assert!(k.layer_profiles(layer).is_empty());
+        assert_eq!(k.proc_stats(pid).probe_cycles, 0);
+    }
+
+    #[test]
+    fn nested_probed_calls_record_at_both_layers() {
+        let mut cfg = quiet_config();
+        cfg.probe_overhead = 0;
+        cfg.probe_window = 0;
+        let mut k = Kernel::new(cfg);
+        let user = k.add_layer("user");
+        let fs = k.add_layer("fs");
+        struct Outer {
+            fs: LayerId,
+            done: bool,
+        }
+        impl KernelOp for Outer {
+            fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+                if self.done {
+                    return Step::Done(0);
+                }
+                self.done = true;
+                Step::call_probed(FixedCost::new(500), self.fs, "ext2_read")
+            }
+        }
+        struct Top {
+            user: LayerId,
+            fs: LayerId,
+            done: bool,
+        }
+        impl KernelOp for Top {
+            fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+                if self.done {
+                    return Step::Done(0);
+                }
+                self.done = true;
+                Step::call_probed(Outer { fs: self.fs, done: false }, self.user, "read")
+            }
+        }
+        k.spawn(Top { user, fs, done: false });
+        k.run();
+        let up = k.layer_profiles(user);
+        let fp = k.layer_profiles(fs);
+        assert_eq!(up.get("read").unwrap().total_ops(), 1);
+        assert_eq!(fp.get("ext2_read").unwrap().total_ops(), 1);
+        // The user-level latency covers the fs-level latency.
+        assert!(up.get("read").unwrap().max_latency() >= fp.get("ext2_read").unwrap().max_latency());
+    }
+
+    #[test]
+    fn tsc_skew_shows_up_via_tsc_reads() {
+        let mut cfg = quiet_config();
+        cfg.num_cpus = 2;
+        cfg.tsc_skew = vec![0, 500];
+        let k = Kernel::new(cfg);
+        assert_eq!(k.tsc(0), 0);
+        assert_eq!(k.tsc(1), 500);
+    }
+
+    #[test]
+    fn sleep_wakes_after_interval() {
+        let mut k = Kernel::new(quiet_config());
+        let pid = k.spawn(Script::new(vec![Step::Sleep(1_000_000), Step::Cpu(10)]));
+        k.run();
+        assert!(k.now() >= 1_000_000);
+        assert!(k.proc_stats(pid).wait_cycles >= 1_000_000);
+    }
+
+    #[test]
+    fn daemons_do_not_keep_run_alive() {
+        let mut k = Kernel::new(quiet_config());
+        struct Forever;
+        impl KernelOp for Forever {
+            fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+                Step::Sleep(1_000_000)
+            }
+        }
+        k.spawn_daemon(Forever);
+        k.spawn(FixedCost::new(100));
+        k.run();
+        // Terminates despite the immortal daemon.
+        assert!(k.now() < 10_000_000);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut k = Kernel::new(quiet_config());
+        k.spawn(FixedCost::new(u64::MAX / 4));
+        k.run_until(1_000_000);
+        assert!(k.now() <= 1_000_001);
+    }
+
+    #[test]
+    fn wait_signal_rendezvous() {
+        let mut k = Kernel::new(quiet_config());
+        let chan = k.alloc_chan();
+        let waiter = k.spawn(Script::new(vec![Step::Wait(chan), Step::Cpu(10)]));
+        let _signaler = k.spawn(Script::new(vec![Step::Cpu(100_000), Step::Signal(chan)]));
+        k.run();
+        assert!(k.proc_stats(waiter).wait_cycles >= 90_000);
+        assert_eq!(k.exit_value(waiter), Some(0));
+    }
+
+    #[test]
+    fn yield_rotates_the_run_queue() {
+        let mut k = Kernel::new(quiet_config());
+        let a = k.spawn(Script::new(vec![Step::Cpu(10), Step::Yield, Step::Cpu(10)]));
+        let b = k.spawn(Script::new(vec![Step::Cpu(10)]));
+        k.run();
+        // B runs between A's two slices.
+        let eb = k.proc_stats(b).exited_at.unwrap();
+        let ea = k.proc_stats(a).exited_at.unwrap();
+        assert!(eb < ea);
+    }
+}

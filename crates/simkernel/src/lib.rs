@@ -1,0 +1,83 @@
+//! # osprof-simkernel — a deterministic discrete-event OS kernel
+//!
+//! The OSprof paper profiles real kernels (Linux 2.4/2.6, FreeBSD 6.0,
+//! Windows XP). This crate is the substitute substrate: a discrete-event
+//! simulation of the kernel mechanisms whose latencies OSprof observes —
+//!
+//! - **CPUs** with per-CPU cycle counters (TSC), including configurable
+//!   inter-CPU clock skew (paper §3.4);
+//! - a **scheduler** with a run queue, a scheduling quantum, voluntary
+//!   yielding, and optional in-kernel preemption (the Figure 3 toggle);
+//! - **timer interrupts** that steal service time from whatever runs
+//!   (the bucket-13 peak of Figure 3);
+//! - **semaphores/mutexes** with FIFO wait queues and context-switch
+//!   costs (the contention peaks of Figures 1 and 6);
+//! - **devices** (block, network) attached through the [`device::Device`]
+//!   trait, with completion events and async submission;
+//! - **layered latency probes** — the FoSgen-equivalent instrumentation:
+//!   any nested kernel operation can be wrapped with a probe that reads
+//!   the local CPU's TSC at entry/exit and records the latency into that
+//!   layer's [`osprof_core::ProfileSet`] (Figure 2's user / file-system /
+//!   driver layers).
+//!
+//! Processes are state machines implementing [`op::KernelOp`]; each
+//! [`op::KernelOp::step`] returns a [`op::Step`] (consume CPU, take a
+//! lock, do I/O, call a nested op, ...) and the kernel advances virtual
+//! time deterministically. Given the same configuration and workloads,
+//! every run produces identical profiles.
+//!
+//! ## Example
+//!
+//! ```
+//! use osprof_simkernel::config::KernelConfig;
+//! use osprof_simkernel::kernel::Kernel;
+//! use osprof_simkernel::op::{KernelOp, OpCtx, Step};
+//!
+//! /// A process that performs 1000 fixed-cost "syscalls".
+//! struct Spinner {
+//!     left: u32,
+//!     layer: osprof_simkernel::probe::LayerId,
+//!     in_call: bool,
+//! }
+//! impl KernelOp for Spinner {
+//!     fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+//!         if self.in_call {
+//!             self.in_call = false;
+//!             self.left -= 1;
+//!             return Step::UserCpu(100);
+//!         }
+//!         if self.left == 0 {
+//!             return Step::Done(0);
+//!         }
+//!         self.in_call = true;
+//!         Step::call_probed(
+//!             osprof_simkernel::op::FixedCost::new(500),
+//!             self.layer,
+//!             "nullcall",
+//!         )
+//!     }
+//! }
+//!
+//! let mut k = Kernel::new(KernelConfig::uniprocessor());
+//! let layer = k.add_layer("user");
+//! k.spawn(Spinner { left: 1000, layer, in_call: false });
+//! k.run();
+//! let profiles = k.layer_profiles(layer);
+//! let p = profiles.get("nullcall").unwrap();
+//! assert_eq!(p.total_ops(), 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod device;
+pub mod kernel;
+pub mod op;
+pub mod probe;
+pub mod stats;
+
+pub use config::KernelConfig;
+pub use kernel::{Kernel, LockId, Pid};
+pub use op::{KernelOp, OpCtx, Step};
+pub use probe::LayerId;

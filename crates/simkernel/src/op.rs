@@ -1,0 +1,215 @@
+//! Kernel operations: the process/state-machine model.
+//!
+//! Everything that executes in the simulated kernel — user processes,
+//! system calls, VFS operations, file-system internals, kernel threads —
+//! implements [`KernelOp`]. The kernel repeatedly calls
+//! [`KernelOp::step`]; each call returns the next [`Step`] to execute.
+//! Nested operations (a syscall calling a VFS op calling a file-system
+//! op) are expressed with [`Step::Call`], which pushes a child op onto
+//! the process's kernel stack; when the child finishes with
+//! [`Step::Done`], the parent resumes and can read the return value from
+//! [`OpCtx::retval`].
+//!
+//! Latency probes attach to `Call` steps: a probed call reads the local
+//! CPU's TSC at push and pop and records the difference into the probe's
+//! layer — exactly the paper's `FSPROF_PRE`/`FSPROF_POST` placement.
+
+use osprof_core::clock::Cycles;
+
+use crate::device::{DevId, IoRequest, IoToken};
+use crate::kernel::{ChanId, LockId, Pid};
+use crate::probe::LayerId;
+
+/// A latency probe tag for a nested call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeTag {
+    /// The instrumentation layer that records this call.
+    pub layer: LayerId,
+    /// Operation name recorded in the profile.
+    pub op: &'static str,
+}
+
+/// One step of kernel execution returned by [`KernelOp::step`].
+pub enum Step {
+    /// Consume CPU cycles in kernel mode. Preemptible at quantum expiry
+    /// only if the kernel was built with in-kernel preemption.
+    Cpu(Cycles),
+    /// Consume CPU cycles in user mode (always preemptible; think "the
+    /// code between system calls").
+    UserCpu(Cycles),
+    /// Acquire a sleeping lock/semaphore; blocks if contended.
+    Lock(LockId),
+    /// Release a lock; wakes the first waiter.
+    Unlock(LockId),
+    /// Block until another op signals the channel.
+    Wait(ChanId),
+    /// Wake every process waiting on the channel.
+    Signal(ChanId),
+    /// Submit an I/O request to a device; does not block. The assigned
+    /// token is readable from [`OpCtx::last_io_token`] on the next step.
+    SubmitIo(DevId, IoRequest),
+    /// Block until the given I/O completes (no-op if already complete).
+    WaitIo(IoToken),
+    /// Sleep for the given number of cycles.
+    Sleep(Cycles),
+    /// Voluntarily yield the CPU (stay runnable, go to the back of the
+    /// run queue).
+    Yield,
+    /// Invoke a nested kernel operation, optionally probed.
+    Call(Box<dyn KernelOp>, Option<ProbeTag>),
+    /// Finish this op, returning a value to the parent (or exiting the
+    /// process when this is the outermost op).
+    Done(i64),
+}
+
+impl Step {
+    /// Convenience: a probed nested call.
+    pub fn call_probed(op: impl KernelOp + 'static, layer: LayerId, name: &'static str) -> Step {
+        Step::Call(Box::new(op), Some(ProbeTag { layer, op: name }))
+    }
+
+    /// Convenience: an unprobed nested call.
+    pub fn call(op: impl KernelOp + 'static) -> Step {
+        Step::Call(Box::new(op), None)
+    }
+}
+
+impl std::fmt::Debug for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Step::Cpu(c) => write!(f, "Cpu({c})"),
+            Step::UserCpu(c) => write!(f, "UserCpu({c})"),
+            Step::Lock(l) => write!(f, "Lock({l:?})"),
+            Step::Unlock(l) => write!(f, "Unlock({l:?})"),
+            Step::Wait(c) => write!(f, "Wait({c:?})"),
+            Step::Signal(c) => write!(f, "Signal({c:?})"),
+            Step::SubmitIo(d, r) => write!(f, "SubmitIo({d:?}, {r:?})"),
+            Step::WaitIo(t) => write!(f, "WaitIo({t:?})"),
+            Step::Sleep(c) => write!(f, "Sleep({c})"),
+            Step::Yield => write!(f, "Yield"),
+            Step::Call(_, tag) => write!(f, "Call(<op>, {tag:?})"),
+            Step::Done(v) => write!(f, "Done({v})"),
+        }
+    }
+}
+
+/// Context available to [`KernelOp::step`].
+#[derive(Debug)]
+pub struct OpCtx<'k> {
+    /// The calling process.
+    pub pid: Pid,
+    /// Current global simulation time (cycles). Probes use per-CPU TSC;
+    /// ops normally have no business reading time, but workload
+    /// generators use it for pacing decisions.
+    pub now: Cycles,
+    /// Return value of the most recent child [`Step::Call`].
+    pub retval: Option<i64>,
+    /// Token assigned by the most recent [`Step::SubmitIo`].
+    pub last_io_token: Option<IoToken>,
+    pub(crate) _marker: std::marker::PhantomData<&'k ()>,
+}
+
+/// A kernel operation (process body, syscall, VFS op, kthread...).
+pub trait KernelOp {
+    /// Produces the next execution step.
+    ///
+    /// Called once at start and then again after each step completes;
+    /// implementations are state machines advancing on each call.
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step;
+
+    /// Debug name of the operation (used in traces and panics).
+    fn name(&self) -> &'static str {
+        "anonymous-op"
+    }
+}
+
+/// An op that consumes a fixed number of kernel-CPU cycles and returns 0.
+///
+/// The building block for calibration workloads and tests.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedCost {
+    cost: Cycles,
+    ran: bool,
+}
+
+impl FixedCost {
+    /// Creates an op costing `cost` kernel cycles.
+    pub fn new(cost: Cycles) -> Self {
+        FixedCost { cost, ran: false }
+    }
+}
+
+impl KernelOp for FixedCost {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        if self.ran {
+            Step::Done(0)
+        } else {
+            self.ran = true;
+            Step::Cpu(self.cost)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-cost"
+    }
+}
+
+/// An op that runs a fixed sequence of steps (for tests and simple
+/// workloads). Each call to `step` pops the next entry.
+pub struct Script {
+    steps: std::collections::VecDeque<Step>,
+}
+
+impl Script {
+    /// Creates a scripted op; a final `Done(0)` is appended if the script
+    /// does not end with `Done`.
+    pub fn new(steps: Vec<Step>) -> Self {
+        let mut steps: std::collections::VecDeque<Step> = steps.into();
+        if !matches!(steps.back(), Some(Step::Done(_))) {
+            steps.push_back(Step::Done(0));
+        }
+        Script { steps }
+    }
+}
+
+impl KernelOp for Script {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        self.steps.pop_front().unwrap_or(Step::Done(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "script"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> OpCtx<'static> {
+        OpCtx { pid: Pid(0), now: 0, retval: None, last_io_token: None, _marker: std::marker::PhantomData }
+    }
+
+    #[test]
+    fn fixed_cost_runs_once() {
+        let mut op = FixedCost::new(100);
+        let mut c = ctx();
+        assert!(matches!(op.step(&mut c), Step::Cpu(100)));
+        assert!(matches!(op.step(&mut c), Step::Done(0)));
+    }
+
+    #[test]
+    fn script_appends_done() {
+        let mut op = Script::new(vec![Step::Cpu(5)]);
+        let mut c = ctx();
+        assert!(matches!(op.step(&mut c), Step::Cpu(5)));
+        assert!(matches!(op.step(&mut c), Step::Done(0)));
+        assert!(matches!(op.step(&mut c), Step::Done(0)));
+    }
+
+    #[test]
+    fn step_debug_formats() {
+        assert_eq!(format!("{:?}", Step::Cpu(7)), "Cpu(7)");
+        assert_eq!(format!("{:?}", Step::Yield), "Yield");
+    }
+}

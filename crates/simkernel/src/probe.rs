@@ -1,0 +1,99 @@
+//! Instrumentation layers: where collected profiles live.
+//!
+//! Figure 2 of the paper shows probes at the user, file-system and driver
+//! levels. In the simulator, a *layer* is a named [`ProfileSet`] (or a
+//! time-segmented [`SampledProfile`], for Figure 9-style timeline
+//! profiles). Probed calls record into their tag's layer with per-CPU
+//! TSC semantics, including the probe's measurement window (§5.2's ~40
+//! cycles between the two TSC reads).
+
+use osprof_core::clock::Cycles;
+use osprof_core::profile::ProfileSet;
+use osprof_core::sampling::SampledProfile;
+
+/// Identifies an instrumentation layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerId(pub usize);
+
+/// Storage backing one layer.
+#[derive(Debug)]
+pub enum LayerStore {
+    /// One flat profile set for the whole run.
+    Flat(ProfileSet),
+    /// Time-segmented profiles (paper §3.1 "profile sampling").
+    Sampled(SampledProfile),
+}
+
+/// A named instrumentation layer.
+#[derive(Debug)]
+pub struct Layer {
+    /// Layer name (e.g. `"user"`, `"file-system"`, `"driver"`).
+    pub name: String,
+    /// Collected profiles.
+    pub store: LayerStore,
+    /// When false, probes tagged for this layer neither record nor cost
+    /// anything — the "vanilla kernel" of the Section 5.2 comparison.
+    pub enabled: bool,
+}
+
+impl Layer {
+    /// Creates a flat (non-sampled) layer.
+    pub fn flat(name: impl Into<String>) -> Self {
+        let name = name.into();
+        Layer { store: LayerStore::Flat(ProfileSet::new(name.clone())), name, enabled: true }
+    }
+
+    /// Creates a sampled layer with the given segment interval.
+    pub fn sampled(name: impl Into<String>, interval: Cycles) -> Self {
+        let name = name.into();
+        Layer { store: LayerStore::Sampled(SampledProfile::new(name.clone(), interval, 0)), name, enabled: true }
+    }
+
+    /// Records one operation latency at completion time `now`.
+    pub fn record(&mut self, op: &str, latency: Cycles, now: Cycles) {
+        match &mut self.store {
+            LayerStore::Flat(set) => set.record(op, latency),
+            LayerStore::Sampled(s) => s.record(op, latency, now),
+        }
+    }
+
+    /// A flat view of the collected profiles (sampled layers are
+    /// flattened on the fly).
+    pub fn profiles(&self) -> ProfileSet {
+        match &self.store {
+            LayerStore::Flat(set) => set.clone(),
+            LayerStore::Sampled(s) => s.flatten(),
+        }
+    }
+
+    /// The sampled store, if this layer samples.
+    pub fn sampled_store(&self) -> Option<&SampledProfile> {
+        match &self.store {
+            LayerStore::Sampled(s) => Some(s),
+            LayerStore::Flat(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_layer_records() {
+        let mut l = Layer::flat("fs");
+        l.record("read", 100, 5);
+        assert_eq!(l.profiles().get("read").unwrap().total_ops(), 1);
+        assert!(l.sampled_store().is_none());
+    }
+
+    #[test]
+    fn sampled_layer_segments_by_time() {
+        let mut l = Layer::sampled("fs", 1000);
+        l.record("read", 64, 10);
+        l.record("read", 64, 1500);
+        let s = l.sampled_store().unwrap();
+        assert_eq!(s.segments().len(), 2);
+        assert_eq!(l.profiles().get("read").unwrap().total_ops(), 2);
+    }
+}

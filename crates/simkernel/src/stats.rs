@@ -1,0 +1,68 @@
+//! Kernel and per-process accounting.
+//!
+//! The Section 5.2 evaluation compares *system time* between vanilla and
+//! instrumented kernels under Postmark; these counters are what that
+//! comparison reads.
+
+use osprof_core::clock::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// Global kernel counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Timer interrupts serviced.
+    pub timer_interrupts: u64,
+    /// Forced preemptions (quantum expiry with a ready competitor).
+    pub forced_preemptions: u64,
+    /// Forced preemptions that interrupted kernel-mode execution
+    /// (only possible with in-kernel preemption enabled).
+    pub kernel_preemptions: u64,
+    /// Voluntary yields/blocks.
+    pub voluntary_switches: u64,
+    /// I/O requests submitted.
+    pub io_submitted: u64,
+    /// I/O completions delivered.
+    pub io_completed: u64,
+    /// Lock acquisitions that had to wait.
+    pub lock_contentions: u64,
+    /// Lock acquisitions total.
+    pub lock_acquisitions: u64,
+    /// Probed calls recorded.
+    pub probes_recorded: u64,
+}
+
+/// Per-process accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Cycles spent executing in kernel mode (system time), including
+    /// probe overhead.
+    pub sys_cycles: Cycles,
+    /// Cycles spent executing in user mode.
+    pub user_cycles: Cycles,
+    /// Cycles of probe overhead included in `sys_cycles`.
+    pub probe_cycles: Cycles,
+    /// Cycles spent blocked (locks, I/O, sleeps) — wait time.
+    pub wait_cycles: Cycles,
+    /// Completion time (cycles) if the process has exited.
+    pub exited_at: Option<Cycles>,
+}
+
+impl ProcStats {
+    /// Total CPU cycles (user + system).
+    pub fn cpu_cycles(&self) -> Cycles {
+        self.sys_cycles + self.user_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_cycles_sums_modes() {
+        let s = ProcStats { sys_cycles: 10, user_cycles: 5, ..Default::default() };
+        assert_eq!(s.cpu_cycles(), 15);
+    }
+}

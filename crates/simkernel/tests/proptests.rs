@@ -1,0 +1,118 @@
+//! Property-based tests for the kernel's scheduling invariants.
+
+use osprof_simkernel::config::KernelConfig;
+use osprof_simkernel::kernel::Kernel;
+use osprof_simkernel::op::{FixedCost, KernelOp, OpCtx, Step};
+use proptest::prelude::*;
+
+/// A process running a parameterized mix of user/kernel/yield steps.
+struct MixedOp {
+    script: Vec<u8>,
+    idx: usize,
+}
+
+impl KernelOp for MixedOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        let Some(&code) = self.script.get(self.idx) else {
+            return Step::Done(0);
+        };
+        self.idx += 1;
+        match code % 4 {
+            0 => Step::Cpu(1 + (code as u64) * 37),
+            1 => Step::UserCpu(1 + (code as u64) * 53),
+            2 => Step::Yield,
+            _ => Step::Sleep(1 + (code as u64) * 211),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every spawned process eventually exits, whatever the step mix,
+    /// CPU count or preemption mode — no lost processes, no deadlock.
+    #[test]
+    fn all_processes_complete(
+        scripts in prop::collection::vec(prop::collection::vec(0u8..=255, 0..24), 1..6),
+        cpus in 1usize..4,
+        preempt in any::<bool>(),
+    ) {
+        let mut cfg = KernelConfig::smp(cpus).with_kernel_preemption(preempt);
+        cfg.context_switch = 100;
+        let mut k = Kernel::new(cfg);
+        let pids: Vec<_> = scripts
+            .into_iter()
+            .map(|script| k.spawn(MixedOp { script, idx: 0 }))
+            .collect();
+        k.run();
+        for pid in pids {
+            prop_assert_eq!(k.exit_value(pid), Some(0), "process {:?} never exited", pid);
+        }
+    }
+
+    /// CPU-time accounting is conserved: the sum of charged user+system
+    /// cycles equals the work each op requested.
+    #[test]
+    fn cpu_accounting_is_exact(costs in prop::collection::vec(1u64..1_000_000, 1..5), cpus in 1usize..3) {
+        let mut cfg = KernelConfig::smp(cpus);
+        cfg.probe_overhead = 0;
+        let mut k = Kernel::new(cfg);
+        let pids: Vec<_> = costs.iter().map(|&c| k.spawn(FixedCost::new(c))).collect();
+        k.run();
+        for (pid, &cost) in pids.iter().zip(&costs) {
+            prop_assert_eq!(k.proc_stats(*pid).sys_cycles, cost);
+            prop_assert_eq!(k.proc_stats(*pid).user_cycles, 0);
+        }
+    }
+
+    /// Wall-clock monotonicity and exit ordering: a strictly cheaper
+    /// process spawned first on one CPU finishes no later than an
+    /// expensive one (FIFO round robin without preemption).
+    #[test]
+    fn cheaper_first_process_finishes_first(extra in 1u64..1_000_000) {
+        let mut cfg = KernelConfig::uniprocessor();
+        cfg.context_switch = 0;
+        let mut k = Kernel::new(cfg);
+        let a = k.spawn(FixedCost::new(1_000));
+        let b = k.spawn(FixedCost::new(1_000 + extra));
+        k.run();
+        let ea = k.proc_stats(a).exited_at.unwrap();
+        let eb = k.proc_stats(b).exited_at.unwrap();
+        prop_assert!(ea < eb);
+    }
+
+    /// Lock acquire/release cycles never deadlock and always serialize
+    /// the critical sections (no two holders), for any interleaving
+    /// pressure created by different critical-section lengths.
+    #[test]
+    fn locks_serialize_critical_sections(
+        crits in prop::collection::vec(1u64..50_000, 2..6),
+        cpus in 1usize..4,
+    ) {
+        use osprof_simkernel::op::Script;
+        let mut cfg = KernelConfig::smp(cpus);
+        cfg.probe_overhead = 0;
+        let mut k = Kernel::new(cfg);
+        let lock = k.alloc_lock("prop");
+        let pids: Vec<_> = crits
+            .iter()
+            .map(|&c| {
+                k.spawn(Script::new(vec![
+                    Step::Lock(lock),
+                    Step::Cpu(c),
+                    Step::Unlock(lock),
+                    Step::Done(0),
+                ]))
+            })
+            .collect();
+        k.run();
+        for pid in &pids {
+            prop_assert_eq!(k.exit_value(*pid), Some(0));
+        }
+        prop_assert_eq!(k.stats().lock_acquisitions, crits.len() as u64);
+        // Serialization lower bound: the run cannot finish before the
+        // sum of critical sections.
+        let total: u64 = crits.iter().sum();
+        prop_assert!(k.now() >= total, "now {} < total crit {}", k.now(), total);
+    }
+}

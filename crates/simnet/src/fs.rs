@@ -1,0 +1,422 @@
+//! The remote (CIFS/SMB) file system: client-side operations.
+//!
+//! The client redirector keeps a listing cache: one wire exchange fetches
+//! up to `entries_per_exchange` directory entries, and the application's
+//! `FindNext` calls are satisfied locally until the cache drains — that
+//! split is exactly why Figure 10's `FindNext` profile has both local
+//! peaks (left of bucket 18) and server peaks (buckets 26–30), while
+//! every `FindFirst` "go[es] through the server".
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use osprof_simfs::image::{FsImage, Ino, NodeKind, PAGE_BYTES};
+use osprof_simkernel::device::{DevId, IoKind, IoRequest};
+use osprof_simkernel::op::{KernelOp, OpCtx, ProbeTag, Step};
+use osprof_simkernel::probe::LayerId;
+
+use crate::wire::{WireRef, WireReq};
+
+/// Entries the application receives per FindFirst/FindNext call.
+pub const IRP_BATCH_ENTRIES: u64 = 32;
+
+/// Client-side CPU cost of a locally-satisfied operation (cycles).
+const LOCAL_OP_CPU: u64 = 1800;
+
+/// Per-directory enumeration state.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEnum {
+    /// Next entry index the application will receive.
+    next: u64,
+    /// Entries fetched from the server so far.
+    fetched: u64,
+}
+
+/// Client-side state of the remote mount.
+pub struct RemoteState {
+    /// The server's namespace (used to answer enumerations and sizes).
+    pub image: FsImage,
+    /// The wire.
+    pub wire: WireRef,
+    /// The link device id.
+    pub dev: DevId,
+    /// Client file-system instrumentation layer.
+    pub fs_layer: Option<LayerId>,
+    /// Client page cache.
+    pages: HashSet<(Ino, u64)>,
+    /// Server page cache model (which pages the server has read before).
+    server_pages: HashSet<(Ino, u64)>,
+    /// Enumeration state per directory.
+    enums: HashMap<Ino, DirEnum>,
+}
+
+/// Shared handle to a remote mount.
+pub type RemoteRef = Rc<RefCell<RemoteState>>;
+
+/// A mounted remote file system.
+pub struct RemoteFs {
+    state: RemoteRef,
+}
+
+impl RemoteFs {
+    /// Mounts `image` (the server's tree) over `wire`/`dev`.
+    pub fn new(image: FsImage, wire: WireRef, dev: DevId, fs_layer: Option<LayerId>) -> RemoteFs {
+        RemoteFs {
+            state: Rc::new(RefCell::new(RemoteState {
+                image,
+                wire,
+                dev,
+                fs_layer,
+                pages: HashSet::new(),
+                server_pages: HashSet::new(),
+                enums: HashMap::new(),
+            })),
+        }
+    }
+
+    /// The shared state handle.
+    pub fn state(&self) -> RemoteRef {
+        Rc::clone(&self.state)
+    }
+}
+
+/// A remote syscall wrapper (probes the inner op at the client fs layer).
+pub struct RemoteSyscall {
+    st: RemoteRef,
+    inner: Option<(Box<dyn KernelOp>, &'static str)>,
+    called: bool,
+}
+
+impl KernelOp for RemoteSyscall {
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+        if !self.called {
+            self.called = true;
+            let (op, name) = self.inner.take().expect("remote syscall runs once");
+            return match self.st.borrow().fs_layer {
+                Some(layer) => Step::Call(op, Some(ProbeTag { layer, op: name })),
+                None => Step::Call(op, None),
+            };
+        }
+        Step::Done(ctx.retval.unwrap_or(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "remote-syscall"
+    }
+}
+
+fn syscall(st: &RemoteRef, op: impl KernelOp + 'static, name: &'static str) -> RemoteSyscall {
+    RemoteSyscall { st: st.clone(), inner: Some((Box::new(op), name)), called: false }
+}
+
+fn dir_total(st: &RemoteRef, dir: Ino) -> u64 {
+    match &st.borrow().image.node(dir).kind {
+        NodeKind::Dir { entries } => entries.len() as u64,
+        NodeKind::File { .. } => 0,
+    }
+}
+
+/// A wire exchange: queue the typed request, submit, wait.
+struct WireOp {
+    st: RemoteRef,
+    req: WireReq,
+    phase: u8,
+}
+
+impl KernelOp for WireOp {
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                let st = self.st.borrow();
+                st.wire.borrow_mut().pending.push_back(self.req);
+                Step::SubmitIo(st.dev, IoRequest { kind: IoKind::Read, lba: 0, len: 0 })
+            }
+            1 => {
+                self.phase = 2;
+                Step::WaitIo(ctx.last_io_token.expect("wire op submitted"))
+            }
+            _ => Step::Done(0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "wire-exchange"
+    }
+}
+
+// ---------------------------------------------------------------------
+// FindFirst / FindNext
+// ---------------------------------------------------------------------
+
+struct FindFirstOp {
+    st: RemoteRef,
+    dir: Ino,
+    phase: u8,
+    n: i64,
+}
+
+/// Creates a `FindFirst` operation: begins enumerating `dir`.
+pub fn find_first(st: &RemoteRef, dir: Ino) -> RemoteSyscall {
+    syscall(st, FindFirstOp { st: st.clone(), dir, phase: 0, n: 0 }, "FIND_FIRST")
+}
+
+impl KernelOp for FindFirstOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                let total = dir_total(&self.st, self.dir);
+                let per_exchange = self.st.borrow().wire.borrow().config.entries_per_exchange;
+                let fetch = total.min(per_exchange);
+                self.n = total.min(IRP_BATCH_ENTRIES) as i64;
+                {
+                    let mut st = self.st.borrow_mut();
+                    st.enums.insert(self.dir, DirEnum { next: self.n as u64, fetched: fetch });
+                }
+                // FindFirst always goes to the server, even for an empty
+                // directory (the pattern must be evaluated there).
+                Step::call(WireOp { st: self.st.clone(), req: WireReq::FindFirst { entries: fetch }, phase: 0 })
+            }
+            1 => {
+                self.phase = 2;
+                Step::Cpu(LOCAL_OP_CPU)
+            }
+            _ => Step::Done(self.n),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FIND_FIRST"
+    }
+}
+
+struct FindNextOp {
+    st: RemoteRef,
+    dir: Ino,
+    phase: u8,
+    n: i64,
+}
+
+/// Creates a `FindNext` operation: continues enumerating `dir`.
+pub fn find_next(st: &RemoteRef, dir: Ino) -> RemoteSyscall {
+    syscall(st, FindNextOp { st: st.clone(), dir, phase: 0, n: 0 }, "FIND_NEXT")
+}
+
+impl KernelOp for FindNextOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                let total = dir_total(&self.st, self.dir);
+                let state = self.st.borrow().enums.get(&self.dir).copied().unwrap_or_default();
+                let wire = self.st.borrow().wire.clone();
+                let per_exchange = wire.borrow().config.entries_per_exchange;
+                if state.next >= total {
+                    // Enumeration finished: a fast local return.
+                    self.phase = 2;
+                    self.n = 0;
+                    return Step::Cpu(LOCAL_OP_CPU / 4);
+                }
+                let batch = (total - state.next).min(IRP_BATCH_ENTRIES);
+                self.n = batch as i64;
+                if state.next + batch <= state.fetched {
+                    // Satisfied from the redirector's listing cache.
+                    self.phase = 2;
+                    let mut st = self.st.borrow_mut();
+                    st.enums.insert(self.dir, DirEnum { next: state.next + batch, ..state });
+                    return Step::Cpu(LOCAL_OP_CPU);
+                }
+                // Cache drained: fetch the next chunk from the server.
+                self.phase = 1;
+                let fetch = (total - state.fetched).min(per_exchange);
+                {
+                    let mut st = self.st.borrow_mut();
+                    st.enums.insert(
+                        self.dir,
+                        DirEnum { next: state.next + batch, fetched: state.fetched + fetch },
+                    );
+                }
+                Step::call(WireOp { st: self.st.clone(), req: WireReq::FindNext { entries: fetch }, phase: 0 })
+            }
+            1 => {
+                self.phase = 2;
+                Step::Cpu(LOCAL_OP_CPU)
+            }
+            _ => Step::Done(self.n),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FIND_NEXT"
+    }
+}
+
+// ---------------------------------------------------------------------
+// read
+// ---------------------------------------------------------------------
+
+struct RemoteReadOp {
+    st: RemoteRef,
+    ino: Ino,
+    cur_page: u64,
+    end_page: u64,
+    bytes: i64,
+    phase: u8,
+}
+
+/// Creates a remote `read`: client page cache first, server otherwise.
+pub fn read(st: &RemoteRef, ino: Ino, offset: u64, len: u64) -> RemoteSyscall {
+    let size = st.borrow().image.node(ino).data_bytes();
+    let clamped = if offset >= size { 0 } else { len.min(size - offset) };
+    let (cur, end) = if clamped == 0 {
+        (1, 0) // empty range
+    } else {
+        (offset / PAGE_BYTES, (offset + clamped - 1) / PAGE_BYTES)
+    };
+    syscall(
+        st,
+        RemoteReadOp { st: st.clone(), ino, cur_page: cur, end_page: end, bytes: clamped as i64, phase: 0 },
+        "read",
+    )
+}
+
+impl KernelOp for RemoteReadOp {
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                if self.cur_page > self.end_page {
+                    self.phase = 2;
+                    return Step::Cpu(LOCAL_OP_CPU / 8);
+                }
+                let cached = self.st.borrow().pages.contains(&(self.ino, self.cur_page));
+                if cached {
+                    self.cur_page += 1;
+                    return Step::Cpu(LOCAL_OP_CPU / 2);
+                }
+                // Fetch from the server; track the server's own cache to
+                // decide whether its disk gets involved.
+                let server_cold = {
+                    let mut st = self.st.borrow_mut();
+                    st.pages.insert((self.ino, self.cur_page));
+                    st.server_pages.insert((self.ino, self.cur_page))
+                };
+                self.phase = 1;
+                Step::call(WireOp {
+                    st: self.st.clone(),
+                    req: WireReq::Read { bytes: PAGE_BYTES, server_cold },
+                    phase: 0,
+                })
+            }
+            1 => {
+                self.cur_page += 1;
+                self.phase = 0;
+                let _ = ctx;
+                Step::Cpu(LOCAL_OP_CPU / 2)
+            }
+            _ => Step::Done(self.bytes),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "read"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{CifsConfig, CifsLink, ClientKind};
+    use osprof_simfs::image::ROOT;
+    use osprof_simkernel::config::KernelConfig;
+    use osprof_simkernel::kernel::Kernel;
+
+    struct Seq {
+        ops: Vec<RemoteSyscall>,
+        idx: usize,
+        in_call: bool,
+    }
+
+    impl KernelOp for Seq {
+        fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+            if self.in_call {
+                self.in_call = false;
+                return Step::UserCpu(500);
+            }
+            if self.idx >= self.ops.len() {
+                return Step::Done(0);
+            }
+            let op = self.ops.remove(0);
+            self.idx += 0; // ops drain from the front
+            self.in_call = true;
+            Step::call(op)
+        }
+    }
+
+    fn setup(client: ClientKind, entries: usize) -> (Kernel, RemoteRef, LayerId) {
+        let mut img = FsImage::new();
+        for i in 0..entries {
+            img.create_file(ROOT, format!("f{i}"), 8192);
+        }
+        let mut k = Kernel::new(KernelConfig::uniprocessor());
+        let layer = k.add_layer("cifs-client");
+        let (link, wire) = CifsLink::new(CifsConfig::paper_lan(client));
+        let dev = k.attach_device(Box::new(link));
+        let fs = RemoteFs::new(img, wire, dev, Some(layer));
+        (k, fs.state(), layer)
+    }
+
+    #[test]
+    fn enumeration_mixes_local_and_remote_findnext() {
+        let (mut k, st, layer) = setup(ClientKind::LinuxSmb, 300);
+        let mut ops = vec![find_first(&st, ROOT)];
+        // 300 entries / 32 per call = 10 calls total; plus final empty.
+        for _ in 0..10 {
+            ops.push(find_next(&st, ROOT));
+        }
+        k.spawn(Seq { ops, idx: 0, in_call: false });
+        k.run();
+        let p = k.layer_profiles(layer);
+        let ff = p.get("FIND_FIRST").unwrap();
+        let fnx = p.get("FIND_NEXT").unwrap();
+        assert_eq!(ff.total_ops(), 1);
+        assert_eq!(fnx.total_ops(), 10);
+        // Remote boundary: bucket 18 (~168us; paper §6.4). FindNext
+        // crossing exchange boundaries (128-entry chunks) goes remote:
+        // fetches at entries 128 and 256 -> 2 remote FindNexts.
+        let remote: u64 = (18..=32).map(|b| fnx.count_in(b)).sum();
+        let local: u64 = (0..18).map(|b| fnx.count_in(b)).sum();
+        assert_eq!(remote, 2, "findnext buckets: {:?}", fnx.buckets());
+        assert_eq!(local, 8);
+        // FindFirst is always remote.
+        assert!(ff.first_bucket().unwrap() >= 18);
+    }
+
+    #[test]
+    fn windows_findfirst_sits_in_delayed_ack_buckets() {
+        let (mut k, st, layer) = setup(ClientKind::WindowsDelayedAck, 128);
+        k.spawn(Seq { ops: vec![find_first(&st, ROOT)], idx: 0, in_call: false });
+        k.run();
+        let p = k.layer_profiles(layer);
+        let ff = p.get("FIND_FIRST").unwrap();
+        let apex = ff.first_bucket().unwrap();
+        assert!((26..=30).contains(&apex), "FindFirst bucket {apex}");
+    }
+
+    #[test]
+    fn remote_read_caches_client_side() {
+        let (mut k, st, layer) = setup(ClientKind::LinuxSmb, 4);
+        let file = st.borrow().image.entries(ROOT)[0].1;
+        let ops = vec![read(&st, file, 0, 4096), read(&st, file, 0, 4096)];
+        k.spawn(Seq { ops, idx: 0, in_call: false });
+        k.run();
+        let p = k.layer_profiles(layer);
+        let rd = p.get("read").unwrap();
+        assert_eq!(rd.total_ops(), 2);
+        // One remote (>= bucket 18; cold server disk pushes it further
+        // right), one local (< bucket 18).
+        let remote: u64 = (18..=32).map(|b| rd.count_in(b)).sum();
+        let local: u64 = (0..18).map(|b| rd.count_in(b)).sum();
+        assert_eq!((remote, local), (1, 1), "read buckets: {:?}", rd.buckets());
+    }
+}

@@ -1,0 +1,33 @@
+//! # osprof-simnet — a CIFS/SMB network file system with TCP timing
+//!
+//! Reproduces the Section 6.4 experiments: a client machine running grep
+//! over a CIFS (Windows client) or SMB (Linux client) mount served by a
+//! Windows/NTFS file server across a 100 Mbps link.
+//!
+//! The latency-generating mechanism (Figure 11): the server splits large
+//! `FIND_FIRST`/`FIND_NEXT` replies into TCP segments and *will not send
+//! further data until everything sent so far is acknowledged*. The
+//! client's delayed-ACK algorithm acknowledges every second segment
+//! immediately but holds the ACK of a trailing odd segment for ~200 ms
+//! in the hope of piggybacking it on outgoing data. The Windows client
+//! has nothing to send, so every reply burst ends with a 200 ms stall;
+//! the Linux SMB client immediately issues the next `FIND_NEXT`, which
+//! carries the ACK, so it never stalls. Disabling delayed ACKs in the
+//! registry removes the stall and "improved elapsed time by 20%".
+//!
+//! The server and the wire are modeled analytically inside a
+//! [`CifsLink`] device: each request's completion time is computed from
+//! the protocol state (segment counts, burst boundaries, delayed-ACK
+//! timers, server-side page cache and disk), and every packet is logged
+//! to a [`trace::PacketTrace`] so Figure 11's timeline can be
+//! regenerated verbatim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fs;
+pub mod trace;
+pub mod wire;
+
+pub use fs::RemoteFs;
+pub use wire::{CifsConfig, CifsLink, ClientKind, WireRef};

@@ -1,0 +1,99 @@
+//! Packet traces: the Figure 11 timeline data.
+
+use osprof_core::clock::{cycles_to_secs, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// Who put the packet on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The client machine.
+    Client,
+    /// The server machine.
+    Server,
+}
+
+/// One packet on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Send time in cycles.
+    pub at: Cycles,
+    /// Sender.
+    pub from: Endpoint,
+    /// Protocol annotation, e.g. `"FIND_FIRST request (SMB)"` or
+    /// `"ACK of continuation 2 (TCP)"`.
+    pub what: String,
+}
+
+/// A bounded log of wire packets.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PacketTrace {
+    packets: Vec<Packet>,
+    /// Recording stops after this many packets (0 = unlimited).
+    pub limit: usize,
+}
+
+impl PacketTrace {
+    /// Creates a trace recording at most `limit` packets.
+    pub fn with_limit(limit: usize) -> Self {
+        PacketTrace { packets: Vec::new(), limit }
+    }
+
+    /// Records a packet (dropped silently once the limit is reached).
+    pub fn record(&mut self, at: Cycles, from: Endpoint, what: impl Into<String>) {
+        if self.limit == 0 || self.packets.len() < self.limit {
+            self.packets.push(Packet { at, from, what: what.into() });
+        }
+    }
+
+    /// The recorded packets in send order.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Renders the trace like the Figure 11 timelines: millisecond
+    /// timestamps relative to the first packet, sender column, and the
+    /// protocol annotation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let t0 = self.packets.first().map(|p| p.at).unwrap_or(0);
+        out.push_str("  ms     sender  packet\n");
+        for p in &self.packets {
+            let ms = cycles_to_secs(p.at - t0) * 1e3;
+            let who = match p.from {
+                Endpoint::Client => "client",
+                Endpoint::Server => "server",
+            };
+            out.push_str(&format!("{ms:7.1}  {who:<6}  {}\n", p.what));
+        }
+        out
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_and_renders() {
+        let mut t = PacketTrace::with_limit(10);
+        t.record(0, Endpoint::Client, "FIND_FIRST request (SMB)");
+        t.record(340_000_000, Endpoint::Server, "FIND_FIRST reply (SMB)");
+        let r = t.render();
+        assert!(r.contains("FIND_FIRST request"));
+        assert!(r.contains("200.0  server"), "render: {r}");
+    }
+
+    #[test]
+    fn trace_respects_limit() {
+        let mut t = PacketTrace::with_limit(2);
+        for i in 0..5 {
+            t.record(i, Endpoint::Client, "x");
+        }
+        assert_eq!(t.packets().len(), 2);
+    }
+}

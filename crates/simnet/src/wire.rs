@@ -1,0 +1,393 @@
+//! The wire: an analytic CIFS/SMB server + TCP model as a kernel device.
+//!
+//! Completion times are computed from protocol state at submission; every
+//! packet is logged so the Figure 11 timelines can be printed. The model
+//! follows the paper's observed behavior exactly:
+//!
+//! - the server splits replies into 1460-byte TCP segments and sends at
+//!   most one *burst* (3 segments in Figure 11) before waiting for the
+//!   client to acknowledge everything sent so far;
+//! - the client ACKs every second segment immediately; a trailing odd
+//!   segment's ACK is delayed ~200 ms (the delayed-ACK timer) unless the
+//!   client has data to send;
+//! - the Linux SMB client always has the next `FIND_NEXT` to send, so
+//!   its ACKs piggyback and bursts continue after one RTT;
+//! - the "registry fix" client ACKs everything immediately.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use osprof_core::clock::{secs_to_cycles, Cycles};
+use osprof_core::profile::ProfileSet;
+use osprof_simkernel::device::{Device, IoRequest, IoToken};
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{Endpoint, PacketTrace};
+
+/// Client TCP acknowledgment behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientKind {
+    /// Windows redirector with default delayed ACKs (Figure 11 left).
+    WindowsDelayedAck,
+    /// Windows with the `TcpAckFrequency`-style registry fix: every
+    /// segment ACKed immediately (§6.4's "20%" experiment).
+    WindowsNoDelayedAck,
+    /// Linux smbfs client: piggybacks ACKs on the immediately-issued
+    /// next request (Figure 11 right).
+    LinuxSmb,
+}
+
+/// Wire and server timing parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CifsConfig {
+    /// One-way wire latency (paper: ~112 µs between the test machines).
+    pub one_way: Cycles,
+    /// Serialization cost per byte (100 Mbps ≈ 136 cycles/byte at
+    /// 1.7 GHz).
+    pub cycles_per_byte: Cycles,
+    /// TCP segment payload.
+    pub segment_bytes: u64,
+    /// Segments the server sends before requiring a full ACK.
+    pub burst_segments: u64,
+    /// Delayed-ACK timer (paper: ~200 ms).
+    pub delayed_ack: Cycles,
+    /// Client behavior.
+    pub client: ClientKind,
+    /// Server CPU for a FindFirst/FindNext (directory scan setup).
+    pub server_find_proc: Cycles,
+    /// Server CPU per directory entry returned.
+    pub server_per_entry: Cycles,
+    /// Server CPU for a read request.
+    pub server_read_proc: Cycles,
+    /// Server disk time for a cold (uncached) file page.
+    pub server_disk: Cycles,
+    /// Wire bytes per directory entry.
+    pub entry_wire_bytes: u64,
+    /// Entries the server returns per wire exchange.
+    pub entries_per_exchange: u64,
+}
+
+impl CifsConfig {
+    /// The paper's LAN and server, with the given client behavior.
+    pub fn paper_lan(client: ClientKind) -> Self {
+        CifsConfig {
+            one_way: osprof_core::clock::characteristic::network_latency(),
+            cycles_per_byte: 136,
+            segment_bytes: 1460,
+            burst_segments: 3,
+            delayed_ack: secs_to_cycles(0.2),
+            client,
+            server_find_proc: secs_to_cycles(400e-6),
+            server_per_entry: secs_to_cycles(2e-6),
+            server_read_proc: secs_to_cycles(150e-6),
+            server_disk: secs_to_cycles(6e-3),
+            entry_wire_bytes: 100,
+            entries_per_exchange: 128,
+        }
+    }
+}
+
+/// A typed request travelling over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireReq {
+    /// Begin a directory enumeration returning up to `entries` entries.
+    FindFirst {
+        /// Entries the server will return in this exchange.
+        entries: u64,
+    },
+    /// Continue an enumeration.
+    FindNext {
+        /// Entries the server will return in this exchange.
+        entries: u64,
+    },
+    /// Read file data.
+    Read {
+        /// Bytes requested.
+        bytes: u64,
+        /// Whether the server must touch its disk (cold page).
+        server_cold: bool,
+    },
+}
+
+/// Wire statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Completed exchanges.
+    pub exchanges: u64,
+    /// Delayed-ACK stalls incurred.
+    pub delayed_ack_stalls: u64,
+    /// Total bytes sent server→client.
+    pub reply_bytes: u64,
+    /// Server-side disk reads.
+    pub server_disk_reads: u64,
+}
+
+/// Shared wire state: typed request hand-off, packet trace, counters.
+pub struct CifsWire {
+    /// Configuration.
+    pub config: CifsConfig,
+    /// Typed requests queued by ops just before `SubmitIo` (FIFO).
+    pub pending: VecDeque<WireReq>,
+    /// Packet trace for Figure 11 (set `trace.limit` before running).
+    pub trace: PacketTrace,
+    /// Counters.
+    pub stats: WireStats,
+    /// Server-observed per-operation latency profiles (the "server" row
+    /// of the layered analysis).
+    pub server_profiles: ProfileSet,
+}
+
+/// Shared handle to the wire.
+pub type WireRef = Rc<RefCell<CifsWire>>;
+
+/// The network link device to attach to the kernel.
+pub struct CifsLink {
+    wire: WireRef,
+    busy_until: Cycles,
+    completions: BTreeMap<(Cycles, IoToken), ()>,
+}
+
+impl CifsLink {
+    /// Creates a link + shared wire handle.
+    pub fn new(config: CifsConfig) -> (CifsLink, WireRef) {
+        let wire = Rc::new(RefCell::new(CifsWire {
+            config,
+            pending: VecDeque::new(),
+            trace: PacketTrace::with_limit(0),
+            stats: WireStats::default(),
+            server_profiles: ProfileSet::new("server"),
+        }));
+        (CifsLink { wire: Rc::clone(&wire), busy_until: 0, completions: BTreeMap::new() }, wire)
+    }
+
+    /// Computes one exchange's completion time, logging packets.
+    fn exchange(&mut self, start: Cycles, req: WireReq) -> Cycles {
+        let mut w = self.wire.borrow_mut();
+        let cfg = w.config.clone();
+        let (name, reply_bytes, server_proc) = match req {
+            WireReq::FindFirst { entries } => (
+                "FIND_FIRST",
+                84 + entries * cfg.entry_wire_bytes,
+                cfg.server_find_proc + entries * cfg.server_per_entry,
+            ),
+            WireReq::FindNext { entries } => (
+                "FIND_NEXT",
+                84 + entries * cfg.entry_wire_bytes,
+                cfg.server_find_proc / 2 + entries * cfg.server_per_entry,
+            ),
+            WireReq::Read { bytes, server_cold } => {
+                let disk = if server_cold {
+                    w.stats.server_disk_reads += 1;
+                    cfg.server_disk
+                } else {
+                    0
+                };
+                ("read", 64 + bytes, cfg.server_read_proc + disk)
+            }
+        };
+
+        // Client request: one small segment.
+        let req_bytes = 120u64;
+        w.trace.record(start, Endpoint::Client, format!("{name} request (SMB)"));
+        let at_server = start + req_bytes * cfg.cycles_per_byte + cfg.one_way;
+
+        // Server processing, then the reply in bursts.
+        let mut t = at_server + server_proc;
+        let segs = reply_bytes.div_ceil(cfg.segment_bytes).max(1);
+        let bursts = segs.div_ceil(cfg.burst_segments);
+        let mut last_arrival = t;
+        for burst in 0..bursts {
+            let in_burst = (segs - burst * cfg.burst_segments).min(cfg.burst_segments);
+            for s in 0..in_burst {
+                let label = if burst == 0 && s == 0 {
+                    format!("{name} reply (SMB)")
+                } else if burst > 0 && s == 0 {
+                    "transact continuation (SMB)".to_string()
+                } else {
+                    format!("reply continuation {} (TCP)", burst * cfg.burst_segments + s)
+                };
+                t += cfg.segment_bytes.min(reply_bytes) * cfg.cycles_per_byte;
+                w.trace.record(t, Endpoint::Server, label);
+                last_arrival = t + cfg.one_way;
+                // Client ACKs every second segment immediately.
+                if s % 2 == 1 {
+                    w.trace.record(
+                        last_arrival,
+                        Endpoint::Client,
+                        format!("ACK of continuation {} (TCP)", burst * cfg.burst_segments + s),
+                    );
+                }
+            }
+            let last = burst == bursts - 1;
+            if last {
+                break;
+            }
+            // Burst boundary: the server waits for the ACK of the last
+            // segment before sending more.
+            let odd_tail = in_burst % 2 == 1;
+            let ack_sent_at = match (cfg.client, odd_tail) {
+                (ClientKind::WindowsDelayedAck, true) => {
+                    w.stats.delayed_ack_stalls += 1;
+                    w.trace.record(
+                        last_arrival + cfg.delayed_ack,
+                        Endpoint::Client,
+                        format!("ACK of continuation {} (TCP, delayed)", (burst + 1) * cfg.burst_segments - 1),
+                    );
+                    last_arrival + cfg.delayed_ack
+                }
+                (ClientKind::LinuxSmb, true) => {
+                    // Piggybacked on the next request the client already
+                    // wants to send.
+                    w.trace.record(
+                        last_arrival,
+                        Endpoint::Client,
+                        format!("ACK of continuation {} (TCP, piggybacked)", (burst + 1) * cfg.burst_segments - 1),
+                    );
+                    last_arrival
+                }
+                _ => {
+                    w.trace.record(
+                        last_arrival,
+                        Endpoint::Client,
+                        format!("ACK of continuation {} (TCP)", (burst + 1) * cfg.burst_segments - 1),
+                    );
+                    last_arrival
+                }
+            };
+            // ACK travels back; server resumes.
+            t = t.max(ack_sent_at + cfg.one_way);
+        }
+
+        w.stats.exchanges += 1;
+        w.stats.reply_bytes += reply_bytes;
+        let end = last_arrival;
+        w.server_profiles.record(name, end.saturating_sub(at_server));
+        end
+    }
+}
+
+impl Device for CifsLink {
+    fn submit(&mut self, now: Cycles, token: IoToken, _req: IoRequest) {
+        let typed = self
+            .wire
+            .borrow_mut()
+            .pending
+            .pop_front()
+            .unwrap_or(WireReq::Read { bytes: 4096, server_cold: false });
+        let start = now.max(self.busy_until);
+        let end = self.exchange(start, typed);
+        self.busy_until = end;
+        self.completions.insert((end, token), ());
+    }
+
+    fn next_completion(&self) -> Option<(Cycles, IoToken)> {
+        self.completions.keys().next().map(|&(t, tok)| (t, tok))
+    }
+
+    fn complete(&mut self, token: IoToken) {
+        let key = self.completions.keys().find(|&&(_, t)| t == token).copied();
+        if let Some(k) = key {
+            self.completions.remove(&k);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cifs-link"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprof_simkernel::device::IoKind;
+
+    fn run_exchange(client: ClientKind, req: WireReq) -> (Cycles, WireStats) {
+        let (mut link, wire) = CifsLink::new(CifsConfig::paper_lan(client));
+        wire.borrow_mut().pending.push_back(req);
+        link.submit(0, IoToken(1), IoRequest { kind: IoKind::Read, lba: 0, len: 0 });
+        let (end, _) = link.next_completion().unwrap();
+        let stats = wire.borrow().stats;
+        (end, stats)
+    }
+
+    #[test]
+    fn small_read_has_no_stall() {
+        // 4 KB = 3 segments = exactly one burst: no delayed-ACK stall.
+        let (end, stats) = run_exchange(
+            ClientKind::WindowsDelayedAck,
+            WireReq::Read { bytes: 4096, server_cold: false },
+        );
+        assert_eq!(stats.delayed_ack_stalls, 0);
+        // Latency well under a millisecond: RTT + serialization + proc.
+        assert!(end < secs_to_cycles(2e-3), "read latency {end}");
+        // But above the "local" boundary the paper identifies (~168us,
+        // bucket 18).
+        assert!(end > secs_to_cycles(168e-6), "read latency {end}");
+    }
+
+    #[test]
+    fn windows_find_first_stalls_200ms_per_burst_boundary() {
+        // 128 entries * 100B = 12.8KB = 9 segments = 3 bursts = 2 stalls.
+        let (end, stats) =
+            run_exchange(ClientKind::WindowsDelayedAck, WireReq::FindFirst { entries: 128 });
+        assert_eq!(stats.delayed_ack_stalls, 2);
+        assert!(end > 2 * secs_to_cycles(0.2), "FindFirst latency {end}");
+        // Bucket check: 400+ms lands in buckets 28-30 (Figure 10's
+        // FindFirst peaks are in buckets 26-30).
+        let b = osprof_core::bucket::bucket_of(end, osprof_core::bucket::Resolution::R1);
+        assert!((28..=30).contains(&b), "bucket {b}");
+    }
+
+    #[test]
+    fn linux_client_never_stalls() {
+        let (end, stats) = run_exchange(ClientKind::LinuxSmb, WireReq::FindFirst { entries: 128 });
+        assert_eq!(stats.delayed_ack_stalls, 0);
+        assert!(end < secs_to_cycles(10e-3), "Linux FindFirst latency {end}");
+    }
+
+    #[test]
+    fn registry_fix_removes_stalls() {
+        let (end, stats) =
+            run_exchange(ClientKind::WindowsNoDelayedAck, WireReq::FindFirst { entries: 128 });
+        assert_eq!(stats.delayed_ack_stalls, 0);
+        assert!(end < secs_to_cycles(10e-3));
+    }
+
+    #[test]
+    fn cold_read_includes_server_disk() {
+        let (warm, _) = run_exchange(ClientKind::WindowsDelayedAck, WireReq::Read { bytes: 4096, server_cold: false });
+        let (cold, stats) = run_exchange(ClientKind::WindowsDelayedAck, WireReq::Read { bytes: 4096, server_cold: true });
+        assert_eq!(stats.server_disk_reads, 1);
+        assert!(cold > warm + secs_to_cycles(5e-3));
+    }
+
+    #[test]
+    fn trace_matches_figure11_structure() {
+        let (mut link, wire) = CifsLink::new(CifsConfig::paper_lan(ClientKind::WindowsDelayedAck));
+        wire.borrow_mut().trace.limit = 64;
+        wire.borrow_mut().pending.push_back(WireReq::FindFirst { entries: 128 });
+        link.submit(0, IoToken(1), IoRequest { kind: IoKind::Read, lba: 0, len: 0 });
+        let w = wire.borrow();
+        let rendered = w.trace.render();
+        assert!(rendered.contains("FIND_FIRST request (SMB)"), "{rendered}");
+        assert!(rendered.contains("FIND_FIRST reply (SMB)"), "{rendered}");
+        assert!(rendered.contains("reply continuation"), "{rendered}");
+        assert!(rendered.contains("delayed"), "{rendered}");
+        assert!(rendered.contains("transact continuation (SMB)"), "{rendered}");
+    }
+
+    #[test]
+    fn exchanges_serialize_on_the_link() {
+        let (mut link, wire) = CifsLink::new(CifsConfig::paper_lan(ClientKind::LinuxSmb));
+        wire.borrow_mut().pending.push_back(WireReq::Read { bytes: 4096, server_cold: false });
+        wire.borrow_mut().pending.push_back(WireReq::Read { bytes: 4096, server_cold: false });
+        link.submit(0, IoToken(1), IoRequest { kind: IoKind::Read, lba: 0, len: 0 });
+        link.submit(0, IoToken(2), IoRequest { kind: IoKind::Read, lba: 0, len: 0 });
+        let (e1, t1) = link.next_completion().unwrap();
+        assert_eq!(t1, IoToken(1));
+        link.complete(t1);
+        let (e2, _) = link.next_completion().unwrap();
+        assert!(e2 >= e1);
+    }
+}

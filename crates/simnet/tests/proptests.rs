@@ -1,0 +1,77 @@
+//! Property-based tests for the CIFS wire model.
+
+use osprof_core::clock::Cycles;
+use osprof_simkernel::device::{Device, IoKind, IoRequest, IoToken};
+use osprof_simnet::wire::{CifsConfig, CifsLink, ClientKind, WireReq};
+use proptest::prelude::*;
+
+fn exchange(client: ClientKind, req: WireReq) -> (Cycles, u64) {
+    let (mut link, wire) = CifsLink::new(CifsConfig::paper_lan(client));
+    wire.borrow_mut().pending.push_back(req);
+    link.submit(0, IoToken(1), IoRequest { kind: IoKind::Read, lba: 0, len: 0 });
+    let (end, tok) = link.next_completion().unwrap();
+    link.complete(tok);
+    let stalls = wire.borrow().stats.delayed_ack_stalls;
+    (end, stalls)
+}
+
+proptest! {
+    /// The Linux client never pays a delayed-ACK stall, for any reply
+    /// size; the fixed Windows client never does either.
+    #[test]
+    fn only_default_windows_stalls(entries in 1u64..4_096) {
+        let (_, linux) = exchange(ClientKind::LinuxSmb, WireReq::FindFirst { entries });
+        prop_assert_eq!(linux, 0);
+        let (_, fixed) = exchange(ClientKind::WindowsNoDelayedAck, WireReq::FindFirst { entries });
+        prop_assert_eq!(fixed, 0);
+    }
+
+    /// Windows latency is monotone in entry count and dominated by the
+    /// stall count times the delayed-ACK timer.
+    #[test]
+    fn windows_latency_monotone_and_stall_dominated(entries in 1u64..2_048) {
+        let cfg = CifsConfig::paper_lan(ClientKind::WindowsDelayedAck);
+        let (t_small, _) = exchange(ClientKind::WindowsDelayedAck, WireReq::FindFirst { entries });
+        let (t_big, stalls_big) = exchange(ClientKind::WindowsDelayedAck, WireReq::FindFirst { entries: entries + 64 });
+        prop_assert!(t_big >= t_small, "latency not monotone: {t_small} -> {t_big}");
+        let (t, stalls) = exchange(ClientKind::WindowsDelayedAck, WireReq::FindFirst { entries });
+        prop_assert!(t >= stalls * cfg.delayed_ack, "stall accounting broken");
+        let _ = stalls_big;
+    }
+
+    /// A Linux exchange is never slower than the same Windows exchange.
+    #[test]
+    fn linux_never_slower(entries in 1u64..2_048) {
+        let (win, _) = exchange(ClientKind::WindowsDelayedAck, WireReq::FindFirst { entries });
+        let (linux, _) = exchange(ClientKind::LinuxSmb, WireReq::FindFirst { entries });
+        prop_assert!(linux <= win);
+    }
+
+    /// Reads: the server-cold path always costs at least the disk time
+    /// more than the warm path.
+    #[test]
+    fn cold_reads_cost_the_server_disk(bytes in 512u64..65_536) {
+        let cfg = CifsConfig::paper_lan(ClientKind::LinuxSmb);
+        let (warm, _) = exchange(ClientKind::LinuxSmb, WireReq::Read { bytes, server_cold: false });
+        let (cold, _) = exchange(ClientKind::LinuxSmb, WireReq::Read { bytes, server_cold: true });
+        prop_assert_eq!(cold - warm, cfg.server_disk);
+    }
+
+    /// Serialized exchanges on one link never overlap: completion times
+    /// strictly increase across a queued batch.
+    #[test]
+    fn link_serializes_exchanges(n in 2usize..12) {
+        let (mut link, wire) = CifsLink::new(CifsConfig::paper_lan(ClientKind::LinuxSmb));
+        for i in 0..n {
+            wire.borrow_mut().pending.push_back(WireReq::Read { bytes: 4096, server_cold: false });
+            link.submit(0, IoToken(i as u64), IoRequest { kind: IoKind::Read, lba: 0, len: 0 });
+        }
+        let mut prev = 0;
+        for _ in 0..n {
+            let (t, tok) = link.next_completion().unwrap();
+            link.complete(tok);
+            prop_assert!(t > prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! # osprof-viz — rendering latency profiles
+//!
+//! "The resulting information can be readily understood in a graphical
+//! form, aided by post-processing tools. ... We wrote several scripts to
+//! generate formatted text views and Gnuplot scripts to produce 2D and
+//! 3D plots. All the figures representing profiles in this paper were
+//! generated automatically." (§3, §4)
+//!
+//! This crate renders:
+//!
+//! - [`ascii_profile`] — a terminal rendering of one profile in the
+//!   paper's figure style: log₂ bucket x-axis with time labels
+//!   (28ns / 903ns / 28µs / 925µs / 29ms / 947ms at 1.7 GHz), log₁₀
+//!   count y-axis;
+//! - [`ascii_overlay`] — two profiles on one plot (Figure 3/6 style:
+//!   "for easier comparison, both profiles are shown together");
+//! - [`timeline_map`] — the Figure 9 3-D view: one row per sampling
+//!   segment, density glyphs per bucket (`.` 1–10, `o` 11–100, `#`
+//!   > 100 operations);
+//! - [`gnuplot_script`] — a gnuplot program regenerating the same figure
+//!   outside the terminal;
+//! - [`check_consistency`] — the §4 verification pass ("results in all
+//!   of the buckets are summed and then compared with the checksums").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use osprof_core::bucket::bucket_lower_bound;
+use osprof_core::clock::format_cycles;
+use osprof_core::error::CoreError;
+use osprof_core::profile::{Profile, ProfileSet};
+use osprof_core::sampling::SampledProfile;
+
+/// Width of the plotted bucket range.
+const DEFAULT_BUCKETS: std::ops::Range<usize> = 4..33;
+
+/// Renders one profile as an ASCII figure.
+///
+/// # Examples
+///
+/// ```
+/// use osprof_core::profile::Profile;
+/// let mut p = Profile::new("CLONE");
+/// p.record_n(1 << 9, 10_000);
+/// p.record_n(1 << 15, 300);
+/// let s = osprof_viz::ascii_profile(&p);
+/// assert!(s.contains("CLONE"));
+/// assert!(s.contains("903ns")); // figure-style time labels
+/// ```
+pub fn ascii_profile(p: &Profile) -> String {
+    render(&[(p, '#')], &format!("{} ({} ops)", p.name().to_uppercase(), p.total_ops()))
+}
+
+/// Renders two profiles on one plot; `a` uses `#`, `b` uses `o`, overlap
+/// uses `%` (Figure 3/6 style).
+pub fn ascii_overlay(a: &Profile, b: &Profile, title: &str) -> String {
+    render(&[(a, '#'), (b, 'o')], title)
+}
+
+fn render(profiles: &[(&Profile, char)], title: &str) -> String {
+    let height = 8usize; // rows of the log-count axis
+    let range = DEFAULT_BUCKETS;
+    let max_count = profiles
+        .iter()
+        .flat_map(|(p, _)| p.buckets()[range.clone().start..range.end.min(p.buckets().len())].iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    // Height of a bar in rows: log10 scale, like the paper's y-axis.
+    let log_max = (max_count as f64).log10().max(1.0);
+    let bar = |n: u64| -> usize {
+        if n == 0 {
+            0
+        } else {
+            (((n as f64).log10() / log_max) * (height as f64 - 1.0)).round() as usize + 1
+        }
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let width = range.len();
+    let mut grid = vec![vec![' '; width]; height];
+    for (p, glyph) in profiles {
+        for (col, b) in range.clone().enumerate() {
+            let h = bar(p.count_in(b));
+            for row in 0..h.min(height) {
+                let cell = &mut grid[height - 1 - row][col];
+                *cell = if *cell == ' ' || *cell == *glyph { *glyph } else { '%' };
+            }
+        }
+    }
+    // Y-axis labels: counts at decades.
+    for (i, row) in grid.iter().enumerate() {
+        let decade = height - i;
+        let label = if decade % 2 == 0 {
+            format!("1e{:<2}", decade * ((max_count as f64).log10().ceil() as usize).max(1) / height)
+        } else {
+            String::from("    ")
+        };
+        out.push_str(&format!("{label:>5} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("      +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    // X-axis rows written into fixed-position buffers so labels align
+    // with their bucket columns.
+    let mut bucket_row = vec![b' '; width + 8];
+    let mut time_row = vec![b' '; width + 16];
+    for (col, b) in range.clone().enumerate() {
+        if b % 5 == 0 {
+            for (i, ch) in format!("{b}").bytes().enumerate() {
+                if col + i < bucket_row.len() {
+                    bucket_row[col + i] = ch;
+                }
+            }
+            let label = format_cycles(
+                (bucket_lower_bound(b, osprof_core::bucket::Resolution::R1) as f64 * 1.5) as u64,
+            );
+            for (i, ch) in label.bytes().enumerate() {
+                if col + i < time_row.len() {
+                    time_row[col + i] = ch;
+                }
+            }
+        }
+    }
+    out.push_str("       ");
+    out.push_str(String::from_utf8_lossy(&bucket_row).trim_end());
+    out.push('\n');
+    out.push_str("       ");
+    out.push_str(String::from_utf8_lossy(&time_row).trim_end());
+    out.push('\n');
+    out.push_str("       bucket: floor(log2(latency in CPU cycles))\n");
+    out
+}
+
+/// Renders a sampled profile's operation as a Figure 9 timeline map:
+/// one row per segment (earliest at the bottom), one column per bucket,
+/// glyphs by operation count (`.` 1–10, `o` 11–100, `#` >100).
+pub fn timeline_map(s: &SampledProfile, op: &str) -> String {
+    let range = DEFAULT_BUCKETS;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — {} segments of {}\n",
+        op.to_uppercase(),
+        s.segments().len(),
+        format_cycles(s.interval())
+    ));
+    out.push_str("  (rows: elapsed time, bottom = start; '.' 1-10 ops, 'o' 11-100, '#' >100)\n");
+    for (i, seg) in s.segments().iter().enumerate().rev() {
+        let t = osprof_core::clock::cycles_to_secs(s.segment_start(i) + s.interval()) ;
+        out.push_str(&format!("{t:6.1}s |"));
+        match seg.get(op) {
+            Some(p) => {
+                for b in range.clone() {
+                    out.push(match p.count_in(b) {
+                        0 => ' ',
+                        1..=10 => '.',
+                        11..=100 => 'o',
+                        _ => '#',
+                    });
+                }
+            }
+            None => out.push_str(&" ".repeat(range.len())),
+        }
+        out.push('\n');
+    }
+    out.push_str("        +");
+    out.push_str(&"-".repeat(range.len()));
+    out.push('\n');
+    out.push_str(&format!("         buckets {}..{}\n", range.start, range.end - 1));
+    out
+}
+
+/// Emits a gnuplot script regenerating the profile as a histogram with
+/// logarithmic axes, like the paper's figures.
+pub fn gnuplot_script(p: &Profile, output_png: &str) -> String {
+    let mut data = String::new();
+    for (b, &n) in p.buckets().iter().enumerate() {
+        if n > 0 {
+            data.push_str(&format!("{b} {n}\n"));
+        }
+    }
+    format!(
+        "set terminal png size 800,400\n\
+         set output '{output_png}'\n\
+         set title '{}'\n\
+         set xlabel 'Bucket number: log2(latency in CPU cycles)'\n\
+         set ylabel 'Number of operations'\n\
+         set logscale y\n\
+         set boxwidth 0.9\n\
+         set style fill solid\n\
+         plot '-' using 1:2 with boxes notitle\n\
+         {data}e\n",
+        p.name()
+    )
+}
+
+/// Verifies every profile in a set against its checksum, as the paper's
+/// reporting scripts do before rendering.
+///
+/// # Errors
+///
+/// Returns the first checksum failure.
+pub fn check_consistency(set: &ProfileSet) -> Result<(), CoreError> {
+    set.verify_checksums()
+}
+
+/// Renders a full profile set: consistency check note plus one ASCII
+/// figure per operation, ordered by total latency (largest first).
+pub fn ascii_profile_set(set: &ProfileSet) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "layer '{}': {} operations, {} records (checksums {})\n\n",
+        set.layer(),
+        set.len(),
+        set.total_ops(),
+        if check_consistency(set).is_ok() { "OK" } else { "BROKEN" }
+    ));
+    for p in set.by_total_latency() {
+        if !p.is_empty() {
+            out.push_str(&ascii_profile(p));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bimodal() -> Profile {
+        let mut p = Profile::new("clone");
+        p.record_n(1 << 9, 10_000);
+        p.record_n((1 << 15) + 7, 300);
+        p
+    }
+
+    #[test]
+    fn ascii_profile_shows_peaks_and_labels() {
+        let s = ascii_profile(&bimodal());
+        assert!(s.contains("CLONE (10300 ops)"));
+        assert!(s.contains('#'));
+        assert!(s.contains("28ns"), "{s}");
+        assert!(s.contains("bucket: floor(log2"));
+    }
+
+    #[test]
+    fn overlay_marks_overlap() {
+        let a = bimodal();
+        let mut b = Profile::new("clone");
+        b.record_n(1 << 9, 5_000);
+        let s = ascii_overlay(&a, &b, "preemptive vs non-preemptive");
+        assert!(s.contains('%'), "expected overlap glyph:\n{s}");
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn timeline_map_shows_density_glyphs() {
+        let mut s = SampledProfile::new("fs", osprof_core::clock::secs_to_cycles(2.5), 0);
+        for seg in 0..4u64 {
+            let at = seg * osprof_core::clock::secs_to_cycles(2.5) + 100;
+            s.record("read", 1 << 8, at);
+            if seg % 2 == 0 {
+                for _ in 0..50 {
+                    s.record("read", 1 << 20, at);
+                }
+            }
+        }
+        let m = timeline_map(&s, "read");
+        assert!(m.contains('o'), "{m}");
+        assert!(m.contains('.'), "{m}");
+        assert_eq!(m.matches('\n').count() >= 6, true);
+    }
+
+    #[test]
+    fn gnuplot_script_contains_data() {
+        let g = gnuplot_script(&bimodal(), "fig1.png");
+        assert!(g.contains("set logscale y"));
+        assert!(g.contains("9 10000"));
+        assert!(g.contains("15 300"));
+    }
+
+    #[test]
+    fn profile_set_rendering_orders_by_latency() {
+        let mut set = ProfileSet::new("fs");
+        set.record("cheap", 100);
+        set.record("dear", 1 << 25);
+        let s = ascii_profile_set(&set);
+        let dear = s.find("DEAR").unwrap();
+        let cheap = s.find("CHEAP").unwrap();
+        assert!(dear < cheap);
+        assert!(s.contains("checksums OK"));
+    }
+
+    #[test]
+    fn empty_profile_renders_without_panic() {
+        let p = Profile::new("noop");
+        let s = ascii_profile(&p);
+        assert!(s.contains("NOOP (0 ops)"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Sweeps clone-storm think time to inspect contention fractions.
+use osprof_simkernel::config::KernelConfig;
+use osprof_simkernel::kernel::Kernel;
+
+fn main() {
+    for think in [10_000u64, 15_000, 20_000, 25_000, 30_000, 40_000, 50_000] {
+        let mut k = Kernel::new(KernelConfig::smp(2));
+        let user = k.add_layer("user");
+        osprof_workloads::clone_storm::spawn(&mut k, user, 4, 2_000, think);
+        k.run();
+        let p = k.layer_profiles(user);
+        let c = p.get("clone").unwrap();
+        let fast: u64 = (9..=11).map(|b| c.count_in(b)).sum();
+        let slow: u64 = (13..=18).map(|b| c.count_in(b)).sum();
+        println!("think={think:>6}  fast={fast:>5}  slow={slow:>5}  slow%={:.1}", 100.0 * slow as f64 / 8000.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Characteristic-time calibration (paper §3.1).
+//!
+//! "For any test setup, these and many other characteristic times can be
+//! measured in advance by profiling simple workloads that are known to
+//! show peaks corresponding to these times." This module runs those
+//! simple workloads against a simulated machine and reads the
+//! characteristic times back out of the resulting latency profiles —
+//! producing the [`KnowledgeBase`] the prior-knowledge analysis needs
+//! without consulting the machine's configuration.
+
+use osprof_analysis::knowledge::KnowledgeBase;
+use osprof_analysis::peaks::{find_peaks, PeakConfig};
+use osprof_core::clock::Cycles;
+use osprof_core::profile::Profile;
+use osprof_simdisk::{DiskConfig, DiskDevice};
+use osprof_simfs::image::ROOT;
+use osprof_simfs::{FsImage, Mount, MountOpts};
+use osprof_simkernel::config::KernelConfig;
+use osprof_simkernel::kernel::Kernel;
+use osprof_simkernel::op::Step;
+
+use crate::driver::Driver;
+
+/// A calibration result: measured characteristic times in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Calibration {
+    /// Rotational latency (full revolution), from repeated single-sector
+    /// re-reads of one uncached location... measured as the dominant
+    /// media-read periodicity.
+    pub disk_rotation: Cycles,
+    /// Large-seek cost, from alternating reads at opposite ends of the
+    /// calibration file (which spans half the platter): between the
+    /// half-stroke and full-stroke seek times.
+    pub full_seek: Cycles,
+    /// Context-switch cost, from ping-pong wait/signal between two
+    /// processes.
+    pub context_switch: Cycles,
+}
+
+fn dominant_peak_mean(p: &Profile) -> Cycles {
+    let peaks = find_peaks(p, &PeakConfig::default());
+    peaks
+        .iter()
+        .max_by_key(|pk| pk.ops)
+        .map(|pk| pk.mean_latency(p) as Cycles)
+        .unwrap_or(0)
+}
+
+/// Measures disk characteristics by profiling direct reads.
+///
+/// Alternating far-apart reads expose seek+rotation; the difference
+/// against same-track reads isolates the seek.
+pub fn calibrate_disk(disk: DiskConfig) -> (Cycles, Cycles) {
+    let capacity = disk.capacity_sectors();
+    let run = |offsets: Vec<u64>| -> Profile {
+        let mut img = FsImage::new();
+        // One giant file covering most of the disk.
+        let file = img.create_file(ROOT, "span", capacity * 512 / 2);
+        let mut k = Kernel::new(KernelConfig::uniprocessor());
+        let user = k.add_layer("user");
+        let dev = k.attach_device(Box::new(DiskDevice::new(disk.clone())));
+        let mut opts = MountOpts::ext2(None);
+        opts.llseek_takes_i_sem = false;
+        let mount = Mount::new(&mut k, img, dev, opts);
+        let fs = mount.state();
+        let mut i = 0usize;
+        k.spawn(Driver::new(1_000, move |_ctx| {
+            if i >= offsets.len() {
+                return None;
+            }
+            let off = offsets[i];
+            i += 1;
+            Some(Step::call_probed(osprof_simfs::ops::read_direct(&fs, file, off, 512), user, "read"))
+        }));
+        k.run();
+        k.layer_profiles(user).get("read").unwrap().clone()
+    };
+
+    // Far pattern: ping-pong across the whole span -> full seek + rot.
+    // Both ends advance past the drive's readahead window so no request
+    // is a cache hit.
+    let span_bytes = capacity * 512 / 2 - 4096;
+    let ra_step = (disk.readahead_sectors + 16) * 512;
+    let far: Vec<u64> = (0..200u64)
+        .map(|i| if i % 2 == 0 { (i / 2) * ra_step } else { span_bytes - (i / 2) * ra_step })
+        .collect();
+    // Near pattern: stride barely past the drive's readahead window so
+    // every read is a media access on a nearby track (~rotation only).
+    let near: Vec<u64> = (0..200u64).map(|i| (i * 97 * ra_step) % span_bytes).collect();
+
+    let far_mean = dominant_peak_mean(&run(far));
+    let near_mean = dominant_peak_mean(&run(near));
+    let rotation_est = near_mean.saturating_sub(near_mean / 3); // mostly rot/2 + seek noise
+    let seek_est = far_mean.saturating_sub(near_mean);
+    (rotation_est, seek_est)
+}
+
+/// Measures the context-switch cost with a yield ping-pong: process A
+/// profiles a bare `yield`; a peer immediately yields back, so the
+/// observed latency is two context switches plus epsilon.
+pub fn calibrate_context_switch(config: KernelConfig) -> Cycles {
+    let mut k = Kernel::new(config);
+    let user = k.add_layer("user");
+    let rounds = 2_000u64;
+    let mut i = 0u64;
+    k.spawn(Driver::new(0, move |_ctx| {
+        if i >= rounds {
+            return None;
+        }
+        i += 1;
+        Some(Step::call_probed(
+            osprof_simkernel::op::Script::new(vec![Step::Yield]),
+            user,
+            "yield",
+        ))
+    }));
+    struct YieldBack(bool);
+    impl osprof_simkernel::op::KernelOp for YieldBack {
+        fn step(&mut self, _ctx: &mut osprof_simkernel::op::OpCtx<'_>) -> Step {
+            self.0 = !self.0;
+            // Consume a cycle between yields: a zero-work yield loop
+            // would spin in zero simulated time.
+            if self.0 {
+                Step::Cpu(1)
+            } else {
+                Step::Yield
+            }
+        }
+    }
+    k.spawn_daemon(YieldBack(false));
+    k.run();
+    let p = k.layer_profiles(user);
+    // Two switches per observed yield.
+    p.get("yield").map(|prof| dominant_peak_mean(prof) / 2).unwrap_or(0)
+}
+
+/// Runs the full calibration suite and builds a knowledge base from it.
+pub fn calibrate(kernel_config: KernelConfig, disk: DiskConfig) -> (Calibration, KnowledgeBase) {
+    let (rotation, seek) = calibrate_disk(disk);
+    let cs = calibrate_context_switch(kernel_config);
+    let cal = Calibration { disk_rotation: rotation, full_seek: seek, context_switch: cs };
+    let mut kb = KnowledgeBase::new();
+    kb.add("measured disk rotation", cal.disk_rotation.max(1));
+    kb.add("measured full seek", cal.full_seek.max(1));
+    kb.add("measured context switch", cal.context_switch.max(1));
+    (cal, kb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprof_core::bucket::{bucket_of, Resolution};
+
+    #[test]
+    fn context_switch_calibration_matches_configuration() {
+        let cfg = KernelConfig::uniprocessor();
+        let configured = cfg.context_switch;
+        let measured = calibrate_context_switch(cfg);
+        // The ping-pong sees the context switch plus small scheduling
+        // overheads; same bucket or one off.
+        let bm = bucket_of(measured, Resolution::R1);
+        let bc = bucket_of(configured, Resolution::R1);
+        assert!(bm.abs_diff(bc) <= 1, "measured {measured} vs configured {configured}");
+    }
+
+    #[test]
+    fn disk_calibration_finds_mechanical_times() {
+        let disk = DiskConfig::paper_disk();
+        let (rotation, seek) = calibrate_disk(disk.clone());
+        // Rotation estimate within a factor of two of a half revolution.
+        assert!(
+            rotation > disk.rotation / 8 && rotation < disk.rotation * 2,
+            "rotation estimate {rotation} vs actual {}",
+            disk.rotation
+        );
+        // The ping-pong spans half the platter (the calibration file),
+        // so the estimate sits between the half-stroke and full-stroke
+        // times.
+        let half_stroke = disk.seek_time(0, disk.tracks / 2);
+        assert!(
+            seek > half_stroke / 2 && seek < disk.full_stroke * 2,
+            "seek estimate {seek} vs half-stroke {half_stroke}, full {}",
+            disk.full_stroke
+        );
+    }
+
+    #[test]
+    fn calibrate_builds_usable_knowledge_base() {
+        let (cal, kb) = calibrate(KernelConfig::uniprocessor(), DiskConfig::paper_disk());
+        assert!(cal.context_switch > 0);
+        assert_eq!(kb.entries().len(), 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! The concurrent `clone` workload (Figure 1).
+//!
+//! "A profile of the FreeBSD 6.0 clone operations concurrently issued by
+//! four user processes on a dual-CPU SMP system. The right peak
+//! corresponds to lock contention between the processes."
+//!
+//! The clone path updates the process table under a kernel lock: the
+//! uncontended path is pure CPU (~1 µs, the left peak around bucket 10);
+//! when another CPU holds the lock, the caller sleeps and pays the wait
+//! plus a context switch (the right peak around buckets 14–16).
+
+use osprof_simkernel::kernel::{Kernel, LockId, Pid};
+use osprof_simkernel::op::{KernelOp, OpCtx, Step};
+use osprof_simkernel::probe::LayerId;
+
+use crate::driver::Driver;
+
+/// CPU cycles of clone's critical section (process-table update).
+pub const CLONE_CRIT_CYCLES: u64 = 700;
+/// CPU cycles of clone's work outside the lock.
+pub const CLONE_TAIL_CYCLES: u64 = 250;
+
+/// The `clone` system call body.
+pub struct CloneOp {
+    lock: LockId,
+    phase: u8,
+}
+
+/// Creates a `clone` op guarded by the given process-table lock.
+pub fn clone_op(lock: LockId) -> CloneOp {
+    CloneOp { lock, phase: 0 }
+}
+
+impl KernelOp for CloneOp {
+    fn step(&mut self, _ctx: &mut OpCtx<'_>) -> Step {
+        self.phase += 1;
+        match self.phase {
+            1 => Step::Lock(self.lock),
+            2 => Step::Cpu(CLONE_CRIT_CYCLES),
+            3 => Step::Unlock(self.lock),
+            4 => Step::Cpu(CLONE_TAIL_CYCLES),
+            _ => Step::Done(0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "clone"
+    }
+}
+
+/// Spawns `procs` processes each issuing `clones` clone calls with
+/// jittered user think time (mean `think` cycles) in between. The jitter
+/// is essential: identical deterministic processes would phase-lock and
+/// either always or never contend, unlike real ones.
+pub fn spawn(
+    kernel: &mut Kernel,
+    user: LayerId,
+    procs: usize,
+    clones: u64,
+    think: u64,
+) -> (LockId, Vec<Pid>) {
+    let lock = kernel.alloc_lock("proc-table");
+    let pids = (0..procs)
+        .map(|p| {
+            let mut i = 0u64;
+            let mut lcg = 0x9E3779B97F4A7C15u64.wrapping_mul(p as u64 + 1);
+            let mut in_think = false;
+            kernel.spawn(Driver::new(0, move |_ctx| {
+                if !in_think && i > 0 {
+                    in_think = true;
+                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let jitter = (lcg >> 33) % think.max(1);
+                    return Some(Step::UserCpu(think / 2 + jitter));
+                }
+                in_think = false;
+                i += 1;
+                if i > clones {
+                    None
+                } else {
+                    Some(Step::call_probed(clone_op(lock), user, "clone"))
+                }
+            }))
+        })
+        .collect();
+    (lock, pids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprof_simkernel::config::KernelConfig;
+
+    fn run(procs: usize, cpus: usize) -> osprof_core::profile::Profile {
+        let mut k = Kernel::new(KernelConfig::smp(cpus));
+        let user = k.add_layer("user");
+        // Think time well above the lock service time (critical section
+        // plus handoff context switch) keeps the lock mostly free, like
+        // the paper's workload: otherwise a FIFO handoff convoy forms
+        // and every clone contends.
+        spawn(&mut k, user, procs, 2_000, 10_000);
+        k.run();
+        k.layer_profiles(user).get("clone").unwrap().clone()
+    }
+
+    #[test]
+    fn single_process_clone_is_unimodal() {
+        let p = run(1, 2);
+        // Everything in the fast path (buckets 9-11) except the odd
+        // timer-interrupted call.
+        let fast: u64 = (9..=11).map(|b| p.count_in(b)).sum();
+        assert!(fast >= p.total_ops() - 5, "buckets: {:?}", p.buckets());
+    }
+
+    #[test]
+    fn four_processes_on_two_cpus_show_contention_peak() {
+        let p = run(4, 2);
+        let fast: u64 = (9..=11).map(|b| p.count_in(b)).sum();
+        let slow: u64 = (13..=18).map(|b| p.count_in(b)).sum();
+        assert!(fast > 1_000, "left peak: {:?}", p.buckets());
+        assert!(slow > 100, "right peak: {:?}", p.buckets());
+        // Bimodal: a visible valley between the peaks.
+        let valley = p.count_in(12);
+        assert!(valley * 8 < fast, "no valley: {:?}", p.buckets());
+    }
+}

@@ -1,0 +1,96 @@
+//! The generic user-process driver.
+//!
+//! A [`Driver`] models a user program: it repeatedly asks a closure for
+//! the next system call (as a [`Step`], usually a probed `Call`), running
+//! a configurable amount of user-mode CPU time between calls — the
+//! `tperiod` component of the paper's preemption analysis (§3.3).
+
+use osprof_core::clock::Cycles;
+use osprof_simkernel::op::{KernelOp, OpCtx, Step};
+
+/// A user process issuing the steps produced by a closure.
+pub struct Driver<F> {
+    next: F,
+    think: Cycles,
+    in_call: bool,
+}
+
+impl<F: FnMut(&mut OpCtx<'_>) -> Option<Step>> Driver<F> {
+    /// Creates a driver running `think` user cycles between calls.
+    ///
+    /// The closure receives the op context (the previous call's return
+    /// value is in `ctx.retval`) and returns the next step, or `None` to
+    /// exit.
+    pub fn new(think: Cycles, next: F) -> Self {
+        Driver { next, think, in_call: false }
+    }
+}
+
+impl<F: FnMut(&mut OpCtx<'_>) -> Option<Step>> KernelOp for Driver<F> {
+    fn step(&mut self, ctx: &mut OpCtx<'_>) -> Step {
+        if self.in_call {
+            self.in_call = false;
+            if self.think > 0 {
+                return Step::UserCpu(self.think);
+            }
+        }
+        match (self.next)(ctx) {
+            Some(s) => {
+                self.in_call = true;
+                s
+            }
+            None => Step::Done(0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "driver"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprof_simkernel::config::KernelConfig;
+    use osprof_simkernel::kernel::Kernel;
+    use osprof_simkernel::op::FixedCost;
+
+    #[test]
+    fn driver_interleaves_calls_and_user_time() {
+        let mut cfg = KernelConfig::uniprocessor();
+        cfg.context_switch = 0;
+        cfg.probe_overhead = 0;
+        let mut k = Kernel::new(cfg);
+        let mut n = 0;
+        let pid = k.spawn(Driver::new(100, move |_ctx| {
+            n += 1;
+            if n > 10 {
+                None
+            } else {
+                Some(Step::call(FixedCost::new(50)))
+            }
+        }));
+        k.run();
+        assert_eq!(k.proc_stats(pid).user_cycles, 10 * 100);
+        assert_eq!(k.proc_stats(pid).sys_cycles, 10 * 50);
+    }
+
+    #[test]
+    fn zero_think_time_skips_user_step() {
+        let mut cfg = KernelConfig::uniprocessor();
+        cfg.context_switch = 0;
+        cfg.probe_overhead = 0;
+        let mut k = Kernel::new(cfg);
+        let mut n = 0;
+        let pid = k.spawn(Driver::new(0, move |_ctx| {
+            n += 1;
+            if n > 5 {
+                None
+            } else {
+                Some(Step::call(FixedCost::new(10)))
+            }
+        }));
+        k.run();
+        assert_eq!(k.proc_stats(pid).user_cycles, 0);
+    }
+}

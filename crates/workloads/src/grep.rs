@@ -1,0 +1,245 @@
+//! The grep workload: `grep -r` over a source tree.
+//!
+//! One process walks every directory (readdir until past-EOF, like
+//! glibc's readdir loop — the source of Figure 7/8's first peak), opens
+//! every file, and reads it sequentially in 4 KB chunks. Works against a
+//! local [`osprof_simfs`] mount or a remote [`osprof_simnet`] mount.
+
+use std::collections::VecDeque;
+
+use osprof_simfs::image::{Ino, NodeKind};
+use osprof_simfs::mount::FsRef;
+use osprof_simfs::ops;
+use osprof_simkernel::op::{OpCtx, Step};
+use osprof_simkernel::probe::LayerId;
+use osprof_simnet::fs as netfs;
+use osprof_simnet::fs::RemoteRef;
+
+use crate::driver::Driver;
+
+/// Read chunk size (bytes).
+pub const READ_CHUNK: u64 = 4096;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Start enumerating the next directory in the queue.
+    NextDir,
+    /// readdir in progress: waiting for a return at this position.
+    Listing { dir: Ino, pos: u64 },
+    /// Open the next file.
+    OpenFile,
+    /// Reading the current file at an offset.
+    Reading { file: Ino, offset: u64, size: u64 },
+}
+
+/// Grep's walk state (shared logic for local and remote mounts).
+struct Walk {
+    dirs: VecDeque<Ino>,
+    files: VecDeque<Ino>,
+    phase: Phase,
+}
+
+impl Walk {
+    fn new(root: Ino) -> Self {
+        let mut dirs = VecDeque::new();
+        dirs.push_back(root);
+        Walk { dirs, files: VecDeque::new(), phase: Phase::NextDir }
+    }
+
+    /// Ingests a finished readdir listing range from the image.
+    fn ingest(&mut self, image: &osprof_simfs::FsImage, dir: Ino, pos: u64, n: u64) {
+        let entries = image.entries(dir);
+        for (_, ino) in entries.iter().skip(pos as usize).take(n as usize) {
+            match image.node(*ino).kind {
+                NodeKind::Dir { .. } => self.dirs.push_back(*ino),
+                NodeKind::File { .. } => self.files.push_back(*ino),
+            }
+        }
+    }
+}
+
+/// Spawns the grep process against a local mount; returns nothing — the
+/// caller runs the kernel and collects profiles from the layers.
+///
+/// `user` is the user-level instrumentation layer (the recompiled-with-
+/// macros grep of §4); think time models grep's own string matching.
+pub fn spawn_local(
+    kernel: &mut osprof_simkernel::kernel::Kernel,
+    fs: FsRef,
+    root: Ino,
+    user: LayerId,
+    think: u64,
+) -> osprof_simkernel::kernel::Pid {
+    let mut walk = Walk::new(root);
+    kernel.spawn(Driver::new(think, move |ctx: &mut OpCtx<'_>| {
+        loop {
+            match walk.phase {
+                Phase::NextDir => {
+                    let Some(dir) = walk.dirs.pop_front() else {
+                        if walk.files.is_empty() {
+                            return None;
+                        }
+                        walk.phase = Phase::OpenFile;
+                        continue;
+                    };
+                    walk.phase = Phase::Listing { dir, pos: 0 };
+                    return Some(Step::call_probed(ops::readdir(&fs, dir, 0), user, "readdir"));
+                }
+                Phase::Listing { dir, pos } => {
+                    let n = ctx.retval.unwrap_or(0).max(0) as u64;
+                    if n == 0 {
+                        // Past-EOF return: directory finished; process
+                        // its files before descending (grep order).
+                        walk.phase = Phase::OpenFile;
+                        continue;
+                    }
+                    walk.ingest(&fs.borrow().image, dir, pos, n);
+                    walk.phase = Phase::Listing { dir, pos: pos + n };
+                    return Some(Step::call_probed(ops::readdir(&fs, dir, pos + n), user, "readdir"));
+                }
+                Phase::OpenFile => {
+                    let Some(file) = walk.files.pop_front() else {
+                        walk.phase = Phase::NextDir;
+                        continue;
+                    };
+                    let size = fs.borrow().image.node(file).data_bytes();
+                    walk.phase = Phase::Reading { file, offset: 0, size };
+                    return Some(Step::call_probed(ops::open(&fs, file), user, "open"));
+                }
+                Phase::Reading { file, offset, size } => {
+                    if offset >= size {
+                        walk.phase = Phase::OpenFile;
+                        continue;
+                    }
+                    walk.phase = Phase::Reading { file, offset: offset + READ_CHUNK, size };
+                    return Some(Step::call_probed(ops::read(&fs, file, offset, READ_CHUNK), user, "read"));
+                }
+            }
+        }
+    }))
+}
+
+/// Spawns the grep process against a remote (CIFS/SMB) mount.
+///
+/// Directory scans use FindFirst/FindNext (the Windows redirector's
+/// operations of Figure 10); files are read in 4 KB chunks.
+pub fn spawn_remote(
+    kernel: &mut osprof_simkernel::kernel::Kernel,
+    fs: RemoteRef,
+    root: Ino,
+    user: LayerId,
+    think: u64,
+) -> osprof_simkernel::kernel::Pid {
+    let mut walk = Walk::new(root);
+    let mut first = true;
+    kernel.spawn(Driver::new(think, move |ctx: &mut OpCtx<'_>| {
+        loop {
+            match walk.phase {
+                Phase::NextDir => {
+                    let Some(dir) = walk.dirs.pop_front() else {
+                        if walk.files.is_empty() {
+                            return None;
+                        }
+                        walk.phase = Phase::OpenFile;
+                        continue;
+                    };
+                    walk.phase = Phase::Listing { dir, pos: 0 };
+                    first = true;
+                    return Some(Step::call_probed(netfs::find_first(&fs, dir), user, "FindFirst"));
+                }
+                Phase::Listing { dir, pos } => {
+                    let n = ctx.retval.unwrap_or(0).max(0) as u64;
+                    if n == 0 && !first {
+                        walk.phase = Phase::OpenFile;
+                        continue;
+                    }
+                    first = false;
+                    walk.ingest(&fs.borrow().image, dir, pos, n);
+                    walk.phase = Phase::Listing { dir, pos: pos + n };
+                    if n == 0 {
+                        walk.phase = Phase::OpenFile;
+                        continue;
+                    }
+                    return Some(Step::call_probed(netfs::find_next(&fs, dir), user, "FindNext"));
+                }
+                Phase::OpenFile => {
+                    let Some(file) = walk.files.pop_front() else {
+                        walk.phase = Phase::NextDir;
+                        continue;
+                    };
+                    let size = fs.borrow().image.node(file).data_bytes();
+                    walk.phase = Phase::Reading { file, offset: 0, size };
+                    continue;
+                }
+                Phase::Reading { file, offset, size } => {
+                    if offset >= size {
+                        walk.phase = Phase::OpenFile;
+                        continue;
+                    }
+                    walk.phase = Phase::Reading { file, offset: offset + READ_CHUNK, size };
+                    return Some(Step::call_probed(netfs::read(&fs, file, offset, READ_CHUNK), user, "read"));
+                }
+            }
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{build, TreeConfig};
+    use osprof_simdisk::{DiskConfig, DiskDevice};
+    use osprof_simfs::{Mount, MountOpts};
+    use osprof_simkernel::config::KernelConfig;
+    use osprof_simkernel::kernel::Kernel;
+
+    #[test]
+    fn grep_reads_every_file_byte() {
+        let mut cfg = TreeConfig::small_kernel_tree();
+        cfg.dirs = 12;
+        let tree = build(&cfg);
+        let n_files = tree.files.len() as u64;
+        let total_pages: u64 =
+            tree.files.iter().map(|&f| tree.image.node(f).data_pages()).sum();
+
+        let mut k = Kernel::new(KernelConfig::uniprocessor());
+        let user = k.add_layer("user");
+        let fs_layer = k.add_layer("file-system");
+        let dev = k.attach_device(Box::new(DiskDevice::new(DiskConfig::paper_disk())));
+        let mount = Mount::new(&mut k, tree.image.clone(), dev, MountOpts::ext2(Some(fs_layer)));
+        spawn_local(&mut k, mount.state(), osprof_simfs::image::ROOT, user, 1_000);
+        k.run();
+
+        let p = k.layer_profiles(user);
+        assert_eq!(p.get("open").unwrap().total_ops(), n_files);
+        // Every file page read exactly once via readpages; every
+        // directory page via readpage (the Figure 7 invariant).
+        let fsp = k.layer_profiles(fs_layer);
+        let file_pages = fsp.get("readpages").unwrap().total_ops();
+        let dir_page_reads = fsp.get("readpage").unwrap().total_ops();
+        let dir_pages: u64 = tree.dirs.iter().map(|&d| tree.image.node(d).data_pages()).sum();
+        assert_eq!(file_pages, total_pages, "readpages covers all file data exactly once");
+        assert_eq!(dir_page_reads, dir_pages, "readpage covers all directory pages exactly once");
+        // readdir saw every directory (>= one call per dir + past-EOF).
+        assert!(fsp.get("readdir").unwrap().total_ops() >= 2 * tree.dirs.len() as u64);
+    }
+
+    #[test]
+    fn remote_grep_visits_all_dirs() {
+        use osprof_simnet::wire::{CifsConfig, CifsLink, ClientKind};
+        let mut cfg = TreeConfig::small_kernel_tree();
+        cfg.dirs = 6;
+        let tree = build(&cfg);
+        let mut k = Kernel::new(KernelConfig::uniprocessor());
+        let user = k.add_layer("user");
+        let client_layer = k.add_layer("cifs");
+        let (link, wire) = CifsLink::new(CifsConfig::paper_lan(ClientKind::LinuxSmb));
+        let dev = k.attach_device(Box::new(link));
+        let rfs = osprof_simnet::RemoteFs::new(tree.image.clone(), wire, dev, Some(client_layer));
+        spawn_remote(&mut k, rfs.state(), osprof_simfs::image::ROOT, user, 1_000);
+        k.run();
+        let p = k.layer_profiles(client_layer);
+        assert_eq!(p.get("FIND_FIRST").unwrap().total_ops(), tree.dirs.len() as u64);
+        assert!(p.get("read").unwrap().total_ops() > 0);
+    }
+}

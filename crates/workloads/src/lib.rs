@@ -1,0 +1,25 @@
+//! # osprof-workloads — the paper's workload generators
+//!
+//! "We ran two workloads to capture the example profiles: a grep and a
+//! random-read on a number of file systems" (§6), plus Postmark for the
+//! overhead evaluation (§5.2), the zero-byte-read microworkload for the
+//! preemption study (Figure 3), and the concurrent `clone` storm of
+//! Figure 1.
+//!
+//! Each workload is a [`KernelOp`] process (or a set of them) plus a
+//! builder for the file-system image it runs against. All randomness is
+//! seeded and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod clone_storm;
+pub mod driver;
+pub mod grep;
+pub mod postmark;
+pub mod random_read;
+pub mod tree;
+pub mod zero_read;
+
+pub use driver::Driver;

@@ -1,0 +1,157 @@
+//! A Postmark v1.5 model (the §5.2 overhead workload).
+//!
+//! "Postmark simulates the operation of electronic mail servers. It
+//! performs a series of file system operations such as create, delete,
+//! append, and read. We configured Postmark to use the default
+//! parameters, but we increased the defaults to 20,000 files and 200,000
+//! transactions."
+//!
+//! Each transaction performs one read-or-append and one create-or-delete,
+//! matching Postmark's transaction loop. All file choices and sizes are
+//! drawn from a seeded RNG.
+
+use osprof_simfs::image::{Ino, ROOT};
+use osprof_simfs::mount::FsRef;
+use osprof_simfs::ops;
+use osprof_simkernel::kernel::{Kernel, Pid};
+use osprof_simkernel::op::Step;
+use osprof_simkernel::probe::LayerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::driver::Driver;
+
+/// Postmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PostmarkConfig {
+    /// Initial (and target) number of files.
+    pub files: usize,
+    /// Number of transactions.
+    pub transactions: u64,
+    /// Minimum file size in bytes.
+    pub size_min: u64,
+    /// Maximum file size in bytes.
+    pub size_max: u64,
+    /// User think cycles between system calls.
+    pub think: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PostmarkConfig {
+    /// The paper's configuration scaled down by `scale` (paper scale=1:
+    /// 20,000 files / 200,000 transactions).
+    pub fn paper_scaled(scale: u64) -> Self {
+        PostmarkConfig {
+            files: (20_000 / scale.max(1)) as usize,
+            transactions: 200_000 / scale.max(1),
+            size_min: 500,
+            size_max: 9_770, // Postmark default upper bound ~9.77KB
+            think: 300,
+            seed: 1995,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Setup,
+    TxnFirst,
+    TxnSecond,
+    Done,
+}
+
+/// Spawns the Postmark process. Returns its pid; run the kernel to
+/// completion and read per-process stats for the §5.2 comparison.
+pub fn spawn(kernel: &mut Kernel, fs: &FsRef, user: LayerId, cfg: PostmarkConfig) -> Pid {
+    let fs = fs.clone();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut live: Vec<Ino> = Vec::with_capacity(cfg.files * 2);
+    let mut txn = 0u64;
+    let mut phase = Phase::Setup;
+    let mut seq = 0u64;
+    let mut pending_create = false;
+
+    kernel.spawn(Driver::new(cfg.think, move |ctx| {
+        // Harvest the inode returned by the create issued last time.
+        if pending_create {
+            pending_create = false;
+            let ino = ctx.retval.expect("create returns an inode");
+            assert!(ino > 0, "create failed");
+            live.push(Ino(ino as u32));
+        }
+        loop {
+            match phase {
+                Phase::Setup => {
+                    if live.len() >= cfg.files {
+                        phase = Phase::TxnFirst;
+                        continue;
+                    }
+                    seq += 1;
+                    pending_create = true;
+                    let size = rng.gen_range(cfg.size_min..=cfg.size_max);
+                    return Some(Step::call_probed(ops::create(&fs, ROOT, size, seq), user, "create"));
+                }
+                Phase::TxnFirst => {
+                    if txn >= cfg.transactions {
+                        phase = Phase::Done;
+                        continue;
+                    }
+                    txn += 1;
+                    phase = Phase::TxnSecond;
+                    let file = live[rng.gen_range(0..live.len())];
+                    if rng.gen_bool(0.5) {
+                        // Read the whole file.
+                        let size = fs.borrow().image.node(file).data_bytes();
+                        return Some(Step::call_probed(ops::read(&fs, file, 0, size), user, "read"));
+                    }
+                    // Append.
+                    let size = fs.borrow().image.node(file).data_bytes();
+                    let delta = rng.gen_range(64..=4096);
+                    return Some(Step::call_probed(ops::write(&fs, file, size, delta), user, "write"));
+                }
+                Phase::TxnSecond => {
+                    phase = Phase::TxnFirst;
+                    if rng.gen_bool(0.5) || live.len() <= 2 {
+                        seq += 1;
+                        pending_create = true;
+                        let size = rng.gen_range(cfg.size_min..=cfg.size_max);
+                        return Some(Step::call_probed(ops::create(&fs, ROOT, size, seq), user, "create"));
+                    }
+                    let idx = rng.gen_range(0..live.len());
+                    let file = live.swap_remove(idx);
+                    return Some(Step::call_probed(ops::unlink(&fs, ROOT, file), user, "unlink"));
+                }
+                Phase::Done => return None,
+            }
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprof_simdisk::{DiskConfig, DiskDevice};
+    use osprof_simfs::{FsImage, Mount, MountOpts};
+    use osprof_simkernel::config::KernelConfig;
+
+    #[test]
+    fn postmark_runs_all_transactions() {
+        let mut k = Kernel::new(KernelConfig::uniprocessor());
+        let user = k.add_layer("user");
+        let fs_layer = k.add_layer("file-system");
+        let dev = k.attach_device(Box::new(DiskDevice::new(DiskConfig::paper_disk())));
+        let mount = Mount::new(&mut k, FsImage::new(), dev, MountOpts::ext2(Some(fs_layer)));
+        let cfg = PostmarkConfig { files: 50, transactions: 200, ..PostmarkConfig::paper_scaled(1000) };
+        spawn(&mut k, &mount.state(), user, cfg);
+        k.run();
+        let p = k.layer_profiles(user);
+        let creates = p.get("create").unwrap().total_ops();
+        let unlinks = p.get("unlink").map(|p| p.total_ops()).unwrap_or(0);
+        assert!(creates >= 50, "creates: {creates}");
+        let rw = p.get("read").map(|p| p.total_ops()).unwrap_or(0)
+            + p.get("write").map(|p| p.total_ops()).unwrap_or(0);
+        assert_eq!(rw, 200);
+        assert_eq!(creates - 50 + unlinks, 200, "second-op count");
+    }
+}

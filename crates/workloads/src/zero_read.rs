@@ -1,0 +1,116 @@
+//! The zero-byte-read microworkload (§3.3, Figure 3).
+//!
+//! "Two profiles of read operation issued by two processes that were
+//! reading zero bytes of data from a file" — a workload with yield
+//! probability `Y = 0` that exposes forced preemption (bucket 26 with
+//! in-kernel preemption enabled) and timer-interrupt service (the small
+//! bucket-13 peak).
+
+use osprof_simfs::image::Ino;
+use osprof_simfs::mount::FsRef;
+use osprof_simfs::ops;
+use osprof_simkernel::kernel::{Kernel, Pid};
+use osprof_simkernel::op::Step;
+use osprof_simkernel::probe::LayerId;
+
+use crate::driver::Driver;
+
+/// Spawns `procs` processes each performing `reads` zero-byte reads.
+///
+/// The user think time is jittered by ±25% with a per-process seeded
+/// LCG: perfectly periodic iterations would phase-lock against the
+/// timer-tick grid and bias which code region interrupts land in —
+/// real user code has no such alignment.
+pub fn spawn(
+    kernel: &mut Kernel,
+    fs: &FsRef,
+    file: Ino,
+    user: LayerId,
+    procs: usize,
+    reads: u64,
+    think: u64,
+) -> Vec<Pid> {
+    (0..procs)
+        .map(|p| {
+            let fs = fs.clone();
+            let mut i = 0u64;
+            let mut lcg = 0x2545F4914F6CDD1Du64.wrapping_mul(p as u64 + 1);
+            let mut in_think = false;
+            kernel.spawn(Driver::new(0, move |_ctx| {
+                if in_think {
+                    in_think = false;
+                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let jitter = (lcg >> 33) % (think / 2).max(1);
+                    return Some(Step::UserCpu(think * 3 / 4 + jitter));
+                }
+                i += 1;
+                if i > reads {
+                    None
+                } else {
+                    in_think = think > 0;
+                    Some(Step::call_probed(ops::read(&fs, file, 0, 0), user, "read"))
+                }
+            }))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprof_simdisk::{DiskConfig, DiskDevice};
+    use osprof_simfs::image::ROOT;
+    use osprof_simfs::{FsImage, Mount, MountOpts};
+    use osprof_simkernel::config::KernelConfig;
+
+    fn run_layers(preemption: bool, reads: u64) -> (osprof_core::profile::ProfileSet, osprof_core::profile::ProfileSet, u64) {
+        let mut img = FsImage::new();
+        let file = img.create_file(ROOT, "f", 4096);
+        let mut k = Kernel::new(KernelConfig::uniprocessor().with_kernel_preemption(preemption));
+        let user = k.add_layer("user");
+        let fs_layer = k.add_layer("file-system");
+        let dev = k.attach_device(Box::new(DiskDevice::new(DiskConfig::paper_disk())));
+        let mount = Mount::new(&mut k, img, dev, MountOpts::ext2(Some(fs_layer)));
+        spawn(&mut k, &mount.state(), file, user, 2, reads, 400);
+        k.run();
+        (k.layer_profiles(user), k.layer_profiles(fs_layer), k.stats().kernel_preemptions)
+    }
+
+    fn run(preemption: bool, reads: u64) -> (osprof_core::profile::ProfileSet, u64) {
+        let (_, fs, kp) = run_layers(preemption, reads);
+        (fs, kp)
+    }
+
+    #[test]
+    fn fast_path_dominates() {
+        let (p, _) = run(false, 20_000);
+        let rd = p.get("read").unwrap();
+        assert_eq!(rd.total_ops(), 40_000);
+        let main: u64 = (5..=8).map(|b| rd.count_in(b)).sum();
+        assert!(main as f64 > 0.99 * 40_000.0, "buckets: {:?}", rd.buckets());
+    }
+
+    #[test]
+    fn timer_interrupt_peak_appears_with_enough_requests() {
+        let (p, _) = run(false, 300_000);
+        let rd = p.get("read").unwrap();
+        // Timer service (~5us) lands interrupted reads in buckets 12-14.
+        // Expected hits: ops x window/tick-period ~ 600k x 300/6.8M ~ 26.
+        let timer_peak: u64 = (12..=14).map(|b| rd.count_in(b)).sum();
+        assert!(timer_peak >= 8, "buckets: {:?}", rd.buckets());
+    }
+
+    #[test]
+    fn preemption_peak_only_with_kernel_preemption() {
+        // The user-level probe window covers most of each request, so a
+        // forced preemption landing inside a request is visible there
+        // (Figure 3's bucket-26 peak).
+        let (non_preempt_user, _, kp0) = run_layers(false, 400_000);
+        let (preempt_user, _, kp1) = run_layers(true, 400_000);
+        assert_eq!(kp0, 0);
+        assert!(kp1 > 0, "no kernel preemptions recorded");
+        let far = |p: &osprof_core::profile::Profile| (24..=30).map(|b| p.count_in(b)).sum::<u64>();
+        assert_eq!(far(non_preempt_user.get("read").unwrap()), 0, "{:?}", non_preempt_user.get("read").unwrap().buckets());
+        assert!(far(preempt_user.get("read").unwrap()) > 0, "{:?}", preempt_user.get("read").unwrap().buckets());
+    }
+}

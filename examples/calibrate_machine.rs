@@ -1,0 +1,68 @@
+//! Characteristic-time calibration (§3.1): measure a machine's
+//! context-switch, rotation and seek times by profiling simple
+//! workloads, then use them to annotate an unknown profile.
+//!
+//! Run with: `cargo run --release -p osprof --example calibrate_machine`
+
+use osprof::prelude::*;
+use osprof::workloads::calibrate;
+use osprof_simfs::image::ROOT;
+
+fn main() {
+    println!("calibrating the simulated machine by profiling simple workloads...\n");
+    let kcfg = KernelConfig::uniprocessor();
+    let disk = DiskConfig::paper_disk();
+    let (cal, kb) = calibrate::calibrate(kcfg.clone(), disk.clone());
+
+    let fmt = osprof::core::clock::format_cycles;
+    println!("measured vs configured:");
+    println!(
+        "  context switch: {:>8}   (configured {})",
+        fmt(cal.context_switch),
+        fmt(kcfg.context_switch)
+    );
+    println!(
+        "  disk rotation:  {:>8}   (configured {}, estimate is the media-read periodicity)",
+        fmt(cal.disk_rotation),
+        fmt(disk.rotation)
+    );
+    println!(
+        "  large seek:     {:>8}   (configured half..full stroke {}..{})",
+        fmt(cal.full_seek),
+        fmt(disk.seek_time(0, disk.tracks / 2)),
+        fmt(disk.full_stroke)
+    );
+
+    // Use the measured knowledge base to explain a fresh profile, as the
+    // paper's prior-knowledge analysis does.
+    let mut img = FsImage::new();
+    let file = img.create_file(ROOT, "data", 64 << 20);
+    let mut kernel = Kernel::new(kcfg);
+    let user = kernel.add_layer("user");
+    let dev = kernel.attach_device(Box::new(DiskDevice::new(disk)));
+    let mut opts = MountOpts::ext2(None);
+    opts.llseek_takes_i_sem = false;
+    let mount = Mount::new(&mut kernel, img, dev, opts);
+    osprof::workloads::random_read::spawn(
+        &mut kernel,
+        &mount.state(),
+        file,
+        user,
+        1,
+        osprof::workloads::random_read::RandomReadConfig::paper_scaled(64 << 20),
+    );
+    kernel.run();
+
+    let profiles = kernel.layer_profiles(user);
+    let read = profiles.get("read").unwrap();
+    println!("\nannotating a random-read profile with the *measured* times:");
+    for (peak, hyp) in kb.annotate(&find_peaks(read, &PeakConfig::default()), 1) {
+        println!(
+            "  peak apex {:>2} ({:>5} ops, mean {}): {}",
+            peak.apex,
+            peak.ops,
+            fmt(peak.mean_latency(read) as u64),
+            if hyp.is_empty() { "application/CPU path".to_string() } else { hyp.join(", ") }
+        );
+    }
+}

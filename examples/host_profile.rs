@@ -1,0 +1,73 @@
+//! Real OSprof profiling of *this* machine: the user-level profiler of
+//! §4 against the actual OS, using the hardware cycle counter.
+//!
+//! Run with: `cargo run --release -p osprof --example host_profile`
+
+use std::io::SeekFrom;
+
+use osprof::host::{tsc, ProfiledFs};
+use osprof::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let hz = tsc::calibrate_hz(std::time::Duration::from_millis(100));
+    let window = tsc::probe_window(100_000);
+    println!("calibrated TSC: {:.2} GHz; probe window: {window} cycles (paper: ~40)\n", hz / 1e9);
+
+    let dir = std::env::temp_dir().join(format!("osprof-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let mut fs = ProfiledFs::new();
+
+    // Write a working set, then read it back twice: the first pass may
+    // touch the disk, the second comes from the OS page cache — a real
+    // multi-modal read profile.
+    let path = dir.join("data.bin");
+    let mut f = fs.create(&path)?;
+    let block = vec![0xA5u8; 1 << 16];
+    for _ in 0..64 {
+        fs.write(&mut f, &block)?;
+    }
+    fs.fsync(&f)?;
+    drop(f);
+
+    let mut buf = vec![0u8; 4096];
+    for pass in 0..2 {
+        let mut f = fs.open(&path)?;
+        loop {
+            let n = fs.read(&mut f, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+        }
+        let _ = pass;
+    }
+    // Zero-byte reads: the fast path of Figure 3.
+    let mut f = fs.open(&path)?;
+    let mut empty: [u8; 0] = [];
+    for _ in 0..10_000 {
+        fs.read(&mut f, &mut empty)?;
+    }
+    fs.llseek(&mut f, SeekFrom::Start(0))?;
+    drop(f);
+    fs.unlink(&path)?;
+    std::fs::remove_dir_all(&dir)?;
+
+    let profiles = fs.into_profiles();
+    profiles.verify_checksums().expect("checksums");
+    println!("{}", osprof::viz::ascii_profile_set(&profiles));
+
+    // Peak analysis on the real read profile.
+    let read = profiles.get("read").unwrap();
+    let peaks = find_peaks(read, &PeakConfig { min_ops: 5, ..PeakConfig::default() });
+    println!("read profile peaks (real machine):");
+    for p in &peaks {
+        println!(
+            "  bucket {:>2}..{:<2} apex {:>2}: {:>6} ops (mean {})",
+            p.start,
+            p.end,
+            p.apex,
+            p.ops,
+            osprof::core::clock::format_cycles(p.mean_latency(read) as u64)
+        );
+    }
+    Ok(())
+}

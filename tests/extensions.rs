@@ -1,0 +1,86 @@
+//! Integration tests for the beyond-the-paper extensions: calibration,
+//! cluster aggregation, elevator scheduling, higher resolutions.
+
+use osprof::prelude::*;
+use osprof_core::bucket::Resolution;
+
+#[test]
+fn calibration_round_trips_through_annotation() {
+    use osprof::workloads::calibrate;
+    let (cal, kb) = calibrate::calibrate(KernelConfig::uniprocessor(), DiskConfig::paper_disk());
+    // The measured knowledge base annotates a synthetic context-switch
+    // peak correctly.
+    let mut p = Profile::new("yield");
+    p.record_n(cal.context_switch.max(1), 1_000);
+    let peaks = find_peaks(&p, &PeakConfig::default());
+    let hyps = kb.hypotheses(&peaks[0], 1);
+    assert!(
+        hyps.iter().any(|h| h.label.contains("context switch")),
+        "measured KB should recognize its own measurement: {hyps:?}"
+    );
+}
+
+#[test]
+fn cluster_outlier_detection_via_tool() {
+    use osprof_core::serialize::to_text;
+    let mk = |bucket: usize| {
+        let mut set = ProfileSet::new("fs");
+        let mut p = Profile::new("read");
+        p.record_n(1u64 << bucket, 5_000);
+        set.insert(p);
+        to_text(&set)
+    };
+    let nodes: Vec<(String, String)> = (0..4)
+        .map(|i| (format!("n{i}"), mk(10)))
+        .chain(std::iter::once(("bad".to_string(), mk(23))))
+        .collect();
+    let report = osprof::tool::cluster_report(&nodes).unwrap();
+    let first_line = report.lines().find(|l| l.trim_start().starts_with("bad")).unwrap();
+    assert!(first_line.contains("read"));
+    // The sick node is ranked first.
+    let bad_pos = report.find("  bad").unwrap();
+    let n0_pos = report.find("  n0").unwrap();
+    assert!(bad_pos < n0_pos, "{report}");
+}
+
+#[test]
+fn elevator_and_fifo_agree_on_single_streams() {
+    use osprof_simdisk::{DiskConfig, DiskDevice, QueuePolicy};
+    use osprof_simkernel::device::{Device, IoKind, IoRequest, IoToken};
+    // With never more than one outstanding request, scheduling policy is
+    // irrelevant: completion times must match exactly.
+    let run = |policy: QueuePolicy| {
+        let mut cfg = DiskConfig::paper_disk();
+        cfg.scheduler = policy;
+        let mut d = DiskDevice::new(cfg);
+        let mut now = 0;
+        let mut ends = Vec::new();
+        for i in 0..20u64 {
+            let lba = (i * 7_777_777) % 30_000_000;
+            d.submit(now, IoToken(i), IoRequest { kind: IoKind::Read, lba, len: 8 });
+            let (t, tok) = d.next_completion().unwrap();
+            d.complete(tok);
+            ends.push(t);
+            now = t;
+        }
+        ends
+    };
+    assert_eq!(run(QueuePolicy::Fifo), run(QueuePolicy::Elevator));
+}
+
+#[test]
+fn high_resolution_profiles_flow_through_serialization_and_viz() {
+    use osprof_core::serialize::{from_text, to_text};
+    let clock = osprof_core::clock::ManualClock::new();
+    let mut prof = Profiler::with_resolution("fs", &clock, Resolution::R4);
+    for i in 0..1_000u64 {
+        prof.record("op", 9_000 + i % 128);
+        prof.record("op", 14_500 + i % 128);
+    }
+    let set = prof.into_profiles();
+    let rt = from_text(&to_text(&set)).unwrap();
+    assert_eq!(rt.get("op").unwrap().buckets(), set.get("op").unwrap().buckets());
+    // Peak detection sees two peaks at r=4 (the abl-resolution claim).
+    let peaks = find_peaks(rt.get("op").unwrap(), &PeakConfig::default());
+    assert_eq!(peaks.len(), 2, "{:?}", rt.get("op").unwrap().buckets());
+}

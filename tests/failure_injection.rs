@@ -1,0 +1,141 @@
+//! Failure injection: skewed clocks, racy profile updates, poisoned
+//! caches — the conditions §3.4 warns about, exercised deliberately.
+
+use osprof::prelude::*;
+use osprof::workloads::clone_storm;
+use osprof_core::bucket::Resolution;
+use osprof_core::update::{SharedHistogram, UpdatePolicy};
+
+#[test]
+fn large_tsc_skew_distorts_profiles_small_skew_does_not() {
+    // §3.4: "our logarithmic filtering produces profiles that are
+    // insensitive to counter differences that are less than the
+    // scheduling time".
+    let run = |skew: i64| {
+        let cfg = KernelConfig::smp(2).with_tsc_skew(vec![0, skew]);
+        let mut kernel = Kernel::new(cfg);
+        let user = kernel.add_layer("user");
+        clone_storm::spawn(&mut kernel, user, 4, 500, 10_000);
+        kernel.run();
+        kernel.layer_profiles(user).get("clone").unwrap().clone()
+    };
+    let baseline = run(0);
+    // Linux-style boot synchronization: ~130ns = ~220 cycles. Too small
+    // to move any contended clone (they cross CPUs after ~10k-cycle
+    // waits) into a different bucket... the *shape* stays the same.
+    let small = run(220);
+    let d_small = osprof::analysis::compare::emd(&baseline, &small);
+    assert!(d_small < 0.5, "small skew moved the profile by {d_small}");
+    // A pathological skew (1 ms) smears migrated measurements far right.
+    let big = run(1_700_000);
+    let d_big = osprof::analysis::compare::emd(&baseline, &big);
+    assert!(d_big > d_small, "big skew {d_big} vs small {d_small}");
+}
+
+#[test]
+fn racy_updates_lose_little_with_two_threads() {
+    // §3.4's justification for lock-free buckets on small SMPs: "less
+    // than 1% of bucket updates were lost while two threads were
+    // concurrently measuring latency of an empty function".
+    let h = std::sync::Arc::new(SharedHistogram::new("empty", Resolution::R1, UpdatePolicy::Racy));
+    let per_thread = 2_000_000u64;
+    let threads: Vec<_> = (0..2)
+        .map(|_| {
+            let h = std::sync::Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    // Empty-function latency: constant small value, the
+                    // worst case (same bucket every time).
+                    h.record(64 + (i & 1));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let lost = h.lost_updates(2 * per_thread);
+    let rate = lost as f64 / (2.0 * per_thread as f64);
+    // Generous bound: the paper saw <1% on a 2-CPU machine; our host may
+    // interleave more aggressively, but order-of-magnitude holds.
+    assert!(rate < 0.25, "lost {rate:.3} of updates");
+    // The atomic policy on the same pattern loses nothing.
+    let a = std::sync::Arc::new(SharedHistogram::new("empty", Resolution::R1, UpdatePolicy::Atomic));
+    let threads: Vec<_> = (0..2)
+        .map(|_| {
+            let a = std::sync::Arc::clone(&a);
+            std::thread::spawn(move || {
+                for _ in 0..per_thread {
+                    a.record(64);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(a.lost_updates(2 * per_thread), 0);
+}
+
+#[test]
+fn corrupt_profile_fails_checksum_verification() {
+    // The §4 consistency pass must catch instrumentation errors. Parsing
+    // a tampered report is the injection point.
+    let mut set = ProfileSet::new("fs");
+    for i in 0..100u64 {
+        set.record("read", 100 + i);
+    }
+    let mut text = osprof_core::serialize::to_text(&set);
+    // Tamper: inflate the op count without touching buckets.
+    text = text.replace("ops=100", "ops=101");
+    let err = osprof_core::serialize::from_text(&text);
+    assert!(matches!(err, Err(osprof_core::error::CoreError::ChecksumMismatch { .. })), "{err:?}");
+}
+
+#[test]
+fn cold_vs_poisoned_page_cache_differential() {
+    use osprof::workloads::{grep, tree};
+    use osprof_simfs::image::ROOT;
+    // Differential analysis (§3.1): the same grep run against a cold
+    // cache and against a pre-warmed ("poisoned" with all pages) cache
+    // must differ exactly in the disk peaks.
+    let mut cfg = tree::TreeConfig::small_kernel_tree();
+    cfg.dirs = 15;
+    let t = tree::build(&cfg);
+    let run = |warm: bool| {
+        let mut kernel = Kernel::new(KernelConfig::uniprocessor());
+        let user = kernel.add_layer("user");
+        let fs_layer = kernel.add_layer("file-system");
+        let dev = kernel.attach_device(Box::new(DiskDevice::new(DiskConfig::paper_disk())));
+        let mount = Mount::new(&mut kernel, t.image.clone(), dev, MountOpts::ext2(Some(fs_layer)));
+        if warm {
+            let st = mount.state();
+            let mut st = st.borrow_mut();
+            for ino_idx in 0..st.image.len() {
+                let ino = osprof_simfs::image::Ino(ino_idx as u32);
+                if !st.image.node(ino).live {
+                    continue;
+                }
+                for page in 0..st.image.node(ino).data_pages() {
+                    st.cache_page(ino, page);
+                }
+            }
+        }
+        grep::spawn_local(&mut kernel, mount.state(), ROOT, user, 1_000);
+        kernel.run();
+        (kernel.layer_profiles(fs_layer), kernel.stats().io_submitted)
+    };
+    let (cold, cold_io) = run(false);
+    let (warm, warm_io) = run(true);
+    assert!(cold_io > 0);
+    assert_eq!(warm_io, 0, "warm cache must not touch the disk");
+    // Warm readdir has no disk peaks; cold does.
+    let disk_ops = |p: &ProfileSet| {
+        (15..=30).map(|b| p.get("readdir").map(|q| q.count_in(b)).unwrap_or(0)).sum::<u64>()
+    };
+    assert!(disk_ops(&cold) > 0);
+    assert_eq!(disk_ops(&warm), 0);
+    // And the automated analysis sees exactly that difference.
+    let sel = select_interesting(&cold, &warm, &SelectionConfig::default());
+    assert!(sel.iter().any(|s| s.op == "readdir" || s.op == "read"), "{sel:?}");
+}

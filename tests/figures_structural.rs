@@ -1,0 +1,177 @@
+//! Structural checks for every figure/table experiment, at test scale.
+//!
+//! The full-size regenerations live in `crates/bench` (`figures`
+//! binary); these tests assert the *shape* invariants that make each
+//! figure what it is, so regressions are caught in `cargo test`.
+
+use osprof::prelude::*;
+use osprof::simnet::wire::{CifsConfig, CifsLink, ClientKind};
+use osprof::workloads::{clone_storm, grep, random_read, tree, zero_read};
+use osprof_simfs::image::ROOT;
+
+#[test]
+fn fig1_clone_contention_is_bimodal() {
+    let mut kernel = Kernel::new(KernelConfig::smp(2));
+    let user = kernel.add_layer("user");
+    clone_storm::spawn(&mut kernel, user, 4, 1_000, 10_000);
+    kernel.run();
+    let p = kernel.layer_profiles(user);
+    let clone = p.get("clone").unwrap();
+    let peaks = find_peaks(clone, &PeakConfig { min_ops: 10, ..Default::default() });
+    assert!(peaks.len() >= 2, "clone profile: {:?}", clone.buckets());
+    // Left peak near bucket 10 (~1us), right peak at context-switch
+    // scale (buckets 13-16), left much taller.
+    assert!((9..=11).contains(&peaks[0].apex), "left apex {}", peaks[0].apex);
+    let right = peaks.last().unwrap();
+    assert!((13..=16).contains(&right.apex), "right apex {}", right.apex);
+    assert!(peaks[0].ops > 4 * right.ops, "left should dominate");
+}
+
+#[test]
+fn fig3_preemption_toggle_controls_far_peak() {
+    let run = |preempt: bool| {
+        let mut img = FsImage::new();
+        let file = img.create_file(ROOT, "f", 4096);
+        let mut kernel = Kernel::new(KernelConfig::uniprocessor().with_kernel_preemption(preempt));
+        let user = kernel.add_layer("user");
+        let dev = kernel.attach_device(Box::new(DiskDevice::new(DiskConfig::paper_disk())));
+        let mount = Mount::new(&mut kernel, img, dev, MountOpts::ext2(None));
+        zero_read::spawn(&mut kernel, &mount.state(), file, user, 2, 400_000, 400);
+        kernel.run();
+        kernel.layer_profiles(user).get("read").unwrap().clone()
+    };
+    let preemptive = run(true);
+    let cooperative = run(false);
+    let far = |p: &Profile| (24..=30).map(|b| p.count_in(b)).sum::<u64>();
+    assert!(far(&preemptive) > 0, "preemptive: {:?}", preemptive.buckets());
+    assert_eq!(far(&cooperative), 0, "non-preemptive: {:?}", cooperative.buckets());
+    // Fast path identical in both kernels (bucket 6-9 dominates).
+    for p in [&preemptive, &cooperative] {
+        let main: u64 = (5..=9).map(|b| p.count_in(b)).sum();
+        assert!(main as f64 / p.total_ops() as f64 > 0.99);
+    }
+}
+
+#[test]
+fn fig6_llseek_contention_and_fix() {
+    let run = |procs: usize, patched: bool| {
+        let mut img = FsImage::new();
+        let file = img.create_file(ROOT, "data", 32 << 20);
+        let mut kernel = Kernel::new(KernelConfig::uniprocessor());
+        let user = kernel.add_layer("user");
+        let fs_layer = kernel.add_layer("file-system");
+        let dev = kernel.attach_device(Box::new(DiskDevice::new(DiskConfig::paper_disk())));
+        let mut opts = MountOpts::ext2(Some(fs_layer));
+        opts.llseek_takes_i_sem = !patched;
+        let mount = Mount::new(&mut kernel, img, dev, opts);
+        let mut cfg = random_read::RandomReadConfig::paper_scaled(32 << 20);
+        cfg.iterations = 300;
+        random_read::spawn(&mut kernel, &mount.state(), file, user, procs, cfg);
+        kernel.run();
+        kernel.layer_profiles(fs_layer)
+    };
+    let two = run(2, false);
+    let ls = two.get("llseek").unwrap();
+    let slow: u64 = (16..=32).map(|b| ls.count_in(b)).sum();
+    assert!(slow > 0, "2-proc llseek should contend: {:?}", ls.buckets());
+
+    let one = run(1, false);
+    let ls1 = one.get("llseek").unwrap();
+    assert_eq!((16..=32).map(|b| ls1.count_in(b)).sum::<u64>(), 0);
+
+    // The automated analysis flags llseek between the two conditions.
+    let sel = select_interesting(&one, &two, &SelectionConfig::default());
+    assert!(sel.iter().any(|s| s.op == "llseek"), "{sel:?}");
+
+    // The fix: mean drops ~70% (paper: 400 -> 120 cycles).
+    let fixed = run(2, true);
+    let before = ls.estimated_mean_latency().unwrap();
+    let after = fixed.get("llseek").unwrap().estimated_mean_latency().unwrap();
+    assert!(after < before / 2.0, "fix: {before:.0} -> {after:.0}");
+}
+
+#[test]
+fn fig7_readdir_four_peak_invariants() {
+    let mut cfg = tree::TreeConfig::small_kernel_tree();
+    cfg.dirs = 60;
+    // Directories larger than one getdents buffer (80 entries) produce
+    // the cached continuation calls of the second peak.
+    cfg.files_per_dir_min = 30;
+    cfg.files_per_dir_max = 170;
+    let t = tree::build(&cfg);
+    let mut kernel = Kernel::new(KernelConfig::uniprocessor());
+    let user = kernel.add_layer("user");
+    let fs_layer = kernel.add_layer("file-system");
+    let dev = kernel.attach_device(Box::new(DiskDevice::new(DiskConfig::paper_disk())));
+    let mount = Mount::new(&mut kernel, t.image.clone(), dev, MountOpts::ext2(Some(fs_layer)));
+    grep::spawn_local(&mut kernel, mount.state(), ROOT, user, 1_500);
+    kernel.run();
+    let p = kernel.layer_profiles(fs_layer);
+    let rd = p.get("readdir").unwrap();
+    let rp = p.get("readpage").unwrap();
+    // First peak: past-EOF calls, one per directory, bucket 6.
+    assert!(rd.count_in(6) >= 60, "first peak: {:?}", rd.buckets());
+    // Disk-involved readdirs equal the readpage count that hit the disk
+    // via readdir... at least: the disk region ops must be > 0 and the
+    // second (cached) peak must exist.
+    let disk_ops: u64 = (15..=30).map(|b| rd.count_in(b)).sum();
+    assert!(disk_ops > 0);
+    let cached_ops: u64 = (9..=14).map(|b| rd.count_in(b)).sum();
+    assert!(cached_ops > 0, "cached peak: {:?}", rd.buckets());
+    assert!(rp.total_ops() > 0);
+}
+
+#[test]
+fn fig10_windows_client_findfirst_in_delayed_ack_buckets() {
+    let mut cfg = tree::TreeConfig::small_kernel_tree();
+    cfg.dirs = 10;
+    cfg.files_per_dir_min = 30;
+    cfg.files_per_dir_max = 120;
+    let t = tree::build(&cfg);
+    let mut kernel = Kernel::new(KernelConfig::uniprocessor());
+    let user = kernel.add_layer("user");
+    let client = kernel.add_layer("cifs-client");
+    let (link, wire) = CifsLink::new(CifsConfig::paper_lan(ClientKind::WindowsDelayedAck));
+    let dev = kernel.attach_device(Box::new(link));
+    let rfs = osprof::simnet::RemoteFs::new(t.image.clone(), wire.clone(), dev, Some(client));
+    grep::spawn_remote(&mut kernel, rfs.state(), ROOT, user, 1_500);
+    kernel.run();
+    let p = kernel.layer_profiles(client);
+    let ff = p.get("FIND_FIRST").unwrap();
+    // Everything through the server (>= bucket 18); big directories hit
+    // delayed-ACK stalls (buckets 26+).
+    assert!(ff.first_bucket().unwrap() >= 18);
+    let stalled: u64 = (26..=31).map(|b| ff.count_in(b)).sum();
+    assert!(stalled > 0, "FindFirst: {:?}", ff.buckets());
+    assert!(wire.borrow().stats.delayed_ack_stalls > 0);
+}
+
+#[test]
+fn fig11_linux_client_avoids_stalls_and_fix_matches() {
+    let elapsed = |client: ClientKind| {
+        let mut cfg = tree::TreeConfig::small_kernel_tree();
+        cfg.dirs = 20;
+        cfg.files_per_dir_min = 20;
+        cfg.files_per_dir_max = 100;
+        let t = tree::build(&cfg);
+        let mut kernel = Kernel::new(KernelConfig::uniprocessor());
+        let user = kernel.add_layer("user");
+        let (link, wire) = CifsLink::new(CifsConfig::paper_lan(client));
+        let dev = kernel.attach_device(Box::new(link));
+        let rfs = osprof::simnet::RemoteFs::new(t.image.clone(), wire.clone(), dev, None);
+        grep::spawn_remote(&mut kernel, rfs.state(), ROOT, user, 1_500);
+        kernel.run();
+        let stalls = wire.borrow().stats.delayed_ack_stalls;
+        (kernel.now(), stalls)
+    };
+    let (win, win_stalls) = elapsed(ClientKind::WindowsDelayedAck);
+    let (linux, linux_stalls) = elapsed(ClientKind::LinuxSmb);
+    let (fixed, fixed_stalls) = elapsed(ClientKind::WindowsNoDelayedAck);
+    assert!(win_stalls > 0);
+    assert_eq!(linux_stalls, 0);
+    assert_eq!(fixed_stalls, 0);
+    // The registry fix improves elapsed time materially (paper: ~20%).
+    let improvement = (win - fixed) as f64 / win as f64;
+    assert!(improvement > 0.05, "improvement {improvement:.2}");
+    assert!(linux < win);
+}

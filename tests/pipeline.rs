@@ -1,0 +1,77 @@
+//! Cross-crate pipeline test: simulate → collect → serialize → parse →
+//! analyze → render, the full OSprof workflow.
+
+use osprof::prelude::*;
+use osprof::workloads::{grep, tree};
+use osprof_core::serialize::{from_json, from_text, to_json, to_text};
+
+fn collect_grep_profiles() -> (ProfileSet, ProfileSet) {
+    let mut cfg = tree::TreeConfig::small_kernel_tree();
+    cfg.dirs = 20;
+    let t = tree::build(&cfg);
+    let mut kernel = Kernel::new(KernelConfig::uniprocessor());
+    let user = kernel.add_layer("user");
+    let fs_layer = kernel.add_layer("file-system");
+    let dev = kernel.attach_device(Box::new(DiskDevice::new(DiskConfig::paper_disk())));
+    let mount = Mount::new(&mut kernel, t.image.clone(), dev, MountOpts::ext2(Some(fs_layer)));
+    grep::spawn_local(&mut kernel, mount.state(), osprof::simfs::image::ROOT, user, 1_000);
+    kernel.run();
+    (kernel.layer_profiles(user), kernel.layer_profiles(fs_layer))
+}
+
+#[test]
+fn simulate_serialize_analyze_render() {
+    let (user, fs) = collect_grep_profiles();
+
+    // Checksums verify (the paper's consistency pass).
+    user.verify_checksums().unwrap();
+    fs.verify_checksums().unwrap();
+
+    // Serialization round-trips through both formats.
+    let text_rt = from_text(&to_text(&fs)).unwrap();
+    for (op, p) in fs.iter() {
+        assert_eq!(text_rt.get(op).unwrap().buckets(), p.buckets(), "text round trip for {op}");
+    }
+    let json_rt = from_json(&to_json(&fs)).unwrap();
+    assert_eq!(json_rt, fs);
+
+    // Analysis: readdir is multi-modal; peaks are found.
+    let readdir = fs.get("readdir").unwrap();
+    let peaks = find_peaks(readdir, &PeakConfig::default());
+    assert!(peaks.len() >= 2, "readdir should be multi-modal: {:?}", readdir.buckets());
+
+    // Layered profiling invariant: user-level totals dominate fs-level.
+    for op in ["readdir", "read"] {
+        let u = user.get(op).unwrap();
+        let f = fs.get(op).unwrap();
+        assert_eq!(u.total_ops(), f.total_ops(), "same op count at both layers for {op}");
+        assert!(
+            u.total_latency() >= f.total_latency(),
+            "user layer must include fs latency for {op}"
+        );
+    }
+
+    // Rendering never panics and contains the figure furniture.
+    let fig = osprof::viz::ascii_profile(readdir);
+    assert!(fig.contains("READDIR"));
+    let all = osprof::viz::ascii_profile_set(&fs);
+    assert!(all.contains("checksums OK"));
+}
+
+#[test]
+fn differential_analysis_selects_nothing_for_identical_runs() {
+    let (_, a) = collect_grep_profiles();
+    let (_, b) = collect_grep_profiles();
+    // Deterministic simulator: two identical runs differ by nothing; the
+    // automated selection must stay silent (no false positives).
+    let out = select_interesting(&a, &b, &SelectionConfig::default());
+    assert!(out.is_empty(), "selected from identical runs: {out:?}");
+}
+
+#[test]
+fn profiles_are_deterministic_across_runs() {
+    let (ua, fa) = collect_grep_profiles();
+    let (ub, fb) = collect_grep_profiles();
+    assert_eq!(ua, ub);
+    assert_eq!(fa, fb);
+}
