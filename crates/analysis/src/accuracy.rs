@@ -13,13 +13,12 @@
 //! misclassifications over the corpus (the paper's tool exposes the
 //! threshold as a configuration knob an analyst tunes the same way).
 
-use serde::{Deserialize, Serialize};
 
 use crate::compare::Metric;
 use crate::corpus::LabeledPair;
 
 /// Accuracy of one comparison method over a labeled corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MethodAccuracy {
     /// The method evaluated.
     pub metric: Metric,
@@ -96,6 +95,9 @@ pub fn evaluate_paper_methods(corpus: &[LabeledPair]) -> Vec<MethodAccuracy> {
         .map(|m| evaluate(m, corpus))
         .collect()
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_struct!(MethodAccuracy { metric, threshold, false_positives, false_negatives, total });
 
 #[cfg(test)]
 mod tests {

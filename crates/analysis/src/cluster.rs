@@ -7,13 +7,12 @@
 //! from the aggregate — the natural "which node is sick?" query.
 
 use osprof_core::error::CoreError;
-use osprof_core::profile::{Profile, ProfileSet};
-use serde::{Deserialize, Serialize};
+use osprof_core::profile::ProfileSet;
 
 use crate::compare::Metric;
 
 /// One node's divergence from the cluster aggregate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeDivergence {
     /// Node label (as passed to [`aggregate`]).
     pub node: String,
@@ -76,9 +75,13 @@ pub fn outliers(view: &ClusterView, threshold: f64) -> Vec<&NodeDivergence> {
     view.divergences.iter().filter(|d| d.distance >= threshold).collect()
 }
 
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_struct!(NodeDivergence { node, worst_op, distance, mean_distance });
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use osprof_core::profile::Profile;
 
     fn node(name: &str, read_bucket: usize, n: u64) -> (String, ProfileSet) {
         let mut set = ProfileSet::new(name);

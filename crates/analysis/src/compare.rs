@@ -13,12 +13,11 @@
 //! normalize both sides to unit mass ("the histograms are normalized so
 //! that we have exactly enough earth to fill the holes").
 
-use serde::{Deserialize, Serialize};
 
 use osprof_core::profile::Profile;
 
 /// The comparison methods evaluated in Section 5.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// Earth Mover's Distance (cross-bin; the paper's recommendation,
     /// lowest false-classification rate, 2%).
@@ -182,6 +181,17 @@ pub fn total_latency_diff(a: &Profile, b: &Profile) -> f64 {
         (x - y).abs() / m
     }
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_unit_enum!(Metric {
+    Emd,
+    ChiSquared,
+    TotalOps,
+    TotalLatency,
+    Minkowski,
+    Intersection,
+    Jeffrey,
+});
 
 #[cfg(test)]
 mod tests {

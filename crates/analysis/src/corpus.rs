@@ -27,14 +27,12 @@
 //! which is why the paper's simple total-ops/total-latency raters do so
 //! well (4%/3%); the generator reproduces that correlation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use osprof_core::rng::{Rng, StdRng};
 
 use osprof_core::profile::Profile;
 
 /// The kind of change applied between the two profiles of a pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChangeKind {
     /// Run-to-run statistical noise only (unimportant).
     Noise,
@@ -63,7 +61,7 @@ impl ChangeKind {
 }
 
 /// One labeled profile pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LabeledPair {
     /// Baseline profile.
     pub left: Profile,
@@ -336,6 +334,18 @@ fn pick_ops_scale(rng: &mut StdRng) -> f64 {
         rng.gen_range(1.2..1.7)
     }
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_unit_enum!(ChangeKind {
+    Noise,
+    BoundaryJitter,
+    SmallScale,
+    NewPeak,
+    PeakShift,
+    RatioChange,
+    Slowdown,
+});
+osprof_core::impl_json_struct!(LabeledPair { left, right, kind });
 
 #[cfg(test)]
 mod tests {

@@ -13,7 +13,6 @@
 //! lists the characteristic-time hypotheses whose bucket is within a
 //! small distance of the peak apex.
 
-use serde::{Deserialize, Serialize};
 
 use osprof_core::bucket::{bucket_of, Resolution};
 use osprof_core::clock::{characteristic, Cycles};
@@ -21,7 +20,7 @@ use osprof_core::clock::{characteristic, Cycles};
 use crate::peaks::Peak;
 
 /// A named characteristic time of the profiled system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CharacteristicTime {
     /// Human-readable label, e.g. `"context switch"`.
     pub label: String,
@@ -30,7 +29,7 @@ pub struct CharacteristicTime {
 }
 
 /// The knowledge base: a set of characteristic times to match against.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct KnowledgeBase {
     entries: Vec<CharacteristicTime>,
 }
@@ -85,6 +84,10 @@ impl KnowledgeBase {
             .collect()
     }
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_struct!(CharacteristicTime { label, cycles });
+osprof_core::impl_json_struct!(KnowledgeBase { entries });
 
 #[cfg(test)]
 mod tests {

@@ -13,12 +13,11 @@
 //! at least a configurable factor (default 8×) below the smaller maximum,
 //! or touches zero.
 
-use serde::{Deserialize, Serialize};
 
 use osprof_core::profile::Profile;
 
 /// One identified peak of a latency profile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Peak {
     /// First bucket of the peak (inclusive).
     pub start: usize,
@@ -55,7 +54,7 @@ impl Peak {
 }
 
 /// Tuning knobs for [`find_peaks`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeakConfig {
     /// Minimum factor by which the valley between two local maxima must
     /// drop below the smaller maximum for them to count as separate
@@ -177,7 +176,7 @@ fn split_region(counts: &[u64], start: usize, end: usize, cfg: &PeakConfig, out:
 ///
 /// Used in phase 2 of the automated analysis: "reports differences in the
 /// number of peaks and their locations".
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PeakDiff {
     /// Peak count in the left profile.
     pub left_count: usize,
@@ -217,6 +216,11 @@ pub fn diff_peaks(left: &Profile, right: &Profile, cfg: &PeakConfig) -> PeakDiff
         unmatched_right: unmatched(&r_apex, &l_apex),
     }
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_struct!(Peak { start, apex, end, ops, apex_count });
+osprof_core::impl_json_struct!(PeakConfig { valley_ratio, noise_floor, min_ops });
+osprof_core::impl_json_struct!(PeakDiff { left_count, right_count, unmatched_left, unmatched_right });
 
 #[cfg(test)]
 mod tests {

@@ -12,7 +12,6 @@
 //! configuration, or the same workload before/after a patch); the output
 //! is "a small set of interesting profiles for manual analysis", ranked.
 
-use serde::{Deserialize, Serialize};
 
 use osprof_core::profile::{Profile, ProfileSet};
 
@@ -20,7 +19,7 @@ use crate::compare::{total_latency_diff, Metric};
 use crate::peaks::{diff_peaks, PeakConfig, PeakDiff};
 
 /// Thresholds for the selection pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SelectionConfig {
     /// Phase 1: pairs whose normalized total-latency difference is below
     /// this are "very similar" and dropped.
@@ -53,7 +52,7 @@ impl Default for SelectionConfig {
 }
 
 /// One selected (interesting) profile pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Selection {
     /// Operation name.
     pub op: String,
@@ -155,6 +154,17 @@ pub fn select_interesting(left: &ProfileSet, right: &ProfileSet, cfg: &Selection
     out.sort_by(|x, y| y.distance.partial_cmp(&x.distance).unwrap_or(std::cmp::Ordering::Equal));
     out
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_struct!(SelectionConfig {
+    min_latency_diff,
+    min_latency_share,
+    min_ops_share,
+    metric,
+    min_distance,
+    peak_config,
+});
+osprof_core::impl_json_struct!(Selection { op, distance, latency_diff, latency_share, peak_diff });
 
 #[cfg(test)]
 mod tests {

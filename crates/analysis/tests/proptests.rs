@@ -3,7 +3,7 @@
 use osprof_analysis::compare::{self, Metric};
 use osprof_analysis::peaks::{find_peaks, PeakConfig};
 use osprof_core::profile::Profile;
-use proptest::prelude::*;
+use osprof_core::proptest::prelude::*;
 
 fn arb_profile() -> impl Strategy<Value = Profile> {
     prop::collection::vec((0usize..40, 1u64..100_000), 0..20).prop_map(|buckets| {

@@ -1,7 +1,7 @@
-//! Criterion benchmarks of the analysis pipeline: profile comparison
+//! Micro-benchmarks of the analysis pipeline: profile comparison
 //! metrics and peak detection at realistic profile sizes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use osprof_bench::micro::{black_box, criterion_group, criterion_main, Criterion};
 use osprof_analysis::compare::Metric;
 use osprof_analysis::peaks::{find_peaks, PeakConfig};
 use osprof_core::profile::Profile;

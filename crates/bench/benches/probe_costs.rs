@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks of the real probe path (paper §5.2 / §7):
-//! the per-operation costs of reading the TSC, bucketing a latency, and
+//! Micro-benchmarks of the real probe path (paper §5.2 / §7): the
+//! per-operation costs of reading the TSC, bucketing a latency, and
 //! the full begin/end probe — on this machine, for real.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use osprof_bench::micro::{black_box, criterion_group, criterion_main, Criterion};
 use osprof_core::bucket::{bucket_of, Resolution};
 use osprof_core::profile::Profile;
 use osprof_core::stats::Profiler;

@@ -39,6 +39,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod micro;
 pub mod tbl_acc;
 pub mod tbl_auto;
 pub mod tbl_cpu;

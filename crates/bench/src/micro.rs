@@ -1,0 +1,228 @@
+//! A minimal micro-benchmark runner with a criterion-shaped API.
+//!
+//! The repo builds hermetically with no external crates (see DESIGN.md),
+//! so the `analysis_costs` and `probe_costs` benches run on this
+//! in-repo harness instead of criterion. The surface mirrors the small
+//! subset of criterion those benches use — [`black_box`], [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function`, [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — so a bench
+//! file ports by changing its `use` line only.
+//!
+//! Methodology: each routine is warmed up, then the iteration count is
+//! calibrated so one sample takes a few milliseconds, then a fixed
+//! number of samples is timed with [`std::time::Instant`]. The report
+//! gives min / median / mean nanoseconds per iteration; min is the
+//! stablest number on a noisy machine, mean is what throughput math
+//! wants. Set `OSPROF_BENCH_QUICK=1` to shrink warm-up and sample
+//! counts (used by CI smoke runs, where only "does it run" matters).
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Timing knobs: (warm-up ns, per-sample ns, sample count).
+fn tuning() -> (f64, f64, usize) {
+    match std::env::var("OSPROF_BENCH_QUICK") {
+        Ok(v) if v != "0" && !v.is_empty() => (1.0e6, 1.0e6, 5),
+        _ => (2.0e7, 5.0e6, 20),
+    }
+}
+
+/// Times one routine: hands the closure to [`Bencher::iter`].
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    /// Iterations per sample after calibration.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calibrates and times `routine`, recording per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let (warmup_ns, sample_ns, n_samples) = tuning();
+
+        // Warm up and estimate the per-iteration cost, doubling the
+        // batch until the batch itself is long enough to time reliably.
+        let mut iters = 1u64;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            if elapsed >= warmup_ns {
+                break (elapsed / iters as f64).max(0.01);
+            }
+            iters = iters.saturating_mul(2);
+        };
+
+        let sample_iters = ((sample_ns / per_iter_ns) as u64).clamp(1, u64::MAX);
+        for _ in 0..n_samples {
+            let start = Instant::now();
+            for _ in 0..sample_iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / sample_iters as f64);
+        }
+        self.iters = sample_iters;
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` or bare name).
+    pub name: String,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Median sample, ns per iteration.
+    pub median_ns: f64,
+    /// Mean sample, ns per iteration.
+    pub mean_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+/// Formats nanoseconds with a readable unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{:.2} ms", ns / 1e6)
+    }
+}
+
+/// The benchmark driver: registers and times routines, prints a report.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// A fresh driver.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named group; benchmark ids inside it are `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, prefix: name.to_string() }
+    }
+
+    /// Times one routine under `name` and prints its result line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        self.run_named(name.to_string(), f);
+    }
+
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        let mut b = Bencher { samples: Vec::new(), iters: 0 };
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort_by(|x, y| x.total_cmp(y));
+        let (min_ns, median_ns, mean_ns) = if sorted.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            let mid = sorted.len() / 2;
+            let median = if sorted.len() % 2 == 0 { (sorted[mid - 1] + sorted[mid]) / 2.0 } else { sorted[mid] };
+            (sorted[0], median, sorted.iter().sum::<f64>() / sorted.len() as f64)
+        };
+        let r = BenchResult { name, min_ns, median_ns, mean_ns, samples: sorted.len(), iters: b.iters };
+        println!(
+            "{:<44} min {:>10}  median {:>10}  mean {:>10}   ({} samples x {} iters)",
+            r.name,
+            fmt_ns(r.min_ns),
+            fmt_ns(r.median_ns),
+            fmt_ns(r.mean_ns),
+            r.samples,
+            r.iters
+        );
+        self.results.push(r);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+    }
+}
+
+/// A named group of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times one routine under `prefix/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let id = format!("{}/{}", self.prefix, name);
+        self.c.run_named(id, f);
+    }
+
+    /// Closes the group (kept for criterion API parity; no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style: the named
+/// function runs each listed target against one shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::micro::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target, running every
+/// listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::micro::Criterion::new();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("OSPROF_BENCH_QUICK", "1");
+        let mut c = Criterion::new();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("add", |b| b.iter(|| black_box(2u64 * 3)));
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].name, "noop");
+        assert_eq!(c.results()[1].name, "grp/add");
+        for r in c.results() {
+            assert!(r.samples > 0);
+            assert!(r.iters >= 1);
+            assert!(r.min_ns <= r.median_ns + 1e-9);
+        }
+    }
+
+    #[test]
+    fn format_picks_sane_units() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+    }
+}

@@ -6,7 +6,7 @@
 //! efficiency", noting that `r = 2` would double the profile density with
 //! negligible CPU cost; we support arbitrary small resolutions.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 
 /// Maximum bucket index supported at resolution 1.
 ///
@@ -21,8 +21,21 @@ pub const MAX_BUCKETS_R1: usize = 64;
 /// `Resolution::R1` is the paper's default. Higher resolutions multiply
 /// the bucket density (paper §3: "r = 2 ... would double the profile
 /// resolution").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Resolution(u8);
+
+impl ToJson for Resolution {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.0 as u128)
+    }
+}
+
+impl FromJson for Resolution {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let raw = u8::from_json(v)?;
+        Resolution::new(raw).ok_or_else(|| JsonError::new(format!("invalid resolution {raw}")))
+    }
+}
 
 impl Resolution {
     /// The paper's default resolution (`r = 1`).

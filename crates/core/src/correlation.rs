@@ -17,14 +17,13 @@
 
 use std::ops::RangeInclusive;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bucket::{bucket_of, Resolution};
 use crate::clock::Cycles;
+use crate::impl_json_struct;
 use crate::profile::Profile;
 
 /// Correlates an internal variable's values with latency peaks.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CorrelationProfile {
     /// Name of the correlated variable (e.g. `readdir_past_EOF`).
     variable: String,
@@ -113,6 +112,8 @@ impl CorrelationProfile {
         Some((total - p.count_in(0)) as f64 / total as f64)
     }
 }
+
+impl_json_struct!(CorrelationProfile { variable, peaks, per_peak, other, scale, resolution });
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,869 @@
+//! A small, dependency-free JSON reader/writer.
+//!
+//! The figure harness and the profile archive format need JSON, but the
+//! repository's hermetic-build policy (see DESIGN.md) forbids pulling
+//! `serde`/`serde_json` from a registry. This module provides the whole
+//! surface the repository needs:
+//!
+//! - [`Json`] — a JSON value tree that keeps integers exact. Profiles
+//!   carry `u64`/`u128` counters (an empty profile's `min_latency` is
+//!   `u64::MAX`), so numbers are stored as `UInt`/`Int`/`Float` rather
+//!   than lossy `f64`-only.
+//! - [`Json::parse`] — a recursive-descent parser with line-accurate
+//!   errors.
+//! - [`Json::pretty`] / [`Json::compact`] — writers.
+//! - [`ToJson`] / [`FromJson`] — conversion traits, with impls for the
+//!   standard scalar/collection types and two macros
+//!   ([`impl_json_struct!`](crate::impl_json_struct) and
+//!   [`impl_json_unit_enum!`](crate::impl_json_unit_enum)) that stand in
+//!   for `#[derive(Serialize, Deserialize)]` on plain data types.
+//!
+//! Object fields keep insertion order on write; unknown fields are
+//! ignored on read (the usual forward-compatibility convention).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::RangeInclusive;
+
+/// A parse or conversion error, with a 1-based line number when the
+/// error came from parsing text (0 for conversion errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// 1-based source line of a parse error; 0 for conversion errors.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JsonError {
+    /// A conversion (non-parse) error.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsonError { line: 0, message: message.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (kept exact up to `u128`).
+    UInt(u128),
+    /// A negative integer (kept exact down to `i128::MIN`).
+    Int(i128),
+    /// A number with a fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; fields keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a field of an object and converts it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an object, the field is missing, or the
+    /// conversion fails.
+    pub fn field<T: FromJson>(&self, name: &str) -> Result<T, JsonError> {
+        match self {
+            Json::Object(fields) => match fields.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => T::from_json(v)
+                    .map_err(|e| JsonError::new(format!("field '{name}': {}", e.message))),
+                None => Err(JsonError::new(format!("missing field '{name}'"))),
+            },
+            other => Err(JsonError::new(format!("expected object, got {}", other.kind()))),
+        }
+    }
+
+    /// The value's type name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::UInt(_) | Json::Int(_) | Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with the 1-based line of the first
+    /// malformed construct. Trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Serializes with two-space indentation and a trailing newline-free
+    /// final line, matching common pretty-printer conventions.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out
+    }
+
+    /// Serializes without any whitespace.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Float(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].write(out, ind);
+            }),
+            Json::Object(fields) => write_seq(out, indent, '{', '}', fields.len(), |out, i, ind| {
+                let (k, v) = &fields[i];
+                write_escaped(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                v.write(out, ind);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    match indent {
+        Some(level) => {
+            let inner = level + 1;
+            for i in 0..len {
+                out.push('\n');
+                out.extend(std::iter::repeat(' ').take(inner * 2));
+                item(out, i, Some(inner));
+                if i + 1 < len {
+                    out.push(',');
+                }
+            }
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(level * 2));
+        }
+        None => {
+            for i in 0..len {
+                if i > 0 {
+                    out.push(',');
+                }
+                item(out, i, None);
+            }
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/inf; null is the least-bad representation.
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{x}");
+    out.push_str(&s);
+    // Keep the value recognizably floating-point on re-parse.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        let line = 1 + self.bytes[..self.pos.min(self.bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        JsonError { line, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.err(format!("unexpected character '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: combine a high surrogate
+                            // with the following \uXXXX low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    if len == 0 || end > self.bytes.len() {
+                        return Err(self.err("invalid UTF-8 in string"));
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = end;
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok());
+        self.pos += 4;
+        hex.ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(n) = digits.parse::<u128>() {
+                    if n == 0 {
+                        return Ok(Json::UInt(0));
+                    }
+                    if n <= i128::MAX as u128 {
+                        return Ok(Json::Int(-(n as i128)));
+                    }
+                    if n == i128::MAX as u128 + 1 {
+                        return Ok(Json::Int(i128::MIN));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u128>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err(format!("invalid number '{text}'")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 0,
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value has the wrong shape (type mismatch, missing
+    /// field, out-of-range number).
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+macro_rules! json_uint {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u128)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                match v {
+                    Json::UInt(n) => <$ty>::try_from(*n)
+                        .map_err(|_| JsonError::new(format!("{n} out of range for {}", stringify!($ty)))),
+                    other => Err(JsonError::new(format!(
+                        "expected unsigned integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+json_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! json_int {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                if *self < 0 {
+                    Json::Int(*self as i128)
+                } else {
+                    Json::UInt(*self as u128)
+                }
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let wide: i128 = match v {
+                    Json::UInt(n) => i128::try_from(*n)
+                        .map_err(|_| JsonError::new(format!("{n} out of range")))?,
+                    Json::Int(n) => *n,
+                    other => {
+                        return Err(JsonError::new(format!(
+                            "expected integer, got {}", other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(wide)
+                    .map_err(|_| JsonError::new(format!("{wide} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+json_int!(i8, i16, i32, i64, i128, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Float(x) => Ok(*x),
+            Json::UInt(n) => Ok(*n as f64),
+            Json::Int(n) => Ok(*n as f64),
+            other => Err(JsonError::new(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(JsonError::new(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for BTreeMap<String, T> {
+    fn to_json(&self) -> Json {
+        Json::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for BTreeMap<String, T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), T::from_json(v)?)))
+                .collect(),
+            other => Err(JsonError::new(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Array(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            other => Err(JsonError::new(format!("expected 2-element array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for RangeInclusive<usize> {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("start".to_string(), Json::UInt(*self.start() as u128)),
+            ("end".to_string(), Json::UInt(*self.end() as u128)),
+        ])
+    }
+}
+
+impl FromJson for RangeInclusive<usize> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let start: usize = v.field("start")?;
+        let end: usize = v.field("end")?;
+        Ok(start..=end)
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct with named fields,
+/// serialized as a JSON object keyed by field name — the replacement for
+/// `#[derive(Serialize, Deserialize)]` on plain structs.
+///
+/// ```
+/// use osprof_core::impl_json_struct;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Config { cpus: usize, label: String }
+/// impl_json_struct!(Config { cpus, label });
+///
+/// use osprof_core::json::{FromJson, Json, ToJson};
+/// let c = Config { cpus: 2, label: "smp".into() };
+/// let round = Config::from_json(&c.to_json()).unwrap();
+/// assert_eq!(round, c);
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Object(vec![
+                    $((stringify!($field).to_string(), $crate::json::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(v: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                Ok(Self { $($field: v.field(stringify!($field))?,)+ })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for an enum whose variants carry
+/// no data, serialized as the variant name string (serde's external
+/// representation of unit variants).
+#[macro_export]
+macro_rules! impl_json_unit_enum {
+    ($ty:ty { $($variant:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Str(
+                    match self { $(Self::$variant => stringify!($variant),)+ }.to_string(),
+                )
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(v: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                match v {
+                    $crate::json::Json::Str(s) => match s.as_str() {
+                        $(stringify!($variant) => Ok(Self::$variant),)+
+                        other => Err($crate::json::JsonError::new(format!(
+                            "unknown {} variant '{other}'", stringify!($ty)
+                        ))),
+                    },
+                    other => Err($crate::json::JsonError::new(format!(
+                        "expected string, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::UInt(u64::MAX as u128),
+            Json::UInt(u128::MAX),
+            Json::Int(-42),
+            Json::Float(1.5),
+            Json::Str("a \"quoted\" line\nwith unicode ∞".into()),
+        ] {
+            let round = Json::parse(&v.pretty()).unwrap();
+            assert_eq!(round, v, "pretty round trip of {v:?}");
+            let round = Json::parse(&v.compact()).unwrap();
+            assert_eq!(round, v, "compact round trip of {v:?}");
+        }
+    }
+
+    #[test]
+    fn u64_max_is_exact() {
+        // The motivating case: an empty profile's min_latency.
+        let v = Json::parse("18446744073709551615").unwrap();
+        assert_eq!(u64::from_json(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let v = Json::parse(&Json::Float(3.0).pretty()).unwrap();
+        assert_eq!(v, Json::Float(3.0));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::Object(vec![
+            ("a".into(), Json::Array(vec![Json::UInt(1), Json::Null])),
+            ("b".into(), Json::Object(vec![("x".into(), Json::Float(-0.25))])),
+            ("empty".into(), Json::Array(vec![])),
+        ]);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+        assert_eq!(Json::parse(&v.compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = Json::parse("{\n  \"a\": 1,\n  bogus\n}").unwrap_err();
+        assert_eq!(err.line, 3, "{err}");
+        let err = Json::parse("[1, 2,]").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v = Json::parse(r#""é😀""#).unwrap();
+        assert_eq!(v, Json::Str("é😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn derive_macros_round_trip() {
+        #[derive(Debug, PartialEq)]
+        struct Demo {
+            n: u64,
+            label: String,
+            flags: Vec<bool>,
+            opt: Option<i32>,
+        }
+        impl_json_struct!(Demo { n, label, flags, opt });
+
+        #[derive(Debug, PartialEq)]
+        enum Kind {
+            Alpha,
+            Beta,
+        }
+        impl_json_unit_enum!(Kind { Alpha, Beta });
+
+        let d = Demo { n: u64::MAX, label: "x".into(), flags: vec![true, false], opt: None };
+        assert_eq!(Demo::from_json(&Json::parse(&d.to_json().pretty()).unwrap()).unwrap(), d);
+        assert_eq!(Kind::from_json(&Kind::Beta.to_json()).unwrap(), Kind::Beta);
+        assert!(Kind::from_json(&Json::Str("Gamma".into())).is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        #[derive(Debug, PartialEq)]
+        struct Small {
+            a: u32,
+        }
+        impl_json_struct!(Small { a });
+        let v = Json::parse(r#"{"a": 7, "future_field": [1,2,3]}"#).unwrap();
+        assert_eq!(Small::from_json(&v).unwrap(), Small { a: 7 });
+    }
+}

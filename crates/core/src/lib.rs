@@ -37,6 +37,13 @@
 //! - [`serialize`] — the `/proc`-style text format and JSON round trips.
 //! - [`footprint`] — static memory accounting used to reproduce the
 //!   Section 5.1 memory-overhead discussion.
+//! - [`rng`] — deterministic PRNGs (SplitMix64, xoshiro256++) used by
+//!   every workload generator; part of the hermetic, zero-dependency
+//!   build policy (see DESIGN.md).
+//! - [`json`] — the in-repo JSON reader/writer behind [`serialize`].
+//! - [`proptest`] — the deterministic property-testing harness used by
+//!   the workspace's test suites (`OSPROF_TEST_SEED` controls case
+//!   generation).
 //!
 //! ## Quickstart
 //!
@@ -66,7 +73,10 @@ pub mod clock;
 pub mod correlation;
 pub mod error;
 pub mod footprint;
+pub mod json;
 pub mod profile;
+pub mod proptest;
+pub mod rng;
 pub mod sampling;
 pub mod serialize;
 pub mod stats;

@@ -10,14 +10,13 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bucket::{bucket_mean_cycles, bucket_of, Resolution};
 use crate::clock::Cycles;
 use crate::error::CoreError;
+use crate::impl_json_struct;
 
 /// A latency histogram with logarithmic buckets for one operation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Profile {
     /// Operation name, e.g. `"read"`, `"readdir"`, `"FIND_FIRST"`.
     name: String,
@@ -239,7 +238,7 @@ impl Profile {
 /// "A complete profile may consist of dozens of profiles of individual
 /// operations" (§3.1). Operations are keyed by name and kept sorted so
 /// reports are deterministic.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProfileSet {
     /// Label of the layer that collected this set (e.g. `"user"`,
     /// `"file-system"`, `"driver"` — Figure 2 of the paper).
@@ -356,6 +355,18 @@ impl ProfileSet {
         v
     }
 }
+
+impl_json_struct!(Profile {
+    name,
+    resolution,
+    buckets,
+    total_ops,
+    total_latency,
+    min_latency,
+    max_latency,
+});
+
+impl_json_struct!(ProfileSet { layer, profiles, resolution });
 
 #[cfg(test)]
 mod tests {

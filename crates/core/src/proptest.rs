@@ -1,0 +1,749 @@
+//! A minimal, deterministic property-testing harness.
+//!
+//! The repository's test suites state invariants ("bucketing is
+//! monotone", "merging commutes") and check them over generated inputs.
+//! The external `proptest` crate did that job in early revisions; this
+//! module replaces it with a small in-repo harness so the build stays
+//! hermetic and — more importantly for a profiling reproduction — so
+//! every test run is **bit-deterministic**:
+//!
+//! - Case generation is driven by [`Xoshiro256PlusPlus`] seeded from the
+//!   `OSPROF_TEST_SEED` environment variable (default
+//!   [`DEFAULT_SEED`]), mixed with a hash of the property name so each
+//!   property gets an independent stream.
+//! - The number of cases is fixed ([`ProptestConfig::cases`], default
+//!   64; override per-block or via `OSPROF_PROPTEST_CASES`).
+//! - On failure the harness shrinks integers and vectors toward minimal
+//!   counterexamples and reports the reproduction seed in the panic
+//!   message: re-running with that `OSPROF_TEST_SEED` replays the exact
+//!   same cases.
+//!
+//! The [`proptest!`](crate::proptest!) macro accepts the same surface
+//! syntax the test files were originally written in:
+//!
+//! ```
+//! use osprof_core::proptest::prelude::*;
+//!
+//! proptest! {
+//!     /// Addition of small numbers never overflows a u64.
+//!     /// (Test files put `#[test]` on each property; omitted here so
+//!     /// the doctest can call the function directly.)
+//!     fn sum_fits(a in 0u64..1 << 32, b in 0u64..1 << 32) {
+//!         prop_assert!(a.checked_add(b).is_some());
+//!     }
+//! }
+//! # sum_fits();
+//! ```
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{uniform_below, RngCore, SampleRange, Xoshiro256PlusPlus};
+
+/// Seed used when `OSPROF_TEST_SEED` is not set.
+pub const DEFAULT_SEED: u64 = 0x05_DE06_2006; // OSDI 2006
+
+/// The generator handed to strategies.
+pub struct TestRng(Xoshiro256PlusPlus);
+
+impl TestRng {
+    /// Creates a stream for one property from the base seed and the
+    /// property name (FNV-1a mixed so streams are independent).
+    pub fn for_property(base_seed: u64, name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(Xoshiro256PlusPlus::seed_from_u64(base_seed ^ h))
+    }
+}
+
+impl RngCore for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Reads the base seed from `OSPROF_TEST_SEED` (decimal or `0x` hex),
+/// falling back to [`DEFAULT_SEED`].
+pub fn base_seed() -> u64 {
+    match std::env::var("OSPROF_TEST_SEED") {
+        Ok(s) => parse_seed(&s).unwrap_or_else(|| {
+            panic!("OSPROF_TEST_SEED must be a u64 (decimal or 0x-hex), got '{s}'")
+        }),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Harness configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`-discarded) cases before the
+    /// property errors out as vacuous.
+    pub max_rejects: u32,
+    /// Maximum shrink iterations after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (other knobs at default).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("OSPROF_PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases, max_rejects: 4096, max_shrink_iters: 512 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum CaseError {
+    /// The property's assertion failed (or its body panicked).
+    Fail(String),
+    /// `prop_assume!` rejected the input; try another.
+    Reject,
+}
+
+impl CaseError {
+    /// A failing case with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        CaseError::Fail(message.into())
+    }
+}
+
+/// Result of one case evaluation.
+pub type CaseResult = Result<(), CaseError>;
+
+/// A failed property, as reported by [`run_property`].
+#[derive(Debug)]
+pub struct PropertyFailure {
+    /// Property name.
+    pub name: String,
+    /// Base seed that reproduces the run.
+    pub seed: u64,
+    /// Index of the failing case.
+    pub case: u32,
+    /// Debug rendering of the shrunk counterexample.
+    pub minimal_input: String,
+    /// Debug rendering of the originally generated counterexample.
+    pub original_input: String,
+    /// The assertion/panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for PropertyFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "property '{}' failed at case {}.\n  minimal input: {}\n  original input: {}\n  error: {}\n  \
+             reproduce with: OSPROF_TEST_SEED={:#x} (base seed of this run)",
+            self.name, self.case, self.minimal_input, self.original_input, self.message, self.seed
+        )
+    }
+}
+
+/// A generator of test inputs with optional shrinking.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: Clone + Debug;
+
+    /// Generates one input.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing input, simplest first.
+    /// The default proposes nothing (no shrinking).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f` (shrinking does not propagate
+    /// through the mapping).
+    fn prop_map<U: Clone + Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Clone + Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                SampleRange::sample(self.clone(), rng)
+            }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                shrink_int(*value, self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                SampleRange::sample(self.clone(), rng)
+            }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                shrink_int(*value, *self.start())
+            }
+        }
+        impl Strategy for RangeFrom<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                SampleRange::sample(self.clone(), rng)
+            }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                shrink_int(*value, self.start)
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Shrink candidates for an integer: the range minimum, the midpoint
+/// toward it, and the predecessor — simplest first.
+fn shrink_int<T>(value: T, min: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + std::ops::Sub<Output = T> + std::ops::Add<Output = T> + HalfStep,
+{
+    if value <= min {
+        return Vec::new();
+    }
+    let mut out = vec![min];
+    let mid = min + (value - min).half();
+    if mid > min && mid < value {
+        out.push(mid);
+    }
+    let pred = value - T::one();
+    if pred > min {
+        out.push(pred);
+    }
+    out
+}
+
+/// Helper arithmetic for integer shrinking.
+pub trait HalfStep {
+    /// `self / 2`.
+    fn half(self) -> Self;
+    /// The value 1.
+    fn one() -> Self;
+}
+
+macro_rules! half_step {
+    ($($ty:ty),*) => {$(
+        impl HalfStep for $ty {
+            fn half(self) -> Self { self / 2 }
+            fn one() -> Self { 1 as $ty }
+        }
+    )*};
+}
+
+half_step!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        SampleRange::sample(self.clone(), rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Clone + Debug {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The full-domain strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Generates any value of `T`, like `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy over all `bool` values; shrinks `true` to `false`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = RangeInclusive<$ty>;
+            fn arbitrary() -> RangeInclusive<$ty> {
+                <$ty>::MIN..=<$ty>::MAX
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::*;
+
+    /// A strategy generating vectors of `element` values with a length
+    /// drawn uniformly from `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "vec strategy: empty size range");
+        VecStrategy { element, sizes }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.sizes.end - self.sizes.start) as u64;
+            let len = self.sizes.start + uniform_below(rng, span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.sizes.start;
+            let mut out = Vec::new();
+            // Structural shrinks: drop elements while respecting the
+            // minimum length.
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = min.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                let mut without_last = value.clone();
+                without_last.pop();
+                out.push(without_last);
+                out.push(value[1..].to_vec());
+            }
+            // Element-wise shrinks: simplify one element at a time (the
+            // first few positions are enough in practice).
+            for i in 0..value.len().min(4) {
+                for candidate in self.element.shrink(&value[i]).into_iter().take(2) {
+                    let mut v = value.clone();
+                    v[i] = candidate;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Re-exported namespace mirroring `proptest::prop`.
+pub mod prop {
+    pub use super::collection;
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+fn eval_case<V: Clone + Debug>(
+    f: &impl Fn(V) -> CaseResult,
+    value: V,
+) -> Result<(), CaseError> {
+    match catch_unwind(AssertUnwindSafe(|| f(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            Err(CaseError::Fail(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Runs a property over `config.cases` generated inputs; returns the
+/// shrunk failure if any case fails. Library entry point — tests
+/// normally go through [`run_property`], which panics with the report.
+pub fn run_property_impl<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    f: impl Fn(S::Value) -> CaseResult,
+) -> Result<(), PropertyFailure> {
+    let seed = base_seed();
+    let mut rng = TestRng::for_property(seed, name);
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while case < config.cases {
+        let input = strategy.generate(&mut rng);
+        match eval_case(&f, input.clone()) {
+            Ok(()) => case += 1,
+            Err(CaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_rejects {
+                    return Err(PropertyFailure {
+                        name: name.to_string(),
+                        seed,
+                        case,
+                        minimal_input: "<none>".to_string(),
+                        original_input: "<none>".to_string(),
+                        message: format!(
+                            "prop_assume! rejected {rejects} inputs — the property is vacuous"
+                        ),
+                    });
+                }
+            }
+            Err(CaseError::Fail(first_message)) => {
+                // Greedy shrink: walk to the first simpler candidate
+                // that still fails, until none does or the budget runs
+                // out.
+                let original = format!("{input:?}");
+                let mut current = input;
+                let mut message = first_message;
+                let mut budget = config.max_shrink_iters;
+                'shrinking: while budget > 0 {
+                    for candidate in strategy.shrink(&current) {
+                        budget = budget.saturating_sub(1);
+                        if let Err(CaseError::Fail(m)) = eval_case(&f, candidate.clone()) {
+                            current = candidate;
+                            message = m;
+                            continue 'shrinking;
+                        }
+                        if budget == 0 {
+                            break;
+                        }
+                    }
+                    break;
+                }
+                return Err(PropertyFailure {
+                    name: name.to_string(),
+                    seed,
+                    case,
+                    minimal_input: format!("{current:?}"),
+                    original_input: original,
+                    message,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs a property and panics with a reproduction report on failure.
+/// This is what the [`proptest!`](crate::proptest!) macro expands to.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    f: impl Fn(S::Value) -> CaseResult,
+) {
+    if let Err(failure) = run_property_impl(name, config, strategy, f) {
+        panic!("{failure}");
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use super::{
+        any, collection, prop, Arbitrary, CaseError, ProptestConfig, Strategy, TestRng,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares deterministic property tests; see the [module docs](self)
+/// for syntax. An optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` sets the case
+/// count for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::proptest::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::proptest::ProptestConfig = $cfg;
+                let strategy = ($($strat,)*);
+                $crate::proptest::run_property(
+                    stringify!($name),
+                    &config,
+                    &strategy,
+                    |($($arg,)*)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property; on failure the case shrinks
+/// and the harness reports the reproduction seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::proptest::CaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{} ({:?} vs {:?})", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Discards the current case (the input does not satisfy the
+/// property's precondition); the harness draws a replacement.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::proptest::CaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// The harness itself: a trivially true property passes.
+        #[test]
+        fn passing_property_passes(a in 0u64..100, b in 0u64..100) {
+            prop_assert!(a + b <= 198);
+        }
+
+        /// Tuple, vec and bool strategies compose.
+        #[test]
+        fn composite_strategies_generate_in_bounds(
+            pairs in collection::vec((0u8..4, 1u64..1000), 0..20),
+            flag in any::<bool>(),
+        ) {
+            let _ = flag;
+            for (a, b) in pairs {
+                prop_assert!(a < 4 && (1..1000).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Per-block config applies.
+        #[test]
+        fn config_cases_is_respected(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    /// Satellite requirement: a deliberately failing property must
+    /// report its reproduction seed, and shrinking must reach the
+    /// minimal counterexample.
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        use super::*;
+        let config = ProptestConfig::with_cases(64);
+        let failure = run_property_impl(
+            "deliberate_failure",
+            &config,
+            &(0u64..10_000,),
+            |(x,)| {
+                if x >= 17 {
+                    return Err(CaseError::fail("x too big"));
+                }
+                Ok(())
+            },
+        )
+        .expect_err("property must fail");
+        let report = failure.to_string();
+        assert!(
+            report.contains(&format!("{:#x}", base_seed())),
+            "report must contain the reproduction seed: {report}"
+        );
+        assert_eq!(
+            failure.minimal_input, "(17,)",
+            "shrinking should find the boundary counterexample: {report}"
+        );
+    }
+
+    /// Panics inside a property body are converted into failures (and
+    /// still shrink).
+    #[test]
+    fn panicking_property_is_caught() {
+        use super::*;
+        let config = ProptestConfig::with_cases(32);
+        let failure = run_property_impl(
+            "deliberate_panic",
+            &config,
+            &(0u64..100,),
+            |(x,)| {
+                assert!(x < 3, "boom at {x}");
+                Ok(())
+            },
+        )
+        .expect_err("property must fail");
+        assert!(failure.message.contains("boom"), "{}", failure.message);
+        assert_eq!(failure.minimal_input, "(3,)");
+    }
+
+    /// Same seed ⇒ same generated cases (bit determinism).
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (collection::vec(0u64..1_000_000, 1..50), 0u32..9);
+        let gen_all = || {
+            let mut rng = TestRng::for_property(1234, "determinism");
+            (0..20).map(|_| strat.generate(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen_all(), gen_all());
+    }
+
+    /// Different property names draw independent streams.
+    #[test]
+    fn property_streams_are_independent() {
+        let strat = 0u64..=u64::MAX;
+        let mut a = TestRng::for_property(1234, "prop_a");
+        let mut b = TestRng::for_property(1234, "prop_b");
+        let xs: Vec<u64> = (0..8).map(|_| strat.generate(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| strat.generate(&mut b)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    /// Exhausted assumptions are reported as vacuous, not as passes.
+    #[test]
+    fn vacuous_property_fails() {
+        use super::*;
+        let mut config = ProptestConfig::with_cases(8);
+        config.max_rejects = 16;
+        let failure =
+            run_property_impl("always_rejects", &config, &(0u64..10,), |_| Err(CaseError::Reject))
+                .expect_err("vacuous property must fail");
+        assert!(failure.message.contains("vacuous"), "{}", failure.message);
+    }
+}

@@ -1,0 +1,330 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! OSprof's value as a profiling methodology rests on reproducible
+//! experiments: the same workload seed must produce the same request
+//! stream, hence the same latency profile, on every run and every
+//! platform. This module provides the two small, well-studied generators
+//! the repository uses instead of an external `rand` dependency:
+//!
+//! - [`SplitMix64`] — Steele, Lea & Flood's 64-bit finalizer-based
+//!   generator. Used for seeding and for known-answer self-tests; every
+//!   distinct seed yields an independent-looking stream.
+//! - [`Xoshiro256PlusPlus`] — Blackman & Vigna's xoshiro256++ 1.0, the
+//!   workhorse generator ([`StdRng`] aliases it). Its 256-bit state is
+//!   initialized from a [`SplitMix64`] stream as the authors recommend.
+//!
+//! Both are fully specified by their seed: no OS entropy, no
+//! platform-dependent behavior, no floating-point in the core loops.
+//! Workload generators take a `u64` seed in their config structs; test
+//! seeds come from the `OSPROF_TEST_SEED` environment variable (see
+//! [`crate::proptest`]).
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// A source of uniformly distributed 64-bit values.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// SplitMix64 (public domain reference by Sebastiano Vigna).
+///
+/// One 64-bit state word advanced by a Weyl sequence and scrambled by a
+/// MurmurHash3-style finalizer. Passes BigCrush when used as a 64-bit
+/// generator; mainly used here to seed [`Xoshiro256PlusPlus`] and in
+/// known-answer tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Every seed is valid.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (public domain reference by Blackman & Vigna).
+///
+/// 256 bits of state, 64-bit output, period 2^256 − 1. The state is
+/// seeded from four successive [`SplitMix64`] outputs, which guarantees
+/// a non-zero state for every `u64` seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+/// The repository's standard deterministic generator.
+///
+/// The name mirrors `rand::rngs::StdRng` so workload code reads
+/// naturally, but unlike `rand`'s, this stream is stable forever: it is
+/// part of the experiment format (EXPERIMENTS.md records workload seeds).
+pub type StdRng = Xoshiro256PlusPlus;
+
+impl Xoshiro256PlusPlus {
+    /// Seeds the 256-bit state from a 64-bit seed via SplitMix64, as the
+    /// xoshiro authors recommend.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256PlusPlus { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Creates a generator directly from a 256-bit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zeros (the one forbidden state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro256++ state must be non-zero");
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Returns a uniform value in `0..n` using Lemire's multiply-shift
+/// rejection method (unbiased, at most a handful of retries).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[inline]
+pub fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "uniform_below: empty range");
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (n as u128);
+    let mut lo = m as u64;
+    if lo < n {
+        let t = n.wrapping_neg() % n;
+        while lo < t {
+            x = rng.next_u64();
+            m = (x as u128) * (n as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A range of values [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($ty:ty => $uty:ty),* $(,)?) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $uty).wrapping_sub(self.start as $uty) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $uty).wrapping_sub(lo as $uty) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full 64-bit domain: every bit pattern is in range.
+                    return lo.wrapping_add(rng.next_u64() as $ty);
+                }
+                lo.wrapping_add(uniform_below(rng, span as u64) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for RangeFrom<$ty> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                (self.start..=<$ty>::MAX).sample(rng)
+            }
+        }
+    )*};
+}
+
+int_sample_range! {
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = unit_f64(rng.next_u64());
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` with 53-bit
+/// precision (the standard `>> 11` construction).
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Convenience sampling methods, mirroring the subset of `rand::Rng` the
+/// repository uses. Blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value from `range` (half-open, inclusive, or open-ended).
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..xs.len()).rev() {
+            let j = uniform_below(self, i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published reference vector for SplitMix64 with seed 0 (the test
+    /// vector shipped with the public-domain `splitmix64.c` and used by
+    /// JDK `SplittableRandom` validation).
+    #[test]
+    fn splitmix64_known_answer_seed0() {
+        let mut rng = SplitMix64::new(0);
+        let got: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F,
+                0xF88B_B8A8_724C_81EC,
+                0x1B39_896A_51A8_749B,
+            ]
+        );
+    }
+
+    #[test]
+    fn uniform_below_stays_in_range_and_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = uniform_below(&mut rng, 7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..500 {
+            let a = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&a));
+            let b = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&b));
+            let c = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&c));
+            let d = rng.gen_range(3usize..);
+            assert!(d >= 3);
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn gen_bool_probability_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements should not shuffle to identity");
+    }
+}

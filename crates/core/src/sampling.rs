@@ -7,14 +7,13 @@
 //! `write_super` and `read` profiles sampled at 2.5-second intervals,
 //! exposing the 5-second `bdflush` metadata flush cycle.
 
-use serde::{Deserialize, Serialize};
-
 use crate::bucket::Resolution;
 use crate::clock::Cycles;
+use crate::impl_json_struct;
 use crate::profile::ProfileSet;
 
 /// A sequence of [`ProfileSet`] segments, one per fixed time interval.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SampledProfile {
     layer: String,
     resolution: Resolution,
@@ -104,6 +103,8 @@ impl SampledProfile {
             .collect()
     }
 }
+
+impl_json_struct!(SampledProfile { layer, resolution, interval, origin, segments });
 
 #[cfg(test)]
 mod tests {

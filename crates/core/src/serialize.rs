@@ -2,8 +2,8 @@
 //!
 //! The paper's kernel profilers export buckets through `/proc` (163 lines
 //! of C) and post-process them with scripts. We emit a line-oriented text
-//! format that is trivially greppable and diffable, plus JSON (serde) for
-//! the figure harness.
+//! format that is trivially greppable and diffable, plus JSON (via the
+//! in-repo [`crate::json`] module) for the figure harness.
 //!
 //! Text format:
 //!
@@ -18,6 +18,7 @@
 
 use crate::bucket::Resolution;
 use crate::error::CoreError;
+use crate::json::{FromJson, Json, ToJson};
 use crate::profile::{Profile, ProfileSet};
 
 /// Serializes a profile set to the text format.
@@ -142,21 +143,20 @@ fn parse_buckets_line(line: &str) -> Result<Vec<(usize, u64)>, String> {
 }
 
 /// Serializes a profile set to pretty JSON.
-///
-/// # Panics
-///
-/// Never panics for valid sets: all fields are plain integers/strings.
 pub fn to_json(set: &ProfileSet) -> String {
-    serde_json::to_string_pretty(set).expect("ProfileSet serialization is infallible")
+    set.to_json().pretty()
 }
 
 /// Parses a profile set from JSON.
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::Parse`] describing the serde failure.
+/// Returns [`CoreError::Parse`] with the line of the first malformed
+/// construct, or line 0 for shape errors (missing/mistyped fields).
 pub fn from_json(json: &str) -> Result<ProfileSet, CoreError> {
-    serde_json::from_str(json).map_err(|e| CoreError::Parse { line: e.line(), message: e.to_string() })
+    let value =
+        Json::parse(json).map_err(|e| CoreError::Parse { line: e.line, message: e.message })?;
+    ProfileSet::from_json(&value).map_err(|e| CoreError::Parse { line: e.line, message: e.message })
 }
 
 #[cfg(test)]

@@ -3,8 +3,8 @@
 use osprof_core::bucket::{bucket_lower_bound, bucket_of, bucket_range, Resolution};
 use osprof_core::profile::{Profile, ProfileSet};
 use osprof_core::sampling::SampledProfile;
+use osprof_core::proptest::prelude::*;
 use osprof_core::serialize::{from_json, from_text, to_json, to_text};
-use proptest::prelude::*;
 
 proptest! {
     /// Bucketing is monotone: larger latency never lands in a smaller bucket.

@@ -1,0 +1,7 @@
+//! Workspace member that wires the repository-root `tests/` directory
+//! into `cargo test`.
+//!
+//! The crate itself is empty; every target is a `[[test]]` entry in the
+//! manifest pointing at `../../tests/*.rs`. Keeping the sources at the
+//! repository root makes them read as whole-project integration tests
+//! while still building as first-class workspace test targets.

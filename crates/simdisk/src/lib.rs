@@ -38,10 +38,9 @@ use std::collections::VecDeque;
 use osprof_core::clock::{secs_to_cycles, Cycles};
 use osprof_core::profile::ProfileSet;
 use osprof_simkernel::device::{Device, IoKind, IoRequest, IoToken};
-use serde::{Deserialize, Serialize};
 
 /// Request scheduling policy of the drive/driver queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueuePolicy {
     /// First come, first served (the default; deterministic and what
     /// the workload tests assume).
@@ -54,7 +53,7 @@ pub enum QueuePolicy {
 }
 
 /// Disk geometry and timing parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiskConfig {
     /// Sectors per track.
     pub sectors_per_track: u64,
@@ -174,7 +173,7 @@ pub struct DiskDevice {
 }
 
 /// Operational counters for the disk.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskStats {
     /// Requests serviced from the readahead cache.
     pub cache_hits: u64,
@@ -349,6 +348,28 @@ impl Device for DiskDevice {
         "simdisk"
     }
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_unit_enum!(QueuePolicy { Fifo, Elevator });
+osprof_core::impl_json_struct!(DiskConfig {
+    sectors_per_track,
+    tracks,
+    track_to_track,
+    full_stroke,
+    rotation,
+    per_sector,
+    controller_overhead,
+    readahead_sectors,
+    cache_segments,
+    scheduler,
+});
+osprof_core::impl_json_struct!(DiskStats {
+    cache_hits,
+    media_reads,
+    writes,
+    seek_cycles,
+    rotation_cycles,
+});
 
 #[cfg(test)]
 mod tests {

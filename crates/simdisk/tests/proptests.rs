@@ -1,8 +1,8 @@
 //! Property-based tests for the disk model.
 
 use osprof_simdisk::{DiskConfig, DiskDevice};
+use osprof_core::proptest::prelude::*;
 use osprof_simkernel::device::{Device, IoKind, IoRequest, IoToken};
-use proptest::prelude::*;
 
 fn drain(disk: &mut DiskDevice) -> Vec<(u64, IoToken)> {
     let mut out = Vec::new();

@@ -7,10 +7,9 @@
 //! ("the OS generally assumes that blocks with close logical block
 //! numbers are also physically close to each other on the disk").
 
-use serde::{Deserialize, Serialize};
 
 /// Inode number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ino(pub u32);
 
 /// Page size in bytes (4 KiB, as Linux x86).
@@ -21,7 +20,7 @@ pub const SECTORS_PER_PAGE: u64 = 8;
 pub const DIRENT_BYTES: u64 = 32;
 
 /// What an inode is.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
     /// A directory with named children.
     Dir {
@@ -36,7 +35,7 @@ pub enum NodeKind {
 }
 
 /// One inode.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Inode {
     /// Directory or file payload.
     pub kind: NodeKind,
@@ -63,7 +62,7 @@ impl Inode {
 }
 
 /// A mutable file-system image.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FsImage {
     nodes: Vec<Inode>,
     /// Bump allocator: next free sector.
@@ -225,6 +224,52 @@ impl Default for FsImage {
         FsImage::new()
     }
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+use osprof_core::json::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Ino {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for Ino {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Ino(u32::from_json(v)?))
+    }
+}
+
+impl ToJson for NodeKind {
+    fn to_json(&self) -> Json {
+        match self {
+            NodeKind::Dir { entries } => Json::Object(vec![("dir".to_string(), entries.to_json())]),
+            NodeKind::File { size } => Json::Object(vec![("file".to_string(), size.to_json())]),
+        }
+    }
+}
+
+impl FromJson for NodeKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Object(fields) if fields.len() == 1 => match fields[0].0.as_str() {
+                "dir" => Ok(NodeKind::Dir { entries: FromJson::from_json(&fields[0].1)? }),
+                "file" => Ok(NodeKind::File { size: FromJson::from_json(&fields[0].1)? }),
+                other => Err(JsonError::new(format!("unknown NodeKind tag '{other}'"))),
+            },
+            other => Err(JsonError::new(format!("expected single-key object, got {}", other.kind()))),
+        }
+    }
+}
+
+osprof_core::impl_json_struct!(Inode { kind, start_lba, live });
+osprof_core::impl_json_struct!(FsImage {
+    nodes,
+    next_lba,
+    alloc_gap_sectors,
+    lcg,
+    alloc_jitter_sectors,
+});
 
 #[cfg(test)]
 mod tests {

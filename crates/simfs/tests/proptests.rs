@@ -1,0 +1,114 @@
+//! Property-based tests for the file-system image and its allocator.
+
+use osprof_core::json::{FromJson, Json, ToJson};
+use osprof_core::proptest::prelude::*;
+use osprof_simfs::image::{FsImage, Ino, NodeKind, ROOT, SECTORS_PER_PAGE};
+
+/// Builds an image from a script of (create-dir?, parent-index, size)
+/// actions; parents index into the directories created so far.
+fn build_image(script: &[(bool, usize, u64)], gap: u64, jitter: u64) -> (FsImage, Vec<Ino>, Vec<Ino>) {
+    let mut img = FsImage::new().with_fragmentation(gap, jitter);
+    let mut dirs = vec![ROOT];
+    let mut files = Vec::new();
+    for (i, &(mkdir, parent, size)) in script.iter().enumerate() {
+        let parent = dirs[parent % dirs.len()];
+        if mkdir {
+            dirs.push(img.mkdir(parent, format!("d{i}")));
+        } else {
+            files.push(img.create_file(parent, format!("f{i}"), size));
+        }
+    }
+    (img, dirs, files)
+}
+
+proptest! {
+    /// Allocations never overlap: every node's [start_lba, start_lba +
+    /// pages * 8) range is disjoint from every other live node's.
+    #[test]
+    fn allocations_are_disjoint(
+        script in prop::collection::vec((any::<bool>(), 0usize..8, 0u64..100_000), 1..40),
+        gap in 0u64..128,
+        jitter in 0u64..256,
+    ) {
+        let (img, dirs, files) = build_image(&script, gap, jitter);
+        let mut extents: Vec<(u64, u64)> = dirs
+            .iter()
+            .chain(&files)
+            .map(|&ino| {
+                let n = img.node(ino);
+                (n.start_lba, n.start_lba + n.data_pages() * SECTORS_PER_PAGE)
+            })
+            .collect();
+        extents.sort_unstable();
+        for w in extents.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "extents overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    /// Every created node is reachable from the root by directory
+    /// entries, and entry names inside one directory are unique.
+    #[test]
+    fn namespace_is_connected_and_unique(
+        script in prop::collection::vec((any::<bool>(), 0usize..8, 0u64..50_000), 0..40),
+    ) {
+        let (img, dirs, files) = build_image(&script, 0, 0);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![ROOT];
+        while let Some(ino) = stack.pop() {
+            prop_assert!(seen.insert(ino), "inode {ino:?} reached twice");
+            if let NodeKind::Dir { .. } = &img.node(ino).kind {
+                let entries = img.entries(ino);
+                let names: std::collections::BTreeSet<_> = entries.iter().map(|(n, _)| n).collect();
+                prop_assert_eq!(names.len(), entries.len(), "duplicate names in {:?}", ino);
+                stack.extend(entries.iter().map(|&(_, child)| child));
+            }
+        }
+        for ino in dirs.iter().chain(&files) {
+            prop_assert!(seen.contains(ino), "{ino:?} unreachable from root");
+        }
+    }
+
+    /// With no fragmentation knobs the layout is perfectly sequential:
+    /// allocation order equals LBA order with no gaps beyond the data.
+    #[test]
+    fn sequential_layout_without_fragmentation(
+        sizes in prop::collection::vec(1u64..100_000, 1..30),
+    ) {
+        let mut img = FsImage::new();
+        let mut prev_end = None;
+        for (i, &size) in sizes.iter().enumerate() {
+            let ino = img.create_file(ROOT, format!("f{i}"), size);
+            let n = img.node(ino);
+            if let Some(end) = prev_end {
+                prop_assert_eq!(n.start_lba, end, "gap appeared without fragmentation knobs");
+            }
+            prev_end = Some(n.start_lba + n.data_pages() * SECTORS_PER_PAGE);
+        }
+    }
+
+    /// The image round-trips through JSON: namespace, layout, and
+    /// liveness all survive.
+    #[test]
+    fn image_round_trips_through_json(
+        script in prop::collection::vec((any::<bool>(), 0usize..6, 0u64..50_000), 0..25),
+        unlink_at in 0usize..25,
+    ) {
+        let (mut img, dirs, files) = build_image(&script, 8, 16);
+        if !files.is_empty() {
+            // Tombstone one file so non-live nodes are exercised too.
+            let victim = files[unlink_at % files.len()];
+            let parent = *dirs
+                .iter()
+                .find(|&&d| img.entries(d).iter().any(|&(_, e)| e == victim))
+                .expect("every file has a parent directory");
+            img.unlink(parent, victim);
+        }
+        let text = img.to_json().pretty();
+        let back = FsImage::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back.len(), img.len());
+        for i in 0..img.len() {
+            let ino = Ino(i as u32);
+            prop_assert_eq!(back.node(ino), img.node(ino), "inode {} differs", i);
+        }
+    }
+}

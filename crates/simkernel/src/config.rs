@@ -1,14 +1,13 @@
 //! Kernel configuration.
 
 use osprof_core::clock::{characteristic, secs_to_cycles, Cycles};
-use serde::{Deserialize, Serialize};
 
 /// Static configuration of a simulated kernel.
 ///
 /// Defaults model the paper's test machine: a 1.7 GHz Pentium 4 running
 /// Linux 2.6.11 — 58 ms scheduling quantum, 4 ms timer tick, ~5.5 µs
 /// context switch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelConfig {
     /// Number of CPUs.
     pub num_cpus: usize,
@@ -128,6 +127,22 @@ impl Default for KernelConfig {
         KernelConfig::uniprocessor()
     }
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_struct!(KernelConfig {
+    num_cpus,
+    quantum,
+    kernel_preemption,
+    timer_period,
+    timer_service,
+    context_switch,
+    lock_overhead,
+    tsc_skew,
+    probe_overhead,
+    probe_window,
+    lock_stealing,
+    wakeup_preemption,
+});
 
 #[cfg(test)]
 mod tests {

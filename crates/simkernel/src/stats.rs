@@ -5,10 +5,9 @@
 //! comparison reads.
 
 use osprof_core::clock::Cycles;
-use serde::{Deserialize, Serialize};
 
 /// Global kernel counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Context switches performed.
     pub context_switches: u64,
@@ -34,7 +33,7 @@ pub struct KernelStats {
 }
 
 /// Per-process accounting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcStats {
     /// Cycles spent executing in kernel mode (system time), including
     /// probe overhead.
@@ -55,6 +54,27 @@ impl ProcStats {
         self.sys_cycles + self.user_cycles
     }
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_struct!(KernelStats {
+    context_switches,
+    timer_interrupts,
+    forced_preemptions,
+    kernel_preemptions,
+    voluntary_switches,
+    io_submitted,
+    io_completed,
+    lock_contentions,
+    lock_acquisitions,
+    probes_recorded,
+});
+osprof_core::impl_json_struct!(ProcStats {
+    sys_cycles,
+    user_cycles,
+    probe_cycles,
+    wait_cycles,
+    exited_at,
+});
 
 #[cfg(test)]
 mod tests {

@@ -2,8 +2,8 @@
 
 use osprof_simkernel::config::KernelConfig;
 use osprof_simkernel::kernel::Kernel;
+use osprof_core::proptest::prelude::*;
 use osprof_simkernel::op::{FixedCost, KernelOp, OpCtx, Step};
-use proptest::prelude::*;
 
 /// A process running a parameterized mix of user/kernel/yield steps.
 struct MixedOp {

@@ -1,10 +1,9 @@
 //! Packet traces: the Figure 11 timeline data.
 
 use osprof_core::clock::{cycles_to_secs, Cycles};
-use serde::{Deserialize, Serialize};
 
 /// Who put the packet on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
     /// The client machine.
     Client,
@@ -13,7 +12,7 @@ pub enum Endpoint {
 }
 
 /// One packet on the wire.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Send time in cycles.
     pub at: Cycles,
@@ -25,7 +24,7 @@ pub struct Packet {
 }
 
 /// A bounded log of wire packets.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PacketTrace {
     packets: Vec<Packet>,
     /// Recording stops after this many packets (0 = unlimited).
@@ -73,6 +72,11 @@ impl PacketTrace {
         self.packets.clear();
     }
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_unit_enum!(Endpoint { Client, Server });
+osprof_core::impl_json_struct!(Packet { at, from, what });
+osprof_core::impl_json_struct!(PacketTrace { packets, limit });
 
 #[cfg(test)]
 mod tests {

@@ -21,12 +21,11 @@ use std::rc::Rc;
 use osprof_core::clock::{secs_to_cycles, Cycles};
 use osprof_core::profile::ProfileSet;
 use osprof_simkernel::device::{Device, IoRequest, IoToken};
-use serde::{Deserialize, Serialize};
 
 use crate::trace::{Endpoint, PacketTrace};
 
 /// Client TCP acknowledgment behavior.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClientKind {
     /// Windows redirector with default delayed ACKs (Figure 11 left).
     WindowsDelayedAck,
@@ -39,7 +38,7 @@ pub enum ClientKind {
 }
 
 /// Wire and server timing parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CifsConfig {
     /// One-way wire latency (paper: ~112 µs between the test machines).
     pub one_way: Cycles,
@@ -111,7 +110,7 @@ pub enum WireReq {
 }
 
 /// Wire statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WireStats {
     /// Completed exchanges.
     pub exchanges: u64,
@@ -296,6 +295,29 @@ impl Device for CifsLink {
         "cifs-link"
     }
 }
+
+// JSON wire format (in-repo replacement for the former serde derives).
+osprof_core::impl_json_unit_enum!(ClientKind { WindowsDelayedAck, WindowsNoDelayedAck, LinuxSmb });
+osprof_core::impl_json_struct!(CifsConfig {
+    one_way,
+    cycles_per_byte,
+    segment_bytes,
+    burst_segments,
+    delayed_ack,
+    client,
+    server_find_proc,
+    server_per_entry,
+    server_read_proc,
+    server_disk,
+    entry_wire_bytes,
+    entries_per_exchange,
+});
+osprof_core::impl_json_struct!(WireStats {
+    exchanges,
+    delayed_ack_stalls,
+    reply_bytes,
+    server_disk_reads,
+});
 
 #[cfg(test)]
 mod tests {

@@ -2,8 +2,8 @@
 
 use osprof_core::clock::Cycles;
 use osprof_simkernel::device::{Device, IoKind, IoRequest, IoToken};
+use osprof_core::proptest::prelude::*;
 use osprof_simnet::wire::{CifsConfig, CifsLink, ClientKind, WireReq};
-use proptest::prelude::*;
 
 fn exchange(client: ClientKind, req: WireReq) -> (Cycles, u64) {
     let (mut link, wire) = CifsLink::new(CifsConfig::paper_lan(client));

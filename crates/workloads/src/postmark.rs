@@ -16,8 +16,7 @@ use osprof_simfs::ops;
 use osprof_simkernel::kernel::{Kernel, Pid};
 use osprof_simkernel::op::Step;
 use osprof_simkernel::probe::LayerId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use osprof_core::rng::{Rng, StdRng};
 
 use crate::driver::Driver;
 

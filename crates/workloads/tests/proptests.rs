@@ -1,0 +1,97 @@
+//! Property-based tests for the workload generators: determinism under
+//! the in-repo PRNG seeds and structural invariants of the built trees.
+
+use osprof_core::proptest::prelude::*;
+use osprof_simfs::image::NodeKind;
+use osprof_workloads::tree::{build, TreeConfig};
+
+fn config(dirs: usize, fmin: usize, fmax: usize, seed: u64) -> TreeConfig {
+    TreeConfig {
+        dirs,
+        files_per_dir_min: fmin,
+        files_per_dir_max: fmin + fmax,
+        median_size_log2: 12.0,
+        size_sigma: 1.0,
+        gap_sectors: 16,
+        jitter_sectors: 32,
+        seed,
+    }
+}
+
+proptest! {
+    /// Building a tree twice from the same seed gives the same tree —
+    /// the determinism the paper's repeatable profiles depend on.
+    #[test]
+    fn build_is_deterministic(dirs in 1usize..20, fmin in 0usize..4, span in 0usize..6, seed in 0u64..) {
+        let cfg = config(dirs, fmin, span, seed);
+        let a = build(&cfg);
+        let b = build(&cfg);
+        prop_assert_eq!(a.dirs.len(), b.dirs.len());
+        prop_assert_eq!(&a.files, &b.files);
+        prop_assert_eq!(a.bytes, b.bytes);
+        prop_assert_eq!(a.image.allocated_sectors(), b.image.allocated_sectors());
+        for (&x, &y) in a.files.iter().zip(&b.files) {
+            prop_assert_eq!(a.image.node(x), b.image.node(y));
+        }
+    }
+
+    /// The built tree has the requested shape: `dirs` directories plus
+    /// the root, and each directory's file count within the configured
+    /// bounds.
+    #[test]
+    fn build_respects_shape_bounds(dirs in 1usize..20, fmin in 0usize..4, span in 0usize..6, seed in 0u64..) {
+        let cfg = config(dirs, fmin, span, seed);
+        let t = build(&cfg);
+        prop_assert_eq!(t.dirs.len(), cfg.dirs + 1);
+        for &d in t.dirs.iter().skip(1) {
+            let files = t
+                .image
+                .entries(d)
+                .iter()
+                .filter(|&&(_, e)| matches!(t.image.node(e).kind, NodeKind::File { .. }))
+                .count();
+            prop_assert!(
+                (cfg.files_per_dir_min..=cfg.files_per_dir_max).contains(&files),
+                "dir {d:?} has {files} files outside [{}, {}]",
+                cfg.files_per_dir_min,
+                cfg.files_per_dir_max
+            );
+        }
+    }
+
+    /// `bytes` is exactly the sum of the file sizes, and every file
+    /// size respects the generator's clamp.
+    #[test]
+    fn bytes_accounts_every_file(dirs in 1usize..15, seed in 0u64..) {
+        let cfg = config(dirs, 1, 4, seed);
+        let t = build(&cfg);
+        let mut sum = 0u64;
+        for &f in &t.files {
+            match t.image.node(f).kind {
+                NodeKind::File { size } => {
+                    prop_assert!((64..=1 << 22).contains(&size), "size {size} outside clamp");
+                    sum += size;
+                }
+                ref other => prop_assert!(false, "file ino {f:?} is {other:?}"),
+            }
+        }
+        prop_assert_eq!(sum, t.bytes);
+    }
+
+    /// Different seeds produce different trees (the seed actually
+    /// reaches the generator; trees are large enough that a collision
+    /// across all file sizes is impossible in practice).
+    #[test]
+    fn seed_reaches_the_generator(seed in 0u64..u64::MAX - 1) {
+        let a = build(&config(8, 2, 4, seed));
+        let b = build(&config(8, 2, 4, seed + 1));
+        let sizes = |t: &osprof_workloads::tree::Tree| {
+            t.files.iter().map(|&f| t.image.node(f).data_bytes()).collect::<Vec<_>>()
+        };
+        prop_assert!(
+            sizes(&a) != sizes(&b) || a.files.len() != b.files.len(),
+            "seeds {seed} and {} built identical trees",
+            seed + 1
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! JSON round-trip and golden-file tests for the in-repo JSON codec.
+//!
+//! Round-trip: every serializable type must survive
+//! `to_json -> text -> parse -> from_json` unchanged. Golden: the
+//! serialized form of a deterministically built value must match the
+//! checked-in fixture under `results/fixtures/` byte for byte, so the
+//! wire format cannot drift silently. Run with
+//! `OSPROF_UPDATE_FIXTURES=1` to re-bless the fixtures after an
+//! intentional format change.
+
+use std::path::PathBuf;
+
+use osprof::analysis::corpus::{self, ChangeKind, LabeledPair};
+use osprof::analysis::peaks::{Peak, PeakConfig, PeakDiff};
+use osprof::analysis::select::SelectionConfig;
+use osprof::simdisk::DiskConfig;
+use osprof::simnet::wire::{CifsConfig, ClientKind};
+use osprof_core::json::{FromJson, Json, ToJson};
+use osprof_core::profile::{Profile, ProfileSet};
+use osprof_core::serialize::{from_json, to_json};
+use osprof_simkernel::config::KernelConfig;
+
+/// A deterministic multi-operation profile set.
+fn sample_set() -> ProfileSet {
+    let mut set = ProfileSet::new("file-system");
+    for (op, latencies) in [
+        ("read", vec![900u64, 1_100, 1_500, 65_000, 66_000]),
+        ("write", vec![2_000, 2_100, 8_000_000]),
+        ("llseek", vec![250, 260, 270, 280]),
+        ("readdir", vec![u64::MAX, 1]),
+    ] {
+        for l in latencies {
+            set.record(op, l);
+        }
+    }
+    set
+}
+
+fn round_trip<T: ToJson + FromJson>(value: &T) -> T {
+    let text = value.to_json().pretty();
+    let parsed = Json::parse(&text).expect("fixture text must re-parse");
+    T::from_json(&parsed).expect("parsed value must convert back")
+}
+
+#[test]
+fn profile_set_round_trips_exactly() {
+    let set = sample_set();
+    assert_eq!(from_json(&to_json(&set)).unwrap(), set);
+    // Including the extreme values: u64::MAX latency stays exact (a
+    // float-only number representation would corrupt it).
+    let readdir = set.get("readdir").unwrap();
+    let back = round_trip(readdir);
+    assert_eq!(&back, readdir);
+    assert_eq!(back.max_latency(), Some(u64::MAX));
+}
+
+#[test]
+fn corpus_pairs_round_trip() {
+    for pair in corpus::generate(42) {
+        let back: LabeledPair = round_trip(&pair);
+        assert_eq!(back.kind, pair.kind);
+        assert_eq!(back.left, pair.left);
+        assert_eq!(back.right, pair.right);
+    }
+}
+
+#[test]
+fn config_types_round_trip() {
+    let kc = KernelConfig::uniprocessor();
+    let back = round_trip(&kc);
+    assert_eq!(format!("{back:?}"), format!("{kc:?}"));
+
+    let dc = DiskConfig::paper_disk();
+    let back = round_trip(&dc);
+    assert_eq!(format!("{back:?}"), format!("{dc:?}"));
+
+    let cc = CifsConfig::paper_lan(ClientKind::WindowsDelayedAck);
+    let back = round_trip(&cc);
+    assert_eq!(format!("{back:?}"), format!("{cc:?}"));
+
+    let sc = SelectionConfig::default();
+    let back = round_trip(&sc);
+    assert_eq!(format!("{back:?}"), format!("{sc:?}"));
+}
+
+#[test]
+fn analysis_types_round_trip() {
+    let peak = Peak { start: 4, apex: 6, end: 9, ops: 12_345, apex_count: 9_000 };
+    assert_eq!(round_trip(&peak), peak);
+
+    let diff = PeakDiff { left_count: 2, right_count: 3, unmatched_left: vec![], unmatched_right: vec![17] };
+    assert_eq!(round_trip(&diff), diff);
+
+    let cfg = PeakConfig::default();
+    let back = round_trip(&cfg);
+    assert_eq!(format!("{back:?}"), format!("{cfg:?}"));
+
+    for kind in [
+        ChangeKind::Noise,
+        ChangeKind::BoundaryJitter,
+        ChangeKind::SmallScale,
+        ChangeKind::NewPeak,
+        ChangeKind::PeakShift,
+        ChangeKind::RatioChange,
+        ChangeKind::Slowdown,
+    ] {
+        assert_eq!(round_trip(&kind), kind);
+    }
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/fixtures").join(name)
+}
+
+/// Compares `rendered` against the checked-in fixture (or re-blesses it
+/// when `OSPROF_UPDATE_FIXTURES` is set).
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("OSPROF_UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {} ({e}); run with OSPROF_UPDATE_FIXTURES=1", path.display()));
+    assert_eq!(rendered, golden, "serialized form of {name} drifted from the checked-in fixture");
+}
+
+#[test]
+fn profile_set_matches_golden_fixture() {
+    check_golden("profile_set.json", &to_json(&sample_set()));
+}
+
+#[test]
+fn kernel_config_matches_golden_fixture() {
+    let mut text = KernelConfig::uniprocessor().to_json().pretty();
+    text.push('\n');
+    check_golden("kernel_config.json", &text);
+}
+
+#[test]
+fn golden_fixtures_parse_into_expected_values() {
+    // In bless mode, write the fixtures here too — this test must not
+    // depend on the writer tests having run first (tests run in
+    // parallel).
+    if std::env::var_os("OSPROF_UPDATE_FIXTURES").is_some() {
+        check_golden("profile_set.json", &to_json(&sample_set()));
+        let mut text = KernelConfig::uniprocessor().to_json().pretty();
+        text.push('\n');
+        check_golden("kernel_config.json", &text);
+    }
+    let set_text = std::fs::read_to_string(fixture_path("profile_set.json")).unwrap();
+    assert_eq!(from_json(&set_text).unwrap(), sample_set());
+
+    let kc_text = std::fs::read_to_string(fixture_path("kernel_config.json")).unwrap();
+    let kc = KernelConfig::from_json(&Json::parse(&kc_text).unwrap()).unwrap();
+    assert_eq!(format!("{kc:?}"), format!("{:?}", KernelConfig::uniprocessor()));
+}
