@@ -23,6 +23,7 @@
 //! | `abl-locks` | ablation — lock wake semantics vs contention shape |
 //! | `abl-resolution` | ablation — resolution r vs peak discrimination |
 //! | `ext-cluster` | extension — cluster aggregation & outlier node detection |
+//! | `ext-stream` | extension — online streaming collection & anomaly detection |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +32,7 @@ pub mod abl_locks;
 pub mod abl_resolution;
 pub mod eq3;
 pub mod ext_cluster;
+pub mod ext_stream;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -63,6 +65,7 @@ pub const EXPERIMENTS: &[(&str, &str, fn() -> String)] = &[
     ("abl-locks", "Ablation: lock wake semantics", abl_locks::run),
     ("abl-resolution", "Ablation: profile resolution r", abl_resolution::run),
     ("ext-cluster", "Extension: cluster aggregation (paper §7)", ext_cluster::run),
+    ("ext-stream", "Extension: online streaming collection (paper §7)", ext_stream::run),
 ];
 
 /// Runs one experiment by id.

@@ -1,0 +1,258 @@
+//! The agent side: tailing a running profiler into a frame stream.
+//!
+//! An [`Agent`] wraps one node's profiler (a `simkernel` sampled layer,
+//! a `host` profiler, or any source of cumulative [`ProfileSet`]
+//! snapshots) and turns it into the `OSPW` frame sequence: one `Hello`,
+//! then one snapshot frame per interval with monotonically increasing
+//! sequence numbers, then a `Bye`. The [`Encoder`] inside decides per
+//! snapshot whether to send a `Full` frame or a delta against the
+//! previous snapshot — deltas by default, with a periodic full-frame
+//! refresh so a late-joining or resynchronizing collector has a bounded
+//! wait for a base.
+
+use osprof_core::bucket::Resolution;
+use osprof_core::clock::Cycles;
+use osprof_core::profile::ProfileSet;
+use osprof_core::sampling::SampledProfile;
+
+use crate::delta;
+use crate::wire::{Frame, WireError};
+
+/// Chooses between `Full` and `Delta` frames for successive snapshots.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    last: Option<ProfileSet>,
+    since_full: u64,
+    /// Emit a `Full` frame every this many snapshots (0 = first full,
+    /// then deltas forever).
+    pub full_every: u64,
+}
+
+impl Encoder {
+    /// Creates an encoder that refreshes with a `Full` frame every
+    /// `full_every` snapshots (`0` disables refreshes).
+    pub fn new(full_every: u64) -> Self {
+        Encoder { last: None, since_full: 0, full_every }
+    }
+
+    /// Encodes the next cumulative snapshot.
+    pub fn encode(&mut self, seq: u64, at: Cycles, set: &ProfileSet) -> Frame {
+        let frame = match &self.last {
+            Some(prev) if self.full_every == 0 || self.since_full < self.full_every => {
+                self.since_full += 1;
+                Frame::Delta { seq, at, delta: delta::diff(prev, set) }
+            }
+            _ => {
+                self.since_full = 1;
+                Frame::Full { seq, at, set: set.clone() }
+            }
+        };
+        self.last = Some(set.clone());
+        frame
+    }
+}
+
+/// Reconstructs cumulative snapshots from a frame stream.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    last: Option<ProfileSet>,
+    expected_seq: Option<u64>,
+}
+
+impl Decoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Applies one snapshot frame, returning the reconstructed
+    /// cumulative set, its sequence number and timestamp. `Hello` and
+    /// `Bye` frames return `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on a sequence gap or a `Delta` with no
+    /// base; [`WireError::Corrupt`] when a delta does not fit its base.
+    pub fn apply(&mut self, frame: &Frame) -> Result<Option<(u64, Cycles, ProfileSet)>, WireError> {
+        let (seq, at, set) = match frame {
+            Frame::Hello { .. } | Frame::Bye { .. } => return Ok(None),
+            Frame::Full { seq, at, set } => (*seq, *at, set.clone()),
+            Frame::Delta { seq, at, delta } => {
+                let base = self.last.as_ref().ok_or_else(|| {
+                    WireError::Protocol(format!("delta frame seq {seq} arrived with no base snapshot"))
+                })?;
+                (*seq, *at, delta::apply(base, delta)?)
+            }
+        };
+        if let Some(expected) = self.expected_seq {
+            if seq != expected {
+                return Err(WireError::Protocol(format!("sequence gap: expected {expected}, got {seq}")));
+            }
+        }
+        self.expected_seq = Some(seq + 1);
+        self.last = Some(set.clone());
+        Ok(Some((seq, at, set)))
+    }
+}
+
+/// One node's streaming agent.
+#[derive(Debug)]
+pub struct Agent {
+    node: String,
+    seq: u64,
+    enc: Encoder,
+}
+
+/// Default full-frame refresh period.
+pub const DEFAULT_FULL_EVERY: u64 = 16;
+
+impl Agent {
+    /// Creates an agent for the given node label.
+    pub fn new(node: impl Into<String>) -> Self {
+        Agent { node: node.into(), seq: 0, enc: Encoder::new(DEFAULT_FULL_EVERY) }
+    }
+
+    /// Overrides the full-frame refresh period.
+    pub fn with_full_every(mut self, full_every: u64) -> Self {
+        self.enc.full_every = full_every;
+        self
+    }
+
+    /// The node label.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The stream-opening frame.
+    pub fn hello(&self, layer: &str, resolution: Resolution, interval: Cycles) -> Frame {
+        Frame::Hello { node: self.node.clone(), layer: layer.into(), resolution, interval }
+    }
+
+    /// Emits the frame for the next cumulative snapshot.
+    pub fn snapshot(&mut self, at: Cycles, set: &ProfileSet) -> Frame {
+        let frame = self.enc.encode(self.seq, at, set);
+        self.seq += 1;
+        frame
+    }
+
+    /// The stream-closing frame.
+    pub fn bye(&self) -> Frame {
+        Frame::Bye { seq: self.seq }
+    }
+
+    /// Streams a complete [`SampledProfile`] as it would have been
+    /// tailed live: `Hello`, then one cumulative snapshot per segment
+    /// boundary, then `Bye`.
+    pub fn stream_sampled(&mut self, sampled: &SampledProfile) -> Vec<Frame> {
+        let interval = sampled.interval();
+        let mut frames =
+            vec![self.hello(sampled.layer(), sampled.resolution(), interval)];
+        let mut cumulative = ProfileSet::with_resolution(sampled.layer(), sampled.resolution());
+        for (start, seg) in sampled.iter_segments() {
+            cumulative.merge(seg).expect("segments share one resolution by construction");
+            frames.push(self.snapshot(start + interval, &cumulative));
+        }
+        frames.push(self.bye());
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshots() -> Vec<ProfileSet> {
+        let mut sets = Vec::new();
+        let mut s = ProfileSet::new("fs");
+        for i in 0..5u64 {
+            s.record("read", 1 << (10 + i % 3));
+            if i == 3 {
+                s.record("fsync", 1 << 24);
+            }
+            sets.push(s.clone());
+        }
+        sets
+    }
+
+    #[test]
+    fn encoder_decoder_round_trip() {
+        let sets = snapshots();
+        let mut enc = Encoder::new(3);
+        let mut dec = Decoder::new();
+        for (i, set) in sets.iter().enumerate() {
+            let frame = enc.encode(i as u64, i as u64 * 1000, set);
+            let (seq, at, got) = dec.apply(&frame).unwrap().unwrap();
+            assert_eq!(seq, i as u64);
+            assert_eq!(at, i as u64 * 1000);
+            assert_eq!(&got, set, "snapshot {i} must reconstruct exactly");
+        }
+    }
+
+    #[test]
+    fn first_frame_is_full_then_deltas() {
+        let sets = snapshots();
+        let mut enc = Encoder::new(0);
+        assert!(matches!(enc.encode(0, 0, &sets[0]), Frame::Full { .. }));
+        assert!(matches!(enc.encode(1, 1, &sets[1]), Frame::Delta { .. }));
+        assert!(matches!(enc.encode(2, 2, &sets[2]), Frame::Delta { .. }));
+    }
+
+    #[test]
+    fn full_refresh_period_is_honored() {
+        let sets = snapshots();
+        let mut enc = Encoder::new(2);
+        let kinds: Vec<bool> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| matches!(enc.encode(i as u64, 0, s), Frame::Full { .. }))
+            .collect();
+        assert_eq!(kinds, [true, false, true, false, true], "one full every 2 snapshots");
+    }
+
+    #[test]
+    fn decoder_rejects_delta_without_base() {
+        let sets = snapshots();
+        let mut enc = Encoder::new(0);
+        let _full = enc.encode(0, 0, &sets[0]);
+        let delta = enc.encode(1, 0, &sets[1]);
+        let mut dec = Decoder::new();
+        assert!(matches!(dec.apply(&delta), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn decoder_rejects_sequence_gap() {
+        let sets = snapshots();
+        let mut enc = Encoder::new(0);
+        let f0 = enc.encode(0, 0, &sets[0]);
+        let _f1 = enc.encode(1, 0, &sets[1]);
+        let f2 = enc.encode(2, 0, &sets[2]);
+        let mut dec = Decoder::new();
+        dec.apply(&f0).unwrap();
+        assert!(matches!(dec.apply(&f2), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn agent_streams_sampled_profile_cumulatively() {
+        let mut sp = SampledProfile::new("fs", 1_000, 0);
+        sp.record("read", 1 << 10, 100); // segment 0
+        sp.record("read", 1 << 12, 1_500); // segment 1
+        sp.record("read", 1 << 12, 2_500); // segment 2
+        let mut agent = Agent::new("n0");
+        let frames = agent.stream_sampled(&sp);
+        assert_eq!(frames.len(), 5, "hello + 3 snapshots + bye");
+        assert!(matches!(frames[0], Frame::Hello { .. }));
+        assert!(matches!(frames[4], Frame::Bye { seq: 3 }));
+
+        let mut dec = Decoder::new();
+        let mut last = None;
+        for f in &frames {
+            if let Some((seq, at, set)) = dec.apply(f).unwrap() {
+                last = Some((seq, at, set));
+            }
+        }
+        let (seq, at, set) = last.unwrap();
+        assert_eq!(seq, 2);
+        assert_eq!(at, 3_000, "snapshot timestamp is the segment end");
+        assert_eq!(set, sp.flatten(), "final cumulative snapshot equals the flat profile");
+    }
+}

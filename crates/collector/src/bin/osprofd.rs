@@ -1,0 +1,172 @@
+//! `osprofd` — the OSprof collector daemon.
+//!
+//! Modes:
+//!
+//! - `osprofd serve <addr> [--nodes N]` — listen on `addr` (e.g.
+//!   `127.0.0.1:7060`), accept N agent connections (default 1), ingest
+//!   their frame streams, and print the report when every stream has
+//!   said bye.
+//! - `osprofd smoke [addr]` — self-test: bind a loopback listener,
+//!   stream a simulated node that degrades mid-stream over real TCP,
+//!   and exit 0 only if the degradation is flagged online.
+
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::thread;
+
+use osprof_collector::daemon::{Collector, CollectorConfig};
+use osprof_collector::scenario::{degrading_node_frames, ScenarioConfig};
+use osprof_collector::transport::{FrameSink, FrameSource, ReadTransport, WriteTransport};
+use osprof_collector::wire::Frame;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: osprofd serve <addr> [--nodes N] | osprofd smoke [addr]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            let Some(addr) = args.get(1) else { return usage() };
+            let mut nodes = 1usize;
+            if let Some(i) = args.iter().position(|a| a == "--nodes") {
+                match args.get(i + 1).and_then(|n| n.parse().ok()) {
+                    Some(n) => nodes = n,
+                    None => return usage(),
+                }
+            }
+            serve(addr, nodes)
+        }
+        Some("smoke") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:0");
+            smoke(addr)
+        }
+        _ => usage(),
+    }
+}
+
+/// Accepts `nodes` connections, ingests every stream to completion, and
+/// prints the deterministic report.
+fn serve(addr: &str, nodes: usize) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("osprofd: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("osprofd: listening on {} for {nodes} node(s)", listener.local_addr().unwrap());
+    let col = match ingest_connections(&listener, nodes) {
+        Ok(col) => col,
+        Err(e) => {
+            eprintln!("osprofd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", col.report());
+    ExitCode::SUCCESS
+}
+
+/// Accepts `nodes` connections and pumps their frames — each socket
+/// read on its own thread, all frames funneled through one channel into
+/// the single-threaded collector core.
+fn ingest_connections(listener: &TcpListener, nodes: usize) -> Result<Collector, String> {
+    let (tx, rx) = mpsc::channel::<(u64, Frame)>();
+    let mut handles = Vec::new();
+    for conn in 0..nodes as u64 {
+        let (stream, peer) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+        let tx = tx.clone();
+        handles.push(thread::spawn(move || -> Result<(), String> {
+            let mut source = ReadTransport::new(stream)
+                .map_err(|e| format!("{peer}: bad stream header: {e}"))?;
+            while let Some(frame) = source.recv().map_err(|e| format!("{peer}: {e}"))? {
+                if tx.send((conn, frame)).is_err() {
+                    break; // collector gone
+                }
+            }
+            Ok(())
+        }));
+    }
+    drop(tx);
+
+    let mut col = Collector::new(CollectorConfig::default());
+    let mut since_tick = 0usize;
+    while let Ok((conn, frame)) = rx.recv() {
+        col.ingest(conn, &frame).map_err(|e| format!("connection {conn}: {e}"))?;
+        since_tick += 1;
+        if since_tick >= nodes {
+            // Tick once per round of snapshots so detection runs online,
+            // not just at the end.
+            col.tick();
+            since_tick = 0;
+        }
+    }
+    col.tick();
+    for h in handles {
+        h.join().map_err(|_| "reader thread panicked".to_string())??;
+    }
+    Ok(col)
+}
+
+/// Loopback self-test: one simulated degrading node streamed over TCP;
+/// succeeds only if the degradation is flagged.
+fn smoke(addr: &str) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("osprofd smoke: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener.local_addr().unwrap();
+    println!("osprofd smoke: streaming a degrading node over {local}");
+
+    let frames = degrading_node_frames(&ScenarioConfig { dirs: 20, ..Default::default() });
+    let n_frames = frames.len();
+    let sender = thread::spawn(move || -> Result<(), String> {
+        let stream = TcpStream::connect(local).map_err(|e| format!("connect: {e}"))?;
+        let mut sink =
+            WriteTransport::new(stream).map_err(|e| format!("header: {e}"))?;
+        for f in &frames {
+            sink.send(f).map_err(|e| format!("send: {e}"))?;
+        }
+        sink.finish().map_err(|e| format!("flush: {e}"))?;
+        Ok(())
+    });
+
+    let col = match ingest_connections(&listener, 1) {
+        Ok(col) => col,
+        Err(e) => {
+            eprintln!("osprofd smoke: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = sender.join().expect("sender thread panicked") {
+        eprintln!("osprofd smoke: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    print!("{}", col.report());
+    let stats = col.store().stats();
+    if let Err(e) = stats.check_conservation() {
+        eprintln!("osprofd smoke: conservation violated: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !col.all_done() {
+        eprintln!("osprofd smoke: stream did not close cleanly");
+        return ExitCode::FAILURE;
+    }
+    if col.anomalies().is_empty() {
+        eprintln!(
+            "osprofd smoke: FAILED — {n_frames} frames ingested but the degradation was not flagged"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "osprofd smoke: OK — {} anomalies flagged from {n_frames} frames",
+        col.anomalies().len()
+    );
+    ExitCode::SUCCESS
+}

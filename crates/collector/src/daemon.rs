@@ -1,0 +1,246 @@
+//! The collector daemon core: many streams in, one report out.
+//!
+//! [`Collector`] is the transport-agnostic heart of `osprofd`: each
+//! connection feeds it frames (from a TCP socket, an in-process
+//! channel, or a recorded stream file), it reconstructs cumulative
+//! snapshots per connection with a [`Decoder`], offers them to the
+//! [`ShardedStore`], and on every [`tick`](Collector::tick) drains the
+//! store and runs the online [`Detector`]. Everything downstream of the
+//! transport is deterministic: the same frames in the same per-stream
+//! order produce byte-identical [`report`](Collector::report) output,
+//! which the end-to-end tests assert.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::agent::Decoder;
+use crate::detect::{Anomaly, Detector, DetectorConfig};
+use crate::store::{Offer, ShardedStore, Snapshot, StoreConfig};
+use crate::wire::{Frame, WireError};
+
+/// Combined configuration for the daemon core.
+#[derive(Debug, Clone, Default)]
+pub struct CollectorConfig {
+    /// Store sizing.
+    pub store: StoreConfig,
+    /// Detection thresholds.
+    pub detector: DetectorConfig,
+}
+
+#[derive(Debug, Default)]
+struct Conn {
+    node: Option<String>,
+    dec: Decoder,
+    done: bool,
+}
+
+/// The daemon core.
+#[derive(Debug)]
+pub struct Collector {
+    store: ShardedStore,
+    detector: Detector,
+    conns: BTreeMap<u64, Conn>,
+    anomalies: Vec<Anomaly>,
+    /// First flagged sequence number per (node, op), for the report.
+    first_flagged: BTreeMap<(String, String), u64>,
+}
+
+impl Collector {
+    /// Creates a collector.
+    pub fn new(cfg: CollectorConfig) -> Self {
+        Collector {
+            store: ShardedStore::new(cfg.store),
+            detector: Detector::new(cfg.detector),
+            conns: BTreeMap::new(),
+            anomalies: Vec::new(),
+            first_flagged: BTreeMap::new(),
+        }
+    }
+
+    /// Ingests one frame from connection `conn` (any caller-chosen
+    /// stable id). Returns `true` when the frame was a snapshot that
+    /// was accepted into the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors ([`WireError::Protocol`] on sequence
+    /// gaps / missing hello, [`WireError::Corrupt`] on a delta that
+    /// does not fit its base). The connection should be closed on any
+    /// error; its node's aggregated history stays intact.
+    pub fn ingest(&mut self, conn: u64, frame: &Frame) -> Result<bool, WireError> {
+        let state = self.conns.entry(conn).or_default();
+        if let Frame::Hello { node, .. } = frame {
+            state.node = Some(node.clone());
+            state.dec = Decoder::new();
+            state.done = false;
+            self.store.hello(node);
+            return Ok(false);
+        }
+        if let Frame::Bye { .. } = frame {
+            state.done = true;
+            return Ok(false);
+        }
+        let node = state.node.clone().ok_or_else(|| {
+            WireError::Protocol(format!("connection {conn}: snapshot frame before hello"))
+        })?;
+        match state.dec.apply(frame)? {
+            Some((seq, at, set)) => {
+                let offer = self.store.offer(&node, Snapshot { seq, at, set });
+                Ok(offer == Offer::Accepted)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Drains the store, runs detection on the new intervals, records
+    /// and returns the newly flagged anomalies.
+    pub fn tick(&mut self) -> Vec<Anomaly> {
+        let updates = self.store.drain();
+        let found = self.detector.scan(&self.store, &updates);
+        for a in &found {
+            self.first_flagged
+                .entry((a.node.clone(), a.op.clone()))
+                .or_insert(a.seq);
+        }
+        self.anomalies.extend(found.clone());
+        found
+    }
+
+    /// True when every connection that said hello has said bye.
+    pub fn all_done(&self) -> bool {
+        self.conns.values().all(|c| c.done)
+    }
+
+    /// The aggregation store (read-only).
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Every anomaly flagged so far, in tick order.
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+
+    /// Deterministic plain-text report: per-node counters, flagged
+    /// (node, op) pairs with the interval at which each first fired,
+    /// and the full anomaly log.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let stats = self.store.stats();
+        let _ = writeln!(out, "collector report: {} node(s)", stats.nodes.len());
+        let _ = writeln!(
+            out,
+            "  snapshots: {} offered, {} aggregated, {} dropped (backpressure), {} queued",
+            stats.offered(),
+            stats.aggregated(),
+            stats.dropped(),
+            stats.queued()
+        );
+        for n in &stats.nodes {
+            let _ = writeln!(
+                out,
+                "  node {:<12} intervals {:>4}  dropped {:>4}  restarts {}",
+                n.node, n.intervals, n.dropped, n.restarts
+            );
+        }
+        if self.first_flagged.is_empty() {
+            let _ = writeln!(out, "no anomalies flagged");
+        } else {
+            let _ = writeln!(out, "flagged ({}):", self.first_flagged.len());
+            for ((node, op), seq) in &self.first_flagged {
+                let _ = writeln!(out, "  {node} {op}: first flagged at interval {seq}");
+            }
+            let _ = writeln!(out, "anomaly log ({} entries):", self.anomalies.len());
+            for a in &self.anomalies {
+                let _ = writeln!(out, "  {}", a.describe());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Agent;
+    use osprof_core::bucket::Resolution;
+    use osprof_core::profile::ProfileSet;
+
+    fn stream_frames(node: &str, bucket: u32, intervals: u64) -> Vec<Frame> {
+        let mut agent = Agent::new(node);
+        let mut frames = vec![agent.hello("fs", Resolution::R1, 1_000)];
+        let mut set = ProfileSet::new("fs");
+        for seq in 0..intervals {
+            set.entry("read").record_n(1u64 << bucket, 1_000);
+            frames.push(agent.snapshot((seq + 1) * 1_000, &set));
+        }
+        frames.push(agent.bye());
+        frames
+    }
+
+    #[test]
+    fn end_to_end_flags_the_divergent_node() {
+        let mut col = Collector::new(CollectorConfig::default());
+        let mut streams: Vec<Vec<Frame>> =
+            (0..7).map(|i| stream_frames(&format!("n{i}"), 10, 6)).collect();
+        streams.push(stream_frames("sick", 20, 6));
+        // Interleave round-robin: one frame per connection per tick.
+        let max_len = streams.iter().map(Vec::len).max().unwrap();
+        for i in 0..max_len {
+            for (conn, s) in streams.iter().enumerate() {
+                if let Some(f) = s.get(i) {
+                    col.ingest(conn as u64, f).unwrap();
+                }
+            }
+            col.tick();
+        }
+        assert!(col.all_done());
+        let flagged: Vec<&str> =
+            col.anomalies().iter().map(|a| a.node.as_str()).collect();
+        assert!(!flagged.is_empty());
+        assert!(flagged.iter().all(|n| *n == "sick"), "{flagged:?}");
+        let report = col.report();
+        assert!(report.contains("sick read: first flagged at interval"), "{report}");
+        drop(streams);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let run = || {
+            let mut col = Collector::new(CollectorConfig::default());
+            for (conn, node) in ["b", "a", "c"].iter().enumerate() {
+                for f in stream_frames(node, 10, 4) {
+                    col.ingest(conn as u64, &f).unwrap();
+                }
+                col.tick();
+            }
+            col.report()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snapshot_before_hello_is_a_protocol_error() {
+        let mut col = Collector::new(CollectorConfig::default());
+        let frames = stream_frames("n0", 10, 1);
+        assert!(matches!(col.ingest(0, &frames[1]), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn hello_resets_the_connection_decoder() {
+        let mut col = Collector::new(CollectorConfig::default());
+        let frames = stream_frames("n0", 10, 3);
+        for f in &frames {
+            col.ingest(0, f).unwrap();
+        }
+        // The same connection reconnects with a fresh stream: seq starts
+        // over, which is only legal because hello resets the decoder.
+        for f in &frames {
+            col.ingest(0, f).unwrap();
+        }
+        col.tick();
+        let stats = col.store().stats();
+        assert_eq!(stats.nodes[0].restarts, 1, "second run of the same counters is a restart");
+        stats.check_conservation().unwrap();
+    }
+}

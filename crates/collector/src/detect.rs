@@ -1,0 +1,344 @@
+//! Online anomaly detection over streaming intervals.
+//!
+//! The batch path (`analysis::cluster`) answers "which node is sick?"
+//! once, after the fact. The streaming detector answers it **as
+//! snapshots arrive**, by comparing every drained interval against two
+//! references:
+//!
+//! 1. the **cluster median** (bucket-wise median across all nodes'
+//!    latest intervals — robust to the outlier itself), and
+//! 2. the node's own **rolling baseline** (the merge of its recent
+//!    intervals), which catches a node degrading relative to its own
+//!    history even in a single-node deployment.
+//!
+//! Candidate operations come from the paper's 3-phase selection
+//! pipeline ([`select_interesting`]) run between the interval and the
+//! reference — the same pruning (drop tiny contributors, drop similar
+//! totals) that makes the batch analysis report "a small set of
+//! interesting profiles". Surviving candidates are rated with the
+//! existing comparators (EMD primary, chi-squared confirmation) and
+//! flagged against fixed thresholds. Warmup intervals are never
+//! flagged: a rolling baseline of one interval is noise, not history.
+
+use std::fmt;
+
+use osprof_analysis::compare::Metric;
+use osprof_analysis::select::{select_interesting, SelectionConfig};
+use osprof_core::profile::ProfileSet;
+
+use crate::store::{IntervalUpdate, ShardedStore};
+
+/// Detector thresholds.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Primary rating metric (the paper's recommendation: EMD).
+    pub metric: Metric,
+    /// Confirmation metric reported alongside (chi-squared).
+    pub confirm: Metric,
+    /// The 3-phase selection knobs used for candidate pruning.
+    pub selection: SelectionConfig,
+    /// Flag when the interval-vs-cluster-median distance reaches this
+    /// (EMD is in buckets: 2.0 ≈ the whole profile moved one factor of
+    /// 4 in latency).
+    pub cluster_threshold: f64,
+    /// Flag when the interval-vs-own-baseline distance reaches this.
+    pub baseline_threshold: f64,
+    /// Intervals a node must have aggregated (since its last restart)
+    /// before it can be flagged.
+    pub warmup: u64,
+    /// Minimum operations an interval profile needs to be judged.
+    pub min_ops: u64,
+    /// Minimum nodes contributing to an operation's cluster median for
+    /// the cluster comparison to run (single-node streams fall back to
+    /// baseline-only detection).
+    pub min_median_nodes: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            metric: Metric::Emd,
+            confirm: Metric::ChiSquared,
+            selection: SelectionConfig::default(),
+            cluster_threshold: 1.0,
+            baseline_threshold: 1.0,
+            warmup: 2,
+            min_ops: 16,
+            min_median_nodes: 3,
+        }
+    }
+}
+
+/// Why an anomaly was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// The node diverged from the cluster median.
+    ClusterDivergence,
+    /// The node diverged from its own rolling baseline.
+    BaselineShift,
+    /// Both references fired.
+    Both,
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AnomalyKind::ClusterDivergence => "cluster-divergence",
+            AnomalyKind::BaselineShift => "baseline-shift",
+            AnomalyKind::Both => "cluster+baseline",
+        })
+    }
+}
+
+/// One flagged node × operation pair.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// Node label.
+    pub node: String,
+    /// Operation name.
+    pub op: String,
+    /// Sequence number of the interval that fired.
+    pub seq: u64,
+    /// Which reference(s) fired.
+    pub kind: AnomalyKind,
+    /// Distance from the cluster median (primary metric), when the
+    /// cluster comparison ran.
+    pub vs_cluster: Option<f64>,
+    /// Distance from the node's rolling baseline, when one existed.
+    pub vs_baseline: Option<f64>,
+    /// Confirmation-metric distance against the fired reference.
+    pub confirm: f64,
+}
+
+impl Anomaly {
+    /// One-line human-readable report.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(d) = self.vs_cluster {
+            parts.push(format!("vs cluster median {d:.2}"));
+        }
+        if let Some(d) = self.vs_baseline {
+            parts.push(format!("vs own baseline {d:.2}"));
+        }
+        format!(
+            "{} {} interval {}: {} ({}; chi2 {:.3})",
+            self.node,
+            self.op,
+            self.seq,
+            self.kind,
+            parts.join(", "),
+            self.confirm
+        )
+    }
+}
+
+/// The online detector.
+#[derive(Debug, Clone, Default)]
+pub struct Detector {
+    cfg: DetectorConfig,
+}
+
+impl Detector {
+    /// Creates a detector with the given thresholds.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        Detector { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Scans one batch of drained intervals, returning flagged
+    /// anomalies sorted by (node, op, seq).
+    pub fn scan(&self, store: &ShardedStore, updates: &[IntervalUpdate]) -> Vec<Anomaly> {
+        let median = store.cluster_median(self.cfg.min_median_nodes);
+        let mut out = Vec::new();
+        for u in updates {
+            if u.restarted || store.intervals(&u.node) <= self.cfg.warmup {
+                continue;
+            }
+            let baseline = store.baseline(&u.node);
+            out.extend(self.judge(u, &median, baseline.as_ref()));
+        }
+        out.sort_by(|a, b| {
+            a.node.cmp(&b.node).then_with(|| a.op.cmp(&b.op)).then_with(|| a.seq.cmp(&b.seq))
+        });
+        out
+    }
+
+    /// Judges one interval against the two references.
+    fn judge(
+        &self,
+        u: &IntervalUpdate,
+        median: &ProfileSet,
+        baseline: Option<&ProfileSet>,
+    ) -> Vec<Anomaly> {
+        let cfg = &self.cfg;
+        // Phase 1-3 candidate pruning against each reference; an op is a
+        // candidate when either selection picks it.
+        let mut candidates: Vec<String> = Vec::new();
+        if !median.is_empty() {
+            for s in select_interesting(&u.interval, median, &cfg.selection) {
+                candidates.push(s.op);
+            }
+        }
+        if let Some(base) = baseline {
+            for s in select_interesting(&u.interval, base, &cfg.selection) {
+                if !candidates.contains(&s.op) {
+                    candidates.push(s.op);
+                }
+            }
+        }
+        candidates.sort();
+
+        let mut out = Vec::new();
+        for op in candidates {
+            let Some(p) = u.interval.get(&op) else { continue };
+            if p.total_ops() < cfg.min_ops {
+                continue;
+            }
+            let vs_cluster = median.get(&op).map(|m| cfg.metric.distance(p, m));
+            let vs_baseline =
+                baseline.and_then(|b| b.get(&op)).map(|b| cfg.metric.distance(p, b));
+            let cluster_fired = vs_cluster.is_some_and(|d| d >= cfg.cluster_threshold);
+            let baseline_fired = vs_baseline.is_some_and(|d| d >= cfg.baseline_threshold);
+            let kind = match (cluster_fired, baseline_fired) {
+                (true, true) => AnomalyKind::Both,
+                (true, false) => AnomalyKind::ClusterDivergence,
+                (false, true) => AnomalyKind::BaselineShift,
+                (false, false) => continue,
+            };
+            let confirm = if cluster_fired {
+                median.get(&op).map(|m| cfg.confirm.distance(p, m)).unwrap_or(0.0)
+            } else {
+                baseline.and_then(|b| b.get(&op)).map(|b| cfg.confirm.distance(p, b)).unwrap_or(0.0)
+            };
+            out.push(Anomaly {
+                node: u.node.clone(),
+                op,
+                seq: u.seq,
+                kind,
+                vs_cluster,
+                vs_baseline,
+                confirm,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Snapshot, StoreConfig};
+
+    /// Streams `intervals` cumulative snapshots for `node`, with `read`
+    /// latencies at `1 << bucket`, `per_interval` ops each.
+    fn stream_node(
+        store: &mut crate::store::ShardedStore,
+        node: &str,
+        bucket: u32,
+        intervals: u64,
+        per_interval: u64,
+    ) {
+        let mut set = ProfileSet::new("fs");
+        for seq in 0..intervals {
+            set.entry("read").record_n(1u64 << bucket, per_interval);
+            set.entry("write").record_n(1 << 12, per_interval / 2);
+            store.offer(node, Snapshot { seq, at: (seq + 1) * 1_000, set: set.clone() });
+        }
+    }
+
+    #[test]
+    fn healthy_cluster_flags_nothing() {
+        let mut store = crate::store::ShardedStore::new(StoreConfig::default());
+        for i in 0..8 {
+            stream_node(&mut store, &format!("n{i}"), 10, 6, 1_000);
+        }
+        let updates = store.drain();
+        let anomalies = Detector::new(DetectorConfig::default()).scan(&store, &updates);
+        assert!(anomalies.is_empty(), "healthy cluster must be quiet: {anomalies:?}");
+    }
+
+    #[test]
+    fn divergent_node_is_flagged_against_the_median() {
+        let mut store = crate::store::ShardedStore::new(StoreConfig::default());
+        for i in 0..7 {
+            stream_node(&mut store, &format!("n{i}"), 10, 6, 1_000);
+        }
+        stream_node(&mut store, "sick", 20, 6, 1_000); // 1000x slower reads
+        let updates = store.drain();
+        let anomalies = Detector::new(DetectorConfig::default()).scan(&store, &updates);
+        assert!(!anomalies.is_empty());
+        assert!(anomalies.iter().all(|a| a.node == "sick"), "{anomalies:?}");
+        assert!(anomalies.iter().any(|a| a.op == "read"));
+        for a in &anomalies {
+            assert!(matches!(a.kind, AnomalyKind::ClusterDivergence | AnomalyKind::Both));
+            assert!(a.vs_cluster.unwrap() >= 2.0);
+        }
+    }
+
+    #[test]
+    fn warmup_intervals_are_never_flagged() {
+        let mut store = crate::store::ShardedStore::new(StoreConfig::default());
+        for i in 0..7 {
+            stream_node(&mut store, &format!("n{i}"), 10, 2, 1_000);
+        }
+        stream_node(&mut store, "sick", 20, 2, 1_000);
+        let updates = store.drain();
+        let det = Detector::new(DetectorConfig { warmup: 2, ..Default::default() });
+        // Only 2 intervals aggregated == warmup: nothing may fire yet.
+        let anomalies = det.scan(&store, &updates);
+        assert!(anomalies.is_empty(), "{anomalies:?}");
+    }
+
+    #[test]
+    fn single_node_degradation_fires_baseline_shift() {
+        let mut store = crate::store::ShardedStore::new(StoreConfig::default());
+        // 5 healthy intervals, then reads jump 1000x.
+        let mut set = ProfileSet::new("fs");
+        for seq in 0..8u64 {
+            let bucket = if seq < 5 { 10 } else { 20 };
+            set.entry("read").record_n(1u64 << bucket, 1_000);
+            store.offer("solo", Snapshot { seq, at: (seq + 1) * 1_000, set: set.clone() });
+        }
+        let updates = store.drain();
+        let anomalies = Detector::new(DetectorConfig::default()).scan(&store, &updates);
+        assert!(!anomalies.is_empty(), "degradation vs own history must fire");
+        assert!(anomalies.iter().any(|a| {
+            a.node == "solo" && a.op == "read" && matches!(a.kind, AnomalyKind::BaselineShift)
+        }), "{anomalies:?}");
+        // The cluster comparison never ran: one node < min_median_nodes.
+        assert!(anomalies.iter().all(|a| a.vs_cluster.is_none()));
+    }
+
+    #[test]
+    fn tiny_interval_profiles_are_not_judged() {
+        let mut store = crate::store::ShardedStore::new(StoreConfig::default());
+        for i in 0..7 {
+            stream_node(&mut store, &format!("n{i}"), 10, 6, 1_000);
+        }
+        // A node with divergent but statistically tiny activity.
+        stream_node(&mut store, "quiet", 20, 6, 3);
+        let updates = store.drain();
+        let det = Detector::new(DetectorConfig { min_ops: 16, ..Default::default() });
+        let anomalies = det.scan(&store, &updates);
+        assert!(anomalies.iter().all(|a| a.node != "quiet"), "{anomalies:?}");
+    }
+
+    #[test]
+    fn describe_is_stable_and_informative() {
+        let a = Anomaly {
+            node: "n7".into(),
+            op: "read".into(),
+            seq: 4,
+            kind: AnomalyKind::ClusterDivergence,
+            vs_cluster: Some(8.25),
+            vs_baseline: None,
+            confirm: 1.5,
+        };
+        let line = a.describe();
+        assert!(line.contains("n7") && line.contains("read") && line.contains("8.25"), "{line}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Continuous profiling collection for OSprof (paper §7 scaled up).
+//!
+//! The paper profiles one OS on one machine and analyzes the result
+//! offline. This crate closes the loop for a **cluster, online**: every
+//! node runs an [`agent`] that tails its profiler and emits compact
+//! binary snapshots; a collector daemon (`osprofd`) ingests the streams,
+//! aggregates them in a bounded, sharded [`store`], and runs the
+//! paper's comparators continuously in [`detect`] — flagging a sick
+//! node within a few sampling intervals instead of after a post-mortem.
+//!
+//! Pipeline, end to end:
+//!
+//! ```text
+//!  simkernel / host profiler
+//!        │ cumulative ProfileSet snapshots, one per interval
+//!        ▼
+//!  agent::Agent ── wire frames (Full / Delta, seq-numbered) ──►
+//!        │ transport: in-process channel, TCP loopback, stream file
+//!        ▼
+//!  daemon::Collector ── store::ShardedStore (bounded queues,
+//!        │                rolling baselines, cluster median)
+//!        ▼
+//!  detect::Detector ── EMD + chi² vs baseline and cluster median
+//!        ▼
+//!  Anomaly log / deterministic report
+//! ```
+//!
+//! Everything is `std`-only: the wire format is hand-rolled
+//! ([`wire`]), the transports are `mpsc` and `std::net`
+//! ([`transport`]), and the whole pipeline is deterministic under
+//! `OSPROF_TEST_SEED` when driven by the replay [`scenario`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod daemon;
+pub mod delta;
+pub mod detect;
+pub mod scenario;
+pub mod store;
+pub mod transport;
+pub mod wire;

@@ -1,0 +1,178 @@
+//! Deterministic streaming scenarios for tests, experiments and the
+//! `osprofd smoke` self-test.
+//!
+//! The batch `ext-cluster` experiment runs eight simulated nodes and
+//! ranks their final profiles. Here the **same simulation** is replayed
+//! as live streams: each node's file-system layer is sampled into a
+//! [`SampledProfile`], an [`Agent`] turns the segments into cumulative
+//! snapshot frames, and the frames are interleaved round-robin into a
+//! [`Collector`] — exactly what a set of concurrently-streaming nodes
+//! looks like to the daemon, but fully deterministic under
+//! `OSPROF_TEST_SEED`.
+
+use osprof_core::clock::secs_to_cycles;
+use osprof_core::profile::ProfileSet;
+use osprof_core::sampling::SampledProfile;
+use osprof_simdisk::{DiskConfig, DiskDevice};
+use osprof_simfs::image::ROOT;
+use osprof_simfs::{Mount, MountOpts};
+use osprof_simkernel::{Kernel, KernelConfig};
+use osprof_workloads::{grep, tree};
+
+use crate::agent::Agent;
+use crate::daemon::Collector;
+use crate::wire::Frame;
+
+/// Scenario knobs.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Number of simulated nodes.
+    pub nodes: usize,
+    /// Index of the node with the degraded disk (`None` = all healthy).
+    pub degraded: Option<usize>,
+    /// Sampling interval in simulated seconds.
+    pub interval_secs: f64,
+    /// Directory count of the tree each node greps (scales run length).
+    pub dirs: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig { nodes: 8, degraded: Some(7), interval_secs: 0.05, dirs: 40 }
+    }
+}
+
+/// Runs one node's grep workload with a sampled file-system layer and
+/// returns the resulting per-interval timeline.
+pub fn node_sampled(degraded: bool, interval_secs: f64, dirs: usize) -> SampledProfile {
+    let mut cfg = tree::TreeConfig::small_kernel_tree();
+    cfg.dirs = dirs;
+    let t = tree::build(&cfg);
+    let mut disk = DiskConfig::paper_disk();
+    if degraded {
+        // Same dying disk as the batch ext-cluster experiment: seeks
+        // take 5x longer, the cache barely works.
+        disk.track_to_track *= 5;
+        disk.full_stroke *= 5;
+        disk.cache_segments = 1;
+        disk.readahead_sectors = 16;
+    }
+    let mut kernel = Kernel::new(KernelConfig::uniprocessor());
+    let user = kernel.add_layer("user");
+    let fs_layer = kernel.add_sampled_layer("file-system", secs_to_cycles(interval_secs));
+    let dev = kernel.attach_device(Box::new(DiskDevice::new(disk)));
+    let mount = Mount::new(&mut kernel, t.image.clone(), dev, MountOpts::ext2(Some(fs_layer)));
+    grep::spawn_local(&mut kernel, mount.state(), ROOT, user, 1_500);
+    kernel.run();
+    kernel
+        .layer(fs_layer)
+        .sampled_store()
+        .expect("fs layer is sampled")
+        .clone()
+}
+
+/// Builds every node's frame stream for the scenario: `node-0` ..
+/// `node-{n-1}`, the degraded node running the slow disk.
+pub fn cluster_streams(cfg: &ScenarioConfig) -> Vec<(String, Vec<Frame>)> {
+    (0..cfg.nodes)
+        .map(|i| {
+            let name = format!("node-{i}");
+            let sampled =
+                node_sampled(cfg.degraded == Some(i), cfg.interval_secs, cfg.dirs);
+            let frames = Agent::new(&name).stream_sampled(&sampled);
+            (name, frames)
+        })
+        .collect()
+}
+
+/// Replays the streams into a collector round-robin — one frame per
+/// connection per round, a detection tick after every round — the
+/// deterministic stand-in for concurrent live ingest.
+///
+/// Returns the round index (0-based) at which the first anomaly fired,
+/// if any.
+pub fn replay_round_robin(col: &mut Collector, streams: &[(String, Vec<Frame>)]) -> Option<usize> {
+    let max_len = streams.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    let mut first_fired = None;
+    for round in 0..max_len {
+        for (conn, (_, frames)) in streams.iter().enumerate() {
+            if let Some(f) = frames.get(round) {
+                col.ingest(conn as u64, f).expect("replayed streams are well-formed");
+            }
+        }
+        if !col.tick().is_empty() && first_fired.is_none() {
+            first_fired = Some(round);
+        }
+    }
+    first_fired
+}
+
+/// A single node that degrades mid-stream: `healthy_intervals` from the
+/// healthy run, then the degraded run's intervals stacked on top of the
+/// same cumulative counters. Exercises baseline-shift detection without
+/// needing a cluster — the `osprofd smoke` self-test.
+pub fn degrading_node_frames(cfg: &ScenarioConfig) -> Vec<Frame> {
+    let healthy = node_sampled(false, cfg.interval_secs, cfg.dirs);
+    let sick = node_sampled(true, cfg.interval_secs, cfg.dirs);
+    let interval = healthy.interval();
+
+    let mut agent = Agent::new("smoke-node");
+    let mut frames = vec![agent.hello(healthy.layer(), healthy.resolution(), interval)];
+    let mut cumulative = ProfileSet::with_resolution(healthy.layer(), healthy.resolution());
+    let mut at = 0;
+    for (_, seg) in healthy.iter_segments() {
+        cumulative.merge(seg).expect("one resolution");
+        at += interval;
+        frames.push(agent.snapshot(at, &cumulative));
+    }
+    for (_, seg) in sick.iter_segments() {
+        cumulative.merge(seg).expect("one resolution");
+        at += interval;
+        frames.push(agent.snapshot(at, &cumulative));
+    }
+    frames.push(agent.bye());
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::CollectorConfig;
+
+    #[test]
+    fn sampled_run_has_enough_segments_to_stream() {
+        let cfg = ScenarioConfig::default();
+        let sp = node_sampled(false, cfg.interval_secs, cfg.dirs);
+        assert!(
+            sp.len() >= 5,
+            "need several intervals for a meaningful stream, got {}",
+            sp.len()
+        );
+        assert!(!sp.flatten().is_empty());
+    }
+
+    #[test]
+    fn degrading_node_frames_grow_monotonically() {
+        let cfg = ScenarioConfig { dirs: 10, ..Default::default() };
+        let frames = degrading_node_frames(&cfg);
+        assert!(matches!(frames[0], Frame::Hello { .. }));
+        assert!(matches!(frames.last(), Some(Frame::Bye { .. })));
+        assert!(frames.len() >= 6, "hello + intervals + bye, got {}", frames.len());
+    }
+
+    #[test]
+    fn replay_flags_the_degraded_node() {
+        let cfg = ScenarioConfig::default();
+        let streams = cluster_streams(&cfg);
+        let mut col = Collector::new(CollectorConfig::default());
+        let fired = replay_round_robin(&mut col, &streams);
+        let rounds = streams.iter().map(|(_, s)| s.len()).max().unwrap();
+        let fired = fired.expect("the degraded node must be flagged during the replay");
+        assert!(
+            fired < rounds,
+            "flagged within the stream (round {fired} of {rounds})"
+        );
+        assert!(col.anomalies().iter().all(|a| a.node == "node-7"), "only the sick node: {:?}", col.anomalies());
+        col.store().stats().check_conservation().unwrap();
+    }
+}

@@ -1,0 +1,587 @@
+//! Sharded aggregation store with bounded queues and explicit
+//! backpressure.
+//!
+//! Many nodes stream snapshots concurrently; the store must never grow
+//! unboundedly no matter how fast one node floods. Structure:
+//!
+//! - **N shards**, each owning the nodes that FNV-hash into it — the
+//!   scale seam: shards share nothing, so a future multi-threaded
+//!   ingest path can lock them independently.
+//! - Per node, a **bounded pending queue** ([`StoreConfig::queue_cap`]).
+//!   An [`offer`](ShardedStore::offer) against a full queue is
+//!   **dropped and counted** — explicit backpressure instead of silent
+//!   memory growth. The conservation invariant (every offered snapshot
+//!   is exactly one of dropped / still queued / aggregated) is
+//!   enforced by [`StoreStats::check_conservation`] and property tests.
+//! - Per node, a **rolling window** of the last
+//!   [`StoreConfig::baseline_window`] per-interval profile sets. Their
+//!   merge (excluding the newest interval) is the node's *rolling
+//!   baseline*; the bucket-wise median across all nodes' latest
+//!   intervals is the *cluster median* — the two references the online
+//!   detector compares against.
+//!
+//! Snapshots arrive **cumulative** (a profiler's counters only grow);
+//! [`drain`](ShardedStore::drain) differences successive cumulative
+//! snapshots into per-interval sets. A count that goes backwards means
+//! the node's profiler restarted: the window is cleared and the
+//! snapshot is treated as the first interval again.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use osprof_core::bucket::Resolution;
+use osprof_core::clock::Cycles;
+use osprof_core::profile::{Profile, ProfileSet};
+
+use crate::wire::fnv64;
+
+/// Store sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Per-node pending-queue bound; offers beyond it are dropped.
+    pub queue_cap: usize,
+    /// Number of recent intervals kept per node for the rolling
+    /// baseline (≥ 2 for the baseline to ever exist).
+    pub baseline_window: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { shards: 8, queue_cap: 64, baseline_window: 5 }
+    }
+}
+
+/// One pending cumulative snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Stream sequence number.
+    pub seq: u64,
+    /// Interval-boundary timestamp in cycles.
+    pub at: Cycles,
+    /// The cumulative profile set as of `at`.
+    pub set: ProfileSet,
+}
+
+/// Outcome of an [`offer`](ShardedStore::offer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Queued for the next drain.
+    Accepted,
+    /// Rejected: the node's queue was full (backpressure).
+    Dropped,
+}
+
+/// One drained interval, ready for detection.
+#[derive(Debug, Clone)]
+pub struct IntervalUpdate {
+    /// Node label.
+    pub node: String,
+    /// Stream sequence number of the snapshot that closed the interval.
+    pub seq: u64,
+    /// Interval-boundary timestamp.
+    pub at: Cycles,
+    /// The interval's own activity (difference of cumulative snapshots).
+    pub interval: ProfileSet,
+    /// The cumulative snapshot as of `at`.
+    pub cumulative: ProfileSet,
+    /// True when this snapshot was detected as a profiler restart.
+    pub restarted: bool,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    node: String,
+    queue: VecDeque<Snapshot>,
+    last_cum: Option<ProfileSet>,
+    /// Most recent per-interval sets, oldest first.
+    window: VecDeque<ProfileSet>,
+    offered: u64,
+    dropped: u64,
+    aggregated: u64,
+    restarts: u64,
+    intervals: u64,
+}
+
+impl NodeState {
+    fn new(node: String) -> Self {
+        NodeState {
+            node,
+            queue: VecDeque::new(),
+            last_cum: None,
+            window: VecDeque::new(),
+            offered: 0,
+            dropped: 0,
+            aggregated: 0,
+            restarts: 0,
+            intervals: 0,
+        }
+    }
+}
+
+/// Counters for one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Node label.
+    pub node: String,
+    /// Snapshots offered to the store.
+    pub offered: u64,
+    /// Snapshots rejected by backpressure.
+    pub dropped: u64,
+    /// Snapshots drained into the aggregation.
+    pub aggregated: u64,
+    /// Snapshots currently pending.
+    pub queued: u64,
+    /// Profiler restarts observed.
+    pub restarts: u64,
+    /// Intervals aggregated so far.
+    pub intervals: u64,
+}
+
+/// A consistent snapshot of the store's counters.
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    /// Per-node counters, sorted by node label.
+    pub nodes: Vec<NodeStats>,
+}
+
+impl StoreStats {
+    /// Total offered across nodes.
+    pub fn offered(&self) -> u64 {
+        self.nodes.iter().map(|n| n.offered).sum()
+    }
+
+    /// Total dropped across nodes.
+    pub fn dropped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dropped).sum()
+    }
+
+    /// Total aggregated across nodes.
+    pub fn aggregated(&self) -> u64 {
+        self.nodes.iter().map(|n| n.aggregated).sum()
+    }
+
+    /// Total currently queued across nodes.
+    pub fn queued(&self) -> u64 {
+        self.nodes.iter().map(|n| n.queued).sum()
+    }
+
+    /// Verifies the conservation invariant: every offered snapshot is
+    /// exactly one of dropped, queued or aggregated — none lost.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for n in &self.nodes {
+            let accounted = n.dropped + n.queued + n.aggregated;
+            if n.offered != accounted {
+                return Err(format!(
+                    "node {}: offered {} != dropped {} + queued {} + aggregated {}",
+                    n.node, n.offered, n.dropped, n.queued, n.aggregated
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The sharded store.
+#[derive(Debug)]
+pub struct ShardedStore {
+    cfg: StoreConfig,
+    shards: Vec<BTreeMap<String, NodeState>>,
+}
+
+impl ShardedStore {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is 0 or `queue_cap` is 0.
+    pub fn new(cfg: StoreConfig) -> Self {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.queue_cap >= 1, "queue capacity must be positive");
+        ShardedStore { cfg, shards: (0..cfg.shards).map(|_| BTreeMap::new()).collect() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Shard index for a node label (FNV-1a, stable across runs).
+    pub fn shard_of(&self, node: &str) -> usize {
+        (fnv64(node.as_bytes()) % self.cfg.shards as u64) as usize
+    }
+
+    fn node_mut(&mut self, node: &str) -> &mut NodeState {
+        let shard = self.shard_of(node);
+        self.shards[shard]
+            .entry(node.to_string())
+            .or_insert_with(|| NodeState::new(node.to_string()))
+    }
+
+    /// Registers a node (idempotent). Offers auto-register too; `hello`
+    /// exists so an empty stream still shows up in the stats.
+    pub fn hello(&mut self, node: &str) {
+        let _ = self.node_mut(node);
+    }
+
+    /// Offers one cumulative snapshot; bounded by the node's queue.
+    pub fn offer(&mut self, node: &str, snap: Snapshot) -> Offer {
+        let cap = self.cfg.queue_cap;
+        let st = self.node_mut(node);
+        st.offered += 1;
+        if st.queue.len() >= cap {
+            st.dropped += 1;
+            return Offer::Dropped;
+        }
+        st.queue.push_back(snap);
+        Offer::Accepted
+    }
+
+    /// Drains every pending queue, differencing cumulative snapshots
+    /// into per-interval updates (node-name order, then seq order).
+    pub fn drain(&mut self) -> Vec<IntervalUpdate> {
+        let window = self.cfg.baseline_window;
+        let mut updates = Vec::new();
+        let mut names: Vec<(usize, String)> = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for (name, st) in shard.iter() {
+                if !st.queue.is_empty() {
+                    names.push((i, name.clone()));
+                }
+            }
+        }
+        names.sort_by(|a, b| a.1.cmp(&b.1));
+        for (shard, name) in names {
+            let st = self.shards[shard].get_mut(&name).expect("listed above");
+            while let Some(snap) = st.queue.pop_front() {
+                let (interval, restarted) = match &st.last_cum {
+                    Some(prev) => match cum_diff(prev, &snap.set) {
+                        Some(d) => (d, false),
+                        None => (snap.set.clone(), true), // counters went backwards
+                    },
+                    None => (snap.set.clone(), false),
+                };
+                if restarted {
+                    st.window.clear();
+                    st.restarts += 1;
+                }
+                st.window.push_back(interval.clone());
+                while st.window.len() > window {
+                    st.window.pop_front();
+                }
+                st.last_cum = Some(snap.set.clone());
+                st.aggregated += 1;
+                st.intervals += 1;
+                updates.push(IntervalUpdate {
+                    node: st.node.clone(),
+                    seq: snap.seq,
+                    at: snap.at,
+                    interval,
+                    cumulative: snap.set,
+                    restarted,
+                });
+            }
+        }
+        updates
+    }
+
+    /// All node labels, sorted.
+    pub fn nodes(&self) -> Vec<String> {
+        let mut v: Vec<String> =
+            self.shards.iter().flat_map(|s| s.keys().cloned()).collect();
+        v.sort();
+        v
+    }
+
+    fn node_ref(&self, node: &str) -> Option<&NodeState> {
+        self.shards[self.shard_of(node)].get(node)
+    }
+
+    /// The node's rolling baseline: the merge of its window **excluding
+    /// the newest interval** (the one under judgment). `None` until two
+    /// intervals have been aggregated since the last restart.
+    pub fn baseline(&self, node: &str) -> Option<ProfileSet> {
+        let st = self.node_ref(node)?;
+        if st.window.len() < 2 {
+            return None;
+        }
+        let mut out = ProfileSet::with_resolution(
+            st.window[0].layer().to_string(),
+            st.window[0].resolution(),
+        );
+        for seg in st.window.iter().take(st.window.len() - 1) {
+            out.merge(seg).ok()?;
+        }
+        Some(out)
+    }
+
+    /// The node's newest aggregated interval set, if any.
+    pub fn latest_interval(&self, node: &str) -> Option<&ProfileSet> {
+        self.node_ref(node)?.window.back()
+    }
+
+    /// The node's latest cumulative snapshot, if any.
+    pub fn cumulative(&self, node: &str) -> Option<&ProfileSet> {
+        self.node_ref(node)?.last_cum.as_ref()
+    }
+
+    /// Number of intervals aggregated for the node since the last
+    /// restart-free stretch began.
+    pub fn intervals(&self, node: &str) -> u64 {
+        self.node_ref(node).map_or(0, |st| st.intervals)
+    }
+
+    /// The cluster-wide merge of every node's cumulative snapshot.
+    pub fn aggregate(&self) -> ProfileSet {
+        let mut out = ProfileSet::new("cluster");
+        for node in self.nodes() {
+            if let Some(cum) = self.cumulative(&node) {
+                let _ = out.merge(cum);
+            }
+        }
+        out
+    }
+
+    /// The cluster median profile set: for every operation present in
+    /// at least [`min_nodes`](fn@cluster_median) nodes' latest
+    /// intervals, the bucket-wise median profile across those nodes.
+    ///
+    /// The median is the robust cluster reference: with one sick node
+    /// among many, the median is what the healthy majority does, so the
+    /// sick node cannot drag the reference toward itself (the flaw of
+    /// mean aggregation the batch `analysis::cluster` path tolerates).
+    pub fn cluster_median(&self, min_nodes: usize) -> ProfileSet {
+        let mut per_op: BTreeMap<&str, Vec<&Profile>> = BTreeMap::new();
+        let mut resolution: Option<Resolution> = None;
+        for shard in &self.shards {
+            for st in shard.values() {
+                if let Some(latest) = st.window.back() {
+                    resolution = resolution.or(Some(latest.resolution()));
+                    for (op, p) in latest.iter() {
+                        per_op.entry(op).or_default().push(p);
+                    }
+                }
+            }
+        }
+        let r = resolution.unwrap_or(Resolution::R1);
+        let mut out = ProfileSet::with_resolution("cluster-median", r);
+        for (op, profiles) in per_op {
+            if profiles.len() < min_nodes {
+                continue;
+            }
+            if let Some(p) = median_profile(op, r, &profiles) {
+                out.insert(p);
+            }
+        }
+        out
+    }
+
+    /// Per-node counters, sorted by node label.
+    pub fn stats(&self) -> StoreStats {
+        let mut nodes: Vec<NodeStats> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.values())
+            .map(|st| NodeStats {
+                node: st.node.clone(),
+                offered: st.offered,
+                dropped: st.dropped,
+                aggregated: st.aggregated,
+                queued: st.queue.len() as u64,
+                restarts: st.restarts,
+                intervals: st.intervals,
+            })
+            .collect();
+        nodes.sort_by(|a, b| a.node.cmp(&b.node));
+        StoreStats { nodes }
+    }
+}
+
+/// Differences two cumulative snapshots into the interval's activity;
+/// `None` when any counter went backwards (profiler restart).
+pub fn cum_diff(old: &ProfileSet, new: &ProfileSet) -> Option<ProfileSet> {
+    let r = new.resolution();
+    if r != old.resolution() {
+        return None;
+    }
+    let mut out = ProfileSet::with_resolution(new.layer(), r);
+    for (op, p_new) in new.iter() {
+        match old.get(op) {
+            None => out.insert(p_new.clone()),
+            Some(p_old) => {
+                let mut buckets = Vec::with_capacity(p_new.buckets().len());
+                for (b, &n_new) in p_new.buckets().iter().enumerate() {
+                    let n_old = p_old.count_in(b);
+                    if n_new < n_old {
+                        return None;
+                    }
+                    buckets.push(n_new - n_old);
+                }
+                let latency = p_new.total_latency().checked_sub(p_old.total_latency())?;
+                // Extremes don't difference; carry the cumulative ones.
+                // They only inform reports, not the bucket metrics.
+                let p = Profile::from_parts(
+                    op,
+                    r,
+                    buckets,
+                    latency,
+                    p_new.min_latency().unwrap_or(u64::MAX),
+                    p_new.max_latency().unwrap_or(0),
+                )
+                .ok()?;
+                if !p.is_empty() {
+                    out.insert(p);
+                }
+            }
+        }
+    }
+    // An op disappearing from a cumulative snapshot is also a restart.
+    for (op, _) in old.iter() {
+        if new.get(op).is_none() {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Bucket-wise median profile across nodes (lower median for even
+/// counts — deterministic).
+fn median_profile(op: &str, r: Resolution, profiles: &[&Profile]) -> Option<Profile> {
+    fn median_u64(mut v: Vec<u64>) -> u64 {
+        v.sort_unstable();
+        v[(v.len() - 1) / 2]
+    }
+    fn median_u128(mut v: Vec<u128>) -> u128 {
+        v.sort_unstable();
+        v[(v.len() - 1) / 2]
+    }
+    if profiles.is_empty() {
+        return None;
+    }
+    let buckets: Vec<u64> = (0..r.bucket_count())
+        .map(|b| median_u64(profiles.iter().map(|p| p.count_in(b)).collect()))
+        .collect();
+    let latency = median_u128(profiles.iter().map(|p| p.total_latency()).collect());
+    let min = median_u64(profiles.iter().map(|p| p.min_latency().unwrap_or(u64::MAX)).collect());
+    let max = median_u64(profiles.iter().map(|p| p.max_latency().unwrap_or(0)).collect());
+    Profile::from_parts(op, r, buckets, latency, min, max).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(seq: u64, records: &[(&str, u64, u64)]) -> Snapshot {
+        let mut set = ProfileSet::new("fs");
+        for &(op, latency, n) in records {
+            set.entry(op).record_n(latency, n);
+        }
+        Snapshot { seq, at: seq * 1_000, set }
+    }
+
+    #[test]
+    fn offer_drain_differences_cumulative_snapshots() {
+        let mut store = ShardedStore::new(StoreConfig::default());
+        store.offer("n0", snap(0, &[("read", 1 << 10, 5)]));
+        store.offer("n0", snap(1, &[("read", 1 << 10, 8), ("write", 1 << 12, 2)]));
+        let updates = store.drain();
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[0].interval.get("read").unwrap().total_ops(), 5);
+        assert_eq!(updates[1].interval.get("read").unwrap().total_ops(), 3, "interval = difference");
+        assert_eq!(updates[1].interval.get("write").unwrap().total_ops(), 2);
+        assert!(!updates[1].restarted);
+        assert_eq!(store.cumulative("n0").unwrap().total_ops(), 10);
+    }
+
+    #[test]
+    fn backpressure_drops_and_counts() {
+        let cfg = StoreConfig { queue_cap: 3, ..Default::default() };
+        let mut store = ShardedStore::new(cfg);
+        for seq in 0..10 {
+            store.offer("flood", snap(seq, &[("read", 1 << 10, seq + 1)]));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.offered(), 10);
+        assert_eq!(stats.dropped(), 7, "queue bound must hold");
+        assert_eq!(stats.queued(), 3);
+        stats.check_conservation().unwrap();
+        store.drain();
+        let stats = store.stats();
+        assert_eq!(stats.aggregated(), 3);
+        assert_eq!(stats.queued(), 0);
+        stats.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn restart_clears_window() {
+        let mut store = ShardedStore::new(StoreConfig::default());
+        store.offer("n0", snap(0, &[("read", 1 << 10, 100)]));
+        store.offer("n0", snap(1, &[("read", 1 << 10, 120)]));
+        store.drain();
+        assert!(store.baseline("n0").is_some());
+        // Counters go backwards: the profiler restarted.
+        store.offer("n0", snap(2, &[("read", 1 << 10, 7)]));
+        let updates = store.drain();
+        assert!(updates[0].restarted);
+        assert!(store.baseline("n0").is_none(), "baseline must not span a restart");
+        assert_eq!(store.stats().nodes[0].restarts, 1);
+    }
+
+    #[test]
+    fn baseline_excludes_newest_interval() {
+        let mut store = ShardedStore::new(StoreConfig::default());
+        store.offer("n0", snap(0, &[("read", 1 << 10, 10)]));
+        store.offer("n0", snap(1, &[("read", 1 << 10, 20)]));
+        store.offer("n0", snap(2, &[("read", 1 << 10, 25), ("read", 1 << 20, 40)]));
+        store.drain();
+        let baseline = store.baseline("n0").unwrap();
+        // Intervals: 10 ops, 10 ops, (5 + 40) ops. Baseline = first two.
+        assert_eq!(baseline.total_ops(), 20);
+        assert!(baseline.get("read").unwrap().count_in(20) == 0, "newest interval excluded");
+        assert_eq!(store.latest_interval("n0").unwrap().total_ops(), 45);
+    }
+
+    #[test]
+    fn cluster_median_resists_one_outlier() {
+        let mut store = ShardedStore::new(StoreConfig::default());
+        for i in 0..5 {
+            let node = format!("n{i}");
+            let latency = if i == 4 { 1 << 25 } else { 1 << 10 }; // n4 is sick
+            store.offer(&node, snap(0, &[("read", latency, 100)]));
+        }
+        store.drain();
+        let median = store.cluster_median(3);
+        let read = median.get("read").unwrap();
+        assert_eq!(read.count_in(10), 100, "median follows the healthy majority");
+        assert_eq!(read.count_in(25), 0, "outlier does not drag the median");
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_total() {
+        let store = ShardedStore::new(StoreConfig { shards: 4, ..Default::default() });
+        for name in ["a", "b", "node-7", "zebra"] {
+            let s = store.shard_of(name);
+            assert!(s < 4);
+            assert_eq!(s, store.shard_of(name), "stable");
+        }
+    }
+
+    #[test]
+    fn nodes_listing_is_sorted_across_shards() {
+        let mut store = ShardedStore::new(StoreConfig { shards: 3, ..Default::default() });
+        for n in ["zeta", "alpha", "mid"] {
+            store.hello(n);
+        }
+        assert_eq!(store.nodes(), ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn cum_diff_detects_all_restart_shapes() {
+        let a = snap(0, &[("read", 1 << 10, 10), ("write", 1 << 12, 5)]).set;
+        let shrunk = snap(0, &[("read", 1 << 10, 3), ("write", 1 << 12, 5)]).set;
+        let missing = snap(0, &[("read", 1 << 10, 10)]).set;
+        assert!(cum_diff(&a, &shrunk).is_none(), "count decrease");
+        assert!(cum_diff(&a, &missing).is_none(), "op disappearance");
+        assert!(cum_diff(&a, &a).is_some());
+    }
+}

@@ -1,0 +1,154 @@
+//! Pluggable frame transports.
+//!
+//! The collector ingests frames from anything that can produce them in
+//! order; the agent pushes frames into anything that can carry them.
+//! Two implementations keep the workspace hermetic (std only):
+//!
+//! - [`channel`] — an in-process `mpsc` pair, used by tests and the
+//!   deterministic replay experiments (no sockets, no threads needed on
+//!   the producing side).
+//! - [`WriteTransport`] / [`ReadTransport`] — byte-stream framing over
+//!   any `std::io::Write`/`Read`, used by `osprofd` over `std::net` TCP
+//!   loopback and by the `osprofctl record`/`stream` file path.
+
+use std::io::{Read, Write};
+use std::sync::mpsc;
+
+use crate::wire::{self, Frame, WireError};
+
+/// The sending half of a transport: the agent side.
+pub trait FrameSink {
+    /// Sends one frame.
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError>;
+}
+
+/// The receiving half of a transport: the collector side.
+pub trait FrameSource {
+    /// Receives the next frame; `Ok(None)` when the stream ended cleanly.
+    fn recv(&mut self) -> Result<Option<Frame>, WireError>;
+}
+
+/// Frames over a byte sink (TCP socket, file, `Vec<u8>`); writes the
+/// stream header on construction.
+pub struct WriteTransport<W: Write> {
+    w: W,
+}
+
+impl<W: Write> WriteTransport<W> {
+    /// Wraps a writer and emits the `OSPW` header.
+    pub fn new(mut w: W) -> Result<Self, WireError> {
+        wire::write_header(&mut w)?;
+        Ok(WriteTransport { w })
+    }
+
+    /// Unwraps the inner writer (flushes first).
+    pub fn finish(mut self) -> Result<W, WireError> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write> FrameSink for WriteTransport<W> {
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        wire::write_frame(&mut self.w, frame)
+    }
+}
+
+/// Frames over a byte source; validates the stream header on
+/// construction.
+pub struct ReadTransport<R: Read> {
+    r: R,
+}
+
+impl<R: Read> ReadTransport<R> {
+    /// Wraps a reader and validates the `OSPW` header.
+    pub fn new(mut r: R) -> Result<Self, WireError> {
+        wire::read_header(&mut r)?;
+        Ok(ReadTransport { r })
+    }
+}
+
+impl<R: Read> FrameSource for ReadTransport<R> {
+    fn recv(&mut self) -> Result<Option<Frame>, WireError> {
+        wire::read_frame(&mut self.r)
+    }
+}
+
+/// An in-process transport pair (sender, receiver).
+pub fn channel() -> (ChannelSink, ChannelSource) {
+    let (tx, rx) = mpsc::channel();
+    (ChannelSink { tx }, ChannelSource { rx })
+}
+
+/// Sending half of [`channel`].
+pub struct ChannelSink {
+    tx: mpsc::Sender<Frame>,
+}
+
+impl FrameSink for ChannelSink {
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        self.tx
+            .send(frame.clone())
+            .map_err(|_| WireError::Protocol("collector hung up".into()))
+    }
+}
+
+/// Receiving half of [`channel`].
+pub struct ChannelSource {
+    rx: mpsc::Receiver<Frame>,
+}
+
+impl FrameSource for ChannelSource {
+    fn recv(&mut self) -> Result<Option<Frame>, WireError> {
+        match self.rx.recv() {
+            Ok(f) => Ok(Some(f)),
+            Err(_) => Ok(None), // all senders dropped: clean end of stream
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprof_core::bucket::Resolution;
+    use osprof_core::profile::ProfileSet;
+
+    fn frames() -> Vec<Frame> {
+        let mut set = ProfileSet::new("fs");
+        set.record("read", 900);
+        vec![
+            Frame::Hello { node: "n0".into(), layer: "fs".into(), resolution: Resolution::R1, interval: 1000 },
+            Frame::Full { seq: 0, at: 1000, set },
+            Frame::Bye { seq: 1 },
+        ]
+    }
+
+    #[test]
+    fn byte_transport_round_trips() {
+        let mut sink = WriteTransport::new(Vec::new()).unwrap();
+        for f in frames() {
+            sink.send(&f).unwrap();
+        }
+        let bytes = sink.finish().unwrap();
+        let mut source = ReadTransport::new(&bytes[..]).unwrap();
+        let mut got = Vec::new();
+        while let Some(f) = source.recv().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, frames());
+    }
+
+    #[test]
+    fn channel_transport_round_trips() {
+        let (mut sink, mut source) = channel();
+        for f in frames() {
+            sink.send(&f).unwrap();
+        }
+        drop(sink);
+        let mut got = Vec::new();
+        while let Some(f) = source.recv().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, frames());
+    }
+}

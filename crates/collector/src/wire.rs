@@ -1,0 +1,674 @@
+//! The `OSPW` binary wire format for streaming profile snapshots.
+//!
+//! The paper stresses that profiles are tiny ("a complete profile may
+//! consist of dozens of profiles of individual operations", each a
+//! handful of non-empty buckets) — which is exactly what makes them
+//! stream-able from many nodes. This module defines a compact binary
+//! framing for [`ProfileSet`] snapshots with delta encoding between
+//! successive intervals (see [`crate::delta`]): most buckets do not
+//! change between two adjacent intervals, so a delta frame carries only
+//! the changed `(bucket, delta)` pairs.
+//!
+//! Layout:
+//!
+//! ```text
+//! stream   := magic "OSPW" | version u8 | frame*
+//! frame    := type u8 | payload_len uvarint | payload | fnv64(payload) 8B LE
+//! uvarint  := LEB128 (7 bits per byte, little-endian groups)
+//! svarint  := zigzag-mapped uvarint
+//! string   := len uvarint | utf-8 bytes
+//! ```
+//!
+//! Frame types: `Hello` (node identity + sampling parameters), `Full`
+//! (a complete cumulative snapshot), `Delta` (changes vs. the previous
+//! snapshot on the same connection), `Bye` (clean end of stream).
+//! Every frame payload is protected by an FNV-1a 64 checksum, mirroring
+//! the paper's "checksum ... to catch potential code instrumentation
+//! errors" philosophy at the transport layer.
+//!
+//! The round-trip guarantee is exact: decoding a `Full` frame (or
+//! applying a `Delta` to its base) reconstructs a `ProfileSet` that is
+//! `==` to the encoded one — including `total_latency` and the min/max
+//! extremes that the text format of `osprof_core::serialize` drops.
+//! Golden fixtures under `results/fixtures/` pin the byte format.
+
+use std::io::{Read, Write};
+
+use osprof_core::bucket::Resolution;
+use osprof_core::clock::Cycles;
+use osprof_core::error::CoreError;
+use osprof_core::profile::{Profile, ProfileSet};
+
+use crate::delta::SetDelta;
+
+/// Stream magic: `OSPW` (OSprof wire).
+pub const MAGIC: [u8; 4] = *b"OSPW";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Frame type tags.
+const T_HELLO: u8 = 1;
+const T_FULL: u8 = 2;
+const T_DELTA: u8 = 3;
+const T_BYE: u8 = 4;
+
+/// Errors from encoding, decoding or transporting frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid bytes (bad magic, truncation, checksum).
+    Corrupt(String),
+    /// A decoded profile violated a core invariant.
+    Core(CoreError),
+    /// A frame arrived out of protocol order (e.g. `Delta` with no base).
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Corrupt(m) => write!(f, "corrupt stream: {m}"),
+            WireError::Core(e) => write!(f, "profile error: {e}"),
+            WireError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<CoreError> for WireError {
+    fn from(e: CoreError) -> Self {
+        WireError::Core(e)
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Stream opening: who is sending and how it samples.
+    Hello {
+        /// Node label (unique per stream).
+        node: String,
+        /// Instrumentation layer being streamed (e.g. `"file-system"`).
+        layer: String,
+        /// Bucket resolution of every snapshot on this stream.
+        resolution: Resolution,
+        /// Snapshot interval in cycles.
+        interval: Cycles,
+    },
+    /// A complete cumulative snapshot.
+    Full {
+        /// Sequence number (starts at 0, increments by 1).
+        seq: u64,
+        /// Cycle timestamp of the interval boundary this snapshot covers.
+        at: Cycles,
+        /// The cumulative profile set as of `at`.
+        set: ProfileSet,
+    },
+    /// Changes relative to the previous snapshot on this stream.
+    Delta {
+        /// Sequence number (must be the previous frame's `seq + 1`).
+        seq: u64,
+        /// Cycle timestamp of the interval boundary.
+        at: Cycles,
+        /// The encoded changes.
+        delta: SetDelta,
+    },
+    /// Clean end of stream.
+    Bye {
+        /// Sequence number after the last snapshot.
+        seq: u64,
+    },
+}
+
+/// FNV-1a 64-bit hash — frame checksums and shard selection.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// ---- primitive encoders -------------------------------------------------
+
+/// Appends a LEB128 unsigned varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a zigzag-mapped signed varint.
+pub fn put_svarint(out: &mut Vec<u8>, v: i128) {
+    put_uvarint(out, ((v << 1) ^ (v >> 127)) as u128);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u128);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over a frame payload.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a payload.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// True when all bytes have been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn byte(&mut self) -> Result<u8, WireError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| WireError::Corrupt("truncated payload".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 unsigned varint.
+    pub fn uvarint(&mut self) -> Result<u128, WireError> {
+        let mut v: u128 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 128 {
+                return Err(WireError::Corrupt("varint overflows u128".into()));
+            }
+            v |= ((b & 0x7f) as u128) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a varint that must fit in a u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        u64::try_from(self.uvarint()?).map_err(|_| WireError::Corrupt("varint overflows u64".into()))
+    }
+
+    /// Reads a varint that must fit in a usize.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.uvarint()?).map_err(|_| WireError::Corrupt("varint overflows usize".into()))
+    }
+
+    /// Reads a zigzag-mapped signed varint.
+    pub fn svarint(&mut self) -> Result<i128, WireError> {
+        let u = self.uvarint()?;
+        Ok(((u >> 1) as i128) ^ -((u & 1) as i128))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.usize()?;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| WireError::Corrupt("truncated string".into()))?;
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| WireError::Corrupt("string is not utf-8".into()))?
+            .to_string();
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+// ---- profile set encoding ----------------------------------------------
+
+/// Appends a full `ProfileSet`: layer, resolution, then per operation the
+/// sparse non-zero buckets plus the exact totals. `total_ops` is derived
+/// from the bucket sum on decode (the checksum invariant).
+pub fn put_profile_set(out: &mut Vec<u8>, set: &ProfileSet) {
+    put_string(out, set.layer());
+    out.push(set.resolution().get());
+    put_uvarint(out, set.len() as u128);
+    for (op, p) in set.iter() {
+        put_string(out, op);
+        let nonzero: Vec<(usize, u64)> =
+            p.buckets().iter().enumerate().filter(|(_, &n)| n > 0).map(|(b, &n)| (b, n)).collect();
+        put_uvarint(out, nonzero.len() as u128);
+        for (b, n) in nonzero {
+            put_uvarint(out, b as u128);
+            put_uvarint(out, n as u128);
+        }
+        put_uvarint(out, p.total_latency());
+        // Raw sentinels: u64::MAX / 0 when empty, matching Profile's
+        // internal representation so the round trip is exact.
+        put_uvarint(out, p.min_latency().unwrap_or(u64::MAX) as u128);
+        put_uvarint(out, p.max_latency().unwrap_or(0) as u128);
+    }
+}
+
+/// Reads a `ProfileSet` written by [`put_profile_set`].
+pub fn get_profile_set(c: &mut Cursor<'_>) -> Result<ProfileSet, WireError> {
+    let layer = c.string()?;
+    let r_raw = c.byte()?;
+    let r = Resolution::new(r_raw)
+        .ok_or_else(|| WireError::Corrupt(format!("unsupported resolution {r_raw}")))?;
+    let nops = c.usize()?;
+    let mut set = ProfileSet::with_resolution(layer, r);
+    for _ in 0..nops {
+        let name = c.string()?;
+        let nonzero = c.usize()?;
+        let mut buckets = vec![0u64; r.bucket_count()];
+        for _ in 0..nonzero {
+            let b = c.usize()?;
+            let n = c.u64()?;
+            *buckets
+                .get_mut(b)
+                .ok_or_else(|| WireError::Corrupt(format!("bucket {b} out of range for r={r_raw}")))? = n;
+        }
+        let total_latency = c.uvarint()?;
+        let min = c.u64()?;
+        let max = c.u64()?;
+        set.insert(Profile::from_parts(name, r, buckets, total_latency, min, max)?);
+    }
+    Ok(set)
+}
+
+// ---- frame envelope -----------------------------------------------------
+
+/// Serializes one frame (envelope + payload + checksum).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let ty = match frame {
+        Frame::Hello { node, layer, resolution, interval } => {
+            put_string(&mut payload, node);
+            put_string(&mut payload, layer);
+            payload.push(resolution.get());
+            put_uvarint(&mut payload, *interval as u128);
+            T_HELLO
+        }
+        Frame::Full { seq, at, set } => {
+            put_uvarint(&mut payload, *seq as u128);
+            put_uvarint(&mut payload, *at as u128);
+            put_profile_set(&mut payload, set);
+            T_FULL
+        }
+        Frame::Delta { seq, at, delta } => {
+            put_uvarint(&mut payload, *seq as u128);
+            put_uvarint(&mut payload, *at as u128);
+            crate::delta::put_set_delta(&mut payload, delta);
+            T_DELTA
+        }
+        Frame::Bye { seq } => {
+            put_uvarint(&mut payload, *seq as u128);
+            T_BYE
+        }
+    };
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.push(ty);
+    put_uvarint(&mut out, payload.len() as u128);
+    let sum = fnv64(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Parses one frame from a payload-complete byte slice, returning the
+/// frame and the number of bytes consumed.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), WireError> {
+    let mut c = Cursor::new(bytes);
+    let ty = c.byte()?;
+    let len = c.usize()?;
+    let start = c.pos;
+    let end = start
+        .checked_add(len)
+        .filter(|&e| e + 8 <= bytes.len())
+        .ok_or_else(|| WireError::Corrupt("truncated frame".into()))?;
+    let payload = &bytes[start..end];
+    let declared = u64::from_le_bytes(bytes[end..end + 8].try_into().expect("8 bytes checked"));
+    if fnv64(payload) != declared {
+        return Err(WireError::Corrupt("frame checksum mismatch".into()));
+    }
+    let frame = decode_payload(ty, payload)?;
+    Ok((frame, end + 8))
+}
+
+fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor::new(payload);
+    let frame = match ty {
+        T_HELLO => {
+            let node = c.string()?;
+            let layer = c.string()?;
+            let r_raw = c.byte()?;
+            let resolution = Resolution::new(r_raw)
+                .ok_or_else(|| WireError::Corrupt(format!("unsupported resolution {r_raw}")))?;
+            let interval = c.u64()?;
+            Frame::Hello { node, layer, resolution, interval }
+        }
+        T_FULL => {
+            let seq = c.u64()?;
+            let at = c.u64()?;
+            let set = get_profile_set(&mut c)?;
+            Frame::Full { seq, at, set }
+        }
+        T_DELTA => {
+            let seq = c.u64()?;
+            let at = c.u64()?;
+            let delta = crate::delta::get_set_delta(&mut c)?;
+            Frame::Delta { seq, at, delta }
+        }
+        T_BYE => Frame::Bye { seq: c.u64()? },
+        other => return Err(WireError::Corrupt(format!("unknown frame type {other}"))),
+    };
+    if !c.is_done() {
+        return Err(WireError::Corrupt("trailing bytes in frame payload".into()));
+    }
+    Ok(frame)
+}
+
+/// Writes the stream header (magic + version).
+pub fn write_header(w: &mut impl Write) -> Result<(), WireError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&[VERSION])?;
+    Ok(())
+}
+
+/// Reads and validates the stream header.
+pub fn read_header(r: &mut impl Read) -> Result<(), WireError> {
+    let mut buf = [0u8; 5];
+    r.read_exact(&mut buf).map_err(|_| WireError::Corrupt("missing stream header".into()))?;
+    if buf[..4] != MAGIC {
+        return Err(WireError::Corrupt("bad magic (expected OSPW)".into()));
+    }
+    if buf[4] != VERSION {
+        return Err(WireError::Corrupt(format!("unsupported wire version {}", buf[4])));
+    }
+    Ok(())
+}
+
+/// Writes one frame to a byte sink.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&encode_frame(frame))?;
+    Ok(())
+}
+
+/// Reads one frame from a byte source; `Ok(None)` on clean EOF at a
+/// frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    // Frame head: type byte (EOF allowed here) + payload-length varint.
+    let mut ty = [0u8; 1];
+    match r.read(&mut ty)? {
+        0 => return Ok(None),
+        _ => {}
+    }
+    let mut head = vec![ty[0]];
+    let len = read_uvarint_from(r, &mut head)?;
+    let len = usize::try_from(len).map_err(|_| WireError::Corrupt("frame too large".into()))?;
+    let mut rest = vec![0u8; len + 8];
+    r.read_exact(&mut rest).map_err(|_| WireError::Corrupt("truncated frame".into()))?;
+    head.extend_from_slice(&rest);
+    let (frame, used) = decode_frame(&head)?;
+    debug_assert_eq!(used, head.len());
+    Ok(Some(frame))
+}
+
+fn read_uvarint_from(r: &mut impl Read, echo: &mut Vec<u8>) -> Result<u128, WireError> {
+    let mut v: u128 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b).map_err(|_| WireError::Corrupt("truncated varint".into()))?;
+        echo.push(b[0]);
+        if shift >= 128 {
+            return Err(WireError::Corrupt("varint overflows u128".into()));
+        }
+        v |= ((b[0] & 0x7f) as u128) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+// ---- multiplexed stream files -------------------------------------------
+
+/// Writes a multi-node stream file: header, then `channel uvarint +
+/// frame` records. Channels are assigned in `Hello` order, so a file
+/// replays into the same per-node frame sequences it was recorded from
+/// (`osprofctl record` / `osprofctl stream`).
+pub struct StreamFileWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> StreamFileWriter<W> {
+    /// Creates a writer and emits the stream header.
+    pub fn new(mut w: W) -> Result<Self, WireError> {
+        write_header(&mut w)?;
+        Ok(StreamFileWriter { w })
+    }
+
+    /// Appends one frame on the given channel.
+    pub fn write(&mut self, channel: u64, frame: &Frame) -> Result<(), WireError> {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, channel as u128);
+        self.w.write_all(&buf)?;
+        write_frame(&mut self.w, frame)?;
+        Ok(())
+    }
+
+    /// Finishes the file, returning the inner writer.
+    pub fn finish(mut self) -> Result<W, WireError> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Reads a multi-node stream file record by record.
+pub struct StreamFileReader<R: Read> {
+    r: R,
+}
+
+impl<R: Read> StreamFileReader<R> {
+    /// Creates a reader and validates the stream header.
+    pub fn new(mut r: R) -> Result<Self, WireError> {
+        read_header(&mut r)?;
+        Ok(StreamFileReader { r })
+    }
+
+    /// Reads the next `(channel, frame)` record; `Ok(None)` on clean EOF.
+    pub fn next_record(&mut self) -> Result<Option<(u64, Frame)>, WireError> {
+        let mut first = [0u8; 1];
+        if self.r.read(&mut first)? == 0 {
+            return Ok(None);
+        }
+        let mut echo = vec![first[0]];
+        let channel = if first[0] & 0x80 == 0 {
+            (first[0] & 0x7f) as u128
+        } else {
+            let mut v = (first[0] & 0x7f) as u128;
+            let mut shift = 7u32;
+            loop {
+                let mut b = [0u8; 1];
+                self.r.read_exact(&mut b).map_err(|_| WireError::Corrupt("truncated channel".into()))?;
+                echo.push(b[0]);
+                v |= ((b[0] & 0x7f) as u128) << shift;
+                if b[0] & 0x80 == 0 {
+                    break v;
+                }
+                shift += 7;
+            }
+        };
+        let channel = u64::try_from(channel).map_err(|_| WireError::Corrupt("channel overflows u64".into()))?;
+        let frame = read_frame(&mut self.r)?
+            .ok_or_else(|| WireError::Corrupt("channel record without frame".into()))?;
+        Ok(Some((channel, frame)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> ProfileSet {
+        let mut set = ProfileSet::new("file-system");
+        for l in [900u64, 1_100, 65_000, u64::MAX] {
+            set.record("read", l);
+        }
+        set.record("readdir", 80);
+        set
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        let mut buf = Vec::new();
+        let values: Vec<u128> = vec![0, 1, 127, 128, 300, u64::MAX as u128, u128::MAX];
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for &v in &values {
+            assert_eq!(c.uvarint().unwrap(), v);
+        }
+        assert!(c.is_done());
+
+        let mut buf = Vec::new();
+        let signed: Vec<i128> = vec![0, -1, 1, -64, 64, i64::MIN as i128, i128::MAX, i128::MIN];
+        for &v in &signed {
+            put_svarint(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for &v in &signed {
+            assert_eq!(c.svarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn full_frame_round_trips_exactly() {
+        let set = sample_set();
+        let frame = Frame::Full { seq: 7, at: 123_456, set: set.clone() };
+        let bytes = encode_frame(&frame);
+        let (decoded, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        match decoded {
+            Frame::Full { seq: 7, at: 123_456, set: got } => {
+                assert_eq!(got, set, "wire round trip must be exact, including totals and extremes");
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_and_bye_round_trip() {
+        for frame in [
+            Frame::Hello {
+                node: "node-3".into(),
+                layer: "file-system".into(),
+                resolution: Resolution::R1,
+                interval: 42_000_000,
+            },
+            Frame::Bye { seq: 99 },
+        ] {
+            let bytes = encode_frame(&frame);
+            let (decoded, _) = decode_frame(&bytes).unwrap();
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_detected() {
+        let bytes = encode_frame(&Frame::Full { seq: 1, at: 2, set: sample_set() });
+        // Flip one payload byte (past the 2-byte envelope head).
+        let mut bad = bytes.clone();
+        let mid = bytes.len() / 2;
+        bad[mid] ^= 0x40;
+        match decode_frame(&bad) {
+            Err(WireError::Corrupt(_)) | Err(WireError::Core(_)) => {}
+            other => panic!("corruption must not decode cleanly: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let bytes = encode_frame(&Frame::Bye { seq: 3 });
+        assert!(matches!(decode_frame(&bytes[..bytes.len() - 1]), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn streamed_io_round_trips() {
+        let frames = vec![
+            Frame::Hello {
+                node: "n0".into(),
+                layer: "fs".into(),
+                resolution: Resolution::R1,
+                interval: 1000,
+            },
+            Frame::Full { seq: 0, at: 1000, set: sample_set() },
+            Frame::Bye { seq: 1 },
+        ];
+        let mut buf = Vec::new();
+        write_header(&mut buf).unwrap();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        read_header(&mut r).unwrap();
+        let mut got = Vec::new();
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn stream_file_multiplexes_channels() {
+        let mut w = StreamFileWriter::new(Vec::new()).unwrap();
+        let f0 = Frame::Bye { seq: 0 };
+        let f1 = Frame::Bye { seq: 1 };
+        w.write(0, &f0).unwrap();
+        w.write(1, &f1).unwrap();
+        w.write(0, &f0).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = StreamFileReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.next_record().unwrap(), Some((0, f0.clone())));
+        assert_eq!(r.next_record().unwrap(), Some((1, f1)));
+        assert_eq!(r.next_record().unwrap(), Some((0, f0)));
+        assert_eq!(r.next_record().unwrap(), None);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let mut r = &b"NOPE\x01"[..];
+        assert!(matches!(read_header(&mut r), Err(WireError::Corrupt(_))));
+        let mut r = &[MAGIC[0], MAGIC[1], MAGIC[2], MAGIC[3], 9][..];
+        assert!(matches!(read_header(&mut r), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        let set = ProfileSet::new("empty-layer");
+        let bytes = encode_frame(&Frame::Full { seq: 0, at: 0, set: set.clone() });
+        match decode_frame(&bytes).unwrap().0 {
+            Frame::Full { set: got, .. } => assert_eq!(got, set),
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the streaming collector.
+//!
+//! Two invariants carry the whole pipeline:
+//!
+//! 1. **Delta round-trip**: for *arbitrary* snapshot sequences (not just
+//!    monotone ones), chaining delta frames reconstructs every snapshot
+//!    exactly — including through the wire encoding.
+//! 2. **Conservation**: however a store is hammered with offers and
+//!    drains, every offered snapshot is exactly one of dropped, queued
+//!    or aggregated.
+
+use osprof_collector::agent::{Decoder, Encoder};
+use osprof_collector::delta::{self, SetDelta};
+use osprof_collector::store::{ShardedStore, Snapshot, StoreConfig};
+use osprof_collector::wire::{self, Cursor, Frame};
+use osprof_core::profile::ProfileSet;
+use osprof_core::proptest::prelude::*;
+
+/// An arbitrary profile set: up to 4 operations, sparse buckets.
+fn arb_set() -> impl Strategy<Value = ProfileSet> {
+    prop::collection::vec(
+        (0usize..4, 0usize..40, 1u64..10_000),
+        0..12,
+    )
+    .prop_map(|records| {
+        let mut s = ProfileSet::new("fs");
+        for (op, b, n) in records {
+            let name = ["read", "write", "fsync", "readdir"][op];
+            s.entry(name).record_n((1u64 << b) + (1u64 << b) / 2, n);
+        }
+        s
+    })
+}
+
+/// A sequence of arbitrary (unrelated!) snapshots.
+fn arb_sets() -> impl Strategy<Value = Vec<ProfileSet>> {
+    prop::collection::vec(arb_set(), 1..8)
+}
+
+proptest! {
+    /// diff/apply round-trips arbitrary snapshot pairs exactly.
+    #[test]
+    fn delta_round_trips_arbitrary_pairs(a in arb_set(), b in arb_set()) {
+        let d = delta::diff(&a, &b);
+        prop_assert_eq!(delta::apply(&a, &d).unwrap(), b);
+        let back = delta::diff(&b, &a);
+        prop_assert_eq!(delta::apply(&b, &back).unwrap(), a);
+    }
+
+    /// The delta survives its wire encoding byte-exactly.
+    #[test]
+    fn delta_wire_codec_round_trips(a in arb_set(), b in arb_set()) {
+        let d = delta::diff(&a, &b);
+        let mut buf = Vec::new();
+        delta::put_set_delta(&mut buf, &d);
+        let mut c = Cursor::new(&buf);
+        let back = delta::get_set_delta(&mut c).unwrap();
+        prop_assert!(c.is_done(), "trailing bytes after delta");
+        prop_assert_eq!(back, d);
+    }
+
+    /// Identical snapshots always produce the empty delta.
+    #[test]
+    fn identical_snapshots_empty_delta(a in arb_set()) {
+        prop_assert!(delta::diff(&a, &a).is_empty());
+        prop_assert_eq!(delta::apply(&a, &SetDelta::default()).unwrap(), a);
+    }
+
+    /// Encoder → frame bytes → Decoder reconstructs every snapshot of an
+    /// arbitrary sequence exactly, whatever the full-refresh period.
+    #[test]
+    fn frame_stream_round_trips_sequences(sets in arb_sets(), full_every in 0u64..4) {
+        let mut enc = Encoder::new(full_every);
+        let mut dec = Decoder::new();
+        let mut bytes = Vec::new();
+        wire::write_header(&mut bytes).unwrap();
+        for (i, set) in sets.iter().enumerate() {
+            wire::write_frame(&mut bytes, &enc.encode(i as u64, i as u64 * 100, set)).unwrap();
+        }
+        let mut r = &bytes[..];
+        wire::read_header(&mut r).unwrap();
+        let mut decoded = Vec::new();
+        while let Some(frame) = wire::read_frame(&mut r).unwrap() {
+            if let Some((_, _, set)) = dec.apply(&frame).unwrap() {
+                decoded.push(set);
+            }
+        }
+        prop_assert_eq!(decoded, sets.clone());
+    }
+
+    /// Conservation: offered == dropped + queued + aggregated, no matter
+    /// how offers and drains interleave, and queues never exceed the cap.
+    #[test]
+    fn store_conserves_snapshots(
+        ops in prop::collection::vec((0u8..4, 0u8..3), 1..60),
+        cap in 1usize..5,
+    ) {
+        let mut store = ShardedStore::new(StoreConfig {
+            queue_cap: cap,
+            ..StoreConfig::default()
+        });
+        let mut seqs = [0u64; 4];
+        for (node, action) in ops {
+            let name = format!("n{node}");
+            match action {
+                2 => { store.drain(); }
+                _ => {
+                    let seq = seqs[node as usize];
+                    seqs[node as usize] += 1;
+                    let mut set = ProfileSet::new("fs");
+                    set.entry("read").record_n(1 << 10, seq + 1);
+                    store.offer(&name, Snapshot { seq, at: (seq + 1) * 100, set });
+                }
+            }
+            let stats = store.stats();
+            prop_assert!(stats.check_conservation().is_ok(), "{:?}", stats);
+            prop_assert!(stats.nodes.iter().all(|n| n.queued <= cap as u64),
+                "queue exceeded cap {cap}: {:?}", stats);
+        }
+    }
+
+    /// A full frame round-trips any snapshot through the wire exactly.
+    #[test]
+    fn full_frame_round_trips(set in arb_set(), seq in 0u64..1000) {
+        let frame = Frame::Full { seq, at: seq * 7, set };
+        let bytes = wire::encode_frame(&frame);
+        let (back, used) = wire::decode_frame(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len(), "frame must be self-delimiting");
+        prop_assert_eq!(back, frame);
+    }
+}

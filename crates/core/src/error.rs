@@ -31,6 +31,16 @@ pub enum CoreError {
         /// Description of the problem.
         message: String,
     },
+    /// Two sampled profiles with incompatible sampling parameters
+    /// (interval or origin) were combined.
+    SamplingMismatch {
+        /// Which parameter differed (`"interval"` or `"origin"`).
+        field: &'static str,
+        /// Left value.
+        left: u64,
+        /// Right value.
+        right: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +53,9 @@ impl fmt::Display for CoreError {
                 write!(f, "profile resolution mismatch: r={left} vs r={right}")
             }
             CoreError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            CoreError::SamplingMismatch { field, left, right } => {
+                write!(f, "sampled profile {field} mismatch: {left} vs {right}")
+            }
         }
     }
 }

@@ -53,6 +53,60 @@ impl Profile {
         }
     }
 
+    /// Reconstructs a profile from raw parts, as a wire decoder must.
+    ///
+    /// `total_ops` is derived from the bucket sum (the checksum invariant
+    /// holds by construction). `min_latency`/`max_latency` use the
+    /// internal empty-profile sentinels (`u64::MAX`/`0`) and are
+    /// normalized when the buckets are all zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Parse`] (line 0) when `buckets` does not have
+    /// exactly `resolution.bucket_count()` entries, or when a non-empty
+    /// profile's `min_latency` exceeds its `max_latency`.
+    pub fn from_parts(
+        name: impl Into<String>,
+        resolution: Resolution,
+        buckets: Vec<u64>,
+        total_latency: u128,
+        min_latency: Cycles,
+        max_latency: Cycles,
+    ) -> Result<Self, CoreError> {
+        if buckets.len() != resolution.bucket_count() {
+            return Err(CoreError::Parse {
+                line: 0,
+                message: format!(
+                    "profile has {} buckets, expected {} for r={}",
+                    buckets.len(),
+                    resolution.bucket_count(),
+                    resolution.get()
+                ),
+            });
+        }
+        let total_ops: u64 = buckets.iter().sum();
+        let (min_latency, max_latency) = if total_ops == 0 {
+            (u64::MAX, 0)
+        } else {
+            if min_latency > max_latency {
+                return Err(CoreError::Parse {
+                    line: 0,
+                    message: format!("min latency {min_latency} exceeds max latency {max_latency}"),
+                });
+            }
+            (min_latency, max_latency)
+        };
+        Ok(Profile {
+            name: name.into(),
+            resolution,
+            buckets,
+            total_ops,
+            total_latency: if total_ops == 0 { 0 } else { total_latency },
+            min_latency,
+            max_latency,
+        })
+    }
+
     /// Operation name.
     pub fn name(&self) -> &str {
         &self.name
@@ -371,6 +425,37 @@ impl_json_struct!(ProfileSet { layer, profiles, resolution });
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let mut p = Profile::new("read");
+        for l in [1u64, 900, 66_000, u64::MAX] {
+            p.record(l);
+        }
+        let q = Profile::from_parts(
+            p.name(),
+            p.resolution(),
+            p.buckets().to_vec(),
+            p.total_latency(),
+            p.min_latency().unwrap(),
+            p.max_latency().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(q, p);
+
+        // Empty profiles normalize the min/max sentinels.
+        let empty = Profile::new("noop");
+        let q = Profile::from_parts("noop", Resolution::R1, vec![0; Resolution::R1.bucket_count()], 0, 0, 0).unwrap();
+        assert_eq!(q, empty);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_shapes() {
+        assert!(Profile::from_parts("x", Resolution::R1, vec![0; 3], 0, 0, 0).is_err());
+        let mut buckets = vec![0; Resolution::R1.bucket_count()];
+        buckets[5] = 1;
+        assert!(Profile::from_parts("x", Resolution::R1, buckets, 40, 40, 30).is_err());
+    }
 
     #[test]
     fn record_places_latencies_in_buckets() {

@@ -9,6 +9,7 @@
 
 use crate::bucket::Resolution;
 use crate::clock::Cycles;
+use crate::error::CoreError;
 use crate::impl_json_struct;
 use crate::profile::ProfileSet;
 
@@ -73,6 +74,87 @@ impl SampledProfile {
     /// The collected segments in time order.
     pub fn segments(&self) -> &[ProfileSet] {
         &self.segments
+    }
+
+    /// Resolution used by the segments.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Time origin (cycle count of segment 0's start).
+    pub fn origin(&self) -> Cycles {
+        self.origin
+    }
+
+    /// Number of collected segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when no segments have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Iterates over `(segment start time, segment set)` pairs in time
+    /// order — the view a streaming agent tails interval by interval.
+    pub fn iter_segments(&self) -> impl Iterator<Item = (Cycles, &ProfileSet)> + '_ {
+        self.segments.iter().enumerate().map(|(i, s)| (self.segment_start(i), s))
+    }
+
+    /// Collapses segments `0..=upto` into one flat profile set: the
+    /// cumulative snapshot a profiler exposes at the end of segment
+    /// `upto`. `upto` past the last segment is clamped (equivalent to
+    /// [`flatten`](Self::flatten)).
+    pub fn flatten_prefix(&self, upto: usize) -> ProfileSet {
+        let mut out = ProfileSet::with_resolution(self.layer.clone(), self.resolution);
+        for seg in self.segments.iter().take(upto.saturating_add(1)) {
+            out.merge(seg).expect("segments share one resolution by construction");
+        }
+        out
+    }
+
+    /// Merges another sampled profile segment-by-segment (e.g. per-CPU
+    /// sampled stores, or the same node profiled across layers).
+    ///
+    /// Both profiles must share the same interval, origin and resolution
+    /// so that segment `i` covers the same time window on both sides;
+    /// the shorter side is treated as having empty trailing segments.
+    /// Pre-origin clamping semantics are unaffected: both sides clamp
+    /// into segment 0 before the merge, so the merged segment 0 carries
+    /// the union of the clamped records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SamplingMismatch`] on interval/origin
+    /// mismatch and [`CoreError::ResolutionMismatch`] on resolution
+    /// mismatch.
+    pub fn merge(&mut self, other: &SampledProfile) -> Result<(), CoreError> {
+        if self.interval != other.interval {
+            return Err(CoreError::SamplingMismatch {
+                field: "interval",
+                left: self.interval,
+                right: other.interval,
+            });
+        }
+        if self.origin != other.origin {
+            return Err(CoreError::SamplingMismatch { field: "origin", left: self.origin, right: other.origin });
+        }
+        if self.resolution != other.resolution {
+            return Err(CoreError::ResolutionMismatch {
+                left: self.resolution.get(),
+                right: other.resolution.get(),
+            });
+        }
+        while self.segments.len() < other.segments.len() {
+            let n = self.segments.len();
+            self.segments
+                .push(ProfileSet::with_resolution(format!("{}[{}]", self.layer, n), self.resolution));
+        }
+        for (dst, src) in self.segments.iter_mut().zip(other.segments.iter()) {
+            dst.merge(src)?;
+        }
+        Ok(())
     }
 
     /// Start time (cycles) of segment `i`.
@@ -161,6 +243,50 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_rejected() {
         let _ = SampledProfile::new("fs", 0, 0);
+    }
+
+    #[test]
+    fn flatten_prefix_is_cumulative() {
+        let mut s = SampledProfile::new("fs", 100, 0);
+        s.record("read", 8, 50); // segment 0
+        s.record("read", 8, 150); // segment 1
+        s.record("read", 8, 250); // segment 2
+        assert_eq!(s.flatten_prefix(0).total_ops(), 1);
+        assert_eq!(s.flatten_prefix(1).total_ops(), 2);
+        assert_eq!(s.flatten_prefix(2).total_ops(), 3);
+        // Clamped past the end == full flatten.
+        assert_eq!(s.flatten_prefix(99), s.flatten());
+    }
+
+    #[test]
+    fn iter_segments_pairs_starts_with_sets() {
+        let mut s = SampledProfile::new("fs", 100, 1_000);
+        s.record("read", 8, 1_050);
+        s.record("read", 8, 1_250);
+        let v: Vec<(u64, u64)> = s.iter_segments().map(|(t, set)| (t, set.total_ops())).collect();
+        assert_eq!(v, [(1_000, 1), (1_100, 0), (1_200, 1)]);
+    }
+
+    #[test]
+    fn merge_aligns_segments_and_preserves_clamp() {
+        let mut a = SampledProfile::new("fs", 100, 1_000);
+        a.record("read", 8, 500); // clamps into segment 0
+        let mut b = SampledProfile::new("fs", 100, 1_000);
+        b.record("read", 8, 1_010); // segment 0
+        b.record("read", 8, 1_250); // segment 2
+        a.merge(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.segments()[0].total_ops(), 2, "clamped + in-window records share segment 0");
+        assert_eq!(a.flatten().total_ops(), 3);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_sampling() {
+        let mut a = SampledProfile::new("fs", 100, 0);
+        let b = SampledProfile::new("fs", 200, 0);
+        assert!(matches!(a.merge(&b), Err(CoreError::SamplingMismatch { field: "interval", .. })));
+        let c = SampledProfile::new("fs", 100, 50);
+        assert!(matches!(a.merge(&c), Err(CoreError::SamplingMismatch { field: "origin", .. })));
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! osprofctl diff    <a> <b>           automated selection between sets
 //! osprofctl gnuplot <file> <outdir>   one .gp script per operation
 //! osprofctl cluster <file>...         aggregate nodes, rank divergence
+//! osprofctl record  <out>             capture the simulated cluster run to a stream file
+//! osprofctl stream  <file>            replay a recorded stream, print flagged anomalies
 //! ```
 //!
 //! Files are the text or JSON formats produced by
@@ -40,10 +42,23 @@ fn run() -> Result<(), tool::ToolError> {
                 args[1..].iter().map(|p| (p.clone(), read(p))).collect();
             print!("{}", tool::cluster_report(&nodes)?);
         }
+        Some("record") if args.len() == 2 => {
+            let cfg = osprof::collector::scenario::ScenarioConfig::default();
+            let bytes = tool::record_stream(&cfg)?;
+            std::fs::write(&args[1], &bytes)?;
+            println!("wrote {} ({} bytes, {} nodes)", args[1], bytes.len(), cfg.nodes);
+        }
+        Some("stream") if args.len() == 2 => {
+            let bytes = std::fs::read(&args[1]).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", args[1]);
+                std::process::exit(1);
+            });
+            print!("{}", tool::stream(&bytes)?);
+        }
         _ => {
             eprintln!(
                 "usage: osprofctl render <file> | peaks <file> | diff <a> <b> | \
-                 gnuplot <file> <outdir> | cluster <file>..."
+                 gnuplot <file> <outdir> | cluster <file>... | record <out> | stream <file>"
             );
             std::process::exit(2);
         }

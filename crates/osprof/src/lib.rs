@@ -16,6 +16,7 @@
 //! | [`simnet`] | `osprof-simnet` | CIFS/SMB over TCP with delayed ACKs |
 //! | [`workloads`] | `osprof-workloads` | grep, random-read, Postmark, zero-read, clone storm |
 //! | [`host`] | `osprof-host` | real rdtsc profiling of this machine |
+//! | [`collector`] | `osprof-collector` | streaming collection: wire format, agent, `osprofd`, online detection |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 pub mod tool;
 
 pub use osprof_analysis as analysis;
+pub use osprof_collector as collector;
 pub use osprof_core as core;
 pub use osprof_host as host;
 pub use osprof_simdisk as simdisk;

@@ -12,10 +12,15 @@
 //!   complete sets;
 //! - `gnuplot <file> <outdir>` — emit one gnuplot script per operation;
 //! - `cluster <file...>` — aggregate many node profiles and rank
-//!   divergence.
+//!   divergence;
+//! - `record <out>` — capture the simulated streaming cluster run to an
+//!   `OSPW` stream file;
+//! - `stream <file>` — replay a recorded stream file through the online
+//!   collector and print the flagged anomalies.
 //!
-//! All functions take/return strings so they are directly testable; the
-//! binary is a thin argument parser around them.
+//! All functions take/return strings (or bytes, for the binary stream
+//! format) so they are directly testable; the binary is a thin argument
+//! parser around them.
 
 use osprof_analysis::cluster;
 use osprof_analysis::compare::Metric;
@@ -153,6 +158,51 @@ pub fn cluster_report(nodes: &[(String, String)]) -> Result<String, ToolError> {
     Ok(out)
 }
 
+/// `record`: runs the simulated streaming cluster scenario and encodes
+/// every node's frames into one multiplexed `OSPW` stream file
+/// (round-robin interleaved, as a live capture would be). Deterministic
+/// under `OSPROF_TEST_SEED`.
+pub fn record_stream(cfg: &osprof_collector::scenario::ScenarioConfig) -> Result<Vec<u8>, ToolError> {
+    use osprof_collector::wire::StreamFileWriter;
+    let streams = osprof_collector::scenario::cluster_streams(cfg);
+    let mut w = StreamFileWriter::new(Vec::new()).map_err(wire_err)?;
+    let max_len = streams.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for round in 0..max_len {
+        for (conn, (_, frames)) in streams.iter().enumerate() {
+            if let Some(f) = frames.get(round) {
+                w.write(conn as u64, f).map_err(wire_err)?;
+            }
+        }
+    }
+    w.finish().map_err(wire_err)
+}
+
+/// `stream`: replays a recorded `OSPW` stream file through the online
+/// collector, ticking detection once per full round of channels, and
+/// returns the deterministic report.
+pub fn stream(bytes: &[u8]) -> Result<String, ToolError> {
+    use osprof_collector::daemon::{Collector, CollectorConfig};
+    use osprof_collector::wire::StreamFileReader;
+    let mut r = StreamFileReader::new(bytes).map_err(wire_err)?;
+    let mut col = Collector::new(CollectorConfig::default());
+    let mut seen = std::collections::BTreeSet::new();
+    while let Some((channel, frame)) = r.next_record().map_err(wire_err)? {
+        // A channel repeating means a new interleave round began.
+        if !seen.insert(channel) {
+            col.tick();
+            seen.clear();
+            seen.insert(channel);
+        }
+        col.ingest(channel, &frame).map_err(wire_err)?;
+    }
+    col.tick();
+    Ok(col.report())
+}
+
+fn wire_err(e: osprof_collector::wire::WireError) -> ToolError {
+    ToolError::Usage(format!("stream: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +275,26 @@ mod tests {
         let a_pos = out.find("node-a").unwrap();
         let c_pos = out.find("node-c").unwrap();
         assert!(c_pos < a_pos, "sick node first:\n{out}");
+    }
+
+    #[test]
+    fn record_then_stream_round_trips_deterministically() {
+        let cfg = osprof_collector::scenario::ScenarioConfig {
+            nodes: 4,
+            degraded: Some(3),
+            dirs: 10,
+            ..Default::default()
+        };
+        let bytes = record_stream(&cfg).unwrap();
+        let report = stream(&bytes).unwrap();
+        assert!(report.contains("collector report: 4 node(s)"), "{report}");
+        assert!(report.contains("node-3"), "{report}");
+        assert_eq!(report, stream(&bytes).unwrap(), "replay must be deterministic");
+    }
+
+    #[test]
+    fn stream_rejects_garbage() {
+        assert!(matches!(stream(b"not a stream"), Err(ToolError::Usage(_))));
     }
 
     #[test]

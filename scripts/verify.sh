@@ -23,4 +23,10 @@ cargo test -q --offline
 echo "==> bench smoke run (OSPROF_BENCH_QUICK=1)"
 OSPROF_BENCH_QUICK=1 cargo bench -q --offline >/dev/null
 
+echo "==> collector smoke (osprofd, TCP loopback)"
+# Spawn the daemon self-test: it binds a loopback port, streams one
+# simulated degrading node over real TCP, and exits 0 only if the
+# degradation is flagged online and every snapshot is accounted for.
+timeout 120 target/release/osprofd smoke
+
 echo "verify: OK"

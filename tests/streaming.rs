@@ -1,0 +1,105 @@
+//! End-to-end tests for the streaming collection pipeline (ISSUE PR 2
+//! acceptance criteria).
+//!
+//! - The eight-node degraded-disk scenario, replayed as live streams,
+//!   flags the bad node **online** within a bounded number of intervals
+//!   — and never flags a healthy node.
+//! - Two runs under the same `OSPROF_TEST_SEED` produce byte-identical
+//!   reports.
+//! - A flooding node hits backpressure: its drop counter grows, its
+//!   queue never exceeds the bound, and the conservation invariant
+//!   holds — bounded memory by construction.
+
+use osprof::collector::daemon::{Collector, CollectorConfig};
+use osprof::collector::scenario::{cluster_streams, replay_round_robin, ScenarioConfig};
+use osprof::collector::store::{ShardedStore, Snapshot, StoreConfig};
+use osprof_core::profile::ProfileSet;
+
+#[test]
+fn degraded_node_is_flagged_online_within_bounded_intervals() {
+    let cfg = ScenarioConfig::default();
+    let streams = cluster_streams(&cfg);
+    let healthy_rounds = streams
+        .iter()
+        .filter(|(n, _)| n != "node-7")
+        .map(|(_, s)| s.len())
+        .max()
+        .unwrap();
+
+    let mut col = Collector::new(CollectorConfig::default());
+    let fired = replay_round_robin(&mut col, &streams);
+
+    // Flagged while the healthy nodes were still streaming — "online",
+    // not post-mortem — and within warmup(2) + a few intervals of the
+    // start of the stream.
+    let fired = fired.expect("the degraded node must be flagged");
+    assert!(
+        fired < healthy_rounds,
+        "flagged at round {fired}, after the healthy streams ended ({healthy_rounds})"
+    );
+    assert!(fired <= 8, "flagged at round {fired}; bound is warmup(2) + a few intervals");
+
+    // Exactly the sick node, nobody else.
+    assert!(!col.anomalies().is_empty());
+    for a in col.anomalies() {
+        assert_eq!(a.node, "node-7", "false positive: {}", a.describe());
+    }
+
+    // Every snapshot accounted for.
+    col.store().stats().check_conservation().unwrap();
+}
+
+#[test]
+fn replay_is_byte_deterministic_under_the_same_seed() {
+    let run = || {
+        let cfg = ScenarioConfig { dirs: 20, ..Default::default() };
+        let streams = cluster_streams(&cfg);
+        let mut col = Collector::new(CollectorConfig::default());
+        replay_round_robin(&mut col, &streams);
+        col.report()
+    };
+    let a = run();
+    assert!(a.contains("collector report: 8 node(s)"), "{a}");
+    assert_eq!(a, run(), "same OSPROF_TEST_SEED must give byte-identical reports");
+}
+
+#[test]
+fn flooding_node_is_bounded_by_backpressure() {
+    let cap = 8usize;
+    let mut store = ShardedStore::new(StoreConfig { queue_cap: cap, ..Default::default() });
+
+    // A well-behaved node and a flooder. The collector drains once per
+    // round; the flooder offers 50 snapshots per round.
+    let mut flood_seq = 0u64;
+    let mut good_seq = 0u64;
+    for _round in 0..20 {
+        let mut set = ProfileSet::new("fs");
+        good_seq += 1;
+        set.entry("read").record_n(1 << 10, good_seq);
+        store.offer("good", Snapshot { seq: good_seq, at: good_seq * 1000, set });
+        for _ in 0..50 {
+            let mut set = ProfileSet::new("fs");
+            flood_seq += 1;
+            set.entry("read").record_n(1 << 10, flood_seq);
+            store.offer("flood", Snapshot { seq: flood_seq, at: flood_seq, set });
+        }
+        // Queues never exceed the bound, even before the drain.
+        let stats = store.stats();
+        assert!(stats.nodes.iter().all(|n| n.queued <= cap as u64), "{stats:?}");
+        stats.check_conservation().unwrap();
+        store.drain();
+    }
+
+    let stats = store.stats();
+    stats.check_conservation().unwrap();
+    let flood = stats.nodes.iter().find(|n| n.node == "flood").unwrap();
+    let good = stats.nodes.iter().find(|n| n.node == "good").unwrap();
+    assert_eq!(flood.offered, 1000);
+    assert!(flood.dropped > 0, "the flooder must hit backpressure");
+    assert_eq!(flood.aggregated + flood.dropped + flood.queued, flood.offered);
+    // The flooder is bounded to cap per round: 20 rounds x 8 = 160 max.
+    assert!(flood.aggregated <= (cap * 20) as u64);
+    // The well-behaved node lost nothing.
+    assert_eq!(good.dropped, 0);
+    assert_eq!(good.aggregated, 20);
+}

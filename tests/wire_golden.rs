@@ -1,0 +1,151 @@
+//! Golden-file tests for the `OSPW` binary wire format.
+//!
+//! A deterministic frame sequence (hello, full snapshot, delta, bye) is
+//! encoded and hex-dumped; the dump must match the checked-in fixture
+//! under `results/fixtures/` byte for byte, so the wire format cannot
+//! drift silently — an old recorded stream must stay readable by a new
+//! collector. Run with `OSPROF_UPDATE_FIXTURES=1` to re-bless after an
+//! intentional (version-bumped!) format change.
+
+use std::path::PathBuf;
+
+use osprof::collector::agent::{Decoder, Encoder};
+use osprof::collector::wire::{self, Frame};
+use osprof_core::bucket::Resolution;
+use osprof_core::profile::ProfileSet;
+
+/// A small deterministic snapshot sequence: growth, a new op, a new
+/// latency extreme — everything the delta codec has to carry.
+fn snapshots() -> Vec<ProfileSet> {
+    let mut sets = Vec::new();
+    let mut s = ProfileSet::new("file-system");
+    s.entry("read").record_n(900, 40);
+    s.entry("read").record_n(65_000, 3);
+    s.entry("write").record_n(2_048, 7);
+    sets.push(s.clone());
+    s.entry("read").record_n(1_100, 25);
+    s.entry("fsync").record_n(8_000_000, 1);
+    sets.push(s.clone());
+    s.entry("write").record_n(u64::MAX, 1); // extreme latency survives
+    sets.push(s.clone());
+    sets
+}
+
+/// The canonical frame sequence for the fixture.
+fn frames() -> Vec<Frame> {
+    let mut enc = Encoder::new(2);
+    let mut frames = vec![Frame::Hello {
+        node: "node-0".into(),
+        layer: "file-system".into(),
+        resolution: Resolution::R1,
+        interval: 1_000_000,
+    }];
+    for (i, set) in snapshots().iter().enumerate() {
+        frames.push(enc.encode(i as u64, (i as u64 + 1) * 1_000_000, set));
+    }
+    frames.push(Frame::Bye { seq: 3 });
+    frames
+}
+
+/// Encodes the whole stream (header + frames) to bytes.
+fn stream_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    wire::write_header(&mut bytes).unwrap();
+    for f in frames() {
+        wire::write_frame(&mut bytes, &f).unwrap();
+    }
+    bytes
+}
+
+/// 16 bytes per line, lowercase hex — stable and diffable.
+fn hex_dump(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for chunk in bytes.chunks(16) {
+        for (i, b) in chunk.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/fixtures").join(name)
+}
+
+/// Compares `rendered` against the checked-in fixture (or re-blesses it
+/// when `OSPROF_UPDATE_FIXTURES` is set).
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("OSPROF_UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} ({e}); run with OSPROF_UPDATE_FIXTURES=1", path.display())
+    });
+    assert_eq!(rendered, golden, "wire encoding of {name} drifted from the checked-in fixture");
+}
+
+#[test]
+fn stream_matches_golden_fixture() {
+    check_golden("stream_frames.hex", &hex_dump(&stream_bytes()));
+}
+
+#[test]
+fn golden_fixture_decodes_into_the_canonical_frames() {
+    if std::env::var_os("OSPROF_UPDATE_FIXTURES").is_some() {
+        check_golden("stream_frames.hex", &hex_dump(&stream_bytes()));
+    }
+    // Parse the fixture back to bytes, then decode: the checked-in dump
+    // itself (not just today's encoder output) must stay readable.
+    let text = std::fs::read_to_string(fixture_path("stream_frames.hex")).unwrap();
+    let bytes: Vec<u8> = text
+        .split_whitespace()
+        .map(|h| u8::from_str_radix(h, 16).expect("fixture is hex bytes"))
+        .collect();
+    let mut r = &bytes[..];
+    wire::read_header(&mut r).unwrap();
+    let mut decoded = Vec::new();
+    while let Some(f) = wire::read_frame(&mut r).unwrap() {
+        decoded.push(f);
+    }
+    assert_eq!(decoded, frames());
+
+    // And the snapshot payloads reconstruct the original sets exactly.
+    let mut dec = Decoder::new();
+    let mut sets = Vec::new();
+    for f in &decoded {
+        if let Some((_, _, set)) = dec.apply(f).unwrap() {
+            sets.push(set);
+        }
+    }
+    assert_eq!(sets, snapshots());
+}
+
+#[test]
+fn corrupting_any_fixture_byte_is_detected() {
+    // Flip one byte in the middle of a frame payload: the FNV checksum
+    // must reject it (the header bytes are checked structurally).
+    let bytes = stream_bytes();
+    let mid = bytes.len() / 2;
+    let mut corrupt = bytes.clone();
+    corrupt[mid] ^= 0x40;
+    let mut r = &corrupt[..];
+    if wire::read_header(&mut r).is_err() {
+        return; // corrupted the header: also detected
+    }
+    let mut result = Ok(None);
+    loop {
+        result = wire::read_frame(&mut r);
+        match &result {
+            Ok(Some(_)) => continue,
+            _ => break,
+        }
+    }
+    assert!(result.is_err(), "flipping byte {mid} went undetected");
+}
