@@ -24,6 +24,7 @@
 //! | `abl-resolution` | ablation — resolution r vs peak discrimination |
 //! | `ext-cluster` | extension — cluster aggregation & outlier node detection |
 //! | `ext-stream` | extension — online streaming collection & anomaly detection |
+//! | `ext-chaos` | extension — fault-injected streaming & crash recovery |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +32,7 @@
 pub mod abl_locks;
 pub mod abl_resolution;
 pub mod eq3;
+pub mod ext_chaos;
 pub mod ext_cluster;
 pub mod ext_stream;
 pub mod fig1;
@@ -66,6 +68,7 @@ pub const EXPERIMENTS: &[(&str, &str, fn() -> String)] = &[
     ("abl-resolution", "Ablation: profile resolution r", abl_resolution::run),
     ("ext-cluster", "Extension: cluster aggregation (paper §7)", ext_cluster::run),
     ("ext-stream", "Extension: online streaming collection (paper §7)", ext_stream::run),
+    ("ext-chaos", "Extension: fault-injected streaming & crash recovery", ext_chaos::run),
 ];
 
 /// Runs one experiment by id.

@@ -35,6 +35,13 @@ impl Encoder {
         Encoder { last: None, since_full: 0, full_every }
     }
 
+    /// Discards the delta base: the next snapshot is encoded as a
+    /// `Full` frame (used after a reconnect or an explicit resync).
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.since_full = 0;
+    }
+
     /// Encodes the next cumulative snapshot.
     pub fn encode(&mut self, seq: u64, at: Cycles, set: &ProfileSet) -> Frame {
         let frame = match &self.last {
@@ -52,17 +59,87 @@ impl Encoder {
     }
 }
 
+/// Why the tolerant decoder skipped a frame instead of producing a
+/// snapshot (see [`Decoder::apply_lossy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// A sequence gap was detected; the decoder is waiting for the next
+    /// `Full` frame to re-establish a basis.
+    Gap,
+    /// A delta arrived while the decoder had no (or a distrusted) base;
+    /// still waiting for a `Full`.
+    AwaitingFull,
+    /// The frame's sequence number is older than what was already
+    /// decoded in this epoch — a duplicate or a reordered straggler.
+    StaleSeq,
+    /// The frame belongs to an epoch older than the latest resync.
+    StaleEpoch,
+    /// The delta did not fit its base (lost or tampered frame); the
+    /// decoder discarded its base and waits for a `Full`.
+    BadDelta,
+}
+
+/// Outcome of feeding one frame to the tolerant decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeEvent {
+    /// A cumulative snapshot was reconstructed. `recovered` is true for
+    /// the first snapshot after a gap or resync — its interval spans
+    /// more than one sampling period and must not enter baselines.
+    Snapshot {
+        /// Stream sequence number.
+        seq: u64,
+        /// Interval-boundary timestamp.
+        at: Cycles,
+        /// The reconstructed cumulative set.
+        set: ProfileSet,
+        /// First snapshot after a loss: data quality is degraded.
+        recovered: bool,
+    },
+    /// A control frame (`Hello`/`Bye`) was consumed.
+    Control,
+    /// A `Resync` frame opened a new epoch; a fresh `Full` follows.
+    Resynced,
+    /// The frame was discarded; the stream stays usable.
+    Skipped(SkipReason),
+}
+
 /// Reconstructs cumulative snapshots from a frame stream.
+///
+/// Two entry points share the state: [`apply`](Decoder::apply) is the
+/// strict mode (any gap or misfitting delta is an error — right for
+/// perfect transports and recorded files), [`apply_lossy`]
+/// (Decoder::apply_lossy) is the resilient mode the daemon uses — gaps,
+/// duplicates, reordering and bad deltas are *reported and survived*:
+/// the decoder discards what it cannot trust and waits for the next
+/// `Full` frame (the agent's periodic refresh or an explicit resync) to
+/// re-establish a basis.
 #[derive(Debug, Default)]
 pub struct Decoder {
     last: Option<ProfileSet>,
     expected_seq: Option<u64>,
+    /// Latest resync epoch seen on this connection.
+    epoch: u64,
+    /// Set when the delta chain is broken: skip frames until a `Full`.
+    awaiting_full: bool,
+    /// The next successfully decoded snapshot is flagged `recovered`.
+    recovering: bool,
 }
 
 impl Decoder {
     /// Creates an empty decoder.
     pub fn new() -> Self {
         Decoder::default()
+    }
+
+    /// The latest resync epoch seen on this connection.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True while the decoder has discarded its basis and is waiting
+    /// for a `Full` frame.
+    pub fn awaiting_full(&self) -> bool {
+        self.awaiting_full
     }
 
     /// Applies one snapshot frame, returning the reconstructed
@@ -76,6 +153,14 @@ impl Decoder {
     pub fn apply(&mut self, frame: &Frame) -> Result<Option<(u64, Cycles, ProfileSet)>, WireError> {
         let (seq, at, set) = match frame {
             Frame::Hello { .. } | Frame::Bye { .. } => return Ok(None),
+            Frame::Resync { epoch, .. } => {
+                // A strict stream may still open with a resync preamble
+                // (an agent that reconnected): accept the new basis.
+                self.epoch = (*epoch).max(self.epoch);
+                self.last = None;
+                self.expected_seq = None;
+                return Ok(None);
+            }
             Frame::Full { seq, at, set } => (*seq, *at, set.clone()),
             Frame::Delta { seq, at, delta } => {
                 let base = self.last.as_ref().ok_or_else(|| {
@@ -92,6 +177,82 @@ impl Decoder {
         self.expected_seq = Some(seq + 1);
         self.last = Some(set.clone());
         Ok(Some((seq, at, set)))
+    }
+
+    /// Applies one frame tolerantly: never errors on gaps, duplicates,
+    /// reordering or misfitting deltas — it reports what happened and
+    /// keeps the stream usable, recovering at the next `Full` frame.
+    pub fn apply_lossy(&mut self, frame: &Frame) -> DecodeEvent {
+        match frame {
+            Frame::Hello { .. } | Frame::Bye { .. } => DecodeEvent::Control,
+            Frame::Resync { epoch, .. } => {
+                // Agents allocate epochs from 1 and only ever increase
+                // them, so an epoch at or below the latest seen is a
+                // duplicated or reordered old resync: ignore it.
+                if *epoch <= self.epoch {
+                    return DecodeEvent::Skipped(SkipReason::StaleEpoch);
+                }
+                self.epoch = *epoch;
+                self.last = None;
+                self.expected_seq = None;
+                self.awaiting_full = true;
+                self.recovering = true;
+                DecodeEvent::Resynced
+            }
+            Frame::Full { seq, at, set } => {
+                if let Some(expected) = self.expected_seq {
+                    if *seq < expected {
+                        return DecodeEvent::Skipped(SkipReason::StaleSeq);
+                    }
+                    if *seq > expected {
+                        // Frames were lost, but a Full is its own basis:
+                        // accept it and mark the snapshot recovered.
+                        self.recovering = true;
+                    }
+                }
+                self.awaiting_full = false;
+                self.expected_seq = Some(seq + 1);
+                self.last = Some(set.clone());
+                let recovered = std::mem::take(&mut self.recovering);
+                DecodeEvent::Snapshot { seq: *seq, at: *at, set: set.clone(), recovered }
+            }
+            Frame::Delta { seq, at, delta } => {
+                if self.awaiting_full {
+                    return DecodeEvent::Skipped(SkipReason::AwaitingFull);
+                }
+                let Some(base) = self.last.as_ref() else {
+                    self.awaiting_full = true;
+                    self.recovering = true;
+                    return DecodeEvent::Skipped(SkipReason::AwaitingFull);
+                };
+                if let Some(expected) = self.expected_seq {
+                    if *seq < expected {
+                        return DecodeEvent::Skipped(SkipReason::StaleSeq);
+                    }
+                    if *seq > expected {
+                        // The delta's base is a snapshot we never saw:
+                        // applying it would silently desynchronize.
+                        self.awaiting_full = true;
+                        self.recovering = true;
+                        return DecodeEvent::Skipped(SkipReason::Gap);
+                    }
+                }
+                match delta::apply(base, delta) {
+                    Ok(set) => {
+                        self.expected_seq = Some(seq + 1);
+                        self.last = Some(set.clone());
+                        let recovered = std::mem::take(&mut self.recovering);
+                        DecodeEvent::Snapshot { seq: *seq, at: *at, set, recovered }
+                    }
+                    Err(_) => {
+                        self.awaiting_full = true;
+                        self.recovering = true;
+                        self.last = None;
+                        DecodeEvent::Skipped(SkipReason::BadDelta)
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -140,16 +301,33 @@ impl Agent {
         Frame::Bye { seq: self.seq }
     }
 
+    /// The sequence number the next snapshot frame will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Discards the encoder's delta base so the next snapshot goes out
+    /// as a `Full` frame — the recovery move after a reconnect or a
+    /// failed send (see [`crate::resilience::ResilientAgent`]).
+    pub fn force_full(&mut self) {
+        self.enc.reset();
+    }
+
     /// Streams a complete [`SampledProfile`] as it would have been
     /// tailed live: `Hello`, then one cumulative snapshot per segment
-    /// boundary, then `Bye`.
+    /// boundary, then `Bye`. Segments that cannot merge into the
+    /// cumulative set (impossible for a well-formed `SampledProfile`,
+    /// whose segments share one resolution) are skipped rather than
+    /// panicking the agent.
     pub fn stream_sampled(&mut self, sampled: &SampledProfile) -> Vec<Frame> {
         let interval = sampled.interval();
         let mut frames =
             vec![self.hello(sampled.layer(), sampled.resolution(), interval)];
         let mut cumulative = ProfileSet::with_resolution(sampled.layer(), sampled.resolution());
         for (start, seg) in sampled.iter_segments() {
-            cumulative.merge(seg).expect("segments share one resolution by construction");
+            if cumulative.merge(seg).is_err() {
+                continue;
+            }
             frames.push(self.snapshot(start + interval, &cumulative));
         }
         frames.push(self.bye());

@@ -2,26 +2,39 @@
 //!
 //! Modes:
 //!
-//! - `osprofd serve <addr> [--nodes N]` — listen on `addr` (e.g.
-//!   `127.0.0.1:7060`), accept N agent connections (default 1), ingest
-//!   their frame streams, and print the report when every stream has
-//!   said bye.
+//! - `osprofd serve <addr> [--nodes N] [--journal PATH]` — listen on
+//!   `addr` (e.g. `127.0.0.1:7060`), accept N agent connections
+//!   (default 1), ingest their frame streams, and print the report when
+//!   every stream has said bye. With `--journal`, every ingest event is
+//!   write-ahead journaled to PATH; if PATH already holds a journal
+//!   (a previous run crashed), the daemon first recovers its exact
+//!   pre-crash state from it and appends.
 //! - `osprofd smoke [addr]` — self-test: bind a loopback listener,
 //!   stream a simulated node that degrades mid-stream over real TCP,
 //!   and exit 0 only if the degradation is flagged online.
+//! - `osprofd crash-smoke [path]` — crash-recovery self-test: ingest a
+//!   degrading node journaling to `path` (default under the target
+//!   dir), "kill" the daemon halfway, recover from the journal,
+//!   finish the stream, and exit 0 only if the final report is
+//!   byte-identical to an uninterrupted run's.
 
+use std::fs::{File, OpenOptions};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::mpsc;
 use std::thread;
 
 use osprof_collector::daemon::{Collector, CollectorConfig};
+use osprof_collector::journal::{self, JournaledCollector};
 use osprof_collector::scenario::{degrading_node_frames, ScenarioConfig};
 use osprof_collector::transport::{FrameSink, FrameSource, ReadTransport, WriteTransport};
-use osprof_collector::wire::Frame;
+use osprof_collector::wire::{encode_frame, Frame};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: osprofd serve <addr> [--nodes N] | osprofd smoke [addr]");
+    eprintln!(
+        "usage: osprofd serve <addr> [--nodes N] [--journal PATH] \
+         | osprofd smoke [addr] | osprofd crash-smoke [path]"
+    );
     ExitCode::from(2)
 }
 
@@ -37,19 +50,100 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
-            serve(addr, nodes)
+            let mut journal_path = None;
+            if let Some(i) = args.iter().position(|a| a == "--journal") {
+                match args.get(i + 1) {
+                    Some(p) => journal_path = Some(p.clone()),
+                    None => return usage(),
+                }
+            }
+            serve(addr, nodes, journal_path.as_deref())
         }
         Some("smoke") => {
             let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:0");
             smoke(addr)
         }
+        Some("crash-smoke") => {
+            let path = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "target/osprofd-crash-smoke.journal".to_string());
+            crash_smoke(&path)
+        }
         _ => usage(),
+    }
+}
+
+/// The collector core behind `serve`: plain, or write-ahead journaled.
+enum Core {
+    Plain(Collector),
+    Journaled(JournaledCollector<File>),
+}
+
+impl Core {
+    fn ingest(&mut self, conn: u64, frame: &Frame) -> Result<(), String> {
+        match self {
+            // The plain path keeps strict semantics: a protocol error
+            // on a recorded/loopback stream is a hard failure.
+            Core::Plain(col) => col
+                .ingest(conn, frame)
+                .map(|_| ())
+                .map_err(|e| format!("connection {conn}: {e}")),
+            // The journaled path is the hardened one: journal first,
+            // then tolerate — faults are counted, never fatal.
+            Core::Journaled(jc) => jc
+                .ingest_bytes(conn, &encode_frame(frame))
+                .map(|_| ())
+                .map_err(|e| format!("connection {conn}: journal: {e}")),
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), String> {
+        match self {
+            Core::Plain(col) => {
+                col.tick();
+                Ok(())
+            }
+            Core::Journaled(jc) => jc.tick().map(|_| ()).map_err(|e| format!("journal: {e}")),
+        }
+    }
+
+    fn report(&self) -> String {
+        match self {
+            Core::Plain(col) => col.report(),
+            Core::Journaled(jc) => jc.report(),
+        }
+    }
+}
+
+/// Opens the collector core: fresh, or recovered from an existing
+/// journal at `path` (append-resumed either way).
+fn open_core(journal_path: Option<&str>) -> Result<Core, String> {
+    let Some(path) = journal_path else {
+        return Ok(Core::Plain(Collector::new(CollectorConfig::default())));
+    };
+    let existing = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    if existing > 0 {
+        let f = File::open(path).map_err(|e| format!("open journal {path}: {e}"))?;
+        let (col, replayed) = journal::recover(f, CollectorConfig::default())
+            .map_err(|e| format!("recover journal {path}: {e}"))?;
+        eprintln!("osprofd: recovered {replayed} event(s) from {path}");
+        let f = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("reopen journal {path}: {e}"))?;
+        Ok(Core::Journaled(JournaledCollector::resume(col, f)))
+    } else {
+        let f = File::create(path).map_err(|e| format!("create journal {path}: {e}"))?;
+        let jc = JournaledCollector::create(CollectorConfig::default(), f)
+            .map_err(|e| format!("journal {path}: {e}"))?;
+        Ok(Core::Journaled(jc))
     }
 }
 
 /// Accepts `nodes` connections, ingests every stream to completion, and
 /// prints the deterministic report.
-fn serve(addr: &str, nodes: usize) -> ExitCode {
+fn serve(addr: &str, nodes: usize, journal_path: Option<&str>) -> ExitCode {
     let listener = match TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
@@ -57,22 +151,30 @@ fn serve(addr: &str, nodes: usize) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("osprofd: listening on {} for {nodes} node(s)", listener.local_addr().unwrap());
-    let col = match ingest_connections(&listener, nodes) {
-        Ok(col) => col,
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_string());
+    println!("osprofd: listening on {local} for {nodes} node(s)");
+    let core = match ingest_connections(&listener, nodes, journal_path) {
+        Ok(core) => core,
         Err(e) => {
             eprintln!("osprofd: {e}");
             return ExitCode::FAILURE;
         }
     };
-    print!("{}", col.report());
+    print!("{}", core.report());
     ExitCode::SUCCESS
 }
 
 /// Accepts `nodes` connections and pumps their frames — each socket
 /// read on its own thread, all frames funneled through one channel into
 /// the single-threaded collector core.
-fn ingest_connections(listener: &TcpListener, nodes: usize) -> Result<Collector, String> {
+fn ingest_connections(
+    listener: &TcpListener,
+    nodes: usize,
+    journal_path: Option<&str>,
+) -> Result<Core, String> {
     let (tx, rx) = mpsc::channel::<(u64, Frame)>();
     let mut handles = Vec::new();
     for conn in 0..nodes as u64 {
@@ -91,23 +193,26 @@ fn ingest_connections(listener: &TcpListener, nodes: usize) -> Result<Collector,
     }
     drop(tx);
 
-    let mut col = Collector::new(CollectorConfig::default());
+    let mut core = open_core(journal_path)?;
     let mut since_tick = 0usize;
     while let Ok((conn, frame)) = rx.recv() {
-        col.ingest(conn, &frame).map_err(|e| format!("connection {conn}: {e}"))?;
+        core.ingest(conn, &frame)?;
         since_tick += 1;
         if since_tick >= nodes {
             // Tick once per round of snapshots so detection runs online,
             // not just at the end.
-            col.tick();
+            core.tick()?;
             since_tick = 0;
         }
     }
-    col.tick();
+    core.tick()?;
     for h in handles {
-        h.join().map_err(|_| "reader thread panicked".to_string())??;
+        match h.join() {
+            Ok(r) => r?,
+            Err(_) => return Err("reader thread panicked".to_string()),
+        }
     }
-    Ok(col)
+    Ok(core)
 }
 
 /// Loopback self-test: one simulated degrading node streamed over TCP;
@@ -120,7 +225,13 @@ fn smoke(addr: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let local = listener.local_addr().unwrap();
+    let local = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("osprofd smoke: local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("osprofd smoke: streaming a degrading node over {local}");
 
     let frames = degrading_node_frames(&ScenarioConfig { dirs: 20, ..Default::default() });
@@ -136,16 +247,27 @@ fn smoke(addr: &str) -> ExitCode {
         Ok(())
     });
 
-    let col = match ingest_connections(&listener, 1) {
-        Ok(col) => col,
+    let core = match ingest_connections(&listener, 1, None) {
+        Ok(core) => core,
         Err(e) => {
             eprintln!("osprofd smoke: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = sender.join().expect("sender thread panicked") {
-        eprintln!("osprofd smoke: {e}");
+    let Core::Plain(col) = core else {
+        eprintln!("osprofd smoke: unexpected journaled core");
         return ExitCode::FAILURE;
+    };
+    match sender.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            eprintln!("osprofd smoke: {e}");
+            return ExitCode::FAILURE;
+        }
+        Err(_) => {
+            eprintln!("osprofd smoke: sender thread panicked");
+            return ExitCode::FAILURE;
+        }
     }
 
     print!("{}", col.report());
@@ -169,4 +291,78 @@ fn smoke(addr: &str) -> ExitCode {
         col.anomalies().len()
     );
     ExitCode::SUCCESS
+}
+
+/// Crash-recovery self-test: the same degrading-node stream ingested
+/// twice — once uninterrupted (in-memory journal), once with the daemon
+/// "killed" halfway and recovered from its on-disk journal. Exit 0 only
+/// when the two final reports are byte-identical.
+fn crash_smoke(path: &str) -> ExitCode {
+    match run_crash_smoke(path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("osprofd crash-smoke: FAILED — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_crash_smoke(path: &str) -> Result<(), String> {
+    let cfg = CollectorConfig::default;
+    let frames = degrading_node_frames(&ScenarioConfig { dirs: 20, ..Default::default() });
+    let bytes: Vec<Vec<u8>> = frames.iter().map(encode_frame).collect();
+    let kill_after = bytes.len() / 2;
+    println!(
+        "osprofd crash-smoke: {} frames, killing after {kill_after}, journal at {path}",
+        bytes.len()
+    );
+
+    // Reference: the uninterrupted run, journaling to memory.
+    let mut jc = JournaledCollector::create(cfg(), Vec::new())
+        .map_err(|e| format!("journal: {e}"))?;
+    for b in &bytes {
+        jc.ingest_bytes(0, b).map_err(|e| format!("ingest: {e}"))?;
+        jc.tick().map_err(|e| format!("tick: {e}"))?;
+    }
+    let want = jc.report();
+
+    // The crashing run: journal to disk, die halfway.
+    let _ = std::fs::remove_file(path);
+    let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut jc =
+        JournaledCollector::create(cfg(), f).map_err(|e| format!("journal {path}: {e}"))?;
+    for b in &bytes[..kill_after] {
+        jc.ingest_bytes(0, b).map_err(|e| format!("ingest: {e}"))?;
+        jc.tick().map_err(|e| format!("tick: {e}"))?;
+    }
+    drop(jc); // the "kill": all in-memory state is gone
+
+    // Restart: recover from the journal, finish the stream.
+    let jf = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let (col, replayed) =
+        journal::recover(jf, cfg()).map_err(|e| format!("recover: {e}"))?;
+    println!("osprofd crash-smoke: recovered {replayed} event(s) from the journal");
+    let jf = OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("reopen {path}: {e}"))?;
+    let mut jc = JournaledCollector::resume(col, jf);
+    for b in &bytes[kill_after..] {
+        jc.ingest_bytes(0, b).map_err(|e| format!("ingest: {e}"))?;
+        jc.tick().map_err(|e| format!("tick: {e}"))?;
+    }
+    let got = jc.report();
+
+    if got != want {
+        return Err(format!(
+            "recovered report differs from the uninterrupted run\n--- want ---\n{want}\n--- got ---\n{got}"
+        ));
+    }
+    if jc.collector().anomalies().is_empty() {
+        return Err("no anomaly flagged; the smoke stream must fire".to_string());
+    }
+    let _ = std::fs::remove_file(path);
+    print!("{got}");
+    println!("osprofd crash-smoke: OK — recovered report is byte-identical");
+    Ok(())
 }

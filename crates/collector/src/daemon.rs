@@ -11,12 +11,69 @@
 //! which the end-to-end tests assert.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 
-use crate::agent::Decoder;
+use crate::agent::{DecodeEvent, Decoder, SkipReason};
 use crate::detect::{Anomaly, Detector, DetectorConfig};
-use crate::store::{Offer, ShardedStore, Snapshot, StoreConfig};
-use crate::wire::{Frame, WireError};
+use crate::store::{Offer, ShardedStore, Snapshot, StoreConfig, StreamFault};
+use crate::wire::{self, Frame, WireError};
+
+/// Typed error for everything that can go wrong on the daemon's ingest
+/// and serving paths — the replacement for `unwrap()`: a fault on one
+/// connection must never take the daemon (and every other node's
+/// history) down with it.
+#[derive(Debug)]
+pub enum CollectorError {
+    /// A wire-level decode or protocol error.
+    Wire(WireError),
+    /// An I/O error on a socket, journal or stream file.
+    Io(std::io::Error),
+    /// An internal invariant was violated (reported, not panicked).
+    Internal(String),
+}
+
+impl fmt::Display for CollectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectorError::Wire(e) => write!(f, "wire: {e}"),
+            CollectorError::Io(e) => write!(f, "io: {e}"),
+            CollectorError::Internal(msg) => write!(f, "internal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectorError {}
+
+impl From<WireError> for CollectorError {
+    fn from(e: WireError) -> Self {
+        CollectorError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for CollectorError {
+    fn from(e: std::io::Error) -> Self {
+        CollectorError::Io(e)
+    }
+}
+
+/// Outcome of one tolerant-ingest step (never an error: faults are
+/// counted, not propagated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// A snapshot was accepted into the store.
+    Accepted,
+    /// A snapshot was rejected by the store (backpressure/quarantine).
+    Rejected(Offer),
+    /// A control frame (`Hello`/`Bye`) was consumed.
+    Control,
+    /// The stream resynced to a new epoch.
+    Resynced,
+    /// The frame was skipped by the tolerant decoder.
+    Skipped(SkipReason),
+    /// The bytes did not decode as a frame; counted as corruption.
+    Corrupt,
+}
 
 /// Combined configuration for the daemon core.
 #[derive(Debug, Clone, Default)]
@@ -43,6 +100,9 @@ pub struct Collector {
     anomalies: Vec<Anomaly>,
     /// First flagged sequence number per (node, op), for the report.
     first_flagged: BTreeMap<(String, String), u64>,
+    /// Corrupt frames on connections that never completed a hello —
+    /// nothing to attribute them to, but they must still be visible.
+    unattributed_corrupt: u64,
 }
 
 impl Collector {
@@ -54,6 +114,7 @@ impl Collector {
             conns: BTreeMap::new(),
             anomalies: Vec::new(),
             first_flagged: BTreeMap::new(),
+            unattributed_corrupt: 0,
         }
     }
 
@@ -90,6 +151,106 @@ impl Collector {
             }
             None => Ok(false),
         }
+    }
+
+    /// Ingests one frame tolerantly: gaps, duplicates, reordering and
+    /// misfitting deltas are counted against the node's fault counters
+    /// and survived, never propagated as errors. This is the path a
+    /// daemon facing a real (lossy) network uses; [`ingest`]
+    /// (Collector::ingest) stays the strict path for recorded streams.
+    ///
+    /// Unlike strict mode, a `Hello` here does **not** reset the
+    /// decoder: a reconnecting resilient agent announces its new basis
+    /// with an explicit `Resync` frame (whose epoch guards against
+    /// stale stragglers of the old connection), and a genuinely
+    /// restarted agent process arrives as a *new* connection with a
+    /// fresh decoder anyway.
+    pub fn ingest_lossy(&mut self, conn: u64, frame: &Frame) -> Ingest {
+        let state = self.conns.entry(conn).or_default();
+        if let Frame::Hello { node, .. } = frame {
+            state.node = Some(node.clone());
+            state.done = false;
+            self.store.hello(node);
+            return Ingest::Control;
+        }
+        if let Frame::Bye { .. } = frame {
+            state.done = true;
+            return Ingest::Control;
+        }
+        let Some(node) = state.node.clone() else {
+            // Snapshot frames before a hello have no home; count them
+            // where the report can still surface them.
+            self.unattributed_corrupt += 1;
+            return Ingest::Corrupt;
+        };
+        match state.dec.apply_lossy(frame) {
+            DecodeEvent::Control => Ingest::Control,
+            DecodeEvent::Resynced => {
+                self.store.record_fault(&node, StreamFault::Resync);
+                Ingest::Resynced
+            }
+            DecodeEvent::Skipped(reason) => {
+                match reason {
+                    SkipReason::Gap => self.store.record_fault(&node, StreamFault::Gap),
+                    // A delta that fails its own checksum never gets
+                    // here; one that *passes* but does not fit its base
+                    // means the stream content is inconsistent.
+                    SkipReason::BadDelta => {
+                        self.store.record_fault(&node, StreamFault::Corrupt)
+                    }
+                    // Duplicates and stale stragglers are benign.
+                    SkipReason::AwaitingFull | SkipReason::StaleSeq | SkipReason::StaleEpoch => {}
+                }
+                Ingest::Skipped(reason)
+            }
+            DecodeEvent::Snapshot { seq, at, set, recovered } => {
+                match self.store.offer_with(&node, Snapshot { seq, at, set }, recovered) {
+                    Offer::Accepted => Ingest::Accepted,
+                    other => Ingest::Rejected(other),
+                }
+            }
+        }
+    }
+
+    /// Ingests one raw frame as delivered by a hostile wire: decodes
+    /// the bytes (counting checksum failures and malformed frames as
+    /// corruption against the connection's node) and feeds the result
+    /// to [`ingest_lossy`](Collector::ingest_lossy). Never panics, no
+    /// matter the bytes.
+    pub fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) -> Ingest {
+        match wire::decode_frame(bytes) {
+            Ok((frame, _)) => self.ingest_lossy(conn, &frame),
+            Err(_) => {
+                match self.conns.get(&conn).and_then(|c| c.node.clone()) {
+                    Some(node) => self.store.record_fault(&node, StreamFault::Corrupt),
+                    None => self.unattributed_corrupt += 1,
+                }
+                Ingest::Corrupt
+            }
+        }
+    }
+
+    /// Records a connection reset: the node's fault counter advances
+    /// and the connection's decoder state is discarded (the node's
+    /// aggregated history is untouched). The agent is expected to
+    /// reconnect with a `[Hello, Resync, Full]` preamble on the same or
+    /// a new connection id.
+    pub fn reset_conn(&mut self, conn: u64) {
+        if let Some(state) = self.conns.get_mut(&conn) {
+            if let Some(node) = &state.node {
+                let node = node.clone();
+                self.store.record_fault(&node, StreamFault::Reset);
+            }
+            // Keep the decoder: its epoch guard is exactly what
+            // protects against stragglers of the dead connection.
+            state.done = false;
+        }
+    }
+
+    /// Corrupt frames that arrived before any hello (nothing to
+    /// attribute them to).
+    pub fn unattributed_corrupt(&self) -> u64 {
+        self.unattributed_corrupt
     }
 
     /// Drains the store, runs detection on the new intervals, records
@@ -136,11 +297,30 @@ impl Collector {
             stats.dropped(),
             stats.queued()
         );
-        for n in &stats.nodes {
+        if self.unattributed_corrupt > 0 {
             let _ = writeln!(
                 out,
-                "  node {:<12} intervals {:>4}  dropped {:>4}  restarts {}",
-                n.node, n.intervals, n.dropped, n.restarts
+                "  unattributed corrupt frames: {}",
+                self.unattributed_corrupt
+            );
+        }
+        for n in &stats.nodes {
+            // Fault details only when present, so clean runs keep the
+            // historical report format byte-for-byte.
+            let mut extra = String::new();
+            if !n.faults.is_clean() {
+                let _ = write!(extra, "  faults: {}", n.faults.describe());
+            }
+            if n.stale > 0 {
+                let _ = write!(extra, "  stale {}", n.stale);
+            }
+            if n.quarantined {
+                extra.push_str("  QUARANTINED");
+            }
+            let _ = writeln!(
+                out,
+                "  node {:<12} intervals {:>4}  dropped {:>4}  restarts {}{}",
+                n.node, n.intervals, n.dropped, n.restarts, extra
             );
         }
         if self.first_flagged.is_empty() {
@@ -185,7 +365,8 @@ mod tests {
             (0..7).map(|i| stream_frames(&format!("n{i}"), 10, 6)).collect();
         streams.push(stream_frames("sick", 20, 6));
         // Interleave round-robin: one frame per connection per tick.
-        let max_len = streams.iter().map(Vec::len).max().unwrap();
+        // An empty stream set degrades to zero rounds, not a panic.
+        let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
         for i in 0..max_len {
             for (conn, s) in streams.iter().enumerate() {
                 if let Some(f) = s.get(i) {
@@ -224,6 +405,88 @@ mod tests {
         let mut col = Collector::new(CollectorConfig::default());
         let frames = stream_frames("n0", 10, 1);
         assert!(matches!(col.ingest(0, &frames[1]), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn lossy_ingest_counts_faults_instead_of_erroring() {
+        let mut col = Collector::new(CollectorConfig::default());
+        let frames = stream_frames("n0", 10, 6);
+        for (i, f) in frames.iter().enumerate() {
+            if i == 3 {
+                continue; // drop one delta: a sequence gap
+            }
+            let out = col.ingest_lossy(0, f);
+            assert!(!matches!(out, Ingest::Corrupt), "clean frames never count as corrupt");
+        }
+        col.tick();
+        let f = col.store().faults("n0");
+        assert_eq!(f.gap, 1, "the dropped frame shows up as one gap");
+        assert_eq!(f.corrupt, 0);
+        col.store().stats().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn corrupt_bytes_are_counted_never_panicking() {
+        let mut col = Collector::new(CollectorConfig::default());
+        let frames = stream_frames("n0", 10, 2);
+        let hello = crate::wire::encode_frame(&frames[0]);
+        assert_eq!(col.ingest_bytes(0, &hello), Ingest::Control);
+        // Flip a bit in a real frame: checksum failure.
+        let mut bad = crate::wire::encode_frame(&frames[1]);
+        let last = bad.len() - 9;
+        bad[last] ^= 0x40;
+        assert_eq!(col.ingest_bytes(0, &bad), Ingest::Corrupt);
+        // Pure garbage.
+        assert_eq!(col.ingest_bytes(0, &[0xff, 0xff, 0xff]), Ingest::Corrupt);
+        assert_eq!(col.store().faults("n0").corrupt, 2);
+        // Garbage before any hello is counted unattributed.
+        assert_eq!(col.ingest_bytes(9, &[0x01]), Ingest::Corrupt);
+        assert_eq!(col.unattributed_corrupt(), 1);
+    }
+
+    #[test]
+    fn reset_and_resync_round_trip_through_the_daemon() {
+        use crate::resilience::ResilientAgent;
+        use osprof_core::profile::ProfileSet;
+
+        let mut col = Collector::new(CollectorConfig::default());
+        let mut ra = ResilientAgent::new("n0", 5);
+        let hello = ra.hello("fs", Resolution::R1, 1_000);
+        col.ingest_lossy(0, &hello);
+        let mut set = ProfileSet::new("fs");
+        for seq in 0..8u64 {
+            set.entry("read").record_n(1 << 10, 1_000);
+            if seq == 4 {
+                // The wire resets mid-stream; this interval is lost.
+                col.reset_conn(0);
+                ra.on_reset();
+                continue;
+            }
+            for f in ra.frames((seq + 1) * 1_000, &set) {
+                col.ingest_lossy(0, &f);
+            }
+        }
+        col.tick();
+        let f = col.store().faults("n0");
+        assert_eq!(f.reset, 1);
+        assert_eq!(f.resync, 1, "the reconnect preamble was accepted");
+        assert_eq!(col.store().staleness("n0"), 1, "the post-reset snapshot stayed out of the baseline");
+        assert_eq!(col.store().stats().nodes[0].restarts, 0, "a resync is not a profiler restart");
+        let report = col.report();
+        assert!(report.contains("resets 1"), "{report}");
+    }
+
+    #[test]
+    fn clean_streams_keep_the_historical_report_format() {
+        let mut col = Collector::new(CollectorConfig::default());
+        for f in stream_frames("n0", 10, 3) {
+            col.ingest_lossy(0, &f);
+        }
+        col.tick();
+        let report = col.report();
+        assert!(!report.contains("faults:"), "no fault line on clean streams: {report}");
+        assert!(!report.contains("unattributed"), "{report}");
+        assert!(!report.contains("stale"), "{report}");
     }
 
     #[test]

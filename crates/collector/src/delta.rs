@@ -159,11 +159,14 @@ pub fn put_set_delta(out: &mut Vec<u8>, delta: &SetDelta) {
 
 /// Reads a [`SetDelta`] from a frame payload.
 pub fn get_set_delta(c: &mut Cursor<'_>) -> Result<SetDelta, WireError> {
-    let nops = c.usize()?;
+    // Minimum wire sizes guard corrupted length prefixes: an op delta is
+    // a 1-byte name length + bucket count + three totals (≥ 5 bytes), a
+    // bucket pair ≥ 2 bytes, a removed name ≥ 1 byte.
+    let nops = c.count("delta operation", 5)?;
     let mut ops = Vec::with_capacity(nops.min(1024));
     for _ in 0..nops {
         let name = c.string()?;
-        let nbuckets = c.usize()?;
+        let nbuckets = c.count("delta bucket", 2)?;
         let mut buckets = Vec::with_capacity(nbuckets.min(1024));
         for _ in 0..nbuckets {
             let b = c.usize()?;
@@ -176,7 +179,7 @@ pub fn get_set_delta(c: &mut Cursor<'_>) -> Result<SetDelta, WireError> {
         let max = c.u64()?;
         ops.push(OpDelta { name, buckets, d_latency, min, max });
     }
-    let nremoved = c.usize()?;
+    let nremoved = c.count("removed operation", 1)?;
     let mut removed = Vec::with_capacity(nremoved.min(1024));
     for _ in 0..nremoved {
         removed.push(c.string()?);

@@ -90,6 +90,29 @@ impl fmt::Display for AnomalyKind {
     }
 }
 
+/// Quality of the data behind an anomaly verdict.
+///
+/// A verdict computed right after lost frames rests on a baseline that
+/// has not advanced through the gap — still trustworthy (it was built
+/// from clean intervals) but *stale*. Reports carry the distinction so
+/// an operator knows how much to trust the number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataQuality {
+    /// Every recent interval arrived intact.
+    #[default]
+    Clean,
+    /// The node's stream lost frames recently; its rolling baseline is
+    /// stale by the given number of gap-recovered snapshots.
+    Stale(u64),
+}
+
+impl DataQuality {
+    /// True for [`DataQuality::Clean`].
+    pub fn is_clean(&self) -> bool {
+        matches!(self, DataQuality::Clean)
+    }
+}
+
 /// One flagged node × operation pair.
 #[derive(Debug, Clone)]
 pub struct Anomaly {
@@ -108,6 +131,8 @@ pub struct Anomaly {
     pub vs_baseline: Option<f64>,
     /// Confirmation-metric distance against the fired reference.
     pub confirm: f64,
+    /// Quality of the data the verdict rests on.
+    pub quality: DataQuality,
 }
 
 impl Anomaly {
@@ -120,14 +145,19 @@ impl Anomaly {
         if let Some(d) = self.vs_baseline {
             parts.push(format!("vs own baseline {d:.2}"));
         }
+        let quality = match self.quality {
+            DataQuality::Clean => String::new(),
+            DataQuality::Stale(n) => format!(" [stale baseline: {n} gap(s)]"),
+        };
         format!(
-            "{} {} interval {}: {} ({}; chi2 {:.3})",
+            "{} {} interval {}: {} ({}; chi2 {:.3}){}",
             self.node,
             self.op,
             self.seq,
             self.kind,
             parts.join(", "),
-            self.confirm
+            self.confirm,
+            quality
         )
     }
 }
@@ -158,8 +188,19 @@ impl Detector {
             if u.restarted || store.intervals(&u.node) <= self.cfg.warmup {
                 continue;
             }
+            // A gap-recovered pseudo-interval spans several sampling
+            // periods — judging its magnitude against single-interval
+            // references would manufacture false positives. Quarantined
+            // nodes' data is untrustworthy altogether.
+            if u.gapped || store.is_quarantined(&u.node) {
+                continue;
+            }
             let baseline = store.baseline(&u.node);
-            out.extend(self.judge(u, &median, baseline.as_ref()));
+            let quality = match store.staleness(&u.node) {
+                0 => DataQuality::Clean,
+                n => DataQuality::Stale(n),
+            };
+            out.extend(self.judge(u, &median, baseline.as_ref(), quality));
         }
         out.sort_by(|a, b| {
             a.node.cmp(&b.node).then_with(|| a.op.cmp(&b.op)).then_with(|| a.seq.cmp(&b.seq))
@@ -173,6 +214,7 @@ impl Detector {
         u: &IntervalUpdate,
         median: &ProfileSet,
         baseline: Option<&ProfileSet>,
+        quality: DataQuality,
     ) -> Vec<Anomaly> {
         let cfg = &self.cfg;
         // Phase 1-3 candidate pruning against each reference; an op is a
@@ -222,6 +264,7 @@ impl Detector {
                 vs_cluster,
                 vs_baseline,
                 confirm,
+                quality,
             });
         }
         out
@@ -337,8 +380,91 @@ mod tests {
             vs_cluster: Some(8.25),
             vs_baseline: None,
             confirm: 1.5,
+            quality: DataQuality::Clean,
         };
         let line = a.describe();
         assert!(line.contains("n7") && line.contains("read") && line.contains("8.25"), "{line}");
+        assert!(!line.contains("stale"), "clean verdicts carry no annotation: {line}");
+        let stale = Anomaly { quality: DataQuality::Stale(3), ..a };
+        let line = stale.describe();
+        assert!(line.contains("stale baseline: 3 gap(s)"), "{line}");
+    }
+
+    #[test]
+    fn gap_recovered_intervals_are_not_judged() {
+        let mut store = crate::store::ShardedStore::new(StoreConfig::default());
+        for i in 0..7 {
+            stream_node(&mut store, &format!("n{i}"), 10, 6, 1_000);
+        }
+        // A healthy node whose stream lost frames: the recovered
+        // snapshot's pseudo-interval packs 4 periods of activity, which
+        // naive judgment would flag as a count anomaly.
+        let mut set = ProfileSet::new("fs");
+        for seq in 0..2u64 {
+            set.entry("read").record_n(1 << 10, 1_000);
+            set.entry("write").record_n(1 << 12, 500);
+            store.offer("lossy", Snapshot { seq, at: (seq + 1) * 1_000, set: set.clone() });
+        }
+        for _ in 0..4 {
+            set.entry("read").record_n(1 << 10, 1_000);
+            set.entry("write").record_n(1 << 12, 500);
+        }
+        store.offer_with("lossy", Snapshot { seq: 6, at: 7_000, set: set.clone() }, true);
+        let updates = store.drain();
+        let anomalies = Detector::new(DetectorConfig::default()).scan(&store, &updates);
+        assert!(
+            anomalies.iter().all(|a| a.node != "lossy"),
+            "a frame gap must not manufacture anomalies: {anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn verdicts_after_a_gap_are_annotated_stale() {
+        let mut store = crate::store::ShardedStore::new(StoreConfig::default());
+        for i in 0..7 {
+            stream_node(&mut store, &format!("n{i}"), 10, 6, 1_000);
+        }
+        // A genuinely sick node that also lost a frame mid-stream: the
+        // anomaly must still fire, but annotated as resting on a stale
+        // baseline.
+        let mut set = ProfileSet::new("fs");
+        for seq in 0..4u64 {
+            set.entry("read").record_n(1 << 20, 1_000);
+            set.entry("write").record_n(1 << 12, 500);
+            store.offer("sick", Snapshot { seq, at: (seq + 1) * 1_000, set: set.clone() });
+        }
+        set.entry("read").record_n(1 << 20, 2_000);
+        store.offer_with("sick", Snapshot { seq: 6, at: 7_000, set: set.clone() }, true);
+        set.entry("read").record_n(1 << 20, 1_000);
+        set.entry("write").record_n(1 << 12, 500);
+        store.offer("sick", Snapshot { seq: 7, at: 8_000, set: set.clone() });
+        let updates = store.drain();
+        let anomalies = Detector::new(DetectorConfig::default()).scan(&store, &updates);
+        let sick: Vec<_> = anomalies.iter().filter(|a| a.node == "sick").collect();
+        assert!(!sick.is_empty(), "sickness must still be flagged through a gap");
+        assert!(
+            sick.iter().all(|a| a.quality == DataQuality::Stale(1)),
+            "verdicts must disclose the stale baseline: {sick:?}"
+        );
+    }
+
+    #[test]
+    fn quarantined_nodes_are_not_judged() {
+        use crate::store::StreamFault;
+        let mut store = crate::store::ShardedStore::new(StoreConfig {
+            corrupt_budget: 0,
+            ..Default::default()
+        });
+        for i in 0..7 {
+            stream_node(&mut store, &format!("n{i}"), 10, 6, 1_000);
+        }
+        stream_node(&mut store, "babbler", 20, 6, 1_000);
+        store.record_fault("babbler", StreamFault::Corrupt);
+        let updates = store.drain();
+        let anomalies = Detector::new(DetectorConfig::default()).scan(&store, &updates);
+        assert!(
+            anomalies.iter().all(|a| a.node != "babbler"),
+            "corrupt streams must not produce verdicts: {anomalies:?}"
+        );
     }
 }

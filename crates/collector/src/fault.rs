@@ -1,0 +1,424 @@
+//! Deterministic fault injection for the collection pipeline.
+//!
+//! The paper's whole point is diagnosing degraded disks and lossy
+//! networks from latency peaks — so the collection pipeline itself must
+//! survive, and *measure*, exactly those conditions. This module
+//! injects the faults: a [`FaultPlan`] declares per-frame probabilities
+//! for drops, bit-flip corruption, truncation, duplication and
+//! reordering, plus exact frame indices at which the connection resets;
+//! a [`FaultInjector`] executes the plan **deterministically** (seeded
+//! [`StdRng`], fixed draw order per frame), so a chaos run replays
+//! byte-identically under the same seed — the `ext-chaos` experiment
+//! and the `chaos_frames.hex` golden fixture pin this.
+//!
+//! Faults operate on *encoded frame bytes*, below the codec: corruption
+//! flips bits that the FNV checksum must catch, truncation produces
+//! short reads, reordering and duplication exercise the sequence-number
+//! and epoch machinery in [`crate::agent::Decoder::apply_lossy`].
+//!
+//! [`FaultTransport`] wraps any byte sink as a [`FrameSink`], so an
+//! agent can stream through a hostile wire without knowing it; the
+//! deterministic replay experiments drive the [`FaultInjector`]
+//! directly and feed the surviving bytes to
+//! `Collector::ingest_bytes`.
+
+use std::io::Write;
+
+use osprof_core::rng::{uniform_below, Rng, RngCore, StdRng};
+
+use crate::transport::FrameSink;
+use crate::wire::{self, Frame, WireError};
+
+/// Declarative fault schedule for one connection.
+///
+/// Probabilities are per frame, evaluated in a fixed order (drop,
+/// corrupt, truncate, duplicate, reorder) so the random stream — and
+/// therefore the whole injected byte stream — is a pure function of the
+/// seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's private generator.
+    pub seed: u64,
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability a surviving frame has one random bit flipped.
+    pub corrupt: f64,
+    /// Probability a surviving frame is truncated at a random offset.
+    pub truncate: f64,
+    /// Probability a surviving frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a surviving frame is held back and delivered after
+    /// the next one (adjacent reordering).
+    pub reorder: f64,
+    /// Frame indices (0-based, counted over frames *offered* to the
+    /// injector) at which the connection is reset. The in-flight frame
+    /// and any held reordered frame are lost with the connection.
+    pub reset_at: Vec<u64>,
+}
+
+impl Default for FaultPlan {
+    /// A perfect network: no faults, seed 0.
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            corrupt: 0.0,
+            truncate: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reset_at: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The `ext-chaos` reference plan: 5% drops, 1% corruption, light
+    /// duplication/reordering, resets at the given frame indices.
+    pub fn chaos(seed: u64, reset_at: Vec<u64>) -> Self {
+        FaultPlan {
+            seed,
+            drop: 0.05,
+            corrupt: 0.01,
+            truncate: 0.005,
+            duplicate: 0.01,
+            reorder: 0.02,
+            reset_at,
+        }
+    }
+}
+
+/// What the injector put on the wire for one offered frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivery {
+    /// These bytes arrive at the collector (possibly corrupted,
+    /// truncated, duplicated or out of order).
+    Bytes(Vec<u8>),
+    /// The connection was reset; the agent must reconnect.
+    Reset,
+}
+
+/// Counters for every injected fault, surfaced by experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames offered to the injector.
+    pub offered: u64,
+    /// Byte payloads actually delivered (including duplicates).
+    pub delivered: u64,
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames delivered with a flipped bit.
+    pub corrupted: u64,
+    /// Frames delivered truncated.
+    pub truncated: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Adjacent frame pairs delivered in swapped order.
+    pub reordered: u64,
+    /// Connection resets injected.
+    pub resets: u64,
+}
+
+impl FaultStats {
+    /// One-line summary for reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "offered {} delivered {} dropped {} corrupted {} truncated {} duplicated {} reordered {} resets {}",
+            self.offered,
+            self.delivered,
+            self.dropped,
+            self.corrupted,
+            self.truncated,
+            self.duplicated,
+            self.reordered,
+            self.resets
+        )
+    }
+}
+
+/// Executes a [`FaultPlan`] over a stream of encoded frames.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Index of the next offered frame.
+    idx: u64,
+    /// A frame held back for reordering.
+    held: Option<Vec<u8>>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector for the plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector { plan, rng, idx: 0, held: None, stats: FaultStats::default() }
+    }
+
+    /// The plan in effect.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Offers one encoded frame; returns what actually goes on the
+    /// wire, in order. A [`Delivery::Reset`] ends the current
+    /// connection — the frame that triggered it (and any held reordered
+    /// frame) is lost with it.
+    pub fn push(&mut self, bytes: Vec<u8>) -> Vec<Delivery> {
+        let idx = self.idx;
+        self.idx += 1;
+        self.stats.offered += 1;
+
+        if self.plan.reset_at.contains(&idx) {
+            self.stats.resets += 1;
+            if self.held.take().is_some() {
+                self.stats.dropped += 1;
+            }
+            self.stats.dropped += 1; // the in-flight frame dies too
+            return vec![Delivery::Reset];
+        }
+
+        // Fixed draw order per frame keeps the stream deterministic
+        // regardless of which faults fire.
+        let r_drop = self.rng.gen_f64();
+        let r_corrupt = self.rng.gen_f64();
+        let r_truncate = self.rng.gen_f64();
+        let r_duplicate = self.rng.gen_f64();
+        let r_reorder = self.rng.gen_f64();
+
+        if r_drop < self.plan.drop {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+
+        let mut bytes = bytes;
+        if r_corrupt < self.plan.corrupt && !bytes.is_empty() {
+            let pos = uniform_below(&mut self.rng, bytes.len() as u64) as usize;
+            let bit = uniform_below(&mut self.rng, 8) as u8;
+            bytes[pos] ^= 1 << bit;
+            self.stats.corrupted += 1;
+        }
+        if r_truncate < self.plan.truncate && bytes.len() > 1 {
+            let keep = 1 + uniform_below(&mut self.rng, bytes.len() as u64 - 1) as usize;
+            bytes.truncate(keep);
+            self.stats.truncated += 1;
+        }
+
+        let mut out = Vec::new();
+        if r_reorder < self.plan.reorder && self.held.is_none() {
+            // Hold this frame; it rides out after the next one.
+            self.held = Some(bytes);
+            self.stats.reordered += 1;
+            return out;
+        }
+        out.push(Delivery::Bytes(bytes.clone()));
+        self.stats.delivered += 1;
+        if r_duplicate < self.plan.duplicate {
+            out.push(Delivery::Bytes(bytes));
+            self.stats.delivered += 1;
+            self.stats.duplicated += 1;
+        }
+        if let Some(held) = self.held.take() {
+            out.push(Delivery::Bytes(held));
+            self.stats.delivered += 1;
+        }
+        out
+    }
+
+    /// Releases any held reordered frame (end of stream).
+    pub fn flush(&mut self) -> Vec<Delivery> {
+        match self.held.take() {
+            Some(b) => {
+                self.stats.delivered += 1;
+                vec![Delivery::Bytes(b)]
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+/// A [`FrameSink`] that runs every frame through a [`FaultInjector`]
+/// before writing the surviving bytes to the inner sink.
+///
+/// An injected reset surfaces as [`WireError::Reset`] from
+/// [`send`](FrameSink::send); the caller reconnects (see
+/// [`crate::resilience::ResilientAgent`]) with a fresh transport.
+pub struct FaultTransport<W: Write> {
+    w: W,
+    inj: FaultInjector,
+}
+
+impl<W: Write> FaultTransport<W> {
+    /// Wraps a byte sink; writes the `OSPW` header (headers are not
+    /// subject to injection — a torn header is a failed connect, which
+    /// the reconnect path already covers).
+    pub fn new(mut w: W, plan: FaultPlan) -> Result<Self, WireError> {
+        wire::write_header(&mut w)?;
+        Ok(FaultTransport { w, inj: FaultInjector::new(plan) })
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> &FaultStats {
+        self.inj.stats()
+    }
+
+    /// Flushes any held frame and returns the inner writer.
+    pub fn finish(mut self) -> Result<W, WireError> {
+        for d in self.inj.flush() {
+            if let Delivery::Bytes(b) = d {
+                self.w.write_all(&b)?;
+            }
+        }
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write> FrameSink for FaultTransport<W> {
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        for d in self.inj.push(wire::encode_frame(frame)) {
+            match d {
+                Delivery::Bytes(b) => self.w.write_all(&b)?,
+                Delivery::Reset => return Err(WireError::Reset),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Derives a per-node fault seed from a base seed, so every node of a
+/// cluster gets an independent but reproducible fault stream.
+pub fn node_seed(base: u64, node_idx: u64) -> u64 {
+    use osprof_core::rng::SplitMix64;
+    let mut sm = SplitMix64::new(base ^ node_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(seq: u64) -> Vec<u8> {
+        wire::encode_frame(&Frame::Bye { seq })
+    }
+
+    #[test]
+    fn no_fault_plan_is_a_passthrough() {
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        for seq in 0..20 {
+            let b = frame_bytes(seq);
+            assert_eq!(inj.push(b.clone()), vec![Delivery::Bytes(b)]);
+        }
+        assert!(inj.flush().is_empty());
+        let s = inj.stats();
+        assert_eq!((s.offered, s.delivered, s.dropped), (20, 20, 0));
+    }
+
+    #[test]
+    fn injection_is_deterministic_under_a_seed() {
+        let run = || {
+            let mut inj = FaultInjector::new(FaultPlan::chaos(42, vec![7]));
+            let mut out = Vec::new();
+            for seq in 0..50 {
+                out.extend(inj.push(frame_bytes(seq)));
+            }
+            out.extend(inj.flush());
+            (out, *inj.stats())
+        };
+        assert_eq!(run(), run(), "same seed must inject identically");
+    }
+
+    #[test]
+    fn reset_fires_at_the_declared_index_and_drops_in_flight_frames() {
+        let mut inj = FaultInjector::new(FaultPlan { reset_at: vec![2], ..Default::default() });
+        assert_eq!(inj.push(frame_bytes(0)).len(), 1);
+        assert_eq!(inj.push(frame_bytes(1)).len(), 1);
+        assert_eq!(inj.push(frame_bytes(2)), vec![Delivery::Reset]);
+        let s = inj.stats();
+        assert_eq!(s.resets, 1);
+        assert_eq!(s.dropped, 1, "the in-flight frame is lost with the connection");
+        // The stream continues on the (notionally new) connection.
+        assert_eq!(inj.push(frame_bytes(3)).len(), 1);
+    }
+
+    #[test]
+    fn drops_corruptions_and_duplicates_all_occur_under_the_chaos_plan() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            drop: 0.2,
+            corrupt: 0.2,
+            truncate: 0.1,
+            duplicate: 0.2,
+            reorder: 0.2,
+            seed: 7,
+            reset_at: vec![],
+        });
+        let mut deliveries = 0usize;
+        for seq in 0..400 {
+            deliveries += inj.push(frame_bytes(seq)).len();
+        }
+        deliveries += inj.flush().len();
+        let s = *inj.stats();
+        assert!(s.dropped > 0 && s.corrupted > 0 && s.truncated > 0, "{s:?}");
+        assert!(s.duplicated > 0 && s.reordered > 0, "{s:?}");
+        assert_eq!(s.delivered as usize, deliveries);
+        assert_eq!(s.offered, 400);
+    }
+
+    #[test]
+    fn corrupted_frames_fail_their_checksum() {
+        // With corrupt=1.0 every delivered frame has a flipped bit; the
+        // decoder must reject every single one.
+        let mut inj = FaultInjector::new(FaultPlan { corrupt: 1.0, seed: 3, ..Default::default() });
+        let mut rejected = 0;
+        for seq in 0..50 {
+            for d in inj.push(frame_bytes(seq)) {
+                if let Delivery::Bytes(b) = d {
+                    if wire::decode_frame(&b).is_err() {
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(rejected, 50, "every bit flip must be detected");
+    }
+
+    #[test]
+    fn reordering_swaps_adjacent_frames() {
+        // reorder=1.0: frame 0 is held, delivered after frame 1, which
+        // is itself held... with a single-slot buffer the effective
+        // pattern is hold-release pairs.
+        let mut inj = FaultInjector::new(FaultPlan { reorder: 1.0, seed: 1, ..Default::default() });
+        let first = inj.push(frame_bytes(0));
+        assert!(first.is_empty(), "first frame is held");
+        let second = inj.push(frame_bytes(1));
+        assert_eq!(second.len(), 2, "second frame rides out with the held first");
+        assert_eq!(second[0], Delivery::Bytes(frame_bytes(1)));
+        assert_eq!(second[1], Delivery::Bytes(frame_bytes(0)));
+    }
+
+    #[test]
+    fn fault_transport_surfaces_resets_as_errors() {
+        let plan = FaultPlan { reset_at: vec![1], ..Default::default() };
+        let mut t = FaultTransport::new(Vec::new(), plan).unwrap();
+        assert!(t.send(&Frame::Bye { seq: 0 }).is_ok());
+        assert!(matches!(t.send(&Frame::Bye { seq: 1 }), Err(WireError::Reset)));
+        // Frames before the reset made it to the wire.
+        let bytes = t.finish().unwrap();
+        let mut r = &bytes[..];
+        wire::read_header(&mut r).unwrap();
+        assert_eq!(wire::read_frame(&mut r).unwrap(), Some(Frame::Bye { seq: 0 }));
+        assert_eq!(wire::read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn node_seeds_are_distinct_and_stable() {
+        let a = node_seed(42, 0);
+        let b = node_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, node_seed(42, 0));
+    }
+}

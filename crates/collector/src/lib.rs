@@ -29,6 +29,15 @@
 //! ([`wire`]), the transports are `mpsc` and `std::net`
 //! ([`transport`]), and the whole pipeline is deterministic under
 //! `OSPROF_TEST_SEED` when driven by the replay [`scenario`]s.
+//!
+//! The pipeline is also **chaos-hardened**: [`fault`] injects
+//! deterministic frame drops, corruption, reordering and connection
+//! resets below the codec; [`resilience`] gives agents reconnect
+//! backoff and the `Resync` epoch protocol; the store quarantines
+//! nodes that blow their corruption budget and keeps gap-recovered
+//! pseudo-intervals out of baselines (stale, never poisoned); and
+//! [`journal`] write-ahead-logs every ingest event so `osprofd` can
+//! crash and recover its aggregation state exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +46,9 @@ pub mod agent;
 pub mod daemon;
 pub mod delta;
 pub mod detect;
+pub mod fault;
+pub mod journal;
+pub mod resilience;
 pub mod scenario;
 pub mod store;
 pub mod transport;

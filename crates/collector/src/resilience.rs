@@ -1,0 +1,298 @@
+//! Agent-side resilience: reconnect backoff and the resync protocol.
+//!
+//! A streaming agent talks to the daemon over a wire that drops frames
+//! and resets connections (see [`crate::fault`] for the test double and
+//! any real network for the production case). Two pieces make the
+//! stream resumable:
+//!
+//! * [`Backoff`] — capped exponential delays with **deterministic**
+//!   jitter (seeded from `osprof_core::rng`), so reconnect storms
+//!   de-synchronize across a cluster yet every simulation replays
+//!   byte-identically.
+//! * [`ResilientAgent`] — wraps an [`Agent`] and, after a reset, opens
+//!   the next connection with a `[Hello, Resync{epoch}, Full]` preamble.
+//!   The epoch counter (allocated from 1, monotonically increasing per
+//!   agent lifetime) lets the daemon's tolerant decoder distinguish a
+//!   genuine reconnect from a reordered straggler of an old connection:
+//!   frames from an epoch at or below the latest accepted one are
+//!   discarded, never misapplied.
+
+use osprof_core::bucket::Resolution;
+use osprof_core::clock::Cycles;
+use osprof_core::profile::ProfileSet;
+use osprof_core::rng::{uniform_below, StdRng};
+
+use crate::agent::Agent;
+use crate::wire::Frame;
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// Delay for attempt `n` (0-based) is `base * 2^n` capped at `cap`,
+/// plus a jitter drawn uniformly from `[0, delay/2)` off the seeded
+/// generator. Units are whatever the caller uses (the simulations use
+/// cycles, a live agent would use milliseconds).
+#[derive(Debug)]
+pub struct Backoff {
+    base: u64,
+    cap: u64,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// Creates a backoff policy. `base` is the first delay, `cap` the
+    /// largest un-jittered delay.
+    pub fn new(base: u64, cap: u64, seed: u64) -> Self {
+        Backoff { base: base.max(1), cap: cap.max(1), attempt: 0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The delay before the next reconnect attempt.
+    pub fn next_delay(&mut self) -> u64 {
+        let exp = self.base.saturating_shl(self.attempt.min(32)).min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let jitter = uniform_below(&mut self.rng, exp / 2 + 1);
+        exp + jitter
+    }
+
+    /// Resets the attempt counter after a successful reconnect.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Consecutive failed attempts so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        if rhs >= 64 || self.leading_zeros() < rhs {
+            u64::MAX
+        } else {
+            self << rhs
+        }
+    }
+}
+
+/// Stream identity an agent re-announces on every (re)connect.
+#[derive(Debug, Clone)]
+struct StreamIdent {
+    layer: String,
+    resolution: Resolution,
+    interval: Cycles,
+}
+
+/// An [`Agent`] that survives connection resets.
+///
+/// Drive it like a plain agent — [`hello`](ResilientAgent::hello) once,
+/// then [`frames`](ResilientAgent::frames) per interval — and call
+/// [`on_reset`](ResilientAgent::on_reset) whenever a send fails with
+/// [`crate::wire::WireError::Reset`] (or any transport error). The next
+/// `frames` call then returns the reconnect preamble (`Hello`,
+/// `Resync{epoch}`) followed by a `Full` snapshot, giving the daemon a
+/// complete fresh basis without replaying lost history.
+#[derive(Debug)]
+pub struct ResilientAgent {
+    agent: Agent,
+    backoff: Backoff,
+    ident: Option<StreamIdent>,
+    /// Latest allocated resync epoch; 0 = never reconnected.
+    epoch: u64,
+    /// Set by `on_reset`, cleared when the preamble goes out.
+    reconnecting: bool,
+}
+
+/// Resilient agents refresh with a `Full` every 8 snapshots so a
+/// collector's wait for a new basis after a gap stays short even under
+/// heavy loss.
+pub const RESILIENT_FULL_EVERY: u64 = 8;
+
+impl ResilientAgent {
+    /// Creates a resilient agent. `seed` feeds the backoff jitter only.
+    pub fn new(node: impl Into<String>, seed: u64) -> Self {
+        ResilientAgent {
+            agent: Agent::new(node).with_full_every(RESILIENT_FULL_EVERY),
+            backoff: Backoff::new(1, 64, seed),
+            ident: None,
+            epoch: 0,
+            reconnecting: false,
+        }
+    }
+
+    /// The node label.
+    pub fn node(&self) -> &str {
+        self.agent.node()
+    }
+
+    /// Latest allocated resync epoch (0 before the first reset).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True between a reset and the next emitted preamble.
+    pub fn reconnecting(&self) -> bool {
+        self.reconnecting
+    }
+
+    /// The stream-opening frame; remembers the identity for reconnects.
+    pub fn hello(&mut self, layer: &str, resolution: Resolution, interval: Cycles) -> Frame {
+        self.ident = Some(StreamIdent { layer: layer.into(), resolution, interval });
+        self.agent.hello(layer, resolution, interval)
+    }
+
+    /// Records a connection reset: allocates a fresh epoch, forces the
+    /// next snapshot out as a `Full` frame, and returns the backoff
+    /// delay before the reconnect attempt.
+    pub fn on_reset(&mut self) -> u64 {
+        self.epoch += 1;
+        self.reconnecting = true;
+        self.agent.force_full();
+        self.backoff.next_delay()
+    }
+
+    /// Marks the reconnect as established (resets the backoff counter).
+    pub fn on_connected(&mut self) {
+        self.backoff.reset();
+    }
+
+    /// The frames to send for the next cumulative snapshot. Normally a
+    /// single `Full`/`Delta` frame; after a reset, the reconnect
+    /// preamble (`Hello`, `Resync`) precedes a guaranteed `Full`.
+    pub fn frames(&mut self, at: Cycles, set: &ProfileSet) -> Vec<Frame> {
+        let mut out = Vec::with_capacity(3);
+        if self.reconnecting {
+            self.reconnecting = false;
+            if let Some(ident) = &self.ident {
+                out.push(self.agent.hello(&ident.layer, ident.resolution, ident.interval));
+            }
+            out.push(Frame::Resync { epoch: self.epoch, seq: self.agent.next_seq() });
+        }
+        out.push(self.agent.snapshot(at, set));
+        out
+    }
+
+    /// The stream-closing frame.
+    pub fn bye(&self) -> Frame {
+        self.agent.bye()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{DecodeEvent, Decoder};
+    use osprof_core::bucket::Resolution;
+
+    fn sets(n: u64) -> Vec<ProfileSet> {
+        let mut out = Vec::new();
+        let mut s = ProfileSet::new("fs");
+        for i in 0..n {
+            s.record("read", 1 << (10 + i % 4));
+            out.push(s.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let mut b = Backoff::new(1, 8, 0);
+        let mut prev = 0;
+        for _ in 0..4 {
+            let d = b.next_delay();
+            assert!(d >= prev / 2, "delays trend upward");
+            assert!(d <= 8 + 4, "capped at cap + cap/2 jitter");
+            prev = d;
+        }
+        // After the cap is reached delays stop growing beyond cap*1.5.
+        for _ in 0..10 {
+            assert!(b.next_delay() <= 12);
+        }
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay() <= 1 + 1, "back to base after reset");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut b = Backoff::new(2, 100, seed);
+            (0..8).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds jitter differently");
+    }
+
+    #[test]
+    fn reconnect_emits_hello_resync_full_preamble() {
+        let sets = sets(6);
+        let mut ra = ResilientAgent::new("n0", 1);
+        let _hello = ra.hello("fs", Resolution::default(), 1_000);
+        // Normal operation: one frame per snapshot.
+        assert_eq!(ra.frames(1_000, &sets[0]).len(), 1);
+        assert_eq!(ra.frames(2_000, &sets[1]).len(), 1);
+
+        let delay = ra.on_reset();
+        assert!(delay >= 1);
+        assert_eq!(ra.epoch(), 1);
+        assert!(ra.reconnecting());
+
+        let frames = ra.frames(3_000, &sets[2]);
+        assert_eq!(frames.len(), 3, "hello + resync + snapshot");
+        assert!(matches!(frames[0], Frame::Hello { .. }));
+        assert!(matches!(frames[1], Frame::Resync { epoch: 1, .. }));
+        assert!(matches!(frames[2], Frame::Full { .. }), "post-reset snapshot must be a Full");
+        assert!(!ra.reconnecting());
+
+        // Subsequent snapshots go back to single delta frames.
+        let next = ra.frames(4_000, &sets[3]);
+        assert_eq!(next.len(), 1);
+        assert!(matches!(next[0], Frame::Delta { .. }));
+    }
+
+    #[test]
+    fn epochs_increase_across_resets() {
+        let mut ra = ResilientAgent::new("n0", 2);
+        let _ = ra.hello("fs", Resolution::default(), 1_000);
+        ra.on_reset();
+        ra.on_reset();
+        assert_eq!(ra.epoch(), 2, "each reset allocates a fresh epoch");
+    }
+
+    #[test]
+    fn decoder_recovers_cleanly_from_a_mid_stream_reset() {
+        let sets = sets(10);
+        let mut ra = ResilientAgent::new("n0", 3);
+        let hello = ra.hello("fs", Resolution::default(), 1_000);
+        let mut dec = Decoder::new();
+        assert_eq!(dec.apply_lossy(&hello), DecodeEvent::Control);
+
+        let mut decoded = Vec::new();
+        for (i, set) in sets.iter().enumerate() {
+            if i == 4 {
+                // This interval's frame is lost to a reset.
+                ra.on_reset();
+                continue;
+            }
+            for f in ra.frames((i as u64 + 1) * 1_000, set) {
+                if let DecodeEvent::Snapshot { seq, set, recovered, .. } = dec.apply_lossy(&f) {
+                    decoded.push((seq, set, recovered));
+                }
+            }
+        }
+        // Snapshot 4 was dropped entirely (the agent never sent it);
+        // everything else must reconstruct exactly, with the first
+        // post-reset snapshot flagged recovered.
+        let seqs: Vec<u64> = decoded.iter().map(|(s, ..)| *s).collect();
+        assert_eq!(seqs, [0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        for (i, (seq, set, recovered)) in decoded.iter().enumerate() {
+            let src = if i < 4 { &sets[i] } else { &sets[i + 1] };
+            assert_eq!(set, src, "snapshot seq {seq} must reconstruct exactly");
+            assert_eq!(*recovered, i == 4, "only the first post-reset snapshot is recovered");
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! looks like to the daemon, but fully deterministic under
 //! `OSPROF_TEST_SEED`.
 
-use osprof_core::clock::secs_to_cycles;
+use osprof_core::clock::{secs_to_cycles, Cycles};
 use osprof_core::profile::ProfileSet;
 use osprof_core::sampling::SampledProfile;
 use osprof_simdisk::{DiskConfig, DiskDevice};
@@ -20,8 +20,11 @@ use osprof_simkernel::{Kernel, KernelConfig};
 use osprof_workloads::{grep, tree};
 
 use crate::agent::Agent;
-use crate::daemon::Collector;
-use crate::wire::Frame;
+use crate::daemon::{Collector, CollectorConfig, CollectorError};
+use crate::fault::{node_seed, Delivery, FaultInjector, FaultPlan, FaultStats};
+use crate::journal::{self, JournaledCollector};
+use crate::resilience::ResilientAgent;
+use crate::wire::{encode_frame, Frame};
 
 /// Scenario knobs.
 #[derive(Debug, Clone)]
@@ -85,6 +88,36 @@ pub fn cluster_streams(cfg: &ScenarioConfig) -> Vec<(String, Vec<Frame>)> {
         .collect()
 }
 
+/// One node's cumulative snapshot timeline: `(timestamp, cumulative
+/// set)` per sampling interval. The frame-free form of a stream —
+/// chaos replays re-encode it per run because the frames an agent
+/// emits depend on where the wire resets it.
+pub type Timeline = Vec<(Cycles, ProfileSet)>;
+
+/// Runs every node's simulation once and returns the cumulative
+/// timelines. The expensive part of a chaos experiment — compute it
+/// once, replay it under as many fault plans as needed.
+pub fn cluster_timelines(cfg: &ScenarioConfig) -> Vec<(String, Timeline)> {
+    (0..cfg.nodes)
+        .map(|i| {
+            let name = format!("node-{i}");
+            let sampled =
+                node_sampled(cfg.degraded == Some(i), cfg.interval_secs, cfg.dirs);
+            let interval = sampled.interval();
+            let mut cumulative =
+                ProfileSet::with_resolution(sampled.layer(), sampled.resolution());
+            let mut timeline = Vec::new();
+            for (start, seg) in sampled.iter_segments() {
+                if cumulative.merge(seg).is_err() {
+                    continue;
+                }
+                timeline.push((start + interval, cumulative.clone()));
+            }
+            (name, timeline)
+        })
+        .collect()
+}
+
 /// Replays the streams into a collector round-robin — one frame per
 /// connection per round, a detection tick after every round — the
 /// deterministic stand-in for concurrent live ingest.
@@ -97,7 +130,9 @@ pub fn replay_round_robin(col: &mut Collector, streams: &[(String, Vec<Frame>)])
     for round in 0..max_len {
         for (conn, (_, frames)) in streams.iter().enumerate() {
             if let Some(f) = frames.get(round) {
-                col.ingest(conn as u64, f).expect("replayed streams are well-formed");
+                // The tolerant path: a malformed frame in a replayed
+                // stream is counted against its node, never a panic.
+                col.ingest_lossy(conn as u64, f);
             }
         }
         if !col.tick().is_empty() && first_fired.is_none() {
@@ -120,18 +155,199 @@ pub fn degrading_node_frames(cfg: &ScenarioConfig) -> Vec<Frame> {
     let mut frames = vec![agent.hello(healthy.layer(), healthy.resolution(), interval)];
     let mut cumulative = ProfileSet::with_resolution(healthy.layer(), healthy.resolution());
     let mut at = 0;
-    for (_, seg) in healthy.iter_segments() {
-        cumulative.merge(seg).expect("one resolution");
-        at += interval;
-        frames.push(agent.snapshot(at, &cumulative));
-    }
-    for (_, seg) in sick.iter_segments() {
-        cumulative.merge(seg).expect("one resolution");
+    for (_, seg) in healthy.iter_segments().chain(sick.iter_segments()) {
+        // Segments share one resolution by construction; a mismatch is
+        // skipped rather than panicking the agent.
+        if cumulative.merge(seg).is_err() {
+            continue;
+        }
         at += interval;
         frames.push(agent.snapshot(at, &cumulative));
     }
     frames.push(agent.bye());
     frames
+}
+
+// ---- chaos replay --------------------------------------------------------
+
+/// Knobs for a chaos replay: the fault plan applied to every node's
+/// wire plus the crash/reset schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Base seed; each node's injector derives its own stream from it.
+    pub seed: u64,
+    /// Per-frame drop probability.
+    pub drop: f64,
+    /// Per-frame bit-flip probability.
+    pub corrupt: f64,
+    /// Per-frame truncation probability.
+    pub truncate: f64,
+    /// Per-frame duplication probability.
+    pub duplicate: f64,
+    /// Per-frame adjacent-reorder probability.
+    pub reorder: f64,
+    /// Connection resets: `(node index, offered-frame index)` pairs.
+    pub resets: Vec<(usize, u64)>,
+}
+
+impl Default for ChaosConfig {
+    /// The `ext-chaos` reference plan: 5% drops, 1% corruption, light
+    /// duplication/reordering, two mid-run resets.
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A0_5E5D,
+            drop: 0.05,
+            corrupt: 0.01,
+            truncate: 0.005,
+            duplicate: 0.01,
+            reorder: 0.02,
+            resets: vec![(2, 9), (5, 17)],
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The fault plan for one node of the cluster.
+    pub fn plan_for(&self, node_idx: usize) -> FaultPlan {
+        FaultPlan {
+            seed: node_seed(self.seed, node_idx as u64),
+            drop: self.drop,
+            corrupt: self.corrupt,
+            truncate: self.truncate,
+            duplicate: self.duplicate,
+            reorder: self.reorder,
+            reset_at: self
+                .resets
+                .iter()
+                .filter(|(n, _)| *n == node_idx)
+                .map(|(_, idx)| *idx)
+                .collect(),
+        }
+    }
+}
+
+/// What a chaos replay produced.
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// The collector's final report.
+    pub report: String,
+    /// Round at which the first anomaly fired, if any.
+    pub first_fired: Option<usize>,
+    /// Per-node injector statistics (what the wire actually did).
+    pub wire_stats: Vec<(String, FaultStats)>,
+    /// Nodes flagged at least once, sorted and deduplicated.
+    pub flagged: Vec<String>,
+    /// True when the run crashed and recovered from its journal.
+    pub recovered: bool,
+}
+
+/// Replays the timelines through per-node [`ResilientAgent`]s, each
+/// wire mangled by its own deterministic [`FaultInjector`], into a
+/// write-ahead-journaled collector.
+///
+/// `crash_after_round`, when set, drops the collector at the end of
+/// that round (0-based) and rebuilds it from its journal before
+/// continuing — the crash-recovery path under test. Since the journal
+/// replay is exact and the agents/injectors are outside the crashed
+/// process, the final report is byte-identical to the uninterrupted
+/// run's, which the `ext-chaos` experiment asserts.
+pub fn replay_chaos(
+    timelines: &[(String, Timeline)],
+    cfg: &ChaosConfig,
+    crash_after_round: Option<usize>,
+) -> Result<ChaosRun, CollectorError> {
+    let interval = timelines
+        .iter()
+        .flat_map(|(_, t)| t.windows(2).map(|w| w[1].0 - w[0].0))
+        .min()
+        .unwrap_or(0);
+    let mut agents: Vec<ResilientAgent> = timelines
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| ResilientAgent::new(name.clone(), node_seed(cfg.seed ^ 0xBACF, i as u64)))
+        .collect();
+    let mut injectors: Vec<FaultInjector> =
+        (0..timelines.len()).map(|i| FaultInjector::new(cfg.plan_for(i))).collect();
+
+    let mut jc = JournaledCollector::create(CollectorConfig::default(), Vec::new())?;
+    let mut first_fired = None;
+    let mut recovered = false;
+    let rounds = timelines.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+
+    let deliver = |jc: &mut JournaledCollector<Vec<u8>>,
+                       conn: usize,
+                       agents: &mut [ResilientAgent],
+                       injectors: &mut [FaultInjector],
+                       frames: Vec<Frame>|
+     -> Result<(), CollectorError> {
+        'frames: for f in frames {
+            for d in injectors[conn].push(encode_frame(&f)) {
+                match d {
+                    Delivery::Bytes(b) => {
+                        jc.ingest_bytes(conn as u64, &b)?;
+                    }
+                    Delivery::Reset => {
+                        // The wire died under this frame: the daemon
+                        // counts the reset, the agent backs off and
+                        // will open its next interval with a resync
+                        // preamble. The rest of this batch is lost.
+                        jc.reset_conn(conn as u64)?;
+                        agents[conn].on_reset();
+                        break 'frames;
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for round in 0..rounds {
+        for (conn, (_, timeline)) in timelines.iter().enumerate() {
+            let Some((at, set)) = timeline.get(round) else { continue };
+            let mut frames = Vec::new();
+            if round == 0 {
+                frames.push(agents[conn].hello(set.layer(), set.resolution(), interval));
+            }
+            frames.extend(agents[conn].frames(*at, set));
+            deliver(&mut jc, conn, &mut agents, &mut injectors, frames)?;
+        }
+        if !jc.tick()?.is_empty() && first_fired.is_none() {
+            first_fired = Some(round);
+        }
+        if crash_after_round == Some(round) {
+            // The daemon process dies here; everything it knew is gone
+            // except the journal. Recovery = deterministic replay.
+            let (_, journal_bytes) = jc.into_parts()?;
+            let (col, _) = journal::recover(&journal_bytes[..], CollectorConfig::default())?;
+            jc = JournaledCollector::resume(col, journal_bytes);
+            recovered = true;
+        }
+    }
+    // Close every stream: bye through the (still hostile) wire, then
+    // flush any frame the reorder buffer held back.
+    for conn in 0..timelines.len() {
+        let bye = agents[conn].bye();
+        deliver(&mut jc, conn, &mut agents, &mut injectors, vec![bye])?;
+        for d in injectors[conn].flush() {
+            if let Delivery::Bytes(b) = d {
+                jc.ingest_bytes(conn as u64, &b)?;
+            }
+        }
+    }
+    if !jc.tick()?.is_empty() && first_fired.is_none() {
+        first_fired = Some(rounds);
+    }
+
+    let mut flagged: Vec<String> =
+        jc.collector().anomalies().iter().map(|a| a.node.clone()).collect();
+    flagged.sort();
+    flagged.dedup();
+    let wire_stats = timelines
+        .iter()
+        .zip(&injectors)
+        .map(|((name, _), inj)| (name.clone(), *inj.stats()))
+        .collect();
+    Ok(ChaosRun { report: jc.report(), first_fired, wire_stats, flagged, recovered })
 }
 
 #[cfg(test)]
@@ -158,6 +374,31 @@ mod tests {
         assert!(matches!(frames[0], Frame::Hello { .. }));
         assert!(matches!(frames.last(), Some(Frame::Bye { .. })));
         assert!(frames.len() >= 6, "hello + intervals + bye, got {}", frames.len());
+    }
+
+    #[test]
+    fn chaos_replay_is_deterministic_and_crash_recovery_is_exact() {
+        let scfg = ScenarioConfig { nodes: 4, degraded: Some(3), ..Default::default() };
+        let timelines = cluster_timelines(&scfg);
+        let rounds = timelines.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+        assert!(rounds > 6, "need a stream long enough to crash into, got {rounds}");
+        let ccfg = ChaosConfig { resets: vec![(1, 6)], ..Default::default() };
+
+        let uninterrupted = replay_chaos(&timelines, &ccfg, None).unwrap();
+        assert!(!uninterrupted.recovered);
+        // The reset at frame 6 of node-1 must actually have happened.
+        let n1 = &uninterrupted.wire_stats[1];
+        assert_eq!(n1.1.resets, 1, "{:?}", uninterrupted.wire_stats);
+
+        // Same wire, but the daemon crashes after round 4 and recovers
+        // from its journal: the final report must not differ by a byte.
+        let crashed = replay_chaos(&timelines, &ccfg, Some(4)).unwrap();
+        assert!(crashed.recovered);
+        assert_eq!(crashed.report, uninterrupted.report, "recovery must be exact");
+
+        // And the whole thing replays identically under the same seed.
+        let again = replay_chaos(&timelines, &ccfg, None).unwrap();
+        assert_eq!(again.report, uninterrupted.report, "chaos must be deterministic");
     }
 
     #[test]

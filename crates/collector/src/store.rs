@@ -25,6 +25,20 @@
 //! snapshots into per-interval sets. A count that goes backwards means
 //! the node's profiler restarted: the window is cleared and the
 //! snapshot is treated as the first interval again.
+//!
+//! Lossy streams add two more concerns (see `crate::agent::Decoder`'s
+//! tolerant mode). First, a snapshot recovered after a frame gap spans
+//! more than one sampling period; feeding it to the rolling window
+//! would *poison* the baseline with an interval whose magnitude is
+//! wrong. Such snapshots (offered with `recovered = true`) update the
+//! cumulative state but **bypass the window** — the baseline goes
+//! *stale* instead, which [`ShardedStore::staleness`] reports. Second,
+//! per-node [`FaultCounters`] track corruption, gaps, resyncs and
+//! resets; a node whose corruption count exceeds
+//! [`StoreConfig::corrupt_budget`] is **quarantined** — its offers are
+//! rejected (counted under `dropped`, so conservation still holds) and
+//! it is excluded from the cluster median so a babbling stream cannot
+//! skew the healthy majority's reference.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -44,11 +58,15 @@ pub struct StoreConfig {
     /// Number of recent intervals kept per node for the rolling
     /// baseline (≥ 2 for the baseline to ever exist).
     pub baseline_window: usize,
+    /// Corrupt-frame budget per node: once a node's corruption counter
+    /// exceeds this, the node is quarantined (offers rejected, excluded
+    /// from the cluster median).
+    pub corrupt_budget: u64,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { shards: 8, queue_cap: 64, baseline_window: 5 }
+        StoreConfig { shards: 8, queue_cap: 64, baseline_window: 5, corrupt_budget: 64 }
     }
 }
 
@@ -70,6 +88,50 @@ pub enum Offer {
     Accepted,
     /// Rejected: the node's queue was full (backpressure).
     Dropped,
+    /// Rejected: the node exceeded its corruption budget.
+    Quarantined,
+}
+
+/// A stream-level fault attributed to one node (decode failures and
+/// recovery events reported by the ingest path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFault {
+    /// A frame failed its checksum or could not be decoded.
+    Corrupt,
+    /// A sequence gap was detected (frames lost).
+    Gap,
+    /// The node re-established its stream via a `Resync` preamble.
+    Resync,
+    /// The node's connection was reset.
+    Reset,
+}
+
+/// Per-node counters for stream faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Frames that failed checksum/decoding.
+    pub corrupt: u64,
+    /// Sequence gaps observed.
+    pub gap: u64,
+    /// Resync preambles accepted.
+    pub resync: u64,
+    /// Connection resets observed.
+    pub reset: u64,
+}
+
+impl FaultCounters {
+    /// True when every counter is zero (a clean stream).
+    pub fn is_clean(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+
+    /// One-line summary for reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "corrupt {} gaps {} resyncs {} resets {}",
+            self.corrupt, self.gap, self.resync, self.reset
+        )
+    }
 }
 
 /// One drained interval, ready for detection.
@@ -87,12 +149,17 @@ pub struct IntervalUpdate {
     pub cumulative: ProfileSet,
     /// True when this snapshot was detected as a profiler restart.
     pub restarted: bool,
+    /// True when the snapshot was recovered after lost frames: its
+    /// interval spans more than one sampling period, so it bypassed the
+    /// baseline window and must not be judged as a normal interval.
+    pub gapped: bool,
 }
 
 #[derive(Debug)]
 struct NodeState {
     node: String,
-    queue: VecDeque<Snapshot>,
+    /// Pending snapshots, each with its gap-recovery flag.
+    queue: VecDeque<(Snapshot, bool)>,
     last_cum: Option<ProfileSet>,
     /// Most recent per-interval sets, oldest first.
     window: VecDeque<ProfileSet>,
@@ -101,6 +168,9 @@ struct NodeState {
     aggregated: u64,
     restarts: u64,
     intervals: u64,
+    /// Gap-recovered snapshots that bypassed the baseline window.
+    stale: u64,
+    faults: FaultCounters,
 }
 
 impl NodeState {
@@ -115,6 +185,8 @@ impl NodeState {
             aggregated: 0,
             restarts: 0,
             intervals: 0,
+            stale: 0,
+            faults: FaultCounters::default(),
         }
     }
 }
@@ -136,6 +208,12 @@ pub struct NodeStats {
     pub restarts: u64,
     /// Intervals aggregated so far.
     pub intervals: u64,
+    /// Gap-recovered snapshots that bypassed the baseline window.
+    pub stale: u64,
+    /// Stream fault counters reported by the ingest path.
+    pub faults: FaultCounters,
+    /// True when the node exceeded its corruption budget.
+    pub quarantined: bool,
 }
 
 /// A consistent snapshot of the store's counters.
@@ -226,15 +304,46 @@ impl ShardedStore {
 
     /// Offers one cumulative snapshot; bounded by the node's queue.
     pub fn offer(&mut self, node: &str, snap: Snapshot) -> Offer {
+        self.offer_with(node, snap, false)
+    }
+
+    /// Offers one cumulative snapshot, flagging it as gap-recovered:
+    /// the interval it closes spans more than one sampling period, so
+    /// the drain will keep it out of the node's baseline window.
+    pub fn offer_with(&mut self, node: &str, snap: Snapshot, recovered: bool) -> Offer {
         let cap = self.cfg.queue_cap;
+        let budget = self.cfg.corrupt_budget;
         let st = self.node_mut(node);
         st.offered += 1;
+        if st.faults.corrupt > budget {
+            st.dropped += 1;
+            return Offer::Quarantined;
+        }
         if st.queue.len() >= cap {
             st.dropped += 1;
             return Offer::Dropped;
         }
-        st.queue.push_back(snap);
+        st.queue.push_back((snap, recovered));
         Offer::Accepted
+    }
+
+    /// Records a stream fault against a node (registering the node if
+    /// needed, so faults on a stream that never delivered a valid
+    /// snapshot are still visible in the stats).
+    pub fn record_fault(&mut self, node: &str, fault: StreamFault) {
+        let st = self.node_mut(node);
+        match fault {
+            StreamFault::Corrupt => st.faults.corrupt += 1,
+            StreamFault::Gap => st.faults.gap += 1,
+            StreamFault::Resync => st.faults.resync += 1,
+            StreamFault::Reset => st.faults.reset += 1,
+        }
+    }
+
+    /// True when the node has exceeded its corruption budget.
+    pub fn is_quarantined(&self, node: &str) -> bool {
+        self.node_ref(node)
+            .is_some_and(|st| st.faults.corrupt > self.cfg.corrupt_budget)
     }
 
     /// Drains every pending queue, differencing cumulative snapshots
@@ -242,47 +351,60 @@ impl ShardedStore {
     pub fn drain(&mut self) -> Vec<IntervalUpdate> {
         let window = self.cfg.baseline_window;
         let mut updates = Vec::new();
-        let mut names: Vec<(usize, String)> = Vec::new();
-        for (i, shard) in self.shards.iter().enumerate() {
-            for (name, st) in shard.iter() {
-                if !st.queue.is_empty() {
-                    names.push((i, name.clone()));
+        for shard in &mut self.shards {
+            for st in shard.values_mut() {
+                while let Some((snap, recovered)) = st.queue.pop_front() {
+                    let (interval, restarted) = match &st.last_cum {
+                        Some(prev) => match cum_diff(prev, &snap.set) {
+                            Some(d) => (d, false),
+                            None => (snap.set.clone(), true), // counters went backwards
+                        },
+                        None => (snap.set.clone(), false),
+                    };
+                    if restarted {
+                        st.window.clear();
+                        st.restarts += 1;
+                    }
+                    // A gap-recovered interval spans several sampling
+                    // periods: keep it out of the baseline window so
+                    // the baseline goes stale rather than poisoned.
+                    let gapped = recovered && !restarted;
+                    if gapped {
+                        st.stale += 1;
+                    } else {
+                        st.window.push_back(interval.clone());
+                        while st.window.len() > window {
+                            st.window.pop_front();
+                        }
+                    }
+                    st.last_cum = Some(snap.set.clone());
+                    st.aggregated += 1;
+                    st.intervals += 1;
+                    updates.push(IntervalUpdate {
+                        node: st.node.clone(),
+                        seq: snap.seq,
+                        at: snap.at,
+                        interval,
+                        cumulative: snap.set,
+                        restarted,
+                        gapped,
+                    });
                 }
             }
         }
-        names.sort_by(|a, b| a.1.cmp(&b.1));
-        for (shard, name) in names {
-            let st = self.shards[shard].get_mut(&name).expect("listed above");
-            while let Some(snap) = st.queue.pop_front() {
-                let (interval, restarted) = match &st.last_cum {
-                    Some(prev) => match cum_diff(prev, &snap.set) {
-                        Some(d) => (d, false),
-                        None => (snap.set.clone(), true), // counters went backwards
-                    },
-                    None => (snap.set.clone(), false),
-                };
-                if restarted {
-                    st.window.clear();
-                    st.restarts += 1;
-                }
-                st.window.push_back(interval.clone());
-                while st.window.len() > window {
-                    st.window.pop_front();
-                }
-                st.last_cum = Some(snap.set.clone());
-                st.aggregated += 1;
-                st.intervals += 1;
-                updates.push(IntervalUpdate {
-                    node: st.node.clone(),
-                    seq: snap.seq,
-                    at: snap.at,
-                    interval,
-                    cumulative: snap.set,
-                    restarted,
-                });
-            }
-        }
+        updates.sort_by(|a, b| a.node.cmp(&b.node).then(a.seq.cmp(&b.seq)));
         updates
+    }
+
+    /// Number of gap-recovered snapshots that bypassed the node's
+    /// baseline window — how stale its baseline may be.
+    pub fn staleness(&self, node: &str) -> u64 {
+        self.node_ref(node).map_or(0, |st| st.stale)
+    }
+
+    /// The node's fault counters.
+    pub fn faults(&self, node: &str) -> FaultCounters {
+        self.node_ref(node).map_or_else(FaultCounters::default, |st| st.faults)
     }
 
     /// All node labels, sorted.
@@ -355,6 +477,11 @@ impl ShardedStore {
         let mut resolution: Option<Resolution> = None;
         for shard in &self.shards {
             for st in shard.values() {
+                // A quarantined node's data is untrustworthy; keep it
+                // out of the healthy majority's reference.
+                if st.faults.corrupt > self.cfg.corrupt_budget {
+                    continue;
+                }
                 if let Some(latest) = st.window.back() {
                     resolution = resolution.or(Some(latest.resolution()));
                     for (op, p) in latest.iter() {
@@ -390,6 +517,9 @@ impl ShardedStore {
                 queued: st.queue.len() as u64,
                 restarts: st.restarts,
                 intervals: st.intervals,
+                stale: st.stale,
+                faults: st.faults,
+                quarantined: st.faults.corrupt > self.cfg.corrupt_budget,
             })
             .collect();
         nodes.sort_by(|a, b| a.node.cmp(&b.node));
@@ -573,6 +703,84 @@ mod tests {
             store.hello(n);
         }
         assert_eq!(store.nodes(), ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn recovered_snapshots_bypass_the_baseline_window() {
+        let mut store = ShardedStore::new(StoreConfig::default());
+        store.offer("n0", snap(0, &[("read", 1 << 10, 10)]));
+        store.offer("n0", snap(1, &[("read", 1 << 10, 20)]));
+        // Frames 2..4 were lost; snapshot 5 is recovered after the gap
+        // and its "interval" spans four sampling periods.
+        store.offer_with("n0", snap(5, &[("read", 1 << 10, 100)]), true);
+        let updates = store.drain();
+        assert_eq!(updates.len(), 3);
+        assert!(updates[2].gapped, "the recovered update is flagged");
+        assert!(!updates[2].restarted, "a gap is not a restart");
+        // Baseline still reflects the pre-gap intervals only: stale, not
+        // poisoned by the 80-op multi-period pseudo-interval.
+        let baseline = store.baseline("n0").unwrap();
+        assert_eq!(baseline.total_ops(), 10, "window = [10, 10]; baseline excludes newest");
+        assert_eq!(store.latest_interval("n0").unwrap().total_ops(), 10);
+        assert_eq!(store.staleness("n0"), 1);
+        // The cumulative state did advance, so the next clean interval
+        // differences correctly.
+        store.offer("n0", snap(6, &[("read", 1 << 10, 103)]));
+        let updates = store.drain();
+        assert!(!updates[0].gapped);
+        assert_eq!(updates[0].interval.total_ops(), 3);
+        store.stats().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn corruption_budget_quarantines_a_node() {
+        let cfg = StoreConfig { corrupt_budget: 2, ..Default::default() };
+        let mut store = ShardedStore::new(cfg);
+        store.offer("bad", snap(0, &[("read", 1 << 10, 5)]));
+        for _ in 0..3 {
+            store.record_fault("bad", StreamFault::Corrupt);
+        }
+        assert!(store.is_quarantined("bad"));
+        assert_eq!(store.offer("bad", snap(1, &[("read", 1 << 10, 6)])), Offer::Quarantined);
+        let stats = store.stats();
+        assert!(stats.nodes[0].quarantined);
+        assert_eq!(stats.nodes[0].faults.corrupt, 3);
+        stats.check_conservation().unwrap();
+        // Under budget is fine.
+        store.record_fault("ok", StreamFault::Corrupt);
+        assert!(!store.is_quarantined("ok"));
+    }
+
+    #[test]
+    fn quarantined_nodes_are_excluded_from_the_cluster_median() {
+        let cfg = StoreConfig { corrupt_budget: 0, ..Default::default() };
+        let mut store = ShardedStore::new(cfg);
+        for i in 0..4 {
+            let node = format!("n{i}");
+            store.offer(&node, snap(0, &[("read", 1 << 10, 100)]));
+        }
+        // A quarantined node with wild data must not shift the median.
+        store.offer("evil", snap(0, &[("read", 1 << 30, 100_000)]));
+        store.drain();
+        store.record_fault("evil", StreamFault::Corrupt);
+        let median = store.cluster_median(3);
+        let read = median.get("read").unwrap();
+        assert_eq!(read.count_in(10), 100);
+        assert_eq!(read.count_in(30), 0, "quarantined node excluded");
+    }
+
+    #[test]
+    fn fault_counters_accumulate_per_kind() {
+        let mut store = ShardedStore::new(StoreConfig::default());
+        store.record_fault("n0", StreamFault::Gap);
+        store.record_fault("n0", StreamFault::Gap);
+        store.record_fault("n0", StreamFault::Resync);
+        store.record_fault("n0", StreamFault::Reset);
+        let f = store.faults("n0");
+        assert_eq!((f.corrupt, f.gap, f.resync, f.reset), (0, 2, 1, 1));
+        assert!(!f.is_clean());
+        assert!(store.faults("other").is_clean());
+        assert_eq!(f.describe(), "corrupt 0 gaps 2 resyncs 1 resets 1");
     }
 
     #[test]

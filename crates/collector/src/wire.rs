@@ -21,7 +21,9 @@
 //!
 //! Frame types: `Hello` (node identity + sampling parameters), `Full`
 //! (a complete cumulative snapshot), `Delta` (changes vs. the previous
-//! snapshot on the same connection), `Bye` (clean end of stream).
+//! snapshot on the same connection), `Bye` (clean end of stream), and
+//! `Resync` (a deliberate fresh basis after a reconnect or a detected
+//! loss; see [`crate::resilience`]).
 //! Every frame payload is protected by an FNV-1a 64 checksum, mirroring
 //! the paper's "checksum ... to catch potential code instrumentation
 //! errors" philosophy at the transport layer.
@@ -51,6 +53,12 @@ const T_HELLO: u8 = 1;
 const T_FULL: u8 = 2;
 const T_DELTA: u8 = 3;
 const T_BYE: u8 = 4;
+const T_RESYNC: u8 = 5;
+
+/// Upper bound on a frame's declared payload length. A corrupted
+/// length prefix must produce a clean [`WireError::Corrupt`], not a
+/// multi-gigabyte allocation attempt; real frames are a few KB.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
 
 /// Errors from encoding, decoding or transporting frames.
 #[derive(Debug)]
@@ -63,6 +71,8 @@ pub enum WireError {
     Core(CoreError),
     /// A frame arrived out of protocol order (e.g. `Delta` with no base).
     Protocol(String),
+    /// The connection was reset (by the peer or by fault injection).
+    Reset,
 }
 
 impl std::fmt::Display for WireError {
@@ -72,6 +82,7 @@ impl std::fmt::Display for WireError {
             WireError::Corrupt(m) => write!(f, "corrupt stream: {m}"),
             WireError::Core(e) => write!(f, "profile error: {e}"),
             WireError::Protocol(m) => write!(f, "protocol error: {m}"),
+            WireError::Reset => write!(f, "connection reset"),
         }
     }
 }
@@ -125,6 +136,21 @@ pub enum Frame {
     /// Clean end of stream.
     Bye {
         /// Sequence number after the last snapshot.
+        seq: u64,
+    },
+    /// A deliberate stream restart: the agent lost confidence in the
+    /// delta chain (reconnect after a reset, a failed send, an explicit
+    /// resync request) and will follow up with a fresh `Full` frame.
+    ///
+    /// The epoch counter is what lets the decoder tell a *restart* from
+    /// *reordering*: frames from an epoch older than the latest resync
+    /// are late stragglers and are discarded, while a higher epoch is a
+    /// genuine new basis. `seq` is the sequence number the following
+    /// `Full` frame will carry.
+    Resync {
+        /// Monotonically increasing per-agent-lifetime resync epoch.
+        epoch: u64,
+        /// Sequence number of the upcoming fresh `Full` frame.
         seq: u64,
     },
 }
@@ -218,6 +244,23 @@ impl<'a> Cursor<'a> {
         usize::try_from(self.uvarint()?).map_err(|_| WireError::Corrupt("varint overflows usize".into()))
     }
 
+    /// Reads a declared element count and guards it against the bytes
+    /// actually remaining: every element needs at least
+    /// `min_elem_bytes` on the wire, so a corrupted length prefix that
+    /// declares more elements than could possibly follow errors here —
+    /// before any allocation or long decode loop — instead of
+    /// attempting a huge allocation.
+    pub fn count(&mut self, what: &str, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.usize()?;
+        let remaining = self.bytes.len().saturating_sub(self.pos);
+        if n > remaining / min_elem_bytes.max(1) {
+            return Err(WireError::Corrupt(format!(
+                "declared {what} count {n} cannot fit the {remaining} payload byte(s) left"
+            )));
+        }
+        Ok(n)
+    }
+
     /// Reads a zigzag-mapped signed varint.
     pub fn svarint(&mut self) -> Result<i128, WireError> {
         let u = self.uvarint()?;
@@ -272,11 +315,13 @@ pub fn get_profile_set(c: &mut Cursor<'_>) -> Result<ProfileSet, WireError> {
     let r_raw = c.byte()?;
     let r = Resolution::new(r_raw)
         .ok_or_else(|| WireError::Corrupt(format!("unsupported resolution {r_raw}")))?;
-    let nops = c.usize()?;
+    // Minimum wire sizes: an operation is a 1-byte name length + name +
+    // bucket count + totals (≥ 5 bytes); a bucket pair is ≥ 2 bytes.
+    let nops = c.count("operation", 5)?;
     let mut set = ProfileSet::with_resolution(layer, r);
     for _ in 0..nops {
         let name = c.string()?;
-        let nonzero = c.usize()?;
+        let nonzero = c.count("bucket", 2)?;
         let mut buckets = vec![0u64; r.bucket_count()];
         for _ in 0..nonzero {
             let b = c.usize()?;
@@ -322,6 +367,11 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_uvarint(&mut payload, *seq as u128);
             T_BYE
         }
+        Frame::Resync { epoch, seq } => {
+            put_uvarint(&mut payload, *epoch as u128);
+            put_uvarint(&mut payload, *seq as u128);
+            T_RESYNC
+        }
     };
     let mut out = Vec::with_capacity(payload.len() + 16);
     out.push(ty);
@@ -338,14 +388,19 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), WireError> {
     let mut c = Cursor::new(bytes);
     let ty = c.byte()?;
     let len = c.usize()?;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Corrupt(format!("declared frame length {len} exceeds maximum")));
+    }
     let start = c.pos;
     let end = start
         .checked_add(len)
         .filter(|&e| e + 8 <= bytes.len())
         .ok_or_else(|| WireError::Corrupt("truncated frame".into()))?;
     let payload = &bytes[start..end];
-    let declared = u64::from_le_bytes(bytes[end..end + 8].try_into().expect("8 bytes checked"));
-    if fnv64(payload) != declared {
+    let sum_bytes: [u8; 8] = bytes[end..end + 8]
+        .try_into()
+        .map_err(|_| WireError::Corrupt("truncated frame checksum".into()))?;
+    if fnv64(payload) != u64::from_le_bytes(sum_bytes) {
         return Err(WireError::Corrupt("frame checksum mismatch".into()));
     }
     let frame = decode_payload(ty, payload)?;
@@ -377,6 +432,11 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, WireError> {
             Frame::Delta { seq, at, delta }
         }
         T_BYE => Frame::Bye { seq: c.u64()? },
+        T_RESYNC => {
+            let epoch = c.u64()?;
+            let seq = c.u64()?;
+            Frame::Resync { epoch, seq }
+        }
         other => return Err(WireError::Corrupt(format!("unknown frame type {other}"))),
     };
     if !c.is_done() {
@@ -422,7 +482,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
     }
     let mut head = vec![ty[0]];
     let len = read_uvarint_from(r, &mut head)?;
-    let len = usize::try_from(len).map_err(|_| WireError::Corrupt("frame too large".into()))?;
+    let len = usize::try_from(len)
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| WireError::Corrupt(format!("declared frame length {len} exceeds maximum")))?;
     let mut rest = vec![0u8; len + 8];
     r.read_exact(&mut rest).map_err(|_| WireError::Corrupt("truncated frame".into()))?;
     head.extend_from_slice(&rest);
@@ -586,6 +649,7 @@ mod tests {
                 interval: 42_000_000,
             },
             Frame::Bye { seq: 99 },
+            Frame::Resync { epoch: 3, seq: 41 },
         ] {
             let bytes = encode_frame(&frame);
             let (decoded, _) = decode_frame(&bytes).unwrap();
@@ -660,6 +724,95 @@ mod tests {
         assert!(matches!(read_header(&mut r), Err(WireError::Corrupt(_))));
         let mut r = &[MAGIC[0], MAGIC[1], MAGIC[2], MAGIC[3], 9][..];
         assert!(matches!(read_header(&mut r), Err(WireError::Corrupt(_))));
+    }
+
+    /// Wraps a hand-built payload in a valid envelope (correct length
+    /// and checksum) so decode failures are attributable to the payload
+    /// guards, not the checksum.
+    fn envelope(ty: u8, payload: &[u8]) -> Vec<u8> {
+        let mut out = vec![ty];
+        put_uvarint(&mut out, payload.len() as u128);
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&fnv64(payload).to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn adversarial_operation_count_is_rejected_without_allocation() {
+        // A Full frame whose profile-set payload declares 2^60
+        // operations but carries almost no bytes: the count guard must
+        // error instead of looping or allocating.
+        let mut payload = Vec::new();
+        put_uvarint(&mut payload, 7); // seq
+        put_uvarint(&mut payload, 7); // at
+        put_string(&mut payload, "fs");
+        payload.push(Resolution::R1.get());
+        put_uvarint(&mut payload, 1u128 << 60); // operation count
+        let bytes = envelope(T_FULL, &payload);
+        match decode_frame(&bytes) {
+            Err(WireError::Corrupt(m)) => assert!(m.contains("count"), "{m}"),
+            other => panic!("adversarial count must be Corrupt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adversarial_bucket_count_is_rejected() {
+        let mut payload = Vec::new();
+        put_uvarint(&mut payload, 0); // seq
+        put_uvarint(&mut payload, 0); // at
+        put_string(&mut payload, "fs");
+        payload.push(Resolution::R1.get());
+        put_uvarint(&mut payload, 1); // one operation
+        put_string(&mut payload, "read");
+        put_uvarint(&mut payload, u64::MAX as u128); // bucket-pair count
+        let bytes = envelope(T_FULL, &payload);
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn adversarial_frame_length_is_rejected_before_allocation() {
+        // A stream whose frame head declares a multi-exabyte payload:
+        // read_frame must reject the length, not try to allocate it.
+        let mut bytes = vec![T_BYE];
+        put_uvarint(&mut bytes, (MAX_FRAME_LEN as u128) + 1);
+        let mut r = &bytes[..];
+        match read_frame(&mut r) {
+            Err(WireError::Corrupt(m)) => assert!(m.contains("length"), "{m}"),
+            other => panic!("oversized frame length must be Corrupt: {other:?}"),
+        }
+        // Same guard on the slice-based decoder.
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn adversarial_byte_strings_never_panic() {
+        // A deterministic battery of hostile inputs: truncations,
+        // inflated varints, wrong types. Every one must return an error
+        // (or, for prefixes of valid frames, a clean truncation error),
+        // never panic.
+        let valid = encode_frame(&Frame::Full { seq: 1, at: 2, set: sample_set() });
+        for cut in 0..valid.len() {
+            let _ = decode_frame(&valid[..cut]);
+        }
+        let mut hostile: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0xff; 32],
+            vec![T_FULL, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80],
+            envelope(0x7f, b"junk"),
+            envelope(T_DELTA, &[0xff; 16]),
+        ];
+        // Every single-byte mutation of a valid frame decodes to an
+        // error or to some frame — never a panic or runaway allocation.
+        for i in 0..valid.len() {
+            let mut m = valid.clone();
+            m[i] ^= 0xa5;
+            hostile.push(m);
+        }
+        for bytes in hostile {
+            let _ = decode_frame(&bytes);
+            let mut r = &bytes[..];
+            let _ = read_frame(&mut r);
+        }
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //!    drains, every offered snapshot is exactly one of dropped, queued
 //!    or aggregated.
 
-use osprof_collector::agent::{Decoder, Encoder};
+use osprof_collector::agent::{DecodeEvent, Decoder, Encoder};
+use osprof_collector::daemon::{Collector, CollectorConfig};
 use osprof_collector::delta::{self, SetDelta};
 use osprof_collector::store::{ShardedStore, Snapshot, StoreConfig};
-use osprof_collector::wire::{self, Cursor, Frame};
+use osprof_collector::wire::{self, encode_frame, Cursor, Frame};
 use osprof_core::profile::ProfileSet;
 use osprof_core::proptest::prelude::*;
 
@@ -127,5 +128,105 @@ proptest! {
         let (back, used) = wire::decode_frame(&bytes).unwrap();
         prop_assert_eq!(used, bytes.len(), "frame must be self-delimiting");
         prop_assert_eq!(back, frame);
+    }
+
+    /// The lossy decoder under arbitrary drop / duplicate / reorder
+    /// patterns: it never panics, every snapshot it *does* deliver is
+    /// byte-exact for its sequence number (losses degrade coverage,
+    /// never correctness), and a trailing `Full` always resynchronises
+    /// the stream.
+    #[test]
+    fn lossy_decoder_survives_drop_duplicate_reorder(
+        sets in arb_sets(),
+        ops in prop::collection::vec(0u8..4, 1..16),
+        full_every in 0u64..4,
+    ) {
+        let mut enc = Encoder::new(full_every);
+        let frames: Vec<Frame> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| enc.encode(i as u64, i as u64 * 100 + 100, s))
+            .collect();
+
+        // Apply the fault pattern: 0 = deliver, 1 = drop,
+        // 2 = duplicate, 3 = swap with the next frame.
+        let mut delivered = Vec::new();
+        let mut i = 0usize;
+        while i < frames.len() {
+            match ops[i % ops.len()] {
+                1 => {}
+                2 => {
+                    delivered.push(frames[i].clone());
+                    delivered.push(frames[i].clone());
+                }
+                3 if i + 1 < frames.len() => {
+                    delivered.push(frames[i + 1].clone());
+                    delivered.push(frames[i].clone());
+                    i += 1;
+                }
+                _ => delivered.push(frames[i].clone()),
+            }
+            i += 1;
+        }
+        // Whatever was lost, a fresh Full (the resync move) recovers.
+        let tail_seq = sets.len() as u64;
+        delivered.push(Frame::Full {
+            seq: tail_seq,
+            at: tail_seq * 100 + 100,
+            set: sets[0].clone(),
+        });
+
+        let mut dec = Decoder::new();
+        let mut tail_decoded = false;
+        for f in &delivered {
+            if let DecodeEvent::Snapshot { seq, set, .. } = dec.apply_lossy(f) {
+                if seq == tail_seq {
+                    prop_assert_eq!(&set, &sets[0]);
+                    tail_decoded = true;
+                } else {
+                    prop_assert_eq!(
+                        &set, &sets[seq as usize],
+                        "delivered snapshot {} does not match its original", seq
+                    );
+                }
+            }
+        }
+        prop_assert!(tail_decoded, "a trailing Full must always resynchronise");
+    }
+
+    /// Arbitrary byte corruption never panics the daemon's byte-level
+    /// ingest: mangled frames are counted as faults, and snapshot
+    /// conservation still holds on the store afterwards.
+    #[test]
+    fn corrupted_bytes_never_panic_the_daemon(
+        sets in arb_sets(),
+        mutations in prop::collection::vec((0usize..64, 0usize..4096, 0u8..255), 0..12),
+    ) {
+        let mut enc = Encoder::new(2);
+        let mut frames = vec![encode_frame(&Frame::Hello {
+            node: "prop-node".to_string(),
+            layer: "fs".to_string(),
+            resolution: sets[0].resolution(),
+            interval: 100,
+        })];
+        for (i, set) in sets.iter().enumerate() {
+            frames.push(encode_frame(&enc.encode(i as u64, i as u64 * 100 + 100, set)));
+        }
+        for (frame_ix, byte_ix, val) in &mutations {
+            let which = frame_ix % frames.len();
+            let buf = &mut frames[which];
+            let n = buf.len();
+            buf[byte_ix % n] ^= val.max(&1);
+        }
+
+        let mut col = Collector::new(CollectorConfig::default());
+        for bytes in &frames {
+            // Must never panic, whatever the mutations did.
+            let _ = col.ingest_bytes(0, bytes);
+        }
+        col.tick();
+        prop_assert!(col.store().stats().check_conservation().is_ok());
+        // The report renders without panicking even on a mangled stream.
+        prop_assert!(!col.report().is_empty());
     }
 }

@@ -29,4 +29,10 @@ echo "==> collector smoke (osprofd, TCP loopback)"
 # degradation is flagged online and every snapshot is accounted for.
 timeout 120 target/release/osprofd smoke
 
+echo "==> collector crash-recovery smoke (osprofd, write-ahead journal)"
+# Ingest a stream journaling to disk, kill the daemon halfway, recover
+# from the journal, finish — exits 0 only if the final report is
+# byte-identical to an uninterrupted run's.
+timeout 120 target/release/osprofd crash-smoke target/verify-crash-smoke.journal
+
 echo "verify: OK"

@@ -1,0 +1,61 @@
+//! End-to-end chaos test: the full cluster replay under fault
+//! injection, with and without a mid-run daemon crash.
+//!
+//! This is the integration-level counterpart of the `ext-chaos`
+//! experiment: eight simulated nodes (node-7 on a degraded disk)
+//! streamed through per-node deterministic fault injectors into a
+//! write-ahead-journaled collector. The degraded node must be flagged
+//! with zero false positives, and a collector that crashes mid-run and
+//! recovers from its journal must produce a byte-identical report.
+
+use osprof::collector::scenario::{cluster_timelines, replay_chaos, ChaosConfig, ScenarioConfig};
+
+#[test]
+fn chaos_replay_flags_the_degraded_node_with_zero_false_positives() {
+    let timelines = cluster_timelines(&ScenarioConfig::default());
+    let run = replay_chaos(&timelines, &ChaosConfig::default(), None).unwrap();
+
+    assert_eq!(run.flagged, vec!["node-7".to_string()], "report:\n{}", run.report);
+    assert!(run.first_fired.is_some(), "anomaly must fire online:\n{}", run.report);
+    assert!(!run.recovered);
+
+    // The wire really was hostile: faults actually happened.
+    let total_dropped: u64 = run.wire_stats.iter().map(|(_, s)| s.dropped).sum();
+    let total_corrupted: u64 = run.wire_stats.iter().map(|(_, s)| s.corrupted).sum();
+    let total_resets: u64 = run.wire_stats.iter().map(|(_, s)| s.resets).sum();
+    assert!(total_dropped > 0, "fault plan produced no drops");
+    assert!(total_corrupted > 0, "fault plan produced no corruption");
+    assert_eq!(total_resets, 2, "both scheduled resets must fire");
+}
+
+#[test]
+fn crash_recovery_mid_chaos_is_byte_exact() {
+    let timelines = cluster_timelines(&ScenarioConfig::default());
+    let cfg = ChaosConfig::default();
+
+    let baseline = replay_chaos(&timelines, &cfg, None).unwrap();
+    // Crash at two different points: recovery must be exact regardless
+    // of where the journal was cut.
+    for crash_after in [3usize, 15] {
+        let crashed = replay_chaos(&timelines, &cfg, Some(crash_after)).unwrap();
+        assert!(crashed.recovered);
+        assert_eq!(
+            crashed.report, baseline.report,
+            "report after crash@round {crash_after} diverged from the uninterrupted run"
+        );
+        assert_eq!(crashed.flagged, baseline.flagged);
+    }
+}
+
+#[test]
+fn chaos_replay_is_deterministic_across_runs() {
+    let timelines = cluster_timelines(&ScenarioConfig::default());
+    let cfg = ChaosConfig::default();
+    let a = replay_chaos(&timelines, &cfg, None).unwrap();
+    let b = replay_chaos(&timelines, &cfg, None).unwrap();
+    assert_eq!(a.report, b.report);
+    for ((na, sa), (nb, sb)) in a.wire_stats.iter().zip(&b.wire_stats) {
+        assert_eq!(na, nb);
+        assert_eq!(sa.describe(), sb.describe(), "wire stats for {na} not deterministic");
+    }
+}

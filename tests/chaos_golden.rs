@@ -1,0 +1,108 @@
+//! Golden-file test for deterministic fault injection.
+//!
+//! A seeded [`FaultPlan`] is applied to a small deterministic frame
+//! stream; the resulting delivery sequence (mangled frame bytes plus
+//! reset markers) is hex-dumped and must match the checked-in fixture
+//! under `results/fixtures/` byte for byte. This pins the injector's
+//! draw order and mutation rules: if either drifts, every "chaos is
+//! reproducible from its seed" claim silently breaks. Re-bless with
+//! `OSPROF_UPDATE_FIXTURES=1` after an intentional change.
+
+use std::path::PathBuf;
+
+use osprof::collector::agent::Encoder;
+use osprof::collector::fault::{Delivery, FaultInjector, FaultPlan};
+use osprof::collector::wire::{encode_frame, Frame};
+use osprof_core::bucket::Resolution;
+use osprof_core::profile::ProfileSet;
+
+/// An aggressive plan so a short stream still exercises every fault
+/// kind: drops, corruption, truncation, duplication, reordering, and
+/// one mid-stream reset.
+fn plan() -> FaultPlan {
+    FaultPlan {
+        seed: 0x05EED_CA05,
+        drop: 0.15,
+        corrupt: 0.12,
+        truncate: 0.08,
+        duplicate: 0.12,
+        reorder: 0.15,
+        reset_at: vec![10],
+    }
+}
+
+/// A deterministic 24-snapshot stream from one synthetic node.
+fn frame_bytes() -> Vec<Vec<u8>> {
+    let mut enc = Encoder::new(4);
+    let mut out = vec![encode_frame(&Frame::Hello {
+        node: "chaos-node".into(),
+        layer: "file-system".into(),
+        resolution: Resolution::R1,
+        interval: 1_000_000,
+    })];
+    let mut s = ProfileSet::new("file-system");
+    for i in 0u64..24 {
+        s.entry("read").record_n(700 + 13 * i, 5 + i);
+        if i % 3 == 0 {
+            s.entry("write").record_n(2_000 + 101 * i, 2);
+        }
+        out.push(encode_frame(&enc.encode(i, (i + 1) * 1_000_000, &s)));
+    }
+    out.push(encode_frame(&Frame::Bye { seq: 24 }));
+    out
+}
+
+/// Renders the delivery sequence: hex lines per delivered buffer,
+/// `-- reset --` markers where the injector cut the connection.
+fn render_deliveries() -> String {
+    let mut inj = FaultInjector::new(plan());
+    let mut out = String::new();
+    let mut render = |deliveries: Vec<Delivery>, out: &mut String| {
+        for d in deliveries {
+            match d {
+                Delivery::Bytes(bytes) => {
+                    for chunk in bytes.chunks(16) {
+                        let line: Vec<String> =
+                            chunk.iter().map(|b| format!("{b:02x}")).collect();
+                        out.push_str(&line.join(" "));
+                        out.push('\n');
+                    }
+                }
+                Delivery::Reset => out.push_str("-- reset --\n"),
+            }
+        }
+    };
+    for bytes in frame_bytes() {
+        render(inj.push(bytes), &mut out);
+    }
+    render(inj.flush(), &mut out);
+    out.push_str(&format!("# {}\n", inj.stats().describe()));
+    out
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/fixtures").join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("OSPROF_UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} ({e}); run with OSPROF_UPDATE_FIXTURES=1", path.display())
+    });
+    assert_eq!(rendered, golden, "fault injection for {name} drifted from the checked-in fixture");
+}
+
+#[test]
+fn fault_injected_stream_matches_golden_fixture() {
+    check_golden("chaos_frames.hex", &render_deliveries());
+}
+
+#[test]
+fn fault_injection_is_a_pure_function_of_its_seed() {
+    assert_eq!(render_deliveries(), render_deliveries());
+}
