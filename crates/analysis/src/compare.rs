@@ -81,9 +81,42 @@ impl Metric {
     }
 }
 
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Sums groups of `factor` adjacent fine buckets into one coarse bucket.
+///
+/// Bucket `b` at resolution `r = m*g` covers `[2^(b/r), 2^((b+1)/r))`, so
+/// coarse bucket `B` at resolution `g` is exactly the union of fine
+/// buckets `m*B ..= m*B + m - 1` — the regrouping is mass-preserving and
+/// loses no alignment.
+fn downsample(v: &[f64], factor: usize) -> Vec<f64> {
+    v.chunks(factor).map(|c| c.iter().sum()).collect()
+}
+
+/// Normalizes both profiles onto a common bucket grid.
+///
+/// Profiles of equal [`osprof_core::bucket::Resolution`] are compared
+/// bucket-by-bucket. Profiles of differing resolution are first
+/// downsampled onto the grid of `gcd(r_a, r_b)` (which any resolution
+/// reduces to exactly, since `r` is an integer number of buckets per
+/// octave) — comparing bucket `i` across incompatible scales would treat
+/// equal latencies as distant. Empty profiles normalize to all-zero
+/// vectors, so every bin-by-bin metric below returns 0.0 (never NaN)
+/// when both sides are empty.
 fn normalized_pair(a: &Profile, b: &Profile) -> (Vec<f64>, Vec<f64>) {
+    let (ra, rb) = (a.resolution().get() as usize, b.resolution().get() as usize);
     let mut na = a.normalized();
     let mut nb = b.normalized();
+    if ra != rb {
+        let g = gcd(ra, rb);
+        na = downsample(&na, ra / g);
+        nb = downsample(&nb, rb / g);
+    }
     let len = na.len().max(nb.len());
     na.resize(len, 0.0);
     nb.resize(len, 0.0);
@@ -96,7 +129,8 @@ fn normalized_pair(a: &Profile, b: &Profile) -> (Vec<f64>, Vec<f64>) {
 /// For one-dimensional histograms with unit ground distance, EMD equals
 /// the L1 distance between the cumulative distributions: the amount of
 /// "earth" crossing each bucket boundary is the running difference of the
-/// prefix sums.
+/// prefix sums. When the profiles' resolutions differ, the distance is
+/// measured in buckets of the common `gcd` grid (see `normalized_pair`).
 pub fn emd(a: &Profile, b: &Profile) -> f64 {
     let (na, nb) = normalized_pair(a, b);
     let mut carried = 0.0f64;
@@ -301,5 +335,59 @@ mod tests {
         for m in Metric::ALL {
             assert_eq!(m.distance(&a, &b), 0.0, "{}", m.name());
         }
+    }
+
+    #[test]
+    fn bare_metrics_are_zero_not_nan_on_empty_pairs() {
+        // Regression: the bare functions (not just Metric::distance, which
+        // short-circuits) must return exactly 0.0 for two empty profiles.
+        let a = Profile::new("x");
+        let b = Profile::new("x");
+        for (name, d) in [
+            ("emd", emd(&a, &b)),
+            ("chi_squared", chi_squared(&a, &b)),
+            ("jeffrey", jeffrey(&a, &b)),
+            ("minkowski", minkowski(&a, &b, 2.0)),
+        ] {
+            assert!(!d.is_nan(), "{name} returned NaN on empty profiles");
+            assert_eq!(d, 0.0, "{name} returned {d} on empty profiles");
+        }
+        // One empty side must also stay finite.
+        let c = profile_from(&[(5, 10)]);
+        for (name, d) in
+            [("emd", emd(&a, &c)), ("chi_squared", chi_squared(&a, &c)), ("jeffrey", jeffrey(&a, &c))]
+        {
+            assert!(d.is_finite() && d > 0.0, "{name} returned {d} vs non-empty");
+        }
+    }
+
+    #[test]
+    fn mixed_resolutions_align_on_common_grid() {
+        use osprof_core::bucket::Resolution;
+        // The same latency population recorded at r=1 and r=2 must compare
+        // as identical, not as mass sitting in "bucket 10" vs "bucket 20".
+        let mut a = Profile::new("op");
+        let mut b = Profile::with_resolution("op", Resolution::R2);
+        for _ in 0..100 {
+            a.record(1 << 10);
+            b.record(1 << 10);
+        }
+        for m in Metric::ALL {
+            let d = m.distance(&a, &b);
+            assert!(d.abs() < 1e-12, "{} returned {d} across r=1/r=2", m.name());
+        }
+        // Incommensurate resolutions (r=2 vs r=3) reduce to the gcd grid.
+        let mut c = Profile::with_resolution("op", Resolution::new(3).unwrap());
+        for _ in 0..100 {
+            c.record(1 << 10);
+        }
+        assert!(emd(&b, &c).abs() < 1e-12, "r=2 vs r=3 misaligned");
+        // A genuine one-octave shift still measures one coarse bucket.
+        let mut shifted = Profile::with_resolution("op", Resolution::R4);
+        for _ in 0..100 {
+            shifted.record(1 << 11);
+        }
+        assert!((emd(&a, &shifted) - 1.0).abs() < 1e-12);
+        assert!(intersection(&a, &shifted).abs() < 1e-12);
     }
 }

@@ -1,0 +1,86 @@
+//! `ingestbench` — the collector ingest throughput benchmark.
+//!
+//! ```text
+//! ingestbench [--smoke] [--out PATH]   run the bench, write PATH (default
+//!                                      BENCH_collector.json) and print the
+//!                                      human report
+//! ingestbench --check PATH             validate a previously-emitted file:
+//!                                      required keys, sane values, and the
+//!                                      2x speedup criterion where it applies
+//! ```
+//!
+//! `scripts/bench.sh` is the canonical driver; CI runs it with `--smoke`.
+
+use std::process::ExitCode;
+
+use osprof_bench::ingestbench::{check, run_with, BenchConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = "BENCH_collector.json".to_string();
+    let mut check_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" | "--check" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("ingestbench: {} needs a path", args[i]);
+                    return ExitCode::from(2);
+                };
+                if args[i] == "--out" {
+                    out = v.clone();
+                } else {
+                    check_path = Some(v.clone());
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("ingestbench: unknown argument '{other}'");
+                eprintln!("usage: ingestbench [--smoke] [--out PATH] | --check PATH");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ingestbench: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check(&text) {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ingestbench: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let cfg = if smoke { BenchConfig::smoke() } else { BenchConfig::from_env() };
+    match run_with(&cfg) {
+        Ok((report, json)) => {
+            print!("{report}");
+            let doc = format!("{}\n", json.pretty());
+            if let Err(e) = std::fs::write(&out, doc) {
+                eprintln!("ingestbench: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("\nwrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ingestbench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,565 @@
+//! Reproducible collector ingest benchmark: serial vs parallel engine.
+//!
+//! Measures end-to-end replay throughput of the collector's two ingest
+//! engines over **identical, pre-encoded delivery sequences** — the
+//! frame generation, agent bookkeeping and fault injection all happen
+//! before the clock starts, so the timed region is purely what
+//! `osprofd` does per delivered byte: decode, checksum, delta apply,
+//! store offer, detection tick.
+//!
+//! Two stream variants are measured:
+//!
+//! * `clean` — eight synthetic nodes streaming snapshot deltas over a
+//!   perfect wire (the headline frames/sec number);
+//! * `faulty` — the same streams pushed through the `ext-chaos` fault
+//!   plans ([`ChaosConfig::default`]): drops, corruption, truncation,
+//!   duplication, reordering and mid-run resets.
+//!
+//! Methodology follows [`crate::micro`]: warm-up runs are discarded,
+//! then the replay is repeated and the **median** wall time is kept
+//! (min would hide scheduler noise the parallel path actually pays;
+//! mean is skewed by one slow outlier). `OSPROF_BENCH_QUICK=1` shrinks
+//! the stream and repetition count for CI smoke runs.
+//!
+//! Every measured run also re-asserts the engine determinism contract:
+//! serial and parallel reports over the same delivery sequence must be
+//! byte-identical, so a benchmark run doubles as a correctness check —
+//! and keeps the optimizer from eliding the work.
+//!
+//! The results are emitted as `BENCH_collector.json` (see
+//! `scripts/bench.sh`); [`check`] validates a previously-emitted file
+//! so CI can fail when the schema regresses.
+
+use std::time::{Duration, Instant};
+
+use osprof::collector::daemon::{Collector, CollectorConfig, CollectorError};
+use osprof::collector::fault::{node_seed, Delivery, FaultInjector};
+use osprof::collector::parallel::ParallelCollector;
+use osprof::collector::resilience::ResilientAgent;
+use osprof::collector::scenario::{ChaosConfig, Timeline};
+use osprof::collector::wire::encode_frame;
+use osprof_core::bucket::{bucket_lower_bound, Resolution};
+use osprof_core::clock::Cycles;
+use osprof_core::json::Json;
+use osprof_core::profile::ProfileSet;
+
+/// Operations every synthetic node reports each interval.
+const OPS: &[&str] = &["read", "write", "fsync"];
+
+/// Simulated cycles per sampling interval of the synthetic streams.
+const INTERVAL: Cycles = 1_000_000;
+
+/// Benchmark knobs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Synthetic nodes streaming concurrently.
+    pub nodes: usize,
+    /// Sampling intervals (≈ snapshot frames) per node.
+    pub intervals: usize,
+    /// Latency records added per operation per interval.
+    pub records_per_op: u64,
+    /// Worker count for the parallel engine.
+    pub workers: usize,
+    /// Discarded warm-up replays per engine/variant.
+    pub warmup: usize,
+    /// Timed replays per engine/variant; the median is reported.
+    pub repetitions: usize,
+}
+
+impl BenchConfig {
+    /// The full configuration: long enough streams for stable numbers.
+    pub fn full() -> Self {
+        BenchConfig {
+            nodes: 8,
+            intervals: 160,
+            records_per_op: 48,
+            workers: 8,
+            warmup: 2,
+            repetitions: 5,
+        }
+    }
+
+    /// The smoke configuration: a few seconds end to end, used by CI.
+    pub fn smoke() -> Self {
+        BenchConfig {
+            nodes: 8,
+            intervals: 24,
+            records_per_op: 16,
+            workers: 8,
+            warmup: 1,
+            repetitions: 3,
+        }
+    }
+
+    /// [`BenchConfig::smoke`] when `OSPROF_BENCH_QUICK` is set,
+    /// [`BenchConfig::full`] otherwise.
+    pub fn from_env() -> Self {
+        match std::env::var("OSPROF_BENCH_QUICK") {
+            Ok(v) if v != "0" && !v.is_empty() => BenchConfig::smoke(),
+            _ => BenchConfig::full(),
+        }
+    }
+
+    /// True when this is the smoke shape (drives the `mode` JSON field).
+    fn is_smoke(&self) -> bool {
+        self.intervals <= BenchConfig::smoke().intervals
+    }
+}
+
+/// Builds the synthetic cumulative timelines: `nodes` nodes, each
+/// recording a deterministic spread of latencies across ~24 buckets per
+/// interval. Pure arithmetic — no simulator kernel — so the stream
+/// shape (and therefore the measured byte volume) is identical on
+/// every host.
+pub fn synthetic_timelines(cfg: &BenchConfig) -> Vec<(String, Timeline)> {
+    let r = Resolution::new(2).expect("resolution 2 is valid");
+    (0..cfg.nodes)
+        .map(|n| {
+            let name = format!("node-{n}");
+            let mut cumulative = ProfileSet::with_resolution("file-system", r);
+            let mut timeline = Vec::with_capacity(cfg.intervals);
+            for t in 1..=cfg.intervals as u64 {
+                for (oi, op) in OPS.iter().enumerate() {
+                    let p = cumulative.entry(op);
+                    for k in 0..cfg.records_per_op {
+                        // Spread over buckets 4..28, varied per node,
+                        // interval, op and record so deltas stay fat.
+                        let b = ((n as u64 * 7 + t * 5 + oi as u64 * 11 + k * 3) % 24 + 4)
+                            as usize;
+                        p.record_n(bucket_lower_bound(b, r), 1 + (t + k) % 3);
+                    }
+                }
+                timeline.push((t * INTERVAL, cumulative.clone()));
+            }
+            (name, timeline)
+        })
+        .collect()
+}
+
+/// One pre-encoded ingest event, exactly what the daemon's event loop
+/// would see on its sockets.
+pub enum Event {
+    /// Raw frame bytes arriving on a connection.
+    Bytes(u64, Vec<u8>),
+    /// A connection reset.
+    Reset(u64),
+    /// A detection tick (interval boundary).
+    Tick,
+}
+
+/// Renders the timelines into the flat delivery sequence both engines
+/// replay: the same round-robin schedule as the chaos scenarios, with
+/// agents (and, for the `faulty` variant, the `ext-chaos` fault
+/// injectors) run to completion **before** any timing starts.
+pub fn record_events(timelines: &[(String, Timeline)], chaos: Option<&ChaosConfig>) -> Vec<Event> {
+    let seed = chaos.map_or(0xB5EED, |c| c.seed);
+    let mut agents: Vec<ResilientAgent> = timelines
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| ResilientAgent::new(name.clone(), node_seed(seed ^ 0xBACF, i as u64)))
+        .collect();
+    let mut injectors: Option<Vec<FaultInjector>> = chaos
+        .map(|c| (0..timelines.len()).map(|i| FaultInjector::new(c.plan_for(i))).collect());
+
+    let mut events = Vec::new();
+    let rounds = timelines.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        for (conn, (_, timeline)) in timelines.iter().enumerate() {
+            let Some((at, set)) = timeline.get(round) else { continue };
+            let mut frames = Vec::new();
+            if round == 0 {
+                frames.push(agents[conn].hello(set.layer(), set.resolution(), INTERVAL));
+            }
+            frames.extend(agents[conn].frames(*at, set));
+            'frames: for f in frames {
+                let bytes = encode_frame(&f);
+                match injectors.as_mut() {
+                    None => events.push(Event::Bytes(conn as u64, bytes)),
+                    Some(inj) => {
+                        for d in inj[conn].push(bytes) {
+                            match d {
+                                Delivery::Bytes(b) => events.push(Event::Bytes(conn as u64, b)),
+                                Delivery::Reset => {
+                                    events.push(Event::Reset(conn as u64));
+                                    agents[conn].on_reset();
+                                    break 'frames;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        events.push(Event::Tick);
+    }
+    for conn in 0..timelines.len() {
+        let bye = encode_frame(&agents[conn].bye());
+        match injectors.as_mut() {
+            None => events.push(Event::Bytes(conn as u64, bye)),
+            Some(inj) => {
+                for d in inj[conn].push(bye) {
+                    match d {
+                        Delivery::Bytes(b) => events.push(Event::Bytes(conn as u64, b)),
+                        Delivery::Reset => events.push(Event::Reset(conn as u64)),
+                    }
+                }
+                for d in inj[conn].flush() {
+                    if let Delivery::Bytes(b) = d {
+                        events.push(Event::Bytes(conn as u64, b));
+                    }
+                }
+            }
+        }
+    }
+    events.push(Event::Tick);
+    events
+}
+
+/// Which ingest engine a replay drives.
+#[derive(Debug, Clone, Copy)]
+pub enum Engine {
+    /// The single-threaded collector (`--workers 1`).
+    Serial,
+    /// The worker pool with this many ingest workers.
+    Parallel(usize),
+}
+
+impl Engine {
+    fn label(self) -> String {
+        match self {
+            Engine::Serial => "serial".to_string(),
+            Engine::Parallel(w) => format!("parallel-{w}"),
+        }
+    }
+}
+
+/// Replays one delivery sequence end to end, returning the wall time
+/// (thread startup, barriers and shutdown included — that is the real
+/// cost of `--workers N`) and the final report for the determinism
+/// cross-check.
+pub fn replay(events: &[Event], engine: Engine) -> Result<(Duration, String), CollectorError> {
+    let start = Instant::now();
+    let col = match engine {
+        Engine::Serial => {
+            let mut col = Collector::new(CollectorConfig::default());
+            for e in events {
+                match e {
+                    Event::Bytes(conn, b) => {
+                        col.ingest_bytes(*conn, b);
+                    }
+                    Event::Reset(conn) => col.reset_conn(*conn),
+                    Event::Tick => {
+                        col.tick();
+                    }
+                }
+            }
+            col
+        }
+        Engine::Parallel(w) => {
+            let mut pc = ParallelCollector::new(CollectorConfig::default(), w, None)?;
+            for e in events {
+                match e {
+                    Event::Bytes(conn, b) => pc.ingest_bytes(*conn, b)?,
+                    Event::Reset(conn) => pc.reset_conn(*conn)?,
+                    Event::Tick => {
+                        pc.tick()?;
+                    }
+                }
+            }
+            pc.finish()?
+        }
+    };
+    let elapsed = start.elapsed();
+    Ok((elapsed, col.report()))
+}
+
+/// One engine × variant measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Engine label (`serial`, `parallel-8`, ...).
+    pub engine: String,
+    /// Stream variant (`clean` or `faulty`).
+    pub variant: String,
+    /// Frame deliveries replayed per run.
+    pub frames: u64,
+    /// Median end-to-end replay wall time, milliseconds.
+    pub median_ms: f64,
+    /// Frames per second at the median.
+    pub frames_per_sec: f64,
+    /// The (byte-identical across engines) final report.
+    pub report: String,
+}
+
+/// Times `engine` over `events`: `warmup` discarded runs, then
+/// `repetitions` timed runs, median kept.
+pub fn measure(
+    events: &[Event],
+    engine: Engine,
+    variant: &str,
+    cfg: &BenchConfig,
+) -> Result<Measurement, CollectorError> {
+    for _ in 0..cfg.warmup {
+        replay(events, engine)?;
+    }
+    let mut times = Vec::with_capacity(cfg.repetitions);
+    let mut report = String::new();
+    for _ in 0..cfg.repetitions.max(1) {
+        let (t, r) = replay(events, engine)?;
+        if !report.is_empty() {
+            assert_eq!(r, report, "{} replay is not deterministic", engine.label());
+        }
+        report = r;
+        times.push(t);
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let frames = events.iter().filter(|e| matches!(e, Event::Bytes(..))).count() as u64;
+    let secs = median.as_secs_f64().max(1e-9);
+    Ok(Measurement {
+        engine: engine.label(),
+        variant: variant.to_string(),
+        frames,
+        median_ms: median.as_secs_f64() * 1e3,
+        frames_per_sec: frames as f64 / secs,
+        report,
+    })
+}
+
+/// Runs the whole benchmark, returning the human report and the
+/// `BENCH_collector.json` document.
+///
+/// # Panics
+///
+/// Panics if serial and parallel reports over the same delivery
+/// sequence differ — that would be an engine determinism bug, and a
+/// benchmark of two engines computing different answers is meaningless.
+pub fn run_with(cfg: &BenchConfig) -> Result<(String, Json), CollectorError> {
+    let timelines = synthetic_timelines(cfg);
+    let chaos = ChaosConfig::default();
+    let variants: Vec<(&str, Vec<Event>)> = vec![
+        ("clean", record_events(&timelines, None)),
+        ("faulty", record_events(&timelines, Some(&chaos))),
+    ];
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "collector ingest bench: {} nodes x {} intervals, {} workers, median of {}\n\n",
+        cfg.nodes, cfg.intervals, cfg.workers, cfg.repetitions
+    ));
+
+    let mut results = Vec::new();
+    let mut headline = (0.0f64, 0.0f64); // (serial, parallel) clean frames/sec
+    for (variant, events) in &variants {
+        let serial = measure(events, Engine::Serial, variant, cfg)?;
+        let parallel = measure(events, Engine::Parallel(cfg.workers), variant, cfg)?;
+        assert_eq!(
+            parallel.report, serial.report,
+            "engine determinism violated on the {variant} stream"
+        );
+        if *variant == "clean" {
+            headline = (serial.frames_per_sec, parallel.frames_per_sec);
+        }
+        for m in [&serial, &parallel] {
+            out.push_str(&format!(
+                "  {:<8} {:<12} {:>7} frames  {:>9.3} ms  {:>12.0} frames/s\n",
+                variant, m.engine, m.frames, m.median_ms, m.frames_per_sec
+            ));
+        }
+        results.push(serial);
+        results.push(parallel);
+    }
+
+    let (serial_fps, parallel_fps) = headline;
+    let speedup = parallel_fps / serial_fps.max(1e-9);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!(
+        "\n  clean-stream speedup: {speedup:.2}x ({} host cpus)\n",
+        cpus
+    ));
+
+    let json = Json::Object(vec![
+        ("bench".into(), Json::Str("collector-ingest".into())),
+        ("schema_version".into(), Json::UInt(1)),
+        (
+            "mode".into(),
+            Json::Str(if cfg.is_smoke() { "smoke" } else { "full" }.into()),
+        ),
+        ("nodes".into(), Json::UInt(cfg.nodes as u128)),
+        ("intervals".into(), Json::UInt(cfg.intervals as u128)),
+        ("workers".into(), Json::UInt(cfg.workers as u128)),
+        ("warmup".into(), Json::UInt(cfg.warmup as u128)),
+        ("repetitions".into(), Json::UInt(cfg.repetitions as u128)),
+        ("host_cpus".into(), Json::UInt(cpus as u128)),
+        ("serial_frames_per_sec".into(), Json::Float(serial_fps)),
+        ("parallel_frames_per_sec".into(), Json::Float(parallel_fps)),
+        ("speedup_parallel_over_serial".into(), Json::Float(speedup)),
+        (
+            "results".into(),
+            Json::Array(
+                results
+                    .iter()
+                    .map(|m| {
+                        Json::Object(vec![
+                            ("engine".into(), Json::Str(m.engine.clone())),
+                            ("variant".into(), Json::Str(m.variant.clone())),
+                            ("frames".into(), Json::UInt(m.frames as u128)),
+                            ("median_ms".into(), Json::Float(m.median_ms)),
+                            ("frames_per_sec".into(), Json::Float(m.frames_per_sec)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Ok((out, json))
+}
+
+/// Validates a previously-emitted `BENCH_collector.json`: every
+/// required key present and well-typed, and — on hosts with at least 4
+/// CPUs running the full (non-smoke) configuration — the parallel
+/// engine at least 2x the serial frames/sec on the clean stream.
+///
+/// Smoke streams are too short to amortize thread startup, and on a
+/// 1-2 CPU host the worker pool cannot beat one core by construction,
+/// so in those cases a sub-2x speedup is reported as a warning in the
+/// returned summary instead of an error.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or missing field, or
+/// of a speedup-criterion failure.
+pub fn check(text: &str) -> Result<String, String> {
+    let doc = Json::parse(text).map_err(|e| format!("BENCH_collector.json: {e}"))?;
+    let err = |e: osprof_core::json::JsonError| format!("BENCH_collector.json: {e}");
+
+    let bench: String = doc.field("bench").map_err(err)?;
+    if bench != "collector-ingest" {
+        return Err(format!("BENCH_collector.json: unexpected bench id '{bench}'"));
+    }
+    let mode: String = doc.field("mode").map_err(err)?;
+    let nodes: u64 = doc.field("nodes").map_err(err)?;
+    let workers: u64 = doc.field("workers").map_err(err)?;
+    let repetitions: u64 = doc.field("repetitions").map_err(err)?;
+    let cpus: u64 = doc.field("host_cpus").map_err(err)?;
+    let serial_fps: f64 = doc.field("serial_frames_per_sec").map_err(err)?;
+    let parallel_fps: f64 = doc.field("parallel_frames_per_sec").map_err(err)?;
+    let speedup: f64 = doc.field("speedup_parallel_over_serial").map_err(err)?;
+    if nodes == 0 || workers == 0 || repetitions == 0 {
+        return Err("BENCH_collector.json: zero nodes/workers/repetitions".to_string());
+    }
+    if !(serial_fps > 0.0) || !(parallel_fps > 0.0) {
+        return Err("BENCH_collector.json: non-positive frames/sec".to_string());
+    }
+
+    let results: Json = doc.field("results").map_err(err)?;
+    let Json::Array(results) = results else {
+        return Err("BENCH_collector.json: 'results' is not an array".to_string());
+    };
+    if results.is_empty() {
+        return Err("BENCH_collector.json: 'results' is empty".to_string());
+    }
+    for (i, r) in results.iter().enumerate() {
+        let rerr = |e: osprof_core::json::JsonError| format!("BENCH_collector.json: results[{i}]: {e}");
+        let _: String = r.field("engine").map_err(rerr)?;
+        let _: String = r.field("variant").map_err(rerr)?;
+        let frames: u64 = r.field("frames").map_err(rerr)?;
+        let _: f64 = r.field("median_ms").map_err(rerr)?;
+        let _: f64 = r.field("frames_per_sec").map_err(rerr)?;
+        if frames == 0 {
+            return Err(format!("BENCH_collector.json: results[{i}]: zero frames"));
+        }
+    }
+
+    let mut summary = format!(
+        "BENCH_collector.json ok: {nodes} nodes, {workers} workers, \
+         serial {serial_fps:.0} f/s, parallel {parallel_fps:.0} f/s, speedup {speedup:.2}x"
+    );
+    if speedup < 2.0 {
+        if cpus >= 4 && mode == "full" {
+            return Err(format!(
+                "BENCH_collector.json: speedup {speedup:.2}x < 2x on a {cpus}-cpu host (full mode)"
+            ));
+        }
+        summary.push_str(&format!(
+            "\nwarning: speedup below 2x not enforced ({cpus} host cpu(s), {mode} mode)"
+        ));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            nodes: 3,
+            intervals: 6,
+            records_per_op: 4,
+            workers: 4,
+            warmup: 0,
+            repetitions: 1,
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_replays_agree_on_both_variants() {
+        let cfg = tiny();
+        let timelines = synthetic_timelines(&cfg);
+        let chaos = ChaosConfig::default();
+        for events in [record_events(&timelines, None), record_events(&timelines, Some(&chaos))] {
+            let (_, serial) = replay(&events, Engine::Serial).unwrap();
+            let (_, parallel) = replay(&events, Engine::Parallel(cfg.workers)).unwrap();
+            assert_eq!(serial, parallel);
+            assert!(serial.contains("node-0"), "streams must reach the store:\n{serial}");
+        }
+    }
+
+    #[test]
+    fn emitted_json_passes_its_own_check() {
+        let (_, json) = run_with(&tiny()).unwrap();
+        let summary = check(&json.pretty()).unwrap();
+        assert!(summary.contains("ok"), "{summary}");
+    }
+
+    #[test]
+    fn check_rejects_missing_and_failing_documents() {
+        assert!(check("{}").is_err());
+        assert!(check("not json").is_err());
+        // A full-mode run on a big host must meet the 2x criterion.
+        let failing = r#"{
+            "bench": "collector-ingest", "mode": "full", "nodes": 8,
+            "workers": 8, "repetitions": 5, "host_cpus": 8,
+            "serial_frames_per_sec": 1000.0, "parallel_frames_per_sec": 1200.0,
+            "speedup_parallel_over_serial": 1.2,
+            "results": [{"engine": "serial", "variant": "clean",
+                         "frames": 100, "median_ms": 1.0, "frames_per_sec": 1000.0}]
+        }"#;
+        let err = check(failing).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
+        // The same numbers in smoke mode (or on a small host) only warn.
+        let warning = failing.replace("\"full\"", "\"smoke\"");
+        let summary = check(&warning).unwrap();
+        assert!(summary.contains("warning"), "{summary}");
+    }
+
+    #[test]
+    fn faulty_variant_actually_loses_and_mangles_frames() {
+        let cfg = tiny();
+        let timelines = synthetic_timelines(&cfg);
+        let clean = record_events(&timelines, None);
+        // Reset node 2 early enough to fire inside the tiny stream.
+        let chaos = ChaosConfig { resets: vec![(2, 3)], ..Default::default() };
+        let faulty = record_events(&timelines, Some(&chaos));
+        let bytes = |ev: &[Event]| -> Vec<(u64, Vec<u8>)> {
+            ev.iter()
+                .filter_map(|e| match e {
+                    Event::Bytes(c, b) => Some((*c, b.clone())),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_ne!(bytes(&clean), bytes(&faulty), "the fault plan must perturb the stream");
+        assert!(faulty.iter().any(|e| matches!(e, Event::Reset(_))), "resets must fire");
+    }
+}

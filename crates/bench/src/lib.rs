@@ -43,6 +43,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod ingestbench;
 pub mod micro;
 pub mod tbl_acc;
 pub mod tbl_auto;

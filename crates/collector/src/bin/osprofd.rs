@@ -2,13 +2,21 @@
 //!
 //! Modes:
 //!
-//! - `osprofd serve <addr> [--nodes N] [--journal PATH]` — listen on
-//!   `addr` (e.g. `127.0.0.1:7060`), accept N agent connections
-//!   (default 1), ingest their frame streams, and print the report when
-//!   every stream has said bye. With `--journal`, every ingest event is
-//!   write-ahead journaled to PATH; if PATH already holds a journal
-//!   (a previous run crashed), the daemon first recovers its exact
-//!   pre-crash state from it and appends.
+//! - `osprofd serve <addr> [--nodes N] [--journal PATH] [--workers W]`
+//!   — listen on `addr` (e.g. `127.0.0.1:7060`), accept N agent
+//!   connections (default 1), ingest their frame streams, and print the
+//!   report when every stream has said bye. With `--journal`, every
+//!   ingest event is write-ahead journaled to PATH; if PATH already
+//!   holds a journal (a previous run crashed), the daemon first
+//!   recovers its exact pre-crash state from it and appends. With
+//!   `--workers W` (default 1) ingest fans out across W worker threads
+//!   sharded by node; the report stays byte-identical to `--workers 1`.
+//! - `osprofd replay [--workers W] [--nodes N] [--dirs D]` — replay the
+//!   deterministic ext-chaos scenario (N simulated nodes, last one
+//!   degraded, hostile wire) through the selected engine and print the
+//!   report to stdout. Because the replay is deterministic, stdout for
+//!   any `--workers` value must be byte-identical — CI diffs
+//!   `--workers 1` against `--workers 8`.
 //! - `osprofd smoke [addr]` — self-test: bind a loopback listener,
 //!   stream a simulated node that degrades mid-stream over real TCP,
 //!   and exit 0 only if the degradation is flagged online.
@@ -26,16 +34,30 @@ use std::thread;
 
 use osprof_collector::daemon::{Collector, CollectorConfig};
 use osprof_collector::journal::{self, JournaledCollector};
-use osprof_collector::scenario::{degrading_node_frames, ScenarioConfig};
+use osprof_collector::parallel::ParallelCollector;
+use osprof_collector::scenario::{
+    cluster_timelines, degrading_node_frames, replay_chaos, replay_chaos_parallel,
+    ChaosConfig, ScenarioConfig,
+};
 use osprof_collector::transport::{FrameSink, FrameSource, ReadTransport, WriteTransport};
 use osprof_collector::wire::{encode_frame, Frame};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: osprofd serve <addr> [--nodes N] [--journal PATH] \
+        "usage: osprofd serve <addr> [--nodes N] [--journal PATH] [--workers W] \
+         | osprofd replay [--workers W] [--nodes N] [--dirs D] \
          | osprofd smoke [addr] | osprofd crash-smoke [path]"
     );
     ExitCode::from(2)
+}
+
+/// Parses `--flag value` as a `usize`, returning `default` when the
+/// flag is absent and `None` (usage error) when it is malformed.
+fn flag_usize(args: &[String], flag: &str, default: usize) -> Option<usize> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args.get(i + 1).and_then(|n| n.parse().ok()),
+        None => Some(default),
+    }
 }
 
 fn main() -> ExitCode {
@@ -43,13 +65,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => {
             let Some(addr) = args.get(1) else { return usage() };
-            let mut nodes = 1usize;
-            if let Some(i) = args.iter().position(|a| a == "--nodes") {
-                match args.get(i + 1).and_then(|n| n.parse().ok()) {
-                    Some(n) => nodes = n,
-                    None => return usage(),
-                }
-            }
+            let Some(nodes) = flag_usize(&args, "--nodes", 1) else { return usage() };
+            let Some(workers) = flag_usize(&args, "--workers", 1) else { return usage() };
             let mut journal_path = None;
             if let Some(i) = args.iter().position(|a| a == "--journal") {
                 match args.get(i + 1) {
@@ -57,7 +74,16 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
-            serve(addr, nodes, journal_path.as_deref())
+            serve(addr, nodes, journal_path.as_deref(), workers)
+        }
+        Some("replay") => {
+            let Some(workers) = flag_usize(&args, "--workers", 1) else { return usage() };
+            let Some(nodes) = flag_usize(&args, "--nodes", 8) else { return usage() };
+            let Some(dirs) = flag_usize(&args, "--dirs", 40) else { return usage() };
+            if nodes == 0 || workers == 0 {
+                return usage();
+            }
+            replay(workers, nodes, dirs)
         }
         Some("smoke") => {
             let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:0");
@@ -74,10 +100,12 @@ fn main() -> ExitCode {
     }
 }
 
-/// The collector core behind `serve`: plain, or write-ahead journaled.
+/// The collector core behind `serve`: plain, write-ahead journaled, or
+/// the parallel worker-pool engine (optionally journaled itself).
 enum Core {
     Plain(Collector),
     Journaled(JournaledCollector<File>),
+    Parallel(ParallelCollector),
 }
 
 impl Core {
@@ -95,6 +123,9 @@ impl Core {
                 .ingest_bytes(conn, &encode_frame(frame))
                 .map(|_| ())
                 .map_err(|e| format!("connection {conn}: journal: {e}")),
+            Core::Parallel(pc) => pc
+                .ingest_bytes(conn, &encode_frame(frame))
+                .map_err(|e| format!("connection {conn}: {e}")),
         }
     }
 
@@ -105,45 +136,69 @@ impl Core {
                 Ok(())
             }
             Core::Journaled(jc) => jc.tick().map(|_| ()).map_err(|e| format!("journal: {e}")),
+            Core::Parallel(pc) => pc.tick().map(|_| ()).map_err(|e| format!("{e}")),
         }
     }
 
-    fn report(&self) -> String {
+    /// Finishes ingest (joining any workers) and renders the report.
+    fn into_report(self) -> Result<String, String> {
         match self {
-            Core::Plain(col) => col.report(),
-            Core::Journaled(jc) => jc.report(),
+            Core::Plain(col) => Ok(col.report()),
+            Core::Journaled(jc) => Ok(jc.report()),
+            Core::Parallel(pc) => {
+                pc.finish().map(|col| col.report()).map_err(|e| format!("{e}"))
+            }
         }
     }
 }
 
-/// Opens the collector core: fresh, or recovered from an existing
-/// journal at `path` (append-resumed either way).
-fn open_core(journal_path: Option<&str>) -> Result<Core, String> {
+/// Opens the collector core: fresh or recovered from an existing
+/// journal at `path` (append-resumed either way), serial or parallel.
+fn open_core(journal_path: Option<&str>, workers: usize) -> Result<Core, String> {
+    let cfg = CollectorConfig::default();
     let Some(path) = journal_path else {
-        return Ok(Core::Plain(Collector::new(CollectorConfig::default())));
+        return Ok(if workers > 1 {
+            Core::Parallel(
+                ParallelCollector::new(cfg, workers, None).map_err(|e| format!("{e}"))?,
+            )
+        } else {
+            Core::Plain(Collector::new(cfg))
+        });
     };
     let existing = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     if existing > 0 {
         let f = File::open(path).map_err(|e| format!("open journal {path}: {e}"))?;
-        let (col, replayed) = journal::recover(f, CollectorConfig::default())
+        let (col, replayed) = journal::recover(f, cfg.clone())
             .map_err(|e| format!("recover journal {path}: {e}"))?;
         eprintln!("osprofd: recovered {replayed} event(s) from {path}");
         let f = OpenOptions::new()
             .append(true)
             .open(path)
             .map_err(|e| format!("reopen journal {path}: {e}"))?;
-        Ok(Core::Journaled(JournaledCollector::resume(col, f)))
+        Ok(if workers > 1 {
+            Core::Parallel(ParallelCollector::resume(col, cfg, workers, Some(Box::new(f))))
+        } else {
+            Core::Journaled(JournaledCollector::resume(col, f))
+        })
     } else {
         let f = File::create(path).map_err(|e| format!("create journal {path}: {e}"))?;
-        let jc = JournaledCollector::create(CollectorConfig::default(), f)
-            .map_err(|e| format!("journal {path}: {e}"))?;
-        Ok(Core::Journaled(jc))
+        Ok(if workers > 1 {
+            Core::Parallel(
+                ParallelCollector::new(cfg, workers, Some(Box::new(f)))
+                    .map_err(|e| format!("journal {path}: {e}"))?,
+            )
+        } else {
+            Core::Journaled(
+                JournaledCollector::create(cfg, f)
+                    .map_err(|e| format!("journal {path}: {e}"))?,
+            )
+        })
     }
 }
 
 /// Accepts `nodes` connections, ingests every stream to completion, and
 /// prints the deterministic report.
-fn serve(addr: &str, nodes: usize, journal_path: Option<&str>) -> ExitCode {
+fn serve(addr: &str, nodes: usize, journal_path: Option<&str>, workers: usize) -> ExitCode {
     let listener = match TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
@@ -156,15 +211,57 @@ fn serve(addr: &str, nodes: usize, journal_path: Option<&str>) -> ExitCode {
         .map(|a| a.to_string())
         .unwrap_or_else(|_| addr.to_string());
     println!("osprofd: listening on {local} for {nodes} node(s)");
-    let core = match ingest_connections(&listener, nodes, journal_path) {
+    let core = match ingest_connections(&listener, nodes, journal_path, workers) {
         Ok(core) => core,
         Err(e) => {
             eprintln!("osprofd: {e}");
             return ExitCode::FAILURE;
         }
     };
-    print!("{}", core.report());
-    ExitCode::SUCCESS
+    match core.into_report() {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("osprofd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replays the deterministic ext-chaos scenario through the serial or
+/// parallel engine. Stdout carries **only** the report, so two runs can
+/// be diffed directly; run parameters go to stderr.
+fn replay(workers: usize, nodes: usize, dirs: usize) -> ExitCode {
+    eprintln!("osprofd replay: {nodes} node(s), dirs {dirs}, workers {workers}");
+    let scfg = ScenarioConfig {
+        nodes,
+        degraded: Some(nodes - 1),
+        dirs,
+        ..Default::default()
+    };
+    let timelines = cluster_timelines(&scfg);
+    let ccfg = ChaosConfig::default();
+    let run = if workers > 1 {
+        replay_chaos_parallel(&timelines, &ccfg, workers)
+    } else {
+        replay_chaos(&timelines, &ccfg, None)
+    };
+    match run {
+        Ok(run) => {
+            print!("{}", run.report);
+            eprintln!(
+                "osprofd replay: flagged {:?}, first fired at round {:?}",
+                run.flagged, run.first_fired
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("osprofd replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Accepts `nodes` connections and pumps their frames — each socket
@@ -174,6 +271,7 @@ fn ingest_connections(
     listener: &TcpListener,
     nodes: usize,
     journal_path: Option<&str>,
+    workers: usize,
 ) -> Result<Core, String> {
     let (tx, rx) = mpsc::channel::<(u64, Frame)>();
     let mut handles = Vec::new();
@@ -193,7 +291,7 @@ fn ingest_connections(
     }
     drop(tx);
 
-    let mut core = open_core(journal_path)?;
+    let mut core = open_core(journal_path, workers)?;
     let mut since_tick = 0usize;
     while let Ok((conn, frame)) = rx.recv() {
         core.ingest(conn, &frame)?;
@@ -247,7 +345,7 @@ fn smoke(addr: &str) -> ExitCode {
         Ok(())
     });
 
-    let core = match ingest_connections(&listener, 1, None) {
+    let core = match ingest_connections(&listener, 1, None, 1) {
         Ok(core) => core,
         Err(e) => {
             eprintln!("osprofd smoke: {e}");

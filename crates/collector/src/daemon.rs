@@ -84,11 +84,13 @@ pub struct CollectorConfig {
     pub detector: DetectorConfig,
 }
 
+/// Per-connection ingest state. `pub(crate)` so the parallel engine can
+/// partition live connections across workers on resume.
 #[derive(Debug, Default)]
-struct Conn {
-    node: Option<String>,
-    dec: Decoder,
-    done: bool,
+pub(crate) struct Conn {
+    pub(crate) node: Option<String>,
+    pub(crate) dec: Decoder,
+    pub(crate) done: bool,
 }
 
 /// The daemon core.
@@ -280,6 +282,42 @@ impl Collector {
     /// Every anomaly flagged so far, in tick order.
     pub fn anomalies(&self) -> &[Anomaly] {
         &self.anomalies
+    }
+
+    // ---- parallel-engine seams (crate-internal) ----------------------
+    //
+    // The worker-pool engine (`crate::parallel`) partitions a
+    // collector's node state across workers and re-merges it at every
+    // interval boundary. These accessors move state in and out without
+    // exposing the fields publicly; every observable invariant
+    // (conservation, fault attribution, report formatting) still flows
+    // through the same serial code paths above.
+
+    /// Takes the store, leaving an empty one with the same config.
+    pub(crate) fn take_store(&mut self) -> ShardedStore {
+        let cfg = *self.store.config();
+        std::mem::replace(&mut self.store, ShardedStore::new(cfg))
+    }
+
+    /// Merges a partition store back in (disjoint node sets).
+    pub(crate) fn absorb_store(&mut self, part: ShardedStore) {
+        self.store.absorb(part);
+    }
+
+    /// Takes the live per-connection decoder states.
+    pub(crate) fn take_conns(&mut self) -> BTreeMap<u64, Conn> {
+        std::mem::take(&mut self.conns)
+    }
+
+    /// Installs per-connection decoder states (worker startup).
+    pub(crate) fn set_conns(&mut self, conns: BTreeMap<u64, Conn>) {
+        self.conns = conns;
+    }
+
+    /// Counts one pre-hello corrupt frame handled outside this
+    /// collector (the parallel dispatcher consumes those itself).
+    pub(crate) fn note_unattributed(&mut self) {
+        self.unattributed_corrupt += 1;
     }
 
     /// Deterministic plain-text report: per-node counters, flagged

@@ -48,6 +48,7 @@ pub mod delta;
 pub mod detect;
 pub mod fault;
 pub mod journal;
+pub mod parallel;
 pub mod resilience;
 pub mod scenario;
 pub mod store;

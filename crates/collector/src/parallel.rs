@@ -1,0 +1,561 @@
+//! Parallel ingest: a worker pool that shards the hot decode path by
+//! node while keeping every report **byte-identical** to the serial
+//! collector's.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             ingest_bytes(conn, bytes)
+//!                       |
+//!                  dispatcher            (routing peek + journal)
+//!               /       |       \
+//!          worker 0  worker 1  worker W-1   (bounded sync channels)
+//!          Collector Collector Collector    (decode, checksum, delta-
+//!               \       |       /            apply, offer, faults)
+//!                  tick barrier
+//!                       |
+//!            master: absorb -> drain -> detect -> extract
+//! ```
+//!
+//! The dispatcher assigns each connection to a worker by the FNV hash
+//! of its **node label**, learned from the stream's `Hello` frame. The
+//! routing decision needs only a one-byte type peek per delivery
+//! ([`wire::frame_is_hello`]); everything else is forwarded blind, so
+//! the expensive work — checksum verification, frame decoding, delta
+//! application, store offers — runs on the workers. Each worker owns a
+//! private [`Collector`] (its detector idle) holding exactly the nodes
+//! that hash to it, so workers share nothing between barriers.
+//!
+//! # Determinism argument
+//!
+//! The serial collector's state decomposes per node: every per-node
+//! counter, queue and decoder is a function of *that connection's*
+//! delivery order plus the global tick positions. The engine preserves
+//! both orders exactly:
+//!
+//! 1. **Per-connection order** — each connection routes to one worker,
+//!    and each worker consumes one FIFO channel, so any two deliveries
+//!    on the same connection (indeed, on any two connections of the
+//!    same worker) are applied in dispatch order.
+//! 2. **Tick positions** — a tick is a full barrier: every worker
+//!    ships its partition store to the master, the master absorbs them
+//!    into one store with the serial shard layout, and the *serial*
+//!    drain → scan → bookkeeping path runs unchanged. Cross-node logic
+//!    (the cluster median, anomaly scanning, `first_flagged` ordering)
+//!    therefore only ever executes on the merged store, single-
+//!    threaded, exactly as in the serial engine. Partitions are then
+//!    split back out ([`crate::store::ShardedStore::extract_nodes`])
+//!    and returned to their workers.
+//! 3. **Pre-hello traffic** — deliveries on a connection that has not
+//!    completed a hello cannot be attributed to a node; the dispatcher
+//!    consumes them itself with the serial collector's exact rules
+//!    (`Bye` is silently consumed, anything else counts one
+//!    unattributed corrupt frame).
+//!
+//! Cross-worker delivery order between ticks is *not* preserved — and
+//! does not matter, because between barriers no code path reads state
+//! of more than one node.
+//!
+//! The write-ahead journal is kept by the dispatcher in dispatch order,
+//! which by the same argument is replay-equivalent: recovering the
+//! journal through a serial [`Collector`] rebuilds the identical state
+//! (and the journal bytes themselves are identical for any worker
+//! count, which the tests assert).
+//!
+//! The one assumption inherited from the protocol: a connection's node
+//! binding is stable (an agent does not re-hello under a *different*
+//! node label mid-connection). Every agent in this repo satisfies it;
+//! a rebinding hello re-routes future traffic but would strand the old
+//! worker's decoder state.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use crate::daemon::{Collector, CollectorConfig, CollectorError, Conn};
+use crate::detect::Anomaly;
+use crate::journal::Journal;
+use crate::store::ShardedStore;
+use crate::wire::{self, fnv64, Frame};
+
+/// Per-worker channel bound: enough to keep workers busy while the
+/// dispatcher journals, small enough that a stalled worker applies
+/// backpressure to the dispatcher instead of buffering unboundedly.
+const CHANNEL_CAP: usize = 1024;
+
+/// The worker index a node's traffic is pinned to.
+fn worker_of(node: &str, workers: usize) -> usize {
+    (fnv64(node.as_bytes()) % workers as u64) as usize
+}
+
+/// Messages from the dispatcher to one worker.
+enum ToWorker {
+    /// A raw frame delivery for a connection this worker owns.
+    Bytes(u64, Vec<u8>),
+    /// A connection reset.
+    Reset(u64),
+    /// Tick barrier: ship your partition store to the master.
+    Barrier,
+    /// Barrier release: your partition store, post-tick.
+    Resume(ShardedStore),
+    /// Final barrier: ship your partition store and exit.
+    Shutdown,
+}
+
+struct WorkerHandle {
+    tx: SyncSender<ToWorker>,
+    rx: Receiver<ShardedStore>,
+    join: JoinHandle<()>,
+}
+
+fn worker_loop(mut col: Collector, rx: Receiver<ToWorker>, tx: SyncSender<ShardedStore>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            // The tolerant serial ingest path, verbatim: corrupt bytes
+            // become per-node fault counts, never errors.
+            ToWorker::Bytes(conn, bytes) => {
+                let _ = col.ingest_bytes(conn, &bytes);
+            }
+            ToWorker::Reset(conn) => col.reset_conn(conn),
+            ToWorker::Barrier => {
+                if tx.send(col.take_store()).is_err() {
+                    return; // dispatcher gone
+                }
+            }
+            ToWorker::Resume(store) => col.absorb_store(store),
+            ToWorker::Shutdown => {
+                let _ = tx.send(col.take_store());
+                return;
+            }
+        }
+    }
+}
+
+/// The parallel ingest engine: a drop-in concurrent equivalent of
+/// [`Collector`] + [`crate::journal::JournaledCollector`] whose final
+/// report is byte-identical to the serial path's for any worker count.
+///
+/// With `workers <= 1` no threads are spawned and every call goes
+/// straight to the inner serial collector — `--workers 1` *is* today's
+/// daemon, not an emulation of it.
+pub struct ParallelCollector {
+    master: Collector,
+    journal: Option<Journal<Box<dyn Write + Send>>>,
+    handles: Vec<WorkerHandle>,
+    /// Connection -> worker, learned from each stream's hello.
+    assign: BTreeMap<u64, usize>,
+}
+
+impl ParallelCollector {
+    /// Starts a fresh engine with `workers` ingest workers, optionally
+    /// write-ahead journaling every event (dispatch order) to `journal`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on journal-header I/O.
+    pub fn new(
+        cfg: CollectorConfig,
+        workers: usize,
+        journal: Option<Box<dyn Write + Send>>,
+    ) -> Result<Self, CollectorError> {
+        let journal = journal.map(Journal::create).transpose()?;
+        Ok(Self::start(Collector::new(cfg.clone()), cfg, workers, journal))
+    }
+
+    /// Resumes from a collector rebuilt by [`crate::journal::recover`],
+    /// appending to an already-positioned journal writer: the recovered
+    /// node state and live decoder states are partitioned across the
+    /// workers before any new event is applied.
+    pub fn resume(
+        col: Collector,
+        cfg: CollectorConfig,
+        workers: usize,
+        journal: Option<Box<dyn Write + Send>>,
+    ) -> Self {
+        Self::start(col, cfg, workers, journal.map(Journal::resume))
+    }
+
+    fn start(
+        mut master: Collector,
+        cfg: CollectorConfig,
+        workers: usize,
+        journal: Option<Journal<Box<dyn Write + Send>>>,
+    ) -> Self {
+        let mut assign = BTreeMap::new();
+        let mut handles = Vec::new();
+        if workers > 1 {
+            // Partition any pre-existing state (the resume path; empty
+            // on a fresh start) across the workers by node hash.
+            let mut worker_conns: Vec<BTreeMap<u64, Conn>> =
+                (0..workers).map(|_| BTreeMap::new()).collect();
+            for (conn, c) in master.take_conns() {
+                // A connection that never completed a hello has no node
+                // and no decoder history worth keeping; it re-enters
+                // through the dispatcher's pre-hello path.
+                if let Some(node) = &c.node {
+                    let w = worker_of(node, workers);
+                    assign.insert(conn, w);
+                    worker_conns[w].insert(conn, c);
+                }
+            }
+            let mut store = master.take_store();
+            for (w, conns) in worker_conns.into_iter().enumerate() {
+                let part = store.extract_nodes(|node| worker_of(node, workers) == w);
+                let mut col = Collector::new(cfg.clone());
+                col.absorb_store(part);
+                col.set_conns(conns);
+                let (tx, worker_rx) = sync_channel(CHANNEL_CAP);
+                let (worker_tx, rx) = sync_channel(1);
+                let join = std::thread::spawn(move || worker_loop(col, worker_rx, worker_tx));
+                handles.push(WorkerHandle { tx, rx, join });
+            }
+            debug_assert!(store.nodes().is_empty(), "every node hashes to some worker");
+        }
+        ParallelCollector { master, journal, handles, assign }
+    }
+
+    /// The number of ingest workers (1 = serial, no threads).
+    pub fn workers(&self) -> usize {
+        self.handles.len().max(1)
+    }
+
+    fn send(&self, w: usize, msg: ToWorker) -> Result<(), CollectorError> {
+        self.handles[w]
+            .tx
+            .send(msg)
+            .map_err(|_| CollectorError::Internal(format!("worker {w} disconnected")))
+    }
+
+    /// Journals (dispatch order), routes and applies one raw frame
+    /// delivery.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O or a dead worker; corrupt *bytes* are never an error
+    /// (they become fault counts, as on the serial path).
+    pub fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) -> Result<(), CollectorError> {
+        if let Some(j) = &mut self.journal {
+            j.bytes(conn, bytes)?;
+        }
+        if self.handles.is_empty() {
+            let _ = self.master.ingest_bytes(conn, bytes);
+            return Ok(());
+        }
+        let assigned = self.assign.get(&conn).copied();
+        let route = if wire::frame_is_hello(bytes) || assigned.is_none() {
+            match wire::decode_frame(bytes) {
+                Ok((Frame::Hello { node, .. }, _)) => {
+                    let w = worker_of(&node, self.handles.len());
+                    self.assign.insert(conn, w);
+                    Some(w)
+                }
+                // Pre-hello traffic is the dispatcher's to consume,
+                // with the serial collector's exact accounting: a bye
+                // is silently consumed, everything else (snapshot
+                // frames, undecodable bytes) is one unattributed
+                // corrupt frame.
+                Ok((Frame::Bye { .. }, _)) if assigned.is_none() => None,
+                Ok(_) | Err(_) if assigned.is_none() => {
+                    self.master.note_unattributed();
+                    None
+                }
+                // Hello-typed bytes that are not a valid hello, on an
+                // assigned connection: plain (corrupt) traffic for its
+                // worker.
+                _ => assigned,
+            }
+        } else {
+            assigned
+        };
+        match route {
+            Some(w) => self.send(w, ToWorker::Bytes(conn, bytes.to_vec())),
+            None => Ok(()),
+        }
+    }
+
+    /// Journals and applies a connection reset.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O or a dead worker.
+    pub fn reset_conn(&mut self, conn: u64) -> Result<(), CollectorError> {
+        if let Some(j) = &mut self.journal {
+            j.reset(conn)?;
+        }
+        if self.handles.is_empty() {
+            self.master.reset_conn(conn);
+            return Ok(());
+        }
+        match self.assign.get(&conn) {
+            Some(&w) => self.send(w, ToWorker::Reset(conn)),
+            // A reset on a never-helloed connection is a no-op in the
+            // serial collector too (no node to charge it to).
+            None => Ok(()),
+        }
+    }
+
+    /// Tick barrier: merges every worker's partition into the master
+    /// store, runs the *serial* drain → detect → bookkeeping path, and
+    /// hands the partitions back. Returns the newly flagged anomalies.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O or a dead worker.
+    pub fn tick(&mut self) -> Result<Vec<Anomaly>, CollectorError> {
+        if let Some(j) = &mut self.journal {
+            j.tick()?;
+        }
+        if self.handles.is_empty() {
+            return Ok(self.master.tick());
+        }
+        for w in 0..self.handles.len() {
+            self.send(w, ToWorker::Barrier)?;
+        }
+        for w in 0..self.handles.len() {
+            let part = self.handles[w]
+                .rx
+                .recv()
+                .map_err(|_| CollectorError::Internal(format!("worker {w} disconnected")))?;
+            self.master.absorb_store(part);
+        }
+        let found = self.master.tick();
+        let workers = self.handles.len();
+        let mut store = self.master.take_store();
+        for w in 0..workers {
+            let part = store.extract_nodes(|node| worker_of(node, workers) == w);
+            self.send(w, ToWorker::Resume(part))?;
+        }
+        debug_assert!(store.nodes().is_empty());
+        Ok(found)
+    }
+
+    /// Final barrier: collects every partition into the master, joins
+    /// the workers, closes the journal, and returns the merged
+    /// collector — whose [`Collector::report`] is byte-identical to a
+    /// serial run over the same deliveries.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O, a dead worker, or a worker panic.
+    pub fn finish(mut self) -> Result<Collector, CollectorError> {
+        for w in 0..self.handles.len() {
+            self.send(w, ToWorker::Shutdown)?;
+        }
+        for w in 0..self.handles.len() {
+            let part = self.handles[w]
+                .rx
+                .recv()
+                .map_err(|_| CollectorError::Internal(format!("worker {w} disconnected")))?;
+            self.master.absorb_store(part);
+        }
+        for h in self.handles.drain(..) {
+            h.join
+                .join()
+                .map_err(|_| CollectorError::Internal("worker panicked".to_string()))?;
+        }
+        if let Some(j) = self.journal.take() {
+            j.finish()?;
+        }
+        Ok(self.master)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Agent;
+    use crate::journal::JournaledCollector;
+    use crate::wire::encode_frame;
+    use osprof_core::bucket::Resolution;
+    use osprof_core::profile::ProfileSet;
+    use std::sync::{Arc, Mutex};
+
+    /// A Vec<u8> journal sink the test can read back after the engine
+    /// consumed the writer.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn stream_bytes(node: &str, bucket: u32, intervals: u64) -> Vec<Vec<u8>> {
+        let mut agent = Agent::new(node);
+        let mut out = vec![encode_frame(&agent.hello("fs", Resolution::R1, 1_000))];
+        let mut set = ProfileSet::new("fs");
+        for seq in 0..intervals {
+            set.entry("read").record_n(1u64 << bucket, 1_000);
+            out.push(encode_frame(&agent.snapshot((seq + 1) * 1_000, &set)));
+        }
+        out.push(encode_frame(&agent.bye()));
+        out
+    }
+
+    /// Eight nodes (one sick), plus hostile traffic: corrupt bytes on a
+    /// live connection, pre-hello garbage, a pre-hello bye, and a
+    /// connection reset — every dispatcher code path.
+    fn hostile_deliveries() -> Vec<Delivery> {
+        let streams: Vec<Vec<Vec<u8>>> = (0..8)
+            .map(|i| {
+                let bucket = if i == 7 { 20 } else { 10 };
+                stream_bytes(&format!("node-{i}"), bucket, 6)
+            })
+            .collect();
+        let rounds = streams.iter().map(Vec::len).max().unwrap_or(0);
+        let mut out = Vec::new();
+        for round in 0..rounds {
+            for (conn, s) in streams.iter().enumerate() {
+                if let Some(b) = s.get(round) {
+                    out.push(Delivery::Bytes(conn as u64, b.clone()));
+                    if round == 3 && conn == 2 {
+                        // A corrupt frame on a live connection.
+                        let mut bad = b.clone();
+                        let at = bad.len() - 9;
+                        bad[at] ^= 0x40;
+                        out.push(Delivery::Bytes(conn as u64, bad));
+                    }
+                }
+            }
+            if round == 2 {
+                // Pre-hello garbage and a pre-hello bye on connection 99.
+                out.push(Delivery::Bytes(99, vec![0xff, 0x01, 0x02]));
+                out.push(Delivery::Bytes(99, encode_frame(&Frame::Bye { seq: 0 })));
+                // A reset on a live connection and on an unknown one.
+                out.push(Delivery::Reset(4));
+                out.push(Delivery::Reset(77));
+            }
+            out.push(Delivery::Tick);
+        }
+        out
+    }
+
+    enum Delivery {
+        Bytes(u64, Vec<u8>),
+        Reset(u64),
+        Tick,
+    }
+
+    fn run_serial(deliveries: &[Delivery]) -> (String, Vec<u8>) {
+        let mut jc =
+            JournaledCollector::create(CollectorConfig::default(), Vec::new()).unwrap();
+        for d in deliveries {
+            match d {
+                Delivery::Bytes(conn, b) => {
+                    jc.ingest_bytes(*conn, b).unwrap();
+                }
+                Delivery::Reset(conn) => jc.reset_conn(*conn).unwrap(),
+                Delivery::Tick => {
+                    jc.tick().unwrap();
+                }
+            }
+        }
+        let report = jc.report();
+        let (_, journal) = jc.into_parts().unwrap();
+        (report, journal)
+    }
+
+    fn run_parallel(deliveries: &[Delivery], workers: usize) -> (String, Vec<u8>) {
+        let buf = SharedBuf::default();
+        let mut pc = ParallelCollector::new(
+            CollectorConfig::default(),
+            workers,
+            Some(Box::new(buf.clone())),
+        )
+        .unwrap();
+        assert_eq!(pc.workers(), workers.max(1));
+        for d in deliveries {
+            match d {
+                Delivery::Bytes(conn, b) => pc.ingest_bytes(*conn, b).unwrap(),
+                Delivery::Reset(conn) => pc.reset_conn(*conn).unwrap(),
+                Delivery::Tick => {
+                    pc.tick().unwrap();
+                }
+            }
+        }
+        let col = pc.finish().unwrap();
+        col.store().stats().check_conservation().unwrap();
+        let journal = buf.0.lock().unwrap().clone();
+        (col.report(), journal)
+    }
+
+    #[test]
+    fn parallel_reports_and_journals_are_byte_identical_to_serial() {
+        let deliveries = hostile_deliveries();
+        let (want_report, want_journal) = run_serial(&deliveries);
+        assert!(want_report.contains("node-7"), "{want_report}");
+        for workers in [1, 2, 3, 8] {
+            let (report, journal) = run_parallel(&deliveries, workers);
+            assert_eq!(report, want_report, "report differs at workers={workers}");
+            assert_eq!(journal, want_journal, "journal differs at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn journal_from_a_parallel_run_recovers_serially() {
+        let deliveries = hostile_deliveries();
+        let (want_report, journal) = run_parallel(&deliveries, 4);
+        let (col, replayed) =
+            crate::journal::recover(&journal[..], CollectorConfig::default()).unwrap();
+        assert!(replayed > 0);
+        assert_eq!(col.report(), want_report, "journal replay must rebuild the state");
+    }
+
+    #[test]
+    fn resume_partitions_recovered_state_across_workers() {
+        let deliveries = hostile_deliveries();
+        let (want_report, _) = run_serial(&deliveries);
+
+        // Run the first half serially (as if recovered from a journal),
+        // then hand the live collector to a parallel engine mid-stream.
+        let half = deliveries.len() / 2;
+        let mut col = Collector::new(CollectorConfig::default());
+        for d in &deliveries[..half] {
+            match d {
+                Delivery::Bytes(conn, b) => {
+                    let _ = col.ingest_bytes(*conn, b);
+                }
+                Delivery::Reset(conn) => col.reset_conn(*conn),
+                Delivery::Tick => {
+                    col.tick();
+                }
+            }
+        }
+        let mut pc =
+            ParallelCollector::resume(col, CollectorConfig::default(), 4, None);
+        for d in &deliveries[half..] {
+            match d {
+                Delivery::Bytes(conn, b) => pc.ingest_bytes(*conn, b).unwrap(),
+                Delivery::Reset(conn) => pc.reset_conn(*conn).unwrap(),
+                Delivery::Tick => {
+                    pc.tick().unwrap();
+                }
+            }
+        }
+        assert_eq!(pc.finish().unwrap().report(), want_report);
+    }
+
+    #[test]
+    fn anomalies_surface_through_ticks_identically() {
+        let deliveries = hostile_deliveries();
+        let mut pc = ParallelCollector::new(CollectorConfig::default(), 8, None).unwrap();
+        let mut flagged = Vec::new();
+        for d in &deliveries {
+            match d {
+                Delivery::Bytes(conn, b) => pc.ingest_bytes(*conn, b).unwrap(),
+                Delivery::Reset(conn) => pc.reset_conn(*conn).unwrap(),
+                Delivery::Tick => flagged.extend(pc.tick().unwrap()),
+            }
+        }
+        let col = pc.finish().unwrap();
+        assert!(!flagged.is_empty(), "the sick node must be flagged online");
+        assert!(flagged.iter().all(|a| a.node == "node-7"), "{flagged:?}");
+        assert_eq!(flagged.len(), col.anomalies().len());
+    }
+}

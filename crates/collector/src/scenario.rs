@@ -23,6 +23,7 @@ use crate::agent::Agent;
 use crate::daemon::{Collector, CollectorConfig, CollectorError};
 use crate::fault::{node_seed, Delivery, FaultInjector, FaultPlan, FaultStats};
 use crate::journal::{self, JournaledCollector};
+use crate::parallel::ParallelCollector;
 use crate::resilience::ResilientAgent;
 use crate::wire::{encode_frame, Frame};
 
@@ -241,6 +242,194 @@ pub struct ChaosRun {
     pub recovered: bool,
 }
 
+/// The ingest engine a chaos replay drives. Both engines consume the
+/// **identical delivery byte sequence** (agents and injectors live
+/// outside the engine), so their reports must agree byte-for-byte —
+/// the serial-vs-parallel determinism tests assert exactly that.
+trait ChaosEngine {
+    /// Applies one raw frame delivery.
+    fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) -> Result<(), CollectorError>;
+    /// Applies a connection reset.
+    fn reset_conn(&mut self, conn: u64) -> Result<(), CollectorError>;
+    /// Runs a tick; true when it flagged at least one anomaly.
+    fn tick_any(&mut self) -> Result<bool, CollectorError>;
+    /// Simulates a daemon crash + recovery; true when the engine
+    /// supports it (the serial write-ahead-journaled path).
+    fn crash_recover(&mut self) -> Result<bool, CollectorError>;
+    /// Final report and the sorted, deduplicated flagged-node set.
+    fn into_results(self) -> Result<(String, Vec<String>), CollectorError>;
+}
+
+fn flagged_nodes(col: &Collector) -> Vec<String> {
+    let mut flagged: Vec<String> =
+        col.anomalies().iter().map(|a| a.node.clone()).collect();
+    flagged.sort();
+    flagged.dedup();
+    flagged
+}
+
+/// The serial engine: a write-ahead journaled collector (in-memory
+/// journal), with exact crash recovery.
+struct SerialEngine(Option<JournaledCollector<Vec<u8>>>);
+
+impl SerialEngine {
+    fn jc(&mut self) -> &mut JournaledCollector<Vec<u8>> {
+        self.0.as_mut().expect("engine alive")
+    }
+}
+
+impl ChaosEngine for SerialEngine {
+    fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) -> Result<(), CollectorError> {
+        self.jc().ingest_bytes(conn, bytes).map(|_| ())
+    }
+
+    fn reset_conn(&mut self, conn: u64) -> Result<(), CollectorError> {
+        self.jc().reset_conn(conn)
+    }
+
+    fn tick_any(&mut self) -> Result<bool, CollectorError> {
+        Ok(!self.jc().tick()?.is_empty())
+    }
+
+    fn crash_recover(&mut self) -> Result<bool, CollectorError> {
+        // The daemon process dies here; everything it knew is gone
+        // except the journal. Recovery = deterministic replay.
+        let jc = self.0.take().expect("engine alive");
+        let (_, journal_bytes) = jc.into_parts()?;
+        let (col, _) = journal::recover(&journal_bytes[..], CollectorConfig::default())?;
+        self.0 = Some(JournaledCollector::resume(col, journal_bytes));
+        Ok(true)
+    }
+
+    fn into_results(self) -> Result<(String, Vec<String>), CollectorError> {
+        let jc = self.0.expect("engine alive");
+        Ok((jc.report(), flagged_nodes(jc.collector())))
+    }
+}
+
+/// The parallel engine: a worker pool ([`ParallelCollector`]). No crash
+/// simulation — mid-run crash recovery stays a serial-path concern.
+struct ParallelEngine(ParallelCollector);
+
+impl ChaosEngine for ParallelEngine {
+    fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) -> Result<(), CollectorError> {
+        self.0.ingest_bytes(conn, bytes)
+    }
+
+    fn reset_conn(&mut self, conn: u64) -> Result<(), CollectorError> {
+        self.0.reset_conn(conn)
+    }
+
+    fn tick_any(&mut self) -> Result<bool, CollectorError> {
+        Ok(!self.0.tick()?.is_empty())
+    }
+
+    fn crash_recover(&mut self) -> Result<bool, CollectorError> {
+        Ok(false)
+    }
+
+    fn into_results(self) -> Result<(String, Vec<String>), CollectorError> {
+        let col = self.0.finish()?;
+        Ok((col.report(), flagged_nodes(&col)))
+    }
+}
+
+/// Pushes a batch of frames through one connection's hostile wire into
+/// the engine, handling mid-batch wire resets.
+fn deliver<E: ChaosEngine>(
+    eng: &mut E,
+    conn: usize,
+    agents: &mut [ResilientAgent],
+    injectors: &mut [FaultInjector],
+    frames: Vec<Frame>,
+) -> Result<(), CollectorError> {
+    'frames: for f in frames {
+        for d in injectors[conn].push(encode_frame(&f)) {
+            match d {
+                Delivery::Bytes(b) => {
+                    eng.ingest_bytes(conn as u64, &b)?;
+                }
+                Delivery::Reset => {
+                    // The wire died under this frame: the daemon
+                    // counts the reset, the agent backs off and
+                    // will open its next interval with a resync
+                    // preamble. The rest of this batch is lost.
+                    eng.reset_conn(conn as u64)?;
+                    agents[conn].on_reset();
+                    break 'frames;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The engine-generic chaos replay loop shared by [`replay_chaos`] and
+/// [`replay_chaos_parallel`].
+fn replay_chaos_engine<E: ChaosEngine>(
+    timelines: &[(String, Timeline)],
+    cfg: &ChaosConfig,
+    crash_after_round: Option<usize>,
+    mut eng: E,
+) -> Result<ChaosRun, CollectorError> {
+    let interval = timelines
+        .iter()
+        .flat_map(|(_, t)| t.windows(2).map(|w| w[1].0 - w[0].0))
+        .min()
+        .unwrap_or(0);
+    let mut agents: Vec<ResilientAgent> = timelines
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| ResilientAgent::new(name.clone(), node_seed(cfg.seed ^ 0xBACF, i as u64)))
+        .collect();
+    let mut injectors: Vec<FaultInjector> =
+        (0..timelines.len()).map(|i| FaultInjector::new(cfg.plan_for(i))).collect();
+
+    let mut first_fired = None;
+    let mut recovered = false;
+    let rounds = timelines.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+
+    for round in 0..rounds {
+        for (conn, (_, timeline)) in timelines.iter().enumerate() {
+            let Some((at, set)) = timeline.get(round) else { continue };
+            let mut frames = Vec::new();
+            if round == 0 {
+                frames.push(agents[conn].hello(set.layer(), set.resolution(), interval));
+            }
+            frames.extend(agents[conn].frames(*at, set));
+            deliver(&mut eng, conn, &mut agents, &mut injectors, frames)?;
+        }
+        if eng.tick_any()? && first_fired.is_none() {
+            first_fired = Some(round);
+        }
+        if crash_after_round == Some(round) {
+            recovered = eng.crash_recover()?;
+        }
+    }
+    // Close every stream: bye through the (still hostile) wire, then
+    // flush any frame the reorder buffer held back.
+    for conn in 0..timelines.len() {
+        let bye = agents[conn].bye();
+        deliver(&mut eng, conn, &mut agents, &mut injectors, vec![bye])?;
+        for d in injectors[conn].flush() {
+            if let Delivery::Bytes(b) = d {
+                eng.ingest_bytes(conn as u64, &b)?;
+            }
+        }
+    }
+    if eng.tick_any()? && first_fired.is_none() {
+        first_fired = Some(rounds);
+    }
+
+    let wire_stats = timelines
+        .iter()
+        .zip(&injectors)
+        .map(|((name, _), inj)| (name.clone(), *inj.stats()))
+        .collect();
+    let (report, flagged) = eng.into_results()?;
+    Ok(ChaosRun { report, first_fired, wire_stats, flagged, recovered })
+}
+
 /// Replays the timelines through per-node [`ResilientAgent`]s, each
 /// wire mangled by its own deterministic [`FaultInjector`], into a
 /// write-ahead-journaled collector.
@@ -256,98 +445,23 @@ pub fn replay_chaos(
     cfg: &ChaosConfig,
     crash_after_round: Option<usize>,
 ) -> Result<ChaosRun, CollectorError> {
-    let interval = timelines
-        .iter()
-        .flat_map(|(_, t)| t.windows(2).map(|w| w[1].0 - w[0].0))
-        .min()
-        .unwrap_or(0);
-    let mut agents: Vec<ResilientAgent> = timelines
-        .iter()
-        .enumerate()
-        .map(|(i, (name, _))| ResilientAgent::new(name.clone(), node_seed(cfg.seed ^ 0xBACF, i as u64)))
-        .collect();
-    let mut injectors: Vec<FaultInjector> =
-        (0..timelines.len()).map(|i| FaultInjector::new(cfg.plan_for(i))).collect();
+    let jc = JournaledCollector::create(CollectorConfig::default(), Vec::new())?;
+    replay_chaos_engine(timelines, cfg, crash_after_round, SerialEngine(Some(jc)))
+}
 
-    let mut jc = JournaledCollector::create(CollectorConfig::default(), Vec::new())?;
-    let mut first_fired = None;
-    let mut recovered = false;
-    let rounds = timelines.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
-
-    let deliver = |jc: &mut JournaledCollector<Vec<u8>>,
-                       conn: usize,
-                       agents: &mut [ResilientAgent],
-                       injectors: &mut [FaultInjector],
-                       frames: Vec<Frame>|
-     -> Result<(), CollectorError> {
-        'frames: for f in frames {
-            for d in injectors[conn].push(encode_frame(&f)) {
-                match d {
-                    Delivery::Bytes(b) => {
-                        jc.ingest_bytes(conn as u64, &b)?;
-                    }
-                    Delivery::Reset => {
-                        // The wire died under this frame: the daemon
-                        // counts the reset, the agent backs off and
-                        // will open its next interval with a resync
-                        // preamble. The rest of this batch is lost.
-                        jc.reset_conn(conn as u64)?;
-                        agents[conn].on_reset();
-                        break 'frames;
-                    }
-                }
-            }
-        }
-        Ok(())
-    };
-
-    for round in 0..rounds {
-        for (conn, (_, timeline)) in timelines.iter().enumerate() {
-            let Some((at, set)) = timeline.get(round) else { continue };
-            let mut frames = Vec::new();
-            if round == 0 {
-                frames.push(agents[conn].hello(set.layer(), set.resolution(), interval));
-            }
-            frames.extend(agents[conn].frames(*at, set));
-            deliver(&mut jc, conn, &mut agents, &mut injectors, frames)?;
-        }
-        if !jc.tick()?.is_empty() && first_fired.is_none() {
-            first_fired = Some(round);
-        }
-        if crash_after_round == Some(round) {
-            // The daemon process dies here; everything it knew is gone
-            // except the journal. Recovery = deterministic replay.
-            let (_, journal_bytes) = jc.into_parts()?;
-            let (col, _) = journal::recover(&journal_bytes[..], CollectorConfig::default())?;
-            jc = JournaledCollector::resume(col, journal_bytes);
-            recovered = true;
-        }
-    }
-    // Close every stream: bye through the (still hostile) wire, then
-    // flush any frame the reorder buffer held back.
-    for conn in 0..timelines.len() {
-        let bye = agents[conn].bye();
-        deliver(&mut jc, conn, &mut agents, &mut injectors, vec![bye])?;
-        for d in injectors[conn].flush() {
-            if let Delivery::Bytes(b) = d {
-                jc.ingest_bytes(conn as u64, &b)?;
-            }
-        }
-    }
-    if !jc.tick()?.is_empty() && first_fired.is_none() {
-        first_fired = Some(rounds);
-    }
-
-    let mut flagged: Vec<String> =
-        jc.collector().anomalies().iter().map(|a| a.node.clone()).collect();
-    flagged.sort();
-    flagged.dedup();
-    let wire_stats = timelines
-        .iter()
-        .zip(&injectors)
-        .map(|((name, _), inj)| (name.clone(), *inj.stats()))
-        .collect();
-    Ok(ChaosRun { report: jc.report(), first_fired, wire_stats, flagged, recovered })
+/// [`replay_chaos`] through the parallel worker-pool engine: the exact
+/// same hostile delivery sequence, fanned out across `workers` ingest
+/// workers. The resulting [`ChaosRun`] — report bytes included — must
+/// equal the serial run's for any worker count; that is the engine's
+/// determinism contract (`--workers 1` vs `--workers 8` in
+/// `osprofd replay`, asserted in tests and CI).
+pub fn replay_chaos_parallel(
+    timelines: &[(String, Timeline)],
+    cfg: &ChaosConfig,
+    workers: usize,
+) -> Result<ChaosRun, CollectorError> {
+    let pc = ParallelCollector::new(CollectorConfig::default(), workers, None)?;
+    replay_chaos_engine(timelines, cfg, None, ParallelEngine(pc))
 }
 
 #[cfg(test)]
@@ -399,6 +513,23 @@ mod tests {
         // And the whole thing replays identically under the same seed.
         let again = replay_chaos(&timelines, &ccfg, None).unwrap();
         assert_eq!(again.report, uninterrupted.report, "chaos must be deterministic");
+    }
+
+    #[test]
+    fn parallel_chaos_replay_matches_serial_byte_for_byte() {
+        let scfg = ScenarioConfig { nodes: 4, degraded: Some(3), ..Default::default() };
+        let timelines = cluster_timelines(&scfg);
+        let ccfg = ChaosConfig { resets: vec![(1, 6)], ..Default::default() };
+
+        let serial = replay_chaos(&timelines, &ccfg, None).unwrap();
+        for workers in [1, 8] {
+            let par = replay_chaos_parallel(&timelines, &ccfg, workers).unwrap();
+            assert_eq!(par.report, serial.report, "report differs at workers={workers}");
+            assert_eq!(par.flagged, serial.flagged);
+            assert_eq!(par.first_fired, serial.first_fired);
+            assert_eq!(par.wire_stats, serial.wire_stats, "the wire itself is engine-independent");
+            assert!(!par.recovered);
+        }
     }
 
     #[test]

@@ -503,6 +503,45 @@ impl ShardedStore {
         out
     }
 
+    /// Moves every node of `other` into this store (re-homing each to
+    /// its shard here). The merge primitive of the parallel ingest
+    /// engine: per-worker partition stores are absorbed into one master
+    /// store at every interval boundary, ticked serially, and split
+    /// back out with [`extract_nodes`](ShardedStore::extract_nodes).
+    ///
+    /// The two stores must hold **disjoint** node sets (the engine
+    /// partitions nodes by hash, so they always are); a collision would
+    /// silently lose one side's counters, so it is debug-asserted.
+    pub fn absorb(&mut self, other: ShardedStore) {
+        for shard in other.shards {
+            for (name, st) in shard {
+                let home = self.shard_of(&name);
+                let prev = self.shards[home].insert(name, st);
+                debug_assert!(prev.is_none(), "absorb: node present on both sides");
+            }
+        }
+    }
+
+    /// Moves every node whose label satisfies `keep` out into a new
+    /// store with the same configuration — the split half of the
+    /// [`absorb`](ShardedStore::absorb)/extract cycle. Counters travel
+    /// with the node, so conservation holds across any absorb/extract
+    /// sequence.
+    pub fn extract_nodes(&mut self, keep: impl Fn(&str) -> bool) -> ShardedStore {
+        let mut out = ShardedStore::new(self.cfg);
+        for shard in &mut self.shards {
+            let moving: Vec<String> =
+                shard.keys().filter(|n| keep(n)).cloned().collect();
+            for name in moving {
+                if let Some(st) = shard.remove(&name) {
+                    let home = out.shard_of(&name);
+                    out.shards[home].insert(name, st);
+                }
+            }
+        }
+        out
+    }
+
     /// Per-node counters, sorted by node label.
     pub fn stats(&self) -> StoreStats {
         let mut nodes: Vec<NodeStats> = self
@@ -781,6 +820,57 @@ mod tests {
         assert!(!f.is_clean());
         assert!(store.faults("other").is_clean());
         assert_eq!(f.describe(), "corrupt 0 gaps 2 resyncs 1 resets 1");
+    }
+
+    #[test]
+    fn absorb_extract_round_trips_every_counter() {
+        let mut a = ShardedStore::new(StoreConfig::default());
+        let mut b = ShardedStore::new(StoreConfig::default());
+        a.offer("alpha", snap(0, &[("read", 1 << 10, 5)]));
+        a.offer("alpha", snap(1, &[("read", 1 << 10, 9)]));
+        a.record_fault("alpha", StreamFault::Gap);
+        b.offer("beta", snap(0, &[("write", 1 << 12, 3)]));
+        b.record_fault("beta", StreamFault::Reset);
+        a.drain();
+
+        let mut merged = ShardedStore::new(StoreConfig::default());
+        merged.absorb(a);
+        merged.absorb(b);
+        assert_eq!(merged.nodes(), ["alpha", "beta"]);
+        assert_eq!(merged.faults("alpha").gap, 1);
+        assert_eq!(merged.faults("beta").reset, 1);
+        assert_eq!(merged.intervals("alpha"), 2);
+        merged.stats().check_conservation().unwrap();
+
+        // Drain works on the merged store and sees beta's queue.
+        let updates = merged.drain();
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].node, "beta");
+
+        // Split beta back out: both halves keep their exact counters.
+        let split = merged.extract_nodes(|n| n == "beta");
+        assert_eq!(split.nodes(), ["beta"]);
+        assert_eq!(split.faults("beta").reset, 1);
+        assert_eq!(split.intervals("beta"), 1);
+        assert_eq!(merged.nodes(), ["alpha"]);
+        assert_eq!(merged.cumulative("alpha").unwrap().total_ops(), 9);
+        merged.stats().check_conservation().unwrap();
+        split.stats().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn extract_with_different_shard_counts_rehomes_nodes() {
+        let mut store = ShardedStore::new(StoreConfig { shards: 7, ..Default::default() });
+        for i in 0..12 {
+            store.offer(&format!("n{i}"), snap(0, &[("read", 1 << 10, 4)]));
+        }
+        let all = store.extract_nodes(|_| true);
+        assert_eq!(all.nodes().len(), 12);
+        assert!(store.nodes().is_empty());
+        let mut coarse = ShardedStore::new(StoreConfig { shards: 2, ..Default::default() });
+        coarse.absorb(all);
+        assert_eq!(coarse.nodes().len(), 12);
+        coarse.stats().check_conservation().unwrap();
     }
 
     #[test]

@@ -382,6 +382,15 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out
 }
 
+/// True when the bytes *claim* to be a `Hello` frame (type byte only —
+/// no checksum or payload validation). The parallel dispatcher's
+/// routing peek: everything that is not hello-typed can be forwarded to
+/// its connection's worker without decoding, and the rare hello-typed
+/// delivery is decoded fully before any routing decision is made.
+pub fn frame_is_hello(bytes: &[u8]) -> bool {
+    bytes.first() == Some(&T_HELLO)
+}
+
 /// Parses one frame from a payload-complete byte slice, returning the
 /// frame and the number of bytes consumed.
 pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), WireError> {

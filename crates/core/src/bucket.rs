@@ -111,37 +111,149 @@ pub fn bucket_of(latency: u64, r: Resolution) -> usize {
     idx
 }
 
-/// Returns the smallest latency (in cycles) that falls into bucket `b` at
-/// resolution `r`, i.e. `ceil(2^(b/r))`.
-///
-/// For `r = 1` the bound is exact (`2^b`). For fractional exponents the
-/// boundary is rounded to the nearest integer cycle, which is the
-/// convention [`bucket_of`] uses for refinement, keeping the pair mutually
-/// consistent.
-pub fn bucket_lower_bound(b: usize, r: Resolution) -> u64 {
-    let r_val = r.get() as usize;
-    let k = b / r_val;
-    let frac = b % r_val;
-    let base = 1u64 << k.min(63);
-    if frac == 0 {
-        return base;
+/// Number of 64-bit limbs needed to hold `t^r` for `t < 2^64`, `r <= 8`
+/// (at most 512 bits), plus one limb of headroom.
+const POW_LIMBS: usize = 9;
+
+/// Multiplies a little-endian multi-limb integer by a `u64` in place.
+/// The product never exceeds `POW_LIMBS` limbs for the inputs used here
+/// (`t^i * t` with `t < 2^64`, `i < 8`).
+fn limbs_mul_u64(acc: &mut [u64; POW_LIMBS], m: u64) {
+    let mut carry: u128 = 0;
+    for limb in acc.iter_mut() {
+        let v = (*limb as u128) * (m as u128) + carry;
+        *limb = v as u64;
+        carry = v >> 64;
     }
-    // 2^(k + frac/r) = 2^k * 2^(frac/r); compute the multiplier in f64 and
-    // round. The multiplier is in (1, 2), so precision is ample for any
-    // bucket boundary below 2^52; above that, profiles are in the
-    // multi-day range where sub-cycle boundary placement is irrelevant.
-    let mult = 2f64.powf(frac as f64 / r_val as f64);
-    ((base as f64) * mult).round() as u64
+    debug_assert_eq!(carry, 0, "limb overflow in boundary math");
 }
 
-/// Returns the half-open latency range `[lo, hi)` covered by bucket `b`.
+/// Returns true iff the multi-limb integer `n` is `<= 2^e`.
+fn limbs_le_pow2(n: &[u64; POW_LIMBS], e: u32) -> bool {
+    let limb = (e / 64) as usize;
+    let bit = e % 64;
+    // Any set bit strictly above position e => greater.
+    for (i, &l) in n.iter().enumerate() {
+        if i > limb && l != 0 {
+            return false;
+        }
+    }
+    if limb >= POW_LIMBS {
+        return true;
+    }
+    let hi_mask = if bit == 63 { 0 } else { !0u64 << (bit + 1) };
+    if n[limb] & hi_mask != 0 {
+        return false;
+    }
+    if n[limb] >> bit != 1 {
+        // Bit e itself is clear and nothing above it is set.
+        return true;
+    }
+    // Bit e is set: equal only if every lower bit is clear.
+    let lo_mask = if bit == 0 { 0 } else { (1u64 << bit) - 1 };
+    n[limb] & lo_mask == 0 && n[..limb].iter().all(|&l| l == 0)
+}
+
+/// Exact integer test `t^r <= 2^e`, with `t < 2^64`, `r <= 8`, `e < 576`.
+fn pow_le_pow2(t: u64, r: u32, e: u32) -> bool {
+    let mut acc = [0u64; POW_LIMBS];
+    acc[0] = 1;
+    for _ in 0..r {
+        limbs_mul_u64(&mut acc, t);
+    }
+    limbs_le_pow2(&acc, e)
+}
+
+/// Computes `ceil(2^(b/r))` exactly for a fractional exponent (`b` not a
+/// multiple of `r`): the unique `n` with `(n-1)^r < 2^b < n^r`.
+fn exact_ceil_boundary(b: usize, r_val: usize) -> u64 {
+    let k = (b / r_val) as u32;
+    let e = b as u32;
+    // ceil(2^(b/r)) = 1 + max { t : t^r <= 2^b }; the root lies strictly
+    // between 2^k and 2^(k+1), and the result fits in u64 because the
+    // largest fractional boundary is 2^(63 + 7/8) < 2^64.
+    let (mut lo, mut hi) = (1u64 << k, if k == 63 { u64::MAX } else { 1u64 << (k + 1) });
+    // Invariant: lo^r <= 2^e < hi^r; binary-search the largest such lo.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if pow_le_pow2(mid, r_val as u32, e) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo + 1
+}
+
+/// Lazily-built boundary tables, one per resolution: `TABLES[r-1][b]` is
+/// `bucket_lower_bound(b, r)`. Built once with exact integer root-finding;
+/// lookups afterwards are O(1).
+static TABLES: [std::sync::OnceLock<Vec<u64>>; 8] = [
+    std::sync::OnceLock::new(),
+    std::sync::OnceLock::new(),
+    std::sync::OnceLock::new(),
+    std::sync::OnceLock::new(),
+    std::sync::OnceLock::new(),
+    std::sync::OnceLock::new(),
+    std::sync::OnceLock::new(),
+    std::sync::OnceLock::new(),
+];
+
+fn boundary_table(r: Resolution) -> &'static [u64] {
+    let r_val = r.get() as usize;
+    TABLES[r_val - 1].get_or_init(|| {
+        (0..r.bucket_count())
+            .map(|b| {
+                if b % r_val == 0 {
+                    1u64 << (b / r_val)
+                } else {
+                    exact_ceil_boundary(b, r_val)
+                }
+            })
+            .collect()
+    })
+}
+
+/// Returns the smallest latency (in cycles) that falls into bucket `b` at
+/// resolution `r`, i.e. `ceil(2^(b/r))`, computed exactly.
+///
+/// The boundary is the exact integer ceiling of the real-valued bucket
+/// edge `2^(b/r)` at every resolution 1..=8 over the full `u64` range —
+/// no floating point is involved, so [`bucket_of`] (which refines by
+/// comparing against these boundaries) and `bucket_lower_bound` are
+/// mutually exact: `bucket_lower_bound(b) <= l < bucket_lower_bound(b+1)`
+/// implies `bucket_of(l) == b`.
+///
+/// At high resolutions the lowest buckets contain no integer cycle count
+/// at all (e.g. `r = 8` buckets 1..=4 cover latencies inside `[1, 2)`);
+/// adjacent boundaries then coincide and such buckets are simply never
+/// produced by `bucket_of`.
+///
+/// Out-of-range `b` (`b >= r.bucket_count()`) is a caller bug: it trips a
+/// debug assertion, and in release builds saturates to `u64::MAX` rather
+/// than silently aliasing onto a valid bucket's range.
+pub fn bucket_lower_bound(b: usize, r: Resolution) -> u64 {
+    debug_assert!(b < r.bucket_count(), "bucket index {b} out of range at r={}", r.get());
+    if b >= r.bucket_count() {
+        return u64::MAX;
+    }
+    boundary_table(r)[b]
+}
+
+/// Returns the latency range `[lo, hi)` covered by bucket `b`.
+///
+/// Ranges are half-open except for the last bucket, whose `hi` is
+/// `u64::MAX` and whose range is closed (`[lo, u64::MAX]`) so the bucket
+/// space covers every representable latency without overflowing the
+/// upper bound. Out-of-range `b` trips a debug assertion and saturates to
+/// the empty range `(u64::MAX, u64::MAX)` in release builds.
 pub fn bucket_range(b: usize, r: Resolution) -> (u64, u64) {
+    debug_assert!(b < r.bucket_count(), "bucket index {b} out of range at r={}", r.get());
+    if b >= r.bucket_count() {
+        return (u64::MAX, u64::MAX);
+    }
     let lo = bucket_lower_bound(b, r);
-    let hi = if b + 1 >= r.bucket_count() {
-        u64::MAX
-    } else {
-        bucket_lower_bound(b + 1, r)
-    };
+    let hi = if b + 1 == r.bucket_count() { u64::MAX } else { bucket_lower_bound(b + 1, r) };
     (lo, hi)
 }
 
@@ -183,11 +295,80 @@ mod tests {
 
     #[test]
     fn bucket_of_r2_doubles_density() {
-        // At r = 2, latency 2^10 lands in bucket 20 and 2^10*sqrt(2) in 21.
+        // At r = 2, latency 2^10 lands in bucket 20 and the first integer
+        // at or above 2^10*sqrt(2) (= ceil(1448.15) = 1449) in bucket 21.
         assert_eq!(bucket_of(1024, Resolution::R2), 20);
-        let sqrt2_1024 = (1024f64 * std::f64::consts::SQRT_2).round() as u64;
+        let sqrt2_1024 = (1024f64 * std::f64::consts::SQRT_2).ceil() as u64;
+        assert_eq!(bucket_of(sqrt2_1024 - 1, Resolution::R2), 20);
         assert_eq!(bucket_of(sqrt2_1024, Resolution::R2), 21);
         assert_eq!(bucket_of(2048, Resolution::R2), 22);
+    }
+
+    #[test]
+    fn fractional_boundaries_are_exact_ceilings() {
+        // Independent exact oracle: n = ceil(2^(b/r)) with b % r != 0 iff
+        // (n-1)^r < 2^b < n^r. Verified in plain u128 arithmetic wherever
+        // n^r fits (an implementation independent of the limb code).
+        let pow_u128 = |n: u128, r: u32| -> Option<u128> {
+            let mut acc = 1u128;
+            for _ in 0..r {
+                acc = acc.checked_mul(n)?;
+            }
+            Some(acc)
+        };
+        for r in (1..=8).map(|v| Resolution::new(v).unwrap()) {
+            let r_val = r.get() as u32;
+            for b in 0..r.bucket_count() {
+                let n = bucket_lower_bound(b, r);
+                if b as u32 % r_val == 0 {
+                    assert_eq!(n, 1u64 << (b as u32 / r_val));
+                    continue;
+                }
+                if let (Some(hi), Some(lo), Some(e)) = (
+                    pow_u128(n as u128, r_val),
+                    pow_u128(n as u128 - 1, r_val),
+                    1u128.checked_shl(b as u32).filter(|_| b < 128),
+                ) {
+                    assert!(lo < e && e < hi, "inexact ceiling at b={b} r={r_val}: n={n}");
+                } else {
+                    // Too large for u128: sanity-check against f64 with a
+                    // relative tolerance (f64 alone cannot place these
+                    // boundaries exactly — that was the original bug).
+                    let ideal = 2f64.powf(b as f64 / r_val as f64);
+                    let tol = ideal * 1e-9;
+                    assert!(
+                        ideal - tol <= n as f64 && n as f64 <= ideal + 1.0 + tol,
+                        "boundary far from 2^(b/r) at b={b} r={r_val}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_boundaries_fit_u64_and_stay_monotone() {
+        for r in (1..=8).map(|v| Resolution::new(v).unwrap()) {
+            let mut prev = 0u64;
+            for b in 0..r.bucket_count() {
+                let lo = bucket_lower_bound(b, r);
+                assert!(lo >= prev, "non-monotone boundary at b={b} r={}", r.get());
+                assert!(lo < u64::MAX, "boundary saturated in range at b={b} r={}", r.get());
+                prev = lo;
+            }
+            // The top bucket's closed range reaches u64::MAX.
+            let (lo, hi) = bucket_range(r.bucket_count() - 1, r);
+            assert!(lo <= u64::MAX && hi == u64::MAX);
+            assert_eq!(bucket_of(u64::MAX, r), r.bucket_count() - 1);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "out of range"))]
+    fn out_of_range_bucket_is_rejected() {
+        // Debug builds assert; release builds saturate to u64::MAX instead
+        // of aliasing onto bucket ranges near 2^63.
+        assert_eq!(bucket_lower_bound(64, Resolution::R1), u64::MAX);
+        assert_eq!(bucket_range(64, Resolution::R1), (u64::MAX, u64::MAX));
     }
 
     #[test]

@@ -33,6 +33,51 @@ proptest! {
         prop_assert!(bucket_lower_bound(b, r) <= bucket_lower_bound(b + 1, r));
     }
 
+    /// Bucket boundaries and `bucket_of` are mutually exact at every
+    /// resolution 1..=8 over the full `u64` range: every bucket whose
+    /// half-open range contains at least one integer latency round-trips
+    /// through its own lower bound. (At high resolutions the lowest few
+    /// buckets cover sub-integer slivers of `[1, 2)` and contain no
+    /// integer latency at all; their boundaries coincide and they are
+    /// unreachable by construction.)
+    #[test]
+    fn boundary_round_trips_at_all_resolutions(b in 0usize..512, r in 1u8..=8) {
+        let r = Resolution::new(r).unwrap();
+        prop_assume!(b < r.bucket_count());
+        let lo = bucket_lower_bound(b, r);
+        let next = if b + 1 == r.bucket_count() {
+            u64::MAX
+        } else {
+            bucket_lower_bound(b + 1, r)
+        };
+        prop_assert!(lo <= next, "boundaries must be monotone");
+        if lo < next {
+            prop_assert_eq!(bucket_of(lo, r), b, "bucket {} does not round-trip", b);
+        }
+    }
+
+    /// Any latency inside `[bucket_lower_bound(b), bucket_lower_bound(b+1))`
+    /// maps back to bucket `b` — including latencies near the extreme
+    /// buckets at the top of the u64 range.
+    #[test]
+    fn latency_between_boundaries_maps_to_bucket(
+        b in 0usize..512,
+        offset in 0u64..u64::MAX,
+        r in 1u8..=8,
+    ) {
+        let r = Resolution::new(r).unwrap();
+        prop_assume!(b < r.bucket_count());
+        let lo = bucket_lower_bound(b, r);
+        let hi = if b + 1 == r.bucket_count() {
+            u64::MAX
+        } else {
+            bucket_lower_bound(b + 1, r)
+        };
+        prop_assume!(lo < hi);
+        let l = lo + offset % (hi - lo);
+        prop_assert_eq!(bucket_of(l, r), b, "latency {} escaped bucket {}", l, b);
+    }
+
     /// The checksum invariant holds under any update sequence.
     #[test]
     fn checksum_always_consistent(latencies in prop::collection::vec(0u64.., 0..200)) {
@@ -119,5 +164,27 @@ proptest! {
         let truth = p.mean_latency().unwrap();
         prop_assert!(est <= truth * 2.0 + 1.0, "est {est} truth {truth}");
         prop_assert!(est >= truth / 2.0 - 1.0, "est {est} truth {truth}");
+    }
+}
+
+/// Exhaustive (not sampled) round-trip check: all 2304 buckets across all
+/// eight resolutions, including bucket 0 and the top bucket of each.
+#[test]
+fn every_reachable_bucket_round_trips_exhaustively() {
+    for r in (1..=8).map(|v| Resolution::new(v).unwrap()) {
+        for b in 0..r.bucket_count() {
+            let lo = bucket_lower_bound(b, r);
+            let hi = if b + 1 == r.bucket_count() {
+                u64::MAX
+            } else {
+                bucket_lower_bound(b + 1, r)
+            };
+            assert!(lo <= hi, "non-monotone boundary at b={b} r={}", r.get());
+            if lo < hi {
+                assert_eq!(bucket_of(lo, r), b, "b={b} r={} lower bound {lo}", r.get());
+                assert_eq!(bucket_of(hi - 1, r), b, "b={b} r={} last latency {}", r.get(), hi - 1);
+            }
+        }
+        assert_eq!(bucket_of(u64::MAX, r), r.bucket_count() - 1);
     }
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Reproducible collector ingest benchmark (serial vs parallel engine).
+#
+# Builds the `ingestbench` binary, replays identical pre-encoded frame
+# streams through both ingest engines, and writes the machine-readable
+# results to BENCH_collector.json at the repository root. The emitted
+# file is then re-validated with `ingestbench --check`: all required
+# keys present, and — on a >=4-cpu host running the full configuration
+# — the parallel engine at least 2x the serial frames/sec. On smaller
+# hosts (or with --smoke) a sub-2x speedup is a warning, not a failure:
+# a worker pool cannot beat one core on a single-cpu machine.
+#
+# usage: scripts/bench.sh [--smoke]
+#   --smoke   shrink streams and repetitions (~0.2s); used by CI and
+#             scripts/verify.sh to prove the harness runs end to end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=()
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) MODE=(--smoke) ;;
+    *)
+      echo "usage: scripts/bench.sh [--smoke]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+export CARGO_NET_OFFLINE=true
+cargo build -q --release --offline -p osprof-bench --bin ingestbench
+
+target/release/ingestbench ${MODE[@]+"${MODE[@]}"} --out BENCH_collector.json
+target/release/ingestbench --check BENCH_collector.json

@@ -35,4 +35,18 @@ echo "==> collector crash-recovery smoke (osprofd, write-ahead journal)"
 # byte-identical to an uninterrupted run's.
 timeout 120 target/release/osprofd crash-smoke target/verify-crash-smoke.journal
 
+echo "==> parallel-engine determinism (osprofd replay, workers 1 vs 8)"
+# The same chaos replay through the serial path and the 8-worker pool:
+# the reports must not differ by a byte, however the threads interleave.
+timeout 120 target/release/osprofd replay --nodes 4 --dirs 20 --workers 1 \
+  > target/verify-replay-w1.txt 2>/dev/null
+timeout 120 target/release/osprofd replay --nodes 4 --dirs 20 --workers 8 \
+  > target/verify-replay-w8.txt 2>/dev/null
+cmp target/verify-replay-w1.txt target/verify-replay-w8.txt
+
+echo "==> collector ingest bench smoke (scripts/bench.sh --smoke)"
+# Proves the benchmark harness runs end to end and that
+# BENCH_collector.json carries every required key.
+scripts/bench.sh --smoke
+
 echo "verify: OK"

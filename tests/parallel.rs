@@ -1,0 +1,61 @@
+//! Serial-vs-parallel determinism: the acceptance test for the
+//! worker-pool ingest engine.
+//!
+//! The full ext-chaos scenario (eight simulated nodes, node-7 on a
+//! degraded disk, every wire mangled by its deterministic fault
+//! injector) is replayed once through the serial write-ahead-journaled
+//! collector and once through the parallel engine at several worker
+//! counts. The deliveries are byte-identical by construction, so the
+//! reports must be too — `--workers 8` may not differ from
+//! `--workers 1` by a single byte, no matter how the threads
+//! interleave.
+
+use osprof::collector::scenario::{
+    cluster_timelines, replay_chaos, replay_chaos_parallel, ChaosConfig, ScenarioConfig,
+};
+
+#[test]
+fn parallel_ext_chaos_replay_is_byte_identical_to_serial() {
+    let timelines = cluster_timelines(&ScenarioConfig::default());
+    let cfg = ChaosConfig::default();
+
+    let serial = replay_chaos(&timelines, &cfg, None).unwrap();
+    assert_eq!(serial.flagged, vec!["node-7".to_string()], "report:\n{}", serial.report);
+
+    for workers in [1usize, 2, 8] {
+        let parallel = replay_chaos_parallel(&timelines, &cfg, workers).unwrap();
+        assert_eq!(
+            parallel.report, serial.report,
+            "workers={workers} diverged from the serial report"
+        );
+        assert_eq!(parallel.flagged, serial.flagged, "workers={workers}");
+        assert_eq!(parallel.first_fired, serial.first_fired, "workers={workers}");
+        assert_eq!(
+            parallel.wire_stats, serial.wire_stats,
+            "the injected faults are engine-independent"
+        );
+    }
+}
+
+#[test]
+fn parallel_engine_handles_degenerate_clusters() {
+    // One node (fewer nodes than workers) and an empty cluster: the
+    // engine must behave exactly like the serial path, not hang or
+    // panic on idle workers.
+    let cfg = ChaosConfig::default();
+
+    let one = cluster_timelines(&ScenarioConfig {
+        nodes: 1,
+        degraded: None,
+        dirs: 10,
+        ..Default::default()
+    });
+    let serial = replay_chaos(&one, &cfg, None).unwrap();
+    let parallel = replay_chaos_parallel(&one, &cfg, 8).unwrap();
+    assert_eq!(parallel.report, serial.report);
+
+    let empty: Vec<(String, Vec<(u64, osprof::core::profile::ProfileSet)>)> = Vec::new();
+    let serial = replay_chaos(&empty, &cfg, None).unwrap();
+    let parallel = replay_chaos_parallel(&empty, &cfg, 4).unwrap();
+    assert_eq!(parallel.report, serial.report);
+}
