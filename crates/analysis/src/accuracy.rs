@@ -53,7 +53,7 @@ pub fn evaluate(metric: Metric, corpus: &[LabeledPair]) -> MethodAccuracy {
     // Candidate thresholds: midpoints between adjacent distinct scores,
     // plus sentinels below/above everything.
     let mut values: Vec<f64> = scored.iter().map(|&(d, _)| d).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("metric distances are finite"));
+    values.sort_by(f64::total_cmp);
     values.dedup();
     let mut candidates = vec![values[0] - 1.0];
     for w in values.windows(2) {
@@ -61,8 +61,7 @@ pub fn evaluate(metric: Metric, corpus: &[LabeledPair]) -> MethodAccuracy {
     }
     candidates.push(values[values.len() - 1] + 1.0);
 
-    let mut best: Option<MethodAccuracy> = None;
-    for &t in &candidates {
+    let score = |t: f64| {
         let mut fp = 0;
         let mut fn_ = 0;
         for &(d, important) in &scored {
@@ -73,18 +72,25 @@ pub fn evaluate(metric: Metric, corpus: &[LabeledPair]) -> MethodAccuracy {
                 fn_ += 1;
             }
         }
-        let acc = MethodAccuracy {
+        MethodAccuracy {
             metric,
             threshold: t,
             false_positives: fp,
             false_negatives: fn_,
             total: corpus.len(),
-        };
-        if best.map_or(true, |b| acc.error_rate() < b.error_rate()) {
-            best = Some(acc);
+        }
+    };
+
+    // `candidates` always holds the two sentinels, so starting from the
+    // first keeps this loop panic-free without an unwrap at the end.
+    let mut best = score(candidates[0]);
+    for &t in &candidates[1..] {
+        let acc = score(t);
+        if acc.error_rate() < best.error_rate() {
+            best = acc;
         }
     }
-    best.expect("at least one candidate threshold exists")
+    best
 }
 
 /// Evaluates the four §5.3 methods, returning results ordered as the

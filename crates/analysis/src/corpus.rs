@@ -214,15 +214,19 @@ fn make_pair(kind: ChangeKind, rng: &mut StdRng) -> LabeledPair {
             // because the run processes a different number of requests.
             let total = right.total();
             let frac = rng.gen_range(0.08..0.40);
-            let src = *apexes
+            // Every generated base profile has at least one peak;
+            // bucket 0 is a harmless fallback that keeps the path
+            // panic-free, and total_cmp needs no finiteness caveat.
+            let src = apexes
                 .iter()
-                .max_by(|&&x, &&y| right.counts[x].partial_cmp(&right.counts[y]).expect("finite"))
-                .expect("at least one peak");
+                .copied()
+                .max_by(|&x, &y| right.counts[x].total_cmp(&right.counts[y]))
+                .unwrap_or(0);
             // Contention slows requests down: the new path is to the right.
             // Bounded rejection sampling with a guaranteed fallback (right
             // of every existing peak), since the preferred window can be
             // fully occupied by other peaks.
-            let mut new_apex = (*apexes.last().expect("at least one peak") + 5).min(35);
+            let mut new_apex = (apexes.last().copied().unwrap_or(0) + 5).min(35);
             for _ in 0..32 {
                 let a = src + rng.gen_range(5..=10usize);
                 if a < 36 && apexes.iter().all(|&x| x.abs_diff(a) >= 5) {
@@ -240,10 +244,11 @@ fn make_pair(kind: ChangeKind, rng: &mut StdRng) -> LabeledPair {
         ChangeKind::PeakShift => {
             // One peak moves by 3..8 buckets.
             let shift = rng.gen_range(3..=8) as isize * if rng.gen_bool(0.5) { 1 } else { -1 };
-            let apex = *apexes
+            let apex = apexes
                 .iter()
-                .max_by(|&&x, &&y| right.counts[x].partial_cmp(&right.counts[y]).expect("finite"))
-                .expect("at least one peak");
+                .copied()
+                .max_by(|&x, &y| right.counts[x].total_cmp(&right.counts[y]))
+                .unwrap_or(0);
             let window = 3isize;
             let mut next = right.counts.clone();
             for d in -window..=window {
@@ -263,10 +268,11 @@ fn make_pair(kind: ChangeKind, rng: &mut StdRng) -> LabeledPair {
         ChangeKind::RatioChange => {
             // Redistribute mass between the two largest peaks (or split
             // the single peak): the contention rate changed by >=3x.
-            let a = *apexes
+            let a = apexes
                 .iter()
-                .max_by(|&&x, &&y| right.counts[x].partial_cmp(&right.counts[y]).expect("finite"))
-                .expect("at least one peak");
+                .copied()
+                .max_by(|&x, &y| right.counts[x].total_cmp(&right.counts[y]))
+                .unwrap_or(0);
             let b = apexes.iter().copied().find(|&x| x != a).unwrap_or((a + 7).min(31));
             let ma = right.counts[a];
             let frac = rng.gen_range(0.5..0.9);

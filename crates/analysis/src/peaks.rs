@@ -150,7 +150,9 @@ fn split_region(counts: &[u64], start: usize, end: usize, cfg: &PeakConfig, out:
     let mut boundaries = vec![start];
     for w in maxima.windows(2) {
         let (m1, m2) = (w[0], w[1]);
-        let valley_pos = (m1..=m2).min_by_key(|&k| counts[k]).expect("non-empty window");
+        // `m1 <= m2` (maxima are strictly increasing), so the range is
+        // never empty; the fallback keeps the path panic-free.
+        let valley_pos = (m1..=m2).min_by_key(|&k| counts[k]).unwrap_or(m1);
         let valley = counts[valley_pos].max(0) as f64;
         let smaller_max = counts[m1].min(counts[m2]) as f64;
         if valley == 0.0 || smaller_max / valley.max(1.0) >= cfg.valley_ratio {
@@ -164,7 +166,7 @@ fn split_region(counts: &[u64], start: usize, end: usize, cfg: &PeakConfig, out:
         if s > e {
             continue;
         }
-        let apex = (s..=e).max_by_key(|&k| (counts[k], usize::MAX - k)).expect("non-empty peak range");
+        let apex = (s..=e).max_by_key(|&k| (counts[k], usize::MAX - k)).unwrap_or(s);
         let ops: u64 = counts[s..=e].iter().sum();
         if ops > 0 {
             out.push(Peak { start: s, apex, end: e, ops, apex_count: counts[apex] });

@@ -71,6 +71,7 @@ pub fn node_sampled(degraded: bool, interval_secs: f64, dirs: usize) -> SampledP
     kernel
         .layer(fs_layer)
         .sampled_store()
+        // lint:allow(no-panic): fs_layer was created by add_sampled_layer six lines up, so the store is always present
         .expect("fs layer is sampled")
         .clone()
 }
@@ -272,29 +273,36 @@ fn flagged_nodes(col: &Collector) -> Vec<String> {
 /// journal), with exact crash recovery.
 struct SerialEngine(Option<JournaledCollector<Vec<u8>>>);
 
+/// A typed "engine has no live collector" error: only reachable when a
+/// previous `crash_recover` failed mid-swap, in which case the replay
+/// has already reported that error — but the path stays panic-free.
+fn engine_gone() -> CollectorError {
+    CollectorError::Internal("serial engine has no live collector".into())
+}
+
 impl SerialEngine {
-    fn jc(&mut self) -> &mut JournaledCollector<Vec<u8>> {
-        self.0.as_mut().expect("engine alive")
+    fn jc(&mut self) -> Result<&mut JournaledCollector<Vec<u8>>, CollectorError> {
+        self.0.as_mut().ok_or_else(engine_gone)
     }
 }
 
 impl ChaosEngine for SerialEngine {
     fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) -> Result<(), CollectorError> {
-        self.jc().ingest_bytes(conn, bytes).map(|_| ())
+        self.jc()?.ingest_bytes(conn, bytes).map(|_| ())
     }
 
     fn reset_conn(&mut self, conn: u64) -> Result<(), CollectorError> {
-        self.jc().reset_conn(conn)
+        self.jc()?.reset_conn(conn)
     }
 
     fn tick_any(&mut self) -> Result<bool, CollectorError> {
-        Ok(!self.jc().tick()?.is_empty())
+        Ok(!self.jc()?.tick()?.is_empty())
     }
 
     fn crash_recover(&mut self) -> Result<bool, CollectorError> {
         // The daemon process dies here; everything it knew is gone
         // except the journal. Recovery = deterministic replay.
-        let jc = self.0.take().expect("engine alive");
+        let jc = self.0.take().ok_or_else(engine_gone)?;
         let (_, journal_bytes) = jc.into_parts()?;
         let (col, _) = journal::recover(&journal_bytes[..], CollectorConfig::default())?;
         self.0 = Some(JournaledCollector::resume(col, journal_bytes));
@@ -302,7 +310,7 @@ impl ChaosEngine for SerialEngine {
     }
 
     fn into_results(self) -> Result<(String, Vec<String>), CollectorError> {
-        let jc = self.0.expect("engine alive");
+        let jc = self.0.ok_or_else(engine_gone)?;
         Ok((jc.report(), flagged_nodes(jc.collector())))
     }
 }

@@ -74,22 +74,34 @@ impl<R: Read> FrameSource for ReadTransport<R> {
     }
 }
 
-/// An in-process transport pair (sender, receiver).
-pub fn channel() -> (ChannelSink, ChannelSource) {
-    let (tx, rx) = mpsc::channel();
+/// An in-process transport pair (sender, receiver) holding at most
+/// `capacity` undelivered frames.
+///
+/// The queue is bounded for the same reason the store's per-node
+/// queues are: an unbounded buffer turns a stalled consumer into
+/// unbounded memory growth. A full queue is reported as backpressure
+/// (`WireError::Protocol`), never silently dropped and never blocking
+/// — the single-threaded replay paths that use this transport would
+/// deadlock on a blocking send.
+pub fn channel(capacity: usize) -> (ChannelSink, ChannelSource) {
+    let (tx, rx) = mpsc::sync_channel(capacity);
     (ChannelSink { tx }, ChannelSource { rx })
 }
 
 /// Sending half of [`channel`].
 pub struct ChannelSink {
-    tx: mpsc::Sender<Frame>,
+    tx: mpsc::SyncSender<Frame>,
 }
 
 impl FrameSink for ChannelSink {
     fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
-        self.tx
-            .send(frame.clone())
-            .map_err(|_| WireError::Protocol("collector hung up".into()))
+        use std::sync::mpsc::TrySendError;
+        self.tx.try_send(frame.clone()).map_err(|e| match e {
+            TrySendError::Full(_) => {
+                WireError::Protocol("transport backpressure: channel full".into())
+            }
+            TrySendError::Disconnected(_) => WireError::Protocol("collector hung up".into()),
+        })
     }
 }
 
@@ -140,7 +152,7 @@ mod tests {
 
     #[test]
     fn channel_transport_round_trips() {
-        let (mut sink, mut source) = channel();
+        let (mut sink, mut source) = channel(16);
         for f in frames() {
             sink.send(&f).unwrap();
         }
@@ -150,5 +162,17 @@ mod tests {
             got.push(f);
         }
         assert_eq!(got, frames());
+    }
+
+    #[test]
+    fn full_channel_reports_backpressure_not_blocking() {
+        let (mut sink, source) = channel(2);
+        let fs = frames();
+        sink.send(&fs[0]).unwrap();
+        sink.send(&fs[2]).unwrap();
+        // A third frame exceeds the bound: the send must fail fast.
+        assert!(matches!(sink.send(&fs[2]), Err(WireError::Protocol(_))));
+        drop(source);
+        assert!(matches!(sink.send(&fs[2]), Err(WireError::Protocol(_))));
     }
 }

@@ -72,6 +72,7 @@ impl RngCore for TestRng {
 pub fn base_seed() -> u64 {
     match std::env::var("OSPROF_TEST_SEED") {
         Ok(s) => parse_seed(&s).unwrap_or_else(|| {
+            // lint:allow(no-panic): the property-test harness reports bad seeds by failing the test run
             panic!("OSPROF_TEST_SEED must be a u64 (decimal or 0x-hex), got '{s}'")
         }),
         Err(_) => DEFAULT_SEED,
@@ -532,6 +533,7 @@ pub fn run_property<S: Strategy>(
     f: impl Fn(S::Value) -> CaseResult,
 ) {
     if let Err(failure) = run_property_impl(name, config, strategy, f) {
+        // lint:allow(no-panic): the property-test harness reports failing cases by panicking, like proptest itself
         panic!("{failure}");
     }
 }

@@ -109,6 +109,7 @@ impl SampledProfile {
     pub fn flatten_prefix(&self, upto: usize) -> ProfileSet {
         let mut out = ProfileSet::with_resolution(self.layer.clone(), self.resolution);
         for seg in self.segments.iter().take(upto.saturating_add(1)) {
+            // lint:allow(no-panic): every segment was created with this set's own resolution
             out.merge(seg).expect("segments share one resolution by construction");
         }
         out
@@ -169,6 +170,7 @@ impl SampledProfile {
     pub fn flatten(&self) -> ProfileSet {
         let mut out = ProfileSet::with_resolution(self.layer.clone(), self.resolution);
         for seg in &self.segments {
+            // lint:allow(no-panic): every segment was created with this set's own resolution
             out.merge(seg).expect("segments share one resolution by construction");
         }
         out

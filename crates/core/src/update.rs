@@ -174,13 +174,16 @@ impl PerThreadHistograms {
 
     /// Submits a finished slot for merging.
     pub fn submit(&self, slot: ThreadSlot) {
+        // lint:allow(no-panic): a poisoned lock means another worker already panicked; propagating is the only sane option
         self.merged.lock().expect("per-thread histogram mutex poisoned").push(slot.profile);
     }
 
     /// Merges all submitted slots into one exact [`Profile`].
     pub fn collect(&self) -> Profile {
         let mut out = Profile::with_resolution(&self.name, self.resolution);
+        // lint:allow(no-panic): a poisoned lock means another worker already panicked; propagating is the only sane option
         for p in self.merged.lock().expect("per-thread histogram mutex poisoned").iter() {
+            // lint:allow(no-panic): every slot was created with this histogram's own resolution
             out.merge(p).expect("slots share one resolution by construction");
         }
         out

@@ -1,0 +1,128 @@
+//! The `osprof-lint` binary.
+//!
+//! ```text
+//! osprof-lint --workspace [--root DIR] [--json PATH] [--quiet]
+//! osprof-lint [--json PATH] FILE...
+//! ```
+//!
+//! `--workspace` walks the workspace (found from `--root` or the
+//! current directory upward) with per-rule path scoping; explicit FILE
+//! arguments run *every* code rule on each `.rs` file and the manifest
+//! rule on each `.toml` file, which is what the fixture self-tests
+//! use. Exit status: 0 clean, 1 violations, 2 usage or I/O error.
+//!
+//! The JSON report always lands at `--json` (default
+//! `target/lint-report.json` under the workspace root in workspace
+//! mode; omitted in file mode unless requested).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use osprof_lint::{engine, report, Target};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut quiet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: osprof-lint --workspace [--root DIR] [--json PATH] [--quiet]");
+                println!("       osprof-lint [--json PATH] FILE...");
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => return usage(&format!("unknown flag {a}")),
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    let target = if workspace {
+        if !files.is_empty() {
+            return usage("--workspace takes no file arguments");
+        }
+        let start = root.clone().unwrap_or_else(|| PathBuf::from("."));
+        match find_workspace_root(&start) {
+            Some(r) => Target::Workspace(r),
+            None => {
+                eprintln!("osprof-lint: no workspace Cargo.toml at or above {}", start.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        if files.is_empty() {
+            return usage("nothing to lint: pass --workspace or files");
+        }
+        Target::Files(files)
+    };
+
+    let outcome = match engine::run(&target) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("osprof-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Workspace mode writes the report unconditionally so CI can
+    // upload it; file mode only on request.
+    let json_path = json.or_else(|| match &target {
+        Target::Workspace(r) => Some(r.join("target/lint-report.json")),
+        Target::Files(_) => None,
+    });
+    if let Some(p) = json_path {
+        if let Some(dir) = p.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&p, report::render_json(&outcome)) {
+            eprintln!("osprof-lint: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !quiet || !outcome.is_clean() {
+        print!("{}", report::render_text(&outcome));
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("osprof-lint: {msg}");
+    eprintln!("usage: osprof-lint --workspace [--root DIR] [--json PATH] [--quiet]");
+    eprintln!("       osprof-lint [--json PATH] FILE...");
+    ExitCode::from(2)
+}
+
+/// Finds the nearest ancestor (inclusive) whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.canonicalize().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Orchestration: walk the workspace (or an explicit file list), run
+//! every rule, resolve suppressions, and produce the final sorted
+//! diagnostic list.
+//!
+//! Suppression protocol: a violation on line *N* is waived by a
+//! stand-alone comment on the line directly above it (or above a stack
+//! of other suppression comments) of the form
+//!
+//! ```text
+//! // lint:allow(<rule>): <justification>
+//! ```
+//!
+//! A suppression that doesn't end up waiving anything is itself an
+//! error (`suppression-hygiene`): stale waivers hide future
+//! violations, so they must be deleted when the code they excused
+//! goes away.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, LexedFile};
+use crate::rules::{self, Diagnostic};
+
+/// What to lint.
+pub enum Target {
+    /// Walk a workspace root: all `crates/**`, `tests/**`,
+    /// `examples/**` Rust sources plus every `Cargo.toml`, excluding
+    /// `target/` and `tests/fixtures/` trees.
+    Workspace(PathBuf),
+    /// Explicit files. Path scoping is bypassed: every code rule runs
+    /// on every `.rs` argument (this is what the fixture self-tests
+    /// use), and every `.toml` argument is checked as a manifest.
+    Files(Vec<PathBuf>),
+}
+
+/// The outcome of a lint run.
+pub struct Outcome {
+    /// Sorted diagnostics (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Runs the linter over `target`.
+pub fn run(target: &Target) -> Result<Outcome, String> {
+    let (files, root, force_all) = match target {
+        Target::Workspace(root) => {
+            let mut files = Vec::new();
+            collect(root, root, &mut files)?;
+            files.sort();
+            (files, root.clone(), false)
+        }
+        Target::Files(list) => (list.clone(), PathBuf::new(), true),
+    };
+
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for path in &files {
+        let rel = relative_name(path, &root);
+        let src = fs::read_to_string(path)
+            .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+        if rel.ends_with(".toml") {
+            rules::check_manifest(&rel, &src, &mut diagnostics);
+        } else {
+            let lexed = lex(&src);
+            let mut found = Vec::new();
+            rules::check_code(&rel, &lexed, force_all, &mut found);
+            apply_suppressions(&rel, &lexed, &mut found, &mut diagnostics);
+        }
+    }
+    diagnostics.sort();
+    Ok(Outcome { diagnostics, files_scanned })
+}
+
+/// Workspace-relative unix-separator name for reporting.
+fn relative_name(path: &Path, root: &Path) -> String {
+    let p = path.strip_prefix(root).unwrap_or(path);
+    let s = p.to_string_lossy().replace('\\', "/");
+    s.trim_start_matches("./").to_string()
+}
+
+/// Recursively collects lintable files under `dir`.
+fn collect(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rel = relative_name(dir, root);
+    // Build products, VCS metadata, and the linter's own known-bad
+    // fixture corpus are never linted.
+    if rel == "target" || rel == ".git" || rel.ends_with("tests/fixtures") {
+        return Ok(());
+    }
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("{}: cannot read dir: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect(root, &path, out)?;
+            continue;
+        }
+        let rel = relative_name(&path, root);
+        let is_rust = rel.ends_with(".rs")
+            && (rel.starts_with("crates/") || rel.starts_with("tests/") || rel.starts_with("examples/"));
+        let is_manifest = rel == "Cargo.toml" || rel.ends_with("/Cargo.toml");
+        if is_rust || is_manifest {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Resolves suppressions: waives matching diagnostics, then reports
+/// malformed and unused suppressions as `suppression-hygiene` errors.
+fn apply_suppressions(
+    path: &str,
+    lexed: &LexedFile,
+    found: &mut Vec<Diagnostic>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let sups = &lexed.suppressions;
+    let mut used = vec![false; sups.len()];
+
+    // A suppression comment's own line, for the "stack" walk.
+    let sup_lines: Vec<usize> = sups.iter().map(|s| s.line).collect();
+
+    'diag: for d in found.drain(..) {
+        // Walk upward over contiguous suppression-comment lines.
+        let mut line = d.line;
+        while line > 1 {
+            line -= 1;
+            let Some(idx) = sup_lines.iter().position(|&l| l == line) else {
+                break;
+            };
+            let s = &sups[idx];
+            if s.malformed.is_none() && !s.trailing && s.rules.iter().any(|r| r == d.rule) {
+                used[idx] = true;
+                continue 'diag;
+            }
+            // A different rule's suppression: keep walking the stack.
+        }
+        out.push(d);
+    }
+
+    for (idx, s) in sups.iter().enumerate() {
+        if let Some(why) = &s.malformed {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: s.line,
+                col: s.col,
+                rule: "suppression-hygiene",
+                message: format!("malformed suppression: {why}"),
+            });
+            continue;
+        }
+        if s.trailing {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: s.line,
+                col: s.col,
+                rule: "suppression-hygiene",
+                message: "suppression must stand alone on the line above the violation, \
+                          not trail code"
+                    .into(),
+            });
+            continue;
+        }
+        if let Some(unknown) = s.rules.iter().find(|r| !rules::is_known_rule(r)) {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: s.line,
+                col: s.col,
+                rule: "suppression-hygiene",
+                message: format!("unknown rule `{unknown}` in suppression"),
+            });
+            continue;
+        }
+        if !used[idx] {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: s.line,
+                col: s.col,
+                rule: "suppression-hygiene",
+                message: format!(
+                    "unused suppression for `{}`: the next line has no such violation; \
+                     delete the stale waiver",
+                    s.rules.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_one(path: &str, src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let mut found = Vec::new();
+        rules::check_code(path, &lexed, false, &mut found);
+        let mut out = Vec::new();
+        apply_suppressions(path, &lexed, &mut found, &mut out);
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn a_justified_suppression_waives_the_violation() {
+        let src = "fn f() {\n// lint:allow(no-panic): poisoned lock implies a worker panicked first\nx.lock().unwrap();\n}\n";
+        assert!(run_one("crates/collector/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stacked_suppressions_all_bind_to_the_next_code_line() {
+        let src = "fn f() {\n// lint:allow(no-panic): cannot fail\n// lint:allow(no-wallclock): replay input\nlet t = SystemTime::now(); x.unwrap();\n}\n";
+        assert!(run_one("crates/collector/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unused_suppressions_are_errors() {
+        let src = "// lint:allow(no-panic): stale\nfn ok() {}\n";
+        let out = run_one("crates/collector/src/store.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "suppression-hygiene");
+        assert!(out[0].message.contains("unused suppression"));
+    }
+
+    #[test]
+    fn unknown_rules_and_trailing_comments_are_errors() {
+        let src = "// lint:allow(no-such-rule): x\nfn a() {}\nfn b() { let c = 1; } // lint:allow(no-panic): y\n";
+        let out = run_one("crates/collector/src/store.rs", src);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("unknown rule"));
+        assert!(out[1].message.contains("stand alone"));
+    }
+
+    #[test]
+    fn suppression_does_not_leak_past_one_line() {
+        let src = "// lint:allow(no-panic): only the next line\nfn a() {}\nfn b() { x.unwrap(); }\n";
+        let out = run_one("crates/collector/src/store.rs", src);
+        // The unwrap still fires AND the suppression is unused.
+        assert_eq!(out.len(), 2);
+    }
+}

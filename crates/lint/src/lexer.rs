@@ -1,0 +1,538 @@
+//! A small Rust surface lexer for rule matching.
+//!
+//! The rules are lexical (banned-token searches), so the one job of
+//! this module is to make those searches *sound*: a `unwrap()` inside a
+//! string literal, a doc-comment example, or a `/* ... */` block must
+//! not fire. [`scrub`] rewrites a source file so that every comment and
+//! every string/char-literal *body* is replaced by spaces — byte
+//! positions (and therefore `line:col` diagnostics) are preserved
+//! exactly, and everything that remains is genuine code.
+//!
+//! On top of the scrubbed text the lexer extracts two structural facts
+//! the rule engine needs:
+//!
+//! - [`Suppression`] comments (`// lint:allow(<rule>): <justification>`),
+//!   which the scrub would otherwise erase, and
+//! - `#[cfg(test)]` item spans, so in-file test modules get the same
+//!   exemption as `tests/` directories.
+//!
+//! The lexer understands line and (nested) block comments, string
+//! literals with escapes, raw strings (`r#"…"#`, any number of `#`s),
+//! byte strings, char literals, and the char-versus-lifetime ambiguity
+//! (`'a'` is a literal, `'a>` is not).
+
+/// One `// lint:allow(...)` comment, parsed from the raw source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// 1-based column of the `//`.
+    pub col: usize,
+    /// Rule names inside the parentheses (may be empty when malformed).
+    pub rules: Vec<String>,
+    /// Justification text after the `:` (trimmed; empty when missing).
+    pub justification: String,
+    /// True when the comment shares its line with code. Suppressions
+    /// must stand alone on the line above the violation; a trailing
+    /// comment is reported as malformed rather than honored.
+    pub trailing: bool,
+    /// Parse error, when the comment said `lint:allow` but didn't match
+    /// the grammar `lint:allow(<rule>[, <rule>...]): <justification>`.
+    pub malformed: Option<String>,
+}
+
+/// The lexer's view of one source file.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// Source text with comment and literal bodies blanked to spaces,
+    /// newlines kept, byte length identical to the input.
+    pub scrubbed: String,
+    /// All `lint:allow` comments, in file order.
+    pub suppressions: Vec<Suppression>,
+    /// Inclusive 1-based line ranges covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl LexedFile {
+    /// True when `line` (1-based) lies inside a `#[cfg(test)]` item.
+    pub fn in_test_span(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The scrubbed text split into lines (no terminators).
+    pub fn lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.scrubbed.lines().enumerate().map(|(i, l)| (i + 1, l))
+    }
+}
+
+/// Lexes `src`, producing the scrubbed text plus suppressions and
+/// `#[cfg(test)]` spans.
+pub fn lex(src: &str) -> LexedFile {
+    let (scrubbed, suppressions) = scrub(src);
+    let test_spans = find_test_spans(&scrubbed);
+    LexedFile { scrubbed, suppressions, test_spans }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blanks comments and literal bodies, collecting `lint:allow` comments
+/// on the way. Returns text of identical byte length.
+fn scrub(src: &str) -> (String, Vec<Suppression>) {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut sups = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut line_start = 0usize; // byte offset of the current line
+    let mut line_has_code = false;
+
+    // Blank [from, to) except newlines.
+    fn blank(out: &mut [u8], from: usize, to: usize) {
+        for b in &mut out[from..to] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                line_start = i + 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if let Some(s) = parse_suppression(text, line, start - line_start + 1, line_has_code) {
+                    sups.push(s);
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                            line_start = i + 1;
+                            line_has_code = false;
+                        }
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i.min(bytes.len()));
+            }
+            b'"' => {
+                i = scrub_string(bytes, &mut out, i, &mut line, &mut line_start, &mut line_has_code);
+            }
+            b'r' | b'b' if starts_raw_string(bytes, i) => {
+                i = scrub_raw_string(bytes, &mut out, i, &mut line, &mut line_start, &mut line_has_code);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                line_has_code = true;
+                i = scrub_string(bytes, &mut out, i + 1, &mut line, &mut line_start, &mut line_has_code);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                line_has_code = true;
+                i = scrub_char(bytes, &mut out, i + 1);
+            }
+            b'\'' => {
+                if is_char_literal(bytes, i) {
+                    line_has_code = true;
+                    i = scrub_char(bytes, &mut out, i);
+                } else {
+                    // A lifetime: leave it (it is code).
+                    line_has_code = true;
+                    i += 1;
+                }
+            }
+            _ => {
+                if !b.is_ascii_whitespace() {
+                    line_has_code = true;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // `out` only ever replaces bytes with ASCII spaces, so it stays
+    // valid UTF-8; the fallible constructor avoids unsafe.
+    let scrubbed = String::from_utf8(out).unwrap_or_else(|e| {
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    });
+    (scrubbed, sups)
+}
+
+/// True when the `'` at `i` opens a char literal rather than a lifetime.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => true,
+        Some(&c) if is_ident(c) => bytes.get(i + 2) == Some(&b'\''),
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Scrubs a char literal starting at the opening `'` in `bytes[i]`;
+/// returns the index just past the closing quote.
+fn scrub_char(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
+    let start = i;
+    let mut j = i + 1;
+    if bytes.get(j) == Some(&b'\\') {
+        j += 2; // skip the escaped char
+        // \x41 and \u{...} escapes run until the quote.
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+    } else if j < bytes.len() {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'\'' {
+        j += 1;
+    }
+    for b in &mut out[start..j.min(bytes.len())] {
+        *b = b' ';
+    }
+    j
+}
+
+/// Scrubs a `"`-delimited string starting at `bytes[i] == b'"'`.
+fn scrub_string(
+    bytes: &[u8],
+    out: &mut [u8],
+    i: usize,
+    line: &mut usize,
+    line_start: &mut usize,
+    line_has_code: &mut bool,
+) -> usize {
+    let start = i;
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                // Count a line-continuation escape (`\` + newline), or
+                // the line numbers of everything after it drift.
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    *line += 1;
+                    *line_start = j + 2;
+                    *line_has_code = false;
+                }
+                j += 2;
+            }
+            b'"' => {
+                j += 1;
+                break;
+            }
+            b'\n' => {
+                *line += 1;
+                *line_start = j + 1;
+                *line_has_code = false;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let end = j.min(bytes.len());
+    for b in &mut out[start..end] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+    end
+}
+
+/// True when `r`/`br` at `i` starts a raw string (`r"`, `r#`, `br"`,
+/// `br#`) and is not just an identifier containing `r`.
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) != Some(&b'r') {
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Scrubs a raw string starting at `bytes[i]` (`r...` or `br...`).
+fn scrub_raw_string(
+    bytes: &[u8],
+    out: &mut [u8],
+    i: usize,
+    line: &mut usize,
+    line_start: &mut usize,
+    line_has_code: &mut bool,
+) -> usize {
+    let start = i;
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    loop {
+        match bytes.get(j) {
+            None => break,
+            Some(&b'\n') => {
+                *line += 1;
+                *line_start = j + 1;
+                *line_has_code = false;
+                j += 1;
+            }
+            Some(&b'"') => {
+                let mut k = j + 1;
+                let mut h = 0;
+                while h < hashes && bytes.get(k) == Some(&b'#') {
+                    h += 1;
+                    k += 1;
+                }
+                j = k;
+                if h == hashes {
+                    break;
+                }
+            }
+            Some(_) => j += 1,
+        }
+    }
+    let end = j.min(bytes.len());
+    for b in &mut out[start..end] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+    end
+}
+
+/// Parses `// lint:allow(...)...` comments; `None` for ordinary ones.
+fn parse_suppression(comment: &str, line: usize, col: usize, trailing: bool) -> Option<Suppression> {
+    let body = comment.trim_start_matches('/').trim();
+    if !body.starts_with("lint:allow") {
+        return None;
+    }
+    let mut sup = Suppression {
+        line,
+        col,
+        rules: Vec::new(),
+        justification: String::new(),
+        trailing,
+        malformed: None,
+    };
+    let rest = &body["lint:allow".len()..];
+    let Some(rest) = rest.strip_prefix('(') else {
+        sup.malformed = Some("expected `lint:allow(<rule>): <justification>`".into());
+        return Some(sup);
+    };
+    let Some(close) = rest.find(')') else {
+        sup.malformed = Some("unterminated rule list".into());
+        return Some(sup);
+    };
+    sup.rules = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if sup.rules.is_empty() {
+        sup.malformed = Some("empty rule list".into());
+        return Some(sup);
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(just) = after.strip_prefix(':') else {
+        sup.malformed = Some("missing `: <justification>`".into());
+        return Some(sup);
+    };
+    sup.justification = just.trim().to_string();
+    if sup.justification.is_empty() {
+        sup.malformed = Some("empty justification".into());
+    }
+    Some(sup)
+}
+
+/// Finds 1-based line spans of items annotated `#[cfg(test)]` (or any
+/// `#[cfg(...)]` whose predicate mentions `test`) in scrubbed text.
+fn find_test_spans(scrubbed: &str) -> Vec<(usize, usize)> {
+    let bytes = scrubbed.as_bytes();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while let Some(rel) = scrubbed[i..].find("#[cfg(") {
+        let attr_start = i + rel;
+        let pred_start = attr_start + "#[cfg(".len();
+        // Balanced-paren predicate.
+        let mut depth = 1;
+        let mut j = pred_start;
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let pred = &scrubbed[pred_start..j.saturating_sub(1).max(pred_start)];
+        let mentions_test = pred
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .any(|w| w == "test");
+        // Past the closing `]`.
+        while j < bytes.len() && bytes[j] != b']' {
+            j += 1;
+        }
+        j = (j + 1).min(bytes.len());
+        if !mentions_test {
+            i = j;
+            continue;
+        }
+        // Skip whitespace and any further attributes, then find the
+        // item's extent: to the matching `}` of its first brace block,
+        // or to the first `;` for braceless items (`mod tests;`).
+        let mut k = j;
+        loop {
+            while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            if bytes.get(k) == Some(&b'#') && bytes.get(k + 1) == Some(&b'[') {
+                while k < bytes.len() && bytes[k] != b']' {
+                    k += 1;
+                }
+                k = (k + 1).min(bytes.len());
+            } else {
+                break;
+            }
+        }
+        let mut end = k;
+        while end < bytes.len() && bytes[end] != b'{' && bytes[end] != b';' {
+            end += 1;
+        }
+        if bytes.get(end) == Some(&b'{') {
+            let mut depth = 1;
+            end += 1;
+            while end < bytes.len() && depth > 0 {
+                match bytes[end] {
+                    b'{' => depth += 1,
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+                end += 1;
+            }
+        } else {
+            end = (end + 1).min(bytes.len());
+        }
+        let first_line = 1 + scrubbed[..attr_start].matches('\n').count();
+        let last_line = 1 + scrubbed[..end.min(bytes.len())].matches('\n').count();
+        spans.push((first_line, last_line));
+        i = end.min(bytes.len()).max(j);
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers_exact() {
+        let src = "let s = \"a \\\n   b\";\n// lint:allow(no-panic): x\nx.unwrap();\n";
+        let f = lex(src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].line, 3);
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let a = \"x.unwrap()\"; // y.unwrap()\nlet b = 1;\n";
+        let f = lex(src);
+        assert!(!f.scrubbed.contains("unwrap"));
+        assert_eq!(f.scrubbed.len(), src.len());
+        assert!(f.scrubbed.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_kept() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\\''; let r = r#\"panic!\"#; }\n";
+        let f = lex(src);
+        assert!(!f.scrubbed.contains("panic!"));
+        assert!(f.scrubbed.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn doc_comments_are_blanked() {
+        let src = "/// let x = y.unwrap();\nfn g() {}\n";
+        let f = lex(src);
+        assert!(!f.scrubbed.contains("unwrap"));
+    }
+
+    #[test]
+    fn suppressions_are_parsed() {
+        let src = "// lint:allow(no-panic): poisoned lock means a worker already panicked\nx.unwrap();\n";
+        let f = lex(src);
+        assert_eq!(f.suppressions.len(), 1);
+        let s = &f.suppressions[0];
+        assert_eq!(s.line, 1);
+        assert_eq!(s.rules, ["no-panic"]);
+        assert!(s.malformed.is_none());
+        assert!(!s.trailing);
+    }
+
+    #[test]
+    fn malformed_and_trailing_suppressions_are_flagged() {
+        let src = "// lint:allow(no-panic)\nlet a = 1; // lint:allow(): why\n";
+        let f = lex(src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert!(f.suppressions[0].malformed.is_some());
+        assert!(f.suppressions[1].trailing);
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_the_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = lex(src);
+        assert_eq!(f.test_spans, [(2, 5)]);
+        assert!(!f.in_test_span(1));
+        assert!(f.in_test_span(4));
+        assert!(!f.in_test_span(6));
+    }
+
+    #[test]
+    fn cfg_any_test_counts_and_attrs_are_skipped() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\n#[allow(dead_code)]\nmod t {\n}\n";
+        let f = lex(src);
+        assert_eq!(f.test_spans, [(1, 4)]);
+    }
+
+    #[test]
+    fn braceless_test_item_spans_to_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn d() {}\n";
+        let f = lex(src);
+        assert_eq!(f.test_spans, [(1, 2)]);
+    }
+}

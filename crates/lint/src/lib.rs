@@ -1,0 +1,35 @@
+//! `osprof-lint` — in-repo static analysis for the osprof workspace.
+//!
+//! Runtime tests prove the workspace's load-bearing guarantees — the
+//! byte-identical serial/parallel replay, panic-free chaos ingest, and
+//! the hermetic offline build — but only for the code paths they
+//! exercise. This crate enforces the same invariants *lexically*, over
+//! every source file, on every build: a stray `unwrap()` in an ingest
+//! path, a `SystemTime::now()` in replay code, a default-hasher map
+//! iterated into report bytes, or a registry dependency in a manifest
+//! is a build failure, not a latent regression.
+//!
+//! The design is three small layers:
+//!
+//! - [`lexer`] scrubs comments and string/char literals (so matches
+//!   inside them never fire) and extracts `lint:allow` suppressions and
+//!   `#[cfg(test)]` spans;
+//! - [`rules`] holds the six rules — `no-panic`, `no-wallclock`,
+//!   `no-unordered-iter`, `no-unbounded-channel`, `hermetic-deps`,
+//!   `suppression-hygiene` — each scoped by path to the layer whose
+//!   invariant it guards;
+//! - [`engine`] walks the workspace (or explicit files), resolves
+//!   suppressions, and yields sorted `file:line:col` diagnostics that
+//!   [`report`] renders as text and as `target/lint-report.json`.
+//!
+//! See DESIGN.md §11 for each rule's rationale and the suppression
+//! policy. The crate depends on nothing — it gates the build, so it
+//! must keep building when everything it checks is broken.
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{run, Outcome, Target};
+pub use rules::Diagnostic;

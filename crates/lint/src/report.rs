@@ -1,0 +1,107 @@
+//! Rendering: human diagnostics to stderr-style text, and the
+//! machine-readable JSON report (`target/lint-report.json`).
+//!
+//! The JSON is hand-emitted (the linter depends on nothing, not even
+//! `osprof-core`), deterministic — diagnostics arrive sorted — and
+//! stable: the schema is versioned so CI consumers can rely on it.
+
+use crate::engine::Outcome;
+
+/// Renders the human-readable report: one line per diagnostic plus a
+/// summary line.
+pub fn render_text(outcome: &Outcome) -> String {
+    let mut out = String::new();
+    for d in &outcome.diagnostics {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    if outcome.is_clean() {
+        out.push_str(&format!("osprof-lint: clean ({} files scanned)\n", outcome.files_scanned));
+    } else {
+        out.push_str(&format!(
+            "osprof-lint: {} violation{} in {} files scanned\n",
+            outcome.diagnostics.len(),
+            if outcome.diagnostics.len() == 1 { "" } else { "s" },
+            outcome.files_scanned,
+        ));
+    }
+    out
+}
+
+/// Renders the JSON report.
+pub fn render_json(outcome: &Outcome) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", outcome.files_scanned));
+    out.push_str(&format!("  \"violations\": {},\n", outcome.diagnostics.len()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in outcome.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"file\": {}, ", json_str(&d.file)));
+        out.push_str(&format!("\"line\": {}, ", d.line));
+        out.push_str(&format!("\"col\": {}, ", d.col));
+        out.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
+        out.push_str(&format!("\"message\": {}", json_str(&d.message)));
+        out.push('}');
+    }
+    if !outcome.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string as a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    #[test]
+    fn json_report_is_stable_and_escaped() {
+        let outcome = Outcome {
+            diagnostics: vec![Diagnostic {
+                file: "a.rs".into(),
+                line: 3,
+                col: 7,
+                rule: "no-panic",
+                message: "uses `unwrap()` \"here\"".into(),
+            }],
+            files_scanned: 2,
+        };
+        let json = render_json(&outcome);
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\\\"here\\\""));
+        assert!(json.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn clean_outcome_renders_empty_array() {
+        let outcome = Outcome { diagnostics: Vec::new(), files_scanned: 5 };
+        assert!(render_json(&outcome).contains("\"diagnostics\": []"));
+        assert!(render_text(&outcome).contains("clean (5 files scanned)"));
+    }
+}

@@ -1,0 +1,490 @@
+//! The rule set: what is banned, where, and with what message.
+//!
+//! Each rule guards an invariant a previous PR paid for (see DESIGN.md
+//! §11): byte-identical serial/parallel replay, panic-free chaos
+//! ingest, bounded queues, and the hermetic offline build. Rules are
+//! lexical — they match tokens in [scrubbed](crate::lexer) code — so
+//! they are fast, dependency-free, and easy to audit; the price is
+//! that scoping is by path, not by type information.
+
+use crate::lexer::LexedFile;
+
+/// A single finding, pointing into one file.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (unix separators).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Rule name (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders as `file:line:col: error[rule]: message`.
+    pub fn render(&self) -> String {
+        format!("{}:{}:{}: error[{}]: {}", self.file, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// Every rule the engine knows, in reporting order.
+pub const RULE_NAMES: [&str; 6] = [
+    "no-panic",
+    "no-wallclock",
+    "no-unordered-iter",
+    "no-unbounded-channel",
+    "hermetic-deps",
+    "suppression-hygiene",
+];
+
+/// True when `name` is a known rule.
+pub fn is_known_rule(name: &str) -> bool {
+    RULE_NAMES.contains(&name)
+}
+
+/// A banned token: the needle plus its boundary requirements and the
+/// diagnostic text to emit where it matches.
+struct Banned {
+    needle: &'static str,
+    /// Require the preceding char to not be an identifier char (so
+    /// `my_process::id` does not match `process::id`).
+    ident_boundary_before: bool,
+    /// Require the following char to not be an identifier char (so
+    /// `.expect_err(` does not match `.expect`... patterns ending in a
+    /// non-ident char like `(` or `!` don't need this).
+    ident_boundary_after: bool,
+    message: &'static str,
+}
+
+const PANIC_TOKENS: &[Banned] = &[
+    Banned {
+        needle: ".unwrap()",
+        ident_boundary_before: false,
+        ident_boundary_after: false,
+        message: "`unwrap()` in production code; return a typed error or add \
+                  `// lint:allow(no-panic): <why this cannot fail>`",
+    },
+    Banned {
+        needle: ".expect(",
+        ident_boundary_before: false,
+        ident_boundary_after: false,
+        message: "`expect()` in production code; return a typed error or add \
+                  `// lint:allow(no-panic): <why this cannot fail>`",
+    },
+    Banned {
+        needle: "panic!",
+        ident_boundary_before: true,
+        ident_boundary_after: false,
+        message: "`panic!` in production code; return a typed error or add \
+                  `// lint:allow(no-panic): <why this cannot fail>`",
+    },
+    Banned {
+        needle: "unreachable!",
+        ident_boundary_before: true,
+        ident_boundary_after: false,
+        message: "`unreachable!` in production code; return a typed error or add \
+                  `// lint:allow(no-panic): <why this cannot fail>`",
+    },
+    Banned {
+        needle: "todo!",
+        ident_boundary_before: true,
+        ident_boundary_after: false,
+        message: "`todo!` in production code; finish the path or return a typed error",
+    },
+    Banned {
+        needle: "unimplemented!",
+        ident_boundary_before: true,
+        ident_boundary_after: false,
+        message: "`unimplemented!` in production code; finish the path or return a typed error",
+    },
+];
+
+const WALLCLOCK_TOKENS: &[Banned] = &[
+    Banned {
+        needle: "Instant::now",
+        ident_boundary_before: true,
+        ident_boundary_after: true,
+        message: "`Instant::now` outside the timing allowlist breaks replay determinism; \
+                  take time as an input, or move the code under crates/host or crates/bench",
+    },
+    Banned {
+        needle: "SystemTime",
+        ident_boundary_before: true,
+        ident_boundary_after: true,
+        message: "`SystemTime` outside the timing allowlist breaks replay determinism; \
+                  take time as an input, or move the code under crates/host or crates/bench",
+    },
+    Banned {
+        needle: "process::id",
+        ident_boundary_before: true,
+        ident_boundary_after: true,
+        message: "`process::id` is nondeterministic across runs; derive identity from \
+                  configuration or move the code under crates/host",
+    },
+    Banned {
+        needle: "thread::current",
+        ident_boundary_before: true,
+        ident_boundary_after: true,
+        message: "`thread::current` yields nondeterministic identity; route work by \
+                  explicit index, not thread id",
+    },
+];
+
+const UNORDERED_TOKENS: &[Banned] = &[
+    Banned {
+        needle: "HashMap",
+        ident_boundary_before: true,
+        ident_boundary_after: true,
+        message: "`HashMap` in an output-producing file: iteration order is seeded per \
+                  process and leaks into bytes; use `BTreeMap` or sort before emitting",
+    },
+    Banned {
+        needle: "HashSet",
+        ident_boundary_before: true,
+        ident_boundary_after: true,
+        message: "`HashSet` in an output-producing file: iteration order is seeded per \
+                  process and leaks into bytes; use `BTreeSet` or sort before emitting",
+    },
+];
+
+const CHANNEL_TOKENS: &[Banned] = &[Banned {
+    needle: "mpsc::channel(",
+    ident_boundary_before: true,
+    ident_boundary_after: false,
+    message: "unbounded `mpsc::channel()` in the collector: a stalled consumer buffers \
+              without limit; use `mpsc::sync_channel(bound)`",
+}];
+
+/// Where each code rule applies, given a workspace-relative path.
+pub struct Scope;
+
+impl Scope {
+    /// Paths whose production code must be panic-free.
+    pub fn no_panic(path: &str) -> bool {
+        let in_crate = path.starts_with("crates/collector/src/")
+            || path.starts_with("crates/core/src/")
+            || path.starts_with("crates/analysis/src/");
+        in_crate && !Self::is_test_like(path)
+    }
+
+    /// Everything is clock-free except the layers whose job is real
+    /// time: `crates/host` measures the actual machine and
+    /// `crates/bench` measures wall-clock running time.
+    pub fn no_wallclock(path: &str) -> bool {
+        !(path.starts_with("crates/host/") || path.starts_with("crates/bench/") || Self::is_test_like(path))
+    }
+
+    /// Files that produce wire bytes, report text, or journal records —
+    /// the whole collector, serialization/JSON in core, and viz.
+    pub fn no_unordered_iter(path: &str) -> bool {
+        let in_scope = path.starts_with("crates/collector/src/")
+            || path.starts_with("crates/viz/src/")
+            || path == "crates/core/src/serialize.rs"
+            || path == "crates/core/src/json.rs";
+        in_scope && !Self::is_test_like(path)
+    }
+
+    /// The collector's bounded-queue policy.
+    pub fn no_unbounded_channel(path: &str) -> bool {
+        path.starts_with("crates/collector/src/") && !Self::is_test_like(path)
+    }
+
+    /// Test, bench, example and binary paths exempt from code rules.
+    pub fn is_test_like(path: &str) -> bool {
+        path.starts_with("tests/")
+            || path.starts_with("examples/")
+            || path.contains("/tests/")
+            || path.contains("/benches/")
+            || path.contains("/examples/")
+            || path.contains("/src/bin/")
+    }
+}
+
+fn find_banned(file: &str, lexed: &LexedFile, rule: &'static str, tokens: &[Banned], skip_test_spans: bool, out: &mut Vec<Diagnostic>) {
+    for (line_no, line) in lexed.lines() {
+        if skip_test_spans && lexed.in_test_span(line_no) {
+            continue;
+        }
+        for t in tokens {
+            let mut from = 0;
+            while let Some(rel) = line[from..].find(t.needle) {
+                let at = from + rel;
+                from = at + t.needle.len();
+                if t.ident_boundary_before
+                    && at > 0
+                    && line.as_bytes()[at - 1].is_ascii_alphanumeric()
+                {
+                    continue;
+                }
+                if t.ident_boundary_before && at > 0 && line.as_bytes()[at - 1] == b'_' {
+                    continue;
+                }
+                if t.ident_boundary_after {
+                    if let Some(&next) = line.as_bytes().get(at + t.needle.len()) {
+                        if next.is_ascii_alphanumeric() || next == b'_' {
+                            continue;
+                        }
+                    }
+                }
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: line_no,
+                    col: at + 1,
+                    rule,
+                    message: t.message.split_whitespace().collect::<Vec<_>>().join(" "),
+                });
+            }
+        }
+    }
+}
+
+/// Runs every code rule that applies to `path` over a lexed file.
+///
+/// `force_all` applies every code rule regardless of path scoping —
+/// used for explicit file arguments and the fixture self-tests.
+pub fn check_code(path: &str, lexed: &LexedFile, force_all: bool, out: &mut Vec<Diagnostic>) {
+    if force_all || Scope::no_panic(path) {
+        find_banned(path, lexed, "no-panic", PANIC_TOKENS, true, out);
+    }
+    if force_all || Scope::no_wallclock(path) {
+        find_banned(path, lexed, "no-wallclock", WALLCLOCK_TOKENS, true, out);
+    }
+    if force_all || Scope::no_unordered_iter(path) {
+        find_banned(path, lexed, "no-unordered-iter", UNORDERED_TOKENS, true, out);
+    }
+    if force_all || Scope::no_unbounded_channel(path) {
+        find_banned(path, lexed, "no-unbounded-channel", CHANNEL_TOKENS, true, out);
+    }
+}
+
+/// Checks one `Cargo.toml` for the hermetic-deps rule: every dependency
+/// entry in every `*dependencies*` section must be a `path` dependency
+/// (or `workspace = true`, which resolves to one); `version`, `git` and
+/// `registry` sources all fail.
+pub fn check_manifest(path: &str, src: &str, out: &mut Vec<Diagnostic>) {
+    let mut section = String::new();
+    // For `[dependencies.foo]`-style table sections: the header line,
+    // the dep name, and whether we saw a path/workspace key.
+    let mut open_table: Option<(usize, String, bool, bool)> = None;
+
+    let close_table = |t: &mut Option<(usize, String, bool, bool)>, out: &mut Vec<Diagnostic>| {
+        if let Some((line, name, saw_path, saw_banned)) = t.take() {
+            if !saw_path || saw_banned {
+                out.push(Diagnostic {
+                    file: path.to_string(),
+                    line,
+                    col: 1,
+                    rule: "hermetic-deps",
+                    message: format!(
+                        "dependency `{name}` is not a pure path dependency; the workspace \
+                         builds offline, so every dependency must use `path = ...` \
+                         (or `workspace = true`)"
+                    ),
+                });
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            close_table(&mut open_table, out);
+            section = line.trim_matches(['[', ']']).to_string();
+            if let Some(dep) = section
+                .strip_suffix("]")
+                .unwrap_or(&section)
+                .strip_prefix("dependencies.")
+                .or_else(|| section.strip_prefix("dev-dependencies."))
+                .or_else(|| section.strip_prefix("build-dependencies."))
+                .or_else(|| section.strip_prefix("workspace.dependencies."))
+            {
+                open_table = Some((line_no, dep.to_string(), false, false));
+            }
+            continue;
+        }
+        if let Some((_, _, saw_path, saw_banned)) = open_table.as_mut() {
+            let key = line.split('=').next().unwrap_or("").trim();
+            if key == "path" || (key == "workspace" && line.contains("true")) {
+                *saw_path = true;
+            }
+            if key == "version" || key == "git" || key == "registry" || key == "branch" || key == "rev" {
+                *saw_banned = true;
+            }
+            continue;
+        }
+        if !(section == "dependencies"
+            || section == "dev-dependencies"
+            || section == "build-dependencies"
+            || section == "workspace.dependencies"
+            || (section.starts_with("target.") && section.ends_with("dependencies")))
+        {
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let (key, value) = (line[..eq].trim(), line[eq + 1..].trim());
+        // Dotted keys: `foo.workspace = true`, `foo.path = "..."`.
+        if let Some((name, sub)) = key.split_once('.') {
+            let ok = sub == "path" || (sub == "workspace" && value.contains("true"));
+            if !ok {
+                push_dep_violation(path, line_no, name, out);
+            }
+            continue;
+        }
+        if value.starts_with('{') {
+            let has_path = toml_inline_has_key(value, "path");
+            let has_ws = toml_inline_has_key(value, "workspace") && value.contains("true");
+            let has_banned = toml_inline_has_key(value, "version")
+                || toml_inline_has_key(value, "git")
+                || toml_inline_has_key(value, "registry");
+            if (!has_path && !has_ws) || has_banned {
+                push_dep_violation(path, line_no, key, out);
+            }
+        } else {
+            // `foo = "1.0"` — a bare registry version.
+            push_dep_violation(path, line_no, key, out);
+        }
+    }
+    close_table(&mut open_table, out);
+}
+
+fn push_dep_violation(path: &str, line: usize, name: &str, out: &mut Vec<Diagnostic>) {
+    out.push(Diagnostic {
+        file: path.to_string(),
+        line,
+        col: 1,
+        rule: "hermetic-deps",
+        message: format!(
+            "dependency `{name}` is not a pure path dependency; the workspace builds \
+             offline, so every dependency must use `path = ...` (or `workspace = true`)"
+        ),
+    });
+}
+
+/// True when the inline table `{ ... }` contains `key =` at top level.
+fn toml_inline_has_key(table: &str, key: &str) -> bool {
+    table
+        .trim_matches(['{', '}'])
+        .split(',')
+        .any(|kv| kv.split('=').next().map(str::trim) == Some(key))
+}
+
+/// Strips a `#` comment from a TOML line, respecting basic strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn diags(path: &str, src: &str, force: bool) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let mut out = Vec::new();
+        check_code(path, &lexed, force, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_in_scoped_production_code_fires() {
+        let d = diags("crates/collector/src/store.rs", "fn f() { x.unwrap(); }\n", false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-panic");
+        assert_eq!((d[0].line, d[0].col), (1, 11));
+    }
+
+    #[test]
+    fn unwrap_or_and_expect_byte_do_not_fire() {
+        let src = "fn f() { x.unwrap_or(0); p.expect_byte(b); }\n";
+        assert!(diags("crates/collector/src/store.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_silent_without_force() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(diags("crates/simfs/src/ops.rs", src, false).is_empty());
+        assert_eq!(diags("crates/simfs/src/ops.rs", src, true).len(), 1);
+    }
+
+    #[test]
+    fn test_paths_and_bins_are_exempt() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(diags("crates/collector/tests/proptests.rs", src, false).is_empty());
+        assert!(diags("crates/collector/src/bin/osprofd.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); }\n}\n";
+        assert!(diags("crates/core/src/profile.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn wallclock_allowlist_holds() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(diags("crates/host/src/tsc.rs", src, false).is_empty());
+        assert!(diags("crates/bench/src/micro.rs", src, false).is_empty());
+        assert_eq!(diags("crates/simkernel/src/kernel.rs", src, false).len(), 1);
+    }
+
+    #[test]
+    fn process_id_boundary_is_respected() {
+        let src = "fn f() { let p = my_process::id(); }\n";
+        assert!(diags("crates/collector/src/agent.rs", src, false).is_empty());
+        let src2 = "fn f() { let p = std::process::id(); }\n";
+        assert_eq!(diags("crates/collector/src/agent.rs", src2, false).len(), 1);
+    }
+
+    #[test]
+    fn sync_channel_is_fine_unbounded_is_not() {
+        let bad = "fn f() { let (tx, rx) = mpsc::channel(); }\n";
+        let good = "fn f() { let (tx, rx) = mpsc::sync_channel(64); }\n";
+        assert_eq!(diags("crates/collector/src/transport.rs", bad, false).len(), 1);
+        assert!(diags("crates/collector/src/transport.rs", good, false).is_empty());
+    }
+
+    #[test]
+    fn manifest_version_git_and_bare_deps_fail_path_and_workspace_pass() {
+        let toml = r#"
+[package]
+name = "x"
+
+[dependencies]
+good = { path = "../good" }
+ws.workspace = true
+bare = "1.0"
+pinned = { path = "../p", version = "0.3" }
+git_dep = { git = "https://example.com/x.git" }
+"#;
+        let mut out = Vec::new();
+        check_manifest("crates/x/Cargo.toml", toml, &mut out);
+        let names: Vec<_> = out.iter().map(|d| d.line).collect();
+        assert_eq!(names, [8, 9, 10]);
+        assert!(out.iter().all(|d| d.rule == "hermetic-deps"));
+    }
+
+    #[test]
+    fn manifest_table_sections_are_checked() {
+        let toml = "[dependencies.serde]\nversion = \"1\"\n\n[dependencies.ok]\npath = \"../ok\"\n";
+        let mut out = Vec::new();
+        check_manifest("Cargo.toml", toml, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+}

@@ -1,0 +1,8 @@
+// Known-bad fixture: an unbounded queue in the collector.
+
+use std::sync::mpsc;
+
+fn main() {
+    let (_tx, _rx): (mpsc::Sender<u8>, mpsc::Receiver<u8>) = mpsc::channel();
+    let (_tx2, _rx2) = mpsc::sync_channel::<u8>(8);
+}

@@ -1,0 +1,9 @@
+// Known-bad fixture: every statement in the body violates no-panic.
+
+fn main() {
+    let x: Option<u32> = None;
+    let _ = x.unwrap();
+    let _ = x.expect("boom");
+    panic!("bad");
+    unreachable!();
+}

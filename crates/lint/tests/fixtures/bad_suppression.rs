@@ -1,0 +1,10 @@
+// lint:allow(no-panic): stale waiver with nothing underneath to waive
+fn ok() {}
+
+// lint:allow(not-a-rule): the rule name does not exist
+fn also_ok() {}
+
+// lint:allow(no-panic)
+fn missing_justification() {}
+
+fn trailing() {} // lint:allow(no-panic): a waiver must stand alone

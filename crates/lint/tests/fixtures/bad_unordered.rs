@@ -1,0 +1,9 @@
+// Known-bad fixture: hash-seeded collections in output-producing code.
+
+use std::collections::HashMap;
+
+fn main() {
+    let m: HashMap<String, u32> = HashMap::new();
+    let s = std::collections::HashSet::<u32>::new();
+    let _ = (m, s);
+}

@@ -1,0 +1,8 @@
+// Known-bad fixture: wall-clock and process identity in replay code.
+
+fn main() {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+    let _p = std::process::id();
+    let _h = std::thread::current();
+}

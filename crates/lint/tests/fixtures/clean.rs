@@ -1,0 +1,26 @@
+//! Clean fixture: every banned token below hides in a comment, string,
+//! char, raw string, or `#[cfg(test)]` region — none may fire.
+//!
+//! Doc-comment example (must not fire): `let x = y.unwrap();`
+
+fn main() {
+    let s = "x.unwrap() and panic! and HashMap";
+    let r = r#"SystemTime::now and mpsc::channel()"#;
+    let c = '!';
+    let q = '\'';
+    let lifetime: &'static str = "Instant::now";
+    /* block comment: x.expect("no") and unreachable! here */
+    println!("{s}{r}{c}{q}{lifetime}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_do_anything() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let t = std::time::Instant::now();
+        let m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+        let _ = (t, m);
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: a real violation, properly waived — zero diagnostics.
+
+fn locked(x: &std::sync::Mutex<u32>) -> u32 {
+    // lint:allow(no-panic): a poisoned lock means a sibling thread already panicked
+    *x.lock().unwrap()
+}
+
+fn main() {
+    let m = std::sync::Mutex::new(7);
+    let _ = locked(&m);
+}

@@ -1,0 +1,163 @@
+//! Lint self-tests: known-bad fixtures under `tests/fixtures/`, one
+//! per rule, plus a clean file and a valid-suppression case. Each test
+//! asserts the *exact* diagnostic text — if a rule's matcher or
+//! message drifts, these fail loudly — and the combined run is pinned
+//! against a JSON report golden.
+//!
+//! Fixtures are linted in explicit-file mode ([`Target::Files`]),
+//! which bypasses path scoping so the fixtures don't need to pretend
+//! to live inside `crates/collector`.
+
+use osprof_lint::{engine, report, Target};
+use std::path::PathBuf;
+
+fn lint(paths: &[&str]) -> engine::Outcome {
+    let files = paths.iter().map(PathBuf::from).collect();
+    engine::run(&Target::Files(files)).expect("fixtures are readable")
+}
+
+fn rendered(paths: &[&str]) -> Vec<String> {
+    lint(paths).diagnostics.iter().map(|d| d.render()).collect()
+}
+
+#[test]
+fn bad_panic_fixture_yields_exact_diagnostics() {
+    assert_eq!(
+        rendered(&["tests/fixtures/bad_panic.rs"]),
+        [
+            "tests/fixtures/bad_panic.rs:5:14: error[no-panic]: `unwrap()` in production code; \
+             return a typed error or add `// lint:allow(no-panic): <why this cannot fail>`",
+            "tests/fixtures/bad_panic.rs:6:14: error[no-panic]: `expect()` in production code; \
+             return a typed error or add `// lint:allow(no-panic): <why this cannot fail>`",
+            "tests/fixtures/bad_panic.rs:7:5: error[no-panic]: `panic!` in production code; \
+             return a typed error or add `// lint:allow(no-panic): <why this cannot fail>`",
+            "tests/fixtures/bad_panic.rs:8:5: error[no-panic]: `unreachable!` in production code; \
+             return a typed error or add `// lint:allow(no-panic): <why this cannot fail>`",
+        ]
+    );
+}
+
+#[test]
+fn bad_wallclock_fixture_yields_exact_diagnostics() {
+    assert_eq!(
+        rendered(&["tests/fixtures/bad_wallclock.rs"]),
+        [
+            "tests/fixtures/bad_wallclock.rs:4:25: error[no-wallclock]: `Instant::now` outside \
+             the timing allowlist breaks replay determinism; take time as an input, or move \
+             the code under crates/host or crates/bench",
+            "tests/fixtures/bad_wallclock.rs:5:25: error[no-wallclock]: `SystemTime` outside \
+             the timing allowlist breaks replay determinism; take time as an input, or move \
+             the code under crates/host or crates/bench",
+            "tests/fixtures/bad_wallclock.rs:6:19: error[no-wallclock]: `process::id` is \
+             nondeterministic across runs; derive identity from configuration or move the \
+             code under crates/host",
+            "tests/fixtures/bad_wallclock.rs:7:19: error[no-wallclock]: `thread::current` \
+             yields nondeterministic identity; route work by explicit index, not thread id",
+        ]
+    );
+}
+
+#[test]
+fn bad_unordered_fixture_yields_exact_diagnostics() {
+    let out = rendered(&["tests/fixtures/bad_unordered.rs"]);
+    assert_eq!(out.len(), 4);
+    assert_eq!(
+        out[0],
+        "tests/fixtures/bad_unordered.rs:3:23: error[no-unordered-iter]: `HashMap` in an \
+         output-producing file: iteration order is seeded per process and leaks into bytes; \
+         use `BTreeMap` or sort before emitting"
+    );
+    assert_eq!(
+        out[3],
+        "tests/fixtures/bad_unordered.rs:7:31: error[no-unordered-iter]: `HashSet` in an \
+         output-producing file: iteration order is seeded per process and leaks into bytes; \
+         use `BTreeSet` or sort before emitting"
+    );
+    // Two `HashMap` mentions on line 6 produce two distinct columns.
+    assert!(out[1].starts_with("tests/fixtures/bad_unordered.rs:6:12:"));
+    assert!(out[2].starts_with("tests/fixtures/bad_unordered.rs:6:35:"));
+}
+
+#[test]
+fn bad_channel_fixture_flags_unbounded_but_not_sync() {
+    assert_eq!(
+        rendered(&["tests/fixtures/bad_channel.rs"]),
+        ["tests/fixtures/bad_channel.rs:6:62: error[no-unbounded-channel]: unbounded \
+          `mpsc::channel()` in the collector: a stalled consumer buffers without limit; \
+          use `mpsc::sync_channel(bound)`"]
+    );
+}
+
+#[test]
+fn bad_suppression_fixture_yields_all_four_hygiene_errors() {
+    assert_eq!(
+        rendered(&["tests/fixtures/bad_suppression.rs"]),
+        [
+            "tests/fixtures/bad_suppression.rs:1:1: error[suppression-hygiene]: unused \
+             suppression for `no-panic`: the next line has no such violation; delete the \
+             stale waiver",
+            "tests/fixtures/bad_suppression.rs:4:1: error[suppression-hygiene]: unknown rule \
+             `not-a-rule` in suppression",
+            "tests/fixtures/bad_suppression.rs:7:1: error[suppression-hygiene]: malformed \
+             suppression: missing `: <justification>`",
+            "tests/fixtures/bad_suppression.rs:10:18: error[suppression-hygiene]: suppression \
+             must stand alone on the line above the violation, not trail code",
+        ]
+    );
+}
+
+#[test]
+fn bad_deps_manifest_flags_every_non_path_dependency() {
+    let out = rendered(&["tests/fixtures/bad_deps.toml"]);
+    let heads: Vec<&str> = out
+        .iter()
+        .map(|l| l.split(": error").next().unwrap_or(""))
+        .collect();
+    assert_eq!(
+        heads,
+        [
+            "tests/fixtures/bad_deps.toml:9:1",   // serde = "1.0"
+            "tests/fixtures/bad_deps.toml:10:1",  // rand = { version = "0.8" }
+            "tests/fixtures/bad_deps.toml:11:1",  // gitdep = { git = ... }
+            "tests/fixtures/bad_deps.toml:12:1",  // path + version pin
+            "tests/fixtures/bad_deps.toml:14:1",  // [dev-dependencies.proptest]
+        ]
+    );
+    assert!(out.iter().all(|l| l.contains("error[hermetic-deps]")));
+    assert!(out[0].contains("dependency `serde` is not a pure path dependency"));
+}
+
+#[test]
+fn clean_and_suppressed_fixtures_are_silent() {
+    let out = lint(&["tests/fixtures/clean.rs", "tests/fixtures/suppressed.rs"]);
+    assert!(out.is_clean(), "unexpected: {:?}", out.diagnostics);
+    assert_eq!(out.files_scanned, 2);
+}
+
+#[test]
+fn combined_json_report_matches_golden() {
+    // Same fixture order the golden was generated with; the engine
+    // sorts diagnostics, so argument order must not matter.
+    let out = lint(&[
+        "tests/fixtures/bad_channel.rs",
+        "tests/fixtures/bad_deps.toml",
+        "tests/fixtures/bad_panic.rs",
+        "tests/fixtures/bad_suppression.rs",
+        "tests/fixtures/bad_unordered.rs",
+        "tests/fixtures/bad_wallclock.rs",
+        "tests/fixtures/clean.rs",
+        "tests/fixtures/suppressed.rs",
+    ]);
+    assert_eq!(out.diagnostics.len(), 22);
+    let json = report::render_json(&out);
+    let golden = std::fs::read_to_string("tests/fixtures/lint-report.golden.json")
+        .expect("golden exists");
+    assert_eq!(json, golden, "JSON report drifted from the golden");
+}
+
+#[test]
+fn reversed_argument_order_produces_identical_report() {
+    let forward = lint(&["tests/fixtures/bad_panic.rs", "tests/fixtures/bad_wallclock.rs"]);
+    let reverse = lint(&["tests/fixtures/bad_wallclock.rs", "tests/fixtures/bad_panic.rs"]);
+    assert_eq!(report::render_json(&forward), report::render_json(&reverse));
+}

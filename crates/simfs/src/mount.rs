@@ -9,7 +9,7 @@
 //! probes recording into it.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use osprof_core::clock::Cycles;
@@ -251,16 +251,34 @@ impl FsState {
 }
 
 /// A small helper map for counting profile-relevant FS events in tests.
+///
+/// Backed by a `BTreeMap` so iteration — and anything rendered from it
+/// — is in key order, never in per-process hash order. `render()` is
+/// the blessed way to turn the counters into text; its bytes are
+/// pinned by a regression test.
 #[derive(Debug, Default, Clone)]
 pub struct FsCounters {
-    /// Arbitrary named counters.
-    pub counts: HashMap<&'static str, u64>,
+    /// Arbitrary named counters, ordered by name.
+    pub counts: BTreeMap<&'static str, u64>,
 }
 
 impl FsCounters {
     /// Increments a named counter.
     pub fn bump(&mut self, name: &'static str) {
         *self.counts.entry(name).or_insert(0) += 1;
+    }
+
+    /// Renders `name count` lines in key order — byte-deterministic
+    /// across runs and platforms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, n) in &self.counts {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -269,6 +287,24 @@ mod tests {
     use super::*;
     use crate::image::ROOT;
     use osprof_simkernel::config::KernelConfig;
+
+    #[test]
+    fn fs_counters_render_is_byte_deterministic() {
+        // Regression pin for the determinism audit: counter text must
+        // come out in key order regardless of insertion order, so no
+        // hash-seeded ordering can leak into report bytes.
+        let mut a = FsCounters::default();
+        for name in ["read_page", "cache_hit", "writeback", "cache_hit"] {
+            a.bump(name);
+        }
+        let mut b = FsCounters::default();
+        for name in ["writeback", "cache_hit", "cache_hit", "read_page"] {
+            b.bump(name);
+        }
+        let expect = "cache_hit 2\nread_page 1\nwriteback 1\n";
+        assert_eq!(a.render(), expect);
+        assert_eq!(b.render(), expect);
+    }
 
     #[test]
     fn mount_allocates_per_inode_locks() {

@@ -3,7 +3,6 @@
 //! These assert the *structural* claims of the paper's Section 6 figures
 //! at small scale; the full-scale regenerations live in the bench crate.
 
-use osprof_core::bucket::{bucket_of, Resolution};
 use osprof_simdisk::{DiskConfig, DiskDevice};
 use osprof_simfs::image::ROOT;
 use osprof_simfs::ops;

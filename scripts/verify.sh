@@ -20,6 +20,12 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> osprof-lint --workspace"
+# Static analysis gate: determinism, hermeticity and no-panic
+# invariants checked lexically over every source file and manifest.
+# Violations land in target/lint-report.json (see DESIGN.md §11).
+target/release/osprof-lint --workspace
+
 echo "==> bench smoke run (OSPROF_BENCH_QUICK=1)"
 OSPROF_BENCH_QUICK=1 cargo bench -q --offline >/dev/null
 

@@ -57,7 +57,7 @@ fn frame_bytes() -> Vec<Vec<u8>> {
 fn render_deliveries() -> String {
     let mut inj = FaultInjector::new(plan());
     let mut out = String::new();
-    let mut render = |deliveries: Vec<Delivery>, out: &mut String| {
+    let render = |deliveries: Vec<Delivery>, out: &mut String| {
         for d in deliveries {
             match d {
                 Delivery::Bytes(bytes) => {

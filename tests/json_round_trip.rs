@@ -16,7 +16,7 @@ use osprof::analysis::select::SelectionConfig;
 use osprof::simdisk::DiskConfig;
 use osprof::simnet::wire::{CifsConfig, ClientKind};
 use osprof_core::json::{FromJson, Json, ToJson};
-use osprof_core::profile::{Profile, ProfileSet};
+use osprof_core::profile::ProfileSet;
 use osprof_core::serialize::{from_json, to_json};
 use osprof_simkernel::config::KernelConfig;
 

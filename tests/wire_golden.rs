@@ -139,13 +139,12 @@ fn corrupting_any_fixture_byte_is_detected() {
     if wire::read_header(&mut r).is_err() {
         return; // corrupted the header: also detected
     }
-    let mut result = Ok(None);
-    loop {
-        result = wire::read_frame(&mut r);
-        match &result {
+    let result = loop {
+        let next = wire::read_frame(&mut r);
+        match &next {
             Ok(Some(_)) => continue,
-            _ => break,
+            _ => break next,
         }
-    }
+    };
     assert!(result.is_err(), "flipping byte {mid} went undetected");
 }
