@@ -1,0 +1,184 @@
+//! Differential latency profiles: the probe's excess over a reference.
+//!
+//! The paper's differential analysis (§3.2) subtracts a known-good
+//! profile from a suspect one so only the *anomalous* latency mass
+//! remains: buckets the suspect filled no more than the reference did
+//! vanish, and what is left are the execution paths the healthy system
+//! never took. We do the subtraction on op-count-normalized histograms
+//! with integer ceiling scaling so the result is exact, deterministic,
+//! and conservative — a bucket survives only when the probe holds
+//! strictly more (scaled) mass than the reference.
+
+use osprof_core::bucket::bucket_lower_bound;
+use osprof_core::profile::Profile;
+
+/// One layer's worth of input to attribution: the suspect profile and an
+/// optional known-good reference (cluster median or the node's own
+/// baseline). The operation name rides on the probe profile itself.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerObservation<'a> {
+    /// Layer the probe was captured at (e.g. `"file-system"`).
+    pub layer: &'a str,
+    /// The suspect profile.
+    pub probe: &'a Profile,
+    /// Known-good reference; `None` means attribute the probe as-is.
+    pub reference: Option<&'a Profile>,
+}
+
+/// The positive excess of one layer/operation pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDiff {
+    /// Layer the excess was observed at.
+    pub layer: String,
+    /// Operation name (from the probe profile).
+    pub op: String,
+    /// The differential profile: probe mass above the scaled reference.
+    pub excess: Profile,
+    /// Total operations in the probe (the scaling denominator).
+    pub probe_ops: u64,
+}
+
+/// Computes the positive excess of `probe` over `reference`.
+///
+/// The reference histogram is rescaled to the probe's total op count with
+/// integer ceiling arithmetic, then subtracted bucket-wise with
+/// saturation; only buckets where the probe exceeds the scaled reference
+/// survive. Returns `None` when the probe is empty or the resolutions
+/// differ (the subtraction would be meaningless). A missing or empty
+/// reference yields the probe unchanged.
+pub fn differential_profile(probe: &Profile, reference: Option<&Profile>) -> Option<Profile> {
+    if probe.is_empty() {
+        return None;
+    }
+    let reference = match reference {
+        Some(r) if !r.is_empty() => r,
+        _ => return Some(probe.clone()),
+    };
+    if reference.resolution() != probe.resolution() {
+        return None;
+    }
+    let res = probe.resolution();
+    let probe_total = probe.total_ops() as u128;
+    let ref_total = reference.total_ops() as u128;
+    let mut out = Profile::with_resolution(probe.name(), res);
+    for (b, &n) in probe.buckets().iter().enumerate() {
+        let ref_count = reference.buckets().get(b).copied().unwrap_or(0) as u128;
+        // Ceiling-scale the reference to the probe's op count: the probe
+        // must *strictly* exceed the healthy expectation to leave excess.
+        let scaled = (ref_count * probe_total + ref_total - 1) / ref_total;
+        let excess = (n as u128).saturating_sub(scaled);
+        if excess > 0 {
+            out.record_n(bucket_lower_bound(b, res), excess as u64);
+        }
+    }
+    Some(out)
+}
+
+/// Runs [`differential_profile`] over every observation, dropping layers
+/// with no excess.
+pub fn differentials(observations: &[LayerObservation<'_>]) -> Vec<LayerDiff> {
+    observations
+        .iter()
+        .filter_map(|obs| {
+            let excess = differential_profile(obs.probe, obs.reference)?;
+            if excess.is_empty() {
+                return None;
+            }
+            Some(LayerDiff {
+                layer: obs.layer.to_string(),
+                op: obs.probe.name().to_string(),
+                excess,
+                probe_ops: obs.probe.total_ops(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_from(name: &str, buckets: &[(usize, u64)]) -> Profile {
+        let mut p = Profile::new(name);
+        for &(b, n) in buckets {
+            p.record_n(1u64 << b, n);
+        }
+        p
+    }
+
+    #[test]
+    fn identical_profiles_cancel() {
+        let p = profile_from("read", &[(10, 1_000), (15, 40)]);
+        let d = differential_profile(&p, Some(&p)).unwrap();
+        assert!(d.is_empty(), "{:?}", d.buckets());
+    }
+
+    #[test]
+    fn excess_peak_survives_subtraction() {
+        let good = profile_from("read", &[(10, 1_000)]);
+        let bad = profile_from("read", &[(10, 1_000), (22, 300)]);
+        let d = differential_profile(&bad, Some(&good)).unwrap();
+        assert_eq!(d.count_in(22), 300);
+        // The shared peak is gone — the scaled reference covers it.
+        assert_eq!(d.count_in(10), 0);
+    }
+
+    #[test]
+    fn scaling_accounts_for_op_count_difference() {
+        // Reference has 10x the ops of the probe; after scaling down,
+        // the probe's matching mass must still cancel.
+        let good = profile_from("read", &[(10, 10_000)]);
+        let bad = profile_from("read", &[(10, 1_000), (20, 24)]);
+        let d = differential_profile(&bad, Some(&good)).unwrap();
+        assert_eq!(d.count_in(10), 0);
+        assert_eq!(d.count_in(20), 24);
+    }
+
+    #[test]
+    fn ceiling_scaling_is_conservative() {
+        // scaled = ceil(1 * 3 / 2) = 2, so probe count 2 leaves nothing.
+        let good = profile_from("read", &[(5, 2)]);
+        let bad = profile_from("read", &[(5, 3)]);
+        let d = differential_profile(&bad, Some(&good)).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_probe_yields_none() {
+        let empty = Profile::new("read");
+        let good = profile_from("read", &[(10, 5)]);
+        assert!(differential_profile(&empty, Some(&good)).is_none());
+    }
+
+    #[test]
+    fn missing_reference_passes_probe_through() {
+        let p = profile_from("read", &[(10, 7)]);
+        let d = differential_profile(&p, None).unwrap();
+        assert_eq!(d.buckets(), p.buckets());
+    }
+
+    #[test]
+    fn resolution_mismatch_yields_none() {
+        use osprof_core::bucket::Resolution;
+        let p = profile_from("read", &[(10, 7)]);
+        let r = Profile::with_resolution("read", Resolution::R2);
+        let mut r = r;
+        r.record_n(1 << 10, 7);
+        assert!(differential_profile(&p, Some(&r)).is_none());
+    }
+
+    #[test]
+    fn differentials_drop_clean_layers() {
+        let good = profile_from("read", &[(10, 100)]);
+        let bad = profile_from("read", &[(10, 100), (20, 50)]);
+        let obs = [
+            LayerObservation { layer: "file-system", probe: &bad, reference: Some(&good) },
+            LayerObservation { layer: "driver", probe: &good, reference: Some(&good) },
+        ];
+        let diffs = differentials(&obs);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].layer, "file-system");
+        assert_eq!(diffs[0].op, "read");
+        assert_eq!(diffs[0].probe_ops, 150);
+    }
+}

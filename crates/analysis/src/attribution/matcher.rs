@@ -1,0 +1,343 @@
+//! Peak-to-mechanism matching and verdict ranking.
+//!
+//! Each differential peak is scored against every mechanism band: mass
+//! inside the band scores at the band's specificity (1/width — a narrow
+//! band that explains the mass is worth more than a catch-all), mass
+//! near the band decays geometrically per bucket of distance, with
+//! elastic mechanisms allowed extra stretch above their band (queueing
+//! lets seeks and lock waits exceed their nominal worst case; a fixed
+//! timer period cannot). Scores sum over every layer diff the mechanism
+//! applies to; verdicts are ranked by score with a deterministic
+//! name tie-break and reported with normalized confidences.
+
+use osprof_core::bucket::Resolution;
+use osprof_core::profile::Profile;
+
+use crate::peaks::{find_peaks, PeakConfig};
+
+use super::differential::{differentials, LayerDiff, LayerObservation};
+use super::mechanism::{MechanismEntry, MechanismTable};
+
+/// Tuning knobs for [`attribute`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionConfig {
+    /// Peak identification on the differential profiles.
+    pub peaks: PeakConfig,
+    /// Buckets of slack allowed on either side of a mechanism band.
+    pub slop: usize,
+    /// Extra buckets of slack above the band for elastic mechanisms.
+    pub max_stretch: usize,
+    /// Geometric per-bucket decay applied to out-of-band mass.
+    pub decay: f64,
+    /// Verdicts below this confidence are dropped.
+    pub min_confidence: f64,
+    /// At most this many verdicts are reported.
+    pub max_verdicts: usize,
+    /// Minimum total excess operations before any verdict is emitted
+    /// (guards against attributing noise).
+    pub min_excess_ops: u64,
+}
+
+impl Default for AttributionConfig {
+    fn default() -> Self {
+        AttributionConfig {
+            peaks: PeakConfig::default(),
+            slop: 1,
+            max_stretch: 4,
+            decay: 0.5,
+            min_confidence: 0.05,
+            max_verdicts: 3,
+            min_excess_ops: 16,
+        }
+    }
+}
+
+/// One differential peak supporting a verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evidence {
+    /// Layer the peak was observed at.
+    pub layer: String,
+    /// Operation name.
+    pub op: String,
+    /// First bucket of the peak (inclusive).
+    pub start: usize,
+    /// Apex bucket of the peak.
+    pub apex: usize,
+    /// Last bucket of the peak (inclusive).
+    pub end: usize,
+    /// Excess operations inside the peak.
+    pub ops: u64,
+    /// Score mass this peak contributed to the mechanism.
+    pub mass: f64,
+    /// Buckets the apex sits outside the mechanism band (0 = inside).
+    pub gap: usize,
+}
+
+/// A ranked attribution verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CauseVerdict {
+    /// Mechanism identifier from the table, e.g. `"disk-seek"`.
+    pub mechanism: String,
+    /// Normalized confidence in `[0, 1]` (scores sum to 1 across the
+    /// emitted candidate set before filtering).
+    pub confidence: f64,
+    /// Raw unnormalized score.
+    pub score: f64,
+    /// The mechanism's derivation note, copied from the table.
+    pub detail: String,
+    /// Differential peaks supporting the verdict.
+    pub evidence: Vec<Evidence>,
+}
+
+/// Scores one bucket of excess mass against one mechanism band.
+///
+/// Inside the band the value is the band's specificity `1/width`;
+/// outside it decays by [`AttributionConfig::decay`] per bucket, cut off
+/// at [`AttributionConfig::slop`] buckets below the band and
+/// `slop + max_stretch` above it for elastic mechanisms (`slop` alone
+/// for inelastic ones). Returns `0.0` beyond the cutoff.
+pub fn likelihood(entry: &MechanismEntry, bucket: usize, r: Resolution, cfg: &AttributionConfig) -> f64 {
+    let (lo, hi) = entry.band(r);
+    let base = 1.0 / (hi - lo + 1) as f64;
+    let (gap, limit) = if bucket < lo {
+        (lo - bucket, cfg.slop)
+    } else if bucket > hi {
+        (bucket - hi, cfg.slop + if entry.elastic { cfg.max_stretch } else { 0 })
+    } else {
+        return base;
+    };
+    if gap > limit {
+        return 0.0;
+    }
+    base * cfg.decay.powi(gap as i32)
+}
+
+/// Attributes a set of layer observations: computes the differential
+/// excess per layer, then ranks mechanisms by how much of that excess
+/// their bands explain. See [`attribute_diffs`] for the scoring rules.
+pub fn attribute(
+    observations: &[LayerObservation<'_>],
+    table: &MechanismTable,
+    cfg: &AttributionConfig,
+) -> Vec<CauseVerdict> {
+    attribute_diffs(&differentials(observations), table, cfg)
+}
+
+/// Attributes pre-computed layer diffs against a mechanism table.
+///
+/// Emits nothing when the total excess is below
+/// [`AttributionConfig::min_excess_ops`] (the false-positive guard: tiny
+/// residues are noise, not mechanisms). Otherwise every mechanism is
+/// scored as the sum over its applicable layers' differential peaks of
+/// `(bucket mass fraction) x likelihood(bucket)`; candidates are ranked
+/// by score descending with ties broken by mechanism name, confidences
+/// normalized over all scoring candidates, then filtered by
+/// `min_confidence` and truncated to `max_verdicts`.
+pub fn attribute_diffs(
+    diffs: &[LayerDiff],
+    table: &MechanismTable,
+    cfg: &AttributionConfig,
+) -> Vec<CauseVerdict> {
+    let total: u64 = diffs.iter().map(|d| d.excess.total_ops()).sum();
+    if total == 0 || total < cfg.min_excess_ops {
+        return Vec::new();
+    }
+    let mut candidates: Vec<CauseVerdict> = Vec::new();
+    for entry in table.entries() {
+        let mut score = 0.0f64;
+        let mut evidence: Vec<Evidence> = Vec::new();
+        for d in diffs {
+            if !entry.applies_to_layer(&d.layer) {
+                continue;
+            }
+            let r = d.excess.resolution();
+            let (lo, hi) = entry.band(r);
+            for peak in find_peaks(&d.excess, &cfg.peaks) {
+                let mut mass = 0.0f64;
+                for b in peak.start..=peak.end {
+                    let n = d.excess.count_in(b);
+                    if n == 0 {
+                        continue;
+                    }
+                    mass += (n as f64 / total as f64) * likelihood(entry, b, r, cfg);
+                }
+                if mass > 0.0 {
+                    let gap = if peak.apex < lo {
+                        lo - peak.apex
+                    } else {
+                        peak.apex.saturating_sub(hi)
+                    };
+                    evidence.push(Evidence {
+                        layer: d.layer.clone(),
+                        op: d.op.clone(),
+                        start: peak.start,
+                        apex: peak.apex,
+                        end: peak.end,
+                        ops: peak.ops,
+                        mass,
+                        gap,
+                    });
+                    score += mass;
+                }
+            }
+        }
+        if score > 0.0 {
+            candidates.push(CauseVerdict {
+                mechanism: entry.name.clone(),
+                confidence: 0.0,
+                score,
+                detail: entry.detail.clone(),
+                evidence,
+            });
+        }
+    }
+    // Sum scores in canonical (name, score) order: float addition is not
+    // associative, so summing in table order would let the insertion
+    // order leak into the last ULP of every confidence.
+    candidates.sort_by(|a, b| a.mechanism.cmp(&b.mechanism).then(a.score.total_cmp(&b.score)));
+    let score_sum: f64 = candidates.iter().map(|c| c.score).sum();
+    if score_sum <= 0.0 {
+        return Vec::new();
+    }
+    for c in &mut candidates {
+        c.confidence = c.score / score_sum;
+    }
+    // Deterministic rank: score descending, name ascending on ties —
+    // invariant under any permutation of the table's insertion order.
+    candidates.sort_by(|a, b| {
+        b.score.total_cmp(&a.score).then_with(|| a.mechanism.cmp(&b.mechanism))
+    });
+    candidates.retain(|c| c.confidence >= cfg.min_confidence);
+    candidates.truncate(cfg.max_verdicts);
+    candidates
+}
+
+/// Convenience: attributes a single suspect profile at one layer.
+pub fn attribute_profile(
+    layer: &str,
+    probe: &Profile,
+    reference: Option<&Profile>,
+    table: &MechanismTable,
+    cfg: &AttributionConfig,
+) -> Vec<CauseVerdict> {
+    attribute(&[LayerObservation { layer, probe, reference }], table, cfg)
+}
+
+osprof_core::impl_json_struct!(Evidence { layer, op, start, apex, end, ops, mass, gap });
+osprof_core::impl_json_struct!(CauseVerdict { mechanism, confidence, score, detail, evidence });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_from(name: &str, buckets: &[(usize, u64)]) -> Profile {
+        let mut p = Profile::new(name);
+        for &(b, n) in buckets {
+            p.record_n(1u64 << b, n);
+        }
+        p
+    }
+
+    fn seek_table() -> MechanismTable {
+        let mut t = MechanismTable::new();
+        t.add("disk-seek", "seek band", 1 << 18, 1 << 23, true, &[]);
+        t.add("lock-contention", "lock band", 1 << 14, 1 << 16, true, &[]);
+        t.add("network-rtt", "rtt band", 1 << 18, 1 << 19, true, &["network"]);
+        t
+    }
+
+    fn diff(layer: &str, p: Profile) -> LayerDiff {
+        let probe_ops = p.total_ops();
+        LayerDiff { layer: layer.into(), op: p.name().to_string(), excess: p, probe_ops }
+    }
+
+    #[test]
+    fn in_band_peak_gets_the_verdict() {
+        let d = diff("file-system", profile_from("read", &[(21, 500)]));
+        let v = attribute_diffs(&[d], &seek_table(), &AttributionConfig::default());
+        assert_eq!(v[0].mechanism, "disk-seek");
+        assert!(v[0].confidence > 0.9, "{}", v[0].confidence);
+        assert_eq!(v[0].evidence[0].gap, 0);
+    }
+
+    #[test]
+    fn layer_scope_excludes_network_mechanism_at_fs_layer() {
+        // Bucket 18 is inside both the seek band and the (narrower,
+        // higher-specificity) rtt band — but the rtt band is scoped to
+        // the network layer, so a file-system peak must not match it.
+        let d = diff("file-system", profile_from("read", &[(18, 500)]));
+        let v = attribute_diffs(&[d], &seek_table(), &AttributionConfig::default());
+        assert!(v.iter().all(|c| c.mechanism != "network-rtt"), "{v:?}");
+        let d = diff("network", profile_from("read", &[(18, 500)]));
+        let v = attribute_diffs(&[d], &seek_table(), &AttributionConfig::default());
+        assert_eq!(v[0].mechanism, "network-rtt", "narrow band wins on its own layer");
+    }
+
+    #[test]
+    fn elastic_band_stretches_above_but_not_below() {
+        let t = seek_table();
+        let cfg = AttributionConfig::default();
+        let e = &t.entries()[0]; // disk-seek, band 18..=23, elastic
+        let r = Resolution::R1;
+        assert!(likelihood(e, 23 + cfg.slop + cfg.max_stretch, r, &cfg) > 0.0);
+        assert_eq!(likelihood(e, 23 + cfg.slop + cfg.max_stretch + 1, r, &cfg), 0.0);
+        assert!(likelihood(e, 18 - cfg.slop, r, &cfg) > 0.0);
+        assert_eq!(likelihood(e, 18 - cfg.slop - 1, r, &cfg), 0.0);
+    }
+
+    #[test]
+    fn inelastic_band_does_not_stretch() {
+        let mut t = MechanismTable::new();
+        t.add("timer", "fixed period", 1 << 22, 1 << 22, false, &[]);
+        let cfg = AttributionConfig::default();
+        let e = &t.entries()[0];
+        assert!(likelihood(e, 23, Resolution::R1, &cfg) > 0.0); // slop
+        assert_eq!(likelihood(e, 24, Resolution::R1, &cfg), 0.0);
+    }
+
+    #[test]
+    fn tiny_excess_emits_no_verdict() {
+        let d = diff("file-system", profile_from("read", &[(21, 5)]));
+        let v = attribute_diffs(&[d], &seek_table(), &AttributionConfig::default());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unmatched_mass_emits_no_verdict() {
+        // Bucket 5 is far below every band.
+        let d = diff("file-system", profile_from("read", &[(5, 10_000)]));
+        let v = attribute_diffs(&[d], &seek_table(), &AttributionConfig::default());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn confidences_are_normalized() {
+        // Mass in both the seek and the lock band.
+        let d = diff("file-system", profile_from("read", &[(15, 400), (21, 400)]));
+        let v = attribute_diffs(&[d], &seek_table(), &AttributionConfig::default());
+        assert_eq!(v.len(), 2);
+        let sum: f64 = v.iter().map(|c| c.confidence).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+        assert!(v[0].score >= v[1].score);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let cfg = AttributionConfig::default();
+        assert!(attribute_diffs(&[], &seek_table(), &cfg).is_empty());
+        assert!(attribute(&[], &seek_table(), &cfg).is_empty());
+        let d = diff("file-system", Profile::new("read"));
+        assert!(attribute_diffs(&[d], &seek_table(), &cfg).is_empty());
+        let d = diff("file-system", profile_from("read", &[(21, 500)]));
+        assert!(attribute_diffs(&[d], &MechanismTable::new(), &cfg).is_empty());
+    }
+
+    #[test]
+    fn verdict_json_round_trip() {
+        use osprof_core::json::{FromJson, ToJson};
+        let d = diff("file-system", profile_from("read", &[(21, 500)]));
+        let v = attribute_diffs(&[d], &seek_table(), &AttributionConfig::default());
+        let back = Vec::<CauseVerdict>::from_json(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,143 @@
+//! The mechanism table: characteristic-time bands with provenance.
+//!
+//! Where [`crate::knowledge`] annotates peaks with free-form hypothesis
+//! labels, attribution needs something stronger: a *band* of plausible
+//! latencies per mechanism (a seek is anywhere between one track-to-track
+//! move and a full stroke plus a rotation, not a single point), a note of
+//! where the band came from, and an optional layer scope (a delayed-ACK
+//! stall can only be observed at the network layer; charging it to a
+//! file-system peak would be a category error). Callers build the table
+//! from the *actual* configuration of the profiled system — disk seek
+//! curve, scheduler quantum, wire RTT — so the verdicts inherit their
+//! numbers from the same place the latencies came from.
+
+use osprof_core::bucket::{bucket_of, Resolution};
+use osprof_core::clock::Cycles;
+
+/// One attributable mechanism: a named latency band with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismEntry {
+    /// Stable identifier used in verdicts and reports, e.g. `"disk-seek"`.
+    pub name: String,
+    /// Human-readable derivation note, e.g. the config fields the band
+    /// was computed from.
+    pub detail: String,
+    /// Lower edge of the characteristic latency band, in cycles.
+    pub lo: Cycles,
+    /// Upper edge of the characteristic latency band, in cycles.
+    pub hi: Cycles,
+    /// Elastic mechanisms (queueing effects: seeks behind other seeks,
+    /// lock convoys) may legitimately exceed their band upper edge;
+    /// inelastic ones (a timer that fires at a fixed period) may not.
+    pub elastic: bool,
+    /// Layers this mechanism can be observed at; empty means any layer.
+    pub layers: Vec<String>,
+}
+
+impl MechanismEntry {
+    /// The band as inclusive bucket indices at the given resolution.
+    pub fn band(&self, r: Resolution) -> (usize, usize) {
+        let a = bucket_of(self.lo, r);
+        let b = bucket_of(self.hi, r);
+        (a.min(b), a.max(b))
+    }
+
+    /// True when the mechanism can show up at `layer`.
+    pub fn applies_to_layer(&self, layer: &str) -> bool {
+        self.layers.is_empty() || self.layers.iter().any(|l| l == layer)
+    }
+}
+
+/// An ordered collection of mechanisms to attribute against.
+///
+/// Order does not affect verdicts (scores are computed independently per
+/// entry and ranked with a deterministic tie-break), but a stable order
+/// keeps JSON round-trips byte-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MechanismTable {
+    entries: Vec<MechanismEntry>,
+}
+
+impl MechanismTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        MechanismTable::default()
+    }
+
+    /// Adds a mechanism; swaps the band edges if given reversed.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        detail: impl Into<String>,
+        lo: Cycles,
+        hi: Cycles,
+        elastic: bool,
+        layers: &[&str],
+    ) {
+        self.entries.push(MechanismEntry {
+            name: name.into(),
+            detail: detail.into(),
+            lo: lo.min(hi),
+            hi: lo.max(hi),
+            elastic,
+            layers: layers.iter().map(|l| l.to_string()).collect(),
+        });
+    }
+
+    /// The registered mechanisms, in insertion order.
+    pub fn entries(&self) -> &[MechanismEntry] {
+        &self.entries
+    }
+
+    /// Number of registered mechanisms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no mechanisms are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+osprof_core::impl_json_struct!(MechanismEntry { name, detail, lo, hi, elastic, layers });
+osprof_core::impl_json_struct!(MechanismTable { entries });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_is_bucket_inclusive_and_ordered() {
+        let mut t = MechanismTable::new();
+        t.add("seek", "test", 1 << 18, 1 << 22, true, &[]);
+        let (lo, hi) = t.entries()[0].band(Resolution::R1);
+        assert_eq!((lo, hi), (18, 22));
+    }
+
+    #[test]
+    fn reversed_edges_are_normalized() {
+        let mut t = MechanismTable::new();
+        t.add("x", "test", 1 << 22, 1 << 18, false, &[]);
+        assert!(t.entries()[0].lo <= t.entries()[0].hi);
+    }
+
+    #[test]
+    fn layer_scope_matches_exactly_or_any() {
+        let mut t = MechanismTable::new();
+        t.add("net", "test", 1, 2, false, &["network", "cifs"]);
+        t.add("any", "test", 1, 2, false, &[]);
+        assert!(t.entries()[0].applies_to_layer("network"));
+        assert!(!t.entries()[0].applies_to_layer("file-system"));
+        assert!(t.entries()[1].applies_to_layer("file-system"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        use osprof_core::json::{FromJson, ToJson};
+        let mut t = MechanismTable::new();
+        t.add("seek", "from disk config", 1 << 18, 1 << 23, true, &["file-system"]);
+        let back = MechanismTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,31 @@
+//! Automated root-cause attribution (ROADMAP item 4).
+//!
+//! Turns the paper's manual differential workflow (§3.2: subtract a
+//! known-good profile, eyeball the surviving peaks, match them against
+//! the characteristic times of §3.1) into a pipeline:
+//!
+//! 1. [`differential`] — compute the suspect node's positive latency
+//!    excess over a reference (cluster median or its own baseline),
+//!    per layer, with exact integer scaling.
+//! 2. [`mechanism`] — a table of candidate mechanisms, each a
+//!    characteristic-time *band* derived from the profiled system's
+//!    actual configuration (seek curve, scheduler quantum, wire RTT),
+//!    optionally scoped to the layers where it can be observed.
+//! 3. [`matcher`] — score each differential peak against each band,
+//!    rank mechanisms, and emit [`CauseVerdict`]s with normalized
+//!    confidences and per-peak evidence.
+//!
+//! Everything is deterministic: integer bucket arithmetic, fixed
+//! iteration orders, and a total ranking (`score` desc, then mechanism
+//! name), so verdicts can be pinned byte-exact by golden tests.
+
+pub mod differential;
+pub mod matcher;
+pub mod mechanism;
+
+pub use differential::{differential_profile, differentials, LayerDiff, LayerObservation};
+pub use matcher::{
+    attribute, attribute_diffs, attribute_profile, likelihood, AttributionConfig, CauseVerdict,
+    Evidence,
+};
+pub use mechanism::{MechanismEntry, MechanismTable};

@@ -20,6 +20,9 @@
 //!   Figure 3.
 //! - [`knowledge`] — prior-knowledge peak annotation: hypothesis labels
 //!   from the characteristic times of the test setup (§3.1).
+//! - [`attribution`] — automated root-cause attribution: differential
+//!   excess profiles matched against configuration-derived mechanism
+//!   bands, ranked into [`attribution::CauseVerdict`]s.
 //! - [`corpus`] — the synthetic labeled profile-pair corpus reproducing
 //!   the Section 5.3 accuracy study.
 //! - [`accuracy`] — false-classification-rate evaluation of each
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod attribution;
 pub mod cluster;
 pub mod compare;
 pub mod corpus;
@@ -39,6 +43,7 @@ pub mod peaks;
 pub mod preemption;
 pub mod select;
 
+pub use attribution::{AttributionConfig, CauseVerdict, MechanismTable};
 pub use compare::Metric;
 pub use peaks::{find_peaks, Peak, PeakConfig};
 pub use select::{select_interesting, Selection, SelectionConfig};

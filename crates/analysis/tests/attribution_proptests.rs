@@ -1,0 +1,136 @@
+//! Property-based tests for the peak-to-mechanism matcher.
+//!
+//! Pins the three contract properties of `attribution::matcher`:
+//! candidate ordering is invariant under permutations of the mechanism
+//! table (ties broken deterministically by name), confidence is
+//! monotone in a mechanism's in-band peak mass, and degenerate inputs
+//! never panic and always satisfy the ranking invariants.
+
+use osprof_analysis::attribution::{
+    attribute_diffs, AttributionConfig, LayerDiff, MechanismTable,
+};
+use osprof_core::profile::Profile;
+use osprof_core::proptest::prelude::*;
+use osprof_core::rng::{RngCore, Xoshiro256PlusPlus};
+
+fn profile_from(name: &str, buckets: &[(usize, u64)]) -> Profile {
+    let mut p = Profile::new(name);
+    for &(b, n) in buckets {
+        p.record_n(1u64 << b, n);
+    }
+    p
+}
+
+fn diff(layer: &str, p: Profile) -> LayerDiff {
+    let probe_ops = p.total_ops();
+    LayerDiff { layer: layer.into(), op: p.name().to_string(), excess: p, probe_ops }
+}
+
+/// A five-mechanism table with overlapping bands and one layer-scoped
+/// entry, covering the bucket range the generated diffs live in.
+fn table_entries() -> Vec<(&'static str, u64, u64, bool, Vec<&'static str>)> {
+    vec![
+        ("disk-seek", 1 << 18, 1 << 23, true, vec![]),
+        ("lock-contention", 1 << 14, 1 << 17, true, vec![]),
+        ("scheduler-quantum", 1 << 26, 1 << 27, false, vec![]),
+        ("network-rtt", 1 << 18, 1 << 19, true, vec!["network"]),
+        ("timer", 1 << 22, 1 << 22, false, vec![]),
+    ]
+}
+
+/// Builds the table with entries inserted in a seed-shuffled order
+/// (Fisher–Yates over the in-repo Xoshiro generator).
+fn shuffled_table(seed: u64) -> MechanismTable {
+    let mut entries = table_entries();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    for i in (1..entries.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        entries.swap(i, j);
+    }
+    let mut t = MechanismTable::new();
+    for (name, lo, hi, elastic, layers) in entries {
+        t.add(name, "prop", lo, hi, elastic, &layers);
+    }
+    t
+}
+
+/// An arbitrary differential excess spread over buckets 4..40 at one of
+/// two layers, sized so some cases clear `min_excess_ops` and some do
+/// not.
+fn arb_diffs() -> impl Strategy<Value = Vec<LayerDiff>> {
+    prop::collection::vec(
+        (prop::collection::vec((4usize..40, 1u64..50_000), 0..12), 0usize..2),
+        0..3,
+    )
+    .prop_map(|layers| {
+        layers
+            .into_iter()
+            .map(|(buckets, which)| {
+                let layer = if which == 0 { "file-system" } else { "network" };
+                diff(layer, profile_from("read", &buckets))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Verdict lists are identical whatever order the table was built in.
+    #[test]
+    fn ranking_is_table_permutation_invariant(diffs in arb_diffs(), s1 in 0u64.., s2 in 0u64..) {
+        let cfg = AttributionConfig::default();
+        let a = attribute_diffs(&diffs, &shuffled_table(s1), &cfg);
+        let b = attribute_diffs(&diffs, &shuffled_table(s2), &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Growing a mechanism's in-band peak never lowers its confidence,
+    /// and once it is emitted it stays emitted.
+    #[test]
+    fn confidence_is_monotone_in_peak_mass(
+        base in 100u64..10_000,
+        extra in 1u64..10_000,
+        rival in 100u64..10_000,
+    ) {
+        let cfg = AttributionConfig::default();
+        let t = shuffled_table(0);
+        // Bucket 21 is seek-band-only; bucket 15 is lock-band-only.
+        let small = diff("file-system", profile_from("read", &[(21, base), (15, rival)]));
+        let large = diff("file-system", profile_from("read", &[(21, base + extra), (15, rival)]));
+        // A verdict filtered out (below min_confidence or truncated)
+        // counts as confidence 0; monotonicity must still hold across
+        // the emission threshold.
+        let conf = |vs: &[osprof_analysis::CauseVerdict]| {
+            vs.iter().find(|v| v.mechanism == "disk-seek").map_or(0.0, |v| v.confidence)
+        };
+        let before = conf(&attribute_diffs(&[small], &t, &cfg));
+        let after = conf(&attribute_diffs(&[large], &t, &cfg));
+        prop_assert!(after >= before - 1e-12, "confidence dropped: {before} -> {after}");
+    }
+
+    /// Arbitrary (including empty and degenerate) diffs never panic, and
+    /// every emitted verdict list satisfies the ranking invariants:
+    /// confidences in [0, 1], scores sorted descending with name
+    /// tie-breaks, list capped at `max_verdicts`.
+    #[test]
+    fn verdicts_are_well_formed_and_panic_free(diffs in arb_diffs(), s in 0u64..) {
+        let cfg = AttributionConfig::default();
+        let vs = attribute_diffs(&diffs, &shuffled_table(s), &cfg);
+        prop_assert!(vs.len() <= cfg.max_verdicts);
+        for w in vs.windows(2) {
+            prop_assert!(
+                w[0].score > w[1].score
+                    || (w[0].score == w[1].score && w[0].mechanism < w[1].mechanism),
+                "ranking violated: {w:?}"
+            );
+        }
+        for v in &vs {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v.confidence), "{}", v.confidence);
+            prop_assert!(v.confidence >= cfg.min_confidence);
+            prop_assert!(!v.evidence.is_empty(), "verdict without evidence");
+            for e in &v.evidence {
+                prop_assert!(e.start <= e.apex && e.apex <= e.end);
+                prop_assert!(e.ops > 0);
+            }
+        }
+    }
+}

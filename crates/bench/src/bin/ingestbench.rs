@@ -4,22 +4,27 @@
 //! ingestbench [--smoke] [--out PATH]   run the bench, write PATH (default
 //!                                      BENCH_collector.json) and print the
 //!                                      human report
-//! ingestbench --check PATH             validate a previously-emitted file:
+//! ingestbench --check PATH [PATH2]     validate a previously-emitted file:
 //!                                      required keys, sane values, and the
-//!                                      2x speedup criterion where it applies
+//!                                      2x speedup criterion where it applies.
+//!                                      With a second path (a repeat run),
+//!                                      also require both documents to agree
+//!                                      byte for byte on every non-timing
+//!                                      field
 //! ```
 //!
 //! `scripts/bench.sh` is the canonical driver; CI runs it with `--smoke`.
 
 use std::process::ExitCode;
 
-use osprof_bench::ingestbench::{check, run_with, BenchConfig};
+use osprof_bench::ingestbench::{check, check_determinism, run_with, BenchConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut out = "BENCH_collector.json".to_string();
     let mut check_path: Option<String> = None;
+    let mut repeat_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -34,12 +39,18 @@ fn main() -> ExitCode {
                     out = v.clone();
                 } else {
                     check_path = Some(v.clone());
+                    // An optional second path: a repeat run to
+                    // byte-compare on non-timing fields.
+                    if let Some(r) = args.get(i + 2).filter(|a| !a.starts_with("--")) {
+                        repeat_path = Some(r.clone());
+                        i += 1;
+                    }
                 }
                 i += 1;
             }
             other => {
                 eprintln!("ingestbench: unknown argument '{other}'");
-                eprintln!("usage: ingestbench [--smoke] [--out PATH] | --check PATH");
+                eprintln!("usage: ingestbench [--smoke] [--out PATH] | --check PATH [PATH2]");
                 return ExitCode::from(2);
             }
         }
@@ -47,14 +58,18 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = check_path {
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("ingestbench: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+        let read = |path: &str| {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
         };
-        return match check(&text) {
+        let run = || -> Result<String, String> {
+            let mut summary = check(&read(&path)?)?;
+            if let Some(repeat) = &repeat_path {
+                summary.push('\n');
+                summary.push_str(&check_determinism(&read(&path)?, &read(repeat)?)?);
+            }
+            Ok(summary)
+        };
+        return match run() {
             Ok(summary) => {
                 println!("{summary}");
                 ExitCode::SUCCESS

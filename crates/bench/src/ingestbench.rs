@@ -487,6 +487,79 @@ pub fn check(text: &str) -> Result<String, String> {
     Ok(summary)
 }
 
+/// JSON keys whose values legitimately vary between runs of the same
+/// benchmark on the same build: wall-clock measurements and host shape.
+/// Everything else — stream geometry, frame counts, engine labels,
+/// schema — is a pure function of the configuration and must be
+/// byte-identical across repeat runs.
+const TIMING_KEYS: &[&str] = &[
+    "host_cpus",
+    "serial_frames_per_sec",
+    "parallel_frames_per_sec",
+    "speedup_parallel_over_serial",
+    "median_ms",
+    "frames_per_sec",
+];
+
+/// Recursively removes the timing-dependent fields from a parsed
+/// benchmark document.
+fn strip_timing(doc: &Json) -> Json {
+    match doc {
+        Json::Object(fields) => Json::Object(
+            fields
+                .iter()
+                .filter(|(k, _)| !TIMING_KEYS.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), strip_timing(v)))
+                .collect(),
+        ),
+        Json::Array(items) => Json::Array(items.iter().map(strip_timing).collect()),
+        other => other.clone(),
+    }
+}
+
+/// The determinism fingerprint of a `BENCH_collector.json` document:
+/// the pretty-printed form with every timing-dependent field removed.
+/// Two runs of the same benchmark configuration on the same build must
+/// produce identical fingerprints.
+///
+/// # Errors
+///
+/// Returns a description of the parse failure when `text` is not JSON.
+pub fn non_timing_fingerprint(text: &str) -> Result<String, String> {
+    let doc = Json::parse(text).map_err(|e| format!("BENCH_collector.json: {e}"))?;
+    Ok(strip_timing(&doc).pretty())
+}
+
+/// Cross-checks two `BENCH_collector.json` documents from repeat runs:
+/// after stripping timing fields they must match byte for byte, or the
+/// benchmark's workload itself is nondeterministic (which would make
+/// every serial-vs-parallel comparison meaningless).
+///
+/// # Errors
+///
+/// Returns a description of the first parse failure or the first
+/// fingerprint line that differs.
+pub fn check_determinism(a: &str, b: &str) -> Result<String, String> {
+    let fa = non_timing_fingerprint(a)?;
+    let fb = non_timing_fingerprint(b)?;
+    if fa == fb {
+        let lines = fa.lines().count();
+        return Ok(format!(
+            "repeat-run determinism ok: non-timing fingerprints identical ({lines} lines)"
+        ));
+    }
+    let diff = fa
+        .lines()
+        .zip(fb.lines())
+        .enumerate()
+        .find(|(_, (la, lb))| la != lb)
+        .map_or_else(
+            || "documents differ in length".to_string(),
+            |(i, (la, lb))| format!("line {}: '{la}' vs '{lb}'", i + 1),
+        );
+    Err(format!("BENCH_collector.json: repeat runs disagree on non-timing fields ({diff})"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,6 +614,29 @@ mod tests {
         let warning = failing.replace("\"full\"", "\"smoke\"");
         let summary = check(&warning).unwrap();
         assert!(summary.contains("warning"), "{summary}");
+    }
+
+    #[test]
+    fn repeat_runs_have_identical_non_timing_fingerprints() {
+        let (_, a) = run_with(&tiny()).unwrap();
+        let (_, b) = run_with(&tiny()).unwrap();
+        // Raw documents differ (wall times), but fingerprints must not.
+        let summary = check_determinism(&a.pretty(), &b.pretty()).unwrap();
+        assert!(summary.contains("ok"), "{summary}");
+        let fp = non_timing_fingerprint(&a.pretty()).unwrap();
+        for key in TIMING_KEYS {
+            assert!(!fp.contains(key), "timing key '{key}' survived the strip:\n{fp}");
+        }
+        assert!(fp.contains("\"frames\""), "structural fields must survive:\n{fp}");
+    }
+
+    #[test]
+    fn determinism_check_flags_a_non_timing_drift() {
+        let (_, a) = run_with(&tiny()).unwrap();
+        let drifted = a.pretty().replace("\"clean\"", "\"dirty\"");
+        let err = check_determinism(&a.pretty(), &drifted).unwrap_err();
+        assert!(err.contains("disagree"), "{err}");
+        assert!(check_determinism("not json", &a.pretty()).is_err());
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Collector-side root-cause attribution: from flagged anomaly to
+//! ranked [`CauseVerdict`]s in the report.
+//!
+//! When the online [`Detector`](crate::detect::Detector) flags a
+//! (node, op) pair, the collector re-uses the evidence it already
+//! holds — the flagged interval's own profile and the reference the
+//! detector compared it against (cluster median for divergence, the
+//! node's rolling baseline for a baseline shift) — and hands both to
+//! [`osprof_analysis::attribution`]: differential excess, mechanism
+//! matching, ranked verdicts. The verdict map renders as a trailing
+//! section of the plain-text report and a structured block of the JSON
+//! report; both are deterministic and pinned by golden tests.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use osprof_analysis::attribution::{
+    attribute, AttributionConfig, CauseVerdict, LayerObservation, MechanismTable,
+};
+use osprof_core::json::{Json, ToJson};
+use osprof_core::profile::ProfileSet;
+
+use crate::detect::{Anomaly, AnomalyKind};
+use crate::store::{IntervalUpdate, ShardedStore};
+
+/// Attribution settings carried by the collector configuration.
+#[derive(Debug, Clone)]
+pub struct AttributionSettings {
+    /// Run attribution on flagged anomalies (on by default).
+    pub enabled: bool,
+    /// The mechanism table verdicts are matched against.
+    pub table: MechanismTable,
+    /// Matcher tuning.
+    pub matcher: AttributionConfig,
+}
+
+impl Default for AttributionSettings {
+    /// Enabled, with the mechanism table derived from the reference
+    /// scenario's disk/kernel/network configuration.
+    fn default() -> Self {
+        AttributionSettings {
+            enabled: true,
+            table: crate::scenario::scenario_mechanism_table(),
+            matcher: AttributionConfig::default(),
+        }
+    }
+}
+
+/// Ranked verdicts per flagged (node, op) pair, in report order.
+pub type VerdictMap = BTreeMap<(String, String), Vec<CauseVerdict>>;
+
+/// Attributes one flagged anomaly from the state the detector's tick
+/// already computed: the node's *cumulative* profile as of the flagged
+/// snapshot is the probe (single intervals are too small to clear the
+/// noise gate; the paper's differential analysis also runs on aggregate
+/// profiles), and the reference supplies the healthy *shape* — the
+/// cluster median for a divergence, the node's rolling baseline for a
+/// baseline shift. The differential rescales the reference to the
+/// probe's op count, so mixing aggregate probe with interval-scale
+/// reference is sound. Returns an empty list when the anomaly's update
+/// is not in this tick's drain or the excess does not clear the
+/// matcher's noise gate.
+pub fn attribute_anomaly(
+    settings: &AttributionSettings,
+    store: &ShardedStore,
+    median: &ProfileSet,
+    updates: &[IntervalUpdate],
+    anomaly: &Anomaly,
+) -> Vec<CauseVerdict> {
+    let Some(update) =
+        updates.iter().find(|u| u.node == anomaly.node && u.seq == anomaly.seq)
+    else {
+        return Vec::new();
+    };
+    let Some(probe) = update.cumulative.get(&anomaly.op) else {
+        return Vec::new();
+    };
+    let baseline = match anomaly.kind {
+        AnomalyKind::BaselineShift => store.baseline(&anomaly.node),
+        _ => None,
+    };
+    let reference = match anomaly.kind {
+        AnomalyKind::ClusterDivergence | AnomalyKind::Both => median.get(&anomaly.op),
+        AnomalyKind::BaselineShift => baseline.as_ref().and_then(|b| b.get(&anomaly.op)),
+    };
+    let obs = LayerObservation { layer: update.interval.layer(), probe, reference };
+    attribute(&[obs], &settings.table, &settings.matcher)
+}
+
+/// Renders the verdict map as the report's trailing attribution
+/// section; empty string when there is nothing to attribute (so clean
+/// reports keep their historical byte format).
+pub fn render_text(verdicts: &VerdictMap) -> String {
+    if verdicts.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "attribution ({} flagged pair(s)):", verdicts.len());
+    for ((node, op), vs) in verdicts {
+        let ranked: Vec<String> = vs
+            .iter()
+            .map(|v| format!("{} {:.2}", v.mechanism, v.confidence))
+            .collect();
+        let _ = write!(out, "  {node} {op}: {}", ranked.join(" | "));
+        if let Some(top) = vs.first() {
+            if let Some(e) = top.evidence.iter().max_by(|a, b| {
+                a.mass.total_cmp(&b.mass).then_with(|| b.apex.cmp(&a.apex))
+            }) {
+                let _ = write!(out, "  [{} excess apex b{}, {} ops]", e.layer, e.apex, e.ops);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The verdict map as JSON: an array of `{node, op, verdicts}` objects
+/// in report order.
+pub fn to_json(verdicts: &VerdictMap) -> Json {
+    Json::Array(
+        verdicts
+            .iter()
+            .map(|((node, op), vs)| {
+                Json::Object(vec![
+                    ("node".into(), Json::Str(node.clone())),
+                    ("op".into(), Json::Str(op.clone())),
+                    ("verdicts".into(), vs.to_json()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The full attribution block used by goldens and `osprofctl
+/// attribution`: the text section (or an explicit `no verdicts` line)
+/// followed by the pretty-printed JSON form.
+pub fn render_block(verdicts: &VerdictMap) -> String {
+    let mut out = render_text(verdicts);
+    if out.is_empty() {
+        out.push_str("no verdicts\n");
+    }
+    out.push_str(&to_json(verdicts).pretty());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprof_analysis::attribution::Evidence;
+
+    fn verdict(mech: &str, conf: f64) -> CauseVerdict {
+        CauseVerdict {
+            mechanism: mech.into(),
+            confidence: conf,
+            score: conf,
+            detail: "test".into(),
+            evidence: vec![Evidence {
+                layer: "file-system".into(),
+                op: "read".into(),
+                start: 20,
+                apex: 21,
+                end: 23,
+                ops: 500,
+                mass: conf,
+                gap: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn empty_map_renders_empty_text_and_explicit_block() {
+        let map = VerdictMap::new();
+        assert_eq!(render_text(&map), "");
+        let block = render_block(&map);
+        assert!(block.starts_with("no verdicts\n"), "{block}");
+        assert!(block.contains("[]"), "{block}");
+    }
+
+    #[test]
+    fn verdicts_render_ranked_with_evidence() {
+        let mut map = VerdictMap::new();
+        map.insert(
+            ("node-7".into(), "read".into()),
+            vec![verdict("disk-seek", 0.87), verdict("scheduler-quantum", 0.13)],
+        );
+        let text = render_text(&map);
+        assert!(text.contains("attribution (1 flagged pair(s)):"), "{text}");
+        assert!(
+            text.contains("node-7 read: disk-seek 0.87 | scheduler-quantum 0.13"),
+            "{text}"
+        );
+        assert!(text.contains("[file-system excess apex b21, 500 ops]"), "{text}");
+    }
+
+    #[test]
+    fn json_block_carries_node_op_and_verdicts() {
+        let mut map = VerdictMap::new();
+        map.insert(("node-7".into(), "read".into()), vec![verdict("disk-seek", 1.0)]);
+        let j = to_json(&map);
+        let Json::Array(items) = &j else { panic!("expected array") };
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].field::<String>("node").unwrap(), "node-7");
+        assert_eq!(items[0].field::<String>("op").unwrap(), "read");
+        let vs: Vec<CauseVerdict> = items[0].field("verdicts").unwrap();
+        assert_eq!(vs.len(), 1);
+    }
+}

@@ -14,7 +14,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 
+use osprof_core::json::Json;
+
 use crate::agent::{DecodeEvent, Decoder, SkipReason};
+use crate::attribution::{self, AttributionSettings, VerdictMap};
 use crate::detect::{Anomaly, Detector, DetectorConfig};
 use crate::store::{Offer, ShardedStore, Snapshot, StoreConfig, StreamFault};
 use crate::wire::{self, Frame, WireError};
@@ -82,6 +85,8 @@ pub struct CollectorConfig {
     pub store: StoreConfig,
     /// Detection thresholds.
     pub detector: DetectorConfig,
+    /// Root-cause attribution of flagged anomalies.
+    pub attribution: AttributionSettings,
 }
 
 /// Per-connection ingest state. `pub(crate)` so the parallel engine can
@@ -105,6 +110,10 @@ pub struct Collector {
     /// Corrupt frames on connections that never completed a hello —
     /// nothing to attribute them to, but they must still be visible.
     unattributed_corrupt: u64,
+    /// Attribution settings (mechanism table + matcher knobs).
+    attr: AttributionSettings,
+    /// Latest non-empty verdicts per flagged (node, op) pair.
+    verdicts: VerdictMap,
 }
 
 impl Collector {
@@ -117,6 +126,8 @@ impl Collector {
             anomalies: Vec::new(),
             first_flagged: BTreeMap::new(),
             unattributed_corrupt: 0,
+            attr: cfg.attribution,
+            verdicts: VerdictMap::new(),
         }
     }
 
@@ -256,7 +267,10 @@ impl Collector {
     }
 
     /// Drains the store, runs detection on the new intervals, records
-    /// and returns the newly flagged anomalies.
+    /// and returns the newly flagged anomalies. Flagged anomalies are
+    /// attributed against the mechanism table while the interval that
+    /// fired is still at hand; the latest non-empty verdict list per
+    /// (node, op) pair wins.
     pub fn tick(&mut self) -> Vec<Anomaly> {
         let updates = self.store.drain();
         let found = self.detector.scan(&self.store, &updates);
@@ -264,6 +278,17 @@ impl Collector {
             self.first_flagged
                 .entry((a.node.clone(), a.op.clone()))
                 .or_insert(a.seq);
+        }
+        if self.attr.enabled && !found.is_empty() {
+            let median =
+                self.store.cluster_median(self.detector.config().min_median_nodes);
+            for a in &found {
+                let vs =
+                    attribution::attribute_anomaly(&self.attr, &self.store, &median, &updates, a);
+                if !vs.is_empty() {
+                    self.verdicts.insert((a.node.clone(), a.op.clone()), vs);
+                }
+            }
         }
         self.anomalies.extend(found.clone());
         found
@@ -282,6 +307,11 @@ impl Collector {
     /// Every anomaly flagged so far, in tick order.
     pub fn anomalies(&self) -> &[Anomaly] {
         &self.anomalies
+    }
+
+    /// Ranked root-cause verdicts per flagged (node, op) pair.
+    pub fn verdicts(&self) -> &VerdictMap {
+        &self.verdicts
     }
 
     // ---- parallel-engine seams (crate-internal) ----------------------
@@ -373,7 +403,60 @@ impl Collector {
                 let _ = writeln!(out, "  {}", a.describe());
             }
         }
+        // Renders as the empty string when nothing was attributed, so
+        // verdict-free runs keep the historical format byte-for-byte.
+        out.push_str(&attribution::render_text(&self.verdicts));
         out
+    }
+
+    /// The report in structured form: the same counters, flagged pairs
+    /// and anomaly log as [`report`](Collector::report), plus the
+    /// attribution verdicts as a typed block.
+    pub fn report_json(&self) -> Json {
+        let stats = self.store.stats();
+        let nodes = Json::Array(
+            stats
+                .nodes
+                .iter()
+                .map(|n| {
+                    Json::Object(vec![
+                        ("node".into(), Json::Str(n.node.clone())),
+                        ("intervals".into(), Json::UInt(n.intervals.into())),
+                        ("dropped".into(), Json::UInt(n.dropped.into())),
+                        ("restarts".into(), Json::UInt(n.restarts.into())),
+                        ("stale".into(), Json::UInt(n.stale.into())),
+                        ("quarantined".into(), Json::Bool(n.quarantined)),
+                    ])
+                })
+                .collect(),
+        );
+        let flagged = Json::Array(
+            self.first_flagged
+                .iter()
+                .map(|((node, op), seq)| {
+                    Json::Object(vec![
+                        ("node".into(), Json::Str(node.clone())),
+                        ("op".into(), Json::Str(op.clone())),
+                        ("first_seq".into(), Json::UInt((*seq).into())),
+                    ])
+                })
+                .collect(),
+        );
+        let anomalies = Json::Array(
+            self.anomalies.iter().map(|a| Json::Str(a.describe())).collect(),
+        );
+        Json::Object(vec![
+            ("report".into(), Json::Str("collector".into())),
+            ("schema_version".into(), Json::UInt(1)),
+            ("snapshots_offered".into(), Json::UInt(stats.offered().into())),
+            ("snapshots_aggregated".into(), Json::UInt(stats.aggregated().into())),
+            ("snapshots_dropped".into(), Json::UInt(stats.dropped().into())),
+            ("unattributed_corrupt".into(), Json::UInt(self.unattributed_corrupt.into())),
+            ("nodes".into(), nodes),
+            ("flagged".into(), flagged),
+            ("anomalies".into(), anomalies),
+            ("attribution".into(), attribution::to_json(&self.verdicts)),
+        ])
     }
 }
 

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod attribution;
 pub mod daemon;
 pub mod delta;
 pub mod detect;

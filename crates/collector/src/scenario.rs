@@ -10,13 +10,15 @@
 //! looks like to the daemon, but fully deterministic under
 //! `OSPROF_TEST_SEED`.
 
-use osprof_core::clock::{secs_to_cycles, Cycles};
+use osprof_analysis::attribution::MechanismTable;
+use osprof_core::clock::{format_cycles, secs_to_cycles, Cycles};
 use osprof_core::profile::ProfileSet;
 use osprof_core::sampling::SampledProfile;
 use osprof_simdisk::{DiskConfig, DiskDevice};
 use osprof_simfs::image::ROOT;
 use osprof_simfs::{Mount, MountOpts};
 use osprof_simkernel::{Kernel, KernelConfig};
+use osprof_simnet::wire::{CifsConfig, ClientKind};
 use osprof_workloads::{grep, tree};
 
 use crate::agent::Agent;
@@ -170,6 +172,138 @@ pub fn degrading_node_frames(cfg: &ScenarioConfig) -> Vec<Frame> {
     frames
 }
 
+// ---- attribution ---------------------------------------------------------
+
+/// Derives the attribution mechanism table from the actual
+/// configuration of the profiled system — the same structs the
+/// simulation runs on, so the bands move with the scenario instead of
+/// being hardcoded magic numbers.
+///
+/// - **disk-seek** — one track-to-track move up to a full stroke plus a
+///   rotation; elastic, because queued requests wait behind each
+///   other's seeks.
+/// - **lock-contention** — from two context switches (the cheapest
+///   blocking handoff) up to half a quantum of waiting; elastic for the
+///   same convoy reason.
+/// - **scheduler-quantum** — losing the CPU for one to two quanta;
+///   inelastic, the scheduler's period does not stretch.
+/// - **network-rtt** — a request/response round trip up to a full
+///   server burst on the wire; observable only at the network layers.
+/// - **delayed-ack** — the client's delayed-ACK timer plus the round
+///   trip; inelastic (it is a timer) and network-only.
+pub fn mechanism_table_for(
+    disk: &DiskConfig,
+    kernel: &KernelConfig,
+    net: &CifsConfig,
+) -> MechanismTable {
+    let mut t = MechanismTable::new();
+    t.add(
+        "disk-seek",
+        format!(
+            "seek curve: track-to-track {} to full-stroke {} + rotation {}",
+            format_cycles(disk.track_to_track),
+            format_cycles(disk.full_stroke),
+            format_cycles(disk.rotation),
+        ),
+        disk.track_to_track,
+        disk.full_stroke + disk.rotation,
+        true,
+        &[],
+    );
+    t.add(
+        "lock-contention",
+        format!(
+            "blocked acquisition: 2 context switches ({} each) to quantum/2 ({})",
+            format_cycles(kernel.context_switch),
+            format_cycles(kernel.quantum / 2),
+        ),
+        2 * kernel.context_switch,
+        kernel.quantum / 2,
+        true,
+        &[],
+    );
+    t.add(
+        "scheduler-quantum",
+        format!("preemption: one to two scheduling quanta ({})", format_cycles(kernel.quantum)),
+        kernel.quantum,
+        2 * kernel.quantum,
+        false,
+        &[],
+    );
+    t.add(
+        "network-rtt",
+        format!(
+            "round trip: 2 x one-way {} up to a {}-segment burst on the wire",
+            format_cycles(net.one_way),
+            net.burst_segments,
+        ),
+        2 * net.one_way,
+        2 * net.one_way + net.cycles_per_byte * net.segment_bytes * net.burst_segments,
+        true,
+        &["network", "cifs"],
+    );
+    t.add(
+        "delayed-ack",
+        format!("delayed-ACK timer {} + round trip", format_cycles(net.delayed_ack)),
+        net.delayed_ack,
+        net.delayed_ack + 2 * net.one_way,
+        false,
+        &["network", "cifs"],
+    );
+    t
+}
+
+/// The mechanism table for the reference scenario: the paper disk, the
+/// uniprocessor kernel, and the paper LAN.
+pub fn scenario_mechanism_table() -> MechanismTable {
+    mechanism_table_for(
+        &DiskConfig::paper_disk(),
+        &KernelConfig::uniprocessor(),
+        &CifsConfig::paper_lan(ClientKind::LinuxSmb),
+    )
+}
+
+/// Regenerates one attribution golden: replays the named scenario and
+/// returns the rendered verdict block. `kind` is one of `ext-stream`
+/// (round-robin streaming replay, default cluster), `ext-chaos` (the
+/// chaos replay under the reference fault plan), or `clean` (a healthy
+/// cluster — must yield no verdicts).
+///
+/// # Errors
+///
+/// [`CollectorError::Internal`] on an unknown `kind`; chaos-replay
+/// errors propagate.
+pub fn attribution_fixture(kind: &str) -> Result<String, CollectorError> {
+    let mut out = format!("# attribution verdicts: {kind}\n");
+    match kind {
+        "ext-stream" => {
+            let streams = cluster_streams(&ScenarioConfig::default());
+            let mut col = Collector::new(CollectorConfig::default());
+            replay_round_robin(&mut col, &streams);
+            out.push_str(&crate::attribution::render_block(col.verdicts()));
+        }
+        "ext-chaos" => {
+            let timelines = cluster_timelines(&ScenarioConfig::default());
+            let run = replay_chaos(&timelines, &ChaosConfig::default(), None)?;
+            out.push_str(&run.attribution);
+        }
+        "clean" => {
+            let cfg =
+                ScenarioConfig { nodes: 4, degraded: None, dirs: 20, ..ScenarioConfig::default() };
+            let streams = cluster_streams(&cfg);
+            let mut col = Collector::new(CollectorConfig::default());
+            replay_round_robin(&mut col, &streams);
+            out.push_str(&crate::attribution::render_block(col.verdicts()));
+        }
+        other => {
+            return Err(CollectorError::Internal(format!(
+                "unknown attribution scenario: {other}"
+            )))
+        }
+    }
+    Ok(out)
+}
+
 // ---- chaos replay --------------------------------------------------------
 
 /// Knobs for a chaos replay: the fault plan applied to every node's
@@ -241,6 +375,9 @@ pub struct ChaosRun {
     pub flagged: Vec<String>,
     /// True when the run crashed and recovered from its journal.
     pub recovered: bool,
+    /// The rendered attribution block (verdict text + JSON), exactly as
+    /// pinned by the `ext-chaos` golden.
+    pub attribution: String,
 }
 
 /// The ingest engine a chaos replay drives. Both engines consume the
@@ -257,8 +394,9 @@ trait ChaosEngine {
     /// Simulates a daemon crash + recovery; true when the engine
     /// supports it (the serial write-ahead-journaled path).
     fn crash_recover(&mut self) -> Result<bool, CollectorError>;
-    /// Final report and the sorted, deduplicated flagged-node set.
-    fn into_results(self) -> Result<(String, Vec<String>), CollectorError>;
+    /// Final report, the sorted deduplicated flagged-node set, and the
+    /// rendered attribution block.
+    fn into_results(self) -> Result<(String, Vec<String>, String), CollectorError>;
 }
 
 fn flagged_nodes(col: &Collector) -> Vec<String> {
@@ -309,9 +447,10 @@ impl ChaosEngine for SerialEngine {
         Ok(true)
     }
 
-    fn into_results(self) -> Result<(String, Vec<String>), CollectorError> {
+    fn into_results(self) -> Result<(String, Vec<String>, String), CollectorError> {
         let jc = self.0.ok_or_else(engine_gone)?;
-        Ok((jc.report(), flagged_nodes(jc.collector())))
+        let attribution = crate::attribution::render_block(jc.collector().verdicts());
+        Ok((jc.report(), flagged_nodes(jc.collector()), attribution))
     }
 }
 
@@ -336,9 +475,10 @@ impl ChaosEngine for ParallelEngine {
         Ok(false)
     }
 
-    fn into_results(self) -> Result<(String, Vec<String>), CollectorError> {
+    fn into_results(self) -> Result<(String, Vec<String>, String), CollectorError> {
         let col = self.0.finish()?;
-        Ok((col.report(), flagged_nodes(&col)))
+        let attribution = crate::attribution::render_block(col.verdicts());
+        Ok((col.report(), flagged_nodes(&col), attribution))
     }
 }
 
@@ -434,8 +574,8 @@ fn replay_chaos_engine<E: ChaosEngine>(
         .zip(&injectors)
         .map(|((name, _), inj)| (name.clone(), *inj.stats()))
         .collect();
-    let (report, flagged) = eng.into_results()?;
-    Ok(ChaosRun { report, first_fired, wire_stats, flagged, recovered })
+    let (report, flagged, attribution) = eng.into_results()?;
+    Ok(ChaosRun { report, first_fired, wire_stats, flagged, recovered, attribution })
 }
 
 /// Replays the timelines through per-node [`ResilientAgent`]s, each

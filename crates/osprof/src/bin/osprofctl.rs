@@ -8,6 +8,7 @@
 //! osprofctl cluster <file>...         aggregate nodes, rank divergence
 //! osprofctl record  <out>             capture the simulated cluster run to a stream file
 //! osprofctl stream  <file>            replay a recorded stream, print flagged anomalies
+//! osprofctl attribution <scenario>    replay a scenario, print its root-cause verdicts
 //! ```
 //!
 //! Files are the text or JSON formats produced by
@@ -55,10 +56,14 @@ fn run() -> Result<(), tool::ToolError> {
             });
             print!("{}", tool::stream(&bytes)?);
         }
+        Some("attribution") if args.len() == 2 => {
+            print!("{}", tool::attribution(&args[1])?);
+        }
         _ => {
             eprintln!(
                 "usage: osprofctl render <file> | peaks <file> | diff <a> <b> | \
-                 gnuplot <file> <outdir> | cluster <file>... | record <out> | stream <file>"
+                 gnuplot <file> <outdir> | cluster <file>... | record <out> | stream <file> | \
+                 attribution <ext-stream|ext-chaos|clean>"
             );
             std::process::exit(2);
         }

@@ -199,6 +199,20 @@ pub fn stream(bytes: &[u8]) -> Result<String, ToolError> {
     Ok(col.report())
 }
 
+/// `attribution`: regenerates the named attribution golden (one of
+/// `ext-stream`, `ext-chaos`, `clean`) by replaying the scenario and
+/// rendering its verdict block. Deterministic; this is exactly what the
+/// golden fixtures under `results/fixtures/attribution/` pin.
+pub fn attribution(kind: &str) -> Result<String, ToolError> {
+    if !matches!(kind, "ext-stream" | "ext-chaos" | "clean") {
+        return Err(ToolError::Usage(format!(
+            "attribution: unknown scenario '{kind}' (expected ext-stream, ext-chaos, or clean)"
+        )));
+    }
+    osprof_collector::scenario::attribution_fixture(kind)
+        .map_err(|e| ToolError::Usage(format!("attribution: {e}")))
+}
+
 fn wire_err(e: osprof_collector::wire::WireError) -> ToolError {
     ToolError::Usage(format!("stream: {e}"))
 }

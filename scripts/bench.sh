@@ -3,12 +3,14 @@
 #
 # Builds the `ingestbench` binary, replays identical pre-encoded frame
 # streams through both ingest engines, and writes the machine-readable
-# results to BENCH_collector.json at the repository root. The emitted
-# file is then re-validated with `ingestbench --check`: all required
-# keys present, and — on a >=4-cpu host running the full configuration
-# — the parallel engine at least 2x the serial frames/sec. On smaller
-# hosts (or with --smoke) a sub-2x speedup is a warning, not a failure:
-# a worker pool cannot beat one core on a single-cpu machine.
+# results to BENCH_collector.json at the repository root. A second,
+# repeat run goes to target/BENCH_collector.repeat.json; both files are
+# then validated together with `ingestbench --check`: all required keys
+# present, the two runs byte-identical on every non-timing field, and —
+# on a >=4-cpu host running the full configuration — the parallel
+# engine at least 2x the serial frames/sec. On smaller hosts (or with
+# --smoke) a sub-2x speedup is a warning, not a failure: a worker pool
+# cannot beat one core on a single-cpu machine.
 #
 # usage: scripts/bench.sh [--smoke]
 #   --smoke   shrink streams and repetitions (~0.2s); used by CI and
@@ -31,4 +33,5 @@ export CARGO_NET_OFFLINE=true
 cargo build -q --release --offline -p osprof-bench --bin ingestbench
 
 target/release/ingestbench ${MODE[@]+"${MODE[@]}"} --out BENCH_collector.json
-target/release/ingestbench --check BENCH_collector.json
+target/release/ingestbench ${MODE[@]+"${MODE[@]}"} --out target/BENCH_collector.repeat.json
+target/release/ingestbench --check BENCH_collector.json target/BENCH_collector.repeat.json

@@ -50,6 +50,35 @@ timeout 120 target/release/osprofd replay --nodes 4 --dirs 20 --workers 8 \
   > target/verify-replay-w8.txt 2>/dev/null
 cmp target/verify-replay-w1.txt target/verify-replay-w8.txt
 
+echo "==> attribution golden verdicts (osprofctl attribution vs fixtures)"
+# Regenerate every scenario's root-cause verdict block with the release
+# binary and byte-compare against the checked-in goldens under
+# results/fixtures/attribution/. On drift, the unified diff lands in
+# target/attribution-golden.diff for inspection; re-bless intentional
+# changes with OSPROF_UPDATE_FIXTURES=1 (see tests/attribution.rs).
+rm -f target/attribution-golden.diff
+for kind in ext-stream ext-chaos clean; do
+  fixture="results/fixtures/attribution/${kind//-/_}.txt"
+  out="target/attribution-${kind}.txt"
+  timeout 120 target/release/osprofctl attribution "$kind" > "$out"
+  if ! cmp -s "$out" "$fixture"; then
+    diff -u "$fixture" "$out" >> target/attribution-golden.diff || true
+    echo "attribution verdicts for '$kind' drifted from $fixture" >&2
+    echo "diff written to target/attribution-golden.diff" >&2
+    exit 1
+  fi
+done
+
+echo "==> attribution suites under two property seeds"
+# Verdicts must be seed-independent: OSPROF_TEST_SEED drives only the
+# property-test harness, never the simulations behind the goldens.
+for seed in 1 0xDEADBEEF; do
+  OSPROF_TEST_SEED="$seed" cargo test -q --offline -p osprof-analysis \
+    --test attribution_proptests
+  OSPROF_TEST_SEED="$seed" cargo test -q --offline -p osprof-integration-tests \
+    --test attribution
+done
+
 echo "==> collector ingest bench smoke (scripts/bench.sh --smoke)"
 # Proves the benchmark harness runs end to end and that
 # BENCH_collector.json carries every required key.

@@ -10,8 +10,10 @@
 
 use std::path::PathBuf;
 
-use osprof::collector::agent::Encoder;
+use osprof::collector::agent::{Agent, Encoder};
+use osprof::collector::daemon::{Collector, CollectorConfig};
 use osprof::collector::fault::{Delivery, FaultInjector, FaultPlan};
+use osprof::collector::store::StoreConfig;
 use osprof::collector::wire::{encode_frame, Frame};
 use osprof_core::bucket::Resolution;
 use osprof_core::profile::ProfileSet;
@@ -80,6 +82,57 @@ fn render_deliveries() -> String {
     out
 }
 
+/// Renders a report where every fault annotation the store can emit is
+/// present at once: per-node fault counters, staleness, and a
+/// quarantined node. The unit tests assert these annotations
+/// individually; this pins the *rendered report section* so a format
+/// drift (spacing, ordering, wording) cannot slip through unnoticed.
+fn render_fault_report() -> String {
+    let cfg = CollectorConfig {
+        store: StoreConfig { corrupt_budget: 2, ..StoreConfig::default() },
+        ..CollectorConfig::default()
+    };
+    let mut col = Collector::new(cfg);
+
+    let stream = |node: &str| -> Vec<Frame> {
+        // Refresh with a full snapshot every 4 deltas so the gappy
+        // node's decoder has a recovery point inside this short stream.
+        let mut agent = Agent::new(node).with_full_every(4);
+        let mut frames = vec![agent.hello("file-system", Resolution::R1, 1_000)];
+        let mut set = ProfileSet::new("file-system");
+        for seq in 0u64..8 {
+            set.entry("read").record_n(900 + 7 * seq, 40);
+            frames.push(agent.snapshot((seq + 1) * 1_000, &set));
+        }
+        frames.push(agent.bye());
+        frames
+    };
+
+    for (conn, node) in ["clean-node", "gappy-node", "garbage-node"].iter().enumerate() {
+        for (i, f) in stream(node).iter().enumerate() {
+            // The gappy node loses two mid-stream frames: the next
+            // delta is unappliable (a gap fault), and the decoder
+            // recovers at the following full snapshot, leaving its
+            // baseline stale.
+            if *node == "gappy-node" && (i == 2 || i == 3) {
+                continue;
+            }
+            col.ingest_lossy(conn as u64, f);
+            // The garbage node's wire flips bits: three corrupt frames
+            // exceed its budget of two, quarantining it.
+            if *node == "garbage-node" && (3..=5).contains(&i) {
+                col.ingest_bytes(conn as u64, &[0xde, 0xad, i as u8]);
+            }
+        }
+        col.tick();
+    }
+    // One reset on the clean node's connection after its stream ended:
+    // counted, but no interval is lost.
+    col.reset_conn(0);
+    col.tick();
+    col.report()
+}
+
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/fixtures").join(name)
 }
@@ -105,4 +158,20 @@ fn fault_injected_stream_matches_golden_fixture() {
 #[test]
 fn fault_injection_is_a_pure_function_of_its_seed() {
     assert_eq!(render_deliveries(), render_deliveries());
+}
+
+#[test]
+fn fault_annotated_report_matches_golden_fixture() {
+    let report = render_fault_report();
+    // Sanity before pinning: every annotation class is actually present.
+    assert!(report.contains("gaps"), "{report}");
+    assert!(report.contains("stale"), "{report}");
+    assert!(report.contains("QUARANTINED"), "{report}");
+    assert!(report.contains("resets 1"), "{report}");
+    check_golden("chaos_report.txt", &report);
+}
+
+#[test]
+fn fault_annotated_report_is_deterministic() {
+    assert_eq!(render_fault_report(), render_fault_report());
 }
