@@ -15,6 +15,14 @@
 //!   plans ([`ChaosConfig::default`]): drops, corruption, truncation,
 //!   duplication, reordering and mid-run resets.
 //!
+//! On the clean stream, two **aggregator-in-the-loop** engines replay
+//! the same deliveries through a 2-tier and a 3-tier federation relay
+//! ([`Engine::Federated`]): what the tree costs per frame relative to
+//! flat ingest. Each JSON result records its `topology`
+//! (`flat`/`2-tier`/`3-tier`), and the relays must reproduce the flat
+//! report byte-for-byte — the federation headline invariant, asserted
+//! on every bench run.
+//!
 //! Methodology follows [`crate::micro`]: warm-up runs are discarded,
 //! then the replay is repeated and the **median** wall time is kept
 //! (min would hide scheduler noise the parallel path actually pays;
@@ -34,6 +42,7 @@ use std::time::{Duration, Instant};
 
 use osprof::collector::daemon::{Collector, CollectorConfig, CollectorError};
 use osprof::collector::fault::{node_seed, Delivery, FaultInjector};
+use osprof::collector::federation::Aggregator;
 use osprof::collector::parallel::ParallelCollector;
 use osprof::collector::resilience::ResilientAgent;
 use osprof::collector::scenario::{ChaosConfig, Timeline};
@@ -222,6 +231,16 @@ pub enum Engine {
     Serial,
     /// The worker pool with this many ingest workers.
     Parallel(usize),
+    /// Aggregator-in-the-loop: agent streams terminate at `groups`
+    /// leaf aggregators (plus one mid-tier aggregator when `deep`)
+    /// whose merged frames feed the collector — the cost of the
+    /// federation relay path relative to flat ingest.
+    Federated {
+        /// Leaf aggregators the connections are sharded over.
+        groups: usize,
+        /// Insert a second aggregation tier between leaves and root.
+        deep: bool,
+    },
 }
 
 impl Engine {
@@ -229,6 +248,18 @@ impl Engine {
         match self {
             Engine::Serial => "serial".to_string(),
             Engine::Parallel(w) => format!("parallel-{w}"),
+            Engine::Federated { groups, deep: false } => format!("federated-{groups}"),
+            Engine::Federated { groups, deep: true } => format!("federated-{groups}-deep"),
+        }
+    }
+
+    /// The ingest topology this engine exercises, recorded per result
+    /// in `BENCH_collector.json`.
+    fn topology(self) -> &'static str {
+        match self {
+            Engine::Serial | Engine::Parallel(_) => "flat",
+            Engine::Federated { deep: false, .. } => "2-tier",
+            Engine::Federated { deep: true, .. } => "3-tier",
         }
     }
 }
@@ -268,6 +299,39 @@ pub fn replay(events: &[Event], engine: Engine) -> Result<(Duration, String), Co
             }
             pc.finish()?
         }
+        Engine::Federated { groups, deep } => {
+            let mut col = Collector::new(CollectorConfig::default());
+            let mut leaves: Vec<Aggregator> =
+                (0..groups).map(|k| Aggregator::new(format!("agg-{k}"), 1)).collect();
+            let mut mid = deep.then(|| Aggregator::new("agg-top", 2));
+            for e in events {
+                match e {
+                    Event::Bytes(conn, b) => {
+                        leaves[*conn as usize % groups].ingest_bytes(*conn, b);
+                    }
+                    Event::Reset(conn) => leaves[*conn as usize % groups].reset_conn(*conn),
+                    Event::Tick => {
+                        // Flush bottom-up so every round's snapshots
+                        // reach the root inside the same tick window
+                        // they would have reached it flat.
+                        for (k, a) in leaves.iter_mut().enumerate() {
+                            let Some(bytes) = a.flush() else { continue };
+                            match mid.as_mut() {
+                                Some(m) => m.ingest_bytes(1_000 + k as u64, &bytes),
+                                None => {
+                                    col.ingest_bytes(1_000 + k as u64, &bytes);
+                                }
+                            }
+                        }
+                        if let Some(bytes) = mid.as_mut().and_then(Aggregator::flush) {
+                            col.ingest_bytes(2_000, &bytes);
+                        }
+                        col.tick();
+                    }
+                }
+            }
+            col
+        }
     };
     let elapsed = start.elapsed();
     Ok((elapsed, col.report()))
@@ -276,10 +340,12 @@ pub fn replay(events: &[Event], engine: Engine) -> Result<(Duration, String), Co
 /// One engine × variant measurement.
 #[derive(Debug, Clone)]
 pub struct Measurement {
-    /// Engine label (`serial`, `parallel-8`, ...).
+    /// Engine label (`serial`, `parallel-8`, `federated-2`, ...).
     pub engine: String,
     /// Stream variant (`clean` or `faulty`).
     pub variant: String,
+    /// Ingest topology (`flat`, `2-tier` or `3-tier`).
+    pub topology: String,
     /// Frame deliveries replayed per run.
     pub frames: u64,
     /// Median end-to-end replay wall time, milliseconds.
@@ -318,6 +384,7 @@ pub fn measure(
     Ok(Measurement {
         engine: engine.label(),
         variant: variant.to_string(),
+        topology: engine.topology().to_string(),
         frames,
         median_ms: median.as_secs_f64() * 1e3,
         frames_per_sec: frames as f64 / secs,
@@ -349,37 +416,59 @@ pub fn run_with(cfg: &BenchConfig) -> Result<(String, Json), CollectorError> {
 
     let mut results = Vec::new();
     let mut headline = (0.0f64, 0.0f64); // (serial, parallel) clean frames/sec
+    let mut federated_fps = 0.0f64; // federated 2-tier clean frames/sec
     for (variant, events) in &variants {
-        let serial = measure(events, Engine::Serial, variant, cfg)?;
-        let parallel = measure(events, Engine::Parallel(cfg.workers), variant, cfg)?;
-        assert_eq!(
-            parallel.report, serial.report,
-            "engine determinism violated on the {variant} stream"
-        );
+        let mut engines = vec![Engine::Serial, Engine::Parallel(cfg.workers)];
         if *variant == "clean" {
-            headline = (serial.frames_per_sec, parallel.frames_per_sec);
+            // Aggregator-in-the-loop: the same clean stream through a
+            // 2-tier and a 3-tier relay — what federation costs per
+            // frame. The headline invariant makes these replays a
+            // correctness check too: the root report must not move.
+            engines.push(Engine::Federated { groups: 2, deep: false });
+            engines.push(Engine::Federated { groups: 2, deep: true });
         }
-        for m in [&serial, &parallel] {
+        let mut baseline: Option<Measurement> = None;
+        for engine in engines {
+            let m = measure(events, engine, variant, cfg)?;
+            if let Some(b) = &baseline {
+                assert_eq!(
+                    m.report, b.report,
+                    "engine determinism violated on the {variant} stream ({})",
+                    m.engine
+                );
+            }
+            if *variant == "clean" {
+                match engine {
+                    Engine::Serial => headline.0 = m.frames_per_sec,
+                    Engine::Parallel(_) => headline.1 = m.frames_per_sec,
+                    Engine::Federated { deep: false, .. } => federated_fps = m.frames_per_sec,
+                    Engine::Federated { deep: true, .. } => {}
+                }
+            }
             out.push_str(&format!(
-                "  {:<8} {:<12} {:>7} frames  {:>9.3} ms  {:>12.0} frames/s\n",
-                variant, m.engine, m.frames, m.median_ms, m.frames_per_sec
+                "  {:<8} {:<16} {:<7} {:>7} frames  {:>9.3} ms  {:>12.0} frames/s\n",
+                variant, m.engine, m.topology, m.frames, m.median_ms, m.frames_per_sec
             ));
+            if baseline.is_none() {
+                baseline = Some(m.clone());
+            }
+            results.push(m);
         }
-        results.push(serial);
-        results.push(parallel);
     }
 
     let (serial_fps, parallel_fps) = headline;
     let speedup = parallel_fps / serial_fps.max(1e-9);
+    let relay_cost = serial_fps / federated_fps.max(1e-9);
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     out.push_str(&format!(
         "\n  clean-stream speedup: {speedup:.2}x ({} host cpus)\n",
         cpus
     ));
+    out.push_str(&format!("  2-tier relay overhead: {relay_cost:.2}x serial wall time\n"));
 
     let json = Json::Object(vec![
         ("bench".into(), Json::Str("collector-ingest".into())),
-        ("schema_version".into(), Json::UInt(1)),
+        ("schema_version".into(), Json::UInt(2)),
         (
             "mode".into(),
             Json::Str(if cfg.is_smoke() { "smoke" } else { "full" }.into()),
@@ -402,6 +491,7 @@ pub fn run_with(cfg: &BenchConfig) -> Result<(String, Json), CollectorError> {
                         Json::Object(vec![
                             ("engine".into(), Json::Str(m.engine.clone())),
                             ("variant".into(), Json::Str(m.variant.clone())),
+                            ("topology".into(), Json::Str(m.topology.clone())),
                             ("frames".into(), Json::UInt(m.frames as u128)),
                             ("median_ms".into(), Json::Float(m.median_ms)),
                             ("frames_per_sec".into(), Json::Float(m.frames_per_sec)),
@@ -462,12 +552,26 @@ pub fn check(text: &str) -> Result<String, String> {
         let rerr = |e: osprof_core::json::JsonError| format!("BENCH_collector.json: results[{i}]: {e}");
         let _: String = r.field("engine").map_err(rerr)?;
         let _: String = r.field("variant").map_err(rerr)?;
+        let topology: String = r.field("topology").map_err(rerr)?;
+        if !matches!(topology.as_str(), "flat" | "2-tier" | "3-tier") {
+            return Err(format!(
+                "BENCH_collector.json: results[{i}]: unknown topology '{topology}'"
+            ));
+        }
         let frames: u64 = r.field("frames").map_err(rerr)?;
         let _: f64 = r.field("median_ms").map_err(rerr)?;
         let _: f64 = r.field("frames_per_sec").map_err(rerr)?;
         if frames == 0 {
             return Err(format!("BENCH_collector.json: results[{i}]: zero frames"));
         }
+    }
+    let has_topology = |t: &str| {
+        results.iter().any(|r| r.field::<String>("topology").is_ok_and(|v| v == t))
+    };
+    if !has_topology("flat") || !has_topology("2-tier") {
+        return Err("BENCH_collector.json: missing the flat baseline or the \
+                    aggregator-in-the-loop (2-tier) variant"
+            .to_string());
     }
 
     let mut summary = format!(
@@ -605,7 +709,9 @@ mod tests {
             "workers": 8, "repetitions": 5, "host_cpus": 8,
             "serial_frames_per_sec": 1000.0, "parallel_frames_per_sec": 1200.0,
             "speedup_parallel_over_serial": 1.2,
-            "results": [{"engine": "serial", "variant": "clean",
+            "results": [{"engine": "serial", "variant": "clean", "topology": "flat",
+                         "frames": 100, "median_ms": 1.0, "frames_per_sec": 1000.0},
+                        {"engine": "federated-2", "variant": "clean", "topology": "2-tier",
                          "frames": 100, "median_ms": 1.0, "frames_per_sec": 1000.0}]
         }"#;
         let err = check(failing).unwrap_err();
@@ -614,6 +720,32 @@ mod tests {
         let warning = failing.replace("\"full\"", "\"smoke\"");
         let summary = check(&warning).unwrap();
         assert!(summary.contains("warning"), "{summary}");
+        // A document without the aggregator-in-the-loop variant fails.
+        let flat_only = warning.replace("\"2-tier\"", "\"flat\"");
+        let err = check(&flat_only).unwrap_err();
+        assert!(err.contains("2-tier"), "{err}");
+        let bad_topo = warning.replace("\"2-tier\"", "\"ring\"");
+        let err = check(&bad_topo).unwrap_err();
+        assert!(err.contains("unknown topology"), "{err}");
+    }
+
+    #[test]
+    fn federated_replay_reports_are_byte_identical_to_flat() {
+        // The benchmark's aggregator-in-the-loop engines double as a
+        // check of the headline federation invariant on the synthetic
+        // streams: 2-tier and 3-tier relays must reproduce the flat
+        // report exactly, clean or faulty.
+        let cfg = tiny();
+        let timelines = synthetic_timelines(&cfg);
+        let chaos = ChaosConfig { resets: vec![(2, 3)], ..Default::default() };
+        for events in [record_events(&timelines, None), record_events(&timelines, Some(&chaos))] {
+            let (_, flat) = replay(&events, Engine::Serial).unwrap();
+            for deep in [false, true] {
+                let (_, fed) =
+                    replay(&events, Engine::Federated { groups: 2, deep }).unwrap();
+                assert_eq!(fed, flat, "relay (deep={deep}) changed the report");
+            }
+        }
     }
 
     #[test]

@@ -153,6 +153,11 @@ impl Decoder {
     pub fn apply(&mut self, frame: &Frame) -> Result<Option<(u64, Cycles, ProfileSet)>, WireError> {
         let (seq, at, set) = match frame {
             Frame::Hello { .. } | Frame::Bye { .. } => return Ok(None),
+            // A merged frame is an aggregator flush, never part of a
+            // single node's stream (see crate::federation).
+            Frame::Merged(_) => {
+                return Err(WireError::Protocol("merged frame on an agent stream".into()))
+            }
             Frame::Resync { epoch, .. } => {
                 // A strict stream may still open with a resync preamble
                 // (an agent that reconnected): accept the new basis.
@@ -185,6 +190,10 @@ impl Decoder {
     pub fn apply_lossy(&mut self, frame: &Frame) -> DecodeEvent {
         match frame {
             Frame::Hello { .. } | Frame::Bye { .. } => DecodeEvent::Control,
+            // A merged frame on a single node's stream is a protocol
+            // violation; callers route merged frames to the federation
+            // path before the decoder, so this counts as corruption.
+            Frame::Merged(_) => DecodeEvent::Skipped(SkipReason::BadDelta),
             Frame::Resync { epoch, .. } => {
                 // Agents allocate epochs from 1 and only ever increase
                 // them, so an epoch at or below the latest seen is a

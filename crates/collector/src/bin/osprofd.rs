@@ -17,6 +17,14 @@
 //!   report to stdout. Because the replay is deterministic, stdout for
 //!   any `--workers` value must be byte-identical — CI diffs
 //!   `--workers 1` against `--workers 8`.
+//! - `osprofd aggregate <addr> --upstream <addr> [--nodes N] [--name NAME]
+//!   [--tier T] [--journal PATH]` — run a mid-tier aggregator: accept N
+//!   downstream connections (agents or other aggregators), merge their
+//!   streams per round, and forward tier-tagged merged-delta frames
+//!   upstream — a k-way tree instead of N flat connections at the
+//!   root. With `--journal`, ingest is write-ahead journaled so a
+//!   crashed aggregator recovers its exact merge state and resumes
+//!   byte-identically.
 //! - `osprofd smoke [addr]` — self-test: bind a loopback listener,
 //!   stream a simulated node that degrades mid-stream over real TCP,
 //!   and exit 0 only if the degradation is flagged online.
@@ -25,6 +33,9 @@
 //!   dir), "kill" the daemon halfway, recover from the journal,
 //!   finish the stream, and exit 0 only if the final report is
 //!   byte-identical to an uninterrupted run's.
+//! - `osprofd agg-smoke [addr]` — federation self-test: a real 2-tier
+//!   TCP pipeline (agent -> aggregator -> root daemon) streaming the
+//!   degrading node; exit 0 only if the root flags the degradation.
 
 use std::fs::{File, OpenOptions};
 use std::net::{TcpListener, TcpStream};
@@ -33,6 +44,7 @@ use std::sync::mpsc;
 use std::thread;
 
 use osprof_collector::daemon::{Collector, CollectorConfig};
+use osprof_collector::federation::{recover_aggregator, Aggregator, JournaledAggregator};
 use osprof_collector::journal::{self, JournaledCollector};
 use osprof_collector::parallel::ParallelCollector;
 use osprof_collector::scenario::{
@@ -40,15 +52,25 @@ use osprof_collector::scenario::{
     ChaosConfig, ScenarioConfig,
 };
 use osprof_collector::transport::{FrameSink, FrameSource, ReadTransport, WriteTransport};
-use osprof_collector::wire::{encode_frame, Frame};
+use osprof_collector::wire::{decode_frame, encode_frame, Frame};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: osprofd serve <addr> [--nodes N] [--journal PATH] [--workers W] \
+         | osprofd aggregate <addr> --upstream <addr> [--nodes N] [--name NAME] [--tier T] [--journal PATH] \
          | osprofd replay [--workers W] [--nodes N] [--dirs D] \
-         | osprofd smoke [addr] | osprofd crash-smoke [path]"
+         | osprofd smoke [addr] | osprofd crash-smoke [path] | osprofd agg-smoke [addr]"
     );
     ExitCode::from(2)
+}
+
+/// Parses `--flag value` as a string: `Some(None)` when absent,
+/// `None` (usage error) when the value is missing.
+fn flag_str(args: &[String], flag: &str) -> Option<Option<String>> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args.get(i + 1).map(|s| Some(s.clone())),
+        None => Some(None),
+    }
 }
 
 /// Parses `--flag value` as a `usize`, returning `default` when the
@@ -85,9 +107,32 @@ fn main() -> ExitCode {
             }
             replay(workers, nodes, dirs)
         }
+        Some("aggregate") => {
+            let Some(listen) = args.get(1) else { return usage() };
+            let Some(Some(upstream)) = flag_str(&args, "--upstream") else { return usage() };
+            let Some(nodes) = flag_usize(&args, "--nodes", 1) else { return usage() };
+            let Some(tier) = flag_usize(&args, "--tier", 1) else { return usage() };
+            let Some(name) = flag_str(&args, "--name") else { return usage() };
+            let Some(journal_path) = flag_str(&args, "--journal") else { return usage() };
+            if nodes == 0 || tier == 0 {
+                return usage();
+            }
+            aggregate(
+                listen,
+                &upstream,
+                nodes,
+                name.as_deref().unwrap_or("agg-0"),
+                tier as u64,
+                journal_path.as_deref(),
+            )
+        }
         Some("smoke") => {
             let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:0");
             smoke(addr)
+        }
+        Some("agg-smoke") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:0");
+            agg_smoke(addr)
         }
         Some("crash-smoke") => {
             let path = args
@@ -463,4 +508,256 @@ fn run_crash_smoke(path: &str) -> Result<(), String> {
     print!("{got}");
     println!("osprofd crash-smoke: OK — recovered report is byte-identical");
     Ok(())
+}
+
+/// The aggregator core behind `aggregate`: plain or write-ahead
+/// journaled (exact crash recovery).
+enum AggCore {
+    Plain(Aggregator),
+    Journaled(JournaledAggregator<File>),
+}
+
+impl AggCore {
+    fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) -> Result<(), String> {
+        match self {
+            AggCore::Plain(agg) => {
+                agg.ingest_bytes(conn, bytes);
+                Ok(())
+            }
+            AggCore::Journaled(ja) => ja
+                .ingest_bytes(conn, bytes)
+                .map_err(|e| format!("connection {conn}: journal: {e}")),
+        }
+    }
+
+    fn flush(&mut self) -> Result<Option<Vec<u8>>, String> {
+        match self {
+            AggCore::Plain(agg) => Ok(agg.flush()),
+            AggCore::Journaled(ja) => ja.flush().map_err(|e| format!("journal: {e}")),
+        }
+    }
+
+    fn bye(&self) -> Vec<u8> {
+        match self {
+            AggCore::Plain(agg) => agg.bye(),
+            AggCore::Journaled(ja) => ja.aggregator().bye(),
+        }
+    }
+}
+
+/// Opens the aggregator core: fresh, or recovered from an existing
+/// journal at `path` and append-resumed.
+fn open_agg_core(name: &str, tier: u64, journal_path: Option<&str>) -> Result<AggCore, String> {
+    let Some(path) = journal_path else {
+        return Ok(AggCore::Plain(Aggregator::new(name, tier)));
+    };
+    let existing = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    if existing > 0 {
+        let f = File::open(path).map_err(|e| format!("open journal {path}: {e}"))?;
+        let (agg, replayed) = recover_aggregator(f, name, tier)
+            .map_err(|e| format!("recover journal {path}: {e}"))?;
+        eprintln!("osprofd aggregate: recovered {replayed} event(s) from {path}");
+        let f = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("reopen journal {path}: {e}"))?;
+        Ok(AggCore::Journaled(JournaledAggregator::resume(agg, f)))
+    } else {
+        let f = File::create(path).map_err(|e| format!("create journal {path}: {e}"))?;
+        Ok(AggCore::Journaled(
+            JournaledAggregator::create(name, tier, f).map_err(|e| format!("journal {path}: {e}"))?,
+        ))
+    }
+}
+
+/// Sends one locally-encoded frame (a merged flush or the bye) up the
+/// transport, which re-frames it with the stream's own integrity.
+fn forward_upstream(sink: &mut WriteTransport<TcpStream>, bytes: &[u8]) -> Result<(), String> {
+    let (frame, _) = decode_frame(bytes).map_err(|e| format!("re-decode own frame: {e}"))?;
+    sink.send(&frame).map_err(|e| format!("upstream send: {e}"))
+}
+
+/// Runs an aggregator node: accepts `nodes` downstream connections,
+/// merges their streams (one flush per full round of frames), and
+/// forwards merged frames upstream until every downstream stream has
+/// closed.
+fn run_aggregate(
+    listener: &TcpListener,
+    nodes: usize,
+    upstream: &str,
+    name: &str,
+    tier: u64,
+    journal_path: Option<&str>,
+) -> Result<(), String> {
+    let up = TcpStream::connect(upstream).map_err(|e| format!("connect upstream {upstream}: {e}"))?;
+    let mut sink = WriteTransport::new(up).map_err(|e| format!("upstream header: {e}"))?;
+
+    let (tx, rx) = mpsc::channel::<(u64, Frame)>();
+    let mut handles = Vec::new();
+    for conn in 0..nodes as u64 {
+        let (stream, peer) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+        let tx = tx.clone();
+        handles.push(thread::spawn(move || -> Result<(), String> {
+            let mut source = ReadTransport::new(stream)
+                .map_err(|e| format!("{peer}: bad stream header: {e}"))?;
+            while let Some(frame) = source.recv().map_err(|e| format!("{peer}: {e}"))? {
+                if tx.send((conn, frame)).is_err() {
+                    break; // aggregator gone
+                }
+            }
+            Ok(())
+        }));
+    }
+    drop(tx);
+
+    let mut core = open_agg_core(name, tier, journal_path)?;
+    let mut since_flush = 0usize;
+    while let Ok((conn, frame)) = rx.recv() {
+        core.ingest_bytes(conn, &encode_frame(&frame))?;
+        since_flush += 1;
+        if since_flush >= nodes {
+            // Flush once per round of downstream frames so the root's
+            // detection ticks see snapshots on the same cadence the
+            // agents emit them.
+            if let Some(bytes) = core.flush()? {
+                forward_upstream(&mut sink, &bytes)?;
+            }
+            since_flush = 0;
+        }
+    }
+    if let Some(bytes) = core.flush()? {
+        forward_upstream(&mut sink, &bytes)?;
+    }
+    forward_upstream(&mut sink, &core.bye())?;
+    sink.finish().map_err(|e| format!("upstream close: {e}"))?;
+    for h in handles {
+        match h.join() {
+            Ok(r) => r?,
+            Err(_) => return Err("reader thread panicked".to_string()),
+        }
+    }
+    Ok(())
+}
+
+/// `aggregate`: bind the downstream listener and run the merge loop.
+fn aggregate(
+    listen: &str,
+    upstream: &str,
+    nodes: usize,
+    name: &str,
+    tier: u64,
+    journal_path: Option<&str>,
+) -> ExitCode {
+    let listener = match TcpListener::bind(listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("osprofd aggregate: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| listen.to_string());
+    println!(
+        "osprofd aggregate: {name} (tier {tier}) on {local}, {nodes} downstream, upstream {upstream}"
+    );
+    match run_aggregate(&listener, nodes, upstream, name, tier, journal_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("osprofd aggregate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Federation self-test: agent -> aggregator -> root over real TCP.
+/// The root daemon must flag the degrading node even though it only
+/// ever sees the aggregator's merged uplink.
+fn agg_smoke(addr: &str) -> ExitCode {
+    let root_listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("osprofd agg-smoke: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let agg_listener = match TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("osprofd agg-smoke: cannot bind aggregator: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (root_addr, agg_addr) = match (root_listener.local_addr(), agg_listener.local_addr()) {
+        (Ok(r), Ok(a)) => (r, a),
+        _ => {
+            eprintln!("osprofd agg-smoke: local_addr failed");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "osprofd agg-smoke: agent -> aggregator ({agg_addr}) -> root ({root_addr})"
+    );
+
+    let frames = degrading_node_frames(&ScenarioConfig { dirs: 20, ..Default::default() });
+    let n_frames = frames.len();
+    let sender = thread::spawn(move || -> Result<(), String> {
+        let stream = TcpStream::connect(agg_addr).map_err(|e| format!("connect: {e}"))?;
+        let mut sink = WriteTransport::new(stream).map_err(|e| format!("header: {e}"))?;
+        for f in &frames {
+            sink.send(f).map_err(|e| format!("send: {e}"))?;
+        }
+        sink.finish().map_err(|e| format!("flush: {e}"))?;
+        Ok(())
+    });
+    let aggregator = thread::spawn(move || -> Result<(), String> {
+        run_aggregate(&agg_listener, 1, &root_addr.to_string(), "edge", 1, None)
+    });
+
+    let core = match ingest_connections(&root_listener, 1, None, 1) {
+        Ok(core) => core,
+        Err(e) => {
+            eprintln!("osprofd agg-smoke: root: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (who, h) in [("agent", sender), ("aggregator", aggregator)] {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                eprintln!("osprofd agg-smoke: {who}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(_) => {
+                eprintln!("osprofd agg-smoke: {who} thread panicked");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Core::Plain(col) = core else {
+        eprintln!("osprofd agg-smoke: unexpected journaled core");
+        return ExitCode::FAILURE;
+    };
+
+    print!("{}", col.report());
+    if let Err(e) = col.store().stats().check_conservation() {
+        eprintln!("osprofd agg-smoke: conservation violated: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !col.all_done() {
+        eprintln!("osprofd agg-smoke: the uplink did not close cleanly");
+        return ExitCode::FAILURE;
+    }
+    if col.anomalies().is_empty() {
+        eprintln!(
+            "osprofd agg-smoke: FAILED — {n_frames} frames merged through the tier but the degradation was not flagged"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "osprofd agg-smoke: OK — {} anomalies flagged through a 2-tier pipeline ({n_frames} agent frames)",
+        col.anomalies().len()
+    );
+    ExitCode::SUCCESS
 }

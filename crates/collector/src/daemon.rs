@@ -19,6 +19,7 @@ use osprof_core::json::Json;
 use crate::agent::{DecodeEvent, Decoder, SkipReason};
 use crate::attribution::{self, AttributionSettings, VerdictMap};
 use crate::detect::{Anomaly, Detector, DetectorConfig};
+use crate::federation::{self, MergedConnState, MergedFrame, Resolved};
 use crate::store::{Offer, ShardedStore, Snapshot, StoreConfig, StreamFault};
 use crate::wire::{self, Frame, WireError};
 
@@ -96,6 +97,18 @@ pub(crate) struct Conn {
     pub(crate) node: Option<String>,
     pub(crate) dec: Decoder,
     pub(crate) done: bool,
+    /// Present when this connection is an aggregator uplink (its
+    /// deliveries are `Merged` frames, not one node's stream).
+    pub(crate) merged: Option<MergedConnState>,
+}
+
+impl Conn {
+    /// The label faults on this connection are charged to: its node
+    /// for an agent stream, the sender's scope pseudo-node for an
+    /// aggregator uplink.
+    fn fault_label(&self) -> Option<String> {
+        self.node.clone().or_else(|| self.merged.as_ref().map(|m| m.scope().to_string()))
+    }
 }
 
 /// The daemon core.
@@ -142,6 +155,12 @@ impl Collector {
     /// does not fit its base). The connection should be closed on any
     /// error; its node's aggregated history stays intact.
     pub fn ingest(&mut self, conn: u64, frame: &Frame) -> Result<bool, WireError> {
+        if let Frame::Merged(mf) = frame {
+            // Aggregator uplinks carry their own seq/epoch integrity
+            // and charge tier-wire damage to the sender's scope, so
+            // even the strict path ingests them tolerantly.
+            return Ok(matches!(self.ingest_merged(conn, mf), Ingest::Accepted));
+        }
         let state = self.conns.entry(conn).or_default();
         if let Frame::Hello { node, .. } = frame {
             state.node = Some(node.clone());
@@ -179,6 +198,9 @@ impl Collector {
     /// restarted agent process arrives as a *new* connection with a
     /// fresh decoder anyway.
     pub fn ingest_lossy(&mut self, conn: u64, frame: &Frame) -> Ingest {
+        if let Frame::Merged(mf) = frame {
+            return self.ingest_merged(conn, mf);
+        }
         let state = self.conns.entry(conn).or_default();
         if let Frame::Hello { node, .. } = frame {
             state.node = Some(node.clone());
@@ -234,12 +256,60 @@ impl Collector {
         match wire::decode_frame(bytes) {
             Ok((frame, _)) => self.ingest_lossy(conn, &frame),
             Err(_) => {
-                match self.conns.get(&conn).and_then(|c| c.node.clone()) {
+                match self.conns.get(&conn).and_then(Conn::fault_label) {
                     Some(node) => self.store.record_fault(&node, StreamFault::Corrupt),
                     None => self.unattributed_corrupt += 1,
                 }
                 Ingest::Corrupt
             }
+        }
+    }
+
+    /// Ingests one aggregator flush: resolves its scoped events against
+    /// the connection's receiver state and applies each exactly as the
+    /// flat ingest path would have — hellos register nodes, snapshots
+    /// are offered under the origin node's own seq, faults advance the
+    /// origin node's counters, and tier-wire damage is charged to the
+    /// sender's scope pseudo-node. Returns `Accepted` when at least one
+    /// snapshot entered the store.
+    fn ingest_merged(&mut self, conn: u64, mf: &MergedFrame) -> Ingest {
+        // A tier wire past its corruption budget is distrusted
+        // wholesale: quarantining the scope drops its merged frames the
+        // same way quarantining a node drops its snapshots.
+        let scope = self
+            .conns
+            .get(&conn)
+            .and_then(|c| c.merged.as_ref().map(|m| m.scope().to_string()))
+            .unwrap_or_else(|| mf.scope.clone());
+        if self.store.is_quarantined(&scope) {
+            return Ingest::Rejected(Offer::Quarantined);
+        }
+        let mut slot = self.conns.entry(conn).or_default().merged.take();
+        let resolved = federation::absorb_merged(&mut slot, mf);
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.merged = slot;
+        }
+        let mut accepted = false;
+        let mut rejected = None;
+        for r in resolved {
+            match r {
+                Resolved::Hello { node, .. } => self.store.hello(&node),
+                Resolved::Snapshot { node, seq, at, recovered, set } => {
+                    match self.store.offer_with(&node, Snapshot { seq, at, set }, recovered) {
+                        Offer::Accepted => accepted = true,
+                        other => rejected = Some(other),
+                    }
+                }
+                Resolved::Fault { node, fault } => self.store.record_fault(&node, fault),
+                Resolved::Unattributed { count } => self.unattributed_corrupt += count,
+            }
+        }
+        if accepted {
+            Ingest::Accepted
+        } else if let Some(offer) = rejected {
+            Ingest::Rejected(offer)
+        } else {
+            Ingest::Control
         }
     }
 
@@ -250,8 +320,7 @@ impl Collector {
     /// a new connection id.
     pub fn reset_conn(&mut self, conn: u64) {
         if let Some(state) = self.conns.get_mut(&conn) {
-            if let Some(node) = &state.node {
-                let node = node.clone();
+            if let Some(node) = state.fault_label() {
                 self.store.record_fault(&node, StreamFault::Reset);
             }
             // Keep the decoder: its epoch guard is exactly what
@@ -348,6 +417,18 @@ impl Collector {
     /// collector (the parallel dispatcher consumes those itself).
     pub(crate) fn note_unattributed(&mut self) {
         self.unattributed_corrupt += 1;
+    }
+
+    /// Every node (and scope) named by any aggregator uplink on this
+    /// collector. The parallel engine pins these to the master: one
+    /// merged frame carries many nodes, so their store state can never
+    /// be partitioned out to a single worker.
+    pub(crate) fn merged_nodes(&self) -> std::collections::BTreeSet<String> {
+        self.conns
+            .values()
+            .filter_map(|c| c.merged.as_ref())
+            .flat_map(|m| m.known_nodes().map(str::to_string))
+            .collect()
     }
 
     /// Deterministic plain-text report: per-node counters, flagged

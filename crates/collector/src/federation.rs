@@ -1,0 +1,1121 @@
+//! Federated multi-tier aggregation: agents → regional aggregators →
+//! root, with topology-independent byte-identical reports.
+//!
+//! One `osprofd` cannot terminate millions of agent connections. This
+//! module adds the middle of the tree: an [`Aggregator`] ingests OSPW
+//! streams from downstream agents (or other aggregators), decodes them
+//! with the **same** tolerant [`Decoder`] rules the root daemon uses,
+//! and forwards everything it learned upstream as tier-tagged
+//! [`MergedFrame`]s — so a root daemon sees a k-way tree instead of N
+//! flat connections, multiplying ingest capacity by the fan-in per
+//! tier.
+//!
+//! # Determinism argument (why any tree shape yields the same report)
+//!
+//! The aggregator is a *transparent relay*, not an independent
+//! collector: it holds no store, runs no detector, and invents no
+//! data. Every observable the root would have produced in flat mode is
+//! forwarded as a scoped event:
+//!
+//! - a downstream `Hello` → [`MergedEvent::Hello`] (the root calls
+//!   `store.hello` exactly as it would have);
+//! - an accepted snapshot → [`MergedEvent::Snapshot`] carrying the
+//!   node's **own** `seq`/`at`/`recovered` flags, its cumulative set
+//!   delta-compressed against the previous forwarded snapshot;
+//! - a decode fault (gap, resync, misfit delta, corrupt bytes) →
+//!   [`MergedEvent::Fault`] attributed to the **origin node**, exactly
+//!   the counter the root's own decoder would have bumped;
+//! - pre-hello garbage → [`MergedEvent::Unattributed`].
+//!
+//! Decoder classification is a pure function of one connection's
+//! delivery sequence, so it is identical wherever it runs. Between
+//! ticks the root reads no cross-node state, so only the per-node
+//! event order matters — and each node's events travel a single path
+//! through the tree, in order. Tiers flush bottom-up before every root
+//! tick, so every event lands in the same tick window as in flat mode.
+//! That is the parallel engine's tick-barrier argument, distributed:
+//! **the root report is byte-identical for any tree shape over the
+//! same agent streams**, which `tests/federation.rs` and the
+//! `osprofctl topology` `cmp` gate in CI assert.
+//!
+//! # Per-tier faults and epochs
+//!
+//! Faults on a *tier wire* (a corrupt merged frame, a gap in the
+//! aggregator's upstream sequence, an uplink reset) have no flat-mode
+//! equivalent; they are charged to the aggregator's scope pseudo-node
+//! (`tier1/agg-0`), which appears in the root report's fault section
+//! only when such a fault actually occurred — clean tier wires keep
+//! flat and tiered reports byte-identical. Each uplink runs its own
+//! epoch counter ([`Aggregator::on_upstream_reset`] bumps it), the
+//! per-tier instantiation of the agent resync protocol: stale frames
+//! of a dead uplink connection are discarded by epoch, and the first
+//! frames of a new epoch re-base every forwarded node with full
+//! bodies.
+//!
+//! # Crash recovery
+//!
+//! [`JournaledAggregator`] write-ahead-journals every downstream
+//! delivery (reusing the OSPJ format from [`crate::journal`]) and
+//! marks each upstream flush with a tick record; [`recover_aggregator`]
+//! replays the journal into a fresh aggregator, rebuilding its decoder
+//! states, forwarded bases and upstream sequence exactly — so the
+//! frames it emits after recovery are byte-identical to the frames an
+//! uninterrupted aggregator would have sent.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{Read, Write};
+
+use osprof_core::bucket::Resolution;
+use osprof_core::clock::Cycles;
+use osprof_core::profile::ProfileSet;
+
+use crate::agent::{DecodeEvent, Decoder, SkipReason};
+use crate::daemon::CollectorError;
+use crate::delta::{self, SetDelta};
+use crate::journal::{read_journal, Journal, JournalEvent};
+use crate::store::StreamFault;
+use crate::wire::{self, put_string, put_uvarint, Cursor, Frame, WireError};
+
+/// A forwarded snapshot is re-based with a full body after this many
+/// delta bodies per node — the merged-stream analogue of
+/// [`crate::agent::DEFAULT_FULL_EVERY`]: it bounds how long a root
+/// that lost a tier-wire frame stays blind to one node.
+pub const MERGED_FULL_EVERY: u64 = 16;
+
+/// The journal connection id [`JournaledAggregator`] uses to record an
+/// upstream reset (there is exactly one uplink, so it needs no real
+/// id; downstream connections never use `u64::MAX`).
+pub const UPSTREAM_CONN: u64 = u64::MAX;
+
+// ---- wire format ---------------------------------------------------------
+
+/// The payload of a `T_MERGED` wire frame: one aggregator flush.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedFrame {
+    /// Tier of the sender (1 = directly above agents).
+    pub tier: u64,
+    /// The sender's scope label (`tier{t}/{name}`), the pseudo-node
+    /// tier-wire faults are charged to.
+    pub scope: String,
+    /// Uplink epoch (starts at 1, bumped per upstream reset).
+    pub epoch: u64,
+    /// Frame sequence within the epoch (starts at 0, increments by 1;
+    /// empty flushes emit no frame and consume no sequence number).
+    pub seq: u64,
+    /// Everything the aggregator learned since its previous flush, in
+    /// downstream arrival order.
+    pub events: Vec<MergedEvent>,
+}
+
+/// One scoped event inside a [`MergedFrame`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergedEvent {
+    /// A downstream stream (re-)announced itself.
+    Hello {
+        /// Node label.
+        node: String,
+        /// Instrumentation layer.
+        layer: String,
+        /// Bucket resolution of the node's snapshots.
+        resolution: Resolution,
+        /// Sampling interval in cycles.
+        interval: Cycles,
+    },
+    /// One accepted downstream snapshot, body compressed against the
+    /// previous forwarded snapshot of the same node.
+    Snapshot {
+        /// Node label.
+        node: String,
+        /// The node's own sequence number, verbatim.
+        seq: u64,
+        /// The node's own interval timestamp, verbatim.
+        at: Cycles,
+        /// True when the downstream decoder marked it gap-recovered.
+        recovered: bool,
+        /// The cumulative set, full or delta-compressed.
+        body: SnapshotBody,
+    },
+    /// A downstream stream fault, attributed to its origin node (or to
+    /// a child aggregator's scope for relayed tier-wire faults).
+    Fault {
+        /// Node (or scope) label the fault is charged to.
+        node: String,
+        /// The fault kind.
+        fault: StreamFault,
+    },
+    /// Corrupt downstream frames that arrived before any hello.
+    Unattributed {
+        /// How many.
+        count: u64,
+    },
+}
+
+/// How a [`MergedEvent::Snapshot`] carries its cumulative set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotBody {
+    /// The complete cumulative set (first sighting, periodic refresh,
+    /// or post-reset re-base).
+    Full(ProfileSet),
+    /// A sparse delta against the previous forwarded snapshot.
+    Delta {
+        /// `seq` of the forwarded snapshot the delta applies to; the
+        /// receiver drops the event (charging a tier-wire corruption)
+        /// when its basis does not match — a lost merged frame must
+        /// never silently corrupt a node's cumulative history.
+        basis_seq: u64,
+        /// The encoded changes.
+        delta: SetDelta,
+    },
+}
+
+const EV_HELLO: u8 = 1;
+const EV_SNAP_FULL: u8 = 2;
+const EV_SNAP_DELTA: u8 = 3;
+const EV_FAULT: u8 = 4;
+const EV_UNATTRIBUTED: u8 = 5;
+
+fn fault_code(f: StreamFault) -> u8 {
+    match f {
+        StreamFault::Corrupt => 0,
+        StreamFault::Gap => 1,
+        StreamFault::Resync => 2,
+        StreamFault::Reset => 3,
+    }
+}
+
+fn fault_from_code(code: u8) -> Result<StreamFault, WireError> {
+    Ok(match code {
+        0 => StreamFault::Corrupt,
+        1 => StreamFault::Gap,
+        2 => StreamFault::Resync,
+        3 => StreamFault::Reset,
+        other => return Err(WireError::Corrupt(format!("unknown fault code {other}"))),
+    })
+}
+
+/// Serializes a merged frame payload (called from
+/// [`crate::wire::encode_frame`]).
+pub fn put_merged(out: &mut Vec<u8>, mf: &MergedFrame) {
+    put_uvarint(out, mf.tier as u128);
+    put_string(out, &mf.scope);
+    put_uvarint(out, mf.epoch as u128);
+    put_uvarint(out, mf.seq as u128);
+    put_uvarint(out, mf.events.len() as u128);
+    for ev in &mf.events {
+        match ev {
+            MergedEvent::Hello { node, layer, resolution, interval } => {
+                out.push(EV_HELLO);
+                put_string(out, node);
+                put_string(out, layer);
+                out.push(resolution.get());
+                put_uvarint(out, *interval as u128);
+            }
+            MergedEvent::Snapshot { node, seq, at, recovered, body } => {
+                match body {
+                    SnapshotBody::Full(set) => {
+                        out.push(EV_SNAP_FULL);
+                        put_string(out, node);
+                        put_uvarint(out, *seq as u128);
+                        put_uvarint(out, *at as u128);
+                        out.push(u8::from(*recovered));
+                        wire::put_profile_set(out, set);
+                    }
+                    SnapshotBody::Delta { basis_seq, delta } => {
+                        out.push(EV_SNAP_DELTA);
+                        put_string(out, node);
+                        put_uvarint(out, *seq as u128);
+                        put_uvarint(out, *at as u128);
+                        out.push(u8::from(*recovered));
+                        put_uvarint(out, *basis_seq as u128);
+                        delta::put_set_delta(out, delta);
+                    }
+                }
+            }
+            MergedEvent::Fault { node, fault } => {
+                out.push(EV_FAULT);
+                put_string(out, node);
+                out.push(fault_code(*fault));
+            }
+            MergedEvent::Unattributed { count } => {
+                out.push(EV_UNATTRIBUTED);
+                put_uvarint(out, *count as u128);
+            }
+        }
+    }
+}
+
+/// Parses a merged frame payload (called from
+/// [`crate::wire::decode_frame`]).
+///
+/// # Errors
+///
+/// [`WireError::Corrupt`] on any truncated, oversized or
+/// unknown-kind construct.
+pub fn get_merged(c: &mut Cursor<'_>) -> Result<MergedFrame, WireError> {
+    let tier = c.u64()?;
+    let scope = c.string()?;
+    let epoch = c.u64()?;
+    let seq = c.u64()?;
+    let n = c.count("merged events", 2)?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = c.byte()?;
+        events.push(match kind {
+            EV_HELLO => {
+                let node = c.string()?;
+                let layer = c.string()?;
+                let r_raw = c.byte()?;
+                let resolution = Resolution::new(r_raw).ok_or_else(|| {
+                    WireError::Corrupt(format!("unsupported resolution {r_raw}"))
+                })?;
+                let interval = c.u64()?;
+                MergedEvent::Hello { node, layer, resolution, interval }
+            }
+            EV_SNAP_FULL => {
+                let node = c.string()?;
+                let seq = c.u64()?;
+                let at = c.u64()?;
+                let recovered = c.byte()? != 0;
+                let set = wire::get_profile_set(c)?;
+                MergedEvent::Snapshot { node, seq, at, recovered, body: SnapshotBody::Full(set) }
+            }
+            EV_SNAP_DELTA => {
+                let node = c.string()?;
+                let seq = c.u64()?;
+                let at = c.u64()?;
+                let recovered = c.byte()? != 0;
+                let basis_seq = c.u64()?;
+                let delta = delta::get_set_delta(c)?;
+                MergedEvent::Snapshot {
+                    node,
+                    seq,
+                    at,
+                    recovered,
+                    body: SnapshotBody::Delta { basis_seq, delta },
+                }
+            }
+            EV_FAULT => {
+                let node = c.string()?;
+                let fault = fault_from_code(c.byte()?)?;
+                MergedEvent::Fault { node, fault }
+            }
+            EV_UNATTRIBUTED => MergedEvent::Unattributed { count: c.u64()? },
+            other => {
+                return Err(WireError::Corrupt(format!("unknown merged event kind {other}")))
+            }
+        });
+    }
+    Ok(MergedFrame { tier, scope, epoch, seq, events })
+}
+
+// ---- receiver side -------------------------------------------------------
+
+/// A merged event resolved against the receiver's per-connection
+/// state: snapshot bodies decompressed back to absolute cumulative
+/// sets, tier-wire faults surfaced as [`Resolved::Fault`]s against the
+/// sender's scope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Resolved {
+    /// Register a node (and remember its stream metadata).
+    Hello {
+        /// Node label.
+        node: String,
+        /// Instrumentation layer.
+        layer: String,
+        /// Bucket resolution.
+        resolution: Resolution,
+        /// Sampling interval in cycles.
+        interval: Cycles,
+    },
+    /// Offer one cumulative snapshot to the store.
+    Snapshot {
+        /// Node label.
+        node: String,
+        /// The node's own sequence number.
+        seq: u64,
+        /// The node's own interval timestamp.
+        at: Cycles,
+        /// Gap-recovered marking, verbatim.
+        recovered: bool,
+        /// The reconstructed cumulative set.
+        set: ProfileSet,
+    },
+    /// Record a stream fault against a node or scope.
+    Fault {
+        /// Node (or scope) label.
+        node: String,
+        /// The fault kind.
+        fault: StreamFault,
+    },
+    /// Count pre-hello corrupt frames.
+    Unattributed {
+        /// How many.
+        count: u64,
+    },
+}
+
+/// Per-connection receiver state for one aggregator uplink: epoch and
+/// sequence guards plus the per-node snapshot bases delta bodies apply
+/// against.
+#[derive(Debug, Clone, Default)]
+pub struct MergedConnState {
+    scope: String,
+    tier: u64,
+    epoch: u64,
+    last_seq: Option<u64>,
+    bases: BTreeMap<String, (u64, ProfileSet)>,
+    /// Every node (and child scope) ever named by this uplink — the
+    /// parallel engine pins their store state to the master.
+    known_nodes: BTreeSet<String>,
+}
+
+impl MergedConnState {
+    /// The sender's scope label.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    /// The sender's tier.
+    pub fn tier(&self) -> u64 {
+        self.tier
+    }
+
+    /// Every node (and child scope) this uplink has ever named,
+    /// including its own scope.
+    pub fn known_nodes(&self) -> impl Iterator<Item = &str> {
+        self.known_nodes.iter().map(String::as_str)
+    }
+}
+
+/// Applies one merged frame to a connection's receiver state,
+/// returning the resolved events in arrival order. Never fails:
+/// tier-wire damage (stale epochs, duplicate or gapped sequences,
+/// deltas whose basis was lost) is surfaced as [`Resolved::Fault`]s
+/// against the sender's scope, or dropped silently where the flat
+/// decoder would have (duplicates and stale stragglers are benign).
+pub fn absorb_merged(slot: &mut Option<MergedConnState>, mf: &MergedFrame) -> Vec<Resolved> {
+    let mut out = Vec::new();
+    let st = slot.get_or_insert_with(|| MergedConnState {
+        scope: mf.scope.clone(),
+        tier: mf.tier,
+        epoch: mf.epoch,
+        last_seq: None,
+        bases: BTreeMap::new(),
+        known_nodes: BTreeSet::new(),
+    });
+    st.known_nodes.insert(st.scope.clone());
+    if mf.scope != st.scope || mf.tier != st.tier {
+        // A different sender on the same connection: the uplink is
+        // confused or hostile; charge its original scope.
+        out.push(Resolved::Fault { node: st.scope.clone(), fault: StreamFault::Corrupt });
+        return out;
+    }
+    if mf.epoch < st.epoch {
+        return out; // stale straggler of a dead uplink connection
+    }
+    if mf.epoch > st.epoch {
+        // The uplink reconnected: new basis, sequence restarts. The
+        // per-tier analogue of the agent resync preamble.
+        out.push(Resolved::Fault { node: st.scope.clone(), fault: StreamFault::Resync });
+        st.epoch = mf.epoch;
+        st.last_seq = None;
+        st.bases.clear();
+    }
+    match st.last_seq {
+        None => {
+            if mf.seq != 0 {
+                out.push(Resolved::Fault { node: st.scope.clone(), fault: StreamFault::Gap });
+            }
+        }
+        Some(last) if mf.seq <= last => return out, // duplicate, benign
+        Some(last) => {
+            if mf.seq != last + 1 {
+                out.push(Resolved::Fault { node: st.scope.clone(), fault: StreamFault::Gap });
+            }
+        }
+    }
+    st.last_seq = Some(mf.seq);
+    for ev in &mf.events {
+        match ev {
+            MergedEvent::Hello { node, layer, resolution, interval } => {
+                st.known_nodes.insert(node.clone());
+                out.push(Resolved::Hello {
+                    node: node.clone(),
+                    layer: layer.clone(),
+                    resolution: *resolution,
+                    interval: *interval,
+                });
+            }
+            MergedEvent::Snapshot { node, seq, at, recovered, body } => {
+                st.known_nodes.insert(node.clone());
+                let set = match body {
+                    SnapshotBody::Full(set) => Some(set.clone()),
+                    SnapshotBody::Delta { basis_seq, delta } => match st.bases.get(node) {
+                        Some((bseq, bset)) if bseq == basis_seq => {
+                            delta::apply(bset, delta).ok()
+                        }
+                        _ => None, // basis lost on the tier wire
+                    },
+                };
+                match set {
+                    Some(set) => {
+                        st.bases.insert(node.clone(), (*seq, set.clone()));
+                        out.push(Resolved::Snapshot {
+                            node: node.clone(),
+                            seq: *seq,
+                            at: *at,
+                            recovered: *recovered,
+                            set,
+                        });
+                    }
+                    None => out.push(Resolved::Fault {
+                        node: st.scope.clone(),
+                        fault: StreamFault::Corrupt,
+                    }),
+                }
+            }
+            MergedEvent::Fault { node, fault } => {
+                st.known_nodes.insert(node.clone());
+                out.push(Resolved::Fault { node: node.clone(), fault: *fault });
+            }
+            MergedEvent::Unattributed { count } => {
+                out.push(Resolved::Unattributed { count: *count });
+            }
+        }
+    }
+    out
+}
+
+// ---- the aggregator ------------------------------------------------------
+
+/// One downstream connection's state — the same shape the root daemon
+/// keeps per connection, because the aggregator applies the same
+/// rules.
+#[derive(Debug, Default)]
+struct DownConn {
+    node: Option<String>,
+    dec: Decoder,
+    merged: Option<MergedConnState>,
+    done: bool,
+}
+
+impl DownConn {
+    /// The label faults on this connection are charged to.
+    fn fault_label(&self) -> Option<String> {
+        self.node.clone().or_else(|| self.merged.as_ref().map(|m| m.scope().to_string()))
+    }
+}
+
+/// The per-node upstream basis: the last forwarded cumulative set, and
+/// how many delta bodies were sent since the last full one.
+#[derive(Debug, Clone)]
+struct Basis {
+    seq: u64,
+    set: ProfileSet,
+    since_full: u64,
+}
+
+/// A mid-tier aggregation node: ingests downstream OSPW streams with
+/// the root daemon's exact tolerant-decode rules, batches everything
+/// it learns, and [`flush`](Aggregator::flush)es one [`MergedFrame`]
+/// upstream per cadence tick.
+#[derive(Debug)]
+pub struct Aggregator {
+    name: String,
+    tier: u64,
+    scope: String,
+    conns: BTreeMap<u64, DownConn>,
+    bases: BTreeMap<String, Basis>,
+    pending: Vec<Resolved>,
+    epoch: u64,
+    seq: u64,
+}
+
+impl Aggregator {
+    /// Creates an aggregator at `tier` (1 = directly above agents).
+    /// Its scope label — the pseudo-node tier-wire faults are charged
+    /// to upstream — is `tier{tier}/{name}`.
+    pub fn new(name: impl Into<String>, tier: u64) -> Self {
+        let name = name.into();
+        let scope = format!("tier{tier}/{name}");
+        Aggregator {
+            name,
+            tier,
+            scope,
+            conns: BTreeMap::new(),
+            bases: BTreeMap::new(),
+            pending: Vec::new(),
+            epoch: 1,
+            seq: 0,
+        }
+    }
+
+    /// The aggregator's name (without the tier prefix).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The aggregator's tier.
+    pub fn tier(&self) -> u64 {
+        self.tier
+    }
+
+    /// The scope label (`tier{t}/{name}`).
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    /// The current uplink epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Ingests one raw downstream delivery, batching whatever it
+    /// yields for the next flush. Never fails: corrupt bytes become
+    /// fault events, exactly as on the root's ingest path.
+    pub fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) {
+        match wire::decode_frame(bytes) {
+            Ok((frame, _)) => self.ingest_frame(conn, &frame),
+            Err(_) => {
+                match self.conns.get(&conn).and_then(DownConn::fault_label) {
+                    Some(node) => {
+                        self.pending.push(Resolved::Fault { node, fault: StreamFault::Corrupt });
+                    }
+                    None => self.pending.push(Resolved::Unattributed { count: 1 }),
+                }
+            }
+        }
+    }
+
+    /// Ingests one decoded downstream frame — the root daemon's
+    /// tolerant rules, producing forwarded events instead of store
+    /// mutations.
+    pub fn ingest_frame(&mut self, conn: u64, frame: &Frame) {
+        let state = self.conns.entry(conn).or_default();
+        match frame {
+            Frame::Hello { node, layer, resolution, interval } => {
+                state.node = Some(node.clone());
+                state.done = false;
+                self.pending.push(Resolved::Hello {
+                    node: node.clone(),
+                    layer: layer.clone(),
+                    resolution: *resolution,
+                    interval: *interval,
+                });
+            }
+            Frame::Bye { .. } => state.done = true,
+            Frame::Merged(mf) => {
+                // A child aggregator: resolve its events against this
+                // connection's state and relay them into our own batch.
+                let resolved = absorb_merged(&mut state.merged, mf);
+                self.pending.extend(resolved);
+            }
+            _ => {
+                let Some(node) = state.node.clone() else {
+                    self.pending.push(Resolved::Unattributed { count: 1 });
+                    return;
+                };
+                match state.dec.apply_lossy(frame) {
+                    DecodeEvent::Control => {}
+                    DecodeEvent::Resynced => {
+                        self.pending.push(Resolved::Fault { node, fault: StreamFault::Resync });
+                    }
+                    DecodeEvent::Skipped(reason) => match reason {
+                        SkipReason::Gap => {
+                            self.pending.push(Resolved::Fault { node, fault: StreamFault::Gap });
+                        }
+                        SkipReason::BadDelta => {
+                            self.pending
+                                .push(Resolved::Fault { node, fault: StreamFault::Corrupt });
+                        }
+                        SkipReason::AwaitingFull
+                        | SkipReason::StaleSeq
+                        | SkipReason::StaleEpoch => {}
+                    },
+                    DecodeEvent::Snapshot { seq, at, set, recovered } => {
+                        self.pending.push(Resolved::Snapshot { node, seq, at, recovered, set });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a downstream connection reset (the same accounting as
+    /// the root's [`crate::daemon::Collector::reset_conn`]).
+    pub fn reset_conn(&mut self, conn: u64) {
+        if let Some(state) = self.conns.get_mut(&conn) {
+            if let Some(node) = state.fault_label() {
+                self.pending.push(Resolved::Fault { node, fault: StreamFault::Reset });
+            }
+            // Keep the decoder: its epoch guard handles stragglers.
+            state.done = false;
+        }
+    }
+
+    /// The aggregator's cadence tick: drains the batch into one
+    /// encoded [`MergedFrame`] for the uplink, or `None` when nothing
+    /// happened since the last flush (no frame, no sequence number).
+    pub fn flush(&mut self) -> Option<Vec<u8>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let mut events = Vec::with_capacity(self.pending.len());
+        for r in std::mem::take(&mut self.pending) {
+            match r {
+                Resolved::Hello { node, layer, resolution, interval } => {
+                    events.push(MergedEvent::Hello { node, layer, resolution, interval });
+                }
+                Resolved::Fault { node, fault } => {
+                    events.push(MergedEvent::Fault { node, fault });
+                }
+                Resolved::Unattributed { count } => {
+                    events.push(MergedEvent::Unattributed { count });
+                }
+                Resolved::Snapshot { node, seq, at, recovered, set } => {
+                    let body = match self.bases.get_mut(&node) {
+                        Some(b) if b.since_full + 1 < MERGED_FULL_EVERY => {
+                            let delta = delta::diff(&b.set, &set);
+                            let basis_seq = b.seq;
+                            b.seq = seq;
+                            b.set = set;
+                            b.since_full += 1;
+                            SnapshotBody::Delta { basis_seq, delta }
+                        }
+                        _ => {
+                            self.bases
+                                .insert(node.clone(), Basis { seq, set: set.clone(), since_full: 0 });
+                            SnapshotBody::Full(set)
+                        }
+                    };
+                    events.push(MergedEvent::Snapshot { node, seq, at, recovered, body });
+                }
+            }
+        }
+        let mf = MergedFrame {
+            tier: self.tier,
+            scope: self.scope.clone(),
+            epoch: self.epoch,
+            seq: self.seq,
+            events,
+        };
+        self.seq += 1;
+        Some(wire::encode_frame(&Frame::Merged(mf)))
+    }
+
+    /// The uplink died: bump the epoch, restart the sequence, and
+    /// forget every forwarded basis so the next flush re-bases every
+    /// node with full bodies — the receiver's state is gone, and a
+    /// delta against state it no longer has must never be sent.
+    pub fn on_upstream_reset(&mut self) {
+        self.epoch += 1;
+        self.seq = 0;
+        self.bases.clear();
+    }
+
+    /// The encoded upstream `Bye` frame, once every downstream stream
+    /// has closed.
+    pub fn bye(&self) -> Vec<u8> {
+        wire::encode_frame(&Frame::Bye { seq: self.seq })
+    }
+
+    /// True when every downstream connection that said hello has said
+    /// bye.
+    pub fn all_done(&self) -> bool {
+        self.conns.values().all(|c| c.done)
+    }
+}
+
+// ---- write-ahead journaling ----------------------------------------------
+
+/// An [`Aggregator`] wrapped in a write-ahead OSPJ journal: every
+/// downstream delivery, reset, flush boundary and upstream reset is
+/// journaled **before** it is applied, so a crashed aggregator
+/// restores its exact relay state with [`recover_aggregator`].
+pub struct JournaledAggregator<W: Write> {
+    agg: Aggregator,
+    journal: Journal<W>,
+}
+
+impl<W: Write> JournaledAggregator<W> {
+    /// Creates a fresh journaled aggregator writing to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Journal-header I/O.
+    pub fn create(name: impl Into<String>, tier: u64, w: W) -> Result<Self, CollectorError> {
+        Ok(JournaledAggregator { agg: Aggregator::new(name, tier), journal: Journal::create(w)? })
+    }
+
+    /// Resumes journaling for an aggregator rebuilt by
+    /// [`recover_aggregator`], appending to an already-positioned
+    /// writer.
+    pub fn resume(agg: Aggregator, w: W) -> Self {
+        JournaledAggregator { agg, journal: Journal::resume(w) }
+    }
+
+    /// Journal-then-apply one downstream delivery.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O only; corrupt bytes are fault events, never errors.
+    pub fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) -> Result<(), CollectorError> {
+        self.journal.bytes(conn, bytes)?;
+        self.agg.ingest_bytes(conn, bytes);
+        Ok(())
+    }
+
+    /// Journal-then-apply a downstream connection reset.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O.
+    pub fn reset_conn(&mut self, conn: u64) -> Result<(), CollectorError> {
+        self.journal.reset(conn)?;
+        self.agg.reset_conn(conn);
+        Ok(())
+    }
+
+    /// Journal-then-apply one flush tick, returning the encoded
+    /// merged frame (if any).
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O.
+    pub fn flush(&mut self) -> Result<Option<Vec<u8>>, CollectorError> {
+        self.journal.tick()?;
+        Ok(self.agg.flush())
+    }
+
+    /// Journal-then-apply an upstream reset (recorded as a reset of
+    /// the [`UPSTREAM_CONN`] sentinel).
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O.
+    pub fn on_upstream_reset(&mut self) -> Result<(), CollectorError> {
+        self.journal.reset(UPSTREAM_CONN)?;
+        self.agg.on_upstream_reset();
+        Ok(())
+    }
+
+    /// The wrapped aggregator.
+    pub fn aggregator(&self) -> &Aggregator {
+        &self.agg
+    }
+
+    /// Unwraps into the aggregator and the journal writer (flushed).
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O on the final flush.
+    pub fn into_parts(self) -> Result<(Aggregator, W), CollectorError> {
+        Ok((self.agg, self.journal.finish()?))
+    }
+}
+
+/// Rebuilds an aggregator from its journal: replays every downstream
+/// delivery, reset and flush boundary in order (flush output is
+/// discarded — those frames were already sent before the crash),
+/// restoring decoder states, forwarded bases, epoch and upstream
+/// sequence exactly. Returns the aggregator and the number of records
+/// replayed.
+///
+/// # Errors
+///
+/// Journal-read I/O; a torn tail is tolerated as end of journal.
+pub fn recover_aggregator(
+    r: impl Read,
+    name: impl Into<String>,
+    tier: u64,
+) -> Result<(Aggregator, usize), CollectorError> {
+    let (events, _) = read_journal(r)?;
+    let n = events.len();
+    let mut agg = Aggregator::new(name, tier);
+    for ev in events {
+        match ev {
+            JournalEvent::Bytes { conn, bytes } => agg.ingest_bytes(conn, &bytes),
+            JournalEvent::Reset { conn } if conn == UPSTREAM_CONN => agg.on_upstream_reset(),
+            JournalEvent::Reset { conn } => agg.reset_conn(conn),
+            JournalEvent::Tick => {
+                let _ = agg.flush();
+            }
+        }
+    }
+    Ok((agg, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Agent;
+    use crate::daemon::{Collector, CollectorConfig};
+    use crate::wire::encode_frame;
+
+    fn sample_set(step: u64) -> ProfileSet {
+        let mut set = ProfileSet::new("fs");
+        for k in 1..=step {
+            set.entry("read").record_n(1 << 10, 100 * k);
+            if k % 2 == 0 {
+                set.entry("write").record_n(1 << 12, 7 * k);
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn merged_frame_round_trips_through_the_wire() {
+        let set = sample_set(3);
+        let delta = delta::diff(&sample_set(2), &set);
+        let mf = MergedFrame {
+            tier: 2,
+            scope: "tier2/agg-0".into(),
+            epoch: 3,
+            seq: 41,
+            events: vec![
+                MergedEvent::Hello {
+                    node: "node-0".into(),
+                    layer: "fs".into(),
+                    resolution: Resolution::R1,
+                    interval: 1_000,
+                },
+                MergedEvent::Snapshot {
+                    node: "node-0".into(),
+                    seq: 7,
+                    at: 8_000,
+                    recovered: true,
+                    body: SnapshotBody::Full(set),
+                },
+                MergedEvent::Snapshot {
+                    node: "node-1".into(),
+                    seq: 9,
+                    at: 9_000,
+                    recovered: false,
+                    body: SnapshotBody::Delta { basis_seq: 8, delta },
+                },
+                MergedEvent::Fault { node: "node-1".into(), fault: StreamFault::Gap },
+                MergedEvent::Unattributed { count: 2 },
+            ],
+        };
+        let bytes = encode_frame(&Frame::Merged(mf.clone()));
+        let (decoded, used) = wire::decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, Frame::Merged(mf));
+    }
+
+    #[test]
+    fn corrupt_merged_payloads_never_panic() {
+        let mf = MergedFrame {
+            tier: 1,
+            scope: "tier1/a".into(),
+            epoch: 1,
+            seq: 0,
+            events: vec![MergedEvent::Unattributed { count: 1 }],
+        };
+        let good = encode_frame(&Frame::Merged(mf));
+        for cut in 0..good.len() {
+            let _ = wire::decode_frame(&good[..cut]);
+        }
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x55;
+            let _ = wire::decode_frame(&bad);
+        }
+    }
+
+    /// Relays a full agent stream through an aggregator into a root
+    /// collector and asserts the root sees exactly what a direct
+    /// connection would have shown it.
+    #[test]
+    fn aggregator_relay_matches_direct_ingest() {
+        let frames = {
+            let mut agent = Agent::new("n0");
+            let mut out = vec![agent.hello("fs", Resolution::R1, 1_000)];
+            for step in 1..=40u64 {
+                out.push(agent.snapshot(step * 1_000, &sample_set(step)));
+            }
+            out.push(agent.bye());
+            out
+        };
+
+        let mut direct = Collector::new(CollectorConfig::default());
+        for f in &frames {
+            direct.ingest_lossy(0, f);
+        }
+        direct.tick();
+
+        let mut agg = Aggregator::new("agg-0", 1);
+        let mut root = Collector::new(CollectorConfig::default());
+        for f in &frames {
+            agg.ingest_frame(0, f);
+        }
+        let merged = agg.flush().unwrap();
+        assert!(matches!(root.ingest_bytes(7, &merged), crate::daemon::Ingest::Accepted));
+        root.ingest_bytes(7, &agg.bye());
+        root.tick();
+
+        assert!(agg.all_done());
+        assert!(root.all_done());
+        assert_eq!(root.report(), direct.report());
+        assert_eq!(root.report_json().pretty(), direct.report_json().pretty());
+        root.store().stats().check_conservation().unwrap();
+    }
+
+    /// Delta bodies are periodically re-based with full bodies.
+    #[test]
+    fn flush_rebases_with_full_bodies_periodically() {
+        let mut agg = Aggregator::new("a", 1);
+        let mut agent = Agent::new("n0");
+        agg.ingest_frame(0, &agent.hello("fs", Resolution::R1, 1_000));
+        let mut fulls = 0;
+        for step in 1..=(2 * MERGED_FULL_EVERY + 1) {
+            agg.ingest_frame(0, &agent.snapshot(step * 1_000, &sample_set(step)));
+            let bytes = agg.flush().unwrap();
+            let (frame, _) = wire::decode_frame(&bytes).unwrap();
+            let Frame::Merged(mf) = frame else { panic!("expected merged frame") };
+            for ev in &mf.events {
+                if let MergedEvent::Snapshot { body: SnapshotBody::Full(_), .. } = ev {
+                    fulls += 1;
+                }
+            }
+        }
+        assert!(fulls >= 3, "first sighting plus two periodic re-bases, got {fulls}");
+    }
+
+    #[test]
+    fn empty_flushes_emit_nothing_and_consume_no_seq() {
+        let mut agg = Aggregator::new("a", 1);
+        assert!(agg.flush().is_none());
+        assert!(agg.flush().is_none());
+        let mut agent = Agent::new("n0");
+        agg.ingest_frame(0, &agent.hello("fs", Resolution::R1, 1_000));
+        agg.ingest_frame(0, &agent.snapshot(1_000, &sample_set(1)));
+        let bytes = agg.flush().unwrap();
+        let (frame, _) = wire::decode_frame(&bytes).unwrap();
+        let Frame::Merged(mf) = frame else { panic!("expected merged frame") };
+        assert_eq!(mf.seq, 0, "empty flushes must not consume sequence numbers");
+    }
+
+    #[test]
+    fn upstream_reset_rebases_and_resyncs() {
+        let mut agg = Aggregator::new("a", 1);
+        let mut agent = Agent::new("n0");
+        agg.ingest_frame(0, &agent.hello("fs", Resolution::R1, 1_000));
+        agg.ingest_frame(0, &agent.snapshot(1_000, &sample_set(1)));
+
+        let mut slot = None;
+        let first = agg.flush().unwrap();
+        let (Frame::Merged(mf), _) = wire::decode_frame(&first).unwrap() else {
+            panic!("expected merged frame")
+        };
+        let r1 = absorb_merged(&mut slot, &mf);
+        assert!(r1.iter().any(|r| matches!(r, Resolved::Snapshot { .. })));
+
+        agg.on_upstream_reset();
+        agg.ingest_frame(0, &agent.snapshot(2_000, &sample_set(2)));
+        let second = agg.flush().unwrap();
+        let (Frame::Merged(mf2), _) = wire::decode_frame(&second).unwrap() else {
+            panic!("expected merged frame")
+        };
+        assert_eq!(mf2.epoch, 2);
+        assert_eq!(mf2.seq, 0);
+        assert!(
+            mf2.events
+                .iter()
+                .all(|e| !matches!(e, MergedEvent::Snapshot { body: SnapshotBody::Delta { .. }, .. })),
+            "post-reset snapshots must be full-bodied"
+        );
+        let r2 = absorb_merged(&mut slot, &mf2);
+        assert!(
+            r2.iter().any(|r| matches!(
+                r,
+                Resolved::Fault { fault: StreamFault::Resync, .. }
+            )),
+            "the epoch bump surfaces as a scope resync: {r2:?}"
+        );
+        assert!(r2.iter().any(|r| matches!(r, Resolved::Snapshot { .. })));
+    }
+
+    #[test]
+    fn tier_wire_gap_is_charged_to_the_scope_and_deltas_self_protect() {
+        let mut agg = Aggregator::new("a", 1);
+        let mut agent = Agent::new("n0");
+        agg.ingest_frame(0, &agent.hello("fs", Resolution::R1, 1_000));
+
+        let mut frames = Vec::new();
+        for step in 1..=4u64 {
+            agg.ingest_frame(0, &agent.snapshot(step * 1_000, &sample_set(step)));
+            frames.push(agg.flush().unwrap());
+        }
+        let decode = |b: &[u8]| -> MergedFrame {
+            let (Frame::Merged(mf), _) = wire::decode_frame(b).unwrap() else {
+                panic!("expected merged frame")
+            };
+            mf
+        };
+        let mut slot = None;
+        let _ = absorb_merged(&mut slot, &decode(&frames[0]));
+        let _ = absorb_merged(&mut slot, &decode(&frames[1]));
+        // Frame 2 is lost on the tier wire; frame 3's delta basis is gone.
+        let r = absorb_merged(&mut slot, &decode(&frames[3]));
+        let faults: Vec<_> = r
+            .iter()
+            .filter_map(|x| match x {
+                Resolved::Fault { node, fault } => Some((node.as_str(), *fault)),
+                _ => None,
+            })
+            .collect();
+        assert!(faults.contains(&("tier1/a", StreamFault::Gap)), "{faults:?}");
+        assert!(faults.contains(&("tier1/a", StreamFault::Corrupt)), "{faults:?}");
+        assert!(
+            !r.iter().any(|x| matches!(x, Resolved::Snapshot { .. })),
+            "a delta with a lost basis must never resolve: {r:?}"
+        );
+        // A duplicate of an old frame is dropped silently.
+        assert!(absorb_merged(&mut slot, &decode(&frames[1])).is_empty());
+    }
+
+    #[test]
+    fn journaled_aggregator_recovers_byte_identically() {
+        let frames = {
+            let mut agent = Agent::new("n0");
+            let mut out = vec![agent.hello("fs", Resolution::R1, 1_000)];
+            for step in 1..=12u64 {
+                out.push(agent.snapshot(step * 1_000, &sample_set(step)));
+            }
+            out
+        };
+
+        // Uninterrupted run: collect every flushed frame.
+        let mut plain = Aggregator::new("agg-0", 1);
+        let mut want = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            plain.ingest_bytes(0, &encode_frame(f));
+            if i % 3 == 2 {
+                want.extend(plain.flush());
+            }
+        }
+        want.extend(plain.flush());
+
+        // Journaled run that crashes halfway and recovers.
+        let mut ja = JournaledAggregator::create("agg-0", 1, Vec::new()).unwrap();
+        let mut got = Vec::new();
+        let crash_at = frames.len() / 2;
+        for (i, f) in frames.iter().enumerate() {
+            ja.ingest_bytes(0, &encode_frame(f)).unwrap();
+            if i % 3 == 2 {
+                got.extend(ja.flush().unwrap());
+            }
+            if i == crash_at {
+                // Crash: all in-memory state is lost; only the journal
+                // survives.
+                let (_, journal_bytes) = ja.into_parts().unwrap();
+                let (agg, replayed) =
+                    recover_aggregator(&journal_bytes[..], "agg-0", 1).unwrap();
+                assert!(replayed > 0);
+                ja = JournaledAggregator::resume(agg, journal_bytes);
+            }
+        }
+        got.extend(ja.flush().unwrap());
+        assert_eq!(got, want, "recovery must not change a single upstream byte");
+    }
+}

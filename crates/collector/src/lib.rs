@@ -48,6 +48,7 @@ pub mod daemon;
 pub mod delta;
 pub mod detect;
 pub mod fault;
+pub mod federation;
 pub mod journal;
 pub mod parallel;
 pub mod resilience;

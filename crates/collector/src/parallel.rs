@@ -67,8 +67,23 @@
 //! node label mid-connection). Every agent in this repo satisfies it;
 //! a rebinding hello re-routes future traffic but would strand the old
 //! worker's decoder state.
+//!
+//! # Aggregator uplinks
+//!
+//! A connection whose first delivery is a `Merged` frame (see
+//! [`crate::federation`]) is an aggregator uplink: one frame carries
+//! events for *many* nodes, so it cannot be routed to a single worker.
+//! The dispatcher pins such connections to the master collector, and
+//! the tick barrier keeps every node an uplink has ever named out of
+//! the worker partitions — those nodes' store state lives in the
+//! master between barriers, and all cross-node logic still runs on the
+//! single merged store. Two further protocol assumptions follow: a
+//! connection is either an agent stream or an aggregator uplink, never
+//! both; and a node's snapshots arrive through exactly one path (flat
+//! *or* via some aggregator), never both concurrently. Every topology
+//! in this repo satisfies both.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
@@ -145,6 +160,9 @@ pub struct ParallelCollector {
     handles: Vec<WorkerHandle>,
     /// Connection -> worker, learned from each stream's hello.
     assign: BTreeMap<u64, usize>,
+    /// Aggregator uplinks, pinned to the master (their merged frames
+    /// carry many nodes and cannot be routed to one worker).
+    master_conns: BTreeSet<u64>,
 }
 
 impl ParallelCollector {
@@ -184,24 +202,34 @@ impl ParallelCollector {
     ) -> Self {
         let mut assign = BTreeMap::new();
         let mut handles = Vec::new();
+        let mut master_conns = BTreeSet::new();
         if workers > 1 {
             // Partition any pre-existing state (the resume path; empty
             // on a fresh start) across the workers by node hash.
+            // Aggregator-fed nodes stay in the master, with their
+            // uplink connections' receiver state.
+            let merged = master.merged_nodes();
             let mut worker_conns: Vec<BTreeMap<u64, Conn>> =
                 (0..workers).map(|_| BTreeMap::new()).collect();
+            let mut keep = BTreeMap::new();
             for (conn, c) in master.take_conns() {
-                // A connection that never completed a hello has no node
-                // and no decoder history worth keeping; it re-enters
-                // through the dispatcher's pre-hello path.
-                if let Some(node) = &c.node {
+                if c.merged.is_some() {
+                    master_conns.insert(conn);
+                    keep.insert(conn, c);
+                } else if let Some(node) = &c.node {
                     let w = worker_of(node, workers);
                     assign.insert(conn, w);
                     worker_conns[w].insert(conn, c);
                 }
+                // A connection that never completed a hello has no node
+                // and no decoder history worth keeping; it re-enters
+                // through the dispatcher's pre-hello path.
             }
+            master.set_conns(keep);
             let mut store = master.take_store();
             for (w, conns) in worker_conns.into_iter().enumerate() {
-                let part = store.extract_nodes(|node| worker_of(node, workers) == w);
+                let part = store
+                    .extract_nodes(|node| !merged.contains(node) && worker_of(node, workers) == w);
                 let mut col = Collector::new(cfg.clone());
                 col.absorb_store(part);
                 col.set_conns(conns);
@@ -210,9 +238,13 @@ impl ParallelCollector {
                 let join = std::thread::spawn(move || worker_loop(col, worker_rx, worker_tx));
                 handles.push(WorkerHandle { tx, rx, join });
             }
-            debug_assert!(store.nodes().is_empty(), "every node hashes to some worker");
+            debug_assert!(
+                store.nodes().iter().all(|n| merged.contains(n)),
+                "every non-aggregator node hashes to some worker"
+            );
+            master.absorb_store(store);
         }
-        ParallelCollector { master, journal, handles, assign }
+        ParallelCollector { master, journal, handles, assign, master_conns }
     }
 
     /// The number of ingest workers (1 = serial, no threads).
@@ -242,7 +274,27 @@ impl ParallelCollector {
             let _ = self.master.ingest_bytes(conn, bytes);
             return Ok(());
         }
+        // An aggregator uplink's traffic (merged frames, its bye, any
+        // corrupt bytes on it) all belongs to the master collector.
+        if self.master_conns.contains(&conn) {
+            let _ = self.master.ingest_bytes(conn, bytes);
+            return Ok(());
+        }
         let assigned = self.assign.get(&conn).copied();
+        if assigned.is_none() && wire::frame_is_merged(bytes) {
+            // An unassigned connection opening with a merged frame is
+            // an aggregator uplink: pin it to the master. Merged-typed
+            // bytes that do not decode are pre-hello garbage, with the
+            // serial collector's exact accounting.
+            match wire::decode_frame(bytes) {
+                Ok((frame @ Frame::Merged(_), _)) => {
+                    self.master_conns.insert(conn);
+                    let _ = self.master.ingest_lossy(conn, &frame);
+                }
+                _ => self.master.note_unattributed(),
+            }
+            return Ok(());
+        }
         let route = if wire::frame_is_hello(bytes) || assigned.is_none() {
             match wire::decode_frame(bytes) {
                 Ok((Frame::Hello { node, .. }, _)) => {
@@ -283,7 +335,7 @@ impl ParallelCollector {
         if let Some(j) = &mut self.journal {
             j.reset(conn)?;
         }
-        if self.handles.is_empty() {
+        if self.handles.is_empty() || self.master_conns.contains(&conn) {
             self.master.reset_conn(conn);
             return Ok(());
         }
@@ -321,12 +373,17 @@ impl ParallelCollector {
         }
         let found = self.master.tick();
         let workers = self.handles.len();
+        // Nodes fed through an aggregator uplink stay in the master
+        // between barriers — the next merged frame is applied there.
+        let merged = self.master.merged_nodes();
         let mut store = self.master.take_store();
         for w in 0..workers {
-            let part = store.extract_nodes(|node| worker_of(node, workers) == w);
+            let part =
+                store.extract_nodes(|node| !merged.contains(node) && worker_of(node, workers) == w);
             self.send(w, ToWorker::Resume(part))?;
         }
-        debug_assert!(store.nodes().is_empty());
+        debug_assert!(store.nodes().iter().all(|n| merged.contains(n)));
+        self.master.absorb_store(store);
         Ok(found)
     }
 

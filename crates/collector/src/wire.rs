@@ -54,6 +54,7 @@ const T_FULL: u8 = 2;
 const T_DELTA: u8 = 3;
 const T_BYE: u8 = 4;
 const T_RESYNC: u8 = 5;
+const T_MERGED: u8 = 6;
 
 /// Upper bound on a frame's declared payload length. A corrupted
 /// length prefix must produce a clean [`WireError::Corrupt`], not a
@@ -153,6 +154,9 @@ pub enum Frame {
         /// Sequence number of the upcoming fresh `Full` frame.
         seq: u64,
     },
+    /// One aggregator flush: a tier-tagged batch of scoped events
+    /// relayed from downstream streams (see [`crate::federation`]).
+    Merged(crate::federation::MergedFrame),
 }
 
 /// FNV-1a 64-bit hash — frame checksums and shard selection.
@@ -208,7 +212,8 @@ impl<'a> Cursor<'a> {
         self.pos == self.bytes.len()
     }
 
-    fn byte(&mut self) -> Result<u8, WireError> {
+    /// Reads one raw byte.
+    pub fn byte(&mut self) -> Result<u8, WireError> {
         let b = *self
             .bytes
             .get(self.pos)
@@ -372,6 +377,10 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_uvarint(&mut payload, *seq as u128);
             T_RESYNC
         }
+        Frame::Merged(mf) => {
+            crate::federation::put_merged(&mut payload, mf);
+            T_MERGED
+        }
     };
     let mut out = Vec::with_capacity(payload.len() + 16);
     out.push(ty);
@@ -389,6 +398,15 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
 /// delivery is decoded fully before any routing decision is made.
 pub fn frame_is_hello(bytes: &[u8]) -> bool {
     bytes.first() == Some(&T_HELLO)
+}
+
+/// True when the bytes *claim* to be a `Merged` frame (type byte only).
+/// The parallel dispatcher's second routing peek: an unassigned
+/// connection whose first delivery is merged-typed is an aggregator
+/// uplink and is pinned to the master collector, because one merged
+/// frame carries many nodes and cannot be routed to a single worker.
+pub fn frame_is_merged(bytes: &[u8]) -> bool {
+    bytes.first() == Some(&T_MERGED)
 }
 
 /// Parses one frame from a payload-complete byte slice, returning the
@@ -446,6 +464,7 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, WireError> {
             let seq = c.u64()?;
             Frame::Resync { epoch, seq }
         }
+        T_MERGED => Frame::Merged(crate::federation::get_merged(&mut c)?),
         other => return Err(WireError::Corrupt(format!("unknown frame type {other}"))),
     };
     if !c.is_done() {

@@ -1,0 +1,42 @@
+//! Federated multi-tier aggregation for OSprof (paper §7 at fleet
+//! scale).
+//!
+//! The collector crate gives one daemon that ingests N agent streams
+//! directly. At fleet scale N flat connections stop being a sensible
+//! shape: this crate adds the **tree**. Aggregator nodes (built on
+//! [`osprof_collector::federation::Aggregator`]) sit between agents
+//! and the root, each merging its children's OSPW streams in its own
+//! deterministic tick and forwarding tier-tagged merged-delta frames
+//! upstream on its own cadence — a k-way tree instead of N flat
+//! connections.
+//!
+//! Two pieces live here:
+//!
+//! - [`topology`] — declarative tree shapes: built-ins (`flat`,
+//!   `2-tier`, `3-tier`, `unbalanced`) plus a tiny text format so a
+//!   `.topo` file can be replayed from the CLI.
+//! - [`replay`] — deterministic federated replays that mirror the
+//!   collector's flat replays frame-for-frame: the same agents, the
+//!   same fault injectors, the same round structure, only the routing
+//!   differs. A `flat` topology reproduces the classic replay
+//!   byte-for-byte, and — the headline invariant — the **root report
+//!   is byte-identical for every tree shape** over the same agent
+//!   streams, because aggregators are transparent relays and every
+//!   tier flushes bottom-up before each root tick.
+//!
+//! Everything is `std`-only and deterministic under
+//! `OSPROF_TEST_SEED`; aggregators write-ahead-journal their ingest so
+//! a mid-run crash recovers byte-identically (see
+//! `collector::journal`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod replay;
+pub mod topology;
+
+pub use replay::{
+    replay_chaos_federated, replay_streams_federated, FederatedChaosRun, FederatedOpts,
+    FederatedRun,
+};
+pub use topology::{Topology, TopologyError, TopoNode, BUILTIN_SHAPES};

@@ -1,0 +1,621 @@
+//! Deterministic federated replays over an aggregation tree.
+//!
+//! These mirror the collector's flat replays **frame-for-frame**: the
+//! same agents, the same per-node fault injectors, the same
+//! round-robin structure and tick cadence. Only the routing differs —
+//! each agent's wire terminates at its aggregator (or the root, for
+//! direct agents), and before every root tick the tiers flush
+//! bottom-up so each round's snapshots reach the root in the same tick
+//! window they would have reached it flat.
+//!
+//! That construction is the proof sketch for the headline invariant:
+//! aggregators are transparent relays (no store, no detector), each
+//! node's events travel exactly one ordered path, and the root's state
+//! between ticks is per-node only — so the root report is
+//! **byte-identical for every tree shape** over the same agent
+//! streams. The integration tests `cmp` exactly that, and a `flat`
+//! topology reproduces the classic `replay_round_robin` /
+//! `replay_chaos` outputs byte-for-byte.
+//!
+//! Every aggregator write-ahead-journals its ingest
+//! ([`JournaledAggregator`]), so a replay can kill one mid-run and
+//! recover it from its own journal — the root report must not change
+//! by a byte, which the crash tests assert.
+
+use std::collections::BTreeMap;
+
+use osprof_collector::attribution::render_block;
+use osprof_collector::daemon::{Collector, CollectorConfig, CollectorError};
+use osprof_collector::fault::{node_seed, Delivery, FaultInjector, FaultPlan, FaultStats};
+use osprof_collector::federation::{recover_aggregator, JournaledAggregator};
+use osprof_collector::resilience::ResilientAgent;
+use osprof_collector::scenario::{ChaosConfig, Timeline};
+use osprof_collector::wire::{encode_frame, Frame};
+
+use crate::topology::{TopoNode, Topology, TopologyError};
+
+/// Uplink connection ids start here: aggregator `k` (pre-order) dials
+/// its parent as connection `UPLINK_CONN_BASE + k`, far above any
+/// agent index. Validated against the cluster size in [`Plan::build`].
+pub const UPLINK_CONN_BASE: u64 = 1_000;
+
+impl From<TopologyError> for CollectorError {
+    fn from(e: TopologyError) -> Self {
+        CollectorError::Internal(e.to_string())
+    }
+}
+
+/// One aggregator slot of an instantiated topology.
+#[derive(Debug, Clone)]
+struct PlanAgg {
+    name: String,
+    /// 1 = leaf-most tier (directly above agents).
+    tier: u64,
+    /// Parent aggregator (pre-order index); `None` = the root collector.
+    parent: Option<usize>,
+}
+
+/// A validated, instantiable topology: who parents whom, in
+/// deterministic pre-order.
+#[derive(Debug, Clone)]
+struct Plan {
+    /// Agent index -> parent aggregator (`None` = root collector).
+    agent_parent: Vec<Option<usize>>,
+    /// Aggregators in pre-order (parents before children).
+    aggs: Vec<PlanAgg>,
+    /// Flush order: ascending tier, then pre-order — leaf tiers first,
+    /// so every tier's output reaches its parent in the same sweep.
+    flush_order: Vec<usize>,
+}
+
+impl Plan {
+    fn build(topo: &Topology, nodes: usize) -> Result<Plan, CollectorError> {
+        topo.validate(nodes)?;
+        if nodes as u64 >= UPLINK_CONN_BASE {
+            return Err(CollectorError::Internal(format!(
+                "cluster too large for uplink conn-id space: {nodes} agents"
+            )));
+        }
+        let mut plan =
+            Plan { agent_parent: vec![None; nodes], aggs: Vec::new(), flush_order: Vec::new() };
+        for node in &topo.roots {
+            plan.walk(node, None);
+        }
+        let mut order: Vec<usize> = (0..plan.aggs.len()).collect();
+        order.sort_by_key(|&k| (plan.aggs[k].tier, k));
+        plan.flush_order = order;
+        Ok(plan)
+    }
+
+    /// Pre-order walk; returns the subtree's tier height (agents = 0).
+    fn walk(&mut self, node: &TopoNode, parent: Option<usize>) -> u64 {
+        match node {
+            TopoNode::Agents(list) => {
+                for &i in list {
+                    if let Some(slot) = self.agent_parent.get_mut(i) {
+                        *slot = parent;
+                    }
+                }
+                0
+            }
+            TopoNode::Agg { name, children } => {
+                let idx = self.aggs.len();
+                self.aggs.push(PlanAgg { name: name.clone(), tier: 0, parent });
+                let mut height = 0;
+                for child in children {
+                    height = height.max(self.walk(child, Some(idx)));
+                }
+                self.aggs[idx].tier = height + 1;
+                height + 1
+            }
+        }
+    }
+
+    fn uplink_conn(&self, k: usize) -> u64 {
+        UPLINK_CONN_BASE + k as u64
+    }
+
+    fn agg_index(&self, name: &str) -> Option<usize> {
+        self.aggs.iter().position(|a| a.name == name)
+    }
+}
+
+/// An instantiated tree: the root collector plus one journaled
+/// aggregator per plan slot.
+struct Tree {
+    plan: Plan,
+    root: Collector,
+    aggs: Vec<JournaledAggregator<Vec<u8>>>,
+}
+
+impl Tree {
+    fn grow(topo: &Topology, nodes: usize) -> Result<Tree, CollectorError> {
+        let plan = Plan::build(topo, nodes)?;
+        let aggs = plan
+            .aggs
+            .iter()
+            .map(|a| JournaledAggregator::create(a.name.as_str(), a.tier, Vec::new()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Tree { plan, root: Collector::new(CollectorConfig::default()), aggs })
+    }
+
+    /// Routes one agent frame to wherever that agent's wire terminates.
+    fn ingest_agent_frame(&mut self, agent: usize, f: &Frame) -> Result<(), CollectorError> {
+        match self.plan.agent_parent[agent] {
+            None => {
+                self.root.ingest_lossy(agent as u64, f);
+                Ok(())
+            }
+            Some(p) => self.aggs[p].ingest_bytes(agent as u64, &encode_frame(f)),
+        }
+    }
+
+    /// Routes one raw agent delivery (chaos wire) to its terminator.
+    fn ingest_agent_bytes(&mut self, agent: usize, bytes: &[u8]) -> Result<(), CollectorError> {
+        match self.plan.agent_parent[agent] {
+            None => {
+                self.root.ingest_bytes(agent as u64, bytes);
+                Ok(())
+            }
+            Some(p) => self.aggs[p].ingest_bytes(agent as u64, bytes),
+        }
+    }
+
+    /// An agent's wire reset: counted wherever the wire terminates.
+    fn reset_agent(&mut self, agent: usize) -> Result<(), CollectorError> {
+        match self.plan.agent_parent[agent] {
+            None => {
+                self.root.reset_conn(agent as u64);
+                Ok(())
+            }
+            Some(p) => self.aggs[p].reset_conn(agent as u64),
+        }
+    }
+
+    /// Delivers uplink bytes from aggregator `k` to its parent.
+    fn route_uplink(&mut self, k: usize, bytes: &[u8]) -> Result<(), CollectorError> {
+        let conn = self.plan.uplink_conn(k);
+        match self.plan.aggs[k].parent {
+            None => {
+                self.root.ingest_bytes(conn, bytes);
+                Ok(())
+            }
+            Some(p) => self.aggs[p].ingest_bytes(conn, bytes),
+        }
+    }
+
+    /// An uplink wire reset: the parent counts it against the tier
+    /// scope, the child re-bases and bumps its epoch.
+    fn reset_uplink(&mut self, k: usize) -> Result<(), CollectorError> {
+        let conn = self.plan.uplink_conn(k);
+        match self.plan.aggs[k].parent {
+            None => self.root.reset_conn(conn),
+            Some(p) => self.aggs[p].reset_conn(conn)?,
+        }
+        self.aggs[k].on_upstream_reset()
+    }
+
+    /// Flushes every tier bottom-up (leaf tiers first), pushing each
+    /// aggregator's merged frame through its uplink injector if one is
+    /// configured. After this sweep everything ingested below has
+    /// reached the root, which is what makes the next root tick see
+    /// the same snapshots a flat replay would.
+    fn flush_tiers(
+        &mut self,
+        uplink_injectors: &mut BTreeMap<usize, FaultInjector>,
+    ) -> Result<(), CollectorError> {
+        for i in 0..self.plan.flush_order.len() {
+            let k = self.plan.flush_order[i];
+            let Some(bytes) = self.aggs[k].flush()? else { continue };
+            let deliveries = match uplink_injectors.get_mut(&k) {
+                Some(inj) => inj.push(bytes),
+                None => vec![Delivery::Bytes(bytes)],
+            };
+            for d in deliveries {
+                match d {
+                    Delivery::Bytes(b) => self.route_uplink(k, &b)?,
+                    Delivery::Reset => self.reset_uplink(k)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes every uplink: held-back frames out of the reorder
+    /// buffers, then each aggregator's bye, bottom-up.
+    fn close_uplinks(
+        &mut self,
+        uplink_injectors: &mut BTreeMap<usize, FaultInjector>,
+    ) -> Result<(), CollectorError> {
+        for i in 0..self.plan.flush_order.len() {
+            let k = self.plan.flush_order[i];
+            let bye = self.aggs[k].aggregator().bye();
+            let mut deliveries = match uplink_injectors.get_mut(&k) {
+                Some(inj) => {
+                    let mut d = inj.push(bye);
+                    d.extend(inj.flush());
+                    d
+                }
+                None => vec![Delivery::Bytes(bye)],
+            };
+            for d in deliveries.drain(..) {
+                match d {
+                    Delivery::Bytes(b) => self.route_uplink(k, &b)?,
+                    Delivery::Reset => self.reset_uplink(k)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Kills aggregator `k` and rebuilds it from its own journal — the
+    /// aggregator crash-recovery path. Agents, injectors and the rest
+    /// of the tree live outside the crashed process, so the recovered
+    /// aggregator must resume byte-identically.
+    fn crash_recover_agg(&mut self, k: usize) -> Result<(), CollectorError> {
+        let (name, tier) = (self.plan.aggs[k].name.clone(), self.plan.aggs[k].tier);
+        let ja = self.aggs.remove(k);
+        let (_, journal_bytes) = ja.into_parts()?;
+        let (agg, _) = recover_aggregator(&journal_bytes[..], &name, tier)?;
+        self.aggs.insert(k, JournaledAggregator::resume(agg, journal_bytes));
+        Ok(())
+    }
+
+    fn into_results(self) -> (String, String, Vec<String>, String) {
+        let mut flagged: Vec<String> =
+            self.root.anomalies().iter().map(|a| a.node.clone()).collect();
+        flagged.sort();
+        flagged.dedup();
+        let attribution = render_block(self.root.verdicts());
+        (self.root.report(), self.root.report_json().pretty(), flagged, attribution)
+    }
+}
+
+/// What a federated stream replay produced.
+#[derive(Debug)]
+pub struct FederatedRun {
+    /// The root collector's final report — the byte-identity anchor.
+    pub report: String,
+    /// The JSON report, pretty-rendered — the second anchor.
+    pub json: String,
+    /// Round at which the first anomaly fired, if any.
+    pub first_fired: Option<usize>,
+}
+
+/// Replays recorded agent streams through the topology: one frame per
+/// agent per round (exactly `replay_round_robin`'s cadence), tiers
+/// flushed bottom-up before each root tick.
+///
+/// # Errors
+///
+/// Topology validation failures and journal I/O errors; the ingest
+/// paths themselves are lossy-tolerant and never error on stream
+/// content.
+pub fn replay_streams_federated(
+    topo: &Topology,
+    streams: &[(String, Vec<Frame>)],
+) -> Result<FederatedRun, CollectorError> {
+    let mut tree = Tree::grow(topo, streams.len())?;
+    let mut no_injectors = BTreeMap::new();
+    let rounds = streams.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    let mut first_fired = None;
+    for round in 0..rounds {
+        for (agent, (_, frames)) in streams.iter().enumerate() {
+            if let Some(f) = frames.get(round) {
+                tree.ingest_agent_frame(agent, f)?;
+            }
+        }
+        tree.flush_tiers(&mut no_injectors)?;
+        if !tree.root.tick().is_empty() && first_fired.is_none() {
+            first_fired = Some(round);
+        }
+    }
+    // Streams carry their own byes; only the uplinks still need closing
+    // (report-neutral, but leaves every connection cleanly done).
+    tree.close_uplinks(&mut no_injectors)?;
+    let (report, json, _, _) = tree.into_results();
+    Ok(FederatedRun { report, json, first_fired })
+}
+
+/// Optional hostile conditions for a federated chaos replay, beyond
+/// the per-agent wire faults that [`ChaosConfig`] always applies.
+#[derive(Debug, Clone, Default)]
+pub struct FederatedOpts {
+    /// Kill this aggregator (by name) at the end of this round and
+    /// recover it from its own journal.
+    pub crash_agg: Option<(String, usize)>,
+    /// Fault plans for uplink wires, by aggregator name — tier-wire
+    /// chaos on top of the agent-wire chaos.
+    pub uplink_faults: Vec<(String, FaultPlan)>,
+}
+
+/// What a federated chaos replay produced.
+#[derive(Debug)]
+pub struct FederatedChaosRun {
+    /// The root collector's final report.
+    pub report: String,
+    /// The JSON report, pretty-rendered.
+    pub json: String,
+    /// Round at which the first anomaly fired, if any.
+    pub first_fired: Option<usize>,
+    /// Per-agent injector statistics — topology-independent, so they
+    /// must equal the flat replay's stats exactly.
+    pub wire_stats: Vec<(String, FaultStats)>,
+    /// Nodes flagged at least once, sorted and deduplicated.
+    pub flagged: Vec<String>,
+    /// True when an aggregator crashed and recovered from its journal.
+    pub recovered: bool,
+    /// The rendered attribution block (verdict text + JSON).
+    pub attribution: String,
+}
+
+/// Replays per-node timelines through resilient agents and hostile
+/// wires into the topology — `replay_chaos` with a tree for a daemon.
+/// The agent-side machinery (agents, seeds, injectors, round cadence)
+/// is identical to the flat chaos replay, so over a `flat` topology
+/// this reproduces [`ChaosRun`](osprof_collector::scenario::ChaosRun)
+/// byte-for-byte; over any other shape the root report must not
+/// change by a byte unless `opts` adds tier-wire faults.
+///
+/// # Errors
+///
+/// Topology validation failures, an unknown aggregator name in
+/// `opts`, and journal I/O errors.
+pub fn replay_chaos_federated(
+    topo: &Topology,
+    timelines: &[(String, Timeline)],
+    cfg: &ChaosConfig,
+    opts: &FederatedOpts,
+) -> Result<FederatedChaosRun, CollectorError> {
+    let mut tree = Tree::grow(topo, timelines.len())?;
+    let crash = match &opts.crash_agg {
+        Some((name, round)) => {
+            let k = tree.plan.agg_index(name).ok_or_else(|| {
+                CollectorError::Internal(format!("crash target `{name}` is not in the topology"))
+            })?;
+            Some((k, *round))
+        }
+        None => None,
+    };
+    let mut uplink_injectors = BTreeMap::new();
+    for (name, plan) in &opts.uplink_faults {
+        let k = tree.plan.agg_index(name).ok_or_else(|| {
+            CollectorError::Internal(format!("fault target `{name}` is not in the topology"))
+        })?;
+        uplink_injectors.insert(k, FaultInjector::new(plan.clone()));
+    }
+
+    let interval = timelines
+        .iter()
+        .flat_map(|(_, t)| t.windows(2).map(|w| w[1].0 - w[0].0))
+        .min()
+        .unwrap_or(0);
+    let mut agents: Vec<ResilientAgent> = timelines
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| {
+            ResilientAgent::new(name.clone(), node_seed(cfg.seed ^ 0xBACF, i as u64))
+        })
+        .collect();
+    let mut injectors: Vec<FaultInjector> =
+        (0..timelines.len()).map(|i| FaultInjector::new(cfg.plan_for(i))).collect();
+
+    let mut first_fired = None;
+    let mut recovered = false;
+    let rounds = timelines.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+
+    for round in 0..rounds {
+        for (conn, (_, timeline)) in timelines.iter().enumerate() {
+            let Some((at, set)) = timeline.get(round) else { continue };
+            let mut frames = Vec::new();
+            if round == 0 {
+                frames.push(agents[conn].hello(set.layer(), set.resolution(), interval));
+            }
+            frames.extend(agents[conn].frames(*at, set));
+            deliver(&mut tree, conn, &mut agents, &mut injectors, frames)?;
+        }
+        tree.flush_tiers(&mut uplink_injectors)?;
+        if !tree.root.tick().is_empty() && first_fired.is_none() {
+            first_fired = Some(round);
+        }
+        if let Some((k, r)) = crash {
+            if r == round {
+                tree.crash_recover_agg(k)?;
+                recovered = true;
+            }
+        }
+    }
+    // Close every agent stream exactly as the flat replay does: bye
+    // through the hostile wire, then drain the reorder buffers.
+    for conn in 0..timelines.len() {
+        let bye = agents[conn].bye();
+        deliver(&mut tree, conn, &mut agents, &mut injectors, vec![bye])?;
+        for d in injectors[conn].flush() {
+            if let Delivery::Bytes(b) = d {
+                tree.ingest_agent_bytes(conn, &b)?;
+            }
+        }
+    }
+    // Late frames (including reorder-buffer stragglers) are now inside
+    // the tiers; forward them, close the uplinks, and take the same
+    // final tick the flat replay takes.
+    tree.flush_tiers(&mut uplink_injectors)?;
+    tree.close_uplinks(&mut uplink_injectors)?;
+    if !tree.root.tick().is_empty() && first_fired.is_none() {
+        first_fired = Some(rounds);
+    }
+
+    let wire_stats = timelines
+        .iter()
+        .zip(&injectors)
+        .map(|((name, _), inj)| (name.clone(), *inj.stats()))
+        .collect();
+    let (report, json, flagged, attribution) = tree.into_results();
+    Ok(FederatedChaosRun {
+        report,
+        json,
+        first_fired,
+        wire_stats,
+        flagged,
+        recovered,
+        attribution,
+    })
+}
+
+/// Pushes one connection's frame batch through its hostile wire into
+/// the tree, handling mid-batch wire resets — the federated twin of
+/// the flat replay's `deliver`.
+fn deliver(
+    tree: &mut Tree,
+    conn: usize,
+    agents: &mut [ResilientAgent],
+    injectors: &mut [FaultInjector],
+    frames: Vec<Frame>,
+) -> Result<(), CollectorError> {
+    'frames: for f in frames {
+        for d in injectors[conn].push(encode_frame(&f)) {
+            match d {
+                Delivery::Bytes(b) => tree.ingest_agent_bytes(conn, &b)?,
+                Delivery::Reset => {
+                    tree.reset_agent(conn)?;
+                    agents[conn].on_reset();
+                    break 'frames;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprof_collector::scenario::{
+        cluster_streams, cluster_timelines, replay_chaos, replay_round_robin, ScenarioConfig,
+    };
+
+    fn small_cfg() -> ScenarioConfig {
+        ScenarioConfig { nodes: 4, degraded: Some(3), dirs: 20, ..ScenarioConfig::default() }
+    }
+
+    #[test]
+    fn plan_orders_tiers_bottom_up() {
+        let topo = Topology::builtin("unbalanced", 8).unwrap();
+        let plan = Plan::build(&topo, 8).unwrap();
+        assert_eq!(plan.aggs.len(), 3);
+        // Pre-order: agg-0 (tier 1), agg-1 (tier 2), agg-2 (tier 1).
+        let names: Vec<(&str, u64)> =
+            plan.aggs.iter().map(|a| (a.name.as_str(), a.tier)).collect();
+        assert_eq!(names, [("agg-0", 1), ("agg-1", 2), ("agg-2", 1)]);
+        // Flush order: tier-1 aggs before the tier-2 parent.
+        assert_eq!(plan.flush_order, [0, 2, 1]);
+        assert_eq!(plan.agent_parent[0], None);
+        assert_eq!(plan.aggs[2].parent, Some(1));
+    }
+
+    #[test]
+    fn flat_topology_reproduces_the_classic_stream_replay() {
+        let streams = cluster_streams(&small_cfg());
+        let mut col = Collector::new(CollectorConfig::default());
+        let classic_fired = replay_round_robin(&mut col, &streams);
+
+        let topo = Topology::builtin("flat", streams.len()).unwrap();
+        let fed = replay_streams_federated(&topo, &streams).unwrap();
+        assert_eq!(fed.report, col.report());
+        assert_eq!(fed.json, col.report_json().pretty());
+        assert_eq!(fed.first_fired, classic_fired);
+    }
+
+    #[test]
+    fn stream_replay_is_topology_invariant() {
+        let streams = cluster_streams(&small_cfg());
+        let flat =
+            replay_streams_federated(&Topology::builtin("flat", 4).unwrap(), &streams).unwrap();
+        for shape in ["2-tier", "3-tier", "unbalanced"] {
+            let topo = Topology::builtin(shape, streams.len()).unwrap();
+            let run = replay_streams_federated(&topo, &streams).unwrap();
+            assert_eq!(run.report, flat.report, "report differs for {shape}");
+            assert_eq!(run.json, flat.json, "json differs for {shape}");
+            assert_eq!(run.first_fired, flat.first_fired, "detection latency differs for {shape}");
+        }
+    }
+
+    #[test]
+    fn flat_topology_reproduces_the_classic_chaos_replay() {
+        let timelines = cluster_timelines(&small_cfg());
+        let ccfg = ChaosConfig { resets: vec![(1, 6)], ..Default::default() };
+        let classic = replay_chaos(&timelines, &ccfg, None).unwrap();
+
+        let topo = Topology::builtin("flat", timelines.len()).unwrap();
+        let fed =
+            replay_chaos_federated(&topo, &timelines, &ccfg, &FederatedOpts::default()).unwrap();
+        assert_eq!(fed.report, classic.report);
+        assert_eq!(fed.first_fired, classic.first_fired);
+        assert_eq!(fed.flagged, classic.flagged);
+        assert_eq!(fed.wire_stats, classic.wire_stats);
+        assert_eq!(fed.attribution, classic.attribution);
+    }
+
+    #[test]
+    fn chaos_replay_is_topology_invariant_and_crash_recovery_is_exact() {
+        let timelines = cluster_timelines(&small_cfg());
+        let ccfg = ChaosConfig { resets: vec![(1, 6)], ..Default::default() };
+        let flat_topo = Topology::builtin("flat", 4).unwrap();
+        let flat =
+            replay_chaos_federated(&flat_topo, &timelines, &ccfg, &FederatedOpts::default())
+                .unwrap();
+        for shape in ["2-tier", "3-tier", "unbalanced"] {
+            let topo = Topology::builtin(shape, timelines.len()).unwrap();
+            let run =
+                replay_chaos_federated(&topo, &timelines, &ccfg, &FederatedOpts::default())
+                    .unwrap();
+            assert_eq!(run.report, flat.report, "report differs for {shape}");
+            assert_eq!(run.json, flat.json, "json differs for {shape}");
+            assert_eq!(run.wire_stats, flat.wire_stats);
+        }
+
+        // Kill a mid-tree aggregator after round 4: the recovered run's
+        // root report must not differ by a byte.
+        let topo = Topology::builtin("3-tier", timelines.len()).unwrap();
+        let opts =
+            FederatedOpts { crash_agg: Some(("agg-0".into(), 4)), ..FederatedOpts::default() };
+        let crashed = replay_chaos_federated(&topo, &timelines, &ccfg, &opts).unwrap();
+        assert!(crashed.recovered);
+        assert_eq!(crashed.report, flat.report, "aggregator recovery must be exact");
+        assert_eq!(crashed.json, flat.json);
+    }
+
+    #[test]
+    fn uplink_faults_charge_the_tier_scope_not_the_agents() {
+        let timelines = cluster_timelines(&small_cfg());
+        let ccfg = ChaosConfig::default();
+        let topo = Topology::builtin("2-tier", timelines.len()).unwrap();
+        let clean =
+            replay_chaos_federated(&topo, &timelines, &ccfg, &FederatedOpts::default()).unwrap();
+
+        // A lossy uplink for agg-0: drops + corruption on the tier wire.
+        let plan = FaultPlan {
+            seed: node_seed(0xF00D, 0),
+            drop: 0.2,
+            corrupt: 0.05,
+            ..FaultPlan::default()
+        };
+        let opts = FederatedOpts {
+            uplink_faults: vec![("agg-0".into(), plan)],
+            ..FederatedOpts::default()
+        };
+        let faulty = replay_chaos_federated(&topo, &timelines, &ccfg, &opts).unwrap();
+        assert!(
+            faulty.report.contains("tier1/agg-0"),
+            "tier faults must surface under the tier scope:\n{}",
+            faulty.report
+        );
+        assert_eq!(
+            faulty.wire_stats, clean.wire_stats,
+            "agent wires are untouched by uplink faults"
+        );
+        // Determinism: the same hostile uplink replays identically.
+        let again = replay_chaos_federated(&topo, &timelines, &ccfg, &opts).unwrap();
+        assert_eq!(again.report, faulty.report);
+    }
+}

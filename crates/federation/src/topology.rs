@@ -1,0 +1,394 @@
+//! Declarative aggregation trees.
+//!
+//! A [`Topology`] says which agents report to which aggregator and how
+//! aggregators nest. It is pure shape — no sockets, no state — so the
+//! same declaration drives the in-process federated replays, the
+//! `osprofctl topology` command, and the determinism gates in CI.
+//!
+//! # Text format
+//!
+//! One item per line; `#` starts a comment. `agents` takes a
+//! comma-separated list of agent indices and inclusive ranges
+//! (`0,2,4-7`); at top level the agents report straight to the root
+//! collector. `agg <name> { ... }` declares an aggregator whose block
+//! nests more items:
+//!
+//! ```text
+//! # one agent straight to the root, the rest behind two tiers
+//! agents 0
+//! agg edge-a { agents 1-3 }
+//! agg region {
+//!     agg edge-b { agents 4-7 }
+//! }
+//! ```
+//!
+//! Validation requires every agent index `0..nodes` to appear exactly
+//! once, aggregator names to be unique identifiers, and every group to
+//! be non-empty — a topology is a partition of the cluster, not a
+//! routing suggestion.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One node of the declaration tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopoNode {
+    /// Agents (by cluster index) reporting directly to this level.
+    Agents(Vec<usize>),
+    /// An aggregator and everything that reports to it.
+    Agg {
+        /// Aggregator name; becomes the `tier{t}/{name}` fault scope.
+        name: String,
+        /// What reports to this aggregator.
+        children: Vec<TopoNode>,
+    },
+}
+
+/// A full aggregation tree: the root collector's children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Shape name (`flat`, `2-tier`, ... or the `.topo` file stem).
+    pub name: String,
+    /// What reports directly to the root collector.
+    pub roots: Vec<TopoNode>,
+}
+
+/// A topology that failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyError(pub String);
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TopologyError> {
+    Err(TopologyError(msg.into()))
+}
+
+/// The built-in shape names, in the order the docs list them.
+pub const BUILTIN_SHAPES: [&str; 4] = ["flat", "2-tier", "3-tier", "unbalanced"];
+
+impl Topology {
+    /// A built-in shape over `nodes` agents: `flat` (no aggregators),
+    /// `2-tier` (two aggregators splitting the cluster), `3-tier`
+    /// (the same split under one top aggregator), or `unbalanced`
+    /// (mixed depths: one agent direct, one 1-deep group, one 2-deep
+    /// group).
+    ///
+    /// # Errors
+    ///
+    /// Unknown shape names and clusters too small for the shape
+    /// (`2-tier`/`3-tier` need 2 agents, `unbalanced` needs 3).
+    pub fn builtin(shape: &str, nodes: usize) -> Result<Topology, TopologyError> {
+        let all: Vec<usize> = (0..nodes).collect();
+        let half = nodes / 2;
+        let roots = match shape {
+            "flat" => {
+                if nodes == 0 {
+                    return err("flat topology needs at least 1 agent");
+                }
+                vec![TopoNode::Agents(all)]
+            }
+            "2-tier" => {
+                if nodes < 2 {
+                    return err("2-tier topology needs at least 2 agents");
+                }
+                vec![
+                    TopoNode::Agg {
+                        name: "agg-0".into(),
+                        children: vec![TopoNode::Agents(all[..half].to_vec())],
+                    },
+                    TopoNode::Agg {
+                        name: "agg-1".into(),
+                        children: vec![TopoNode::Agents(all[half..].to_vec())],
+                    },
+                ]
+            }
+            "3-tier" => {
+                if nodes < 2 {
+                    return err("3-tier topology needs at least 2 agents");
+                }
+                vec![TopoNode::Agg {
+                    name: "agg-top".into(),
+                    children: vec![
+                        TopoNode::Agg {
+                            name: "agg-0".into(),
+                            children: vec![TopoNode::Agents(all[..half].to_vec())],
+                        },
+                        TopoNode::Agg {
+                            name: "agg-1".into(),
+                            children: vec![TopoNode::Agents(all[half..].to_vec())],
+                        },
+                    ],
+                }]
+            }
+            "unbalanced" => {
+                if nodes < 3 {
+                    return err("unbalanced topology needs at least 3 agents");
+                }
+                let mid = 1 + (nodes - 1) / 2;
+                vec![
+                    TopoNode::Agents(vec![0]),
+                    TopoNode::Agg {
+                        name: "agg-0".into(),
+                        children: vec![TopoNode::Agents(all[1..mid].to_vec())],
+                    },
+                    TopoNode::Agg {
+                        name: "agg-1".into(),
+                        children: vec![TopoNode::Agg {
+                            name: "agg-2".into(),
+                            children: vec![TopoNode::Agents(all[mid..].to_vec())],
+                        }],
+                    },
+                ]
+            }
+            other => return err(format!("unknown topology shape: {other}")),
+        };
+        let topo = Topology { name: shape.to_string(), roots };
+        topo.validate(nodes)?;
+        Ok(topo)
+    }
+
+    /// Parses the text format described in the [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// Malformed syntax (unbalanced braces, bad index specs, missing
+    /// names); this does **not** run [`Topology::validate`], which
+    /// needs the cluster size.
+    pub fn parse(name: &str, text: &str) -> Result<Topology, TopologyError> {
+        // Frames: (aggregator name, children so far); the bottom frame
+        // (None) collects the root's children.
+        let mut stack: Vec<(Option<String>, Vec<TopoNode>)> = vec![(None, Vec::new())];
+        let spaced = text.replace('{', " { ").replace('}', " } ");
+        let mut toks = spaced
+            .lines()
+            .flat_map(|l| l.split('#').next().unwrap_or("").split_whitespace());
+        while let Some(tok) = toks.next() {
+            match tok {
+                "agents" => {
+                    let Some(spec) = toks.next() else {
+                        return err("`agents` needs an index list, e.g. `agents 0,2,4-7`");
+                    };
+                    let list = parse_agent_spec(spec)?;
+                    if let Some((_, children)) = stack.last_mut() {
+                        children.push(TopoNode::Agents(list));
+                    }
+                }
+                "agg" => {
+                    let Some(agg_name) = toks.next() else {
+                        return err("`agg` needs a name");
+                    };
+                    if !is_valid_name(agg_name) {
+                        return err(format!(
+                            "bad aggregator name `{agg_name}`: use letters, digits, `-`, `_`"
+                        ));
+                    }
+                    if toks.next() != Some("{") {
+                        return err(format!("expected `{{` after `agg {agg_name}`"));
+                    }
+                    stack.push((Some(agg_name.to_string()), Vec::new()));
+                }
+                "}" => {
+                    let Some((Some(agg_name), children)) = stack.pop() else {
+                        return err("unmatched `}`");
+                    };
+                    if let Some((_, parent)) = stack.last_mut() {
+                        parent.push(TopoNode::Agg { name: agg_name, children });
+                    }
+                }
+                other => return err(format!("unexpected token `{other}`")),
+            }
+        }
+        if stack.len() != 1 {
+            return err("unclosed `agg { ...` block");
+        }
+        let roots = stack.pop().map(|(_, r)| r).unwrap_or_default();
+        Ok(Topology { name: name.to_string(), roots })
+    }
+
+    /// Checks that the tree is a partition of agents `0..nodes`: every
+    /// index exactly once and in range, aggregator names unique, every
+    /// group non-empty.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError`] naming the first violated condition.
+    pub fn validate(&self, nodes: usize) -> Result<(), TopologyError> {
+        let mut seen_agents = BTreeSet::new();
+        let mut seen_aggs = BTreeSet::new();
+        if self.roots.is_empty() {
+            return err("empty topology");
+        }
+        let mut stack: Vec<&TopoNode> = self.roots.iter().rev().collect();
+        while let Some(node) = stack.pop() {
+            match node {
+                TopoNode::Agents(list) => {
+                    if list.is_empty() {
+                        return err("empty `agents` group");
+                    }
+                    for &i in list {
+                        if i >= nodes {
+                            return err(format!("agent {i} out of range (cluster has {nodes})"));
+                        }
+                        if !seen_agents.insert(i) {
+                            return err(format!("agent {i} appears more than once"));
+                        }
+                    }
+                }
+                TopoNode::Agg { name, children } => {
+                    if !is_valid_name(name) {
+                        return err(format!(
+                            "bad aggregator name `{name}`: use letters, digits, `-`, `_`"
+                        ));
+                    }
+                    if !seen_aggs.insert(name.as_str()) {
+                        return err(format!("aggregator `{name}` declared twice"));
+                    }
+                    if children.is_empty() {
+                        return err(format!("aggregator `{name}` has no children"));
+                    }
+                    stack.extend(children.iter().rev());
+                }
+            }
+        }
+        if seen_agents.len() != nodes {
+            let missing: Vec<String> = (0..nodes)
+                .filter(|i| !seen_agents.contains(i))
+                .map(|i| i.to_string())
+                .collect();
+            return err(format!("agents not assigned to any group: {}", missing.join(",")));
+        }
+        Ok(())
+    }
+
+    /// Aggregator count (all tiers).
+    pub fn agg_count(&self) -> usize {
+        let mut n = 0;
+        let mut stack: Vec<&TopoNode> = self.roots.iter().collect();
+        while let Some(node) = stack.pop() {
+            if let TopoNode::Agg { children, .. } = node {
+                n += 1;
+                stack.extend(children.iter());
+            }
+        }
+        n
+    }
+}
+
+fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+/// Parses `0,2,4-7` into `[0, 2, 4, 5, 6, 7]`.
+fn parse_agent_spec(spec: &str) -> Result<Vec<usize>, TopologyError> {
+    let mut out = Vec::new();
+    for term in spec.split(',') {
+        if let Some((lo, hi)) = term.split_once('-') {
+            let (Ok(lo), Ok(hi)) = (lo.parse::<usize>(), hi.parse::<usize>()) else {
+                return err(format!("bad agent range `{term}`"));
+            };
+            if lo > hi {
+                return err(format!("inverted agent range `{term}`"));
+            }
+            out.extend(lo..=hi);
+        } else {
+            let Ok(i) = term.parse::<usize>() else {
+                return err(format!("bad agent index `{term}`"));
+            };
+            out.push(i);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_validate_for_reference_cluster_sizes() {
+        for shape in BUILTIN_SHAPES {
+            for nodes in [3, 4, 8] {
+                let t = Topology::builtin(shape, nodes).unwrap();
+                assert_eq!(t.name, shape);
+                t.validate(nodes).unwrap();
+            }
+        }
+        assert_eq!(Topology::builtin("flat", 8).unwrap().agg_count(), 0);
+        assert_eq!(Topology::builtin("2-tier", 8).unwrap().agg_count(), 2);
+        assert_eq!(Topology::builtin("3-tier", 8).unwrap().agg_count(), 3);
+        assert_eq!(Topology::builtin("unbalanced", 8).unwrap().agg_count(), 3);
+    }
+
+    #[test]
+    fn unknown_shapes_and_tiny_clusters_are_rejected() {
+        assert!(Topology::builtin("4-tier", 8).is_err());
+        assert!(Topology::builtin("2-tier", 1).is_err());
+        assert!(Topology::builtin("unbalanced", 2).is_err());
+        assert!(Topology::builtin("flat", 0).is_err());
+    }
+
+    #[test]
+    fn text_format_round_trips_a_nested_tree() {
+        let text = "\n# mixed depths\nagents 0\nagg edge-a { agents 1-3 }\nagg region {\n  agg edge-b { agents 4,5,6-7 }\n}\n";
+        let t = Topology::parse("mixed", text).unwrap();
+        t.validate(8).unwrap();
+        assert_eq!(t.agg_count(), 3);
+        assert_eq!(
+            t.roots[0],
+            TopoNode::Agents(vec![0]),
+        );
+        let TopoNode::Agg { name, children } = &t.roots[2] else {
+            panic!("expected agg, got {:?}", t.roots[2]);
+        };
+        assert_eq!(name, "region");
+        assert_eq!(
+            children[0],
+            TopoNode::Agg {
+                name: "edge-b".into(),
+                children: vec![TopoNode::Agents(vec![4, 5, 6, 7])],
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "agg { agents 0 }",         // missing name
+            "agg a agents 0",           // missing brace
+            "agg a { agents 0",         // unclosed
+            "agents 0 }",               // unmatched close
+            "agents x",                 // bad index
+            "agents 5-2",               // inverted range
+            "widget a { agents 0 }",    // unknown keyword
+            "agg bad/name { agents 0 }",
+        ] {
+            assert!(Topology::parse("t", bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_partitions() {
+        // Agent appears twice.
+        let t = Topology::parse("t", "agents 0,1\nagg a { agents 1 }").unwrap();
+        assert!(t.validate(2).is_err());
+        // Agent missing.
+        let t = Topology::parse("t", "agents 0").unwrap();
+        assert!(t.validate(2).is_err());
+        // Out of range.
+        let t = Topology::parse("t", "agents 0,7").unwrap();
+        assert!(t.validate(2).is_err());
+        // Duplicate aggregator names.
+        let t = Topology::parse("t", "agg a { agents 0 }\nagg a { agents 1 }").unwrap();
+        assert!(t.validate(2).is_err());
+        // Empty aggregator.
+        let t = Topology::parse("t", "agg a { }\nagents 0,1").unwrap();
+        assert!(t.validate(2).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests for the federation merge algebra.
+//!
+//! The whole topology-invariance claim reduces to three algebraic
+//! properties of merged-frame relaying, checked here over *arbitrary*
+//! (non-monotone!) snapshot sequences:
+//!
+//! 1. **Exactness** — whatever the tree, every snapshot resolved at
+//!    the root equals the set the agent emitted, bit for bit (delta
+//!    re-basing round-trips through every tier).
+//! 2. **Grouping invariance (associativity)** — merging via one
+//!    aggregator, sibling aggregators, a chain, or a mix resolves the
+//!    same canonical snapshot stream.
+//! 3. **Cadence invariance (order-canonicality)** — flushing every
+//!    round or once at the end changes frame boundaries, not the
+//!    resolved stream; per-node order is always preserved.
+
+use std::collections::BTreeMap;
+
+use osprof_collector::agent::Agent;
+use osprof_collector::federation::{absorb_merged, Aggregator, MergedConnState, Resolved};
+use osprof_collector::wire::{decode_frame, Frame};
+use osprof_core::bucket::Resolution;
+use osprof_core::profile::ProfileSet;
+use osprof_core::proptest::prelude::*;
+
+/// An arbitrary profile set: up to 4 operations, sparse buckets.
+fn arb_set() -> impl Strategy<Value = ProfileSet> {
+    prop::collection::vec((0usize..4, 0usize..40, 1u64..10_000), 0..10).prop_map(|records| {
+        let mut s = ProfileSet::new("fs");
+        for (op, b, n) in records {
+            let name = ["read", "write", "fsync", "readdir"][op];
+            s.entry(name).record_n((1u64 << b) + (1u64 << b) / 2, n);
+        }
+        s
+    })
+}
+
+/// Four nodes, each with its own arbitrary snapshot sequence.
+fn arb_streams() -> impl Strategy<Value = Vec<Vec<ProfileSet>>> {
+    prop::collection::vec(prop::collection::vec(arb_set(), 1..6), 4..5)
+}
+
+/// A little aggregation network: `parent[k]` is aggregator `k`'s
+/// parent (always a higher index, so one ascending flush sweep moves a
+/// frame through the whole chain) or `None` for a root uplink, whose
+/// merged frames are resolved exactly as the root collector would.
+struct Net {
+    aggs: Vec<Aggregator>,
+    parent: Vec<Option<usize>>,
+    slots: BTreeMap<usize, Option<MergedConnState>>,
+    resolved: Vec<Resolved>,
+}
+
+impl Net {
+    fn new(parent: Vec<Option<usize>>) -> Net {
+        let aggs = (0..parent.len())
+            .map(|k| Aggregator::new(format!("agg-{k}"), k as u64 + 1))
+            .collect();
+        Net { aggs, parent, slots: BTreeMap::new(), resolved: Vec::new() }
+    }
+
+    fn flush_all(&mut self) {
+        for k in 0..self.aggs.len() {
+            let Some(bytes) = self.aggs[k].flush() else { continue };
+            match self.parent[k] {
+                Some(p) => self.aggs[p].ingest_bytes(1_000 + k as u64, &bytes),
+                None => {
+                    let (frame, _) = decode_frame(&bytes).unwrap();
+                    let Frame::Merged(mf) = frame else { panic!("uplink must carry merged frames") };
+                    let slot = self.slots.entry(k).or_insert(None);
+                    self.resolved.extend(absorb_merged(slot, &mf));
+                }
+            }
+        }
+    }
+
+    /// Resolved snapshots in canonical `(node, seq)` order.
+    fn snapshots(&self) -> Vec<(String, u64, ProfileSet)> {
+        let mut out: Vec<(String, u64, ProfileSet)> = self
+            .resolved
+            .iter()
+            .filter_map(|r| match r {
+                Resolved::Snapshot { node, seq, set, .. } => {
+                    Some((node.clone(), *seq, set.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        out
+    }
+
+    fn fault_count(&self) -> usize {
+        self.resolved.iter().filter(|r| matches!(r, Resolved::Fault { .. })).count()
+    }
+}
+
+/// Streams every node through its assigned aggregator and returns the
+/// quiesced network. `assign[i]` is node `i`'s entry aggregator.
+fn run_shape(
+    parent: Vec<Option<usize>>,
+    assign: &[usize],
+    streams: &[Vec<ProfileSet>],
+    full_every: u64,
+    flush_each_round: bool,
+) -> Net {
+    let mut net = Net::new(parent);
+    let mut agents: Vec<Agent> = (0..streams.len())
+        .map(|i| Agent::new(format!("node-{i}")).with_full_every(full_every))
+        .collect();
+    for (i, agent) in agents.iter_mut().enumerate() {
+        let hello = agent.hello("fs", Resolution::R1, 100);
+        net.aggs[assign[i]].ingest_frame(i as u64, &hello);
+    }
+    if flush_each_round {
+        net.flush_all();
+    }
+    let rounds = streams.iter().map(Vec::len).max().unwrap_or(0);
+    for r in 0..rounds {
+        for (i, stream) in streams.iter().enumerate() {
+            if let Some(set) = stream.get(r) {
+                let f = agents[i].snapshot((r as u64 + 1) * 100, set);
+                net.aggs[assign[i]].ingest_frame(i as u64, &f);
+            }
+        }
+        if flush_each_round {
+            net.flush_all();
+        }
+    }
+    // Quiesce: one sweep forwards through the deepest chain, extras
+    // are empty and consume nothing.
+    for _ in 0..=net.aggs.len() {
+        net.flush_all();
+    }
+    net
+}
+
+/// What the root must resolve: every emitted snapshot, exactly, in
+/// canonical `(node, seq)` order.
+fn expected(streams: &[Vec<ProfileSet>]) -> Vec<(String, u64, ProfileSet)> {
+    let mut want = Vec::new();
+    for (i, stream) in streams.iter().enumerate() {
+        for (seq, set) in stream.iter().enumerate() {
+            want.push((format!("node-{i}"), seq as u64, set.clone()));
+        }
+    }
+    want.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    want
+}
+
+/// The shapes under comparison, for 4 nodes:
+/// single aggregator, two siblings, a two-deep chain, and a mix where
+/// two nodes dial the parent directly (agent streams and a merged
+/// uplink sharing one aggregator).
+fn shapes() -> Vec<(Vec<Option<usize>>, Vec<usize>)> {
+    vec![
+        (vec![None], vec![0, 0, 0, 0]),
+        (vec![None, None], vec![0, 0, 1, 1]),
+        (vec![Some(1), None], vec![0, 0, 0, 0]),
+        (vec![Some(1), None], vec![0, 1, 0, 1]),
+    ]
+}
+
+proptest! {
+    /// Exactness + associativity: every grouping resolves every
+    /// emitted snapshot bit-for-bit, with no tier faults.
+    #[test]
+    fn tree_grouping_is_invariant_and_exact(
+        streams in arb_streams(),
+        full_every in 0u64..4,
+    ) {
+        let want = expected(&streams);
+        for (parent, assign) in shapes() {
+            let net = run_shape(parent.clone(), &assign, &streams, full_every, true);
+            prop_assert_eq!(net.fault_count(), 0, "clean wires must resolve no faults");
+            prop_assert_eq!(
+                net.snapshots(), want.clone(),
+                "grouping {:?}/{:?} changed the resolved stream", parent, assign
+            );
+        }
+    }
+
+    /// Order-canonicality: frame boundaries (flush cadence) do not
+    /// change the resolved stream, and per-node seq order is
+    /// monotone in arrival order.
+    #[test]
+    fn flush_cadence_is_canonical(
+        streams in arb_streams(),
+        full_every in 0u64..4,
+    ) {
+        let (parent, assign) = (vec![Some(1), None], vec![0, 0, 0, 0]);
+        let per_round = run_shape(parent.clone(), &assign, &streams, full_every, true);
+        let end_only = run_shape(parent, &assign, &streams, full_every, false);
+        prop_assert_eq!(per_round.snapshots(), end_only.snapshots());
+
+        // Arrival order within each node is the agent's emit order.
+        let mut last: BTreeMap<String, u64> = BTreeMap::new();
+        for r in &per_round.resolved {
+            if let Resolved::Snapshot { node, seq, .. } = r {
+                if let Some(prev) = last.insert(node.clone(), *seq) {
+                    prop_assert!(prev < *seq, "{node}: seq {seq} arrived after {prev}");
+                }
+            }
+        }
+    }
+
+    /// Re-basing survives the periodic full-body refresh: a sequence
+    /// long enough to cross `MERGED_FULL_EVERY` still resolves
+    /// exactly.
+    #[test]
+    fn rebasing_across_full_refreshes_is_exact(
+        seed_sets in prop::collection::vec(arb_set(), 3..6),
+    ) {
+        // Stretch the sequence past one refresh period by cycling the
+        // generated sets.
+        let n = osprof_collector::federation::MERGED_FULL_EVERY as usize + 4;
+        let stream: Vec<ProfileSet> =
+            (0..n).map(|i| seed_sets[i % seed_sets.len()].clone()).collect();
+        let streams = vec![stream];
+        let want = expected(&streams);
+        let net = run_shape(vec![None], &[0], &streams, 0, true);
+        prop_assert_eq!(net.fault_count(), 0);
+        prop_assert_eq!(net.snapshots(), want);
+    }
+}

@@ -167,7 +167,8 @@ impl Scope {
     pub fn no_panic(path: &str) -> bool {
         let in_crate = path.starts_with("crates/collector/src/")
             || path.starts_with("crates/core/src/")
-            || path.starts_with("crates/analysis/src/");
+            || path.starts_with("crates/analysis/src/")
+            || path.starts_with("crates/federation/src/");
         in_crate && !Self::is_test_like(path)
     }
 
@@ -182,15 +183,20 @@ impl Scope {
     /// the whole collector, serialization/JSON in core, and viz.
     pub fn no_unordered_iter(path: &str) -> bool {
         let in_scope = path.starts_with("crates/collector/src/")
+            || path.starts_with("crates/federation/src/")
             || path.starts_with("crates/viz/src/")
             || path == "crates/core/src/serialize.rs"
             || path == "crates/core/src/json.rs";
         in_scope && !Self::is_test_like(path)
     }
 
-    /// The collector's bounded-queue policy.
+    /// The collector's bounded-queue policy, which federation relays
+    /// inherit: an aggregator that buffers without limit defeats the
+    /// tree's whole backpressure story.
     pub fn no_unbounded_channel(path: &str) -> bool {
-        path.starts_with("crates/collector/src/") && !Self::is_test_like(path)
+        let in_scope = path.starts_with("crates/collector/src/")
+            || path.starts_with("crates/federation/src/");
+        in_scope && !Self::is_test_like(path)
     }
 
     /// Test, bench, example and binary paths exempt from code rules.
@@ -433,6 +439,22 @@ mod tests {
     fn cfg_test_regions_are_exempt() {
         let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); }\n}\n";
         assert!(diags("crates/core/src/profile.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn federation_paths_are_fully_in_scope() {
+        // The federation crate inherits every collector-grade rule:
+        // panic-free, ordered iteration, bounded channels, no clocks.
+        let panic_src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(diags("crates/federation/src/replay.rs", panic_src, false).len(), 1);
+        let map_src = "fn f() { let m: HashMap<u64, u64> = make(); }\n";
+        assert_eq!(diags("crates/federation/src/topology.rs", map_src, false).len(), 1);
+        let chan_src = "fn f() { let (tx, rx) = mpsc::channel(); }\n";
+        assert_eq!(diags("crates/federation/src/replay.rs", chan_src, false).len(), 1);
+        let clock_src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(diags("crates/federation/src/replay.rs", clock_src, false).len(), 1);
+        // Its tests stay exempt, like everyone else's.
+        assert!(diags("crates/federation/tests/merge_proptests.rs", panic_src, false).is_empty());
     }
 
     #[test]

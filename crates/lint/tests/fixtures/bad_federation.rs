@@ -1,0 +1,18 @@
+// Known-bad fixture: the violations a federation relay is most likely
+// to grow — unordered iteration over merged per-node state (order
+// leaks into forwarded frame bytes), a panicking flush path, and an
+// unbounded uplink queue.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+fn flush(merged: &HashMap<String, u64>) -> Vec<u8> {
+    let (tx, _rx): (mpsc::Sender<Vec<u8>>, mpsc::Receiver<Vec<u8>>) = mpsc::channel();
+    let mut out = Vec::new();
+    for (node, seq) in merged {
+        out.extend_from_slice(node.as_bytes());
+        out.push(u8::try_from(*seq).unwrap());
+    }
+    tx.send(out.clone()).unwrap();
+    out
+}

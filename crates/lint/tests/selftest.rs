@@ -89,6 +89,35 @@ fn bad_channel_fixture_flags_unbounded_but_not_sync() {
 }
 
 #[test]
+fn bad_federation_fixture_trips_every_relay_rule() {
+    // The violations a federation relay is most likely to grow, all in
+    // one file: unordered iteration over merged per-node state, an
+    // unbounded uplink queue, and a panicking flush path. The same
+    // rules that guard `crates/collector/src/` scope over
+    // `crates/federation/src/` (see `Scope` in `rules.rs`).
+    assert_eq!(
+        rendered(&["tests/fixtures/bad_federation.rs"]),
+        [
+            "tests/fixtures/bad_federation.rs:6:23: error[no-unordered-iter]: `HashMap` in an \
+             output-producing file: iteration order is seeded per process and leaks into \
+             bytes; use `BTreeMap` or sort before emitting",
+            "tests/fixtures/bad_federation.rs:9:19: error[no-unordered-iter]: `HashMap` in an \
+             output-producing file: iteration order is seeded per process and leaks into \
+             bytes; use `BTreeMap` or sort before emitting",
+            "tests/fixtures/bad_federation.rs:10:71: error[no-unbounded-channel]: unbounded \
+             `mpsc::channel()` in the collector: a stalled consumer buffers without limit; \
+             use `mpsc::sync_channel(bound)`",
+            "tests/fixtures/bad_federation.rs:14:36: error[no-panic]: `unwrap()` in production \
+             code; return a typed error or add `// lint:allow(no-panic): <why this cannot \
+             fail>`",
+            "tests/fixtures/bad_federation.rs:16:25: error[no-panic]: `unwrap()` in production \
+             code; return a typed error or add `// lint:allow(no-panic): <why this cannot \
+             fail>`",
+        ]
+    );
+}
+
+#[test]
 fn bad_suppression_fixture_yields_all_four_hygiene_errors() {
     assert_eq!(
         rendered(&["tests/fixtures/bad_suppression.rs"]),

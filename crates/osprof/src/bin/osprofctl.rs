@@ -9,6 +9,7 @@
 //! osprofctl record  <out>             capture the simulated cluster run to a stream file
 //! osprofctl stream  <file>            replay a recorded stream, print flagged anomalies
 //! osprofctl attribution <scenario>    replay a scenario, print its root-cause verdicts
+//! osprofctl topology <shape|file> <scenario>   replay a scenario through an aggregation tree
 //! ```
 //!
 //! Files are the text or JSON formats produced by
@@ -59,11 +60,21 @@ fn run() -> Result<(), tool::ToolError> {
         Some("attribution") if args.len() == 2 => {
             print!("{}", tool::attribution(&args[1])?);
         }
+        Some("topology") if args.len() == 3 => {
+            // A shape name (flat, 2-tier, ...) or a .topo file path.
+            let spec = if std::path::Path::new(&args[1]).is_file() {
+                read(&args[1])
+            } else {
+                args[1].clone()
+            };
+            print!("{}", tool::topology(&spec, &args[2])?);
+        }
         _ => {
             eprintln!(
                 "usage: osprofctl render <file> | peaks <file> | diff <a> <b> | \
                  gnuplot <file> <outdir> | cluster <file>... | record <out> | stream <file> | \
-                 attribution <ext-stream|ext-chaos|clean>"
+                 attribution <ext-stream|ext-chaos|clean> | \
+                 topology <flat|2-tier|3-tier|unbalanced|FILE.topo> <ext-stream|ext-chaos>"
             );
             std::process::exit(2);
         }

@@ -17,6 +17,7 @@
 //! | [`workloads`] | `osprof-workloads` | grep, random-read, Postmark, zero-read, clone storm |
 //! | [`host`] | `osprof-host` | real rdtsc profiling of this machine |
 //! | [`collector`] | `osprof-collector` | streaming collection: wire format, agent, `osprofd`, online detection |
+//! | [`federation`] | `osprof-federation` | multi-tier aggregation: topology declarations, federated replays |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub mod tool;
 pub use osprof_analysis as analysis;
 pub use osprof_collector as collector;
 pub use osprof_core as core;
+pub use osprof_federation as federation;
 pub use osprof_host as host;
 pub use osprof_simdisk as simdisk;
 pub use osprof_simfs as simfs;

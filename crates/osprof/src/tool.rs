@@ -213,6 +213,61 @@ pub fn attribution(kind: &str) -> Result<String, ToolError> {
         .map_err(|e| ToolError::Usage(format!("attribution: {e}")))
 }
 
+/// `topology`: replays a scenario (`ext-stream` or `ext-chaos`)
+/// through an aggregation tree and returns the root report, text and
+/// JSON. `spec` is a built-in shape name (`flat`, `2-tier`, `3-tier`,
+/// `unbalanced`) or the text of a `.topo` file.
+///
+/// The output deliberately names no topology: for the same scenario it
+/// must be **byte-identical for every tree shape** — the federation
+/// subsystem's headline invariant, which CI enforces by `cmp`-ing this
+/// command's output across shapes.
+pub fn topology(spec: &str, scenario: &str) -> Result<String, ToolError> {
+    use osprof_federation::{
+        replay_chaos_federated, replay_streams_federated, FederatedOpts, Topology,
+    };
+    let cfg = osprof_collector::scenario::ScenarioConfig::default();
+    let topo = if osprof_federation::topology::BUILTIN_SHAPES.contains(&spec) {
+        Topology::builtin(spec, cfg.nodes)
+    } else {
+        Topology::parse("custom", spec)
+    }
+    .map_err(|e| ToolError::Usage(format!("topology: {e}")))?;
+    topo.validate(cfg.nodes).map_err(|e| ToolError::Usage(format!("topology: {e}")))?;
+
+    let (report, json) = match scenario {
+        "ext-stream" => {
+            let streams = osprof_collector::scenario::cluster_streams(&cfg);
+            let run = replay_streams_federated(&topo, &streams)
+                .map_err(|e| ToolError::Usage(format!("topology: {e}")))?;
+            (run.report, run.json)
+        }
+        "ext-chaos" => {
+            let timelines = osprof_collector::scenario::cluster_timelines(&cfg);
+            let run = replay_chaos_federated(
+                &topo,
+                &timelines,
+                &osprof_collector::scenario::ChaosConfig::default(),
+                &FederatedOpts::default(),
+            )
+            .map_err(|e| ToolError::Usage(format!("topology: {e}")))?;
+            (run.report, run.json)
+        }
+        other => {
+            return Err(ToolError::Usage(format!(
+                "topology: unknown scenario '{other}' (expected ext-stream or ext-chaos)"
+            )))
+        }
+    };
+    let mut out = report;
+    out.push_str("--- report.json ---\n");
+    out.push_str(&json);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 fn wire_err(e: osprof_collector::wire::WireError) -> ToolError {
     ToolError::Usage(format!("stream: {e}"))
 }

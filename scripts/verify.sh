@@ -69,6 +69,44 @@ for kind in ext-stream ext-chaos clean; do
   fi
 done
 
+echo "==> topology determinism (osprofctl topology, root report cmp)"
+# The federation headline invariant, gated byte-for-byte: replay the
+# scripted cluster through every checked-in tree shape and require the
+# root report (text + JSON, anomalies and attribution included) to be
+# identical to the flat replay's. On drift the unified diff lands in
+# target/topology-golden.diff; there is nothing to re-bless — a
+# difference here is a federation bug, not a fixture change.
+rm -f target/topology-golden.diff
+for scenario in ext-stream ext-chaos; do
+  flat="target/topology-${scenario}-flat.txt"
+  timeout 120 target/release/osprofctl topology flat "$scenario" > "$flat"
+  for shape in 2-tier 3-tier results/topologies/unbalanced.topo; do
+    out="target/topology-${scenario}-$(basename "${shape%.topo}").txt"
+    timeout 120 target/release/osprofctl topology "$shape" "$scenario" > "$out"
+    if ! cmp -s "$out" "$flat"; then
+      diff -u "$flat" "$out" >> target/topology-golden.diff || true
+      echo "root report for '$shape' ($scenario) differs from flat" >&2
+      echo "diff written to target/topology-golden.diff" >&2
+      exit 1
+    fi
+  done
+done
+
+echo "==> aggregator smoke (osprofd agg-smoke, 2-tier TCP pipeline)"
+# One agent streams over real TCP into an aggregator daemon whose
+# merged frames feed a root collector: exits 0 only if the degradation
+# is flagged through the relay and every snapshot is accounted for.
+timeout 120 target/release/osprofd agg-smoke
+
+echo "==> federation suites under two property seeds"
+# Merge-algebra properties and the topology byte-identity integration
+# suite, replayed under a second seed like the attribution suites.
+for seed in 1 0xDEADBEEF; do
+  OSPROF_TEST_SEED="$seed" cargo test -q --offline -p osprof-federation
+  OSPROF_TEST_SEED="$seed" cargo test -q --offline -p osprof-integration-tests \
+    --test federation
+done
+
 echo "==> attribution suites under two property seeds"
 # Verdicts must be seed-independent: OSPROF_TEST_SEED drives only the
 # property-test harness, never the simulations behind the goldens.

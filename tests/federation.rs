@@ -1,0 +1,187 @@
+//! End-to-end federation invariants over the checked-in topologies.
+//!
+//! The headline claim of the federation subsystem: the root report —
+//! text *and* JSON, anomaly flags and attribution verdicts included —
+//! is **byte-identical for every tree shape** over the same agent
+//! streams. These tests replay the scripted 8-node cluster through
+//! every topology file under `results/topologies/` (the same files
+//! `osprofctl topology` accepts) and through the builtin shapes, for
+//! both the clean stream scenario and the chaos scenario, and compare
+//! the outputs byte for byte. A mid-run aggregator crash recovered
+//! from its journal must not move a byte either.
+//!
+//! The tier-fault report (per-tier fault counters under the
+//! `tier<N>/<name>` scope) is pinned as a golden fixture; re-bless
+//! with `OSPROF_UPDATE_FIXTURES=1` after an intentional format change.
+
+use std::path::PathBuf;
+
+use osprof::collector::daemon::{Collector, CollectorConfig};
+use osprof::collector::fault::{node_seed, FaultPlan};
+use osprof::collector::scenario::{
+    cluster_streams, cluster_timelines, replay_chaos, replay_round_robin, ChaosConfig,
+    ScenarioConfig,
+};
+use osprof::federation::{
+    replay_chaos_federated, replay_streams_federated, FederatedOpts, Topology, BUILTIN_SHAPES,
+};
+
+/// The scripted cluster the checked-in `.topo` files are written for.
+fn cfg() -> ScenarioConfig {
+    ScenarioConfig { dirs: 20, ..ScenarioConfig::default() }
+}
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(rel)
+}
+
+/// Every checked-in topology file, parsed and validated for the
+/// scripted cluster.
+fn checked_in_topologies(nodes: usize) -> Vec<(String, Topology)> {
+    BUILTIN_SHAPES
+        .iter()
+        .map(|shape| {
+            let path = repo_path(&format!("results/topologies/{shape}.topo"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+            let topo = Topology::parse(shape, &text)
+                .unwrap_or_else(|e| panic!("{shape}.topo does not parse: {e}"));
+            topo.validate(nodes).unwrap_or_else(|e| panic!("{shape}.topo is invalid: {e}"));
+            (shape.to_string(), topo)
+        })
+        .collect()
+}
+
+#[test]
+fn checked_in_topo_files_mirror_the_builtin_shapes() {
+    for (shape, topo) in checked_in_topologies(8) {
+        let builtin = Topology::builtin(&shape, 8).unwrap();
+        assert_eq!(
+            topo.agg_count(),
+            builtin.agg_count(),
+            "{shape}.topo drifted from the builtin shape"
+        );
+    }
+}
+
+#[test]
+fn stream_replay_is_byte_identical_across_checked_in_topologies() {
+    let streams = cluster_streams(&cfg());
+
+    // Anchor: the flat federated replay reproduces the classic
+    // single-collector replay exactly.
+    let mut col = Collector::new(CollectorConfig::default());
+    let classic_fired = replay_round_robin(&mut col, &streams);
+    let flat = replay_streams_federated(&Topology::builtin("flat", 8).unwrap(), &streams).unwrap();
+    assert_eq!(flat.report, col.report(), "flat federation must equal the classic replay");
+    assert_eq!(flat.first_fired, classic_fired);
+
+    for (shape, topo) in checked_in_topologies(8) {
+        let run = replay_streams_federated(&topo, &streams).unwrap();
+        assert_eq!(run.report, flat.report, "report differs for {shape}.topo");
+        assert_eq!(run.json, flat.json, "json differs for {shape}.topo");
+        assert_eq!(run.first_fired, flat.first_fired);
+    }
+}
+
+#[test]
+fn chaos_replay_is_byte_identical_across_checked_in_topologies() {
+    let timelines = cluster_timelines(&cfg());
+    let ccfg = ChaosConfig::default();
+
+    // Anchor: flat federation == classic chaos replay.
+    let classic = replay_chaos(&timelines, &ccfg, None).unwrap();
+    let flat = replay_chaos_federated(
+        &Topology::builtin("flat", 8).unwrap(),
+        &timelines,
+        &ccfg,
+        &FederatedOpts::default(),
+    )
+    .unwrap();
+    assert_eq!(flat.report, classic.report, "flat federation must equal the classic chaos replay");
+    assert_eq!(flat.flagged, classic.flagged);
+    assert_eq!(flat.attribution, classic.attribution);
+    assert_eq!(flat.wire_stats, classic.wire_stats);
+
+    for (shape, topo) in checked_in_topologies(8) {
+        let run = replay_chaos_federated(&topo, &timelines, &ccfg, &FederatedOpts::default())
+            .unwrap();
+        assert_eq!(run.report, flat.report, "report differs for {shape}.topo");
+        assert_eq!(run.json, flat.json, "json differs for {shape}.topo");
+        assert_eq!(run.flagged, flat.flagged);
+        assert_eq!(run.attribution, flat.attribution, "attribution differs for {shape}.topo");
+        assert_eq!(run.wire_stats, flat.wire_stats, "agent wires must be topology-independent");
+    }
+}
+
+#[test]
+fn aggregator_crash_recovery_does_not_move_a_byte() {
+    let timelines = cluster_timelines(&cfg());
+    let ccfg = ChaosConfig::default();
+    let topo = Topology::builtin("3-tier", 8).unwrap();
+    let clean =
+        replay_chaos_federated(&topo, &timelines, &ccfg, &FederatedOpts::default()).unwrap();
+
+    // Kill the leaf aggregator carrying the degraded node mid-run and
+    // recover it from its own journal.
+    let opts = FederatedOpts { crash_agg: Some(("agg-1".into(), 5)), ..FederatedOpts::default() };
+    let crashed = replay_chaos_federated(&topo, &timelines, &ccfg, &opts).unwrap();
+    assert!(crashed.recovered, "the crash must actually happen");
+    assert_eq!(crashed.report, clean.report, "journal recovery must be byte-exact");
+    assert_eq!(crashed.json, clean.json);
+    assert_eq!(crashed.attribution, clean.attribution);
+}
+
+/// A chaos run with a hostile *tier* wire: agg-0's uplink drops and
+/// corrupts merged frames, so the root's fault section carries
+/// counters under the `tier1/agg-0` scope next to the per-agent ones.
+fn render_tier_fault_report() -> String {
+    let timelines = cluster_timelines(&ScenarioConfig {
+        nodes: 4,
+        degraded: Some(3),
+        dirs: 20,
+        ..ScenarioConfig::default()
+    });
+    let topo = Topology::builtin("2-tier", 4).unwrap();
+    let plan = FaultPlan {
+        seed: node_seed(0xF00D, 0),
+        drop: 0.2,
+        corrupt: 0.05,
+        ..FaultPlan::default()
+    };
+    let opts =
+        FederatedOpts { uplink_faults: vec![("agg-0".into(), plan)], ..FederatedOpts::default() };
+    let run =
+        replay_chaos_federated(&topo, &timelines, &ChaosConfig::default(), &opts).unwrap();
+    format!("{}{}", run.report, run.attribution)
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    repo_path("results/fixtures").join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("OSPROF_UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} ({e}); run with OSPROF_UPDATE_FIXTURES=1", path.display())
+    });
+    assert_eq!(rendered, golden, "federated report for {name} drifted from the fixture");
+}
+
+#[test]
+fn tier_fault_report_matches_golden_fixture() {
+    let report = render_tier_fault_report();
+    // Sanity before pinning: the tier scope is actually present.
+    assert!(report.contains("tier1/agg-0"), "tier faults must surface by scope:\n{report}");
+    check_golden("federation_chaos_report.txt", &report);
+}
+
+#[test]
+fn tier_fault_report_is_deterministic() {
+    assert_eq!(render_tier_fault_report(), render_tier_fault_report());
+}
