@@ -482,6 +482,7 @@ pub fn run_with(cfg: &BenchConfig) -> Result<(String, Json), CollectorError> {
         ("serial_frames_per_sec".into(), Json::Float(serial_fps)),
         ("parallel_frames_per_sec".into(), Json::Float(parallel_fps)),
         ("speedup_parallel_over_serial".into(), Json::Float(speedup)),
+        ("speedup_check".into(), Json::Str(speedup_check_status(cpus, cfg.is_smoke()).into())),
         (
             "results".into(),
             Json::Array(
@@ -502,6 +503,21 @@ pub fn run_with(cfg: &BenchConfig) -> Result<(String, Json), CollectorError> {
         ),
     ]);
     Ok((out, json))
+}
+
+/// How the 2x speedup criterion applies to a run, recorded in the
+/// emitted JSON as `speedup_check` so the artifact itself says whether
+/// its speedup number is a pass/fail gate or an honest-but-unusable
+/// measurement: a single-CPU host *cannot* beat one core with a thread
+/// pool, so its sub-2x speedup is data, not a regression.
+fn speedup_check_status(cpus: usize, smoke: bool) -> &'static str {
+    if cpus == 1 {
+        "skipped-single-cpu"
+    } else if smoke || cpus < 4 {
+        "advisory"
+    } else {
+        "enforced"
+    }
 }
 
 /// Validates a previously-emitted `BENCH_collector.json`: every
@@ -578,15 +594,31 @@ pub fn check(text: &str) -> Result<String, String> {
         "BENCH_collector.json ok: {nodes} nodes, {workers} workers, \
          serial {serial_fps:.0} f/s, parallel {parallel_fps:.0} f/s, speedup {speedup:.2}x"
     );
+    // The artifact's own account of the criterion (absent in schema<=2
+    // emissions) must agree with the host shape it records.
+    if let Ok(recorded) = doc.field::<String>("speedup_check") {
+        let expect = speedup_check_status(cpus as usize, mode == "smoke");
+        if recorded != expect {
+            return Err(format!(
+                "BENCH_collector.json: speedup_check '{recorded}' contradicts the recorded \
+                 host shape (expected '{expect}' for {cpus} cpu(s), {mode} mode)"
+            ));
+        }
+    }
     if speedup < 2.0 {
-        if cpus >= 4 && mode == "full" {
+        if cpus == 1 {
+            // A worker pool cannot beat one core on one core: the
+            // artifact records the skip, the check honors it.
+            summary.push_str("\nspeedup_check: skipped-single-cpu (1 host cpu)");
+        } else if cpus >= 4 && mode == "full" {
             return Err(format!(
                 "BENCH_collector.json: speedup {speedup:.2}x < 2x on a {cpus}-cpu host (full mode)"
             ));
+        } else {
+            summary.push_str(&format!(
+                "\nwarning: speedup below 2x not enforced ({cpus} host cpu(s), {mode} mode)"
+            ));
         }
-        summary.push_str(&format!(
-            "\nwarning: speedup below 2x not enforced ({cpus} host cpu(s), {mode} mode)"
-        ));
     }
     Ok(summary)
 }
@@ -598,6 +630,7 @@ pub fn check(text: &str) -> Result<String, String> {
 /// byte-identical across repeat runs.
 const TIMING_KEYS: &[&str] = &[
     "host_cpus",
+    "speedup_check",
     "serial_frames_per_sec",
     "parallel_frames_per_sec",
     "speedup_parallel_over_serial",
@@ -727,6 +760,35 @@ mod tests {
         let bad_topo = warning.replace("\"2-tier\"", "\"ring\"");
         let err = check(&bad_topo).unwrap_err();
         assert!(err.contains("unknown topology"), "{err}");
+    }
+
+    #[test]
+    fn single_cpu_speedup_is_skipped_not_failed() {
+        // An honest sub-1x speedup on a 1-cpu host passes the check and
+        // the skip is recorded, full mode or not: a worker pool cannot
+        // beat one core on one core.
+        let doc = r#"{
+            "bench": "collector-ingest", "mode": "full", "nodes": 8,
+            "workers": 8, "repetitions": 5, "host_cpus": 1,
+            "serial_frames_per_sec": 1000.0, "parallel_frames_per_sec": 620.0,
+            "speedup_parallel_over_serial": 0.62,
+            "speedup_check": "skipped-single-cpu",
+            "results": [{"engine": "serial", "variant": "clean", "topology": "flat",
+                         "frames": 100, "median_ms": 1.0, "frames_per_sec": 1000.0},
+                        {"engine": "federated-2", "variant": "clean", "topology": "2-tier",
+                         "frames": 100, "median_ms": 1.0, "frames_per_sec": 620.0}]
+        }"#;
+        let summary = check(doc).unwrap();
+        assert!(summary.contains("skipped-single-cpu"), "{summary}");
+        // But the recorded status must match the recorded host shape:
+        // claiming a single-cpu skip on an 8-cpu host is a lie.
+        let lying = doc.replace("\"host_cpus\": 1", "\"host_cpus\": 8");
+        let err = check(&lying).unwrap_err();
+        assert!(err.contains("contradicts"), "{err}");
+        assert_eq!(speedup_check_status(1, false), "skipped-single-cpu");
+        assert_eq!(speedup_check_status(2, false), "advisory");
+        assert_eq!(speedup_check_status(8, true), "advisory");
+        assert_eq!(speedup_check_status(8, false), "enforced");
     }
 
     #[test]

@@ -131,6 +131,44 @@ impl Decoder {
         Decoder::default()
     }
 
+    /// Serializes the decoder state into a checkpoint buffer (see
+    /// `crate::journal`'s checkpoint records).
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        match &self.last {
+            Some(set) => {
+                out.push(1);
+                crate::wire::put_profile_set(out, set);
+            }
+            None => out.push(0),
+        }
+        match self.expected_seq {
+            Some(seq) => {
+                out.push(1);
+                crate::wire::put_uvarint(out, seq as u128);
+            }
+            None => out.push(0),
+        }
+        crate::wire::put_uvarint(out, self.epoch as u128);
+        out.push(u8::from(self.awaiting_full));
+        out.push(u8::from(self.recovering));
+    }
+
+    /// Rebuilds a decoder from a checkpoint buffer.
+    pub(crate) fn decode_state(c: &mut crate::wire::Cursor<'_>) -> Result<Self, WireError> {
+        let last = match c.byte()? {
+            0 => None,
+            _ => Some(crate::wire::get_profile_set(c)?),
+        };
+        let expected_seq = match c.byte()? {
+            0 => None,
+            _ => Some(c.u64()?),
+        };
+        let epoch = c.u64()?;
+        let awaiting_full = c.byte()? != 0;
+        let recovering = c.byte()? != 0;
+        Ok(Decoder { last, expected_seq, epoch, awaiting_full, recovering })
+    }
+
     /// The latest resync epoch seen on this connection.
     pub fn epoch(&self) -> u64 {
         self.epoch

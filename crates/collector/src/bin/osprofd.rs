@@ -36,6 +36,13 @@
 //! - `osprofd agg-smoke [addr]` — federation self-test: a real 2-tier
 //!   TCP pipeline (agent -> aggregator -> root daemon) streaming the
 //!   degrading node; exit 0 only if the root flags the degradation.
+//! - `osprofd overload-smoke [dir]` — resource-exhaustion self-test:
+//!   replay the `ext-overload` scenario once uninterrupted in memory
+//!   and once journaling to rotating segments under `dir`, killing the
+//!   daemon mid-run with a torn segment tail and recovering from
+//!   checkpoint + tail segments. Exit 0 only if the recovered report
+//!   is byte-identical, the memory budgets shed and evicted, and the
+//!   journal footprint stayed under the disk budget.
 
 use std::fs::{File, OpenOptions};
 use std::net::{TcpListener, TcpStream};
@@ -48,8 +55,9 @@ use osprof_collector::federation::{recover_aggregator, Aggregator, JournaledAggr
 use osprof_collector::journal::{self, JournaledCollector};
 use osprof_collector::parallel::ParallelCollector;
 use osprof_collector::scenario::{
-    cluster_timelines, degrading_node_frames, replay_chaos, replay_chaos_parallel,
-    ChaosConfig, ScenarioConfig,
+    cluster_timelines, degrading_node_frames, overload_schedule, replay_chaos,
+    replay_chaos_parallel, replay_overload, replay_overload_crash, ChaosConfig, OverloadConfig,
+    ScenarioConfig,
 };
 use osprof_collector::transport::{FrameSink, FrameSource, ReadTransport, WriteTransport};
 use osprof_collector::wire::{decode_frame, encode_frame, Frame};
@@ -59,7 +67,8 @@ fn usage() -> ExitCode {
         "usage: osprofd serve <addr> [--nodes N] [--journal PATH] [--workers W] \
          | osprofd aggregate <addr> --upstream <addr> [--nodes N] [--name NAME] [--tier T] [--journal PATH] \
          | osprofd replay [--workers W] [--nodes N] [--dirs D] \
-         | osprofd smoke [addr] | osprofd crash-smoke [path] | osprofd agg-smoke [addr]"
+         | osprofd smoke [addr] | osprofd crash-smoke [path] | osprofd agg-smoke [addr] \
+         | osprofd overload-smoke [dir]"
     );
     ExitCode::from(2)
 }
@@ -140,6 +149,13 @@ fn main() -> ExitCode {
                 .cloned()
                 .unwrap_or_else(|| "target/osprofd-crash-smoke.journal".to_string());
             crash_smoke(&path)
+        }
+        Some("overload-smoke") => {
+            let dir = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "target/osprofd-overload-smoke".to_string());
+            overload_smoke(&dir)
         }
         _ => usage(),
     }
@@ -507,6 +523,77 @@ fn run_crash_smoke(path: &str) -> Result<(), String> {
     let _ = std::fs::remove_file(path);
     print!("{got}");
     println!("osprofd crash-smoke: OK — recovered report is byte-identical");
+    Ok(())
+}
+
+/// Resource-exhaustion self-test: the `ext-overload` replay run twice —
+/// once uninterrupted in memory, once against rotating on-disk journal
+/// segments with a mid-run crash (torn tail) and checkpoint recovery.
+/// Exit 0 only when the recovered report is byte-identical and every
+/// resource budget held.
+fn overload_smoke(dir: &str) -> ExitCode {
+    match run_overload_smoke(dir) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("osprofd overload-smoke: FAILED — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_overload_smoke(dir: &str) -> Result<(), String> {
+    let cfg = OverloadConfig::default();
+    let sched = overload_schedule(&cfg);
+    println!(
+        "osprofd overload-smoke: {} round(s), crash after round {:?}, segments under {dir}",
+        sched.rounds.len(),
+        cfg.plan.crash_after_round
+    );
+
+    // Reference: the uninterrupted in-memory run under the same budgets.
+    let want = replay_overload(&sched, &cfg.plan).map_err(|e| format!("serial replay: {e}"))?;
+
+    // The crashing run: segment rotation + checkpoint compaction on
+    // disk, daemon killed mid-run, journal tail torn, state recovered.
+    let _ = std::fs::remove_dir_all(dir);
+    let got =
+        replay_overload_crash(&sched, &cfg.plan, dir).map_err(|e| format!("crash replay: {e}"))?;
+    if !got.recovered {
+        return Err("the crash engine never crashed".to_string());
+    }
+    if got.report != want.report {
+        return Err(format!(
+            "recovered report differs from the uninterrupted run\n--- want ---\n{}\n--- got ---\n{}",
+            want.report, got.report
+        ));
+    }
+    if got.json != want.json {
+        return Err("recovered JSON report differs from the uninterrupted run".to_string());
+    }
+    if want.shed == 0 {
+        return Err("nothing shed; the overload must bind the memory budgets".to_string());
+    }
+    if want.evictions == 0 {
+        return Err("nothing evicted; the stalled agent must be evicted".to_string());
+    }
+    if want.flagged.is_empty() {
+        return Err("degradation unflagged; shedding must not mask the sick node".to_string());
+    }
+    let fp = osprof_collector::segment::footprint(std::path::Path::new(dir))
+        .map_err(|e| format!("footprint: {e}"))?;
+    if fp > cfg.plan.disk_budget {
+        return Err(format!(
+            "journal footprint {fp} bytes exceeds the disk budget {}",
+            cfg.plan.disk_budget
+        ));
+    }
+    let _ = std::fs::remove_dir_all(dir);
+    print!("{}", got.report);
+    println!(
+        "osprofd overload-smoke: OK — shed {}, evicted {}, footprint {fp} <= {}, flagged {:?}, \
+         crash-recovered report byte-identical",
+        want.shed, want.evictions, cfg.plan.disk_budget, want.flagged
+    );
     Ok(())
 }
 

@@ -18,7 +18,7 @@ use osprof_core::json::Json;
 
 use crate::agent::{DecodeEvent, Decoder, SkipReason};
 use crate::attribution::{self, AttributionSettings, VerdictMap};
-use crate::detect::{Anomaly, Detector, DetectorConfig};
+use crate::detect::{Anomaly, AnomalyKind, DataQuality, Detector, DetectorConfig};
 use crate::federation::{self, MergedConnState, MergedFrame, Resolved};
 use crate::store::{Offer, ShardedStore, Snapshot, StoreConfig, StreamFault};
 use crate::wire::{self, Frame, WireError};
@@ -431,6 +431,223 @@ impl Collector {
             .collect()
     }
 
+    // ---- checkpointing (journal segment compaction) ------------------
+    //
+    // A collector's report is a deterministic function of its ingest
+    // history, so a serialized copy of its complete state can stand in
+    // for the entire journal prefix that produced it. The segmented
+    // journal (`crate::segment`) writes one of these at the head of
+    // every rotated segment, which is what lets old segments be retired
+    // under a disk budget without changing a byte of the final report.
+
+    /// Serializes the collector's complete deterministic state — store,
+    /// per-connection decoder/merge state, anomaly log, flagged pairs
+    /// and verdicts — as one checkpoint payload for
+    /// [`crate::journal::Journal::checkpoint`]. Configuration is *not*
+    /// included: like [`crate::journal::recover`], restoring is keyed by
+    /// the caller-supplied config.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(1); // checkpoint payload version
+        wire::put_uvarint(&mut out, self.unattributed_corrupt as u128);
+        self.store.encode_state(&mut out);
+        wire::put_uvarint(&mut out, self.conns.len() as u128);
+        for (id, conn) in &self.conns {
+            wire::put_uvarint(&mut out, u128::from(*id));
+            match &conn.node {
+                Some(n) => {
+                    out.push(1);
+                    wire::put_string(&mut out, n);
+                }
+                None => out.push(0),
+            }
+            out.push(u8::from(conn.done));
+            conn.dec.encode_state(&mut out);
+            match &conn.merged {
+                Some(m) => {
+                    out.push(1);
+                    m.encode_state(&mut out);
+                }
+                None => out.push(0),
+            }
+        }
+        wire::put_uvarint(&mut out, self.anomalies.len() as u128);
+        for a in &self.anomalies {
+            wire::put_string(&mut out, &a.node);
+            wire::put_string(&mut out, &a.op);
+            wire::put_uvarint(&mut out, u128::from(a.seq));
+            out.push(match a.kind {
+                AnomalyKind::ClusterDivergence => 0,
+                AnomalyKind::BaselineShift => 1,
+                AnomalyKind::Both => 2,
+            });
+            put_opt_f64(&mut out, a.vs_cluster);
+            put_opt_f64(&mut out, a.vs_baseline);
+            put_f64(&mut out, a.confirm);
+            match a.quality {
+                DataQuality::Clean => out.push(0),
+                DataQuality::Stale(n) => {
+                    out.push(1);
+                    wire::put_uvarint(&mut out, u128::from(n));
+                }
+            }
+        }
+        wire::put_uvarint(&mut out, self.first_flagged.len() as u128);
+        for ((node, op), seq) in &self.first_flagged {
+            wire::put_string(&mut out, node);
+            wire::put_string(&mut out, op);
+            wire::put_uvarint(&mut out, u128::from(*seq));
+        }
+        wire::put_uvarint(&mut out, self.verdicts.len() as u128);
+        for ((node, op), vs) in &self.verdicts {
+            wire::put_string(&mut out, node);
+            wire::put_string(&mut out, op);
+            wire::put_uvarint(&mut out, vs.len() as u128);
+            for v in vs {
+                wire::put_string(&mut out, &v.mechanism);
+                put_f64(&mut out, v.confidence);
+                put_f64(&mut out, v.score);
+                wire::put_string(&mut out, &v.detail);
+                wire::put_uvarint(&mut out, v.evidence.len() as u128);
+                for e in &v.evidence {
+                    wire::put_string(&mut out, &e.layer);
+                    wire::put_string(&mut out, &e.op);
+                    wire::put_uvarint(&mut out, e.start as u128);
+                    wire::put_uvarint(&mut out, e.apex as u128);
+                    wire::put_uvarint(&mut out, e.end as u128);
+                    wire::put_uvarint(&mut out, u128::from(e.ops));
+                    put_f64(&mut out, e.mass);
+                    wire::put_uvarint(&mut out, e.gap as u128);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a collector from a [`checkpoint_bytes`]
+    /// (Collector::checkpoint_bytes) payload under the given config.
+    /// The result reports byte-identically to the collector that wrote
+    /// the checkpoint, and ingests the journal tail exactly as it would
+    /// have.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on a truncated, corrupt or unknown-version
+    /// payload.
+    pub fn restore(cfg: CollectorConfig, bytes: &[u8]) -> Result<Collector, WireError> {
+        use osprof_analysis::attribution::{CauseVerdict, Evidence};
+        let mut c = wire::Cursor::new(bytes);
+        let version = c.byte()?;
+        if version != 1 {
+            return Err(WireError::Protocol(format!(
+                "checkpoint payload version {version} not supported"
+            )));
+        }
+        let unattributed_corrupt = c.u64()?;
+        let store = ShardedStore::decode_state(cfg.store, &mut c)?;
+        let mut conns = BTreeMap::new();
+        for _ in 0..c.count("checkpoint connections", 4)? {
+            let id = c.u64()?;
+            let node = match c.byte()? {
+                0 => None,
+                _ => Some(c.string()?),
+            };
+            let done = c.byte()? != 0;
+            let dec = Decoder::decode_state(&mut c)?;
+            let merged = match c.byte()? {
+                0 => None,
+                _ => Some(MergedConnState::decode_state(&mut c)?),
+            };
+            conns.insert(id, Conn { node, dec, done, merged });
+        }
+        let mut anomalies = Vec::new();
+        for _ in 0..c.count("checkpoint anomalies", 12)? {
+            let node = c.string()?;
+            let op = c.string()?;
+            let seq = c.u64()?;
+            let kind = match c.byte()? {
+                0 => AnomalyKind::ClusterDivergence,
+                1 => AnomalyKind::BaselineShift,
+                2 => AnomalyKind::Both,
+                k => {
+                    return Err(WireError::Protocol(format!("unknown anomaly kind {k}")))
+                }
+            };
+            let vs_cluster = get_opt_f64(&mut c)?;
+            let vs_baseline = get_opt_f64(&mut c)?;
+            let confirm = get_f64(&mut c)?;
+            let quality = match c.byte()? {
+                0 => DataQuality::Clean,
+                _ => DataQuality::Stale(c.u64()?),
+            };
+            anomalies.push(Anomaly {
+                node,
+                op,
+                seq,
+                kind,
+                vs_cluster,
+                vs_baseline,
+                confirm,
+                quality,
+            });
+        }
+        let mut first_flagged = BTreeMap::new();
+        for _ in 0..c.count("checkpoint flagged pairs", 4)? {
+            let node = c.string()?;
+            let op = c.string()?;
+            let seq = c.u64()?;
+            first_flagged.insert((node, op), seq);
+        }
+        let mut verdicts = VerdictMap::new();
+        for _ in 0..c.count("checkpoint verdict pairs", 4)? {
+            let node = c.string()?;
+            let op = c.string()?;
+            let mut vs = Vec::new();
+            for _ in 0..c.count("checkpoint verdicts", 8)? {
+                let mechanism = c.string()?;
+                let confidence = get_f64(&mut c)?;
+                let score = get_f64(&mut c)?;
+                let detail = c.string()?;
+                let mut evidence = Vec::new();
+                for _ in 0..c.count("checkpoint evidence", 10)? {
+                    let layer = c.string()?;
+                    let eop = c.string()?;
+                    let start = c.usize()?;
+                    let apex = c.usize()?;
+                    let end = c.usize()?;
+                    let ops = c.u64()?;
+                    let mass = get_f64(&mut c)?;
+                    let gap = c.usize()?;
+                    evidence.push(Evidence {
+                        layer,
+                        op: eop,
+                        start,
+                        apex,
+                        end,
+                        ops,
+                        mass,
+                        gap,
+                    });
+                }
+                vs.push(CauseVerdict { mechanism, confidence, score, detail, evidence });
+            }
+            verdicts.insert((node, op), vs);
+        }
+        if !c.is_done() {
+            return Err(WireError::Corrupt("checkpoint payload has trailing bytes".into()));
+        }
+        Ok(Collector {
+            store,
+            detector: Detector::new(cfg.detector),
+            conns,
+            anomalies,
+            first_flagged,
+            unattributed_corrupt,
+            attr: cfg.attribution,
+            verdicts,
+        })
+    }
+
     /// Deterministic plain-text report: per-node counters, flagged
     /// (node, op) pairs with the interval at which each first fired,
     /// and the full anomaly log.
@@ -453,6 +670,18 @@ impl Collector {
                 self.unattributed_corrupt
             );
         }
+        // Degraded-mode banner: only when a memory budget actually shed
+        // data or evicted a stalled agent, so clean runs keep the
+        // historical report format byte-for-byte.
+        if stats.shed() > 0 || stats.evictions() > 0 {
+            let _ = writeln!(
+                out,
+                "  DEGRADED: memory budget shed {} snapshot(s), evicted {} stalled agent(s); \
+                 verdicts rest on partial data",
+                stats.shed(),
+                stats.evictions()
+            );
+        }
         for n in &stats.nodes {
             // Fault details only when present, so clean runs keep the
             // historical report format byte-for-byte.
@@ -462,6 +691,12 @@ impl Collector {
             }
             if n.stale > 0 {
                 let _ = write!(extra, "  stale {}", n.stale);
+            }
+            if n.shed > 0 {
+                let _ = write!(extra, "  shed {}", n.shed);
+            }
+            if n.evictions > 0 {
+                let _ = write!(extra, "  evicted {}", n.evictions);
             }
             if n.quarantined {
                 extra.push_str("  QUARANTINED");
@@ -500,14 +735,23 @@ impl Collector {
                 .nodes
                 .iter()
                 .map(|n| {
-                    Json::Object(vec![
+                    let mut fields = vec![
                         ("node".into(), Json::Str(n.node.clone())),
                         ("intervals".into(), Json::UInt(n.intervals.into())),
                         ("dropped".into(), Json::UInt(n.dropped.into())),
                         ("restarts".into(), Json::UInt(n.restarts.into())),
                         ("stale".into(), Json::UInt(n.stale.into())),
                         ("quarantined".into(), Json::Bool(n.quarantined)),
-                    ])
+                    ];
+                    // Budget counters only when nonzero: clean-run JSON
+                    // stays byte-identical to the historical schema.
+                    if n.shed > 0 {
+                        fields.push(("shed".into(), Json::UInt(n.shed.into())));
+                    }
+                    if n.evictions > 0 {
+                        fields.push(("evictions".into(), Json::UInt(n.evictions.into())));
+                    }
+                    Json::Object(fields)
                 })
                 .collect(),
         );
@@ -526,18 +770,60 @@ impl Collector {
         let anomalies = Json::Array(
             self.anomalies.iter().map(|a| Json::Str(a.describe())).collect(),
         );
-        Json::Object(vec![
+        let mut fields = vec![
             ("report".into(), Json::Str("collector".into())),
             ("schema_version".into(), Json::UInt(1)),
             ("snapshots_offered".into(), Json::UInt(stats.offered().into())),
             ("snapshots_aggregated".into(), Json::UInt(stats.aggregated().into())),
             ("snapshots_dropped".into(), Json::UInt(stats.dropped().into())),
+        ];
+        // Degraded-mode block mirrors the text report: present only
+        // when a budget actually shed or evicted something.
+        if stats.shed() > 0 || stats.evictions() > 0 {
+            fields.push(("degraded".into(), Json::Bool(true)));
+            fields.push(("snapshots_shed".into(), Json::UInt(stats.shed().into())));
+            fields.push(("evictions".into(), Json::UInt(stats.evictions().into())));
+        }
+        fields.extend([
             ("unattributed_corrupt".into(), Json::UInt(self.unattributed_corrupt.into())),
             ("nodes".into(), nodes),
             ("flagged".into(), flagged),
             ("anomalies".into(), anomalies),
             ("attribution".into(), attribution::to_json(&self.verdicts)),
-        ])
+        ]);
+        Json::Object(fields)
+    }
+}
+
+// f64 checkpoint codec: bit-exact via the IEEE-754 representation, 8
+// bytes little-endian — round-trips NaN payloads and signed zeros,
+// which a decimal rendering would not.
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_f64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn get_f64(c: &mut wire::Cursor<'_>) -> Result<f64, WireError> {
+    let mut bits = 0u64;
+    for i in 0..8 {
+        bits |= u64::from(c.byte()?) << (8 * i);
+    }
+    Ok(f64::from_bits(bits))
+}
+
+fn get_opt_f64(c: &mut wire::Cursor<'_>) -> Result<Option<f64>, WireError> {
+    match c.byte()? {
+        0 => Ok(None),
+        _ => Ok(Some(get_f64(c)?)),
     }
 }
 

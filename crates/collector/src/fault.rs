@@ -290,6 +290,131 @@ impl<W: Write> FrameSink for FaultTransport<W> {
     }
 }
 
+// ---- resource-fault injection --------------------------------------------
+
+/// Declarative resource-exhaustion schedule for an overload run: disk
+/// and memory budgets plus the crash point, all plain data so the same
+/// plan replays identically on every engine. The seed keys the
+/// per-node [`FaultPlan`]s of the scenario that carries it; the budget
+/// fields parameterize [`crate::segment::SegmentConfig`] and
+/// [`crate::store::StoreConfig`] — model-byte budgets, deliberately
+/// allocator-independent, so shedding decisions are byte-identical
+/// across platforms and engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourcePlan {
+    /// Base seed for the run's fault streams.
+    pub seed: u64,
+    /// Journal segment rotation threshold, bytes.
+    pub segment_bytes: u64,
+    /// Disk budget across all journal segments, bytes.
+    pub disk_budget: u64,
+    /// Per-node queued-snapshot budget, model bytes (`None` = off).
+    pub node_budget_bytes: Option<usize>,
+    /// Global queued-snapshot budget, model bytes (`None` = off).
+    pub global_budget_bytes: Option<usize>,
+    /// Evict a node after this many consecutive empty drains.
+    pub evict_after_ticks: Option<u64>,
+    /// Per-tier aggregator pending-batch budget, model bytes (`None`
+    /// = off). Forces early uplink flushes in federated engines; the
+    /// merge algebra makes the root report invariant to it.
+    pub tier_budget_bytes: Option<usize>,
+    /// Crash the daemon after this 0-based round (the crash engine of
+    /// `ext-overload`); `None` runs uninterrupted.
+    pub crash_after_round: Option<usize>,
+    /// Bytes torn off the live journal segment's tail by the crash.
+    pub torn_tail_bytes: usize,
+}
+
+impl Default for ResourcePlan {
+    /// Abundant resources: nothing rotates, sheds or evicts.
+    fn default() -> Self {
+        ResourcePlan {
+            seed: 0,
+            segment_bytes: u64::MAX,
+            disk_budget: u64::MAX,
+            node_budget_bytes: None,
+            global_budget_bytes: None,
+            evict_after_ticks: None,
+            tier_budget_bytes: None,
+            crash_after_round: None,
+            torn_tail_bytes: 0,
+        }
+    }
+}
+
+impl ResourcePlan {
+    /// The `ext-overload` reference plan: segments small enough to
+    /// rotate several times per run, a disk budget that forces
+    /// retirement, memory budgets tight enough to shed, and eviction
+    /// after four idle ticks.
+    pub fn overload(seed: u64) -> Self {
+        ResourcePlan {
+            seed,
+            segment_bytes: 4 << 10,
+            disk_budget: 24 << 10,
+            node_budget_bytes: Some(1 << 10),
+            global_budget_bytes: Some(5 << 10),
+            evict_after_ticks: Some(4),
+            tier_budget_bytes: Some(1 << 10),
+            crash_after_round: Some(11),
+            torn_tail_bytes: 7,
+        }
+    }
+}
+
+/// A [`Write`] wrapper with a hard byte capacity: the deterministic
+/// stand-in for a full disk. Writes pass through until the budget is
+/// reached; the write that crosses it is **short** (only the bytes that
+/// fit are forwarded — a torn record, exactly like a real `ENOSPC`
+/// mid-`write_all`), and every write after that fails. Which record
+/// tears is a pure function of the byte schedule, so overload runs
+/// replay identically.
+#[derive(Debug)]
+pub struct BudgetedWriter<W: Write> {
+    w: W,
+    capacity: u64,
+    written: u64,
+}
+
+impl<W: Write> BudgetedWriter<W> {
+    /// Wraps `w` with a capacity of `capacity` bytes.
+    pub fn new(w: W, capacity: u64) -> Self {
+        BudgetedWriter { w, capacity, written: 0 }
+    }
+
+    /// Bytes accepted so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Bytes still accepted before the injected disk fills.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.written
+    }
+
+    /// Unwraps the inner writer (whatever made it to "disk").
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> Write for BudgetedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let remaining = self.capacity - self.written;
+        if remaining == 0 {
+            return Err(std::io::Error::other("injected disk full"));
+        }
+        let n = buf.len().min(usize::try_from(remaining).unwrap_or(usize::MAX));
+        self.w.write_all(&buf[..n])?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
+}
+
 /// Derives a per-node fault seed from a base seed, so every node of a
 /// cluster gets an independent but reproducible fault stream.
 pub fn node_seed(base: u64, node_idx: u64) -> u64 {
@@ -412,6 +537,51 @@ mod tests {
         wire::read_header(&mut r).unwrap();
         assert_eq!(wire::read_frame(&mut r).unwrap(), Some(Frame::Bye { seq: 0 }));
         assert_eq!(wire::read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn budgeted_writer_tears_exactly_at_the_capacity_byte() {
+        let mut w = BudgetedWriter::new(Vec::new(), 10);
+        assert_eq!(w.write(b"12345678").unwrap(), 8);
+        // The crossing write is short: only what fits is forwarded.
+        assert_eq!(w.write(b"abcde").unwrap(), 2);
+        assert!(w.write(b"x").is_err(), "the disk is full now");
+        assert_eq!(w.written(), 10);
+        assert_eq!(w.into_inner(), b"12345678ab");
+    }
+
+    #[test]
+    fn journal_on_a_full_disk_tears_one_record_and_keeps_the_prefix_valid() {
+        use crate::journal::{read_journal, Journal, JournalEvent};
+        // Find a capacity that lands mid-record, then assert the torn
+        // journal replays cleanly up to the record before the tear.
+        let mut probe = Journal::create(Vec::new()).unwrap();
+        for i in 0..4u64 {
+            probe.bytes(i, &[0xab; 20]).unwrap();
+        }
+        let full = probe.finish().unwrap();
+        let capacity = full.len() as u64 - 10; // inside the last record
+        let mut j = Journal::create(BudgetedWriter::new(Vec::new(), capacity)).unwrap();
+        let mut appended = 0;
+        for i in 0..4u64 {
+            if j.bytes(i, &[0xab; 20]).is_err() {
+                break;
+            }
+            appended += 1;
+        }
+        assert_eq!(appended, 3, "the fourth record hits the injected ENOSPC");
+        let disk = j.finish().map(BudgetedWriter::into_inner).unwrap_or_default();
+        let (events, _) = read_journal(&disk[..]).unwrap();
+        assert_eq!(events.len(), 3, "the torn record is discarded, the prefix replays");
+        assert!(events.iter().all(|e| matches!(e, JournalEvent::Bytes { .. })));
+    }
+
+    #[test]
+    fn overload_plan_is_plain_replayable_data() {
+        assert_eq!(ResourcePlan::overload(7), ResourcePlan::overload(7));
+        let p = ResourcePlan::overload(7);
+        assert!(p.segment_bytes < p.disk_budget);
+        assert!(p.node_budget_bytes.is_some() && p.evict_after_ticks.is_some());
     }
 
     #[test]

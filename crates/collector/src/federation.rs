@@ -385,6 +385,54 @@ impl MergedConnState {
     pub fn known_nodes(&self) -> impl Iterator<Item = &str> {
         self.known_nodes.iter().map(String::as_str)
     }
+
+    /// Serializes the receiver state into a checkpoint buffer (see
+    /// `crate::journal`'s checkpoint records).
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        wire::put_string(out, &self.scope);
+        wire::put_uvarint(out, self.tier as u128);
+        wire::put_uvarint(out, self.epoch as u128);
+        match self.last_seq {
+            Some(seq) => {
+                out.push(1);
+                wire::put_uvarint(out, seq as u128);
+            }
+            None => out.push(0),
+        }
+        wire::put_uvarint(out, self.bases.len() as u128);
+        for (node, (seq, set)) in &self.bases {
+            wire::put_string(out, node);
+            wire::put_uvarint(out, *seq as u128);
+            wire::put_profile_set(out, set);
+        }
+        wire::put_uvarint(out, self.known_nodes.len() as u128);
+        for node in &self.known_nodes {
+            wire::put_string(out, node);
+        }
+    }
+
+    /// Rebuilds receiver state from a checkpoint buffer.
+    pub(crate) fn decode_state(c: &mut Cursor<'_>) -> Result<Self, WireError> {
+        let scope = c.string()?;
+        let tier = c.u64()?;
+        let epoch = c.u64()?;
+        let last_seq = match c.byte()? {
+            0 => None,
+            _ => Some(c.u64()?),
+        };
+        let mut bases = BTreeMap::new();
+        for _ in 0..c.count("checkpoint bases", 10)? {
+            let node = c.string()?;
+            let seq = c.u64()?;
+            let set = wire::get_profile_set(c)?;
+            bases.insert(node, (seq, set));
+        }
+        let mut known_nodes = BTreeSet::new();
+        for _ in 0..c.count("checkpoint known nodes", 2)? {
+            known_nodes.insert(c.string()?);
+        }
+        Ok(MergedConnState { scope, tier, epoch, last_seq, bases, known_nodes })
+    }
 }
 
 /// Applies one merged frame to a connection's receiver state,
@@ -527,8 +575,31 @@ pub struct Aggregator {
     conns: BTreeMap<u64, DownConn>,
     bases: BTreeMap<String, Basis>,
     pending: Vec<Resolved>,
+    /// Model-byte footprint of `pending` (see [`resolved_cost`]).
+    pending_cost: usize,
+    /// Per-tier memory budget: when the pending batch's model-byte
+    /// footprint exceeds this, the owner is expected to force an early
+    /// flush (see [`Aggregator::ingest_bytes_budgeted`]). `None`
+    /// disables the budget.
+    pending_budget: Option<usize>,
     epoch: u64,
     seq: u64,
+}
+
+/// Deterministic memory-cost model for one batched relay event, in
+/// model bytes — the aggregator-side analogue of
+/// [`crate::store::snapshot_cost`], and like it intentionally
+/// allocator-independent so budget decisions are identical on every
+/// platform.
+fn resolved_cost(r: &Resolved) -> usize {
+    match r {
+        Resolved::Hello { node, layer, .. } => 32 + node.len() + layer.len(),
+        Resolved::Snapshot { node, set, .. } => {
+            32 + node.len() + crate::store::snapshot_cost(set)
+        }
+        Resolved::Fault { node, .. } => 16 + node.len(),
+        Resolved::Unattributed { .. } => 16,
+    }
 }
 
 impl Aggregator {
@@ -545,9 +616,28 @@ impl Aggregator {
             conns: BTreeMap::new(),
             bases: BTreeMap::new(),
             pending: Vec::new(),
+            pending_cost: 0,
+            pending_budget: None,
             epoch: 1,
             seq: 0,
         }
+    }
+
+    /// Sets (or clears) the per-tier pending-batch memory budget.
+    pub fn set_pending_budget(&mut self, budget: Option<usize>) {
+        self.pending_budget = budget;
+    }
+
+    /// True when the pending batch exceeds the configured budget and a
+    /// flush should be forced before the regular cadence tick.
+    pub fn over_budget(&self) -> bool {
+        self.pending_budget.is_some_and(|b| self.pending_cost > b)
+    }
+
+    /// Batches one resolved event, maintaining the footprint counter.
+    fn batch(&mut self, r: Resolved) {
+        self.pending_cost += resolved_cost(&r);
+        self.pending.push(r);
     }
 
     /// The aggregator's name (without the tier prefix).
@@ -579,12 +669,27 @@ impl Aggregator {
             Err(_) => {
                 match self.conns.get(&conn).and_then(DownConn::fault_label) {
                     Some(node) => {
-                        self.pending.push(Resolved::Fault { node, fault: StreamFault::Corrupt });
+                        self.batch(Resolved::Fault { node, fault: StreamFault::Corrupt });
                     }
-                    None => self.pending.push(Resolved::Unattributed { count: 1 }),
+                    None => self.batch(Resolved::Unattributed { count: 1 }),
                 }
             }
         }
+    }
+
+    /// Ingests one raw downstream delivery under the pending-batch
+    /// budget: when the batch's model-byte footprint exceeds the
+    /// budget afterwards, an early flush is forced and its encoded
+    /// frame returned so the caller can relay it upstream immediately.
+    /// Forcing a flush only changes how events are *grouped* into
+    /// merged frames, which the receiver's merge algebra is invariant
+    /// to — so reports stay byte-identical for any budget.
+    pub fn ingest_bytes_budgeted(&mut self, conn: u64, bytes: &[u8]) -> Option<Vec<u8>> {
+        self.ingest_bytes(conn, bytes);
+        if self.over_budget() {
+            return self.flush();
+        }
+        None
     }
 
     /// Ingests one decoded downstream frame — the root daemon's
@@ -596,7 +701,7 @@ impl Aggregator {
             Frame::Hello { node, layer, resolution, interval } => {
                 state.node = Some(node.clone());
                 state.done = false;
-                self.pending.push(Resolved::Hello {
+                self.batch(Resolved::Hello {
                     node: node.clone(),
                     layer: layer.clone(),
                     resolution: *resolution,
@@ -608,32 +713,33 @@ impl Aggregator {
                 // A child aggregator: resolve its events against this
                 // connection's state and relay them into our own batch.
                 let resolved = absorb_merged(&mut state.merged, mf);
-                self.pending.extend(resolved);
+                for r in resolved {
+                    self.batch(r);
+                }
             }
             _ => {
                 let Some(node) = state.node.clone() else {
-                    self.pending.push(Resolved::Unattributed { count: 1 });
+                    self.batch(Resolved::Unattributed { count: 1 });
                     return;
                 };
                 match state.dec.apply_lossy(frame) {
                     DecodeEvent::Control => {}
                     DecodeEvent::Resynced => {
-                        self.pending.push(Resolved::Fault { node, fault: StreamFault::Resync });
+                        self.batch(Resolved::Fault { node, fault: StreamFault::Resync });
                     }
                     DecodeEvent::Skipped(reason) => match reason {
                         SkipReason::Gap => {
-                            self.pending.push(Resolved::Fault { node, fault: StreamFault::Gap });
+                            self.batch(Resolved::Fault { node, fault: StreamFault::Gap });
                         }
                         SkipReason::BadDelta => {
-                            self.pending
-                                .push(Resolved::Fault { node, fault: StreamFault::Corrupt });
+                            self.batch(Resolved::Fault { node, fault: StreamFault::Corrupt });
                         }
                         SkipReason::AwaitingFull
                         | SkipReason::StaleSeq
                         | SkipReason::StaleEpoch => {}
                     },
                     DecodeEvent::Snapshot { seq, at, set, recovered } => {
-                        self.pending.push(Resolved::Snapshot { node, seq, at, recovered, set });
+                        self.batch(Resolved::Snapshot { node, seq, at, recovered, set });
                     }
                 }
             }
@@ -644,11 +750,12 @@ impl Aggregator {
     /// the root's [`crate::daemon::Collector::reset_conn`]).
     pub fn reset_conn(&mut self, conn: u64) {
         if let Some(state) = self.conns.get_mut(&conn) {
-            if let Some(node) = state.fault_label() {
-                self.pending.push(Resolved::Fault { node, fault: StreamFault::Reset });
-            }
+            let node = state.fault_label();
             // Keep the decoder: its epoch guard handles stragglers.
             state.done = false;
+            if let Some(node) = node {
+                self.batch(Resolved::Fault { node, fault: StreamFault::Reset });
+            }
         }
     }
 
@@ -659,6 +766,7 @@ impl Aggregator {
         if self.pending.is_empty() {
             return None;
         }
+        self.pending_cost = 0;
         let mut events = Vec::with_capacity(self.pending.len());
         for r in std::mem::take(&mut self.pending) {
             match r {
@@ -764,6 +872,29 @@ impl<W: Write> JournaledAggregator<W> {
         Ok(())
     }
 
+    /// Journal-then-apply one downstream delivery under the wrapped
+    /// aggregator's pending-batch budget: when the batch exceeds the
+    /// budget afterwards, a flush boundary is journaled (as a regular
+    /// tick record, so recovery replays the same boundary without
+    /// needing to know the budget) and the forced frame is returned.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O only; corrupt bytes are fault events, never errors.
+    pub fn ingest_bytes_budgeted(
+        &mut self,
+        conn: u64,
+        bytes: &[u8],
+    ) -> Result<Option<Vec<u8>>, CollectorError> {
+        self.journal.bytes(conn, bytes)?;
+        self.agg.ingest_bytes(conn, bytes);
+        if self.agg.over_budget() {
+            self.journal.tick()?;
+            return Ok(self.agg.flush());
+        }
+        Ok(None)
+    }
+
     /// Journal-then-apply a downstream connection reset.
     ///
     /// # Errors
@@ -803,6 +934,13 @@ impl<W: Write> JournaledAggregator<W> {
         &self.agg
     }
 
+    /// Sets (or clears) the wrapped aggregator's pending-batch budget.
+    /// Not journaled: recovery replays the journaled flush boundaries,
+    /// so the rebuilt state never depends on knowing the budget.
+    pub fn set_pending_budget(&mut self, budget: Option<usize>) {
+        self.agg.set_pending_budget(budget);
+    }
+
     /// Unwraps into the aggregator and the journal writer (flushed).
     ///
     /// # Errors
@@ -839,6 +977,10 @@ pub fn recover_aggregator(
             JournalEvent::Tick => {
                 let _ = agg.flush();
             }
+            // Aggregator journals never contain checkpoint records
+            // (segmented checkpointing is a root-collector facility);
+            // tolerate and skip for forward compatibility.
+            JournalEvent::Checkpoint(_) => {}
         }
     }
     Ok((agg, n))

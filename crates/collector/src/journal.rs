@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! record := kind u8 | conn uvarint | len uvarint | payload | fnv64 8B LE
-//! kind   := 1 bytes-delivered | 2 tick | 3 connection-reset
+//! kind   := 1 bytes-delivered | 2 tick | 3 connection-reset | 4 checkpoint
 //! ```
 //!
 //! The checksum covers everything from `kind` through `payload`, so a
@@ -22,6 +22,16 @@
 //! Raw delivered **bytes** are journaled, not decoded frames: corrupt
 //! deliveries must replay too, or the recovered fault counters (and
 //! quarantine decisions) would diverge from the original run.
+//!
+//! A **checkpoint** record (kind 4) carries a compacted serialization
+//! of the full collector state (see
+//! [`Collector::checkpoint_bytes`]); on replay it *replaces* the
+//! collector wholesale, so a journal consisting of `checkpoint + tail
+//! events` recovers byte-identically to replaying the entire history
+//! that led up to the checkpoint. This is what lets
+//! [`crate::segment::SegmentedCollector`] retire old journal segments
+//! under a disk budget: every rotated segment opens with a checkpoint,
+//! making each segment self-sufficient for recovery.
 
 use std::io::{Read, Write};
 
@@ -40,6 +50,8 @@ const J_BYTES: u8 = 1;
 const J_TICK: u8 = 2;
 /// Record kind: a connection reset.
 const J_RESET: u8 = 3;
+/// Record kind: a full collector-state checkpoint.
+const J_CHECKPOINT: u8 = 4;
 
 /// One journaled ingest event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,12 +71,19 @@ pub enum JournalEvent {
         /// Connection id that reset.
         conn: u64,
     },
+    /// A full collector-state checkpoint; on replay it replaces the
+    /// collector with the deserialized state.
+    Checkpoint(
+        /// Opaque checkpoint payload ([`Collector::checkpoint_bytes`]).
+        Vec<u8>,
+    ),
 }
 
 /// Append-only journal writer.
 pub struct Journal<W: Write> {
     w: W,
     records: u64,
+    written: u64,
 }
 
 impl<W: Write> Journal<W> {
@@ -73,18 +92,33 @@ impl<W: Write> Journal<W> {
         w.write_all(&JOURNAL_MAGIC)?;
         w.write_all(&[JOURNAL_VERSION])?;
         w.flush()?;
-        Ok(Journal { w, records: 0 })
+        Ok(Journal { w, records: 0, written: 5 })
     }
 
     /// Resumes appending to an existing journal; the writer must be
     /// positioned at its end (e.g. a file opened in append mode).
     pub fn resume(w: W) -> Self {
-        Journal { w, records: 0 }
+        Journal { w, records: 0, written: 0 }
+    }
+
+    /// Resumes appending to an existing journal whose on-disk prefix is
+    /// already `written` bytes long, so [`bytes_written`]
+    /// (Journal::bytes_written) keeps reporting the true file size.
+    pub fn resume_at(w: W, written: u64) -> Self {
+        Journal { w, records: 0, written }
     }
 
     /// Records appended by this writer instance.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Bytes written through this writer instance (including the
+    /// header for [`create`](Journal::create), plus any prefix declared
+    /// via [`resume_at`](Journal::resume_at)) — the segment-rotation
+    /// trigger.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
     }
 
     fn append(&mut self, kind: u8, conn: u64, payload: &[u8]) -> Result<(), CollectorError> {
@@ -99,6 +133,7 @@ impl<W: Write> Journal<W> {
         self.w.write_all(&rec)?;
         self.w.flush()?;
         self.records += 1;
+        self.written += rec.len() as u64;
         Ok(())
     }
 
@@ -115,6 +150,11 @@ impl<W: Write> Journal<W> {
     /// Journals a connection reset.
     pub fn reset(&mut self, conn: u64) -> Result<(), CollectorError> {
         self.append(J_RESET, conn, &[])
+    }
+
+    /// Journals a collector-state checkpoint.
+    pub fn checkpoint(&mut self, state: &[u8]) -> Result<(), CollectorError> {
+        self.append(J_CHECKPOINT, 0, state)
     }
 
     /// Flushes and returns the inner writer.
@@ -194,6 +234,7 @@ fn parse_record(buf: &[u8], pos: usize) -> Option<(JournalEvent, usize)> {
         J_BYTES => JournalEvent::Bytes { conn, bytes: payload.to_vec() },
         J_TICK => JournalEvent::Tick,
         J_RESET => JournalEvent::Reset { conn },
+        J_CHECKPOINT => JournalEvent::Checkpoint(payload.to_vec()),
         _ => return None,
     };
     Some((event, pos + body_end + 8))
@@ -207,7 +248,7 @@ pub fn recover(
     cfg: CollectorConfig,
 ) -> Result<(Collector, u64), CollectorError> {
     let (events, _) = read_journal(r)?;
-    let mut col = Collector::new(cfg);
+    let mut col = Collector::new(cfg.clone());
     let n = events.len() as u64;
     for e in &events {
         match e {
@@ -218,6 +259,15 @@ pub fn recover(
                 let _ = col.tick();
             }
             JournalEvent::Reset { conn } => col.reset_conn(*conn),
+            JournalEvent::Checkpoint(state) => {
+                // A checkpoint that fails to decode is treated like a
+                // torn record: stop the replay with what was rebuilt so
+                // far rather than failing recovery outright.
+                match Collector::restore(cfg.clone(), state) {
+                    Ok(restored) => col = restored,
+                    Err(_) => break,
+                }
+            }
         }
     }
     Ok((col, n))

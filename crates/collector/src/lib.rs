@@ -38,6 +38,14 @@
 //! pseudo-intervals out of baselines (stale, never poisoned); and
 //! [`journal`] write-ahead-logs every ingest event so `osprofd` can
 //! crash and recover its aggregation state exactly.
+//!
+//! **Resource exhaustion** is survived, not just network damage:
+//! [`segment`] rotates the journal into size-bounded segments with
+//! checkpoint compaction under a disk budget; [`store`] enforces
+//! per-node and global memory budgets with typed load shedding and
+//! stalled-agent eviction; and [`fault`]'s `ResourcePlan` injects
+//! deterministic disk-full and allocation-pressure schedules for the
+//! `ext-overload` scenario.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +61,7 @@ pub mod journal;
 pub mod parallel;
 pub mod resilience;
 pub mod scenario;
+pub mod segment;
 pub mod store;
 pub mod transport;
 pub mod wire;

@@ -23,10 +23,11 @@ use osprof_workloads::{grep, tree};
 
 use crate::agent::Agent;
 use crate::daemon::{Collector, CollectorConfig, CollectorError};
-use crate::fault::{node_seed, Delivery, FaultInjector, FaultPlan, FaultStats};
+use crate::fault::{node_seed, Delivery, FaultInjector, FaultPlan, FaultStats, ResourcePlan};
 use crate::journal::{self, JournaledCollector};
 use crate::parallel::ParallelCollector;
 use crate::resilience::ResilientAgent;
+use crate::segment::{SegmentConfig, SegmentedCollector};
 use crate::wire::{encode_frame, Frame};
 
 /// Scenario knobs.
@@ -612,6 +613,422 @@ pub fn replay_chaos_parallel(
     replay_chaos_engine(timelines, cfg, None, ParallelEngine(pc))
 }
 
+// ---- overload replay -----------------------------------------------------
+
+/// Knobs for the `ext-overload` scenario: a cluster where one healthy
+/// node **stalls** (sends nothing for a window of rounds, its wire
+/// reset at the stall's start) and then delivers its whole backlog in
+/// one burst — exactly the ingest spike that blows an unbounded queue —
+/// while the collector runs under the [`ResourcePlan`]'s disk and
+/// memory budgets. The degraded node keeps streaming throughout: the
+/// run must shed, evict and stay under budget *and still flag it*.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Resource budgets and the crash schedule.
+    pub plan: ResourcePlan,
+    /// Number of simulated nodes.
+    pub nodes: usize,
+    /// Index of the node with the degraded disk.
+    pub degraded: Option<usize>,
+    /// Directory count of each node's grep tree.
+    pub dirs: usize,
+    /// Sampling interval in simulated seconds.
+    pub interval_secs: f64,
+    /// The node that stalls and bursts.
+    pub stall_node: usize,
+    /// Rounds during which the stalled node sends nothing; at
+    /// `stall_rounds.end` the missed intervals arrive as one burst.
+    pub stall_rounds: std::ops::Range<usize>,
+}
+
+impl Default for OverloadConfig {
+    /// The `ext-overload` reference scenario, golden-pinned.
+    fn default() -> Self {
+        OverloadConfig {
+            plan: ResourcePlan::overload(0x0E11_0AD5),
+            nodes: 5,
+            degraded: Some(4),
+            dirs: 24,
+            interval_secs: 0.05,
+            stall_node: 2,
+            stall_rounds: 3..8,
+        }
+    }
+}
+
+/// One scheduled delivery of an overload replay. The whole schedule is
+/// computed once, *outside* any engine, so every engine — serial,
+/// parallel, segmented-crash, federated — consumes byte-identical
+/// input by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverloadEvent {
+    /// Encoded frame bytes delivered on a connection.
+    Bytes {
+        /// Connection id (= node index).
+        conn: u64,
+        /// The encoded frame.
+        bytes: Vec<u8>,
+    },
+    /// A connection reset (the stalled node's wire dying).
+    Reset {
+        /// Connection id that reset.
+        conn: u64,
+    },
+}
+
+/// The precomputed delivery schedule: one event batch per round, a
+/// detection tick after each batch. The final round carries the byes.
+#[derive(Debug, Clone)]
+pub struct OverloadSchedule {
+    /// Per-round event batches.
+    pub rounds: Vec<Vec<OverloadEvent>>,
+}
+
+/// Builds the overload delivery schedule: round-robin streaming with
+/// the stall/burst choreography applied to
+/// [`OverloadConfig::stall_node`]. The stalled node's agent sees the
+/// reset and reopens with the `Resync` epoch preamble, so its burst
+/// re-enters through the same re-admission path a real reconnect uses.
+pub fn overload_schedule(cfg: &OverloadConfig) -> OverloadSchedule {
+    let scen = ScenarioConfig {
+        nodes: cfg.nodes,
+        degraded: cfg.degraded,
+        interval_secs: cfg.interval_secs,
+        dirs: cfg.dirs,
+    };
+    let timelines = cluster_timelines(&scen);
+    let interval = timelines
+        .iter()
+        .flat_map(|(_, t)| t.windows(2).map(|w| w[1].0 - w[0].0))
+        .min()
+        .unwrap_or(0);
+    let mut agents: Vec<ResilientAgent> = timelines
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| {
+            ResilientAgent::new(name.clone(), node_seed(cfg.plan.seed ^ 0xBACF, i as u64))
+        })
+        .collect();
+    let total = timelines.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+    let mut rounds = Vec::with_capacity(total + 1);
+    for round in 0..total {
+        let mut evs = Vec::new();
+        for (conn, (_, timeline)) in timelines.iter().enumerate() {
+            if conn == cfg.stall_node && cfg.stall_rounds.contains(&round) {
+                if round == cfg.stall_rounds.start {
+                    evs.push(OverloadEvent::Reset { conn: conn as u64 });
+                    agents[conn].on_reset();
+                }
+                continue; // stalled: nothing reaches the wire
+            }
+            let mut frames = Vec::new();
+            if round == 0 {
+                if let Some((_, set)) = timeline.first() {
+                    frames.push(agents[conn].hello(set.layer(), set.resolution(), interval));
+                }
+            }
+            if conn == cfg.stall_node && round == cfg.stall_rounds.end {
+                // The backlog bursts out ahead of the current interval.
+                for r in cfg.stall_rounds.clone() {
+                    if let Some((at, set)) = timeline.get(r) {
+                        frames.extend(agents[conn].frames(*at, set));
+                    }
+                }
+            }
+            if let Some((at, set)) = timeline.get(round) {
+                frames.extend(agents[conn].frames(*at, set));
+            }
+            for f in frames {
+                evs.push(OverloadEvent::Bytes { conn: conn as u64, bytes: encode_frame(&f) });
+            }
+        }
+        rounds.push(evs);
+    }
+    let byes = (0..timelines.len())
+        .map(|conn| OverloadEvent::Bytes {
+            conn: conn as u64,
+            bytes: encode_frame(&agents[conn].bye()),
+        })
+        .collect();
+    rounds.push(byes);
+    OverloadSchedule { rounds }
+}
+
+/// The collector configuration an overload engine must run under: the
+/// default pipeline with the plan's memory budgets applied.
+pub fn overload_collector_config(plan: &ResourcePlan) -> CollectorConfig {
+    let mut cfg = CollectorConfig::default();
+    cfg.store.node_budget_bytes = plan.node_budget_bytes;
+    cfg.store.global_budget_bytes = plan.global_budget_bytes;
+    cfg.store.evict_after_ticks = plan.evict_after_ticks;
+    cfg
+}
+
+/// What an overload replay produced — every field deterministic, the
+/// text/JSON pair golden-pinned and byte-identical across engines.
+#[derive(Debug)]
+pub struct OverloadRun {
+    /// The collector's final text report.
+    pub report: String,
+    /// The final JSON report, pretty-rendered.
+    pub json: String,
+    /// Nodes flagged at least once, sorted and deduplicated.
+    pub flagged: Vec<String>,
+    /// Snapshots shed by memory budgets.
+    pub shed: u64,
+    /// Stalled-agent evictions.
+    pub evictions: u64,
+    /// True when the run crashed and recovered mid-way.
+    pub recovered: bool,
+}
+
+/// An ingest engine driven by [`drive_overload`]. Public (unlike the
+/// chaos engines) so the federation crate's tier replay can implement
+/// it and be held to the same byte-identity contract.
+pub trait OverloadEngine: Sized {
+    /// Applies one scheduled event.
+    ///
+    /// # Errors
+    ///
+    /// Engine-internal I/O only; the events themselves never error.
+    fn apply(&mut self, ev: &OverloadEvent) -> Result<(), CollectorError>;
+    /// Runs one detection tick.
+    ///
+    /// # Errors
+    ///
+    /// Engine-internal I/O.
+    fn tick(&mut self) -> Result<(), CollectorError>;
+    /// Simulates a daemon crash + recovery; true when the engine
+    /// supports it.
+    ///
+    /// # Errors
+    ///
+    /// Recovery I/O.
+    fn crash_recover(&mut self) -> Result<bool, CollectorError> {
+        Ok(false)
+    }
+    /// Final collector.
+    ///
+    /// # Errors
+    ///
+    /// Engine-teardown I/O.
+    fn into_collector(self) -> Result<Collector, CollectorError>;
+}
+
+/// The engine-generic overload loop: apply each round's batch, tick,
+/// crash where the plan says, and render the final reports.
+///
+/// # Errors
+///
+/// Engine errors propagate.
+pub fn drive_overload<E: OverloadEngine>(
+    sched: &OverloadSchedule,
+    plan: &ResourcePlan,
+    mut eng: E,
+) -> Result<OverloadRun, CollectorError> {
+    let mut recovered = false;
+    for (round, evs) in sched.rounds.iter().enumerate() {
+        for ev in evs {
+            eng.apply(ev)?;
+        }
+        eng.tick()?;
+        if plan.crash_after_round == Some(round) {
+            recovered = eng.crash_recover()?;
+        }
+    }
+    let col = eng.into_collector()?;
+    let stats = col.store().stats();
+    stats.check_conservation().map_err(CollectorError::Internal)?;
+    let mut flagged: Vec<String> = col.anomalies().iter().map(|a| a.node.clone()).collect();
+    flagged.sort();
+    flagged.dedup();
+    Ok(OverloadRun {
+        report: col.report(),
+        json: col.report_json().pretty(),
+        flagged,
+        shed: stats.shed(),
+        evictions: stats.evictions(),
+        recovered,
+    })
+}
+
+/// The serial overload engine: one plain collector.
+struct SerialOverload(Collector);
+
+impl OverloadEngine for SerialOverload {
+    fn apply(&mut self, ev: &OverloadEvent) -> Result<(), CollectorError> {
+        match ev {
+            OverloadEvent::Bytes { conn, bytes } => {
+                self.0.ingest_bytes(*conn, bytes);
+            }
+            OverloadEvent::Reset { conn } => self.0.reset_conn(*conn),
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self) -> Result<(), CollectorError> {
+        self.0.tick();
+        Ok(())
+    }
+
+    fn into_collector(self) -> Result<Collector, CollectorError> {
+        Ok(self.0)
+    }
+}
+
+/// The parallel overload engine: the worker-pool collector.
+struct ParallelOverload(ParallelCollector);
+
+impl OverloadEngine for ParallelOverload {
+    fn apply(&mut self, ev: &OverloadEvent) -> Result<(), CollectorError> {
+        match ev {
+            OverloadEvent::Bytes { conn, bytes } => self.0.ingest_bytes(*conn, bytes),
+            OverloadEvent::Reset { conn } => self.0.reset_conn(*conn),
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), CollectorError> {
+        self.0.tick().map(|_| ())
+    }
+
+    fn into_collector(self) -> Result<Collector, CollectorError> {
+        self.0.finish()
+    }
+}
+
+/// The crash engine: a [`SegmentedCollector`] journaling to disk under
+/// the plan's segment/disk budgets. `crash_recover` drops the live
+/// collector, tears [`ResourcePlan::torn_tail_bytes`] off the live
+/// segment (a crash mid-`write` of the round's tick record — tick
+/// records are 11 bytes, so any tear of 1..=10 bytes lands inside it),
+/// resumes from the segments, and re-runs the torn tick: write-ahead
+/// ordering means a torn record was never applied, and the round
+/// boundary it marked must still happen.
+struct SegmentedOverload {
+    sc: Option<SegmentedCollector>,
+    dir: std::path::PathBuf,
+    cfg: CollectorConfig,
+    seg: SegmentConfig,
+    torn_tail_bytes: usize,
+}
+
+impl SegmentedOverload {
+    fn live(&mut self) -> Result<&mut SegmentedCollector, CollectorError> {
+        self.sc
+            .as_mut()
+            .ok_or_else(|| CollectorError::Internal("crash engine has no live collector".into()))
+    }
+}
+
+impl OverloadEngine for SegmentedOverload {
+    fn apply(&mut self, ev: &OverloadEvent) -> Result<(), CollectorError> {
+        match ev {
+            OverloadEvent::Bytes { conn, bytes } => {
+                self.live()?.ingest_bytes(*conn, bytes).map(|_| ())
+            }
+            OverloadEvent::Reset { conn } => self.live()?.reset_conn(*conn),
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), CollectorError> {
+        self.live()?.tick()?;
+        let fp = self.live()?.footprint()?;
+        if fp > self.seg.disk_budget {
+            return Err(CollectorError::Internal(format!(
+                "journal footprint {fp} exceeds the disk budget {}",
+                self.seg.disk_budget
+            )));
+        }
+        Ok(())
+    }
+
+    fn crash_recover(&mut self) -> Result<bool, CollectorError> {
+        // The daemon dies; only the segment directory survives.
+        self.sc = None;
+        if self.torn_tail_bytes > 0 {
+            let Some(&newest) = crate::segment::segment_indices(&self.dir)?.last() else {
+                return Err(CollectorError::Internal("crash with no segments on disk".into()));
+            };
+            let path = crate::segment::segment_path(&self.dir, newest);
+            let len = std::fs::metadata(&path)?.len();
+            let keep = len.saturating_sub(self.torn_tail_bytes as u64).max(5);
+            std::fs::OpenOptions::new().write(true).open(&path)?.set_len(keep)?;
+        }
+        let (mut sc, _) = SegmentedCollector::resume(&self.dir, self.cfg.clone(), self.seg)?;
+        if self.torn_tail_bytes > 0 {
+            // The tear destroyed the round's tick record before it was
+            // applied by anyone who survived; the boundary still holds.
+            sc.tick()?;
+        }
+        self.sc = Some(sc);
+        Ok(true)
+    }
+
+    fn into_collector(self) -> Result<Collector, CollectorError> {
+        match self.sc {
+            Some(sc) => sc.into_collector(),
+            None => Err(CollectorError::Internal("crash engine has no live collector".into())),
+        }
+    }
+}
+
+/// Replays the overload schedule through the plain serial collector.
+///
+/// # Errors
+///
+/// Engine errors propagate.
+pub fn replay_overload(
+    sched: &OverloadSchedule,
+    plan: &ResourcePlan,
+) -> Result<OverloadRun, CollectorError> {
+    drive_overload(sched, plan, SerialOverload(Collector::new(overload_collector_config(plan))))
+}
+
+/// Replays the overload schedule through the parallel worker pool.
+///
+/// # Errors
+///
+/// Engine errors propagate.
+pub fn replay_overload_parallel(
+    sched: &OverloadSchedule,
+    plan: &ResourcePlan,
+    workers: usize,
+) -> Result<OverloadRun, CollectorError> {
+    let pc = ParallelCollector::new(overload_collector_config(plan), workers, None)?;
+    drive_overload(sched, plan, ParallelOverload(pc))
+}
+
+/// Replays the overload schedule through a disk-backed segmented
+/// journal in `dir`, crashing (and tearing the journal tail) where the
+/// plan says and recovering from checkpoint + tail segments. The
+/// journal footprint is asserted against the disk budget after every
+/// round.
+///
+/// # Errors
+///
+/// Engine/journal I/O; a footprint over the disk budget is an error.
+pub fn replay_overload_crash(
+    sched: &OverloadSchedule,
+    plan: &ResourcePlan,
+    dir: impl Into<std::path::PathBuf>,
+) -> Result<OverloadRun, CollectorError> {
+    let dir = dir.into();
+    let cfg = overload_collector_config(plan);
+    let seg = SegmentConfig { segment_bytes: plan.segment_bytes, disk_budget: plan.disk_budget };
+    let sc = SegmentedCollector::create(&dir, cfg.clone(), seg)?;
+    drive_overload(
+        sched,
+        plan,
+        SegmentedOverload {
+            sc: Some(sc),
+            dir,
+            cfg,
+            seg,
+            torn_tail_bytes: plan.torn_tail_bytes,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,5 +1111,74 @@ mod tests {
         );
         assert!(col.anomalies().iter().all(|a| a.node == "node-7"), "only the sick node: {:?}", col.anomalies());
         col.store().stats().check_conservation().unwrap();
+    }
+
+    fn overload_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("osprof-overload-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn overload_schedule_is_deterministic() {
+        let cfg = OverloadConfig::default();
+        let a = overload_schedule(&cfg);
+        let b = overload_schedule(&cfg);
+        assert_eq!(a.rounds, b.rounds, "same config, same schedule, byte for byte");
+        assert!(a.rounds.len() > cfg.plan.crash_after_round.unwrap_or(0) + 1, "crash lands mid-run");
+        // The stall burst is the heaviest delivery of the run.
+        let sizes: Vec<usize> = a
+            .rounds
+            .iter()
+            .map(|evs| {
+                evs.iter()
+                    .map(|e| match e {
+                        OverloadEvent::Bytes { bytes, .. } => bytes.len(),
+                        OverloadEvent::Reset { .. } => 0,
+                    })
+                    .sum()
+            })
+            .collect();
+        let burst = sizes[cfg.stall_rounds.end];
+        assert_eq!(burst, *sizes.iter().max().unwrap(), "the backlog burst dominates");
+    }
+
+    #[test]
+    fn overload_serial_run_sheds_evicts_and_still_flags_the_sick_node() {
+        let cfg = OverloadConfig::default();
+        let sched = overload_schedule(&cfg);
+        let run = replay_overload(&sched, &cfg.plan).unwrap();
+        assert!(run.shed > 0, "memory budget must shed under the burst");
+        assert!(run.evictions > 0, "the stalled agent must get evicted");
+        assert_eq!(run.flagged, ["node-4"], "degradation must not mask the sick node");
+        assert!(!run.recovered, "the serial engine does not crash");
+        assert!(run.report.contains("DEGRADED"), "shedding must be visible in the report");
+        assert!(run.json.contains("\"degraded\": true"), "and in the JSON");
+    }
+
+    #[test]
+    fn overload_parallel_and_crash_engines_match_serial_byte_for_byte() {
+        let cfg = OverloadConfig::default();
+        let sched = overload_schedule(&cfg);
+        let serial = replay_overload(&sched, &cfg.plan).unwrap();
+        let parallel = replay_overload_parallel(&sched, &cfg.plan, 8).unwrap();
+        assert_eq!(serial.report, parallel.report, "parallel-8 report diverged");
+        assert_eq!(serial.json, parallel.json, "parallel-8 JSON diverged");
+        let dir = overload_dir("engines");
+        let crash = replay_overload_crash(&sched, &cfg.plan, &dir).unwrap();
+        assert!(crash.recovered, "the crash engine must actually crash and recover");
+        assert_eq!(serial.report, crash.report, "crash-recovered report diverged");
+        assert_eq!(serial.json, crash.json, "crash-recovered JSON diverged");
+        let fp = crate::segment::footprint(&dir).unwrap();
+        assert!(
+            fp <= cfg.plan.disk_budget,
+            "final journal footprint {fp} blows the disk budget {}",
+            cfg.plan.disk_budget
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

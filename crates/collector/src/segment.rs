@@ -1,0 +1,530 @@
+//! Size-bounded journal segments with checkpoint compaction.
+//!
+//! A single append-only OSPJ journal (`crate::journal`) grows without
+//! bound — at cluster scale the first resource a long-lived daemon
+//! exhausts is the disk under its own write-ahead log. This module
+//! splits the journal into **rotating segments**: when the live segment
+//! reaches [`SegmentConfig::segment_bytes`], it is finished and a new
+//! segment is started whose *first record is a checkpoint* of the full
+//! collector state ([`Collector::checkpoint_bytes`]). That makes every
+//! segment with index ≥ 2 self-sufficient for recovery — restoring its
+//! head checkpoint and replaying its tail reproduces the exact state,
+//! byte-identical reports included — so older segments carry no
+//! information the newest one does not, and can be **retired** whenever
+//! the on-disk footprint exceeds [`SegmentConfig::disk_budget`].
+//!
+//! Crash safety is inherited from the journal's write-ahead ordering
+//! plus one rotation-specific rule: retirement never touches the two
+//! newest segments. A crash *mid-rotation* can tear the new segment's
+//! head checkpoint (even inside its length varint); because the
+//! checkpoint is the segment's first write, no later event can exist in
+//! it, so [`SegmentedCollector::resume`] discards the torn segment and
+//! recovers from the previous one — which is complete up to the same
+//! instant.
+
+use std::fs::{self, File, OpenOptions};
+use std::path::{Path, PathBuf};
+
+use crate::daemon::{Collector, CollectorConfig, CollectorError, Ingest};
+use crate::detect::Anomaly;
+use crate::journal::{read_journal, recover, Journal};
+
+/// Sizing for a segmented journal directory.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Rotation threshold: once the live segment reaches this many
+    /// bytes, the next journaled event goes to a fresh segment (so a
+    /// segment exceeds the threshold by at most one record).
+    pub segment_bytes: u64,
+    /// Disk budget across all live segments. After every rotation the
+    /// oldest segments are retired until the footprint fits — but the
+    /// two newest are always kept (crash-safety rule above).
+    pub disk_budget: u64,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig { segment_bytes: 1 << 20, disk_budget: 8 << 20 }
+    }
+}
+
+/// The on-disk name of segment `index` (1-based, zero-padded so
+/// lexicographic order is numeric order).
+fn segment_name(index: u64) -> String {
+    format!("seg-{index:06}.ospj")
+}
+
+/// The path of segment `index` inside `dir`.
+pub fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(segment_name(index))
+}
+
+/// Lists the segment indices present in `dir`, ascending. Files that do
+/// not match the `seg-NNNNNN.ospj` pattern are ignored.
+///
+/// # Errors
+///
+/// Directory-read I/O.
+pub fn segment_indices(dir: &Path) -> Result<Vec<u64>, CollectorError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_prefix("seg-").and_then(|s| s.strip_suffix(".ospj"))
+        else {
+            continue;
+        };
+        if let Ok(i) = stem.parse::<u64>() {
+            out.push(i);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Total bytes of all live segments in `dir` — the number the disk
+/// budget bounds.
+///
+/// # Errors
+///
+/// Directory- or metadata-read I/O.
+pub fn footprint(dir: &Path) -> Result<u64, CollectorError> {
+    let mut total = 0u64;
+    for i in segment_indices(dir)? {
+        total += fs::metadata(segment_path(dir, i))?.len();
+    }
+    Ok(total)
+}
+
+/// A [`Collector`] whose write-ahead journal lives in size-bounded
+/// rotating segments under a disk budget. The journal-before-apply
+/// discipline of [`crate::journal::JournaledCollector`] is preserved
+/// verbatim; rotation and retirement happen between records and never
+/// change what [`resume`](SegmentedCollector::resume) rebuilds.
+pub struct SegmentedCollector {
+    col: Collector,
+    cfg: CollectorConfig,
+    journal: Journal<File>,
+    dir: PathBuf,
+    index: u64,
+    seg: SegmentConfig,
+}
+
+impl SegmentedCollector {
+    /// Starts a fresh segmented collector in `dir` (created if absent),
+    /// writing segment 1.
+    ///
+    /// # Errors
+    ///
+    /// Directory/segment-creation I/O.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        cfg: CollectorConfig,
+        seg: SegmentConfig,
+    ) -> Result<Self, CollectorError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let journal = Journal::create(File::create(segment_path(&dir, 1))?)?;
+        Ok(SegmentedCollector { col: Collector::new(cfg.clone()), cfg, journal, dir, index: 1, seg })
+    }
+
+    /// Rebuilds a segmented collector from `dir` after a crash: the
+    /// newest segment's head checkpoint (when it has one) is restored
+    /// and its tail replayed; a torn tail is truncated away and the
+    /// segment reopened for appending. When the newest segment's head
+    /// checkpoint itself is torn — a crash mid-rotation, possibly
+    /// inside the record's length varint — that segment is discarded
+    /// and recovery falls back to the previous segment, which is
+    /// complete up to the same instant. Returns the collector and the
+    /// number of journal events replayed.
+    ///
+    /// # Errors
+    ///
+    /// I/O, or a directory with no segments at all.
+    pub fn resume(
+        dir: impl Into<PathBuf>,
+        cfg: CollectorConfig,
+        seg: SegmentConfig,
+    ) -> Result<(Self, u64), CollectorError> {
+        let dir = dir.into();
+        let indices = segment_indices(&dir)?;
+        let Some(&newest) = indices.last() else {
+            return Err(CollectorError::Internal(format!(
+                "no journal segments in {}",
+                dir.display()
+            )));
+        };
+        let mut index = newest;
+        let mut buf = fs::read(segment_path(&dir, index))?;
+        let (events, mut consumed) = read_journal(&buf[..])?;
+        if index >= 2 && events.is_empty() {
+            // The head checkpoint is the segment's first write; if no
+            // event parsed, the crash tore it mid-rotation and nothing
+            // after it can exist. The previous segment holds the same
+            // history (retirement always keeps the two newest).
+            fs::remove_file(segment_path(&dir, index))?;
+            index -= 1;
+            buf = fs::read(segment_path(&dir, index))?;
+            let (_, c) = read_journal(&buf[..])?;
+            consumed = c;
+        }
+        let (col, replayed) = recover(&buf[..consumed], cfg.clone())?;
+        // Drop any torn tail on disk, then reopen for appending so the
+        // resumed journal is byte-identical to an uninterrupted one.
+        let path = segment_path(&dir, index);
+        let f = OpenOptions::new().write(true).open(&path)?;
+        f.set_len(consumed as u64)?;
+        let journal = Journal::resume_at(OpenOptions::new().append(true).open(&path)?, consumed as u64);
+        Ok((SegmentedCollector { col, cfg, journal, dir, index, seg }, replayed))
+    }
+
+    /// Journals, then ingests, one raw frame delivery (rotating first
+    /// when the live segment is full).
+    ///
+    /// # Errors
+    ///
+    /// Journal/rotation I/O.
+    pub fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) -> Result<Ingest, CollectorError> {
+        self.maybe_rotate()?;
+        self.journal.bytes(conn, bytes)?;
+        Ok(self.col.ingest_bytes(conn, bytes))
+    }
+
+    /// Journals, then runs, one tick.
+    ///
+    /// # Errors
+    ///
+    /// Journal/rotation I/O.
+    pub fn tick(&mut self) -> Result<Vec<Anomaly>, CollectorError> {
+        self.maybe_rotate()?;
+        self.journal.tick()?;
+        Ok(self.col.tick())
+    }
+
+    /// Journals, then applies, a connection reset.
+    ///
+    /// # Errors
+    ///
+    /// Journal/rotation I/O.
+    pub fn reset_conn(&mut self, conn: u64) -> Result<(), CollectorError> {
+        self.maybe_rotate()?;
+        self.journal.reset(conn)?;
+        self.col.reset_conn(conn);
+        Ok(())
+    }
+
+    /// Rotates if the live segment reached the threshold: finish it,
+    /// open the next one with a checkpoint at its head, retire old
+    /// segments past the disk budget.
+    fn maybe_rotate(&mut self) -> Result<(), CollectorError> {
+        if self.journal.bytes_written() < self.seg.segment_bytes {
+            return Ok(());
+        }
+        self.index += 1;
+        let next = Journal::create(File::create(segment_path(&self.dir, self.index))?)?;
+        let prev = std::mem::replace(&mut self.journal, next);
+        prev.finish()?;
+        self.journal.checkpoint(&self.col.checkpoint_bytes())?;
+        self.retire()
+    }
+
+    /// Retires oldest-first until the footprint fits the budget,
+    /// always keeping the two newest segments. The target leaves one
+    /// rotation threshold of headroom: the live segment grows by up to
+    /// `segment_bytes` before retirement runs again, and the budget
+    /// must hold *between* rotations too, not just at them.
+    fn retire(&mut self) -> Result<(), CollectorError> {
+        let target = self.seg.disk_budget.saturating_sub(self.seg.segment_bytes);
+        let indices = segment_indices(&self.dir)?;
+        let mut sizes = Vec::with_capacity(indices.len());
+        for &i in &indices {
+            sizes.push(fs::metadata(segment_path(&self.dir, i))?.len());
+        }
+        let mut total: u64 = sizes.iter().sum();
+        let mut live = indices.len();
+        for (&i, &sz) in indices.iter().zip(&sizes) {
+            if total <= target || live <= 2 {
+                break;
+            }
+            fs::remove_file(segment_path(&self.dir, i))?;
+            total -= sz;
+            live -= 1;
+        }
+        Ok(())
+    }
+
+    /// The wrapped collector (read-only).
+    pub fn collector(&self) -> &Collector {
+        &self.col
+    }
+
+    /// The daemon report.
+    pub fn report(&self) -> String {
+        self.col.report()
+    }
+
+    /// The live segment's 1-based index.
+    pub fn segment_index(&self) -> u64 {
+        self.index
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total on-disk bytes of all live segments right now.
+    ///
+    /// # Errors
+    ///
+    /// Directory- or metadata-read I/O.
+    pub fn footprint(&self) -> Result<u64, CollectorError> {
+        footprint(&self.dir)
+    }
+
+    /// Flushes the live segment and unwraps into the collector.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O on the final flush.
+    pub fn into_collector(self) -> Result<Collector, CollectorError> {
+        self.journal.finish()?;
+        Ok(self.col)
+    }
+
+    /// The config pair needed to [`resume`](SegmentedCollector::resume)
+    /// this directory later.
+    pub fn segment_config(&self) -> SegmentConfig {
+        self.seg
+    }
+}
+
+// The `cfg` field exists so a future in-place re-checkpoint (compaction
+// without rotation) can rebuild collectors; hold it visibly used.
+impl std::fmt::Debug for SegmentedCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentedCollector")
+            .field("dir", &self.dir)
+            .field("index", &self.index)
+            .field("seg", &self.seg)
+            .field("store_cfg", &self.cfg.store)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Agent;
+    use crate::journal::{JournaledCollector, JournalEvent};
+    use crate::wire::encode_frame;
+    use osprof_core::bucket::Resolution;
+    use osprof_core::profile::ProfileSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn test_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "osprof-seg-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn stream_bytes(node: &str, bucket: u32, intervals: u64) -> Vec<Vec<u8>> {
+        let mut agent = Agent::new(node);
+        let mut out = vec![encode_frame(&agent.hello("fs", Resolution::R1, 1_000))];
+        let mut set = ProfileSet::new("fs");
+        for seq in 0..intervals {
+            set.entry("read").record_n(1u64 << bucket, 1_000);
+            out.push(encode_frame(&agent.snapshot((seq + 1) * 1_000, &set)));
+        }
+        out.push(encode_frame(&agent.bye()));
+        out
+    }
+
+    fn run_rounds(
+        sc: &mut SegmentedCollector,
+        streams: &[Vec<Vec<u8>>],
+        rounds: std::ops::Range<usize>,
+    ) {
+        for round in rounds {
+            for (conn, s) in streams.iter().enumerate() {
+                if let Some(b) = s.get(round) {
+                    sc.ingest_bytes(conn as u64, b).unwrap();
+                }
+            }
+            sc.tick().unwrap();
+        }
+    }
+
+    fn small_seg() -> SegmentConfig {
+        SegmentConfig { segment_bytes: 512, disk_budget: 4096 }
+    }
+
+    #[test]
+    fn rotation_opens_every_later_segment_with_a_checkpoint() {
+        let dir = test_dir("rotate");
+        let streams: Vec<_> = (0..3).map(|i| stream_bytes(&format!("n{i}"), 10, 8)).collect();
+        let rounds = streams.iter().map(Vec::len).max().unwrap();
+        let mut sc = SegmentedCollector::create(
+            &dir,
+            CollectorConfig::default(),
+            SegmentConfig { segment_bytes: 512, disk_budget: u64::MAX },
+        )
+        .unwrap();
+        run_rounds(&mut sc, &streams, 0..rounds);
+        assert!(sc.segment_index() >= 2, "the run must rotate at least once");
+        for i in segment_indices(&dir).unwrap() {
+            let buf = fs::read(segment_path(&dir, i)).unwrap();
+            let (events, _) = read_journal(&buf[..]).unwrap();
+            if i >= 2 {
+                assert!(
+                    matches!(events.first(), Some(JournalEvent::Checkpoint(_))),
+                    "segment {i} must open with a checkpoint"
+                );
+            } else {
+                assert!(
+                    !events.iter().any(|e| matches!(e, JournalEvent::Checkpoint(_))),
+                    "segment 1 has no checkpoint"
+                );
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retirement_keeps_footprint_under_budget_but_never_the_two_newest() {
+        let dir = test_dir("retire");
+        let streams: Vec<_> = (0..4).map(|i| stream_bytes(&format!("n{i}"), 10, 16)).collect();
+        let rounds = streams.iter().map(Vec::len).max().unwrap();
+        let mut sc =
+            SegmentedCollector::create(&dir, CollectorConfig::default(), small_seg()).unwrap();
+        for round in 0..rounds {
+            for (conn, s) in streams.iter().enumerate() {
+                if let Some(b) = s.get(round) {
+                    sc.ingest_bytes(conn as u64, b).unwrap();
+                }
+            }
+            sc.tick().unwrap();
+            // The budget holds *between* rotations for the whole run
+            // (retirement leaves the live segment headroom to fill).
+            let indices = segment_indices(&dir).unwrap();
+            assert!(!indices.is_empty());
+            if indices.len() > 2 {
+                assert!(
+                    sc.footprint().unwrap() <= small_seg().disk_budget,
+                    "footprint {} over budget",
+                    sc.footprint().unwrap()
+                );
+            }
+        }
+        let indices = segment_indices(&dir).unwrap();
+        assert!(indices.len() >= 2, "the two newest always survive");
+        assert!(
+            *indices.first().unwrap() > 1,
+            "old segments were retired: {indices:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_resume_matches_the_unsegmented_journal_report() {
+        let streams: Vec<_> = (0..4)
+            .map(|i| {
+                let bucket = if i == 3 { 20 } else { 10 };
+                stream_bytes(&format!("n{i}"), bucket, 12)
+            })
+            .collect();
+        let rounds = streams.iter().map(Vec::len).max().unwrap();
+
+        // Reference: one flat journaled run, never crashed.
+        let mut jc = JournaledCollector::create(CollectorConfig::default(), Vec::new()).unwrap();
+        for round in 0..rounds {
+            for (conn, s) in streams.iter().enumerate() {
+                if let Some(b) = s.get(round) {
+                    jc.ingest_bytes(conn as u64, b).unwrap();
+                }
+            }
+            jc.tick().unwrap();
+        }
+        let want = jc.report();
+
+        // Segmented run that "crashes" (drops) mid-way and resumes.
+        let dir = test_dir("crash");
+        let mut sc =
+            SegmentedCollector::create(&dir, CollectorConfig::default(), small_seg()).unwrap();
+        run_rounds(&mut sc, &streams, 0..rounds / 2);
+        assert!(sc.segment_index() >= 2, "the crash must land after a rotation");
+        drop(sc); // crash: in-memory state gone
+        let (mut sc, replayed) =
+            SegmentedCollector::resume(&dir, CollectorConfig::default(), small_seg()).unwrap();
+        assert!(replayed > 0);
+        run_rounds(&mut sc, &streams, rounds / 2..rounds);
+        assert_eq!(sc.report(), want, "segmented crash recovery must be exact");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_head_checkpoint_falls_back_to_the_previous_segment() {
+        let streams: Vec<_> = (0..3).map(|i| stream_bytes(&format!("n{i}"), 10, 10)).collect();
+        let rounds = streams.iter().map(Vec::len).max().unwrap();
+
+        let reference = {
+            let dir = test_dir("torn-ref");
+            let mut sc =
+                SegmentedCollector::create(&dir, CollectorConfig::default(), small_seg()).unwrap();
+            run_rounds(&mut sc, &streams, 0..rounds);
+            let r = sc.report();
+            fs::remove_dir_all(&dir).unwrap();
+            r
+        };
+
+        let dir = test_dir("torn");
+        let mut sc =
+            SegmentedCollector::create(&dir, CollectorConfig::default(), small_seg()).unwrap();
+        let crash_at = rounds / 2;
+        run_rounds(&mut sc, &streams, 0..crash_at);
+        assert!(sc.segment_index() >= 2);
+        let newest = sc.segment_index();
+        drop(sc);
+
+        // Fabricate the exact bytes a crash leaves when it lands
+        // mid-rotation, *inside the length varint* of the new segment's
+        // head checkpoint: OSPJ header, kind 4, conn 0, then one byte
+        // of a multi-byte len (continuation bit set) and nothing more.
+        // By write-ahead ordering no event past this point was applied,
+        // so the previous segment is complete up to the same instant.
+        fs::write(
+            segment_path(&dir, newest + 1),
+            [b'O', b'S', b'P', b'J', 1, 4, 0, 0x80],
+        )
+        .unwrap();
+
+        let (mut sc, _) =
+            SegmentedCollector::resume(&dir, CollectorConfig::default(), small_seg()).unwrap();
+        assert_eq!(
+            sc.segment_index(),
+            newest,
+            "recovery fell back to the previous segment"
+        );
+        run_rounds(&mut sc, &streams, crash_at..rounds);
+        assert_eq!(sc.report(), reference, "fallback recovery must be exact");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_on_an_empty_directory_is_an_error() {
+        let dir = test_dir("empty");
+        assert!(SegmentedCollector::resume(
+            &dir,
+            CollectorConfig::default(),
+            SegmentConfig::default()
+        )
+        .is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

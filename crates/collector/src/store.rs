@@ -46,7 +46,9 @@ use osprof_core::bucket::Resolution;
 use osprof_core::clock::Cycles;
 use osprof_core::profile::{Profile, ProfileSet};
 
-use crate::wire::fnv64;
+use crate::wire::{
+    fnv64, get_profile_set, put_profile_set, put_string, put_uvarint, Cursor, WireError,
+};
 
 /// Store sizing knobs.
 #[derive(Debug, Clone, Copy)]
@@ -62,12 +64,50 @@ pub struct StoreConfig {
     /// exceeds this, the node is quarantined (offers rejected, excluded
     /// from the cluster median).
     pub corrupt_budget: u64,
+    /// Per-node memory budget in model bytes (see [`snapshot_cost`]):
+    /// an offer that would push the node's pending-queue footprint past
+    /// this is **shed** (typed, conserved) instead of queued. `None`
+    /// disables per-node shedding.
+    pub node_budget_bytes: Option<usize>,
+    /// Global memory budget in model bytes across every node's pending
+    /// queue, enforced at drain time by shedding the newest snapshots
+    /// of the heaviest nodes. `None` disables global shedding.
+    pub global_budget_bytes: Option<usize>,
+    /// Stalled-agent eviction: a node whose queue stays empty for this
+    /// many consecutive drains has its in-memory history (window +
+    /// cumulative base) released; its first snapshot after re-admission
+    /// is treated as stale, like a gap recovery. `None` disables
+    /// eviction.
+    pub evict_after_ticks: Option<u64>,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { shards: 8, queue_cap: 64, baseline_window: 5, corrupt_budget: 64 }
+        StoreConfig {
+            shards: 8,
+            queue_cap: 64,
+            baseline_window: 5,
+            corrupt_budget: 64,
+            node_budget_bytes: None,
+            global_budget_bytes: None,
+            evict_after_ticks: None,
+        }
     }
+}
+
+/// Deterministic memory-cost model for one cumulative snapshot, in
+/// model bytes: a fixed per-snapshot overhead, a per-operation charge,
+/// and a charge per occupied bucket. The model is intentionally
+/// allocator-independent so budget decisions (and therefore shedding,
+/// reports and goldens) are byte-identical on every platform and
+/// engine.
+pub fn snapshot_cost(set: &ProfileSet) -> usize {
+    let mut cost = 64usize;
+    for (op, p) in set.iter() {
+        cost += op.len() + 48;
+        cost += p.buckets().iter().filter(|&&c| c > 0).count() * 16;
+    }
+    cost
 }
 
 /// One pending cumulative snapshot.
@@ -90,6 +130,9 @@ pub enum Offer {
     Dropped,
     /// Rejected: the node exceeded its corruption budget.
     Quarantined,
+    /// Rejected: queueing it would exceed the node's memory budget
+    /// ([`StoreConfig::node_budget_bytes`]) — load was shed.
+    Shed,
 }
 
 /// A stream-level fault attributed to one node (decode failures and
@@ -160,16 +203,26 @@ struct NodeState {
     node: String,
     /// Pending snapshots, each with its gap-recovery flag.
     queue: VecDeque<(Snapshot, bool)>,
+    /// Model-byte footprint of `queue` (see [`snapshot_cost`]).
+    queue_bytes: usize,
     last_cum: Option<ProfileSet>,
     /// Most recent per-interval sets, oldest first.
     window: VecDeque<ProfileSet>,
     offered: u64,
     dropped: u64,
+    /// Snapshots shed under a memory budget (per-node or global).
+    shed: u64,
     aggregated: u64,
     restarts: u64,
     intervals: u64,
     /// Gap-recovered snapshots that bypassed the baseline window.
     stale: u64,
+    /// Consecutive drains with an empty queue (stall detector).
+    idle_ticks: u64,
+    /// Times the node's in-memory history was evicted for stalling.
+    evictions: u64,
+    /// Currently evicted: history released, awaiting re-admission.
+    evicted: bool,
     faults: FaultCounters,
 }
 
@@ -178,14 +231,19 @@ impl NodeState {
         NodeState {
             node,
             queue: VecDeque::new(),
+            queue_bytes: 0,
             last_cum: None,
             window: VecDeque::new(),
             offered: 0,
             dropped: 0,
+            shed: 0,
             aggregated: 0,
             restarts: 0,
             intervals: 0,
             stale: 0,
+            idle_ticks: 0,
+            evictions: 0,
+            evicted: false,
             faults: FaultCounters::default(),
         }
     }
@@ -200,6 +258,8 @@ pub struct NodeStats {
     pub offered: u64,
     /// Snapshots rejected by backpressure.
     pub dropped: u64,
+    /// Snapshots shed under a memory budget (per-node or global).
+    pub shed: u64,
     /// Snapshots drained into the aggregation.
     pub aggregated: u64,
     /// Snapshots currently pending.
@@ -210,6 +270,8 @@ pub struct NodeStats {
     pub intervals: u64,
     /// Gap-recovered snapshots that bypassed the baseline window.
     pub stale: u64,
+    /// Times the node's history was evicted for stalling.
+    pub evictions: u64,
     /// Stream fault counters reported by the ingest path.
     pub faults: FaultCounters,
     /// True when the node exceeded its corruption budget.
@@ -244,15 +306,25 @@ impl StoreStats {
         self.nodes.iter().map(|n| n.queued).sum()
     }
 
+    /// Total shed under memory budgets across nodes.
+    pub fn shed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.shed).sum()
+    }
+
+    /// Total stall evictions across nodes.
+    pub fn evictions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.evictions).sum()
+    }
+
     /// Verifies the conservation invariant: every offered snapshot is
-    /// exactly one of dropped, queued or aggregated — none lost.
+    /// exactly one of dropped, shed, queued or aggregated — none lost.
     pub fn check_conservation(&self) -> Result<(), String> {
         for n in &self.nodes {
-            let accounted = n.dropped + n.queued + n.aggregated;
+            let accounted = n.dropped + n.shed + n.queued + n.aggregated;
             if n.offered != accounted {
                 return Err(format!(
-                    "node {}: offered {} != dropped {} + queued {} + aggregated {}",
-                    n.node, n.offered, n.dropped, n.queued, n.aggregated
+                    "node {}: offered {} != dropped {} + shed {} + queued {} + aggregated {}",
+                    n.node, n.offered, n.dropped, n.shed, n.queued, n.aggregated
                 ));
             }
         }
@@ -313,16 +385,28 @@ impl ShardedStore {
     pub fn offer_with(&mut self, node: &str, snap: Snapshot, recovered: bool) -> Offer {
         let cap = self.cfg.queue_cap;
         let budget = self.cfg.corrupt_budget;
+        let node_budget = self.cfg.node_budget_bytes;
         let st = self.node_mut(node);
         st.offered += 1;
         if st.faults.corrupt > budget {
             st.dropped += 1;
             return Offer::Quarantined;
         }
+        let cost = snapshot_cost(&snap.set);
+        if let Some(nb) = node_budget {
+            // Per-node shedding is decided from the node's own stream
+            // alone, so it is byte-identical however ingest is
+            // parallelized or federated.
+            if st.queue_bytes + cost > nb {
+                st.shed += 1;
+                return Offer::Shed;
+            }
+        }
         if st.queue.len() >= cap {
             st.dropped += 1;
             return Offer::Dropped;
         }
+        st.queue_bytes += cost;
         st.queue.push_back((snap, recovered));
         Offer::Accepted
     }
@@ -346,14 +430,77 @@ impl ShardedStore {
             .is_some_and(|st| st.faults.corrupt > self.cfg.corrupt_budget)
     }
 
+    /// Sheds the newest queued snapshots of the heaviest nodes until
+    /// the global queued footprint fits
+    /// [`StoreConfig::global_budget_bytes`]. Runs at drain time — the
+    /// serial path every engine shares — so global shedding decisions
+    /// are engine-invariant. Ties on footprint break toward the
+    /// lexicographically smallest node name, deterministically.
+    fn shed_to_global_budget(&mut self, budget: usize) {
+        loop {
+            let mut total = 0usize;
+            let mut heaviest: Option<(usize, String, usize)> = None;
+            for (si, shard) in self.shards.iter().enumerate() {
+                for st in shard.values() {
+                    total += st.queue_bytes;
+                    let heavier = match &heaviest {
+                        None => st.queue_bytes > 0,
+                        Some((_, name, bytes)) => {
+                            st.queue_bytes > *bytes
+                                || (st.queue_bytes == *bytes && st.node < *name)
+                        }
+                    };
+                    if heavier {
+                        heaviest = Some((si, st.node.clone(), st.queue_bytes));
+                    }
+                }
+            }
+            if total <= budget {
+                return;
+            }
+            let Some((si, name, _)) = heaviest else { return };
+            let Some(st) = self.shards[si].get_mut(&name) else { return };
+            let Some((snap, _)) = st.queue.pop_back() else { return };
+            st.queue_bytes = st.queue_bytes.saturating_sub(snapshot_cost(&snap.set));
+            st.shed += 1;
+        }
+    }
+
     /// Drains every pending queue, differencing cumulative snapshots
     /// into per-interval updates (node-name order, then seq order).
+    /// Also the stall detector's clock: a node whose queue is empty for
+    /// [`StoreConfig::evict_after_ticks`] consecutive drains has its
+    /// in-memory history evicted, and its first snapshot after
+    /// re-admission bypasses the baseline window like a gap recovery.
     pub fn drain(&mut self) -> Vec<IntervalUpdate> {
+        if let Some(gb) = self.cfg.global_budget_bytes {
+            self.shed_to_global_budget(gb);
+        }
         let window = self.cfg.baseline_window;
+        let evict_after = self.cfg.evict_after_ticks;
         let mut updates = Vec::new();
         for shard in &mut self.shards {
             for st in shard.values_mut() {
+                if st.queue.is_empty() {
+                    st.idle_ticks += 1;
+                    if let Some(limit) = evict_after {
+                        if !st.evicted && st.idle_ticks >= limit && st.last_cum.is_some() {
+                            // Release the stalled node's history: the
+                            // cumulative base and baseline window are
+                            // what actually hold memory.
+                            st.evicted = true;
+                            st.evictions += 1;
+                            st.window.clear();
+                            st.last_cum = None;
+                        }
+                    }
+                    continue;
+                }
+                st.idle_ticks = 0;
+                let mut readmitted = std::mem::take(&mut st.evicted);
                 while let Some((snap, recovered)) = st.queue.pop_front() {
+                    st.queue_bytes =
+                        st.queue_bytes.saturating_sub(snapshot_cost(&snap.set));
                     let (interval, restarted) = match &st.last_cum {
                         Some(prev) => match cum_diff(prev, &snap.set) {
                             Some(d) => (d, false),
@@ -367,8 +514,12 @@ impl ShardedStore {
                     }
                     // A gap-recovered interval spans several sampling
                     // periods: keep it out of the baseline window so
-                    // the baseline goes stale rather than poisoned.
-                    let gapped = recovered && !restarted;
+                    // the baseline goes stale rather than poisoned. The
+                    // first snapshot after a stall eviction gets the
+                    // same treatment — its "interval" is the whole
+                    // cumulative set re-based from nothing.
+                    let was_readmitted = std::mem::take(&mut readmitted);
+                    let gapped = (recovered || was_readmitted) && !restarted;
                     if gapped {
                         st.stale += 1;
                     } else {
@@ -552,17 +703,127 @@ impl ShardedStore {
                 node: st.node.clone(),
                 offered: st.offered,
                 dropped: st.dropped,
+                shed: st.shed,
                 aggregated: st.aggregated,
                 queued: st.queue.len() as u64,
                 restarts: st.restarts,
                 intervals: st.intervals,
                 stale: st.stale,
+                evictions: st.evictions,
                 faults: st.faults,
                 quarantined: st.faults.corrupt > self.cfg.corrupt_budget,
             })
             .collect();
         nodes.sort_by(|a, b| a.node.cmp(&b.node));
         StoreStats { nodes }
+    }
+
+    /// Serializes every node's full state (counters, queue, window,
+    /// cumulative base) into a checkpoint buffer, node-name order.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        let names = self.nodes();
+        put_uvarint(out, names.len() as u128);
+        for name in names {
+            let Some(st) = self.node_ref(&name) else { continue };
+            put_string(out, &st.node);
+            for v in [
+                st.offered,
+                st.dropped,
+                st.shed,
+                st.aggregated,
+                st.restarts,
+                st.intervals,
+                st.stale,
+                st.idle_ticks,
+                st.evictions,
+                st.faults.corrupt,
+                st.faults.gap,
+                st.faults.resync,
+                st.faults.reset,
+            ] {
+                put_uvarint(out, v as u128);
+            }
+            out.push(u8::from(st.evicted));
+            match &st.last_cum {
+                Some(set) => {
+                    out.push(1);
+                    put_profile_set(out, set);
+                }
+                None => out.push(0),
+            }
+            put_uvarint(out, st.window.len() as u128);
+            for set in &st.window {
+                put_profile_set(out, set);
+            }
+            put_uvarint(out, st.queue.len() as u128);
+            for (snap, recovered) in &st.queue {
+                put_uvarint(out, snap.seq as u128);
+                put_uvarint(out, snap.at as u128);
+                out.push(u8::from(*recovered));
+                put_profile_set(out, &snap.set);
+            }
+        }
+    }
+
+    /// Rebuilds a store from a checkpoint buffer under `cfg`.
+    pub(crate) fn decode_state(
+        cfg: StoreConfig,
+        c: &mut Cursor<'_>,
+    ) -> Result<Self, WireError> {
+        let mut store = ShardedStore::new(cfg);
+        let nodes = c.count("checkpoint nodes", 16)?;
+        for _ in 0..nodes {
+            let name = c.string()?;
+            let mut counters = [0u64; 13];
+            for v in counters.iter_mut() {
+                *v = c.u64()?;
+            }
+            let evicted = c.byte()? != 0;
+            let last_cum = match c.byte()? {
+                0 => None,
+                _ => Some(get_profile_set(c)?),
+            };
+            let mut window = VecDeque::new();
+            for _ in 0..c.count("checkpoint window", 8)? {
+                window.push_back(get_profile_set(c)?);
+            }
+            let mut queue = VecDeque::new();
+            let mut queue_bytes = 0usize;
+            for _ in 0..c.count("checkpoint queue", 10)? {
+                let seq = c.u64()?;
+                let at = c.u64()?;
+                let recovered = c.byte()? != 0;
+                let set = get_profile_set(c)?;
+                queue_bytes += snapshot_cost(&set);
+                queue.push_back((Snapshot { seq, at, set }, recovered));
+            }
+            let st = NodeState {
+                node: name.clone(),
+                queue,
+                queue_bytes,
+                last_cum,
+                window,
+                offered: counters[0],
+                dropped: counters[1],
+                shed: counters[2],
+                aggregated: counters[3],
+                restarts: counters[4],
+                intervals: counters[5],
+                stale: counters[6],
+                idle_ticks: counters[7],
+                evictions: counters[8],
+                evicted,
+                faults: FaultCounters {
+                    corrupt: counters[9],
+                    gap: counters[10],
+                    resync: counters[11],
+                    reset: counters[12],
+                },
+            };
+            let home = store.shard_of(&name);
+            store.shards[home].insert(name, st);
+        }
+        Ok(store)
     }
 }
 

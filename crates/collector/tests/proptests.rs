@@ -12,6 +12,7 @@
 use osprof_collector::agent::{DecodeEvent, Decoder, Encoder};
 use osprof_collector::daemon::{Collector, CollectorConfig};
 use osprof_collector::delta::{self, SetDelta};
+use osprof_collector::segment::{SegmentConfig, SegmentedCollector};
 use osprof_collector::store::{ShardedStore, Snapshot, StoreConfig};
 use osprof_collector::wire::{self, encode_frame, Cursor, Frame};
 use osprof_core::profile::ProfileSet;
@@ -36,6 +37,16 @@ fn arb_set() -> impl Strategy<Value = ProfileSet> {
 /// A sequence of arbitrary (unrelated!) snapshots.
 fn arb_sets() -> impl Strategy<Value = Vec<ProfileSet>> {
     prop::collection::vec(arb_set(), 1..8)
+}
+
+/// A fresh scratch directory for a segmented-journal property case.
+fn scratch_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("osprof-prop-seg-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 proptest! {
@@ -228,5 +239,101 @@ proptest! {
         prop_assert!(col.store().stats().check_conservation().is_ok());
         // The report renders without panicking even on a mangled stream.
         prop_assert!(!col.report().is_empty());
+    }
+
+    /// Rotate → checkpoint → recover is byte-exact for *any* segment
+    /// size down to a single record: a segmented run crashed at an
+    /// arbitrary round boundary and resumed must report exactly what
+    /// an uninterrupted flat collector reports over the same stream,
+    /// however often the tiny segments forced rotation.
+    #[test]
+    fn segmented_recovery_round_trips_any_segment_size(
+        sets in arb_sets(),
+        segment_bytes in 1u64..1536,
+        full_every in 0u64..3,
+        split in 0usize..16,
+    ) {
+        let mut enc = Encoder::new(full_every);
+        let mut frames = vec![encode_frame(&Frame::Hello {
+            node: "prop-node".to_string(),
+            layer: "fs".to_string(),
+            resolution: sets[0].resolution(),
+            interval: 100,
+        })];
+        for (i, set) in sets.iter().enumerate() {
+            frames.push(encode_frame(&enc.encode(i as u64, i as u64 * 100 + 100, set)));
+        }
+
+        // The uninterrupted reference: a flat collector, no journal.
+        let ccfg = CollectorConfig::default();
+        let mut flat = Collector::new(ccfg.clone());
+        for bytes in &frames {
+            flat.ingest_bytes(0, bytes);
+            flat.tick();
+        }
+
+        // The same stream through a segmented journal, crashed (drop,
+        // intact tail) at an arbitrary round boundary and resumed.
+        let seg = SegmentConfig { segment_bytes, disk_budget: 1 << 20 };
+        let dir = scratch_dir();
+        let mut sc = SegmentedCollector::create(&dir, ccfg.clone(), seg).unwrap();
+        let split = split % (frames.len() + 1);
+        for bytes in &frames[..split] {
+            sc.ingest_bytes(0, bytes).unwrap();
+            sc.tick().unwrap();
+        }
+        drop(sc);
+        let (mut sc, _) = SegmentedCollector::resume(&dir, ccfg, seg).unwrap();
+        for bytes in &frames[split..] {
+            sc.ingest_bytes(0, bytes).unwrap();
+            sc.tick().unwrap();
+        }
+        let got = sc.into_collector().unwrap();
+        prop_assert_eq!(got.report(), flat.report());
+        prop_assert_eq!(got.report_json().pretty(), flat.report_json().pretty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Typed load shedding preserves conservation: however random
+    /// node/global byte budgets, eviction thresholds and overload
+    /// schedules interleave offers with drains, every offered snapshot
+    /// is still exactly one of dropped, shed, queued or aggregated.
+    #[test]
+    fn shed_counters_conserve_under_random_budgets(
+        ops in prop::collection::vec((0u8..4, 0u8..4, 0usize..12), 1..80),
+        cap in 1usize..6,
+        node_budget in (any::<bool>(), 32usize..2048).prop_map(|(s, v)| s.then_some(v)),
+        global_budget in (any::<bool>(), 64usize..4096).prop_map(|(s, v)| s.then_some(v)),
+        evict_after in (any::<bool>(), 1u64..4).prop_map(|(s, v)| s.then_some(v)),
+    ) {
+        let mut store = ShardedStore::new(StoreConfig {
+            queue_cap: cap,
+            node_budget_bytes: node_budget,
+            global_budget_bytes: global_budget,
+            evict_after_ticks: evict_after,
+            ..StoreConfig::default()
+        });
+        let mut seqs = [0u64; 4];
+        for (node, action, weight) in ops {
+            let name = format!("n{node}");
+            match action {
+                3 => { store.drain(); }
+                _ => {
+                    let seq = seqs[node as usize];
+                    seqs[node as usize] += 1;
+                    let mut set = ProfileSet::new("fs");
+                    // `weight` scales the snapshot's byte cost so some
+                    // offers overflow the budgets and some fit.
+                    for b in 0..weight {
+                        set.entry("read").record_n((1u64 << b) + (1u64 << b) / 2, seq + 1);
+                    }
+                    store.offer(&name, Snapshot { seq, at: (seq + 1) * 100, set });
+                }
+            }
+            let stats = store.stats();
+            prop_assert!(stats.check_conservation().is_ok(), "{:?}", stats);
+            prop_assert!(stats.nodes.iter().all(|n| n.queued <= cap as u64),
+                "queue exceeded cap {cap}: {:?}", stats);
+        }
     }
 }

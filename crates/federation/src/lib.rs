@@ -36,7 +36,7 @@ pub mod replay;
 pub mod topology;
 
 pub use replay::{
-    replay_chaos_federated, replay_streams_federated, FederatedChaosRun, FederatedOpts,
-    FederatedRun,
+    replay_chaos_federated, replay_overload_federated, replay_streams_federated,
+    FederatedChaosRun, FederatedOpts, FederatedRun,
 };
 pub use topology::{Topology, TopologyError, TopoNode, BUILTIN_SHAPES};

@@ -26,10 +26,13 @@ use std::collections::BTreeMap;
 
 use osprof_collector::attribution::render_block;
 use osprof_collector::daemon::{Collector, CollectorConfig, CollectorError};
-use osprof_collector::fault::{node_seed, Delivery, FaultInjector, FaultPlan, FaultStats};
+use osprof_collector::fault::{node_seed, Delivery, FaultInjector, FaultPlan, FaultStats, ResourcePlan};
 use osprof_collector::federation::{recover_aggregator, JournaledAggregator};
 use osprof_collector::resilience::ResilientAgent;
-use osprof_collector::scenario::{ChaosConfig, Timeline};
+use osprof_collector::scenario::{
+    drive_overload, overload_collector_config, ChaosConfig, OverloadEngine, OverloadEvent,
+    OverloadRun, OverloadSchedule, Timeline,
+};
 use osprof_collector::wire::{encode_frame, Frame};
 
 use crate::topology::{TopoNode, Topology, TopologyError};
@@ -130,13 +133,17 @@ struct Tree {
 
 impl Tree {
     fn grow(topo: &Topology, nodes: usize) -> Result<Tree, CollectorError> {
+        Tree::grow_with(topo, nodes, CollectorConfig::default())
+    }
+
+    fn grow_with(topo: &Topology, nodes: usize, cfg: CollectorConfig) -> Result<Tree, CollectorError> {
         let plan = Plan::build(topo, nodes)?;
         let aggs = plan
             .aggs
             .iter()
             .map(|a| JournaledAggregator::create(a.name.as_str(), a.tier, Vec::new()))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Tree { plan, root: Collector::new(CollectorConfig::default()), aggs })
+        Ok(Tree { plan, root: Collector::new(cfg), aggs })
     }
 
     /// Routes one agent frame to wherever that agent's wire terminates.
@@ -169,6 +176,47 @@ impl Tree {
                 Ok(())
             }
             Some(p) => self.aggs[p].reset_conn(agent as u64),
+        }
+    }
+
+    /// Routes one raw agent delivery under the per-tier pending-batch
+    /// budgets: a forced early flush at the terminating aggregator is
+    /// relayed upstream immediately, and may cascade tier by tier.
+    fn ingest_agent_bytes_budgeted(
+        &mut self,
+        agent: usize,
+        bytes: &[u8],
+    ) -> Result<(), CollectorError> {
+        match self.plan.agent_parent[agent] {
+            None => {
+                self.root.ingest_bytes(agent as u64, bytes);
+                Ok(())
+            }
+            Some(p) => {
+                if let Some(frame) = self.aggs[p].ingest_bytes_budgeted(agent as u64, bytes)? {
+                    self.route_uplink_budgeted(p, &frame)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Delivers uplink bytes from aggregator `k` to its parent, whose
+    /// own budget may force the flush onward — overload runs relieve
+    /// memory pressure all the way to the root, not just one tier up.
+    fn route_uplink_budgeted(&mut self, k: usize, bytes: &[u8]) -> Result<(), CollectorError> {
+        let conn = self.plan.uplink_conn(k);
+        match self.plan.aggs[k].parent {
+            None => {
+                self.root.ingest_bytes(conn, bytes);
+                Ok(())
+            }
+            Some(p) => {
+                if let Some(frame) = self.aggs[p].ingest_bytes_budgeted(conn, bytes)? {
+                    self.route_uplink_budgeted(p, &frame)?;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -487,6 +535,87 @@ fn deliver(
     Ok(())
 }
 
+/// The federated overload engine: the [`OverloadSchedule`]'s events
+/// routed through an aggregation tree whose tiers run under the
+/// [`ResourcePlan`]'s pending-batch budgets. Implements the collector
+/// crate's [`OverloadEngine`], so `ext-overload` holds it to the same
+/// byte-identity contract as the serial, parallel and crash engines.
+struct OverloadTree {
+    tree: Tree,
+    no_injectors: BTreeMap<usize, FaultInjector>,
+    tier_budget: Option<usize>,
+}
+
+impl OverloadEngine for OverloadTree {
+    fn apply(&mut self, ev: &OverloadEvent) -> Result<(), CollectorError> {
+        match ev {
+            OverloadEvent::Bytes { conn, bytes } => {
+                self.tree.ingest_agent_bytes_budgeted(*conn as usize, bytes)
+            }
+            OverloadEvent::Reset { conn } => self.tree.reset_agent(*conn as usize),
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), CollectorError> {
+        self.tree.flush_tiers(&mut self.no_injectors)?;
+        self.tree.root.tick();
+        Ok(())
+    }
+
+    fn crash_recover(&mut self) -> Result<bool, CollectorError> {
+        // Kill the pre-order-first aggregator and rebuild it from its
+        // journal. Budgets are not journaled — the forced-flush
+        // boundaries are, as plain tick records — so recovery replays
+        // them without knowing the budget; it is re-armed afterwards.
+        if self.tree.aggs.is_empty() {
+            return Ok(false);
+        }
+        self.tree.crash_recover_agg(0)?;
+        self.tree.aggs[0].set_pending_budget(self.tier_budget);
+        Ok(true)
+    }
+
+    fn into_collector(mut self) -> Result<Collector, CollectorError> {
+        self.tree.close_uplinks(&mut self.no_injectors)?;
+        Ok(self.tree.root)
+    }
+}
+
+/// Replays the overload schedule through an aggregation tree: per-tier
+/// pending-batch budgets force early uplink flushes under the ingest
+/// burst, and the plan's crash round kills + journal-recovers an
+/// aggregator mid-run. The root report must match the flat serial
+/// replay byte-for-byte — resource pressure may change *when* tiers
+/// flush, never *what* the root concludes.
+///
+/// # Errors
+///
+/// Topology validation failures and journal I/O.
+pub fn replay_overload_federated(
+    topo: &Topology,
+    sched: &OverloadSchedule,
+    plan: &ResourcePlan,
+) -> Result<OverloadRun, CollectorError> {
+    let nodes = sched
+        .rounds
+        .iter()
+        .flatten()
+        .map(|ev| match ev {
+            OverloadEvent::Bytes { conn, .. } | OverloadEvent::Reset { conn } => *conn + 1,
+        })
+        .max()
+        .unwrap_or(0) as usize;
+    let mut tree = Tree::grow_with(topo, nodes, overload_collector_config(plan))?;
+    for agg in &mut tree.aggs {
+        agg.set_pending_budget(plan.tier_budget_bytes);
+    }
+    drive_overload(
+        sched,
+        plan,
+        OverloadTree { tree, no_injectors: BTreeMap::new(), tier_budget: plan.tier_budget_bytes },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,5 +746,42 @@ mod tests {
         // Determinism: the same hostile uplink replays identically.
         let again = replay_chaos_federated(&topo, &timelines, &ccfg, &opts).unwrap();
         assert_eq!(again.report, faulty.report);
+    }
+
+    #[test]
+    fn overload_replay_is_topology_invariant_under_tier_budgets() {
+        use osprof_collector::scenario::{overload_schedule, replay_overload, OverloadConfig};
+        let cfg = OverloadConfig::default();
+        let sched = overload_schedule(&cfg);
+        let serial = replay_overload(&sched, &cfg.plan).unwrap();
+        for shape in ["2-tier", "3-tier"] {
+            let topo = Topology::builtin(shape, cfg.nodes).unwrap();
+            let fed = replay_overload_federated(&topo, &sched, &cfg.plan).unwrap();
+            assert_eq!(fed.report, serial.report, "root report differs for {shape}");
+            assert_eq!(fed.json, serial.json, "root JSON differs for {shape}");
+            assert!(fed.recovered, "the crashed aggregator must recover for {shape}");
+            assert!(fed.shed > 0 && fed.evictions > 0, "degradation must survive federation");
+        }
+    }
+
+    #[test]
+    fn overload_root_report_is_invariant_to_the_tier_budget() {
+        use osprof_collector::scenario::{overload_schedule, OverloadConfig};
+        let cfg = OverloadConfig::default();
+        let sched = overload_schedule(&cfg);
+        let topo = Topology::builtin("3-tier", cfg.nodes).unwrap();
+        let budgeted = replay_overload_federated(&topo, &sched, &cfg.plan).unwrap();
+        let mut lax = cfg.plan.clone();
+        lax.tier_budget_bytes = None;
+        let unbudgeted = replay_overload_federated(&topo, &sched, &lax).unwrap();
+        assert_eq!(
+            budgeted.report, unbudgeted.report,
+            "budgets change flush grouping, never the root's conclusions"
+        );
+        assert_eq!(budgeted.json, unbudgeted.json);
+        let mut tight = cfg.plan.clone();
+        tight.tier_budget_bytes = Some(1);
+        let forced = replay_overload_federated(&topo, &sched, &tight).unwrap();
+        assert_eq!(forced.report, budgeted.report, "even flush-per-event grouping is invariant");
     }
 }

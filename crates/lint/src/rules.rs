@@ -458,6 +458,26 @@ mod tests {
     }
 
     #[test]
+    fn resource_modules_are_fully_in_scope() {
+        // The resource-exhaustion subsystem — journal segments,
+        // fault plans, the overload scenario — lives under
+        // crates/collector/src/ and inherits every collector-grade
+        // rule: its rotation paths must not panic, its shed counters
+        // must iterate in a deterministic order (they render into the
+        // degraded report), its queues must be bounded, and nothing
+        // in it may read a wall clock.
+        let panic_src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(diags("crates/collector/src/segment.rs", panic_src, false).len(), 1);
+        assert_eq!(diags("crates/collector/src/fault.rs", panic_src, false).len(), 1);
+        let map_src = "fn f() { let m: HashMap<u64, u64> = make(); }\n";
+        assert_eq!(diags("crates/collector/src/scenario.rs", map_src, false).len(), 1);
+        let chan_src = "fn f() { let (tx, rx) = mpsc::channel(); }\n";
+        assert_eq!(diags("crates/collector/src/segment.rs", chan_src, false).len(), 1);
+        let clock_src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(diags("crates/collector/src/segment.rs", clock_src, false).len(), 1);
+    }
+
+    #[test]
     fn wallclock_allowlist_holds() {
         let src = "fn f() { let t = Instant::now(); }\n";
         assert!(diags("crates/host/src/tsc.rs", src, false).is_empty());

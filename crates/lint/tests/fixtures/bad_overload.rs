@@ -1,0 +1,21 @@
+// Known-bad fixture: the violations the resource-exhaustion subsystem
+// is most likely to grow — wall-clock segment naming (breaks replay
+// determinism), shed counters in a HashMap (iteration order leaks
+// into the degraded report), a panicking rotation path, and an
+// unbounded eviction queue.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::SystemTime;
+
+fn rotate(shed: &HashMap<String, u64>) -> Vec<u8> {
+    let stamp = SystemTime::now();
+    let (tx, _rx): (mpsc::Sender<String>, mpsc::Receiver<String>) = mpsc::channel();
+    let mut out = Vec::new();
+    for (node, count) in shed {
+        out.extend_from_slice(node.as_bytes());
+        out.push(u8::try_from(*count).unwrap());
+    }
+    tx.send(format!("{stamp:?}")).unwrap();
+    out
+}

@@ -118,6 +118,43 @@ fn bad_federation_fixture_trips_every_relay_rule() {
 }
 
 #[test]
+fn bad_overload_fixture_trips_every_resource_rule() {
+    // The violations the resource-exhaustion subsystem is most likely
+    // to grow, all in one file: wall-clock segment naming, shed
+    // counters in a `HashMap` (order leaks into the degraded report),
+    // an unbounded eviction queue, and a panicking rotation path. The
+    // real modules (`segment.rs`, `fault.rs`, `scenario.rs`) live
+    // under `crates/collector/src/` and inherit the same rules via
+    // `Scope` in `rules.rs`.
+    assert_eq!(
+        rendered(&["tests/fixtures/bad_overload.rs"]),
+        [
+            "tests/fixtures/bad_overload.rs:7:23: error[no-unordered-iter]: `HashMap` in an \
+             output-producing file: iteration order is seeded per process and leaks into \
+             bytes; use `BTreeMap` or sort before emitting",
+            "tests/fixtures/bad_overload.rs:9:16: error[no-wallclock]: `SystemTime` outside \
+             the timing allowlist breaks replay determinism; take time as an input, or move \
+             the code under crates/host or crates/bench",
+            "tests/fixtures/bad_overload.rs:11:18: error[no-unordered-iter]: `HashMap` in an \
+             output-producing file: iteration order is seeded per process and leaks into \
+             bytes; use `BTreeMap` or sort before emitting",
+            "tests/fixtures/bad_overload.rs:12:17: error[no-wallclock]: `SystemTime` outside \
+             the timing allowlist breaks replay determinism; take time as an input, or move \
+             the code under crates/host or crates/bench",
+            "tests/fixtures/bad_overload.rs:13:69: error[no-unbounded-channel]: unbounded \
+             `mpsc::channel()` in the collector: a stalled consumer buffers without limit; \
+             use `mpsc::sync_channel(bound)`",
+            "tests/fixtures/bad_overload.rs:17:38: error[no-panic]: `unwrap()` in production \
+             code; return a typed error or add `// lint:allow(no-panic): <why this cannot \
+             fail>`",
+            "tests/fixtures/bad_overload.rs:19:34: error[no-panic]: `unwrap()` in production \
+             code; return a typed error or add `// lint:allow(no-panic): <why this cannot \
+             fail>`",
+        ]
+    );
+}
+
+#[test]
 fn bad_suppression_fixture_yields_all_four_hygiene_errors() {
     assert_eq!(
         rendered(&["tests/fixtures/bad_suppression.rs"]),
@@ -170,6 +207,7 @@ fn combined_json_report_matches_golden() {
     let out = lint(&[
         "tests/fixtures/bad_channel.rs",
         "tests/fixtures/bad_deps.toml",
+        "tests/fixtures/bad_overload.rs",
         "tests/fixtures/bad_panic.rs",
         "tests/fixtures/bad_suppression.rs",
         "tests/fixtures/bad_unordered.rs",
@@ -177,7 +215,7 @@ fn combined_json_report_matches_golden() {
         "tests/fixtures/clean.rs",
         "tests/fixtures/suppressed.rs",
     ]);
-    assert_eq!(out.diagnostics.len(), 22);
+    assert_eq!(out.diagnostics.len(), 29);
     let json = report::render_json(&out);
     let golden = std::fs::read_to_string("tests/fixtures/lint-report.golden.json")
         .expect("golden exists");

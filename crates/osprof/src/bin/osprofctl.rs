@@ -10,6 +10,7 @@
 //! osprofctl stream  <file>            replay a recorded stream, print flagged anomalies
 //! osprofctl attribution <scenario>    replay a scenario, print its root-cause verdicts
 //! osprofctl topology <shape|file> <scenario>   replay a scenario through an aggregation tree
+//! osprofctl overload <engine> [dir]   replay ext-overload under resource budgets
 //! ```
 //!
 //! Files are the text or JSON formats produced by
@@ -60,6 +61,9 @@ fn run() -> Result<(), tool::ToolError> {
         Some("attribution") if args.len() == 2 => {
             print!("{}", tool::attribution(&args[1])?);
         }
+        Some("overload") if args.len() == 2 || args.len() == 3 => {
+            print!("{}", tool::overload(&args[1], args.get(2).map(String::as_str))?);
+        }
         Some("topology") if args.len() == 3 => {
             // A shape name (flat, 2-tier, ...) or a .topo file path.
             let spec = if std::path::Path::new(&args[1]).is_file() {
@@ -74,7 +78,8 @@ fn run() -> Result<(), tool::ToolError> {
                 "usage: osprofctl render <file> | peaks <file> | diff <a> <b> | \
                  gnuplot <file> <outdir> | cluster <file>... | record <out> | stream <file> | \
                  attribution <ext-stream|ext-chaos|clean> | \
-                 topology <flat|2-tier|3-tier|unbalanced|FILE.topo> <ext-stream|ext-chaos>"
+                 topology <flat|2-tier|3-tier|unbalanced|FILE.topo> <ext-stream|ext-chaos> | \
+                 overload <serial|parallel-N|2-tier|3-tier|crash> [dir]"
             );
             std::process::exit(2);
         }

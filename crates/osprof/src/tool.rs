@@ -268,6 +268,66 @@ pub fn topology(spec: &str, scenario: &str) -> Result<String, ToolError> {
     Ok(out)
 }
 
+/// `overload`: replays the `ext-overload` resource-exhaustion scenario
+/// through the named engine and returns the report, text and JSON.
+/// Engines: `serial`, `parallel-N`, `2-tier`, `3-tier` (federated,
+/// per-tier budgets, aggregator crash mid-run), `crash` (on-disk
+/// segment rotation, daemon killed mid-run with a torn journal tail,
+/// checkpoint recovery; `dir` overrides the scratch directory).
+///
+/// The output names no engine: it must be **byte-identical for every
+/// engine** — resource pressure changes how the pipeline buffers,
+/// flushes and recovers, never what it concludes — and CI enforces
+/// that by `cmp`-ing this command's output across engines.
+pub fn overload(engine: &str, dir: Option<&str>) -> Result<String, ToolError> {
+    use osprof_collector::scenario::{
+        overload_schedule, replay_overload, replay_overload_crash, replay_overload_parallel,
+        OverloadConfig,
+    };
+    let cfg = OverloadConfig::default();
+    let sched = overload_schedule(&cfg);
+    let err = |e: osprof_collector::daemon::CollectorError| ToolError::Usage(format!("overload: {e}"));
+    let run = match engine {
+        "serial" => replay_overload(&sched, &cfg.plan).map_err(err)?,
+        "crash" => {
+            let scratch = dir.map(std::path::PathBuf::from).unwrap_or_else(|| {
+                std::env::temp_dir()
+                    // lint:allow(no-wallclock): the pid only names a private scratch directory so concurrent invocations don't collide; it never reaches report bytes
+                    .join(format!("osprofctl-overload-{}", std::process::id()))
+            });
+            let _ = std::fs::remove_dir_all(&scratch);
+            let run = replay_overload_crash(&sched, &cfg.plan, &scratch).map_err(err)?;
+            if dir.is_none() {
+                let _ = std::fs::remove_dir_all(&scratch);
+            }
+            run
+        }
+        "2-tier" | "3-tier" => {
+            let topo = osprof_federation::Topology::builtin(engine, cfg.nodes)
+                .map_err(|e| ToolError::Usage(format!("overload: {e}")))?;
+            osprof_federation::replay_overload_federated(&topo, &sched, &cfg.plan).map_err(err)?
+        }
+        other => match other.strip_prefix("parallel-").and_then(|n| n.parse::<usize>().ok()) {
+            Some(workers) if workers > 0 => {
+                replay_overload_parallel(&sched, &cfg.plan, workers).map_err(err)?
+            }
+            _ => {
+                return Err(ToolError::Usage(format!(
+                    "overload: unknown engine '{other}' (expected serial, parallel-N, \
+                     2-tier, 3-tier, or crash)"
+                )))
+            }
+        },
+    };
+    let mut out = run.report;
+    out.push_str("--- report.json ---\n");
+    out.push_str(&run.json);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 fn wire_err(e: osprof_collector::wire::WireError) -> ToolError {
     ToolError::Usage(format!("stream: {e}"))
 }

@@ -92,6 +92,35 @@ for scenario in ext-stream ext-chaos; do
   done
 done
 
+echo "==> ext-overload golden (osprofctl overload, every engine vs fixture)"
+# The resource-exhaustion scenario, gated byte-for-byte: shedding,
+# eviction, journal segment rotation and a mid-run crash with
+# checkpoint recovery may change how the pipeline buffers, never what
+# it reports. Every engine must reproduce the checked-in golden
+# exactly; on drift the unified diff lands in
+# target/overload-golden.diff. Re-bless an intentional report change
+# with OSPROF_UPDATE_FIXTURES=1 (see tests/overload.rs) — an
+# engine-to-engine difference is a bug, not a fixture change.
+rm -f target/overload-golden.diff
+overload_fixture="results/fixtures/overload_report.txt"
+for engine in serial parallel-8 2-tier 3-tier crash; do
+  out="target/overload-${engine}.txt"
+  timeout 120 target/release/osprofctl overload "$engine" > "$out"
+  if ! cmp -s "$out" "$overload_fixture"; then
+    diff -u "$overload_fixture" "$out" >> target/overload-golden.diff || true
+    echo "overload report for '$engine' drifted from $overload_fixture" >&2
+    echo "diff written to target/overload-golden.diff" >&2
+    exit 1
+  fi
+done
+
+echo "==> overload crash-under-disk-full smoke (osprofd overload-smoke)"
+# Segment rotation under the disk budget, load shedding under the
+# memory budgets, a crash at the torn tail, checkpoint recovery —
+# exits 0 only if the recovered report is byte-identical to the
+# in-memory reference and the journal footprint stayed under budget.
+timeout 120 target/release/osprofd overload-smoke target/verify-overload-smoke
+
 echo "==> aggregator smoke (osprofd agg-smoke, 2-tier TCP pipeline)"
 # One agent streams over real TCP into an aggregator daemon whose
 # merged frames feed a root collector: exits 0 only if the degradation

@@ -1,0 +1,170 @@
+//! `ext-overload` golden: the resource-exhaustion scenario's report is
+//! pinned byte-for-byte and must be reproduced identically by every
+//! engine — serial, parallel-8, crash-with-segment-recovery, and the
+//! 2-/3-tier federated trees under per-tier budgets. Resource pressure
+//! (memory shedding, eviction, journal rotation, a mid-run crash with
+//! a torn tail) may change how the pipeline buffers and recovers,
+//! never what it concludes.
+//!
+//! Also pins the torn-segment regression fixture: a journal segment
+//! whose head checkpoint was torn *inside the record's length header*
+//! (a crash mid-rotation) must read as an empty journal, and segmented
+//! recovery must fall back to the previous, self-sufficient segment.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use osprof_collector::daemon::CollectorConfig;
+use osprof_collector::journal;
+use osprof_collector::scenario::{
+    overload_schedule, replay_overload, replay_overload_crash, replay_overload_parallel,
+    OverloadConfig, OverloadRun,
+};
+use osprof_collector::segment::{self, SegmentConfig, SegmentedCollector};
+use osprof_federation::{replay_overload_federated, Topology};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/fixtures").join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("OSPROF_UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} ({e}); run with OSPROF_UPDATE_FIXTURES=1", path.display())
+    });
+    assert_eq!(rendered, golden, "{name} drifted from the checked-in fixture");
+}
+
+/// Parses a `.hex` fixture (space-separated hex bytes, any line split).
+fn fixture_bytes(name: &str) -> Vec<u8> {
+    let path = fixture_path(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {} ({e})", path.display())
+    });
+    text.split_whitespace().map(|b| u8::from_str_radix(b, 16).unwrap()).collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("osprof-ovg-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The engine-independent rendering: text report, then the JSON — the
+/// exact bytes `osprofctl overload <engine>` prints, so the golden
+/// also pins the CLI output that CI `cmp`s across engines.
+fn rendered(run: &OverloadRun) -> String {
+    let mut out = run.report.clone();
+    out.push_str("--- report.json ---\n");
+    out.push_str(&run.json);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn overload_report_matches_the_golden_fixture() {
+    let cfg = OverloadConfig::default();
+    let sched = overload_schedule(&cfg);
+    let run = replay_overload(&sched, &cfg.plan).unwrap();
+    assert!(run.shed > 0, "the golden run must actually shed");
+    assert!(run.evictions > 0, "the golden run must actually evict");
+    assert_eq!(run.flagged, ["node-4"], "the golden run must still flag the sick node");
+    check_golden("overload_report.txt", &rendered(&run));
+}
+
+#[test]
+fn every_overload_engine_reproduces_the_golden_byte_for_byte() {
+    let cfg = OverloadConfig::default();
+    let sched = overload_schedule(&cfg);
+    let want = rendered(&replay_overload(&sched, &cfg.plan).unwrap());
+
+    let parallel = replay_overload_parallel(&sched, &cfg.plan, 8).unwrap();
+    assert_eq!(rendered(&parallel), want, "parallel-8 diverged");
+
+    let dir = scratch_dir("crash");
+    let crash = replay_overload_crash(&sched, &cfg.plan, &dir).unwrap();
+    assert!(crash.recovered, "the crash engine must crash and recover");
+    assert_eq!(rendered(&crash), want, "crash-recovered engine diverged");
+    let fp = segment::footprint(&dir).unwrap();
+    assert!(fp <= cfg.plan.disk_budget, "footprint {fp} over the disk budget");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    for shape in ["2-tier", "3-tier"] {
+        let topo = Topology::builtin(shape, cfg.nodes).unwrap();
+        let fed = replay_overload_federated(&topo, &sched, &cfg.plan).unwrap();
+        assert!(fed.recovered, "the federated engine must crash-recover an aggregator");
+        assert_eq!(rendered(&fed), want, "{shape} federated engine diverged");
+    }
+}
+
+#[test]
+fn torn_length_header_fixture_reads_as_an_empty_journal() {
+    // The fixture is a segment head torn mid-checkpoint: OSPJ magic +
+    // version, then kind 4 (checkpoint), conn 0, and only the first
+    // byte of a multi-byte length varint (continuation bit set, no
+    // terminator) — the crash landed *inside* the length header.
+    let bytes = fixture_bytes("torn_segment.hex");
+    assert_eq!(bytes, [0x4f, 0x53, 0x50, 0x4a, 0x01, 0x04, 0x00, 0x80], "fixture drifted");
+    let (col, replayed) = journal::recover(&bytes[..], CollectorConfig::default()).unwrap();
+    assert_eq!(replayed, 0, "a torn length header is a torn tail, not an error");
+    assert!(col.anomalies().is_empty());
+}
+
+#[test]
+fn torn_length_header_at_a_segment_boundary_falls_back_exactly() {
+    // A crashed rotation leaves the fixture as the newest segment.
+    // Write-ahead ordering means no event beyond the previous segment
+    // was ever applied, so resuming from the fallback and re-driving
+    // the remaining schedule must match an uninterrupted run exactly.
+    let cfg = OverloadConfig { plan: osprof_collector::fault::ResourcePlan {
+        crash_after_round: None,
+        torn_tail_bytes: 0,
+        ..OverloadConfig::default().plan
+    }, ..OverloadConfig::default() };
+    let sched = overload_schedule(&cfg);
+    let want = replay_overload(&sched, &cfg.plan).unwrap();
+
+    let seg = SegmentConfig { segment_bytes: cfg.plan.segment_bytes, disk_budget: cfg.plan.disk_budget };
+    let ccfg = osprof_collector::scenario::overload_collector_config(&cfg.plan);
+    let dir = scratch_dir("torn");
+    let mut sc = SegmentedCollector::create(&dir, ccfg.clone(), seg).unwrap();
+    let split = sched.rounds.len() / 2;
+    let drive = |sc: &mut SegmentedCollector, rounds: &[Vec<osprof_collector::scenario::OverloadEvent>]| {
+        for evs in rounds {
+            for ev in evs {
+                match ev {
+                    osprof_collector::scenario::OverloadEvent::Bytes { conn, bytes } => {
+                        sc.ingest_bytes(*conn, bytes).unwrap();
+                    }
+                    osprof_collector::scenario::OverloadEvent::Reset { conn } => {
+                        sc.reset_conn(*conn).unwrap();
+                    }
+                }
+            }
+            sc.tick().unwrap();
+        }
+    };
+    drive(&mut sc, &sched.rounds[..split]);
+    let newest = sc.segment_index();
+    drop(sc); // the crash: mid-rotation, after the next segment's file appeared
+
+    let torn = fixture_bytes("torn_segment.hex");
+    std::fs::write(segment::segment_path(&dir, newest + 1), &torn).unwrap();
+
+    let (mut sc, _) = SegmentedCollector::resume(&dir, ccfg, seg).unwrap();
+    assert_eq!(sc.segment_index(), newest, "must fall back past the torn head");
+    drive(&mut sc, &sched.rounds[split..]);
+    let got = sc.into_collector().unwrap();
+    assert_eq!(got.report(), want.report, "fallback recovery must be exact");
+    assert_eq!(got.report_json().pretty(), want.json);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
