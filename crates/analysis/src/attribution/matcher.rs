@@ -142,17 +142,21 @@ pub fn attribute_diffs(
     if total == 0 || total < cfg.min_excess_ops {
         return Vec::new();
     }
+    // Peak identification depends only on the diff, not on the
+    // mechanism under test — compute each diff's peaks once instead of
+    // once per table entry.
+    let diff_peaks: Vec<_> = diffs.iter().map(|d| find_peaks(&d.excess, &cfg.peaks)).collect();
     let mut candidates: Vec<CauseVerdict> = Vec::new();
     for entry in table.entries() {
         let mut score = 0.0f64;
         let mut evidence: Vec<Evidence> = Vec::new();
-        for d in diffs {
+        for (d, peaks) in diffs.iter().zip(&diff_peaks) {
             if !entry.applies_to_layer(&d.layer) {
                 continue;
             }
             let r = d.excess.resolution();
             let (lo, hi) = entry.band(r);
-            for peak in find_peaks(&d.excess, &cfg.peaks) {
+            for peak in peaks {
                 let mut mass = 0.0f64;
                 for b in peak.start..=peak.end {
                     let n = d.excess.count_in(b);

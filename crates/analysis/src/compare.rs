@@ -108,6 +108,33 @@ fn downsample(v: &[f64], factor: usize) -> Vec<f64> {
 /// equal latencies as distant. Empty profiles normalize to all-zero
 /// vectors, so every bin-by-bin metric below returns 0.0 (never NaN)
 /// when both sides are empty.
+/// Equal-resolution fast path: yields exactly the `(naᵢ, nbᵢ)` pairs
+/// `normalized_pair` would produce, in the same order, without
+/// materializing the two vectors. Identical float semantics — each
+/// element is the same `bucket / total` division `Profile::normalized`
+/// performs (0.0 throughout for an empty side), and the shorter side is
+/// zero-padded to the longer — so every metric computes bit-identical
+/// results through either path. Returns `None` when the resolutions
+/// differ and the downsampling path is required.
+fn aligned_normalized<'p>(
+    a: &'p Profile,
+    b: &'p Profile,
+) -> Option<impl Iterator<Item = (f64, f64)> + 'p> {
+    if a.resolution() != b.resolution() {
+        return None;
+    }
+    let (ba, bb) = (a.buckets(), b.buckets());
+    let (ta, tb) = (a.total_ops() as f64, b.total_ops() as f64);
+    Some((0..ba.len().max(bb.len())).map(move |i| {
+        let x = ba.get(i).copied().unwrap_or(0);
+        let y = bb.get(i).copied().unwrap_or(0);
+        (
+            if ta == 0.0 { 0.0 } else { x as f64 / ta },
+            if tb == 0.0 { 0.0 } else { y as f64 / tb },
+        )
+    }))
+}
+
 fn normalized_pair(a: &Profile, b: &Profile) -> (Vec<f64>, Vec<f64>) {
     let (ra, rb) = (a.resolution().get() as usize, b.resolution().get() as usize);
     let mut na = a.normalized();
@@ -132,6 +159,15 @@ fn normalized_pair(a: &Profile, b: &Profile) -> (Vec<f64>, Vec<f64>) {
 /// prefix sums. When the profiles' resolutions differ, the distance is
 /// measured in buckets of the common `gcd` grid (see `normalized_pair`).
 pub fn emd(a: &Profile, b: &Profile) -> f64 {
+    if let Some(pairs) = aligned_normalized(a, b) {
+        let mut carried = 0.0f64;
+        let mut work = 0.0f64;
+        for (x, y) in pairs {
+            carried += x - y;
+            work += carried.abs();
+        }
+        return work;
+    }
     let (na, nb) = normalized_pair(a, b);
     let mut carried = 0.0f64;
     let mut work = 0.0f64;
@@ -144,23 +180,27 @@ pub fn emd(a: &Profile, b: &Profile) -> f64 {
 
 /// Chi-squared distance: `Σ (aᵢ-bᵢ)² / (aᵢ+bᵢ)` over normalized buckets.
 pub fn chi_squared(a: &Profile, b: &Profile) -> f64 {
+    let term = |(x, y): (f64, f64)| {
+        let s = x + y;
+        if s == 0.0 {
+            0.0
+        } else {
+            (x - y) * (x - y) / s
+        }
+    };
+    if let Some(pairs) = aligned_normalized(a, b) {
+        return pairs.map(term).sum();
+    }
     let (na, nb) = normalized_pair(a, b);
-    na.iter()
-        .zip(&nb)
-        .map(|(&x, &y)| {
-            let s = x + y;
-            if s == 0.0 {
-                0.0
-            } else {
-                (x - y) * (x - y) / s
-            }
-        })
-        .sum()
+    na.iter().zip(&nb).map(|(&x, &y)| term((x, y))).sum()
 }
 
 /// Minkowski-form distance of order `p` over normalized buckets.
 pub fn minkowski(a: &Profile, b: &Profile, p: f64) -> f64 {
     assert!(p >= 1.0, "Minkowski order must be >= 1");
+    if let Some(pairs) = aligned_normalized(a, b) {
+        return pairs.map(|(x, y)| (x - y).abs().powf(p)).sum::<f64>().powf(1.0 / p);
+    }
     let (na, nb) = normalized_pair(a, b);
     na.iter().zip(&nb).map(|(&x, &y)| (x - y).abs().powf(p)).sum::<f64>().powf(1.0 / p)
 }
@@ -168,6 +208,9 @@ pub fn minkowski(a: &Profile, b: &Profile, p: f64) -> f64 {
 /// Histogram intersection: `Σ min(aᵢ, bᵢ)` over normalized buckets
 /// (1.0 = identical shape, 0.0 = disjoint support).
 pub fn intersection(a: &Profile, b: &Profile) -> f64 {
+    if let Some(pairs) = aligned_normalized(a, b) {
+        return pairs.map(|(x, y)| x.min(y)).sum();
+    }
     let (na, nb) = normalized_pair(a, b);
     na.iter().zip(&nb).map(|(&x, &y)| x.min(y)).sum()
 }
@@ -175,18 +218,27 @@ pub fn intersection(a: &Profile, b: &Profile) -> f64 {
 /// Jeffrey divergence: the symmetrized, smoothed Kullback-Leibler
 /// divergence `Σ aᵢ log(aᵢ/mᵢ) + bᵢ log(bᵢ/mᵢ)` with `mᵢ = (aᵢ+bᵢ)/2`.
 pub fn jeffrey(a: &Profile, b: &Profile) -> f64 {
-    let (na, nb) = normalized_pair(a, b);
     let mut d = 0.0;
-    for (&x, &y) in na.iter().zip(&nb) {
+    let mut term = |x: f64, y: f64| {
         let m = (x + y) / 2.0;
         if m == 0.0 {
-            continue;
+            return;
         }
         if x > 0.0 {
             d += x * (x / m).ln();
         }
         if y > 0.0 {
             d += y * (y / m).ln();
+        }
+    };
+    if let Some(pairs) = aligned_normalized(a, b) {
+        for (x, y) in pairs {
+            term(x, y);
+        }
+    } else {
+        let (na, nb) = normalized_pair(a, b);
+        for (&x, &y) in na.iter().zip(&nb) {
+            term(x, y);
         }
     }
     d
@@ -358,6 +410,24 @@ mod tests {
             [("emd", emd(&a, &c)), ("chi_squared", chi_squared(&a, &c)), ("jeffrey", jeffrey(&a, &c))]
         {
             assert!(d.is_finite() && d > 0.0, "{name} returned {d} vs non-empty");
+        }
+    }
+
+    #[test]
+    fn aligned_fast_path_matches_materialized_normalization_bitwise() {
+        // The zero-alloc iterator must yield the exact floats the
+        // materialized path produces — including zero-padding of the
+        // shorter side and the all-zero vector for an empty profile —
+        // or the detector's verdicts drift between code paths.
+        let a = profile_from(&[(3, 7), (10, 50), (31, 1)]);
+        let b = profile_from(&[(5, 9), (10, 50)]);
+        let empty = Profile::new("t");
+        for (l, r) in [(&a, &b), (&b, &a), (&a, &empty), (&empty, &b)] {
+            let fast: Vec<(f64, f64)> =
+                aligned_normalized(l, r).expect("equal resolutions").collect();
+            let (na, nb) = normalized_pair(l, r);
+            let slow: Vec<(f64, f64)> = na.iter().zip(&nb).map(|(&x, &y)| (x, y)).collect();
+            assert_eq!(fast, slow);
         }
     }
 

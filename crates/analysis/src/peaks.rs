@@ -204,8 +204,13 @@ impl PeakDiff {
 
 /// Compares the peak structure of two profiles.
 pub fn diff_peaks(left: &Profile, right: &Profile, cfg: &PeakConfig) -> PeakDiff {
-    let lp = find_peaks(left, cfg);
-    let rp = find_peaks(right, cfg);
+    diff_peak_lists(&find_peaks(left, cfg), &find_peaks(right, cfg))
+}
+
+/// [`diff_peaks`] over peak lists the caller already holds — lets hot
+/// paths reuse one [`find_peaks`] result across many comparisons
+/// (peak identification is a pure function of profile and config).
+pub fn diff_peak_lists(lp: &[Peak], rp: &[Peak]) -> PeakDiff {
     let l_apex: Vec<usize> = lp.iter().map(|p| p.apex).collect();
     let r_apex: Vec<usize> = rp.iter().map(|p| p.apex).collect();
     let unmatched = |a: &[usize], b: &[usize]| -> Vec<usize> {

@@ -13,10 +13,12 @@
 //! is "a small set of interesting profiles for manual analysis", ranked.
 
 
+use std::collections::BTreeMap;
+
 use osprof_core::profile::{Profile, ProfileSet};
 
 use crate::compare::{total_latency_diff, Metric};
-use crate::peaks::{diff_peaks, PeakConfig, PeakDiff};
+use crate::peaks::{diff_peak_lists, find_peaks, Peak, PeakConfig, PeakDiff};
 
 /// Thresholds for the selection pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,12 +90,53 @@ impl Selection {
     }
 }
 
+/// Memoized [`find_peaks`] results for the operations of ONE profile
+/// set under one [`PeakConfig`]. Peak identification is a pure function
+/// of (profile, config), so a caller comparing the same set against
+/// many others — the online detector judges every interval against one
+/// cluster median — can hand the same cache to each
+/// [`select_interesting_cached`] call instead of re-deriving the peaks.
+/// Reuse is only sound while the underlying set and config are
+/// unchanged; the cache never invalidates on its own.
+#[derive(Debug, Default)]
+pub struct PeakCache {
+    peaks: BTreeMap<String, Vec<Peak>>,
+}
+
+impl PeakCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_compute(&mut self, op: &str, p: &Profile, cfg: &PeakConfig) -> &[Peak] {
+        if !self.peaks.contains_key(op) {
+            self.peaks.insert(op.to_string(), find_peaks(p, cfg));
+        }
+        &self.peaks[op]
+    }
+}
+
 /// Runs the three-phase selection over two complete profile sets.
 ///
 /// Operations present in only one set are treated as paired with an empty
 /// profile (an operation appearing or disappearing is maximally
 /// interesting). The result is sorted by descending distance.
 pub fn select_interesting(left: &ProfileSet, right: &ProfileSet, cfg: &SelectionConfig) -> Vec<Selection> {
+    select_interesting_cached(left, right, cfg, &mut PeakCache::new(), &mut PeakCache::new())
+}
+
+/// [`select_interesting`] with caller-held peak caches for each side.
+/// Returns exactly what the uncached form returns — the caches only
+/// skip redundant [`find_peaks`] work when the same set appears in
+/// repeated comparisons.
+pub fn select_interesting_cached(
+    left: &ProfileSet,
+    right: &ProfileSet,
+    cfg: &SelectionConfig,
+    left_peaks: &mut PeakCache,
+    right_peaks: &mut PeakCache,
+) -> Vec<Selection> {
     let empty = Profile::new("");
     let total_latency_left: f64 = left.total_latency() as f64;
     let max_ops =
@@ -135,7 +178,10 @@ pub fn select_interesting(left: &ProfileSet, right: &ProfileSet, cfg: &Selection
         }
         let latency_diff = total_latency_diff(a, b);
         // Phase 2: structural peak comparison.
-        let peak_diff = diff_peaks(a, b, &cfg.peak_config);
+        let peak_diff = diff_peak_lists(
+            left_peaks.get_or_compute(op, a, &cfg.peak_config),
+            right_peaks.get_or_compute(op, b, &cfg.peak_config),
+        );
         // Phase 3: rate the difference.
         let distance = cfg.metric.distance(a, b);
         // A significant pair is selected when any of the three signals

@@ -1,0 +1,62 @@
+//! Heap-allocation counting for the ingest benchmark.
+//!
+//! The zero-copy decode claim ("the steady-state decode loop performs
+//! **zero** allocations per frame") is asserted, not assumed: the
+//! `ingestbench` *binary* installs a counting `#[global_allocator]`
+//! that forwards to the system allocator and calls [`on_alloc`] per
+//! allocation. This module is the safe side of that seam — the library
+//! (which forbids `unsafe_code`) only owns the counter; the one
+//! `unsafe impl GlobalAlloc` lives in the binary.
+//!
+//! When the counting allocator is **not** installed (library unit
+//! tests, other binaries), the counter never moves; [`probe`] detects
+//! that by making one throwaway heap allocation and checking whether
+//! the counter advanced, so measurements can honestly report
+//! `alloc_counter: "absent"` instead of a vacuous zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Called by the benchmark binary's global allocator on every
+/// allocation. Relaxed is enough: the benchmark reads the counter only
+/// on the measuring thread, before and after a loop with no other
+/// threads allocating.
+pub fn on_alloc() {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total allocations observed since process start (0 when the counting
+/// allocator is not installed).
+pub fn count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// True when the counting allocator is actually installed: one
+/// throwaway boxed value must advance the counter.
+pub fn probe() -> bool {
+    let before = count();
+    let b = std::hint::black_box(Box::new(0xA110Cu64));
+    drop(std::hint::black_box(b));
+    count() > before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn without_the_binary_allocator_the_counter_is_absent() {
+        // Library tests run under the plain system allocator: the
+        // counter must not move on its own, and the probe must say so.
+        assert!(!probe(), "no global allocator override in lib tests");
+    }
+
+    #[test]
+    fn on_alloc_advances_the_counter() {
+        let before = count();
+        on_alloc();
+        on_alloc();
+        assert_eq!(count(), before + 2);
+    }
+}

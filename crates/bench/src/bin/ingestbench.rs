@@ -15,9 +15,39 @@
 //!
 //! `scripts/bench.sh` is the canonical driver; CI runs it with `--smoke`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 
 use osprof_bench::ingestbench::{check, check_determinism, run_with, BenchConfig};
+
+/// The system allocator with a counter on the allocation path, backing
+/// the `allocs_per_frame` measurement (`osprof_bench::alloc_count`).
+/// Installed for the whole binary: the benchmark brackets its
+/// steady-state decode loop with counter reads, so surrounding
+/// allocations only cost a counter bump, never skew the measurement.
+struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`, which upholds the
+// `GlobalAlloc` contract; the added counter bump touches no allocator
+// state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        osprof_bench::alloc_count::on_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        osprof_bench::alloc_count::on_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -47,6 +47,7 @@ use osprof::collector::parallel::ParallelCollector;
 use osprof::collector::resilience::ResilientAgent;
 use osprof::collector::scenario::{ChaosConfig, Timeline};
 use osprof::collector::wire::encode_frame;
+use osprof::collector::wire_view;
 use osprof_core::bucket::{bucket_lower_bound, Resolution};
 use osprof_core::clock::Cycles;
 use osprof_core::json::Json;
@@ -392,6 +393,40 @@ pub fn measure(
     })
 }
 
+/// Measures heap allocations per frame of the steady-state borrowed
+/// decode loop: every clean-stream frame decoded through
+/// [`wire_view::decode_frame_ref`], repeatedly, with the work pinned by
+/// `black_box`. Returns `(allocs_per_frame, counter_installed)`; the
+/// zero-copy contract is that the first component is exactly `0.0`
+/// whenever the second is true (the `ingestbench` binary installs the
+/// counting allocator; library tests run without it and report
+/// `false`).
+pub fn decode_allocs_per_frame(events: &[Event]) -> (f64, bool) {
+    // Materialize the frame list (and let lazy allocator/runtime state
+    // settle) before measuring: only the decode loop is in scope.
+    let frames: Vec<&[u8]> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Bytes(_, b) => Some(b.as_slice()),
+            _ => None,
+        })
+        .collect();
+    for b in &frames {
+        let _ = std::hint::black_box(wire_view::decode_frame_ref(std::hint::black_box(b)));
+    }
+    let installed = crate::alloc_count::probe();
+    const PASSES: usize = 4;
+    let before = crate::alloc_count::count();
+    for _ in 0..PASSES {
+        for b in &frames {
+            let _ = std::hint::black_box(wire_view::decode_frame_ref(std::hint::black_box(b)));
+        }
+    }
+    let after = crate::alloc_count::count();
+    let total = (frames.len() * PASSES).max(1);
+    ((after.saturating_sub(before)) as f64 / total as f64, installed)
+}
+
 /// Runs the whole benchmark, returning the human report and the
 /// `BENCH_collector.json` document.
 ///
@@ -460,15 +495,20 @@ pub fn run_with(cfg: &BenchConfig) -> Result<(String, Json), CollectorError> {
     let speedup = parallel_fps / serial_fps.max(1e-9);
     let relay_cost = serial_fps / federated_fps.max(1e-9);
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (allocs_per_frame, counter_installed) = decode_allocs_per_frame(&variants[0].1);
     out.push_str(&format!(
         "\n  clean-stream speedup: {speedup:.2}x ({} host cpus)\n",
         cpus
     ));
     out.push_str(&format!("  2-tier relay overhead: {relay_cost:.2}x serial wall time\n"));
+    out.push_str(&format!(
+        "  steady-state decode: {allocs_per_frame:.3} allocs/frame (counter {})\n",
+        if counter_installed { "installed" } else { "absent" }
+    ));
 
     let json = Json::Object(vec![
         ("bench".into(), Json::Str("collector-ingest".into())),
-        ("schema_version".into(), Json::UInt(2)),
+        ("schema_version".into(), Json::UInt(3)),
         (
             "mode".into(),
             Json::Str(if cfg.is_smoke() { "smoke" } else { "full" }.into()),
@@ -483,6 +523,11 @@ pub fn run_with(cfg: &BenchConfig) -> Result<(String, Json), CollectorError> {
         ("parallel_frames_per_sec".into(), Json::Float(parallel_fps)),
         ("speedup_parallel_over_serial".into(), Json::Float(speedup)),
         ("speedup_check".into(), Json::Str(speedup_check_status(cpus, cfg.is_smoke()).into())),
+        (
+            "alloc_counter".into(),
+            Json::Str(if counter_installed { "installed" } else { "absent" }.into()),
+        ),
+        ("allocs_per_frame".into(), Json::Float(allocs_per_frame)),
         (
             "results".into(),
             Json::Array(
@@ -521,9 +566,12 @@ fn speedup_check_status(cpus: usize, smoke: bool) -> &'static str {
 }
 
 /// Validates a previously-emitted `BENCH_collector.json`: every
-/// required key present and well-typed, and — on hosts with at least 4
+/// required key present and well-typed; — on hosts with at least 4
 /// CPUs running the full (non-smoke) configuration — the parallel
-/// engine at least 2x the serial frames/sec on the clean stream.
+/// engine at least 2x the serial frames/sec on the clean stream; and
+/// (schema 3) the steady-state borrowed decode loop at exactly zero
+/// heap allocations per frame whenever the emitting binary had the
+/// counting allocator installed.
 ///
 /// Smoke streams are too short to amortize thread startup, and on a
 /// 1-2 CPU host the worker pool cannot beat one core by construction,
@@ -603,6 +651,34 @@ pub fn check(text: &str) -> Result<String, String> {
                 "BENCH_collector.json: speedup_check '{recorded}' contradicts the recorded \
                  host shape (expected '{expect}' for {cpus} cpu(s), {mode} mode)"
             ));
+        }
+    }
+    // Schema 3: the zero-copy decode contract. When the emitting binary
+    // had the counting allocator installed, the steady-state borrowed
+    // decode loop must have performed exactly zero heap allocations per
+    // frame; an "absent" counter (library-test emissions) is recorded
+    // honestly and only warned about. Docs predating schema 3 have
+    // neither field and pass untouched.
+    if let Ok(counter) = doc.field::<String>("alloc_counter") {
+        match counter.as_str() {
+            "installed" => {
+                let allocs: f64 = doc.field("allocs_per_frame").map_err(err)?;
+                if allocs != 0.0 {
+                    return Err(format!(
+                        "BENCH_collector.json: steady-state decode performed \
+                         {allocs} alloc(s)/frame; the zero-copy path must not allocate"
+                    ));
+                }
+                summary.push_str("\nallocs_per_frame: 0 (steady-state decode, counter installed)");
+            }
+            "absent" => summary.push_str(
+                "\nwarning: allocation counter not installed; allocs_per_frame unverified",
+            ),
+            other => {
+                return Err(format!(
+                    "BENCH_collector.json: unknown alloc_counter state '{other}'"
+                ));
+            }
         }
     }
     if speedup < 2.0 {
@@ -808,6 +884,58 @@ mod tests {
                 assert_eq!(fed, flat, "relay (deep={deep}) changed the report");
             }
         }
+    }
+
+    #[test]
+    fn emitted_json_records_the_alloc_contract() {
+        let (_, json) = run_with(&tiny()).unwrap();
+        let schema: u64 = json.field("schema_version").unwrap();
+        assert_eq!(schema, 3);
+        // Library tests run under the plain system allocator, which the
+        // emission must record honestly instead of claiming a vacuous
+        // zero was verified.
+        let counter: String = json.field("alloc_counter").unwrap();
+        assert_eq!(counter, "absent");
+        let allocs: f64 = json.field("allocs_per_frame").unwrap();
+        assert_eq!(allocs, 0.0);
+        let summary = check(&json.pretty()).unwrap();
+        assert!(summary.contains("unverified"), "{summary}");
+    }
+
+    #[test]
+    fn check_gates_on_zero_allocs_when_the_counter_was_installed() {
+        let base = r#"{
+            "bench": "collector-ingest", "mode": "smoke", "nodes": 8,
+            "workers": 8, "repetitions": 3, "host_cpus": 1,
+            "serial_frames_per_sec": 1000.0, "parallel_frames_per_sec": 620.0,
+            "speedup_parallel_over_serial": 0.62,
+            "alloc_counter": "installed", "allocs_per_frame": 0.5,
+            "results": [{"engine": "serial", "variant": "clean", "topology": "flat",
+                         "frames": 100, "median_ms": 1.0, "frames_per_sec": 1000.0},
+                        {"engine": "federated-2", "variant": "clean", "topology": "2-tier",
+                         "frames": 100, "median_ms": 1.0, "frames_per_sec": 620.0}]
+        }"#;
+        let err = check(base).unwrap_err();
+        assert!(err.contains("alloc"), "{err}");
+        let clean = base.replace("\"allocs_per_frame\": 0.5", "\"allocs_per_frame\": 0.0");
+        let summary = check(&clean).unwrap();
+        assert!(summary.contains("allocs_per_frame: 0"), "{summary}");
+        let weird = base.replace("\"installed\"", "\"maybe\"");
+        let err = check(&weird).unwrap_err();
+        assert!(err.contains("alloc_counter"), "{err}");
+    }
+
+    #[test]
+    fn steady_state_decode_loop_measures_without_the_counter() {
+        // Without the binary's global allocator the measurement still
+        // runs (it just reports the counter absent) — and the decode
+        // loop itself must handle every clean frame without error.
+        let cfg = tiny();
+        let timelines = synthetic_timelines(&cfg);
+        let events = record_events(&timelines, None);
+        let (allocs, installed) = decode_allocs_per_frame(&events);
+        assert!(!installed, "lib tests run without the counting allocator");
+        assert_eq!(allocs, 0.0);
     }
 
     #[test]

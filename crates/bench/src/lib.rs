@@ -31,6 +31,7 @@
 
 pub mod abl_locks;
 pub mod abl_resolution;
+pub mod alloc_count;
 pub mod eq3;
 pub mod ext_chaos;
 pub mod ext_cluster;

@@ -301,6 +301,103 @@ impl Decoder {
             }
         }
     }
+
+    /// Applies one borrowed frame tolerantly — [`Decoder::apply_lossy`]'s
+    /// zero-copy twin, with identical state transitions and identical
+    /// events on every input.
+    ///
+    /// The differences are purely representational: skip paths never
+    /// own the strings they discard, a `Full` snapshot materializes
+    /// once instead of being decoded and cloned, and a fitting `Delta`
+    /// mutates the retained base in place
+    /// ([`delta::apply_ref_in_place`]) instead of rebuilding the whole
+    /// set. In-place application may leave a *partially* applied base
+    /// on error, which is safe precisely because this path mirrors the
+    /// owned one: any delta error discards the base
+    /// (`SkipReason::BadDelta` implies `last = None`), so the partial
+    /// state is unobservable.
+    pub fn apply_lossy_ref(&mut self, frame: &crate::wire_view::FrameRef<'_>) -> DecodeEvent {
+        use crate::wire_view::FrameRef;
+        match frame {
+            FrameRef::Hello { .. } | FrameRef::Bye { .. } => DecodeEvent::Control,
+            // Same reasoning as the owned path: merged frames belong to
+            // the federation path, not an agent stream.
+            FrameRef::Merged(_) => DecodeEvent::Skipped(SkipReason::BadDelta),
+            FrameRef::Resync { epoch, .. } => {
+                if *epoch <= self.epoch {
+                    return DecodeEvent::Skipped(SkipReason::StaleEpoch);
+                }
+                self.epoch = *epoch;
+                self.last = None;
+                self.expected_seq = None;
+                self.awaiting_full = true;
+                self.recovering = true;
+                DecodeEvent::Resynced
+            }
+            FrameRef::Full { seq, at, set } => {
+                if let Some(expected) = self.expected_seq {
+                    if *seq < expected {
+                        return DecodeEvent::Skipped(SkipReason::StaleSeq);
+                    }
+                    if *seq > expected {
+                        self.recovering = true;
+                    }
+                }
+                let Ok(set) = set.to_profile_set() else {
+                    // Unreachable on a frame that validated at decode
+                    // time; survive it like a misfitting delta anyway.
+                    self.awaiting_full = true;
+                    self.recovering = true;
+                    self.last = None;
+                    return DecodeEvent::Skipped(SkipReason::BadDelta);
+                };
+                self.awaiting_full = false;
+                self.expected_seq = Some(seq + 1);
+                self.last = Some(set.clone());
+                let recovered = std::mem::take(&mut self.recovering);
+                DecodeEvent::Snapshot { seq: *seq, at: *at, set, recovered }
+            }
+            FrameRef::Delta { seq, at, delta } => {
+                if self.awaiting_full {
+                    return DecodeEvent::Skipped(SkipReason::AwaitingFull);
+                }
+                if self.last.is_none() {
+                    self.awaiting_full = true;
+                    self.recovering = true;
+                    return DecodeEvent::Skipped(SkipReason::AwaitingFull);
+                }
+                if let Some(expected) = self.expected_seq {
+                    if *seq < expected {
+                        return DecodeEvent::Skipped(SkipReason::StaleSeq);
+                    }
+                    if *seq > expected {
+                        self.awaiting_full = true;
+                        self.recovering = true;
+                        return DecodeEvent::Skipped(SkipReason::Gap);
+                    }
+                }
+                let applied = match self.last.as_mut() {
+                    Some(base) => delta::apply_ref_in_place(base, delta),
+                    // Unreachable: checked above; kept panic-free.
+                    None => Err(WireError::Protocol("delta with no base".into())),
+                };
+                match applied {
+                    Ok(()) => {
+                        self.expected_seq = Some(seq + 1);
+                        let set = self.last.clone().unwrap_or_default();
+                        let recovered = std::mem::take(&mut self.recovering);
+                        DecodeEvent::Snapshot { seq: *seq, at: *at, set, recovered }
+                    }
+                    Err(_) => {
+                        self.awaiting_full = true;
+                        self.recovering = true;
+                        self.last = None;
+                        DecodeEvent::Skipped(SkipReason::BadDelta)
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// One node's streaming agent.

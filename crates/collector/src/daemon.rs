@@ -20,8 +20,16 @@ use crate::agent::{DecodeEvent, Decoder, SkipReason};
 use crate::attribution::{self, AttributionSettings, VerdictMap};
 use crate::detect::{Anomaly, AnomalyKind, DataQuality, Detector, DetectorConfig};
 use crate::federation::{self, MergedConnState, MergedFrame, Resolved};
+use crate::intern::{Interner, Sym};
 use crate::store::{Offer, ShardedStore, Snapshot, StoreConfig, StreamFault};
 use crate::wire::{self, Frame, WireError};
+use crate::wire_view::{self, FrameRef};
+
+/// Verdict storage keyed by interned `(node, op)` symbols — the tick
+/// path inserts without cloning id strings; rendering resolves and
+/// re-sorts lexicographically (symbol order is intern order, which
+/// differs between engines).
+type SymVerdictMap = BTreeMap<(Sym, Sym), Vec<osprof_analysis::attribution::CauseVerdict>>;
 
 /// Typed error for everything that can go wrong on the daemon's ingest
 /// and serving paths — the replacement for `unwrap()`: a fault on one
@@ -94,20 +102,26 @@ pub struct CollectorConfig {
 /// partition live connections across workers on resume.
 #[derive(Debug, Default)]
 pub(crate) struct Conn {
-    pub(crate) node: Option<String>,
+    /// Interned node id — valid only against the owning collector's
+    /// table; the parallel seams resolve/re-intern when a `Conn`
+    /// crosses collectors.
+    pub(crate) node: Option<Sym>,
     pub(crate) dec: Decoder,
     pub(crate) done: bool,
     /// Present when this connection is an aggregator uplink (its
     /// deliveries are `Merged` frames, not one node's stream).
     pub(crate) merged: Option<MergedConnState>,
+    /// Interned scope of the uplink, kept alongside `merged` so the
+    /// fault path is a symbol copy, not a string clone.
+    pub(crate) merged_scope: Option<Sym>,
 }
 
 impl Conn {
-    /// The label faults on this connection are charged to: its node
-    /// for an agent stream, the sender's scope pseudo-node for an
+    /// The id faults on this connection are charged to: its node for
+    /// an agent stream, the sender's scope pseudo-node for an
     /// aggregator uplink.
-    fn fault_label(&self) -> Option<String> {
-        self.node.clone().or_else(|| self.merged.as_ref().map(|m| m.scope().to_string()))
+    fn fault_sym(&self) -> Option<Sym> {
+        self.node.or(self.merged_scope)
     }
 }
 
@@ -118,15 +132,19 @@ pub struct Collector {
     detector: Detector,
     conns: BTreeMap<u64, Conn>,
     anomalies: Vec<Anomaly>,
-    /// First flagged sequence number per (node, op), for the report.
-    first_flagged: BTreeMap<(String, String), u64>,
+    /// First flagged sequence number per interned (node, op) pair;
+    /// rendering resolves and sorts lexicographically.
+    first_flagged: BTreeMap<(Sym, Sym), u64>,
     /// Corrupt frames on connections that never completed a hello —
     /// nothing to attribute them to, but they must still be visible.
     unattributed_corrupt: u64,
     /// Attribution settings (mechanism table + matcher knobs).
     attr: AttributionSettings,
-    /// Latest non-empty verdicts per flagged (node, op) pair.
-    verdicts: VerdictMap,
+    /// Latest non-empty verdicts per flagged interned (node, op) pair.
+    verdicts: SymVerdictMap,
+    /// One owned copy per distinct node/layer/op/scope id; everything
+    /// above keys by [`Sym`].
+    intern: Interner,
 }
 
 impl Collector {
@@ -140,7 +158,8 @@ impl Collector {
             first_flagged: BTreeMap::new(),
             unattributed_corrupt: 0,
             attr: cfg.attribution,
-            verdicts: VerdictMap::new(),
+            verdicts: SymVerdictMap::new(),
+            intern: Interner::new(),
         }
     }
 
@@ -163,7 +182,7 @@ impl Collector {
         }
         let state = self.conns.entry(conn).or_default();
         if let Frame::Hello { node, .. } = frame {
-            state.node = Some(node.clone());
+            state.node = Some(self.intern.intern(node));
             state.dec = Decoder::new();
             state.done = false;
             self.store.hello(node);
@@ -173,12 +192,13 @@ impl Collector {
             state.done = true;
             return Ok(false);
         }
-        let node = state.node.clone().ok_or_else(|| {
+        let node = state.node.ok_or_else(|| {
             WireError::Protocol(format!("connection {conn}: snapshot frame before hello"))
         })?;
         match state.dec.apply(frame)? {
             Some((seq, at, set)) => {
-                let offer = self.store.offer(&node, Snapshot { seq, at, set });
+                let offer =
+                    self.store.offer(self.intern.resolve(node), Snapshot { seq, at, set });
                 Ok(offer == Offer::Accepted)
             }
             None => Ok(false),
@@ -203,7 +223,7 @@ impl Collector {
         }
         let state = self.conns.entry(conn).or_default();
         if let Frame::Hello { node, .. } = frame {
-            state.node = Some(node.clone());
+            state.node = Some(self.intern.intern(node));
             state.done = false;
             self.store.hello(node);
             return Ingest::Control;
@@ -212,34 +232,70 @@ impl Collector {
             state.done = true;
             return Ingest::Control;
         }
-        let Some(node) = state.node.clone() else {
+        let Some(node) = state.node else {
             // Snapshot frames before a hello have no home; count them
             // where the report can still surface them.
             self.unattributed_corrupt += 1;
             return Ingest::Corrupt;
         };
-        match state.dec.apply_lossy(frame) {
+        let event = state.dec.apply_lossy(frame);
+        self.settle_event(node, event)
+    }
+
+    /// Ingests one borrowed frame view tolerantly — the zero-copy twin
+    /// of [`ingest_lossy`](Collector::ingest_lossy), with identical
+    /// fault accounting and store offers for any byte stream.
+    pub fn ingest_lossy_ref(&mut self, conn: u64, frame: &FrameRef<'_>) -> Ingest {
+        if let FrameRef::Merged(mf) = frame {
+            return self.ingest_merged(conn, mf);
+        }
+        let state = self.conns.entry(conn).or_default();
+        if let FrameRef::Hello { node, .. } = frame {
+            state.node = Some(self.intern.intern(node));
+            state.done = false;
+            self.store.hello(node);
+            return Ingest::Control;
+        }
+        if let FrameRef::Bye { .. } = frame {
+            state.done = true;
+            return Ingest::Control;
+        }
+        let Some(node) = state.node else {
+            self.unattributed_corrupt += 1;
+            return Ingest::Corrupt;
+        };
+        let event = state.dec.apply_lossy_ref(frame);
+        self.settle_event(node, event)
+    }
+
+    /// The shared tail of both lossy ingest paths: charges faults and
+    /// offers snapshots exactly as the historical owned path did.
+    fn settle_event(&mut self, node: Sym, event: DecodeEvent) -> Ingest {
+        match event {
             DecodeEvent::Control => Ingest::Control,
             DecodeEvent::Resynced => {
-                self.store.record_fault(&node, StreamFault::Resync);
+                self.store.record_fault(self.intern.resolve(node), StreamFault::Resync);
                 Ingest::Resynced
             }
             DecodeEvent::Skipped(reason) => {
                 match reason {
-                    SkipReason::Gap => self.store.record_fault(&node, StreamFault::Gap),
+                    SkipReason::Gap => {
+                        self.store.record_fault(self.intern.resolve(node), StreamFault::Gap)
+                    }
                     // A delta that fails its own checksum never gets
                     // here; one that *passes* but does not fit its base
                     // means the stream content is inconsistent.
-                    SkipReason::BadDelta => {
-                        self.store.record_fault(&node, StreamFault::Corrupt)
-                    }
+                    SkipReason::BadDelta => self
+                        .store
+                        .record_fault(self.intern.resolve(node), StreamFault::Corrupt),
                     // Duplicates and stale stragglers are benign.
                     SkipReason::AwaitingFull | SkipReason::StaleSeq | SkipReason::StaleEpoch => {}
                 }
                 Ingest::Skipped(reason)
             }
             DecodeEvent::Snapshot { seq, at, set, recovered } => {
-                match self.store.offer_with(&node, Snapshot { seq, at, set }, recovered) {
+                let name = self.intern.resolve(node);
+                match self.store.offer_with(name, Snapshot { seq, at, set }, recovered) {
                     Offer::Accepted => Ingest::Accepted,
                     other => Ingest::Rejected(other),
                 }
@@ -250,14 +306,17 @@ impl Collector {
     /// Ingests one raw frame as delivered by a hostile wire: decodes
     /// the bytes (counting checksum failures and malformed frames as
     /// corruption against the connection's node) and feeds the result
-    /// to [`ingest_lossy`](Collector::ingest_lossy). Never panics, no
-    /// matter the bytes.
+    /// to [`ingest_lossy_ref`](Collector::ingest_lossy_ref) through the
+    /// borrowed [`wire_view`] decoder — no per-frame id allocations on
+    /// the steady-state path. Never panics, no matter the bytes.
     pub fn ingest_bytes(&mut self, conn: u64, bytes: &[u8]) -> Ingest {
-        match wire::decode_frame(bytes) {
-            Ok((frame, _)) => self.ingest_lossy(conn, &frame),
+        match wire_view::decode_frame_ref(bytes) {
+            Ok((frame, _)) => self.ingest_lossy_ref(conn, &frame),
             Err(_) => {
-                match self.conns.get(&conn).and_then(Conn::fault_label) {
-                    Some(node) => self.store.record_fault(&node, StreamFault::Corrupt),
+                match self.conns.get(&conn).and_then(Conn::fault_sym) {
+                    Some(node) => self
+                        .store
+                        .record_fault(self.intern.resolve(node), StreamFault::Corrupt),
                     None => self.unattributed_corrupt += 1,
                 }
                 Ingest::Corrupt
@@ -276,18 +335,22 @@ impl Collector {
         // A tier wire past its corruption budget is distrusted
         // wholesale: quarantining the scope drops its merged frames the
         // same way quarantining a node drops its snapshots.
-        let scope = self
-            .conns
-            .get(&conn)
-            .and_then(|c| c.merged.as_ref().map(|m| m.scope().to_string()))
-            .unwrap_or_else(|| mf.scope.clone());
-        if self.store.is_quarantined(&scope) {
+        let quarantined = match self.conns.get(&conn).and_then(|c| c.merged_scope) {
+            Some(scope) => self.store.is_quarantined(self.intern.resolve(scope)),
+            None => self.store.is_quarantined(&mf.scope),
+        };
+        if quarantined {
             return Ingest::Rejected(Offer::Quarantined);
         }
         let mut slot = self.conns.entry(conn).or_default().merged.take();
         let resolved = federation::absorb_merged(&mut slot, mf);
         if let Some(state) = self.conns.get_mut(&conn) {
             state.merged = slot;
+            if state.merged_scope.is_none() {
+                if let Some(scope) = state.merged.as_ref().map(|m| m.scope()) {
+                    state.merged_scope = Some(self.intern.intern(scope));
+                }
+            }
         }
         let mut accepted = false;
         let mut rejected = None;
@@ -320,8 +383,8 @@ impl Collector {
     /// a new connection id.
     pub fn reset_conn(&mut self, conn: u64) {
         if let Some(state) = self.conns.get_mut(&conn) {
-            if let Some(node) = state.fault_label() {
-                self.store.record_fault(&node, StreamFault::Reset);
+            if let Some(node) = state.fault_sym() {
+                self.store.record_fault(self.intern.resolve(node), StreamFault::Reset);
             }
             // Keep the decoder: its epoch guard is exactly what
             // protects against stragglers of the dead connection.
@@ -342,20 +405,20 @@ impl Collector {
     /// (node, op) pair wins.
     pub fn tick(&mut self) -> Vec<Anomaly> {
         let updates = self.store.drain();
-        let found = self.detector.scan(&self.store, &updates);
+        let median =
+            self.store.cluster_median(self.detector.config().min_median_nodes);
+        let found = self.detector.scan_with_median(&self.store, &updates, &median);
         for a in &found {
-            self.first_flagged
-                .entry((a.node.clone(), a.op.clone()))
-                .or_insert(a.seq);
+            let key = (self.intern.intern(&a.node), self.intern.intern(&a.op));
+            self.first_flagged.entry(key).or_insert(a.seq);
         }
         if self.attr.enabled && !found.is_empty() {
-            let median =
-                self.store.cluster_median(self.detector.config().min_median_nodes);
             for a in &found {
                 let vs =
                     attribution::attribute_anomaly(&self.attr, &self.store, &median, &updates, a);
                 if !vs.is_empty() {
-                    self.verdicts.insert((a.node.clone(), a.op.clone()), vs);
+                    let key = (self.intern.intern(&a.node), self.intern.intern(&a.op));
+                    self.verdicts.insert(key, vs);
                 }
             }
         }
@@ -378,9 +441,38 @@ impl Collector {
         &self.anomalies
     }
 
-    /// Ranked root-cause verdicts per flagged (node, op) pair.
-    pub fn verdicts(&self) -> &VerdictMap {
-        &self.verdicts
+    /// Ranked root-cause verdicts per flagged (node, op) pair,
+    /// materialized in report (string-lexicographic) order. Verdicts
+    /// are stored keyed by interned symbols; this resolves them, so
+    /// call it when rendering, not per tick.
+    pub fn verdicts(&self) -> VerdictMap {
+        self.verdicts
+            .iter()
+            .map(|(&(node, op), vs)| {
+                (
+                    (
+                        self.intern.resolve(node).to_string(),
+                        self.intern.resolve(op).to_string(),
+                    ),
+                    vs.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Flagged (node, op, first_seq) triples resolved and sorted in
+    /// string-lexicographic order — the historical report order, which
+    /// symbol order (intern order) does not match.
+    fn flagged_sorted(&self) -> Vec<(&str, &str, u64)> {
+        let mut v: Vec<(&str, &str, u64)> = self
+            .first_flagged
+            .iter()
+            .map(|(&(node, op), &seq)| {
+                (self.intern.resolve(node), self.intern.resolve(op), seq)
+            })
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     // ---- parallel-engine seams (crate-internal) ----------------------
@@ -403,14 +495,31 @@ impl Collector {
         self.store.absorb(part);
     }
 
-    /// Takes the live per-connection decoder states.
-    pub(crate) fn take_conns(&mut self) -> BTreeMap<u64, Conn> {
+    /// Takes the live per-connection decoder states, with each
+    /// connection's node id resolved to a string: symbols are only
+    /// meaningful against the issuing collector's intern table, so the
+    /// seam speaks strings and [`install_conns`]
+    /// (Collector::install_conns) re-interns on the receiving side.
+    pub(crate) fn take_conns(&mut self) -> Vec<(u64, Option<String>, Conn)> {
         std::mem::take(&mut self.conns)
+            .into_iter()
+            .map(|(id, c)| {
+                let node = c.node.map(|n| self.intern.resolve(n).to_string());
+                (id, node, c)
+            })
+            .collect()
     }
 
-    /// Installs per-connection decoder states (worker startup).
-    pub(crate) fn set_conns(&mut self, conns: BTreeMap<u64, Conn>) {
-        self.conns = conns;
+    /// Installs per-connection decoder states (worker startup),
+    /// re-interning each node and uplink scope into this collector's
+    /// table.
+    pub(crate) fn install_conns(&mut self, conns: Vec<(u64, Option<String>, Conn)>) {
+        for (id, node, mut c) in conns {
+            c.node = node.as_deref().map(|n| self.intern.intern(n));
+            let scope = c.merged.as_ref().map(|m| m.scope().to_string());
+            c.merged_scope = scope.as_deref().map(|s| self.intern.intern(s));
+            self.conns.insert(id, c);
+        }
     }
 
     /// Counts one pre-hello corrupt frame handled outside this
@@ -454,10 +563,10 @@ impl Collector {
         wire::put_uvarint(&mut out, self.conns.len() as u128);
         for (id, conn) in &self.conns {
             wire::put_uvarint(&mut out, u128::from(*id));
-            match &conn.node {
+            match conn.node {
                 Some(n) => {
                     out.push(1);
-                    wire::put_string(&mut out, n);
+                    wire::put_string(&mut out, self.intern.resolve(n));
                 }
                 None => out.push(0),
             }
@@ -492,14 +601,25 @@ impl Collector {
                 }
             }
         }
+        // Flagged pairs and verdicts are keyed by symbols (intern
+        // order); encode them sorted through the resolved strings so
+        // checkpoints stay byte-deterministic across engines.
         wire::put_uvarint(&mut out, self.first_flagged.len() as u128);
-        for ((node, op), seq) in &self.first_flagged {
+        for (node, op, seq) in self.flagged_sorted() {
             wire::put_string(&mut out, node);
             wire::put_string(&mut out, op);
-            wire::put_uvarint(&mut out, u128::from(*seq));
+            wire::put_uvarint(&mut out, u128::from(seq));
         }
+        let mut sorted_verdicts: Vec<(&str, &str, _)> = self
+            .verdicts
+            .iter()
+            .map(|(&(node, op), vs)| {
+                (self.intern.resolve(node), self.intern.resolve(op), vs)
+            })
+            .collect();
+        sorted_verdicts.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
         wire::put_uvarint(&mut out, self.verdicts.len() as u128);
-        for ((node, op), vs) in &self.verdicts {
+        for (node, op, vs) in sorted_verdicts {
             wire::put_string(&mut out, node);
             wire::put_string(&mut out, op);
             wire::put_uvarint(&mut out, vs.len() as u128);
@@ -545,12 +665,13 @@ impl Collector {
         }
         let unattributed_corrupt = c.u64()?;
         let store = ShardedStore::decode_state(cfg.store, &mut c)?;
+        let mut intern = Interner::new();
         let mut conns = BTreeMap::new();
         for _ in 0..c.count("checkpoint connections", 4)? {
             let id = c.u64()?;
             let node = match c.byte()? {
                 0 => None,
-                _ => Some(c.string()?),
+                _ => Some(intern.intern(&c.string()?)),
             };
             let done = c.byte()? != 0;
             let dec = Decoder::decode_state(&mut c)?;
@@ -558,7 +679,10 @@ impl Collector {
                 0 => None,
                 _ => Some(MergedConnState::decode_state(&mut c)?),
             };
-            conns.insert(id, Conn { node, dec, done, merged });
+            // The uplink scope symbol is derived, not encoded: the
+            // checkpoint codec (version 1) is unchanged by interning.
+            let merged_scope = merged.as_ref().map(|m| intern.intern(m.scope()));
+            conns.insert(id, Conn { node, dec, done, merged, merged_scope });
         }
         let mut anomalies = Vec::new();
         for _ in 0..c.count("checkpoint anomalies", 12)? {
@@ -596,9 +720,9 @@ impl Collector {
             let node = c.string()?;
             let op = c.string()?;
             let seq = c.u64()?;
-            first_flagged.insert((node, op), seq);
+            first_flagged.insert((intern.intern(&node), intern.intern(&op)), seq);
         }
-        let mut verdicts = VerdictMap::new();
+        let mut verdicts = SymVerdictMap::new();
         for _ in 0..c.count("checkpoint verdict pairs", 4)? {
             let node = c.string()?;
             let op = c.string()?;
@@ -631,7 +755,7 @@ impl Collector {
                 }
                 vs.push(CauseVerdict { mechanism, confidence, score, detail, evidence });
             }
-            verdicts.insert((node, op), vs);
+            verdicts.insert((intern.intern(&node), intern.intern(&op)), vs);
         }
         if !c.is_done() {
             return Err(WireError::Corrupt("checkpoint payload has trailing bytes".into()));
@@ -645,6 +769,7 @@ impl Collector {
             unattributed_corrupt,
             attr: cfg.attribution,
             verdicts,
+            intern,
         })
     }
 
@@ -711,7 +836,7 @@ impl Collector {
             let _ = writeln!(out, "no anomalies flagged");
         } else {
             let _ = writeln!(out, "flagged ({}):", self.first_flagged.len());
-            for ((node, op), seq) in &self.first_flagged {
+            for (node, op, seq) in self.flagged_sorted() {
                 let _ = writeln!(out, "  {node} {op}: first flagged at interval {seq}");
             }
             let _ = writeln!(out, "anomaly log ({} entries):", self.anomalies.len());
@@ -721,7 +846,7 @@ impl Collector {
         }
         // Renders as the empty string when nothing was attributed, so
         // verdict-free runs keep the historical format byte-for-byte.
-        out.push_str(&attribution::render_text(&self.verdicts));
+        out.push_str(&attribution::render_text(&self.verdicts()));
         out
     }
 
@@ -756,13 +881,13 @@ impl Collector {
                 .collect(),
         );
         let flagged = Json::Array(
-            self.first_flagged
-                .iter()
-                .map(|((node, op), seq)| {
+            self.flagged_sorted()
+                .into_iter()
+                .map(|(node, op, seq)| {
                     Json::Object(vec![
-                        ("node".into(), Json::Str(node.clone())),
-                        ("op".into(), Json::Str(op.clone())),
-                        ("first_seq".into(), Json::UInt((*seq).into())),
+                        ("node".into(), Json::Str(node.to_string())),
+                        ("op".into(), Json::Str(op.to_string())),
+                        ("first_seq".into(), Json::UInt(seq.into())),
                     ])
                 })
                 .collect(),
@@ -789,7 +914,7 @@ impl Collector {
             ("nodes".into(), nodes),
             ("flagged".into(), flagged),
             ("anomalies".into(), anomalies),
-            ("attribution".into(), attribution::to_json(&self.verdicts)),
+            ("attribution".into(), attribution::to_json(&self.verdicts())),
         ]);
         Json::Object(fields)
     }

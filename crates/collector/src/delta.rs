@@ -15,7 +15,7 @@
 
 use osprof_core::profile::{Profile, ProfileSet};
 
-use crate::wire::{put_string, put_svarint, put_uvarint, Cursor, WireError};
+use crate::wire::{clip_label, put_string, put_svarint, put_uvarint, Cursor, WireError};
 
 /// Changes to a single operation's profile.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,7 +112,10 @@ pub fn apply(base: &ProfileSet, delta: &SetDelta) -> Result<ProfileSet, WireErro
     }
     for name in &delta.removed {
         if base.get(name).is_none() {
-            return Err(WireError::Corrupt(format!("delta removes unknown operation '{name}'")));
+            return Err(WireError::Corrupt(format!(
+                "delta removes unknown operation '{}'",
+                clip_label(name)
+            )));
         }
     }
     for d in &delta.ops {
@@ -125,16 +128,78 @@ pub fn apply(base: &ProfileSet, delta: &SetDelta) -> Result<ProfileSet, WireErro
                 .get_mut(b)
                 .ok_or_else(|| WireError::Corrupt(format!("delta bucket {b} out of range")))?;
             let next = (*slot as i128) + dn as i128;
-            *slot = u64::try_from(next)
-                .map_err(|_| WireError::Corrupt(format!("bucket {b} of '{}' leaves u64 range", d.name)))?;
+            *slot = u64::try_from(next).map_err(|_| {
+                WireError::Corrupt(format!("bucket {b} of '{}' leaves u64 range", clip_label(&d.name)))
+            })?;
         }
         let old_latency = base.get(&d.name).map(|p| p.total_latency()).unwrap_or(0);
-        let latency = old_latency
-            .checked_add_signed(d.d_latency)
-            .ok_or_else(|| WireError::Corrupt(format!("total latency of '{}' leaves u128 range", d.name)))?;
+        let latency = old_latency.checked_add_signed(d.d_latency).ok_or_else(|| {
+            WireError::Corrupt(format!("total latency of '{}' leaves u128 range", clip_label(&d.name)))
+        })?;
         out.insert(Profile::from_parts(d.name.clone(), r, buckets, latency, d.min, d.max)?);
     }
     Ok(out)
+}
+
+/// Applies a borrowed wire delta to a base snapshot **in place** — the
+/// zero-copy twin of [`apply`], with identical semantics and identical
+/// error payloads, but no per-frame set rebuild: the common encoder
+/// output (no removals, op names strictly ascending, which is what
+/// [`diff`]'s `BTreeMap` iteration always produces) mutates the base
+/// profiles directly through `Profile::apply_bucket_delta` /
+/// `Profile::set_wire_totals`. Hostile shapes — removals, duplicate or
+/// unsorted op names — fall back to materializing the delta and calling
+/// [`apply`], so their behavior is the allocating path's by
+/// construction.
+///
+/// # Errors
+///
+/// Exactly [`apply`]'s. On `Err` the base may be partially mutated; the
+/// lossy decode path discards its base on any delta error
+/// (`SkipReason::BadDelta` sets `last = None`), so the partial state is
+/// unobservable. Callers that must keep their base on error should use
+/// [`apply`].
+pub fn apply_ref_in_place(
+    base: &mut ProfileSet,
+    delta: &crate::wire_view::SetDeltaRef<'_>,
+) -> Result<(), WireError> {
+    let ascending = {
+        let mut prev: Option<&str> = None;
+        delta.ops().all(|d| {
+            let ok = prev.is_none_or(|p| p < d.name);
+            prev = Some(d.name);
+            ok
+        })
+    };
+    if !delta.removed_is_empty() || !ascending {
+        let owned = delta.to_set_delta()?;
+        *base = apply(base, &owned)?;
+        return Ok(());
+    }
+    for d in delta.ops() {
+        let p = base.entry(d.name);
+        for (b, dn) in d.pairs() {
+            if b >= p.buckets().len() {
+                return Err(WireError::Corrupt(format!("delta bucket {b} out of range")));
+            }
+            if !p.apply_bucket_delta(b, dn) {
+                return Err(WireError::Corrupt(format!(
+                    "bucket {b} of '{}' leaves u64 range",
+                    clip_label(d.name)
+                )));
+            }
+        }
+        let latency = p.total_latency().checked_add_signed(d.d_latency).ok_or_else(|| {
+            WireError::Corrupt(format!("total latency of '{}' leaves u128 range", clip_label(d.name)))
+        })?;
+        if !p.set_wire_totals(latency, d.min, d.max) {
+            return Err(WireError::Core(osprof_core::error::CoreError::Parse {
+                line: 0,
+                message: format!("min latency {} exceeds max latency {}", d.min, d.max),
+            }));
+        }
+    }
+    Ok(())
 }
 
 /// Serializes a [`SetDelta`] into a frame payload.

@@ -23,7 +23,9 @@
 use std::fmt;
 
 use osprof_analysis::compare::Metric;
-use osprof_analysis::select::{select_interesting, SelectionConfig};
+use osprof_analysis::select::{
+    select_interesting_cached, PeakCache, Selection, SelectionConfig,
+};
 use osprof_core::profile::ProfileSet;
 
 use crate::store::{IntervalUpdate, ShardedStore};
@@ -183,7 +185,25 @@ impl Detector {
     /// anomalies sorted by (node, op, seq).
     pub fn scan(&self, store: &ShardedStore, updates: &[IntervalUpdate]) -> Vec<Anomaly> {
         let median = store.cluster_median(self.cfg.min_median_nodes);
+        self.scan_with_median(store, updates, &median)
+    }
+
+    /// [`Detector::scan`] with the cluster median supplied by the
+    /// caller — the daemon computes it once per tick and shares it
+    /// between detection and attribution instead of rebuilding it for
+    /// each. The median MUST be
+    /// `store.cluster_median(self.config().min_median_nodes)` for the
+    /// same store; anything else changes what gets flagged.
+    pub fn scan_with_median(
+        &self,
+        store: &ShardedStore,
+        updates: &[IntervalUpdate],
+        median: &ProfileSet,
+    ) -> Vec<Anomaly> {
         let mut out = Vec::new();
+        // The median is fixed for the whole scan, so its per-op peaks
+        // are too — share one cache across every judged interval.
+        let mut median_peaks = PeakCache::new();
         for u in updates {
             if u.restarted || store.intervals(&u.node) <= self.cfg.warmup {
                 continue;
@@ -200,7 +220,7 @@ impl Detector {
                 0 => DataQuality::Clean,
                 n => DataQuality::Stale(n),
             };
-            out.extend(self.judge(u, &median, baseline.as_ref(), quality));
+            out.extend(self.judge(u, median, baseline.as_ref(), quality, &mut median_peaks));
         }
         out.sort_by(|a, b| {
             a.node.cmp(&b.node).then_with(|| a.op.cmp(&b.op)).then_with(|| a.seq.cmp(&b.seq))
@@ -215,34 +235,65 @@ impl Detector {
         median: &ProfileSet,
         baseline: Option<&ProfileSet>,
         quality: DataQuality,
+        median_peaks: &mut PeakCache,
     ) -> Vec<Anomaly> {
         let cfg = &self.cfg;
         // Phase 1-3 candidate pruning against each reference; an op is a
-        // candidate when either selection picks it.
-        let mut candidates: Vec<String> = Vec::new();
-        if !median.is_empty() {
-            for s in select_interesting(&u.interval, median, &cfg.selection) {
-                candidates.push(s.op);
+        // candidate when either selection picks it. The interval's peaks
+        // are shared between the two selections; the median's are shared
+        // across the whole scan (the caller owns that cache).
+        let mut interval_peaks = PeakCache::new();
+        let med_sel: Vec<Selection> = if !median.is_empty() {
+            select_interesting_cached(
+                &u.interval,
+                median,
+                &cfg.selection,
+                &mut interval_peaks,
+                median_peaks,
+            )
+        } else {
+            Vec::new()
+        };
+        let base_sel: Vec<Selection> = match baseline {
+            Some(base) => select_interesting_cached(
+                &u.interval,
+                base,
+                &cfg.selection,
+                &mut interval_peaks,
+                &mut PeakCache::new(),
+            ),
+            None => Vec::new(),
+        };
+        let mut candidates: Vec<&str> = med_sel.iter().map(|s| s.op.as_str()).collect();
+        for s in &base_sel {
+            if !candidates.contains(&s.op.as_str()) {
+                candidates.push(s.op.as_str());
             }
         }
-        if let Some(base) = baseline {
-            for s in select_interesting(&u.interval, base, &cfg.selection) {
-                if !candidates.contains(&s.op) {
-                    candidates.push(s.op);
-                }
+        candidates.sort_unstable();
+
+        // When the rating metric matches the selection metric, the
+        // phase-3 distance already computed against a reference op that
+        // exists on both sides IS the verdict distance — reuse it.
+        let reuse = |sel: &[Selection], op: &str| -> Option<f64> {
+            if cfg.metric != cfg.selection.metric {
+                return None;
             }
-        }
-        candidates.sort();
+            sel.iter().find(|s| s.op == op).map(|s| s.distance)
+        };
 
         let mut out = Vec::new();
         for op in candidates {
-            let Some(p) = u.interval.get(&op) else { continue };
+            let Some(p) = u.interval.get(op) else { continue };
             if p.total_ops() < cfg.min_ops {
                 continue;
             }
-            let vs_cluster = median.get(&op).map(|m| cfg.metric.distance(p, m));
-            let vs_baseline =
-                baseline.and_then(|b| b.get(&op)).map(|b| cfg.metric.distance(p, b));
+            let vs_cluster = median.get(op).map(|m| {
+                reuse(&med_sel, op).unwrap_or_else(|| cfg.metric.distance(p, m))
+            });
+            let vs_baseline = baseline.and_then(|b| b.get(op)).map(|b| {
+                reuse(&base_sel, op).unwrap_or_else(|| cfg.metric.distance(p, b))
+            });
             let cluster_fired = vs_cluster.is_some_and(|d| d >= cfg.cluster_threshold);
             let baseline_fired = vs_baseline.is_some_and(|d| d >= cfg.baseline_threshold);
             let kind = match (cluster_fired, baseline_fired) {
@@ -252,13 +303,13 @@ impl Detector {
                 (false, false) => continue,
             };
             let confirm = if cluster_fired {
-                median.get(&op).map(|m| cfg.confirm.distance(p, m)).unwrap_or(0.0)
+                median.get(op).map(|m| cfg.confirm.distance(p, m)).unwrap_or(0.0)
             } else {
-                baseline.and_then(|b| b.get(&op)).map(|b| cfg.confirm.distance(p, b)).unwrap_or(0.0)
+                baseline.and_then(|b| b.get(op)).map(|b| cfg.confirm.distance(p, b)).unwrap_or(0.0)
             };
             out.push(Anomaly {
                 node: u.node.clone(),
-                op,
+                op: op.to_string(),
                 seq: u.seq,
                 kind,
                 vs_cluster,

@@ -435,6 +435,15 @@ impl MergedConnState {
     }
 }
 
+/// Adds a name to an uplink's known-node set only when absent: the
+/// steady state re-names the same nodes on every flush, which must not
+/// cost one `String` clone per event.
+fn note_known(set: &mut BTreeSet<String>, node: &str) {
+    if !set.contains(node) {
+        set.insert(node.to_string());
+    }
+}
+
 /// Applies one merged frame to a connection's receiver state,
 /// returning the resolved events in arrival order. Never fails:
 /// tier-wire damage (stale epochs, duplicate or gapped sequences,
@@ -451,7 +460,7 @@ pub fn absorb_merged(slot: &mut Option<MergedConnState>, mf: &MergedFrame) -> Ve
         bases: BTreeMap::new(),
         known_nodes: BTreeSet::new(),
     });
-    st.known_nodes.insert(st.scope.clone());
+    note_known(&mut st.known_nodes, &st.scope.clone());
     if mf.scope != st.scope || mf.tier != st.tier {
         // A different sender on the same connection: the uplink is
         // confused or hostile; charge its original scope.
@@ -486,7 +495,7 @@ pub fn absorb_merged(slot: &mut Option<MergedConnState>, mf: &MergedFrame) -> Ve
     for ev in &mf.events {
         match ev {
             MergedEvent::Hello { node, layer, resolution, interval } => {
-                st.known_nodes.insert(node.clone());
+                note_known(&mut st.known_nodes, node);
                 out.push(Resolved::Hello {
                     node: node.clone(),
                     layer: layer.clone(),
@@ -495,7 +504,7 @@ pub fn absorb_merged(slot: &mut Option<MergedConnState>, mf: &MergedFrame) -> Ve
                 });
             }
             MergedEvent::Snapshot { node, seq, at, recovered, body } => {
-                st.known_nodes.insert(node.clone());
+                note_known(&mut st.known_nodes, node);
                 let set = match body {
                     SnapshotBody::Full(set) => Some(set.clone()),
                     SnapshotBody::Delta { basis_seq, delta } => match st.bases.get(node) {
@@ -523,7 +532,7 @@ pub fn absorb_merged(slot: &mut Option<MergedConnState>, mf: &MergedFrame) -> Ve
                 }
             }
             MergedEvent::Fault { node, fault } => {
-                st.known_nodes.insert(node.clone());
+                note_known(&mut st.known_nodes, node);
                 out.push(Resolved::Fault { node: node.clone(), fault: *fault });
             }
             MergedEvent::Unattributed { count } => {

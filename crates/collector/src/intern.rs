@@ -1,0 +1,122 @@
+//! Node/layer/operation id interning: one owned copy per distinct
+//! string, `u32` symbols everywhere else.
+//!
+//! The ingest hot path used to re-own every id it touched: the decoder
+//! allocated a `String` per frame for the node name, the daemon cloned
+//! it again into `Conn` state, the store cloned it a third time for the
+//! shard key, and every tick cloned `(node, op)` pairs into report maps.
+//! An [`Interner`] collapses all of that to a single owned `Arc<str>`
+//! per distinct id — a cluster has a few dozen node names and a few
+//! dozen operation names, repeated across millions of frames — and a
+//! [`Sym`] is a `Copy` handle the daemon can key maps by and pass to
+//! workers for free.
+//!
+//! **Symbols never leak into output bytes.** Symbol order is
+//! first-intern order, which differs between engines (the serial
+//! collector interns in delivery order; the parallel master interns in
+//! routing order), so every rendering/encoding site resolves symbols
+//! back to strings and sorts lexicographically — see
+//! `daemon::Collector::report` — keeping reports byte-identical to the
+//! pre-interning code for any engine. Checkpoints encode resolved
+//! strings for the same reason, so the codec is unchanged and restore
+//! simply re-interns.
+//!
+//! `Arc<str>` rather than `Rc<str>`: collectors cross thread boundaries
+//! in the parallel engine (conn state moves between master and
+//! workers), and the shared copies are read-only after interning.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A `Copy` handle for an interned string. Ordered by intern time, not
+/// lexicographically — resolve before any ordering that reaches output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw index (for diagnostics; never emit it).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// The intern table: append-only, one `Arc<str>` per distinct string.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<Arc<str>>,
+    index: BTreeMap<Arc<str>, Sym>,
+}
+
+impl Interner {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning its symbol; the second and every later
+    /// intern of the same string is a map lookup, not an allocation.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        // One id past u32::MAX distinct strings is unreachable in any
+        // real cluster (ids are node/layer/op names); saturating keeps
+        // the table panic-free and merely aliases the last slot.
+        let id = u32::try_from(self.names.len()).unwrap_or(u32::MAX - 1);
+        let sym = Sym(id);
+        self.names.push(arc.clone());
+        self.index.insert(arc, sym);
+        sym
+    }
+
+    /// Resolves a symbol to its string; unknown symbols (impossible for
+    /// symbols this table issued) resolve to the empty string, keeping
+    /// the API panic-free.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.names.get(sym.0 as usize).map_or("", |s| s)
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolves() {
+        let mut t = Interner::new();
+        let a = t.intern("node-0");
+        let b = t.intern("node-1");
+        let a2 = t.intern("node-0");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "node-0");
+        assert_eq!(t.resolve(b), "node-1");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn symbol_order_is_intern_order_not_lexicographic() {
+        // The reason renderers must sort through resolved strings.
+        let mut t = Interner::new();
+        let z = t.intern("zebra");
+        let a = t.intern("aardvark");
+        assert!(z < a, "intern order, not lexicographic order");
+    }
+
+    #[test]
+    fn unknown_symbols_resolve_to_empty() {
+        let t = Interner::new();
+        assert_eq!(t.resolve(Sym(7)), "");
+    }
+}

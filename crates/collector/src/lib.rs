@@ -57,6 +57,7 @@ pub mod delta;
 pub mod detect;
 pub mod fault;
 pub mod federation;
+pub mod intern;
 pub mod journal;
 pub mod parallel;
 pub mod resilience;
@@ -65,3 +66,4 @@ pub mod segment;
 pub mod store;
 pub mod transport;
 pub mod wire;
+pub mod wire_view;

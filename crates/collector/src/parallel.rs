@@ -92,12 +92,22 @@ use crate::daemon::{Collector, CollectorConfig, CollectorError, Conn};
 use crate::detect::Anomaly;
 use crate::journal::Journal;
 use crate::store::ShardedStore;
-use crate::wire::{self, fnv64, Frame};
+use crate::wire::{self, fnv64};
+use crate::wire_view::{self, FrameRef};
 
 /// Per-worker channel bound: enough to keep workers busy while the
 /// dispatcher journals, small enough that a stalled worker applies
 /// backpressure to the dispatcher instead of buffering unboundedly.
 const CHANNEL_CAP: usize = 1024;
+
+/// Frames buffered per worker before the dispatcher sends one
+/// [`ToWorker::Batch`]: one channel hand-off (and one worker wakeup)
+/// amortized over up to this many frames. Per-worker FIFO order is
+/// untouched — a batch is the same frames in the same order — and
+/// every batch is flushed before any reset to the same worker and
+/// before every barrier, so byte-identity to per-frame dispatch holds
+/// by construction.
+const BATCH_MAX: usize = 32;
 
 /// The worker index a node's traffic is pinned to.
 fn worker_of(node: &str, workers: usize) -> usize {
@@ -106,8 +116,9 @@ fn worker_of(node: &str, workers: usize) -> usize {
 
 /// Messages from the dispatcher to one worker.
 enum ToWorker {
-    /// A raw frame delivery for a connection this worker owns.
-    Bytes(u64, Vec<u8>),
+    /// Raw frame deliveries for connections this worker owns, in
+    /// dispatch order.
+    Batch(Vec<(u64, Vec<u8>)>),
     /// A connection reset.
     Reset(u64),
     /// Tick barrier: ship your partition store to the master.
@@ -129,8 +140,10 @@ fn worker_loop(mut col: Collector, rx: Receiver<ToWorker>, tx: SyncSender<Sharde
         match msg {
             // The tolerant serial ingest path, verbatim: corrupt bytes
             // become per-node fault counts, never errors.
-            ToWorker::Bytes(conn, bytes) => {
-                let _ = col.ingest_bytes(conn, &bytes);
+            ToWorker::Batch(batch) => {
+                for (conn, bytes) in &batch {
+                    let _ = col.ingest_bytes(*conn, bytes);
+                }
             }
             ToWorker::Reset(conn) => col.reset_conn(conn),
             ToWorker::Barrier => {
@@ -163,6 +176,10 @@ pub struct ParallelCollector {
     /// Aggregator uplinks, pinned to the master (their merged frames
     /// carry many nodes and cannot be routed to one worker).
     master_conns: BTreeSet<u64>,
+    /// Per-worker pending frame batch (dispatch order preserved);
+    /// flushed at [`BATCH_MAX`], before a reset routed to the same
+    /// worker, and at every barrier.
+    pending: Vec<Vec<(u64, Vec<u8>)>>,
 }
 
 impl ParallelCollector {
@@ -209,30 +226,30 @@ impl ParallelCollector {
             // Aggregator-fed nodes stay in the master, with their
             // uplink connections' receiver state.
             let merged = master.merged_nodes();
-            let mut worker_conns: Vec<BTreeMap<u64, Conn>> =
-                (0..workers).map(|_| BTreeMap::new()).collect();
-            let mut keep = BTreeMap::new();
-            for (conn, c) in master.take_conns() {
+            let mut worker_conns: Vec<Vec<(u64, Option<String>, Conn)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            let mut keep = Vec::new();
+            for (conn, node, c) in master.take_conns() {
                 if c.merged.is_some() {
                     master_conns.insert(conn);
-                    keep.insert(conn, c);
-                } else if let Some(node) = &c.node {
-                    let w = worker_of(node, workers);
+                    keep.push((conn, node, c));
+                } else if let Some(n) = &node {
+                    let w = worker_of(n, workers);
                     assign.insert(conn, w);
-                    worker_conns[w].insert(conn, c);
+                    worker_conns[w].push((conn, node, c));
                 }
                 // A connection that never completed a hello has no node
                 // and no decoder history worth keeping; it re-enters
                 // through the dispatcher's pre-hello path.
             }
-            master.set_conns(keep);
+            master.install_conns(keep);
             let mut store = master.take_store();
             for (w, conns) in worker_conns.into_iter().enumerate() {
                 let part = store
                     .extract_nodes(|node| !merged.contains(node) && worker_of(node, workers) == w);
                 let mut col = Collector::new(cfg.clone());
                 col.absorb_store(part);
-                col.set_conns(conns);
+                col.install_conns(conns);
                 let (tx, worker_rx) = sync_channel(CHANNEL_CAP);
                 let (worker_tx, rx) = sync_channel(1);
                 let join = std::thread::spawn(move || worker_loop(col, worker_rx, worker_tx));
@@ -244,7 +261,8 @@ impl ParallelCollector {
             );
             master.absorb_store(store);
         }
-        ParallelCollector { master, journal, handles, assign, master_conns }
+        let pending = (0..handles.len()).map(|_| Vec::new()).collect();
+        ParallelCollector { master, journal, handles, assign, master_conns, pending }
     }
 
     /// The number of ingest workers (1 = serial, no threads).
@@ -257,6 +275,23 @@ impl ParallelCollector {
             .tx
             .send(msg)
             .map_err(|_| CollectorError::Internal(format!("worker {w} disconnected")))
+    }
+
+    /// Ships worker `w`'s pending frame batch, if any.
+    fn flush_worker(&mut self, w: usize) -> Result<(), CollectorError> {
+        if self.pending[w].is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.pending[w]);
+        self.send(w, ToWorker::Batch(batch))
+    }
+
+    /// Ships every worker's pending frame batch (barrier prologue).
+    fn flush_all(&mut self) -> Result<(), CollectorError> {
+        for w in 0..self.handles.len() {
+            self.flush_worker(w)?;
+        }
+        Ok(())
     }
 
     /// Journals (dispatch order), routes and applies one raw frame
@@ -286,19 +321,19 @@ impl ParallelCollector {
             // an aggregator uplink: pin it to the master. Merged-typed
             // bytes that do not decode are pre-hello garbage, with the
             // serial collector's exact accounting.
-            match wire::decode_frame(bytes) {
-                Ok((frame @ Frame::Merged(_), _)) => {
+            match wire_view::decode_frame_ref(bytes) {
+                Ok((frame @ FrameRef::Merged(_), _)) => {
                     self.master_conns.insert(conn);
-                    let _ = self.master.ingest_lossy(conn, &frame);
+                    let _ = self.master.ingest_lossy_ref(conn, &frame);
                 }
                 _ => self.master.note_unattributed(),
             }
             return Ok(());
         }
         let route = if wire::frame_is_hello(bytes) || assigned.is_none() {
-            match wire::decode_frame(bytes) {
-                Ok((Frame::Hello { node, .. }, _)) => {
-                    let w = worker_of(&node, self.handles.len());
+            match wire_view::decode_frame_ref(bytes) {
+                Ok((FrameRef::Hello { node, .. }, _)) => {
+                    let w = worker_of(node, self.handles.len());
                     self.assign.insert(conn, w);
                     Some(w)
                 }
@@ -307,7 +342,7 @@ impl ParallelCollector {
                 // is silently consumed, everything else (snapshot
                 // frames, undecodable bytes) is one unattributed
                 // corrupt frame.
-                Ok((Frame::Bye { .. }, _)) if assigned.is_none() => None,
+                Ok((FrameRef::Bye { .. }, _)) if assigned.is_none() => None,
                 Ok(_) | Err(_) if assigned.is_none() => {
                     self.master.note_unattributed();
                     None
@@ -321,7 +356,14 @@ impl ParallelCollector {
             assigned
         };
         match route {
-            Some(w) => self.send(w, ToWorker::Bytes(conn, bytes.to_vec())),
+            Some(w) => {
+                self.pending[w].push((conn, bytes.to_vec()));
+                if self.pending[w].len() >= BATCH_MAX {
+                    self.flush_worker(w)
+                } else {
+                    Ok(())
+                }
+            }
             None => Ok(()),
         }
     }
@@ -339,8 +381,13 @@ impl ParallelCollector {
             self.master.reset_conn(conn);
             return Ok(());
         }
-        match self.assign.get(&conn) {
-            Some(&w) => self.send(w, ToWorker::Reset(conn)),
+        match self.assign.get(&conn).copied() {
+            Some(w) => {
+                // The reset must land after every frame dispatched
+                // before it on this worker.
+                self.flush_worker(w)?;
+                self.send(w, ToWorker::Reset(conn))
+            }
             // A reset on a never-helloed connection is a no-op in the
             // serial collector too (no node to charge it to).
             None => Ok(()),
@@ -361,6 +408,7 @@ impl ParallelCollector {
         if self.handles.is_empty() {
             return Ok(self.master.tick());
         }
+        self.flush_all()?;
         for w in 0..self.handles.len() {
             self.send(w, ToWorker::Barrier)?;
         }
@@ -396,6 +444,7 @@ impl ParallelCollector {
     ///
     /// Journal I/O, a dead worker, or a worker panic.
     pub fn finish(mut self) -> Result<Collector, CollectorError> {
+        self.flush_all()?;
         for w in 0..self.handles.len() {
             self.send(w, ToWorker::Shutdown)?;
         }
@@ -423,7 +472,7 @@ mod tests {
     use super::*;
     use crate::agent::Agent;
     use crate::journal::JournaledCollector;
-    use crate::wire::encode_frame;
+    use crate::wire::{encode_frame, Frame};
     use osprof_core::bucket::Resolution;
     use osprof_core::profile::ProfileSet;
     use std::sync::{Arc, Mutex};

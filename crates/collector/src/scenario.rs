@@ -281,7 +281,7 @@ pub fn attribution_fixture(kind: &str) -> Result<String, CollectorError> {
             let streams = cluster_streams(&ScenarioConfig::default());
             let mut col = Collector::new(CollectorConfig::default());
             replay_round_robin(&mut col, &streams);
-            out.push_str(&crate::attribution::render_block(col.verdicts()));
+            out.push_str(&crate::attribution::render_block(&col.verdicts()));
         }
         "ext-chaos" => {
             let timelines = cluster_timelines(&ScenarioConfig::default());
@@ -294,7 +294,7 @@ pub fn attribution_fixture(kind: &str) -> Result<String, CollectorError> {
             let streams = cluster_streams(&cfg);
             let mut col = Collector::new(CollectorConfig::default());
             replay_round_robin(&mut col, &streams);
-            out.push_str(&crate::attribution::render_block(col.verdicts()));
+            out.push_str(&crate::attribution::render_block(&col.verdicts()));
         }
         other => {
             return Err(CollectorError::Internal(format!(
@@ -450,7 +450,7 @@ impl ChaosEngine for SerialEngine {
 
     fn into_results(self) -> Result<(String, Vec<String>, String), CollectorError> {
         let jc = self.0.ok_or_else(engine_gone)?;
-        let attribution = crate::attribution::render_block(jc.collector().verdicts());
+        let attribution = crate::attribution::render_block(&jc.collector().verdicts());
         Ok((jc.report(), flagged_nodes(jc.collector()), attribution))
     }
 }
@@ -478,7 +478,7 @@ impl ChaosEngine for ParallelEngine {
 
     fn into_results(self) -> Result<(String, Vec<String>, String), CollectorError> {
         let col = self.0.finish()?;
-        let attribution = crate::attribution::render_block(col.verdicts());
+        let attribution = crate::attribution::render_block(&col.verdicts());
         Ok((col.report(), flagged_nodes(&col), attribution))
     }
 }

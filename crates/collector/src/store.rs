@@ -363,9 +363,17 @@ impl ShardedStore {
 
     fn node_mut(&mut self, node: &str) -> &mut NodeState {
         let shard = self.shard_of(node);
-        self.shards[shard]
-            .entry(node.to_string())
-            .or_insert_with(|| NodeState::new(node.to_string()))
+        // `entry()` would force `node.to_string()` for the key on every
+        // offer; the steady state is a hit, which must stay
+        // allocation-free, so probe first and pay the owned key only on
+        // first sighting.
+        if !self.shards[shard].contains_key(node) {
+            self.shards[shard].insert(node.to_string(), NodeState::new(node.to_string()));
+        }
+        self.shards[shard].get_mut(node).unwrap_or_else(|| {
+            // lint:allow(no-panic): the key was inserted by the contains_key probe just above, so this arm is unreachable
+            unreachable!("node state present after insert")
+        })
     }
 
     /// Registers a node (idempotent). Offers auto-register too; `hello`

@@ -272,8 +272,12 @@ impl<'a> Cursor<'a> {
         Ok(((u >> 1) as i128) ^ -((u & 1) as i128))
     }
 
-    /// Reads a length-prefixed UTF-8 string.
-    pub fn string(&mut self) -> Result<String, WireError> {
+    /// Reads a length-prefixed UTF-8 string as a borrowed slice of the
+    /// payload: the zero-copy twin of [`Cursor::string`], identical in
+    /// what it accepts and in the errors it reports, but it never
+    /// copies the bytes — the caller decides whether the string is
+    /// worth owning (see `crate::wire_view`).
+    pub fn str_ref(&mut self) -> Result<&'a str, WireError> {
         let len = self.usize()?;
         let end = self
             .pos
@@ -281,11 +285,52 @@ impl<'a> Cursor<'a> {
             .filter(|&e| e <= self.bytes.len())
             .ok_or_else(|| WireError::Corrupt("truncated string".into()))?;
         let s = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| WireError::Corrupt("string is not utf-8".into()))?
-            .to_string();
+            .map_err(|_| WireError::Corrupt("string is not utf-8".into()))?;
         self.pos = end;
         Ok(s)
     }
+
+    /// Reads a length-prefixed UTF-8 string into an owned `String`.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        Ok(self.str_ref()?.to_string())
+    }
+
+    /// Current read position (bytes consumed so far).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The full underlying payload this cursor reads from.
+    pub(crate) fn payload(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Repositions the cursor; positions past the end behave as a fully
+    /// consumed payload. Internal — used by the zero-copy validator to
+    /// hand hostile byte shapes to the allocating decoder and resume
+    /// where it stopped.
+    pub(crate) fn set_pos(&mut self, pos: usize) {
+        self.pos = pos.min(self.bytes.len());
+    }
+}
+
+/// Clips an input-derived label for embedding in an error payload.
+///
+/// Hostile frames can carry arbitrarily long operation names; error
+/// messages must not re-own unbounded attacker-controlled bytes just to
+/// describe a frame that is about to be dropped. 64 bytes is plenty to
+/// identify an operation in a report; the cut falls back to the nearest
+/// char boundary so the clip never splits a UTF-8 sequence.
+pub fn clip_label(s: &str) -> &str {
+    const MAX: usize = 64;
+    if s.len() <= MAX {
+        return s;
+    }
+    let mut end = MAX;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
 }
 
 // ---- profile set encoding ----------------------------------------------

@@ -1,0 +1,786 @@
+//! Zero-copy views over OSPW frames: decode without allocating.
+//!
+//! [`decode_frame_ref`] is the borrowed twin of
+//! [`crate::wire::decode_frame`]: it performs **exactly** the same
+//! validation — envelope, checksum, count guards, bucket ranges, and
+//! the `Profile::from_parts` invariants — and reports byte-identical
+//! errors, but the accepted frame is a [`FrameRef`] that borrows every
+//! string and bucket run straight from the input buffer. Nothing is
+//! owned until a consumer decides a piece is worth keeping: the lossy
+//! ingest path applies deltas in place (`delta::apply_ref_in_place`),
+//! interns node/layer ids once per distinct string
+//! (`crate::intern::Interner`), and materializes a `ProfileSet` only
+//! when a snapshot actually enters the store.
+//!
+//! The skip paths this buys back are exactly the hot ones: a stale or
+//! gapped frame, a corrupt delta, a pre-hello stray — all previously
+//! paid `Cursor::string()` allocations for names that were dropped a
+//! few lines later.
+//!
+//! Validation happens **entirely at decode time** so that corruption
+//! accounting is indistinguishable from the owned decoder's: a frame
+//! either fully validates here (and every later view operation on it is
+//! infallible in practice) or fails with the owned path's error. One
+//! escape hatch keeps hostile shapes honest: a `Full` frame whose
+//! bucket indexes are not strictly ascending (real encoders always
+//! ascend; only hand-crafted frames do not) is re-validated through the
+//! allocating [`crate::wire::get_profile_set`], because duplicate
+//! indexes make the final bucket sum — which `from_parts` bases its
+//! empty-profile normalization on — depend on last-write-wins
+//! semantics that a single streaming pass cannot reproduce. That path
+//! allocates, but only for frames no real agent emits, and its errors
+//! are the owned decoder's by construction.
+//!
+//! Equivalence is pinned three ways: unit tests here, the adversarial
+//! single-byte-mutation corpus shared with `wire.rs`, and the
+//! `tests/zerocopy.rs` property suite (borrowed ≡ owned on arbitrary
+//! valid frames and on every hostile fixture).
+
+use osprof_core::bucket::Resolution;
+use osprof_core::clock::Cycles;
+use osprof_core::error::CoreError;
+use osprof_core::profile::{Profile, ProfileSet};
+
+use crate::delta::{OpDelta, SetDelta};
+use crate::federation::MergedFrame;
+use crate::wire::{fnv64, get_profile_set, Cursor, Frame, WireError, MAX_FRAME_LEN};
+
+/// Frame type tags (mirrors `wire.rs`; the tag byte is format-stable).
+const T_HELLO: u8 = 1;
+const T_FULL: u8 = 2;
+const T_DELTA: u8 = 3;
+const T_BYE: u8 = 4;
+const T_RESYNC: u8 = 5;
+const T_MERGED: u8 = 6;
+
+/// One protocol frame, borrowing from the input buffer.
+///
+/// `Merged` is the exception: aggregator uplink frames are rare (one
+/// per tier flush, not one per snapshot) and their event batches are
+/// consumed by re-basing state machines that need owned data anyway,
+/// so they decode through the owned [`crate::federation::get_merged`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameRef<'a> {
+    /// Stream opening: who is sending and how it samples.
+    Hello {
+        /// Node label (unique per stream).
+        node: &'a str,
+        /// Instrumentation layer being streamed.
+        layer: &'a str,
+        /// Bucket resolution of every snapshot on this stream.
+        resolution: Resolution,
+        /// Snapshot interval in cycles.
+        interval: Cycles,
+    },
+    /// A complete cumulative snapshot.
+    Full {
+        /// Sequence number (starts at 0, increments by 1).
+        seq: u64,
+        /// Cycle timestamp of the interval boundary this snapshot covers.
+        at: Cycles,
+        /// The cumulative profile set as of `at`, as a validated view.
+        set: ProfileSetRef<'a>,
+    },
+    /// Changes relative to the previous snapshot on this stream.
+    Delta {
+        /// Sequence number (must be the previous frame's `seq + 1`).
+        seq: u64,
+        /// Cycle timestamp of the interval boundary.
+        at: Cycles,
+        /// The encoded changes, as a validated view.
+        delta: SetDeltaRef<'a>,
+    },
+    /// Clean end of stream.
+    Bye {
+        /// Sequence number after the last snapshot.
+        seq: u64,
+    },
+    /// A deliberate stream restart (see [`crate::wire::Frame::Resync`]).
+    Resync {
+        /// Monotonically increasing per-agent-lifetime resync epoch.
+        epoch: u64,
+        /// Sequence number of the upcoming fresh `Full` frame.
+        seq: u64,
+    },
+    /// One aggregator flush (owned; see the type-level docs).
+    Merged(MergedFrame),
+}
+
+impl FrameRef<'_> {
+    /// Materializes the owned [`Frame`] — the equivalence bridge used
+    /// by tests and by consumers that need to re-encode.
+    ///
+    /// # Errors
+    ///
+    /// Structurally unreachable on a value produced by
+    /// [`decode_frame_ref`] (validation already passed); the `Result`
+    /// exists because the view re-parses its byte regions.
+    pub fn to_frame(&self) -> Result<Frame, WireError> {
+        Ok(match self {
+            FrameRef::Hello { node, layer, resolution, interval } => Frame::Hello {
+                node: (*node).to_string(),
+                layer: (*layer).to_string(),
+                resolution: *resolution,
+                interval: *interval,
+            },
+            FrameRef::Full { seq, at, set } => {
+                Frame::Full { seq: *seq, at: *at, set: set.to_profile_set()? }
+            }
+            FrameRef::Delta { seq, at, delta } => {
+                Frame::Delta { seq: *seq, at: *at, delta: delta.to_set_delta()? }
+            }
+            FrameRef::Bye { seq } => Frame::Bye { seq: *seq },
+            FrameRef::Resync { epoch, seq } => Frame::Resync { epoch: *epoch, seq: *seq },
+            FrameRef::Merged(mf) => Frame::Merged(mf.clone()),
+        })
+    }
+}
+
+/// A validated, borrowed view of an encoded `ProfileSet`.
+///
+/// Holds the byte region of the operation records plus the decoded
+/// header; iteration re-parses the (already validated) bytes without
+/// allocating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSetRef<'a> {
+    layer: &'a str,
+    resolution: Resolution,
+    n_ops: usize,
+    ops_bytes: &'a [u8],
+}
+
+impl<'a> ProfileSetRef<'a> {
+    /// The layer label.
+    pub fn layer(&self) -> &'a str {
+        self.layer
+    }
+
+    /// Bucket resolution of every profile in the set.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Number of encoded operations (duplicates counted as encoded).
+    pub fn len(&self) -> usize {
+        self.n_ops
+    }
+
+    /// True when the set encodes no operations.
+    pub fn is_empty(&self) -> bool {
+        self.n_ops == 0
+    }
+
+    /// Iterates the encoded operations in wire order.
+    pub fn ops(&self) -> OpsRefIter<'a> {
+        OpsRefIter { c: Cursor::new(self.ops_bytes), left: self.n_ops }
+    }
+
+    /// Materializes the owned `ProfileSet`, with the owned decoder's
+    /// semantics (duplicate op names and bucket indexes: last wins).
+    ///
+    /// # Errors
+    ///
+    /// Structurally unreachable on a validated view; see
+    /// [`FrameRef::to_frame`].
+    pub fn to_profile_set(&self) -> Result<ProfileSet, WireError> {
+        let r = self.resolution;
+        let mut set = ProfileSet::with_resolution(self.layer, r);
+        let mut c = Cursor::new(self.ops_bytes);
+        for _ in 0..self.n_ops {
+            let name = c.str_ref()?;
+            let nonzero = c.count("bucket", 2)?;
+            let mut buckets = vec![0u64; r.bucket_count()];
+            for _ in 0..nonzero {
+                let b = c.usize()?;
+                let n = c.u64()?;
+                *buckets.get_mut(b).ok_or_else(|| {
+                    WireError::Corrupt(format!("bucket {b} out of range for r={}", r.get()))
+                })? = n;
+            }
+            let total_latency = c.uvarint()?;
+            let min = c.u64()?;
+            let max = c.u64()?;
+            set.insert(Profile::from_parts(name, r, buckets, total_latency, min, max)?);
+        }
+        Ok(set)
+    }
+}
+
+/// One operation inside a [`ProfileSetRef`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRef<'a> {
+    /// Operation name, borrowed from the frame.
+    pub name: &'a str,
+    /// Exact total latency in cycles.
+    pub total_latency: u128,
+    /// Raw min-latency sentinel (`u64::MAX` when empty).
+    pub min: u64,
+    /// Raw max-latency sentinel (`0` when empty).
+    pub max: u64,
+    n_pairs: usize,
+    pairs_bytes: &'a [u8],
+}
+
+impl<'a> OpRef<'a> {
+    /// Iterates the sparse `(bucket, count)` pairs in wire order.
+    pub fn pairs(&self) -> PairsRefIter<'a> {
+        PairsRefIter { c: Cursor::new(self.pairs_bytes), left: self.n_pairs }
+    }
+}
+
+/// Iterator over [`OpRef`]s; parse failures end iteration (they are
+/// unreachable on a validated view, and ending early is the panic-free
+/// way to say so).
+pub struct OpsRefIter<'a> {
+    c: Cursor<'a>,
+    left: usize,
+}
+
+impl<'a> Iterator for OpsRefIter<'a> {
+    type Item = OpRef<'a>;
+
+    fn next(&mut self) -> Option<OpRef<'a>> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        let name = self.c.str_ref().ok()?;
+        let n_pairs = self.c.count("bucket", 2).ok()?;
+        let pairs_start = self.c.pos();
+        for _ in 0..n_pairs {
+            self.c.usize().ok()?;
+            self.c.u64().ok()?;
+        }
+        let pairs_bytes = self.c.payload().get(pairs_start..self.c.pos())?;
+        let total_latency = self.c.uvarint().ok()?;
+        let min = self.c.u64().ok()?;
+        let max = self.c.u64().ok()?;
+        Some(OpRef { name, total_latency, min, max, n_pairs, pairs_bytes })
+    }
+}
+
+/// Iterator over the `(bucket, count)` pairs of one [`OpRef`].
+pub struct PairsRefIter<'a> {
+    c: Cursor<'a>,
+    left: usize,
+}
+
+impl Iterator for PairsRefIter<'_> {
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<(usize, u64)> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        let b = self.c.usize().ok()?;
+        let n = self.c.u64().ok()?;
+        Some((b, n))
+    }
+}
+
+/// A validated, borrowed view of an encoded `SetDelta`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetDeltaRef<'a> {
+    n_ops: usize,
+    ops_bytes: &'a [u8],
+    n_removed: usize,
+    removed_bytes: &'a [u8],
+}
+
+impl<'a> SetDeltaRef<'a> {
+    /// Iterates the per-operation deltas in wire order.
+    pub fn ops(&self) -> DeltaOpsRefIter<'a> {
+        DeltaOpsRefIter { c: Cursor::new(self.ops_bytes), left: self.n_ops }
+    }
+
+    /// Iterates the removed operation names in wire order.
+    pub fn removed(&self) -> RemovedRefIter<'a> {
+        RemovedRefIter { c: Cursor::new(self.removed_bytes), left: self.n_removed }
+    }
+
+    /// True when the delta removes no operations.
+    pub fn removed_is_empty(&self) -> bool {
+        self.n_removed == 0
+    }
+
+    /// Materializes the owned [`SetDelta`].
+    ///
+    /// # Errors
+    ///
+    /// Structurally unreachable on a validated view; see
+    /// [`FrameRef::to_frame`].
+    pub fn to_set_delta(&self) -> Result<SetDelta, WireError> {
+        let mut ops = Vec::with_capacity(self.n_ops.min(1024));
+        let mut c = Cursor::new(self.ops_bytes);
+        for _ in 0..self.n_ops {
+            let name = c.string()?;
+            let nbuckets = c.count("delta bucket", 2)?;
+            let mut buckets = Vec::with_capacity(nbuckets.min(1024));
+            for _ in 0..nbuckets {
+                let b = c.usize()?;
+                let dn = i64::try_from(c.svarint()?)
+                    .map_err(|_| WireError::Corrupt("bucket delta overflows i64".into()))?;
+                buckets.push((b, dn));
+            }
+            let d_latency = c.svarint()?;
+            let min = c.u64()?;
+            let max = c.u64()?;
+            ops.push(OpDelta { name, buckets, d_latency, min, max });
+        }
+        let mut removed = Vec::with_capacity(self.n_removed.min(1024));
+        let mut c = Cursor::new(self.removed_bytes);
+        for _ in 0..self.n_removed {
+            removed.push(c.string()?);
+        }
+        Ok(SetDelta { ops, removed })
+    }
+}
+
+/// One operation's delta inside a [`SetDeltaRef`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpDeltaRef<'a> {
+    /// Operation name, borrowed from the frame.
+    pub name: &'a str,
+    /// Change of `total_latency`.
+    pub d_latency: i128,
+    /// New `min_latency` (raw sentinel `u64::MAX` when empty).
+    pub min: u64,
+    /// New `max_latency` (raw sentinel `0` when empty).
+    pub max: u64,
+    n_pairs: usize,
+    pairs_bytes: &'a [u8],
+}
+
+impl<'a> OpDeltaRef<'a> {
+    /// Iterates the signed `(bucket, ±n)` pairs in wire order.
+    pub fn pairs(&self) -> DeltaPairsRefIter<'a> {
+        DeltaPairsRefIter { c: Cursor::new(self.pairs_bytes), left: self.n_pairs }
+    }
+}
+
+/// Iterator over [`OpDeltaRef`]s; parse failures end iteration.
+pub struct DeltaOpsRefIter<'a> {
+    c: Cursor<'a>,
+    left: usize,
+}
+
+impl<'a> Iterator for DeltaOpsRefIter<'a> {
+    type Item = OpDeltaRef<'a>;
+
+    fn next(&mut self) -> Option<OpDeltaRef<'a>> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        let name = self.c.str_ref().ok()?;
+        let n_pairs = self.c.count("delta bucket", 2).ok()?;
+        let pairs_start = self.c.pos();
+        for _ in 0..n_pairs {
+            self.c.usize().ok()?;
+            self.c.svarint().ok()?;
+        }
+        let pairs_bytes = self.c.payload().get(pairs_start..self.c.pos())?;
+        let d_latency = self.c.svarint().ok()?;
+        let min = self.c.u64().ok()?;
+        let max = self.c.u64().ok()?;
+        Some(OpDeltaRef { name, d_latency, min, max, n_pairs, pairs_bytes })
+    }
+}
+
+/// Iterator over the signed pairs of one [`OpDeltaRef`].
+pub struct DeltaPairsRefIter<'a> {
+    c: Cursor<'a>,
+    left: usize,
+}
+
+impl Iterator for DeltaPairsRefIter<'_> {
+    type Item = (usize, i64);
+
+    fn next(&mut self) -> Option<(usize, i64)> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        let b = self.c.usize().ok()?;
+        let dn = i64::try_from(self.c.svarint().ok()?).ok()?;
+        Some((b, dn))
+    }
+}
+
+/// Iterator over removed operation names.
+pub struct RemovedRefIter<'a> {
+    c: Cursor<'a>,
+    left: usize,
+}
+
+impl<'a> Iterator for RemovedRefIter<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        self.c.str_ref().ok()
+    }
+}
+
+/// Parses one frame from a payload-complete byte slice without
+/// allocating, returning the borrowed frame and the number of bytes
+/// consumed — the zero-copy twin of [`crate::wire::decode_frame`].
+///
+/// # Errors
+///
+/// Byte-identical to [`crate::wire::decode_frame`]'s on the same
+/// input: same variants, same messages, failing at the same field.
+pub fn decode_frame_ref(bytes: &[u8]) -> Result<(FrameRef<'_>, usize), WireError> {
+    let mut c = Cursor::new(bytes);
+    let ty = c.byte()?;
+    let len = c.usize()?;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Corrupt(format!("declared frame length {len} exceeds maximum")));
+    }
+    let start = c.pos();
+    let end = start
+        .checked_add(len)
+        .filter(|&e| e + 8 <= bytes.len())
+        .ok_or_else(|| WireError::Corrupt("truncated frame".into()))?;
+    let payload = bytes
+        .get(start..end)
+        .ok_or_else(|| WireError::Corrupt("truncated frame".into()))?;
+    let sum_bytes: [u8; 8] = bytes
+        .get(end..end + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| WireError::Corrupt("truncated frame checksum".into()))?;
+    if fnv64(payload) != u64::from_le_bytes(sum_bytes) {
+        return Err(WireError::Corrupt("frame checksum mismatch".into()));
+    }
+    let frame = decode_payload_ref(ty, payload)?;
+    Ok((frame, end + 8))
+}
+
+fn decode_payload_ref(ty: u8, payload: &[u8]) -> Result<FrameRef<'_>, WireError> {
+    let mut c = Cursor::new(payload);
+    let frame = match ty {
+        T_HELLO => {
+            let node = c.str_ref()?;
+            let layer = c.str_ref()?;
+            let r_raw = c.byte()?;
+            let resolution = Resolution::new(r_raw)
+                .ok_or_else(|| WireError::Corrupt(format!("unsupported resolution {r_raw}")))?;
+            let interval = c.u64()?;
+            FrameRef::Hello { node, layer, resolution, interval }
+        }
+        T_FULL => {
+            let seq = c.u64()?;
+            let at = c.u64()?;
+            let set = validate_profile_set_ref(&mut c)?;
+            FrameRef::Full { seq, at, set }
+        }
+        T_DELTA => {
+            let seq = c.u64()?;
+            let at = c.u64()?;
+            let delta = validate_set_delta_ref(&mut c)?;
+            FrameRef::Delta { seq, at, delta }
+        }
+        T_BYE => FrameRef::Bye { seq: c.u64()? },
+        T_RESYNC => {
+            let epoch = c.u64()?;
+            let seq = c.u64()?;
+            FrameRef::Resync { epoch, seq }
+        }
+        T_MERGED => FrameRef::Merged(crate::federation::get_merged(&mut c)?),
+        other => return Err(WireError::Corrupt(format!("unknown frame type {other}"))),
+    };
+    if !c.is_done() {
+        return Err(WireError::Corrupt("trailing bytes in frame payload".into()));
+    }
+    Ok(frame)
+}
+
+/// Validates an encoded `ProfileSet` in one streaming pass, mirroring
+/// [`get_profile_set`] + `Profile::from_parts` error for error.
+///
+/// The bucket sum that `from_parts` derives `total_ops` from is
+/// tracked with wrapping arithmetic (release-mode behavior for hostile
+/// counts that sum past `u64::MAX`); frames whose bucket indexes are
+/// not strictly ascending are handed to the allocating decoder, whose
+/// last-write-wins final state a single pass cannot reproduce.
+fn validate_profile_set_ref<'a>(c: &mut Cursor<'a>) -> Result<ProfileSetRef<'a>, WireError> {
+    let layer = c.str_ref()?;
+    let r_raw = c.byte()?;
+    let r = Resolution::new(r_raw)
+        .ok_or_else(|| WireError::Corrupt(format!("unsupported resolution {r_raw}")))?;
+    let set_start = c.pos() - layer.len() - layer_prefix_len(layer) - 1;
+    let nops = c.count("operation", 5)?;
+    let ops_start = c.pos();
+    for _ in 0..nops {
+        let _name = c.str_ref()?;
+        let nonzero = c.count("bucket", 2)?;
+        let mut prev_b: Option<usize> = None;
+        let mut sum: u64 = 0;
+        for _ in 0..nonzero {
+            let b = c.usize()?;
+            let n = c.u64()?;
+            if b >= r.bucket_count() {
+                return Err(WireError::Corrupt(format!("bucket {b} out of range for r={r_raw}")));
+            }
+            if prev_b.is_some_and(|p| b <= p) {
+                // Duplicate or unsorted indexes: last-write-wins — the
+                // owned decoder is the semantics. Re-validate the whole
+                // set through it, then resume past what it consumed.
+                let mut c2 = Cursor::new(c.payload());
+                c2.set_pos(set_start);
+                get_profile_set(&mut c2)?;
+                let ops_bytes = c
+                    .payload()
+                    .get(ops_start..c2.pos())
+                    .ok_or_else(|| WireError::Corrupt("truncated payload".into()))?;
+                c.set_pos(c2.pos());
+                return Ok(ProfileSetRef { layer, resolution: r, n_ops: nops, ops_bytes });
+            }
+            prev_b = Some(b);
+            sum = sum.wrapping_add(n);
+        }
+        let _total_latency = c.uvarint()?;
+        let min = c.u64()?;
+        let max = c.u64()?;
+        if sum != 0 && min > max {
+            return Err(WireError::Core(CoreError::Parse {
+                line: 0,
+                message: format!("min latency {min} exceeds max latency {max}"),
+            }));
+        }
+    }
+    let ops_bytes = c
+        .payload()
+        .get(ops_start..c.pos())
+        .ok_or_else(|| WireError::Corrupt("truncated payload".into()))?;
+    Ok(ProfileSetRef { layer, resolution: r, n_ops: nops, ops_bytes })
+}
+
+/// Length of the uvarint that prefixes a decoded string of this size —
+/// lets the validator recover the set's start offset without carrying
+/// it through the cursor API.
+fn layer_prefix_len(s: &str) -> usize {
+    let mut len = s.len() as u128;
+    let mut n = 1;
+    while len >= 0x80 {
+        len >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Validates an encoded `SetDelta` in one streaming pass, mirroring
+/// [`crate::delta::get_set_delta`] error for error. Purely structural:
+/// like the owned decoder, bucket ranges and arithmetic are validated
+/// at apply time, when the base (and its resolution) is known.
+fn validate_set_delta_ref<'a>(c: &mut Cursor<'a>) -> Result<SetDeltaRef<'a>, WireError> {
+    let nops = c.count("delta operation", 5)?;
+    let ops_start = c.pos();
+    for _ in 0..nops {
+        let _name = c.str_ref()?;
+        let nbuckets = c.count("delta bucket", 2)?;
+        for _ in 0..nbuckets {
+            let _b = c.usize()?;
+            i64::try_from(c.svarint()?)
+                .map_err(|_| WireError::Corrupt("bucket delta overflows i64".into()))?;
+        }
+        let _d_latency = c.svarint()?;
+        let _min = c.u64()?;
+        let _max = c.u64()?;
+    }
+    let ops_bytes = c
+        .payload()
+        .get(ops_start..c.pos())
+        .ok_or_else(|| WireError::Corrupt("truncated payload".into()))?;
+    let nremoved = c.count("removed operation", 1)?;
+    let removed_start = c.pos();
+    for _ in 0..nremoved {
+        let _name = c.str_ref()?;
+    }
+    let removed_bytes = c
+        .payload()
+        .get(removed_start..c.pos())
+        .ok_or_else(|| WireError::Corrupt("truncated payload".into()))?;
+    Ok(SetDeltaRef { n_ops: nops, ops_bytes, n_removed: nremoved, removed_bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::{apply, apply_ref_in_place, diff};
+    use crate::wire::{decode_frame, encode_frame, put_string, put_uvarint};
+
+    fn sample_set() -> ProfileSet {
+        let mut s = ProfileSet::new("file-system");
+        for (op, lat, n) in [("read", 1u64 << 10, 40u64), ("write", 1 << 14, 9), ("fsync", 1 << 20, 2)]
+        {
+            s.entry(op).record_n(lat, n);
+        }
+        s.entry("noop"); // an empty profile exercises the sentinels
+        s
+    }
+
+    fn frames() -> Vec<Frame> {
+        let a = sample_set();
+        let mut b = a.clone();
+        b.record("read", 1 << 22);
+        b.record("mmap", 1 << 9);
+        vec![
+            Frame::Hello {
+                node: "node-0".into(),
+                layer: "file-system".into(),
+                resolution: Resolution::new(1).expect("r1 valid"),
+                interval: 1_000_000,
+            },
+            Frame::Full { seq: 0, at: 1_000_000, set: a.clone() },
+            Frame::Delta { seq: 1, at: 2_000_000, delta: diff(&a, &b) },
+            Frame::Delta { seq: 2, at: 3_000_000, delta: diff(&b, &a) },
+            Frame::Bye { seq: 3 },
+            Frame::Resync { epoch: 1, seq: 4 },
+        ]
+    }
+
+    #[test]
+    fn borrowed_decode_equals_owned_on_valid_frames() {
+        for f in frames() {
+            let bytes = encode_frame(&f);
+            let (owned, n_owned) = decode_frame(&bytes).expect("owned decodes");
+            let (view, n_view) = decode_frame_ref(&bytes).expect("view decodes");
+            assert_eq!(n_owned, n_view);
+            assert_eq!(view.to_frame().expect("materializes"), owned);
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_equals_owned_on_single_byte_mutations() {
+        // The same adversarial corpus wire.rs uses: every single-byte
+        // mutation of a valid Full frame must produce the same outcome
+        // through both decoders — same frame, or same error message.
+        let bytes = encode_frame(&Frame::Full { seq: 7, at: 42, set: sample_set() });
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut m = bytes.clone();
+                m[i] ^= flip;
+                let owned = decode_frame(&m);
+                let view = decode_frame_ref(&m);
+                match (owned, view) {
+                    (Ok((of, on)), Ok((vf, vn))) => {
+                        assert_eq!(on, vn, "consumed bytes differ at mutation {i}/{flip:#x}");
+                        assert_eq!(vf.to_frame().expect("materializes"), of);
+                    }
+                    (Err(oe), Err(ve)) => {
+                        assert_eq!(oe.to_string(), ve.to_string(), "mutation {i}/{flip:#x}");
+                    }
+                    (o, v) => {
+                        panic!("decoders disagree at mutation {i}/{flip:#x}: {o:?} vs {v:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_duplicate_bucket_indexes_match_owned_semantics() {
+        // Hand-craft a Full payload with duplicate bucket indexes: the
+        // last write must win, exactly like the owned decoder — and an
+        // empty-by-overwrite profile must normalize, not error.
+        let r = Resolution::new(1).expect("r1 valid");
+        let mut payload = Vec::new();
+        put_uvarint(&mut payload, 7); // seq
+        put_uvarint(&mut payload, 9); // at
+        put_string(&mut payload, "fs");
+        payload.push(r.get());
+        put_uvarint(&mut payload, 1); // one op
+        put_string(&mut payload, "read");
+        put_uvarint(&mut payload, 2); // two pairs, same index
+        for pair in [(5u128, 100u128), (5, 0)] {
+            put_uvarint(&mut payload, pair.0);
+            put_uvarint(&mut payload, pair.1);
+        }
+        put_uvarint(&mut payload, 0); // total latency
+        put_uvarint(&mut payload, u64::MAX as u128); // min sentinel
+        put_uvarint(&mut payload, 7); // max < min: only an error if non-empty
+        let mut bytes = vec![2u8]; // T_FULL
+        put_uvarint(&mut bytes, payload.len() as u128);
+        let sum = fnv64(&payload);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+
+        let (owned, _) = decode_frame(&bytes).expect("owned accepts: final bucket sum is 0");
+        let (view, _) = decode_frame_ref(&bytes).expect("view must match");
+        assert_eq!(view.to_frame().expect("materializes"), owned);
+        let Frame::Full { set, .. } = owned else { panic!("full frame expected") };
+        assert_eq!(set.get("read").map(|p| p.total_ops()), Some(0));
+    }
+
+    #[test]
+    fn in_place_delta_apply_matches_owned_apply() {
+        let a = sample_set();
+        let mut b = a.clone();
+        b.record("read", 1 << 18);
+        b.record("statfs", 1 << 6);
+        let d = diff(&a, &b);
+        let bytes = encode_frame(&Frame::Delta { seq: 1, at: 2, delta: d.clone() });
+        let (view, _) = decode_frame_ref(&bytes).expect("view decodes");
+        let FrameRef::Delta { delta: dref, .. } = view else { panic!("delta expected") };
+        let owned_out = apply(&a, &d).expect("owned applies");
+        let mut in_place = a.clone();
+        apply_ref_in_place(&mut in_place, &dref).expect("in-place applies");
+        assert_eq!(in_place, owned_out);
+        assert_eq!(in_place, b);
+    }
+
+    #[test]
+    fn in_place_delta_apply_falls_back_on_removals() {
+        let a = sample_set();
+        let b = {
+            let mut b = ProfileSet::new("file-system");
+            b.entry("read").record_n(1 << 10, 40);
+            b
+        };
+        let d = diff(&a, &b); // removes write/fsync/noop
+        assert!(!d.removed.is_empty());
+        let bytes = encode_frame(&Frame::Delta { seq: 1, at: 2, delta: d.clone() });
+        let (view, _) = decode_frame_ref(&bytes).expect("view decodes");
+        let FrameRef::Delta { delta: dref, .. } = view else { panic!("delta expected") };
+        let mut in_place = a.clone();
+        apply_ref_in_place(&mut in_place, &dref).expect("fallback applies");
+        assert_eq!(in_place, apply(&a, &d).expect("owned applies"));
+        assert_eq!(in_place, b);
+    }
+
+    #[test]
+    fn in_place_delta_apply_reports_owned_errors() {
+        // A negative-going delta against an empty base: both paths must
+        // produce the identical wire error.
+        let a = sample_set();
+        let empty = ProfileSet::new("file-system");
+        let shrink = diff(&a, &empty); // would remove every op
+        let grow_then_shrink = diff(&empty, &a);
+        let _ = grow_then_shrink;
+        let bytes = encode_frame(&Frame::Delta { seq: 1, at: 2, delta: shrink.clone() });
+        let (view, _) = decode_frame_ref(&bytes).expect("view decodes");
+        let FrameRef::Delta { delta: dref, .. } = view else { panic!("delta expected") };
+        let owned_err = apply(&empty, &shrink).expect_err("owned rejects").to_string();
+        let mut in_place = empty.clone();
+        let view_err = apply_ref_in_place(&mut in_place, &dref).expect_err("view rejects");
+        assert_eq!(view_err.to_string(), owned_err);
+    }
+
+    #[test]
+    fn clip_label_bounds_error_payloads() {
+        use crate::wire::clip_label;
+        assert_eq!(clip_label("read"), "read");
+        let long = "x".repeat(500);
+        assert_eq!(clip_label(&long).len(), 64);
+        // Multi-byte boundary: never split a UTF-8 sequence.
+        let accented = "é".repeat(200);
+        let clipped = clip_label(&accented);
+        assert!(clipped.len() <= 64);
+        assert!(std::str::from_utf8(clipped.as_bytes()).is_ok());
+    }
+}

@@ -254,6 +254,48 @@ impl Profile {
         Ok(())
     }
 
+    /// In-place checked bucket adjustment for wire-delta application:
+    /// adds signed `delta` to bucket `b` and keeps the stored checksum
+    /// (`total_ops`) equal to the bucket sum. Returns `false` — leaving
+    /// the bucket untouched — when `b` is out of range or the count
+    /// would leave the `u64` range; the caller maps that to the same
+    /// typed wire error the allocating delta path produces.
+    ///
+    /// `total_ops` is tracked with wrapping arithmetic so a hostile
+    /// profile whose counts sum past `u64::MAX` matches what
+    /// [`Profile::from_parts`] computes for the equivalent rebuilt
+    /// bucket vector in release builds.
+    pub fn apply_bucket_delta(&mut self, b: usize, delta: i64) -> bool {
+        let Some(slot) = self.buckets.get_mut(b) else { return false };
+        let Some(next) = slot.checked_add_signed(delta) else { return false };
+        self.total_ops = self.total_ops.wrapping_sub(*slot).wrapping_add(next);
+        *slot = next;
+        true
+    }
+
+    /// Finalizes in-place wire-delta application: installs the new
+    /// total latency and min/max extremes with the same empty-profile
+    /// normalization as [`Profile::from_parts`] (all-zero buckets force
+    /// the sentinels and a zero latency, silently). Returns `false`
+    /// when a non-empty profile's `min` exceeds `max` — the caller maps
+    /// that to the `from_parts` parse error; the profile is left with
+    /// its previous latency fields, which lossy callers discard anyway.
+    pub fn set_wire_totals(&mut self, total_latency: u128, min: Cycles, max: Cycles) -> bool {
+        if self.total_ops == 0 {
+            self.total_latency = 0;
+            self.min_latency = u64::MAX;
+            self.max_latency = 0;
+            return true;
+        }
+        if min > max {
+            return false;
+        }
+        self.total_latency = total_latency;
+        self.min_latency = min;
+        self.max_latency = max;
+        true
+    }
+
     /// Returns the bucket counts normalized to sum to 1.0.
     ///
     /// Used by histogram-comparison metrics (e.g. the Earth Mover's
@@ -336,6 +378,14 @@ impl ProfileSet {
     /// Returns the profile for `op`, if any.
     pub fn get(&self, op: &str) -> Option<&Profile> {
         self.profiles.get(op)
+    }
+
+    /// Returns a mutable handle on the profile for `op`, if any.
+    ///
+    /// The zero-copy delta path mutates base profiles in place instead
+    /// of rebuilding the set per frame; see `collector::delta`.
+    pub fn get_mut(&mut self, op: &str) -> Option<&mut Profile> {
+        self.profiles.get_mut(op)
     }
 
     /// Iterates over `(operation, profile)` pairs in name order.

@@ -314,7 +314,7 @@ impl Tree {
             self.root.anomalies().iter().map(|a| a.node.clone()).collect();
         flagged.sort();
         flagged.dedup();
-        let attribution = render_block(self.root.verdicts());
+        let attribution = render_block(&self.root.verdicts());
         (self.root.report(), self.root.report_json().pretty(), flagged, attribution)
     }
 }

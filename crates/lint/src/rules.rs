@@ -478,6 +478,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_copy_decode_modules_are_fully_in_scope() {
+        // The zero-copy ingest path — the borrowed wire views and the
+        // node-id intern table — lives under crates/collector/src/ and
+        // inherits every collector-grade rule: its bounds arithmetic
+        // must not panic, its symbol tables must iterate in a
+        // deterministic order (they resolve into report bytes), and
+        // nothing in it may read a wall clock.
+        let panic_src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(diags("crates/collector/src/wire_view.rs", panic_src, false).len(), 1);
+        assert_eq!(diags("crates/collector/src/intern.rs", panic_src, false).len(), 1);
+        let map_src = "fn f() { let m: HashMap<u64, u64> = make(); }\n";
+        assert_eq!(diags("crates/collector/src/wire_view.rs", map_src, false).len(), 1);
+        assert_eq!(diags("crates/collector/src/intern.rs", map_src, false).len(), 1);
+        let clock_src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(diags("crates/collector/src/wire_view.rs", clock_src, false).len(), 1);
+    }
+
+    #[test]
     fn wallclock_allowlist_holds() {
         let src = "fn f() { let t = Instant::now(); }\n";
         assert!(diags("crates/host/src/tsc.rs", src, false).is_empty());

@@ -1,0 +1,18 @@
+// Known-bad fixture: the violations a zero-copy wire-view decoder is
+// most likely to grow — panicking bounds arithmetic on borrowed
+// payload slices, an intern table in a HashMap (symbol order leaks
+// into rendered reports), and a wall-clock stamp on decode errors.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn decode<'a>(payload: &'a [u8], interned: &HashMap<u32, String>) -> &'a str {
+    let started = Instant::now();
+    let len = usize::try_from(payload[0]).unwrap();
+    let s = std::str::from_utf8(&payload[1..1 + len]).expect("valid frame");
+    if s.is_empty() {
+        panic!("empty node id after {started:?}");
+    }
+    let _ = interned;
+    s
+}

@@ -155,6 +155,40 @@ fn bad_overload_fixture_trips_every_resource_rule() {
 }
 
 #[test]
+fn bad_wireview_fixture_trips_every_decode_rule() {
+    // The violations a zero-copy wire-view decoder is most likely to
+    // grow, all in one file: panicking bounds arithmetic on borrowed
+    // payload slices, an intern table in a `HashMap` (symbol order
+    // leaks into rendered reports), and a wall-clock stamp on decode
+    // errors. The real module (`wire_view.rs`) lives under
+    // `crates/collector/src/` and inherits the same rules via `Scope`
+    // in `rules.rs`.
+    assert_eq!(
+        rendered(&["tests/fixtures/bad_wireview.rs"]),
+        [
+            "tests/fixtures/bad_wireview.rs:6:23: error[no-unordered-iter]: `HashMap` in an \
+             output-producing file: iteration order is seeded per process and leaks into \
+             bytes; use `BTreeMap` or sort before emitting",
+            "tests/fixtures/bad_wireview.rs:9:45: error[no-unordered-iter]: `HashMap` in an \
+             output-producing file: iteration order is seeded per process and leaks into \
+             bytes; use `BTreeMap` or sort before emitting",
+            "tests/fixtures/bad_wireview.rs:10:19: error[no-wallclock]: `Instant::now` outside \
+             the timing allowlist breaks replay determinism; take time as an input, or move \
+             the code under crates/host or crates/bench",
+            "tests/fixtures/bad_wireview.rs:11:42: error[no-panic]: `unwrap()` in production \
+             code; return a typed error or add `// lint:allow(no-panic): <why this cannot \
+             fail>`",
+            "tests/fixtures/bad_wireview.rs:12:54: error[no-panic]: `expect()` in production \
+             code; return a typed error or add `// lint:allow(no-panic): <why this cannot \
+             fail>`",
+            "tests/fixtures/bad_wireview.rs:14:9: error[no-panic]: `panic!` in production \
+             code; return a typed error or add `// lint:allow(no-panic): <why this cannot \
+             fail>`",
+        ]
+    );
+}
+
+#[test]
 fn bad_suppression_fixture_yields_all_four_hygiene_errors() {
     assert_eq!(
         rendered(&["tests/fixtures/bad_suppression.rs"]),

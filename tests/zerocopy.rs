@@ -1,0 +1,323 @@
+//! Zero-copy decode equivalence: the borrowed [`wire_view`] decoder
+//! must be observationally identical to the owned [`wire`] decoder on
+//! *every* input — valid frames, truncations, bit flips, adversarial
+//! garbage, and the checked-in hostile fixtures — and a collector fed
+//! through the zero-copy byte path must produce byte-identical reports
+//! to one fed owned frames.
+//!
+//! The pairing is the whole safety argument for the zero-copy ingest
+//! hot path: `Collector::ingest_bytes` decodes with `wire_view` only,
+//! so any divergence between the two decoders (a frame accepted by
+//! one, an error string differing, a different number of bytes
+//! consumed) would silently fork serial and recovered-replay behavior.
+
+use std::path::PathBuf;
+
+use osprof::collector::agent::Encoder;
+use osprof::collector::daemon::{Collector, CollectorConfig};
+use osprof::collector::fault::{Delivery, FaultInjector, FaultPlan};
+use osprof::collector::wire::{self, encode_frame, fnv64, put_uvarint, Frame};
+use osprof::collector::wire_view;
+use osprof_core::bucket::Resolution;
+use osprof_core::profile::ProfileSet;
+use osprof_core::proptest::prelude::*;
+
+/// Compares the owned and borrowed decoders on one byte string:
+/// both must consume the same length and yield the same frame, or
+/// both must fail with the same error.
+fn decoders_agree(bytes: &[u8]) -> Result<(), String> {
+    let owned = wire::decode_frame(bytes);
+    let view = wire_view::decode_frame_ref(bytes);
+    match (owned, view) {
+        (Ok((frame, n)), Ok((frame_ref, m))) => {
+            if n != m {
+                return Err(format!("consumed {n} (owned) vs {m} (borrowed)"));
+            }
+            let materialized = frame_ref
+                .to_frame()
+                .map_err(|e| format!("validated view failed to materialize: {e:?}"))?;
+            if materialized != frame {
+                return Err(format!("frames differ: {frame:?} vs {materialized:?}"));
+            }
+            Ok(())
+        }
+        (Err(a), Err(b)) => {
+            let (a, b) = (format!("{a:?}"), format!("{b:?}"));
+            if a != b {
+                return Err(format!("errors differ: owned {a} vs borrowed {b}"));
+            }
+            Ok(())
+        }
+        (Ok((frame, _)), Err(e)) => Err(format!("owned ok ({frame:?}), borrowed err ({e:?})")),
+        (Err(e), Ok(_)) => Err(format!("owned err ({e:?}), borrowed ok")),
+    }
+}
+
+fn assert_agree(bytes: &[u8], what: &str) {
+    if let Err(why) = decoders_agree(bytes) {
+        panic!("decoder divergence on {what}: {why}\nbytes: {bytes:02x?}");
+    }
+}
+
+fn sample_set() -> ProfileSet {
+    let mut set = ProfileSet::new("file-system");
+    for l in [900u64, 1_100, 65_000, u64::MAX] {
+        set.record("read", l);
+    }
+    set.record("readdir", 80);
+    set
+}
+
+/// Representative valid frames of every type, including a delta.
+fn valid_frames() -> Vec<Vec<u8>> {
+    let mut enc = Encoder::new(4);
+    let mut out = vec![
+        encode_frame(&Frame::Hello {
+            node: "zc-node".into(),
+            layer: "file-system".into(),
+            resolution: Resolution::R1,
+            interval: 1_000_000,
+        }),
+        encode_frame(&Frame::Full { seq: 1, at: 2, set: sample_set() }),
+        encode_frame(&Frame::Full { seq: 0, at: 0, set: ProfileSet::new("empty") }),
+        encode_frame(&Frame::Resync { epoch: 3, seq: 9 }),
+        encode_frame(&Frame::Bye { seq: 24 }),
+    ];
+    // A genuine delta frame (seq 1 after the encoder's full at seq 0).
+    let mut set = sample_set();
+    let _ = encode_frame(&enc.encode(0, 100, &set));
+    set.record("write", 4_000);
+    out.push(encode_frame(&enc.encode(1, 200, &set)));
+    out
+}
+
+fn envelope(ty: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = vec![ty];
+    put_uvarint(&mut out, payload.len() as u128);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out
+}
+
+#[test]
+fn decoders_agree_on_valid_frames_truncations_and_bit_flips() {
+    for valid in valid_frames() {
+        assert_agree(&valid, "a valid frame");
+        // Every truncation: both sides must report the same clean
+        // truncation/corruption error.
+        for cut in 0..valid.len() {
+            assert_agree(&valid[..cut], "a truncated frame");
+        }
+        // Every single-byte mutation: whatever each byte breaks —
+        // type, length varint, payload structure, checksum — the two
+        // decoders must break identically.
+        for i in 0..valid.len() {
+            let mut m = valid.clone();
+            m[i] ^= 0xa5;
+            assert_agree(&m, "a bit-flipped frame");
+        }
+    }
+}
+
+#[test]
+fn decoders_agree_on_the_hostile_corpus() {
+    // The same deterministic battery `wire.rs` pins for the owned
+    // decoder: empty input, all-ones noise, an inflated length varint,
+    // an unknown frame type, and a delta whose payload is garbage.
+    let hostile: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0xff; 32],
+        vec![3, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80],
+        envelope(0x7f, b"junk"),
+        envelope(4, &[0xff; 16]),
+        envelope(3, &[]),
+    ];
+    for bytes in hostile {
+        assert_agree(&bytes, "a hostile corpus entry");
+    }
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/fixtures").join(name)
+}
+
+#[test]
+fn torn_segment_fixture_errs_identically_through_both_decoders() {
+    // The torn journal head is not a wire frame at all — both decoders
+    // must reject it (and every prefix of it) with the same error.
+    let text = std::fs::read_to_string(fixture_path("torn_segment.hex")).expect("fixture exists");
+    let bytes: Vec<u8> = text
+        .split_whitespace()
+        .map(|h| u8::from_str_radix(h, 16).expect("hex fixture"))
+        .collect();
+    assert!(!bytes.is_empty(), "fixture drifted");
+    for cut in 0..=bytes.len() {
+        assert_agree(&bytes[..cut], "the torn segment fixture");
+    }
+}
+
+/// The chaos plan and frame stream pinned by `chaos_frames.hex` (see
+/// `tests/chaos_golden.rs`, which owns the golden); regenerated here so
+/// the mangled deliveries can be driven through both ingest paths.
+fn chaos_deliveries() -> Vec<Delivery> {
+    let plan = FaultPlan {
+        seed: 0x05EED_CA05,
+        drop: 0.15,
+        corrupt: 0.12,
+        truncate: 0.08,
+        duplicate: 0.12,
+        reorder: 0.15,
+        reset_at: vec![10],
+    };
+    let mut enc = Encoder::new(4);
+    let mut frames = vec![encode_frame(&Frame::Hello {
+        node: "chaos-node".into(),
+        layer: "file-system".into(),
+        resolution: Resolution::R1,
+        interval: 1_000_000,
+    })];
+    let mut s = ProfileSet::new("file-system");
+    for i in 0u64..24 {
+        s.entry("read").record_n(700 + 13 * i, 5 + i);
+        if i % 3 == 0 {
+            s.entry("write").record_n(2_000 + 101 * i, 2);
+        }
+        frames.push(encode_frame(&enc.encode(i, (i + 1) * 1_000_000, &s)));
+    }
+    frames.push(encode_frame(&Frame::Bye { seq: 24 }));
+
+    let mut inj = FaultInjector::new(plan);
+    let mut out = Vec::new();
+    for bytes in frames {
+        out.extend(inj.push(bytes));
+    }
+    out.extend(inj.flush());
+    out
+}
+
+#[test]
+fn chaos_fixture_deliveries_are_report_identical_through_the_zero_copy_path() {
+    let deliveries = chaos_deliveries();
+    // Sanity-link to the checked-in fixture: the regenerated delivery
+    // bytes must be exactly the bytes the golden renders.
+    let golden =
+        std::fs::read_to_string(fixture_path("chaos_frames.hex")).expect("fixture exists");
+    let golden_bytes: Vec<u8> = golden
+        .lines()
+        .filter(|l| !l.starts_with("--") && !l.starts_with('#'))
+        .flat_map(str::split_whitespace)
+        .map(|h| u8::from_str_radix(h, 16).expect("hex fixture"))
+        .collect();
+    let regen_bytes: Vec<u8> = deliveries
+        .iter()
+        .filter_map(|d| match d {
+            Delivery::Bytes(b) => Some(b.as_slice()),
+            Delivery::Reset => None,
+        })
+        .flatten()
+        .copied()
+        .collect();
+    assert_eq!(regen_bytes, golden_bytes, "chaos stream drifted from its fixture");
+
+    // Drive the mangled stream through two collectors: one on the
+    // zero-copy byte path, one decoding owned frames first. Every
+    // per-delivery outcome and the final rendered reports must match.
+    let mut zero_copy = Collector::new(CollectorConfig::default());
+    let mut owned = Collector::new(CollectorConfig::default());
+    for d in &deliveries {
+        match d {
+            Delivery::Bytes(bytes) => {
+                assert_agree(bytes, "a chaos delivery");
+                let a = zero_copy.ingest_bytes(7, bytes);
+                let b = match wire::decode_frame(bytes) {
+                    Ok((frame, _)) => owned.ingest_lossy(7, &frame),
+                    // Equivalence of the error itself is asserted
+                    // above; route the corrupt accounting identically.
+                    Err(_) => owned.ingest_bytes(7, bytes),
+                };
+                assert_eq!(a, b, "ingest outcome diverged on {bytes:02x?}");
+            }
+            Delivery::Reset => {
+                zero_copy.reset_conn(7);
+                owned.reset_conn(7);
+            }
+        }
+        zero_copy.tick();
+        owned.tick();
+    }
+    assert_eq!(zero_copy.report(), owned.report(), "chaos reports diverged");
+    assert_eq!(zero_copy.report_json().pretty(), owned.report_json().pretty());
+}
+
+/// An arbitrary profile set: up to 4 operations, sparse buckets.
+fn arb_set() -> impl Strategy<Value = ProfileSet> {
+    prop::collection::vec((0usize..4, 0usize..40, 1u64..10_000), 0..12).prop_map(|records| {
+        let mut s = ProfileSet::new("fs");
+        for (op, b, n) in records {
+            let name = ["read", "write", "fsync", "readdir"][op];
+            s.entry(name).record_n((1u64 << b) + (1u64 << b) / 2, n);
+        }
+        s
+    })
+}
+
+/// A short lowercase identifier (node and layer names).
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 1..12)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+proptest! {
+    /// Borrowed decode ≡ owned decode on arbitrary valid frames of
+    /// every type, including encoder-produced deltas.
+    #[test]
+    fn borrowed_decode_equals_owned_on_arbitrary_valid_frames(
+        node in arb_name(),
+        layer in arb_name(),
+        sets in prop::collection::vec(arb_set(), 1..5),
+        full_every in 0u64..4,
+        seq in 0u64..1_000_000,
+        at in 0u64..u64::MAX,
+    ) {
+        let mut frames = vec![
+            encode_frame(&Frame::Hello {
+                node,
+                layer,
+                resolution: Resolution::R1,
+                interval: at.max(1),
+            }),
+            encode_frame(&Frame::Resync { epoch: seq, seq: seq.wrapping_add(1) }),
+        ];
+        let mut enc = Encoder::new(full_every);
+        for (i, set) in sets.iter().enumerate() {
+            frames.push(encode_frame(&enc.encode(i as u64, at.wrapping_add(i as u64), set)));
+        }
+        frames.push(encode_frame(&Frame::Bye { seq }));
+        for bytes in frames {
+            prop_assert!(decoders_agree(&bytes).is_ok(), "{:?}", decoders_agree(&bytes));
+        }
+    }
+
+    /// Arbitrary damage — one byte flipped or the tail cut — breaks
+    /// both decoders identically.
+    #[test]
+    fn borrowed_decode_equals_owned_under_arbitrary_damage(
+        set in arb_set(),
+        seq in 0u64..100,
+        pos in 0usize..4096,
+        mask in 1u8..=255,
+        cut in 0usize..4096,
+    ) {
+        let valid = encode_frame(&Frame::Full { seq, at: seq * 10, set });
+        let mut flipped = valid.clone();
+        let i = pos % flipped.len();
+        flipped[i] ^= mask;
+        if let Err(why) = decoders_agree(&flipped) {
+            return Err(CaseError::fail(format!("bit flip at {i}: {why}")));
+        }
+        let truncated = &valid[..cut % (valid.len() + 1)];
+        if let Err(why) = decoders_agree(truncated) {
+            return Err(CaseError::fail(format!("truncation: {why}")));
+        }
+    }
+}
