@@ -66,7 +66,7 @@ pub fn aggregate(nodes: &[(String, ProfileSet)], metric: Metric) -> Result<Clust
             mean_distance: if n > 0 { sum / n as f64 } else { 0.0 },
         });
     }
-    divergences.sort_by(|a, b| b.distance.partial_cmp(&a.distance).unwrap_or(std::cmp::Ordering::Equal));
+    divergences.sort_by(|a, b| b.distance.total_cmp(&a.distance));
     Ok(ClusterView { aggregate: agg, divergences })
 }
 

@@ -129,11 +129,11 @@ fn split_region(counts: &[u64], start: usize, end: usize, cfg: &PeakConfig, out:
     while b <= end {
         // Extend over a plateau of equal counts.
         let mut plateau_end = b;
-        while plateau_end < end && counts[plateau_end + 1] == counts[b] {
+        while plateau_end < end && counts.get(plateau_end + 1) == counts.get(b) {
             plateau_end += 1;
         }
-        let left_lower = b == start || counts[b - 1] < counts[b];
-        let right_lower = plateau_end == end || counts[plateau_end + 1] < counts[b];
+        let left_lower = b == start || counts.get(b - 1) < counts.get(b);
+        let right_lower = plateau_end == end || counts.get(plateau_end + 1) < counts.get(b);
         if left_lower && right_lower {
             maxima.push(b);
         }

@@ -197,7 +197,7 @@ pub fn select_interesting_cached(
         }
         out.push(Selection { op: op.to_string(), distance, latency_diff, latency_share, peak_diff });
     }
-    out.sort_by(|x, y| y.distance.partial_cmp(&x.distance).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|x, y| y.distance.total_cmp(&x.distance));
     out
 }
 

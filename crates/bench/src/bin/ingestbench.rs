@@ -11,6 +11,10 @@
 //!                                      also require both documents to agree
 //!                                      byte for byte on every non-timing
 //!                                      field
+//! ingestbench --history-line PATH      condense an emitted file into one
+//!                                      compact JSON line (timestamped from
+//!                                      the doc's own generated_unix stamp)
+//!                                      for results/bench_history.jsonl
 //! ```
 //!
 //! `scripts/bench.sh` is the canonical driver; CI runs it with `--smoke`.
@@ -18,7 +22,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 
-use osprof_bench::ingestbench::{check, check_determinism, run_with, BenchConfig};
+use osprof_bench::ingestbench::{check, check_determinism, history_line, run_with, BenchConfig};
 
 /// The system allocator with a counter on the allocation path, backing
 /// the `allocs_per_frame` measurement (`osprof_bench::alloc_count`).
@@ -55,6 +59,7 @@ fn main() -> ExitCode {
     let mut out = "BENCH_collector.json".to_string();
     let mut check_path: Option<String> = None;
     let mut repeat_path: Option<String> = None;
+    let mut history_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -78,13 +83,40 @@ fn main() -> ExitCode {
                 }
                 i += 1;
             }
+            "--history-line" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("ingestbench: --history-line needs a path");
+                    return ExitCode::from(2);
+                };
+                history_path = Some(v.clone());
+                i += 1;
+            }
             other => {
                 eprintln!("ingestbench: unknown argument '{other}'");
-                eprintln!("usage: ingestbench [--smoke] [--out PATH] | --check PATH [PATH2]");
+                eprintln!(
+                    "usage: ingestbench [--smoke] [--out PATH] | --check PATH [PATH2] | \
+                     --history-line PATH"
+                );
                 return ExitCode::from(2);
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = history_path {
+        let line = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| history_line(&text));
+        return match line {
+            Ok(line) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ingestbench: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if let Some(path) = check_path {

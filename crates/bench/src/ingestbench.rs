@@ -513,6 +513,7 @@ pub fn run_with(cfg: &BenchConfig) -> Result<(String, Json), CollectorError> {
             "mode".into(),
             Json::Str(if cfg.is_smoke() { "smoke" } else { "full" }.into()),
         ),
+        ("generated_unix".into(), Json::UInt(unix_now())),
         ("nodes".into(), Json::UInt(cfg.nodes as u128)),
         ("intervals".into(), Json::UInt(cfg.intervals as u128)),
         ("workers".into(), Json::UInt(cfg.workers as u128)),
@@ -548,6 +549,52 @@ pub fn run_with(cfg: &BenchConfig) -> Result<(String, Json), CollectorError> {
         ),
     ]);
     Ok((out, json))
+}
+
+/// Seconds since the Unix epoch, for the `generated_unix` stamp. The
+/// bench crate is on the wall-clock allowlist: the stamp is benchmark
+/// provenance, never replayed state.
+fn unix_now() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as u128)
+        .unwrap_or(0)
+}
+
+/// Condenses an emitted `BENCH_collector.json` document into one
+/// compact JSON line for `results/bench_history.jsonl` — the
+/// append-only log `scripts/bench.sh` grows on every run so throughput
+/// can be tracked across commits. The timestamp comes from the
+/// document's own `generated_unix` stamp (written by the emitting
+/// binary), so the history entry is a pure function of the bench doc.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or malformed field.
+pub fn history_line(text: &str) -> Result<String, String> {
+    let doc = Json::parse(text).map_err(|e| format!("bench doc: {e}"))?;
+    let err = |e: osprof_core::json::JsonError| format!("bench doc: {e}");
+    let generated: u64 = doc.field("generated_unix").map_err(err)?;
+    let mode: String = doc.field("mode").map_err(err)?;
+    let schema: u64 = doc.field("schema_version").map_err(err)?;
+    let cpus: u64 = doc.field("host_cpus").map_err(err)?;
+    let serial: f64 = doc.field("serial_frames_per_sec").map_err(err)?;
+    let parallel: f64 = doc.field("parallel_frames_per_sec").map_err(err)?;
+    let speedup: f64 = doc.field("speedup_parallel_over_serial").map_err(err)?;
+    let check_status: String = doc.field("speedup_check").map_err(err)?;
+    let allocs: f64 = doc.field("allocs_per_frame").map_err(err)?;
+    Ok(Json::Object(vec![
+        ("generated_unix".into(), Json::UInt(generated as u128)),
+        ("schema_version".into(), Json::UInt(schema as u128)),
+        ("mode".into(), Json::Str(mode)),
+        ("host_cpus".into(), Json::UInt(cpus as u128)),
+        ("serial_frames_per_sec".into(), Json::Float(serial)),
+        ("parallel_frames_per_sec".into(), Json::Float(parallel)),
+        ("speedup_parallel_over_serial".into(), Json::Float(speedup)),
+        ("speedup_check".into(), Json::Str(check_status)),
+        ("allocs_per_frame".into(), Json::Float(allocs)),
+    ])
+    .compact())
 }
 
 /// How the 2x speedup criterion applies to a run, recorded in the
@@ -705,6 +752,7 @@ pub fn check(text: &str) -> Result<String, String> {
 /// schema — is a pure function of the configuration and must be
 /// byte-identical across repeat runs.
 const TIMING_KEYS: &[&str] = &[
+    "generated_unix",
     "host_cpus",
     "speedup_check",
     "serial_frames_per_sec",
@@ -950,6 +998,23 @@ mod tests {
             assert!(!fp.contains(key), "timing key '{key}' survived the strip:\n{fp}");
         }
         assert!(fp.contains("\"frames\""), "structural fields must survive:\n{fp}");
+    }
+
+    #[test]
+    fn history_line_is_one_compact_json_line_keyed_by_the_doc_stamp() {
+        let (_, doc) = run_with(&tiny()).unwrap();
+        let line = history_line(&doc.pretty()).unwrap();
+        assert!(!line.contains('\n'), "history entries are one line: {line}");
+        let parsed = Json::parse(&line).unwrap();
+        let stamp: u64 = parsed.field("generated_unix").unwrap();
+        let doc_stamp: u64 = doc.field("generated_unix").unwrap();
+        assert_eq!(stamp, doc_stamp, "timestamp must come from the doc, not a fresh clock");
+        let serial: f64 = parsed.field("serial_frames_per_sec").unwrap();
+        assert!(serial > 0.0);
+        let mode: String = parsed.field("mode").unwrap();
+        assert_eq!(mode, "smoke");
+        assert!(history_line("not json").is_err());
+        assert!(history_line("{\"mode\": \"smoke\"}").is_err(), "missing fields must error");
     }
 
     #[test]

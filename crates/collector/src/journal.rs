@@ -205,6 +205,7 @@ fn take_uvarint(rec: &[u8], at: &mut usize) -> Option<u64> {
         if shift >= 64 {
             return None;
         }
+        // lint:allow(decode-overflow): shift is bounded below 64 by the guard above
         v |= ((b & 0x7f) as u64) << shift;
         if b & 0x80 == 0 {
             return Some(v);
@@ -237,7 +238,7 @@ fn parse_record(buf: &[u8], pos: usize) -> Option<(JournalEvent, usize)> {
         J_CHECKPOINT => JournalEvent::Checkpoint(payload.to_vec()),
         _ => return None,
     };
-    Some((event, pos + body_end + 8))
+    Some((event, pos.checked_add(body_end)?.checked_add(8)?))
 }
 
 /// Rebuilds a collector from a journal: replays every valid record

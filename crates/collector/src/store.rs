@@ -887,11 +887,11 @@ pub fn cum_diff(old: &ProfileSet, new: &ProfileSet) -> Option<ProfileSet> {
 fn median_profile(op: &str, r: Resolution, profiles: &[&Profile]) -> Option<Profile> {
     fn median_u64(mut v: Vec<u64>) -> u64 {
         v.sort_unstable();
-        v[(v.len() - 1) / 2]
+        v.get(v.len().saturating_sub(1) / 2).copied().unwrap_or(0)
     }
     fn median_u128(mut v: Vec<u128>) -> u128 {
         v.sort_unstable();
-        v[(v.len() - 1) / 2]
+        v.get(v.len().saturating_sub(1) / 2).copied().unwrap_or(0)
     }
     if profiles.is_empty() {
         return None;

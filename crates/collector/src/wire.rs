@@ -231,6 +231,7 @@ impl<'a> Cursor<'a> {
             if shift >= 128 {
                 return Err(WireError::Corrupt("varint overflows u128".into()));
             }
+            // lint:allow(decode-overflow): shift is bounded below 128 by the guard above
             v |= ((b & 0x7f) as u128) << shift;
             if b & 0x80 == 0 {
                 return Ok(v);

@@ -1,0 +1,89 @@
+//! Property-based tests for the id interner.
+//!
+//! The interner backs every node/op id on the ingest hot path, so its
+//! invariants are load-bearing: distinct strings must get distinct
+//! symbols, interning must be idempotent (same string, same symbol,
+//! forever), and resolution must round-trip exactly — including long
+//! past any initial table capacity.
+
+use std::collections::BTreeSet;
+
+use osprof_collector::intern::{Interner, Sym};
+use osprof_core::proptest::prelude::*;
+
+/// A set of *distinct* id-shaped names: arbitrary tag values are
+/// deduped through a `BTreeSet`, then rendered in several id styles
+/// (so distinctness holds by construction while shapes vary).
+fn arb_distinct_names() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec((0u32..100_000, 0usize..4), 0..64).prop_map(|tags| {
+        let uniq: BTreeSet<u32> = tags.iter().map(|&(v, _)| v).collect();
+        uniq.into_iter()
+            .zip(tags.iter().map(|&(_, style)| style))
+            .map(|(v, style)| match style {
+                0 => format!("node-{v}"),
+                1 => format!("op/{v}/read"),
+                2 => format!("λ-{v}"),
+                _ => format!("{v}"),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// N distinct names yield N distinct symbols and len() == N.
+    #[test]
+    fn distinct_names_get_distinct_symbols(names in arb_distinct_names()) {
+        let mut t = Interner::new();
+        let syms: Vec<Sym> = names.iter().map(|n| t.intern(n)).collect();
+        let uniq: BTreeSet<Sym> = syms.iter().copied().collect();
+        prop_assert_eq!(uniq.len(), names.len());
+        prop_assert_eq!(t.len(), names.len());
+        prop_assert_eq!(t.is_empty(), names.is_empty());
+    }
+
+    /// Re-interning (in any interleaved order) returns the original
+    /// symbol, and every symbol resolves back to its exact string.
+    #[test]
+    fn interning_is_stable_and_round_trips(
+        names in arb_distinct_names(),
+        replay in prop::collection::vec(0usize..1024, 0..128),
+    ) {
+        let mut t = Interner::new();
+        let syms: Vec<Sym> = names.iter().map(|n| t.intern(n)).collect();
+        for r in replay {
+            if names.is_empty() {
+                break;
+            }
+            let i = r % names.len();
+            prop_assert_eq!(t.intern(&names[i]), syms[i], "re-intern moved a symbol");
+        }
+        prop_assert_eq!(t.len(), names.len(), "re-interning must not grow the table");
+        for (name, sym) in names.iter().zip(&syms) {
+            prop_assert_eq!(t.resolve(*sym), name.as_str());
+        }
+    }
+
+    /// Growth far past any initial capacity keeps every earlier symbol
+    /// valid: old symbols resolve to the same strings after thousands
+    /// more interns, and indices stay dense and first-intern ordered.
+    #[test]
+    fn growth_preserves_earlier_symbols(seed in 0u32..1000, extra in 1usize..3000) {
+        let mut t = Interner::new();
+        let early: Vec<(String, Sym)> = (0..8)
+            .map(|i| {
+                let name = format!("early-{seed}-{i}");
+                let sym = t.intern(&name);
+                (name, sym)
+            })
+            .collect();
+        for i in 0..extra {
+            let _ = t.intern(&format!("bulk-{seed}-{i}"));
+        }
+        prop_assert_eq!(t.len(), 8 + extra);
+        for (i, (name, sym)) in early.iter().enumerate() {
+            prop_assert_eq!(t.resolve(*sym), name.as_str());
+            prop_assert_eq!(t.intern(name), *sym);
+            prop_assert_eq!(sym.index() as usize, i, "symbols are first-intern ordered");
+        }
+    }
+}

@@ -201,7 +201,10 @@ static TABLES: [std::sync::OnceLock<Vec<u64>>; 8] = [
 
 fn boundary_table(r: Resolution) -> &'static [u64] {
     let r_val = r.get() as usize;
-    TABLES[r_val - 1].get_or_init(|| {
+    // `Resolution::new` admits only 1..=8, so `r_val - 1` always lands in
+    // TABLES; the fallback slot is unreachable but keeps the lookup total.
+    let slot = TABLES.get(r_val.saturating_sub(1)).unwrap_or(&TABLES[0]);
+    slot.get_or_init(|| {
         (0..r.bucket_count())
             .map(|b| {
                 if b % r_val == 0 {

@@ -3,6 +3,7 @@
 //! ```text
 //! osprof-lint --workspace [--root DIR] [--json PATH] [--quiet]
 //! osprof-lint [--json PATH] FILE...
+//! osprof-lint explain <rule>
 //! ```
 //!
 //! `--workspace` walks the workspace (found from `--root` or the
@@ -22,6 +23,11 @@ use osprof_lint::{engine, report, Target};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = args.by_ref().collect();
+    if raw.first().map(String::as_str) == Some("explain") {
+        return explain(raw.get(1).map(String::as_str));
+    }
+    let mut args = raw.into_iter();
     let mut workspace = false;
     let mut quiet = false;
     let mut root: Option<PathBuf> = None;
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!("usage: osprof-lint --workspace [--root DIR] [--json PATH] [--quiet]");
                 println!("       osprof-lint [--json PATH] FILE...");
+                println!("       osprof-lint explain <rule>");
                 return ExitCode::SUCCESS;
             }
             _ if a.starts_with('-') => return usage(&format!("unknown flag {a}")),
@@ -107,7 +114,49 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("osprof-lint: {msg}");
     eprintln!("usage: osprof-lint --workspace [--root DIR] [--json PATH] [--quiet]");
     eprintln!("       osprof-lint [--json PATH] FILE...");
+    eprintln!("       osprof-lint explain <rule>");
     ExitCode::from(2)
+}
+
+/// `osprof-lint explain <rule>`: prints the rule's rationale, scope
+/// and waiver syntax from [`osprof_lint::rules::RULE_INFO`]. With no
+/// argument, lists every rule with a one-line hook.
+fn explain(rule: Option<&str>) -> ExitCode {
+    use osprof_lint::rules::RULE_INFO;
+    match rule {
+        None => {
+            println!("rules (osprof-lint explain <rule> for details):");
+            for info in &RULE_INFO {
+                let flat = reflow(info.rationale);
+                let cut = ["; ", ": ", ". "]
+                    .iter()
+                    .filter_map(|sep| flat.find(sep))
+                    .min()
+                    .unwrap_or(flat.len());
+                println!("  {:<21} {}", info.name, flat.get(..cut).unwrap_or(&flat));
+            }
+            ExitCode::SUCCESS
+        }
+        Some(name) => match RULE_INFO.iter().find(|i| i.name == name) {
+            Some(info) => {
+                println!("{}", info.name);
+                println!("  rationale: {}", reflow(info.rationale));
+                println!("  scope:     {}", reflow(info.scope));
+                println!("  waiver:    {}", reflow(info.waiver));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("osprof-lint: unknown rule `{name}`");
+                eprintln!("known rules: {}", osprof_lint::rules::RULE_NAMES.join(", "));
+                ExitCode::from(2)
+            }
+        },
+    }
+}
+
+/// Collapses the multi-line string literals in RULE_INFO to one line.
+fn reflow(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
 /// Finds the nearest ancestor (inclusive) whose `Cargo.toml` declares

@@ -1,0 +1,507 @@
+//! Workspace-wide call graph over [`parser`](crate::parser) output.
+//!
+//! Nodes are `fn` items; edges are resolved call sites. Resolution is
+//! heuristic — good enough for this workspace's idioms, deliberately
+//! over-approximate where it cannot be precise, and documented blind
+//! spots where over-approximation would drown the rules in noise
+//! (DESIGN.md §16):
+//!
+//! - `self.m(…)` → methods of the enclosing `impl`/`trait` type;
+//! - `self.field.m(…)` → methods of the field's declared type (struct
+//!   fields are indexed workspace-wide);
+//! - `x.m(…)` → methods of `x`'s type when a parameter or `let`
+//!   annotation names one; otherwise *every* workspace method named
+//!   `m`, except ubiquitous std names ([`COMMON_STD_METHODS`]) which
+//!   are assumed to be std calls when the receiver type is unknown;
+//! - `Type::m(…)` → methods of `Type`; `Self::m(…)` → the enclosing
+//!   type; `module::f(…)` → free fns named `f`, preferring files that
+//!   look like that module;
+//! - `f(…)` → free fns named `f`, preferring same file, then same
+//!   crate, then anywhere;
+//! - `// lint:dyn(target, …): why` adds explicit edges from the
+//!   containing fn to every workspace fn matching each target (bare
+//!   name or `Type::method`) — the escape hatch for dynamic dispatch
+//!   the heuristics cannot see.
+//!
+//! Reachability ([`Graph::reach`]) is a breadth-first search from a
+//! sorted root set with parent pointers, so every flagged site gets a
+//! deterministic shortest call chain as evidence.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::LexedFile;
+use crate::parser::{Callee, FnItem, ParsedFile, Receiver};
+
+/// One node: a `fn` item plus the file that declares it.
+#[derive(Debug, Clone, Copy)]
+pub struct Node<'a> {
+    /// Workspace-relative path.
+    pub file: &'a str,
+    pub item: &'a FnItem,
+}
+
+/// The workspace call graph.
+pub struct Graph<'a> {
+    /// Sorted by `(file, start_line)` — node index order is the
+    /// deterministic traversal order everywhere.
+    pub nodes: Vec<Node<'a>>,
+    /// Adjacency lists, sorted and deduplicated.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Method names so common on std types that an *unresolved* receiver
+/// calling one is assumed to be a std call (no edge). Receivers whose
+/// workspace type is known still link to that type's method.
+const COMMON_STD_METHODS: &[&str] = &[
+    "abs", "all", "and_then", "any", "append", "as_bytes", "as_deref", "as_mut", "as_ref", "as_slice",
+    "as_str", "binary_search", "bytes", "chain", "chars", "chunks", "clear", "clone", "cloned",
+    "cmp", "collect", "contains", "contains_key", "copied", "count", "dedup", "drain", "drop",
+    "entry", "enumerate", "eq", "expect", "extend", "filter", "filter_map", "find", "first",
+    "flat_map", "flatten", "flush", "fmt", "fold", "get", "get_mut", "hash", "insert",
+    "into_iter", "is_empty", "is_none", "is_some", "iter", "iter_mut", "join", "keys", "last",
+    "len", "lines", "map", "map_err", "max", "min", "next", "ok", "open", "or_insert", "or_insert_with",
+    "parse", "partial_cmp", "pop", "position", "push", "push_str", "read", "remove", "repeat",
+    "replace", "reserve", "resize", "retain", "rev", "saturating_add", "saturating_mul",
+    "saturating_sub", "skip", "sort", "sort_by", "sort_by_key", "sort_unstable",
+    "sort_unstable_by", "sort_unstable_by_key", "split", "split_whitespace", "starts_with",
+    "sum", "take", "to_owned", "to_string", "to_vec", "trim", "truncate", "unwrap", "unwrap_or",
+    "unwrap_or_default", "unwrap_or_else", "values", "windows", "wrapping_add", "write",
+    "write_all", "zip",
+];
+
+/// The crate segment of a workspace path (`crates/<name>/…`), or the
+/// whole path when it does not match.
+fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or(path)
+}
+
+/// True when `path` plausibly holds module `module` (`…/module.rs` or
+/// `…/module/…`).
+fn path_has_module(path: &str, module: &str) -> bool {
+    path.ends_with(&format!("/{module}.rs"))
+        || path.contains(&format!("/{module}/"))
+        || path == format!("{module}.rs")
+}
+
+/// Builds the graph over every parsed file. `files` must already be in
+/// deterministic (sorted-by-path) order; `LexedFile` supplies the
+/// `lint:dyn` hints.
+pub fn build<'a>(files: &'a [(String, LexedFile, ParsedFile)]) -> Graph<'a> {
+    let mut nodes: Vec<Node<'a>> = Vec::new();
+    for (path, _, parsed) in files {
+        for item in &parsed.fns {
+            nodes.push(Node { file: path, item });
+        }
+    }
+    nodes.sort_by(|a, b| (a.file, a.item.start_line, a.item.col).cmp(&(b.file, b.item.start_line, b.item.col)));
+
+    // Name indexes over the sorted node list.
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut method_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        match &n.item.self_type {
+            None => free_by_name.entry(&n.item.name).or_default().push(i),
+            Some(t) => {
+                method_by_name.entry(&n.item.name).or_default().push(i);
+                by_type_method.entry((t.as_str(), &n.item.name)).or_default().push(i);
+            }
+        }
+    }
+    // Struct fields, workspace-wide: (type, field) → field type.
+    let mut field_types: BTreeMap<(&str, &str), &str> = BTreeMap::new();
+    for (_, _, parsed) in files {
+        for (sname, fields) in &parsed.structs {
+            for (fname, ftype) in fields {
+                field_types.entry((sname, fname)).or_insert(ftype);
+            }
+        }
+    }
+
+    let resolver = Resolver { free_by_name, method_by_name, by_type_method, field_types };
+
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        for call in &n.item.calls {
+            resolver.resolve(n, call, &nodes, &mut edges[i]);
+        }
+    }
+
+    // `lint:dyn` hints: edge from the containing fn to each target.
+    for (path, lexed, _) in files {
+        for hint in &lexed.dyn_hints {
+            if hint.malformed.is_some() {
+                continue; // reported by suppression-hygiene, not edges
+            }
+            let Some(from) = node_at(&nodes, path, hint.line) else { continue };
+            for target in &hint.targets {
+                resolver.resolve_dyn_target(target, &mut edges[from]);
+            }
+        }
+    }
+
+    for adj in &mut edges {
+        adj.sort_unstable();
+        adj.dedup();
+    }
+    Graph { nodes, edges }
+}
+
+struct Resolver<'a> {
+    free_by_name: BTreeMap<&'a str, Vec<usize>>,
+    method_by_name: BTreeMap<&'a str, Vec<usize>>,
+    by_type_method: BTreeMap<(&'a str, &'a str), Vec<usize>>,
+    field_types: BTreeMap<(&'a str, &'a str), &'a str>,
+}
+
+impl<'a> Resolver<'a> {
+    fn resolve(&self, caller: &Node<'a>, call: &crate::parser::CallSite, nodes: &[Node<'a>], out: &mut Vec<usize>) {
+        match &call.callee {
+            Callee::Free(name) => self.resolve_free(caller.file, name, nodes, out),
+            Callee::Path(segs) => self.resolve_path(caller, segs, nodes, out),
+            Callee::Method { name, recv } => self.resolve_method(caller, name, recv, out),
+        }
+    }
+
+    /// Free call: same file beats same crate beats anywhere.
+    fn resolve_free(&self, file: &str, name: &str, nodes: &[Node<'a>], out: &mut Vec<usize>) {
+        let Some(cands) = self.free_by_name.get(name) else { return };
+        let same_file: Vec<usize> = cands.iter().copied().filter(|&i| nodes[i].file == file).collect();
+        if !same_file.is_empty() {
+            out.extend(same_file);
+            return;
+        }
+        let krate = crate_of(file);
+        let same_crate: Vec<usize> =
+            cands.iter().copied().filter(|&i| crate_of(nodes[i].file) == krate).collect();
+        if !same_crate.is_empty() {
+            out.extend(same_crate);
+            return;
+        }
+        out.extend(cands.iter().copied());
+    }
+
+    fn resolve_path(&self, caller: &Node<'a>, segs: &[String], nodes: &[Node<'a>], out: &mut Vec<usize>) {
+        // An explicit std/core/alloc path is never a workspace call —
+        // without this, `std::thread::spawn(…)` would over-approximate
+        // onto every workspace free fn named `spawn`.
+        if matches!(segs.first().map(String::as_str), Some("std" | "core" | "alloc")) {
+            return;
+        }
+        let name = segs.last().map(String::as_str).unwrap_or_default();
+        let qualifier = segs.get(segs.len().wrapping_sub(2)).map(String::as_str).unwrap_or_default();
+        let qualifier = if qualifier == "Self" {
+            caller.item.self_type.as_deref().unwrap_or_default()
+        } else {
+            qualifier
+        };
+        if qualifier.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            // `Type::method(…)`.
+            if let Some(cands) = self.by_type_method.get(&(qualifier, name)) {
+                out.extend(cands.iter().copied());
+            }
+            return;
+        }
+        // `module::f(…)` — prefer free fns in files matching the module.
+        let Some(cands) = self.free_by_name.get(name) else { return };
+        if !qualifier.is_empty() && !matches!(qualifier, "crate" | "self" | "super") {
+            let modular: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| path_has_module(nodes[i].file, qualifier))
+                .collect();
+            if !modular.is_empty() {
+                out.extend(modular);
+                return;
+            }
+        }
+        out.extend(cands.iter().copied());
+    }
+
+    fn resolve_method(&self, caller: &Node<'a>, name: &str, recv: &Receiver, out: &mut Vec<usize>) {
+        let recv_type: Option<&str> = match recv {
+            Receiver::SelfOwn => caller.item.self_type.as_deref(),
+            Receiver::SelfField(field) => caller
+                .item
+                .self_type
+                .as_deref()
+                .and_then(|t| self.field_types.get(&(t, field.as_str())).copied()),
+            Receiver::Var(var) => caller
+                .item
+                .params
+                .iter()
+                .chain(caller.item.locals.iter())
+                .find(|(n, _)| n == var)
+                .map(|(_, t)| t.as_str()),
+            Receiver::Unknown => None,
+        };
+        if let Some(t) = recv_type {
+            if let Some(cands) = self.by_type_method.get(&(t, name)) {
+                out.extend(cands.iter().copied());
+            }
+            // A known type with no such method is a std/derived call
+            // (Vec, BTreeMap, …) — no edge, no fallback.
+            return;
+        }
+        // Unknown receiver: over-approximate to every workspace method
+        // with the name, except ubiquitous std names.
+        if COMMON_STD_METHODS.binary_search(&name).is_ok() {
+            return;
+        }
+        if let Some(cands) = self.method_by_name.get(name) {
+            out.extend(cands.iter().copied());
+        }
+    }
+
+    /// A `lint:dyn` target: `Type::method` or a bare fn/method name —
+    /// links every match, free or method.
+    fn resolve_dyn_target(&self, target: &str, out: &mut Vec<usize>) {
+        if let Some((ty, m)) = target.split_once("::") {
+            if let Some(cands) = self.by_type_method.get(&(ty, m)) {
+                out.extend(cands.iter().copied());
+            }
+            return;
+        }
+        if let Some(cands) = self.free_by_name.get(target) {
+            out.extend(cands.iter().copied());
+        }
+        if let Some(cands) = self.method_by_name.get(target) {
+            out.extend(cands.iter().copied());
+        }
+    }
+}
+
+/// The innermost fn in `file` whose span contains `line`.
+pub fn node_at(nodes: &[Node<'_>], file: &str, line: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, n) in nodes.iter().enumerate() {
+        if n.file == file && n.item.start_line <= line && line <= n.item.end_line {
+            // Innermost = latest start (nested fns start later).
+            if best.is_none_or(|b: usize| nodes[b].item.start_line <= n.item.start_line) {
+                best = Some(i);
+            }
+        }
+    }
+    best
+}
+
+/// Result of one breadth-first reachability pass.
+pub struct Reach {
+    /// Predecessor on a shortest path from the root set; `None` for
+    /// roots and unreachable nodes.
+    pub parent: Vec<Option<usize>>,
+    /// Hop count from the nearest root; `usize::MAX` when unreachable.
+    pub dist: Vec<usize>,
+}
+
+impl<'a> Graph<'a> {
+    /// BFS from `roots` (deduplicated, processed in index order).
+    pub fn reach(&self, roots: &[usize]) -> Reach {
+        let mut parent = vec![None; self.nodes.len()];
+        let mut dist = vec![usize::MAX; self.nodes.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut sorted_roots: Vec<usize> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        for &r in &sorted_roots {
+            dist[r] = 0;
+            queue.push_back(r);
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        Reach { parent, dist }
+    }
+}
+
+impl Reach {
+    pub fn reachable(&self, i: usize) -> bool {
+        self.dist[i] != usize::MAX
+    }
+
+    /// The shortest call chain root → … → `i` as node indices.
+    pub fn chain(&self, i: usize) -> Vec<usize> {
+        let mut chain = vec![i];
+        let mut cur = i;
+        while let Some(p) = self.parent[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn graph_files(srcs: &[(&str, &str)]) -> Vec<(String, LexedFile, ParsedFile)> {
+        srcs.iter()
+            .map(|(path, src)| {
+                let lexed = lex(src);
+                let parsed = parse(path, &lexed);
+                (path.to_string(), lexed, parsed)
+            })
+            .collect()
+    }
+
+    fn idx(g: &Graph<'_>, qualified: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.item.qualified() == qualified)
+            .unwrap_or_else(|| panic!("no node {qualified}"))
+    }
+
+    fn has_edge(g: &Graph<'_>, from: &str, to: &str) -> bool {
+        g.edges[idx(g, from)].contains(&idx(g, to))
+    }
+
+    #[test]
+    fn free_calls_prefer_same_file_then_same_crate() {
+        let files = graph_files(&[
+            ("crates/a/src/lib.rs", "pub fn top() { helper(); }\nfn helper() {}\n"),
+            ("crates/a/src/other.rs", "fn helper() {}\npub fn entry() { helper(); }\n"),
+            ("crates/b/src/lib.rs", "fn helper() {}\npub fn remote() { outside(); }\n"),
+            ("crates/a/src/third.rs", "pub fn cross() { helper(); }\nfn outside() {}\n"),
+        ]);
+        let g = build(&files);
+        // Same file wins: a/lib.rs top → a/lib.rs helper only.
+        let top = idx(&g, "top");
+        assert_eq!(g.edges[top].len(), 1);
+        assert!(g.nodes[g.edges[top][0]].file.ends_with("a/src/lib.rs"));
+        // No same-file match: cross → both crate-a helpers, not crate-b's.
+        let cross = idx(&g, "cross");
+        assert_eq!(g.edges[cross].len(), 2);
+        assert!(g.edges[cross].iter().all(|&i| crate_of(g.nodes[i].file) == "a"));
+        // No same-crate match: remote (crate b) → outside in crate a.
+        assert!(has_edge(&g, "remote", "outside"));
+    }
+
+    #[test]
+    fn self_and_typed_receivers_resolve_to_the_impl() {
+        let files = graph_files(&[(
+            "crates/a/src/lib.rs",
+            "pub struct Store { inner: Ring }\n\
+             pub struct Ring;\n\
+             impl Ring { pub fn spin(&self) {} }\n\
+             impl Store {\n\
+                 pub fn tick(&mut self) { self.step(); self.inner.spin(); }\n\
+                 fn step(&mut self) {}\n\
+             }\n\
+             pub fn drive(s: &Store) { s.tick(); }\n\
+             pub fn opaque(x: &Thing) { x.spin(); }\n",
+        )]);
+        let g = build(&files);
+        assert!(has_edge(&g, "Store::tick", "Store::step"), "self.m resolves");
+        assert!(has_edge(&g, "Store::tick", "Ring::spin"), "self.field.m uses field type");
+        assert!(has_edge(&g, "drive", "Store::tick"), "typed param receiver");
+        // Known-but-foreign type: no fallback edge.
+        let opaque = idx(&g, "opaque");
+        assert!(g.edges[opaque].is_empty(), "unmatched known type links nothing");
+    }
+
+    #[test]
+    fn unknown_receivers_over_approximate_except_std_names() {
+        let files = graph_files(&[(
+            "crates/a/src/lib.rs",
+            "pub struct A; impl A { pub fn absorb(&self) {} }\n\
+             pub struct B; impl B { pub fn absorb(&self) {} }\n\
+             pub fn f() { make().absorb(); make().len(); }\n\
+             fn make() -> A { A }\n",
+        )]);
+        let g = build(&files);
+        assert!(has_edge(&g, "f", "A::absorb"));
+        assert!(has_edge(&g, "f", "B::absorb"));
+        // `len` is a COMMON_STD_METHODS name: no workspace edge.
+        assert!(!g.edges[idx(&g, "f")].iter().any(|&i| g.nodes[i].item.name == "len"));
+    }
+
+    #[test]
+    fn path_calls_resolve_types_and_modules() {
+        let files = graph_files(&[
+            ("crates/a/src/wire.rs", "pub fn decode(b: &[u8]) {}\n"),
+            ("crates/a/src/journal.rs", "pub fn decode(b: &[u8]) {}\n"),
+            (
+                "crates/a/src/lib.rs",
+                "pub struct Codec;\n\
+                 impl Codec {\n\
+                     pub fn open() {}\n\
+                     pub fn reopen() { Self::open(); }\n\
+                 }\n\
+                 pub fn f(b: &[u8]) { wire::decode(b); Codec::open(); }\n",
+            ),
+        ]);
+        let g = build(&files);
+        let f = idx(&g, "f");
+        let decode_targets: Vec<&str> = g.edges[f]
+            .iter()
+            .filter(|&&i| g.nodes[i].item.name == "decode")
+            .map(|&i| g.nodes[i].file)
+            .collect();
+        assert_eq!(decode_targets, ["crates/a/src/wire.rs"], "module path narrows the file");
+        assert!(has_edge(&g, "f", "Codec::open"));
+        assert!(has_edge(&g, "Codec::reopen", "Codec::open"), "Self:: uses enclosing type");
+    }
+
+    #[test]
+    fn dyn_hints_add_edges() {
+        let files = graph_files(&[(
+            "crates/a/src/lib.rs",
+            "pub struct W; impl W { pub fn work(&self) {} }\n\
+             pub fn spawn_free() {}\n\
+             pub fn dispatch(h: &dyn Fn()) {\n\
+                 // lint:dyn(W::work, spawn_free): registry calls through trait objects\n\
+                 h();\n\
+             }\n",
+        )]);
+        let g = build(&files);
+        assert!(has_edge(&g, "dispatch", "W::work"));
+        assert!(has_edge(&g, "dispatch", "spawn_free"));
+    }
+
+    #[test]
+    fn bfs_chains_are_shortest_and_deterministic() {
+        let files = graph_files(&[(
+            "crates/a/src/lib.rs",
+            "pub fn root() { mid(); deep1(); }\n\
+             fn mid() { leaf(); }\n\
+             fn deep1() { deep2(); }\n\
+             fn deep2() { leaf(); }\n\
+             fn leaf() {}\n\
+             fn island() {}\n",
+        )]);
+        let g = build(&files);
+        let root = idx(&g, "root");
+        let leaf = idx(&g, "leaf");
+        let reach = g.reach(&[root]);
+        assert!(reach.reachable(leaf));
+        let chain: Vec<String> =
+            reach.chain(leaf).into_iter().map(|i| g.nodes[i].item.qualified()).collect();
+        assert_eq!(chain, ["root", "mid", "leaf"], "shortest path wins over deep1→deep2");
+        assert!(!reach.reachable(idx(&g, "island")));
+    }
+
+    #[test]
+    fn node_at_picks_the_innermost_fn() {
+        let files = graph_files(&[(
+            "crates/a/src/lib.rs",
+            "fn outer() {\n    fn inner() {\n        work();\n    }\n    inner();\n}\nfn work() {}\n",
+        )]);
+        let g = build(&files);
+        let at = node_at(&g.nodes, "crates/a/src/lib.rs", 3).map(|i| g.nodes[i].item.name.clone());
+        assert_eq!(at.as_deref(), Some("inner"));
+        let at5 = node_at(&g.nodes, "crates/a/src/lib.rs", 5).map(|i| g.nodes[i].item.name.clone());
+        assert_eq!(at5.as_deref(), Some("outer"));
+    }
+}

@@ -19,7 +19,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{lex, LexedFile};
+use crate::parser::{self, ParsedFile};
 use crate::rules::{self, Diagnostic};
+use crate::semantic;
 
 /// What to lint.
 pub enum Target {
@@ -62,6 +64,11 @@ pub fn run(target: &Target) -> Result<Outcome, String> {
 
     let mut diagnostics = Vec::new();
     let files_scanned = files.len();
+
+    // Phase 1: read, lex and parse every source file up front — the
+    // semantic pass needs the whole workspace before it can resolve a
+    // single call. Manifests are checked as they stream by.
+    let mut code_files: Vec<(String, LexedFile, ParsedFile)> = Vec::new();
     for path in &files {
         let rel = relative_name(path, &root);
         let src = fs::read_to_string(path)
@@ -70,10 +77,26 @@ pub fn run(target: &Target) -> Result<Outcome, String> {
             rules::check_manifest(&rel, &src, &mut diagnostics);
         } else {
             let lexed = lex(&src);
-            let mut found = Vec::new();
-            rules::check_code(&rel, &lexed, force_all, &mut found);
-            apply_suppressions(&rel, &lexed, &mut found, &mut diagnostics);
+            let parsed = parser::parse(&rel, &lexed);
+            code_files.push((rel, lexed, parsed));
         }
+    }
+
+    // Phase 2: lexical rules per file, then the semantic families over
+    // the whole graph, into one pool.
+    let mut found_all = Vec::new();
+    for (rel, lexed, _) in &code_files {
+        rules::check_code(rel, lexed, force_all, &mut found_all);
+    }
+    semantic::check(&code_files, force_all, &mut found_all);
+
+    // Phase 3: suppressions resolve per file, over that file's lexical
+    // and semantic findings together.
+    for (rel, lexed, _) in &code_files {
+        let (mut mine, rest): (Vec<_>, Vec<_>) =
+            found_all.drain(..).partition(|d| &d.file == rel);
+        found_all = rest;
+        apply_suppressions(rel, lexed, &mut mine, &mut diagnostics);
     }
     diagnostics.sort();
     Ok(Outcome { diagnostics, files_scanned })
@@ -148,6 +171,22 @@ fn apply_suppressions(
         out.push(d);
     }
 
+    // `lint:dyn` hints share the suppression grammar and the hygiene
+    // rule: a malformed hint silently drops call-graph edges, so it is
+    // an error, not a warning.
+    for h in &lexed.dyn_hints {
+        if let Some(why) = &h.malformed {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: h.line,
+                col: h.col,
+                rule: "suppression-hygiene",
+                message: format!("malformed dyn hint: {why}"),
+                call_chain: Vec::new(),
+            });
+        }
+    }
+
     for (idx, s) in sups.iter().enumerate() {
         if let Some(why) = &s.malformed {
             out.push(Diagnostic {
@@ -156,6 +195,7 @@ fn apply_suppressions(
                 col: s.col,
                 rule: "suppression-hygiene",
                 message: format!("malformed suppression: {why}"),
+                call_chain: Vec::new(),
             });
             continue;
         }
@@ -168,6 +208,7 @@ fn apply_suppressions(
                 message: "suppression must stand alone on the line above the violation, \
                           not trail code"
                     .into(),
+                call_chain: Vec::new(),
             });
             continue;
         }
@@ -178,6 +219,7 @@ fn apply_suppressions(
                 col: s.col,
                 rule: "suppression-hygiene",
                 message: format!("unknown rule `{unknown}` in suppression"),
+                call_chain: Vec::new(),
             });
             continue;
         }
@@ -192,6 +234,7 @@ fn apply_suppressions(
                      delete the stale waiver",
                     s.rules.join(", ")
                 ),
+                call_chain: Vec::new(),
             });
         }
     }

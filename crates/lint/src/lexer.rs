@@ -41,6 +41,27 @@ pub struct Suppression {
     pub malformed: Option<String>,
 }
 
+/// One `// lint:dyn(...)` comment: an explicit dynamic-dispatch edge
+/// for the call-graph builder (see `callgraph`). The comment stands on
+/// the line above a call site whose callee the name-resolution
+/// heuristics cannot see (a closure field, a function pointer, a
+/// `dyn Trait` object built far away) and names the function(s) the
+/// call can actually land in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynHint {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// 1-based column of the `//`.
+    pub col: usize,
+    /// Function names the next line's call may dispatch to.
+    pub targets: Vec<String>,
+    /// Justification text after the `:` (trimmed; empty when missing).
+    pub justification: String,
+    /// Parse error, when the comment said `lint:dyn` but didn't match
+    /// the grammar `lint:dyn(<fn>[, <fn>...]): <justification>`.
+    pub malformed: Option<String>,
+}
+
 /// The lexer's view of one source file.
 #[derive(Debug, Clone)]
 pub struct LexedFile {
@@ -49,6 +70,8 @@ pub struct LexedFile {
     pub scrubbed: String,
     /// All `lint:allow` comments, in file order.
     pub suppressions: Vec<Suppression>,
+    /// All `lint:dyn` comments, in file order.
+    pub dyn_hints: Vec<DynHint>,
     /// Inclusive 1-based line ranges covered by `#[cfg(test)]` items.
     pub test_spans: Vec<(usize, usize)>,
 }
@@ -68,9 +91,9 @@ impl LexedFile {
 /// Lexes `src`, producing the scrubbed text plus suppressions and
 /// `#[cfg(test)]` spans.
 pub fn lex(src: &str) -> LexedFile {
-    let (scrubbed, suppressions) = scrub(src);
+    let (scrubbed, suppressions, dyn_hints) = scrub(src);
     let test_spans = find_test_spans(&scrubbed);
-    LexedFile { scrubbed, suppressions, test_spans }
+    LexedFile { scrubbed, suppressions, dyn_hints, test_spans }
 }
 
 fn is_ident(b: u8) -> bool {
@@ -79,10 +102,11 @@ fn is_ident(b: u8) -> bool {
 
 /// Blanks comments and literal bodies, collecting `lint:allow` comments
 /// on the way. Returns text of identical byte length.
-fn scrub(src: &str) -> (String, Vec<Suppression>) {
+fn scrub(src: &str) -> (String, Vec<Suppression>, Vec<DynHint>) {
     let bytes = src.as_bytes();
     let mut out = bytes.to_vec();
     let mut sups = Vec::new();
+    let mut dyns = Vec::new();
     let mut i = 0;
     let mut line = 1usize;
     let mut line_start = 0usize; // byte offset of the current line
@@ -115,6 +139,9 @@ fn scrub(src: &str) -> (String, Vec<Suppression>) {
                 if let Some(s) = parse_suppression(text, line, start - line_start + 1, line_has_code) {
                     sups.push(s);
                 }
+                if let Some(h) = parse_dyn_hint(text, line, start - line_start + 1) {
+                    dyns.push(h);
+                }
                 blank(&mut out, start, i);
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
@@ -143,6 +170,10 @@ fn scrub(src: &str) -> (String, Vec<Suppression>) {
                 i = scrub_string(bytes, &mut out, i, &mut line, &mut line_start, &mut line_has_code);
             }
             b'r' | b'b' if starts_raw_string(bytes, i) => {
+                // The literal is code for trailing-comment purposes: a
+                // suppression after `let x = r"y";` must be flagged as
+                // trailing, not honored.
+                line_has_code = true;
                 i = scrub_raw_string(bytes, &mut out, i, &mut line, &mut line_start, &mut line_has_code);
             }
             b'b' if bytes.get(i + 1) == Some(&b'"') => {
@@ -177,7 +208,7 @@ fn scrub(src: &str) -> (String, Vec<Suppression>) {
     let scrubbed = String::from_utf8(out).unwrap_or_else(|e| {
         String::from_utf8_lossy(e.as_bytes()).into_owned()
     });
-    (scrubbed, sups)
+    (scrubbed, sups, dyns)
 }
 
 /// True when the `'` at `i` opens a char literal rather than a lifetime.
@@ -379,6 +410,49 @@ fn parse_suppression(comment: &str, line: usize, col: usize, trailing: bool) -> 
     Some(sup)
 }
 
+/// Parses `// lint:dyn(...)...` comments; `None` for ordinary ones.
+fn parse_dyn_hint(comment: &str, line: usize, col: usize) -> Option<DynHint> {
+    let body = comment.trim_start_matches('/').trim();
+    if !body.starts_with("lint:dyn") {
+        return None;
+    }
+    let mut hint = DynHint {
+        line,
+        col,
+        targets: Vec::new(),
+        justification: String::new(),
+        malformed: None,
+    };
+    let rest = &body["lint:dyn".len()..];
+    let Some(rest) = rest.strip_prefix('(') else {
+        hint.malformed = Some("expected `lint:dyn(<fn>): <justification>`".into());
+        return Some(hint);
+    };
+    let Some(close) = rest.find(')') else {
+        hint.malformed = Some("unterminated target list".into());
+        return Some(hint);
+    };
+    hint.targets = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if hint.targets.is_empty() {
+        hint.malformed = Some("empty target list".into());
+        return Some(hint);
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(just) = after.strip_prefix(':') else {
+        hint.malformed = Some("missing `: <justification>`".into());
+        return Some(hint);
+    };
+    hint.justification = just.trim().to_string();
+    if hint.justification.is_empty() {
+        hint.malformed = Some("empty justification".into());
+    }
+    Some(hint)
+}
+
 /// Finds 1-based line spans of items annotated `#[cfg(test)]` (or any
 /// `#[cfg(...)]` whose predicate mentions `test`) in scrubbed text.
 fn find_test_spans(scrubbed: &str) -> Vec<(usize, usize)> {
@@ -534,5 +608,99 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests;\nfn d() {}\n";
         let f = lex(src);
         assert_eq!(f.test_spans, [(1, 2)]);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_are_blanked_without_span_drift() {
+        // `r##"…"##` may contain `"#` without terminating; the closing
+        // delimiter needs the full hash count. Everything after the
+        // literal must keep exact line/col positions.
+        let src = "let a = r##\"inner \"# panic! \"##;\nx.unwrap();\n// lint:allow(no-panic): z\ny.unwrap();\n";
+        let f = lex(src);
+        assert!(!f.scrubbed.contains("panic!"));
+        assert_eq!(f.scrubbed.len(), src.len());
+        assert!(f.scrubbed.contains("x.unwrap()"), "code after the literal survives");
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].line, 3);
+    }
+
+    #[test]
+    fn multi_line_multi_hash_raw_strings_keep_line_numbers() {
+        let src = "let a = r#\"line one\nline two \" not the end\n\"#;\n// lint:allow(no-panic): w\nb.unwrap();\n";
+        let f = lex(src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].line, 4, "newlines inside the raw string are counted");
+        assert!(!f.scrubbed.contains("not the end"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked_without_span_drift() {
+        let src = "/* outer /* inner unwrap() */ still comment */\nlet k = 1;\n// lint:allow(no-panic): q\nc.unwrap();\n";
+        let f = lex(src);
+        assert!(!f.scrubbed.contains("inner unwrap"), "nested comment body is blanked");
+        assert!(!f.scrubbed.contains("still comment"), "outer comment resumes after inner close");
+        assert!(f.scrubbed.contains("c.unwrap()"), "code after the comment survives");
+        assert!(f.scrubbed.contains("let k = 1;"));
+        assert_eq!(f.scrubbed.len(), src.len());
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].line, 3);
+    }
+
+    #[test]
+    fn multi_line_nested_block_comments_keep_line_numbers() {
+        let src = "/* a\n/* b\n*/\nstill comment */\n// lint:allow(no-panic): v\nd.unwrap();\n";
+        let f = lex(src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].line, 5);
+        assert!(!f.scrubbed.contains("still comment"));
+    }
+
+    #[test]
+    fn byte_string_literals_are_blanked() {
+        let src = "let b = b\"panic! unwrap()\"; let c = b'x'; let r = br#\"todo!\"#;\nlet ok = 1;\n";
+        let f = lex(src);
+        assert!(!f.scrubbed.contains("panic!"));
+        assert!(!f.scrubbed.contains("unwrap"));
+        assert!(!f.scrubbed.contains("todo!"));
+        assert!(f.scrubbed.contains("let ok = 1;"));
+        assert_eq!(f.scrubbed.len(), src.len());
+    }
+
+    #[test]
+    fn byte_strings_with_escapes_and_newlines_keep_line_numbers() {
+        let src = "let b = b\"a \\\" quote\nsecond line\";\n// lint:allow(no-panic): u\ne.unwrap();\n";
+        let f = lex(src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].line, 3);
+    }
+
+    #[test]
+    fn trailing_suppression_after_raw_string_is_flagged_as_trailing() {
+        // Span-drift regression: the raw-string branch must mark the
+        // line as carrying code, or a trailing waiver would be honored.
+        let src = "r\"x\"; // lint:allow(no-panic): nope\n";
+        let f = lex(src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert!(f.suppressions[0].trailing);
+    }
+
+    #[test]
+    fn dyn_hints_are_parsed() {
+        let src = "// lint:dyn(flush_tier, flush_root): relay callback installed by the topology builder\n(x.flush)();\n";
+        let f = lex(src);
+        assert_eq!(f.dyn_hints.len(), 1);
+        let h = &f.dyn_hints[0];
+        assert_eq!(h.line, 1);
+        assert_eq!(h.targets, ["flush_tier", "flush_root"]);
+        assert!(h.malformed.is_none());
+    }
+
+    #[test]
+    fn malformed_dyn_hints_are_flagged() {
+        let src = "// lint:dyn(flush_tier)\nf();\n// lint:dyn(): why\ng();\n";
+        let f = lex(src);
+        assert_eq!(f.dyn_hints.len(), 2);
+        assert!(f.dyn_hints[0].malformed.is_some());
+        assert!(f.dyn_hints[1].malformed.is_some());
     }
 }

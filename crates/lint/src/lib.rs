@@ -9,27 +9,50 @@
 //! iterated into report bytes, or a registry dependency in a manifest
 //! is a build failure, not a latent regression.
 //!
-//! The design is three small layers:
+//! Since PR 10 the linter is *semantic* as well as lexical: it parses
+//! every file into items, links calls into a workspace call graph, and
+//! reports violations that are only visible across function boundaries
+//! — a panic three hops below a public ingest entry point, a
+//! `HashMap` iteration feeding a report renderer, an unchecked
+//! narrowing cast inside a wire-decode path — each with the full call
+//! chain as evidence.
+//!
+//! The design is five small layers:
 //!
 //! - [`lexer`] scrubs comments and string/char literals (so matches
-//!   inside them never fire) and extracts `lint:allow` suppressions and
-//!   `#[cfg(test)]` spans;
-//! - [`rules`] holds the six rules — `no-panic`, `no-wallclock`,
-//!   `no-unordered-iter`, `no-unbounded-channel`, `hermetic-deps`,
-//!   `suppression-hygiene` — each scoped by path to the layer whose
-//!   invariant it guards;
-//! - [`engine`] walks the workspace (or explicit files), resolves
-//!   suppressions, and yields sorted `file:line:col` diagnostics that
-//!   [`report`] renders as text and as `target/lint-report.json`.
+//!   inside them never fire) and extracts `lint:allow` suppressions,
+//!   `lint:dyn` call-graph hints, and `#[cfg(test)]` spans;
+//! - [`parser`] turns the scrubbed source into items — functions with
+//!   exact spans, params, locals, and outgoing calls; impl blocks;
+//!   use declarations; struct field types;
+//! - [`callgraph`] links parsed files into a workspace call graph
+//!   with receiver-type heuristics, and answers reachability queries
+//!   with shortest-path call chains;
+//! - [`rules`] holds the nine rules — the lexical six (`no-panic`,
+//!   `no-wallclock`, `no-unordered-iter`, `no-unbounded-channel`,
+//!   `hermetic-deps`, `suppression-hygiene`) each scoped by path, plus
+//!   the semantic three in [`semantic`] (`panic-reachability`,
+//!   `determinism-taint`, `decode-overflow`) scoped by reachability
+//!   from entry points;
+//! - [`engine`] walks the workspace (or explicit files), runs both
+//!   passes, resolves suppressions, and yields sorted
+//!   `file:line:col` diagnostics that [`report`] renders as text and
+//!   as versioned JSON (`target/lint-report.json`, schema v2 with
+//!   `call_chain` evidence).
 //!
-//! See DESIGN.md §11 for each rule's rationale and the suppression
-//! policy. The crate depends on nothing — it gates the build, so it
-//! must keep building when everything it checks is broken.
+//! See DESIGN.md §11 for the lexical rules and suppression policy, and
+//! §16 for the parser/call-graph architecture, its documented blind
+//! spots, and the `lint:dyn` waiver policy. The crate depends on
+//! nothing — it gates the build, so it must keep building when
+//! everything it checks is broken.
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 
 pub use engine::{run, Outcome, Target};
 pub use rules::Diagnostic;

@@ -1,0 +1,1312 @@
+//! A dependency-free item-level parser for the semantic pass.
+//!
+//! The lexical rules only need scrubbed text; the call-graph rules
+//! (`callgraph`, `semantic`) need *structure*: which function a given
+//! line belongs to, what that function calls, and enough type context
+//! to resolve method calls. This module extracts exactly that — no
+//! expression trees, no full grammar — from the [scrubbed](crate::lexer)
+//! text of one file:
+//!
+//! - every `fn` item (free, inherent-impl, trait-impl, trait-default,
+//!   nested) with its name, enclosing `impl`/`trait` type, visibility,
+//!   exact line span, parameter types, and `#[cfg(test)]` membership;
+//! - every call site inside a body, classified as a free call, a path
+//!   call (`a::b::f(…)`), or a method call (`recv.m(…)`) with a
+//!   best-effort receiver shape (`self`, `self.field`, a typed local or
+//!   parameter, or unknown);
+//! - `use` imports (leaf name → full path), `struct` field types, and
+//!   `let` bindings with inferable types, all of which feed the
+//!   receiver-type heuristic in [`callgraph`](crate::callgraph).
+//!
+//! The parser is intentionally forgiving: anything it does not
+//! recognize it skips, so hostile or exotic syntax degrades resolution
+//! quality (documented in DESIGN.md §16) instead of crashing the lint.
+
+use crate::lexer::LexedFile;
+
+/// One parsed source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Workspace-relative path (unix separators).
+    pub path: String,
+    /// Every function item, in source order.
+    pub fns: Vec<FnItem>,
+    /// `use` imports: leaf name (possibly an `as` alias) → path segments.
+    pub uses: Vec<(String, Vec<String>)>,
+    /// `struct` definitions: name → named fields (field, first type ident).
+    pub structs: Vec<(String, Vec<(String, String)>)>,
+}
+
+impl ParsedFile {
+    /// The struct fields of `name`, when the file defines it.
+    pub fn fields_of(&self, name: &str) -> Option<&[(String, String)]> {
+        self.structs.iter().find(|(n, _)| n == name).map(|(_, f)| f.as_slice())
+    }
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare name (`tick`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type (`Collector`), `None` for free fns.
+    pub self_type: Option<String>,
+    /// True for `pub` / `pub(…)` items.
+    pub is_pub: bool,
+    /// 1-based line/col of the `fn` keyword.
+    pub line: usize,
+    pub col: usize,
+    /// Inclusive 1-based line span (signature through closing brace).
+    pub start_line: usize,
+    pub end_line: usize,
+    /// True when the item sits inside a `#[cfg(test)]` span.
+    pub in_test: bool,
+    /// Parameter types: (name, first uppercase type ident), when both
+    /// could be read off the signature.
+    pub params: Vec<(String, String)>,
+    /// `let` bindings with an inferable type (annotation or
+    /// `Type::constructor(…)` initializer).
+    pub locals: Vec<(String, String)>,
+    /// Call sites inside the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, `name` for free fns.
+    pub fn qualified(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    pub line: usize,
+    pub col: usize,
+    pub callee: Callee,
+}
+
+/// What a call site syntactically names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `f(…)` — a bare lowercase identifier.
+    Free(String),
+    /// `a::b::f(…)` — path segments, `f` last.
+    Path(Vec<String>),
+    /// `recv.m(…)` — method name plus receiver shape.
+    Method { name: String, recv: Receiver },
+}
+
+/// The receiver shape of a method call, for type resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `self.m(…)`.
+    SelfOwn,
+    /// `self.field.m(…)`.
+    SelfField(String),
+    /// `x.m(…)` — a named local or parameter.
+    Var(String),
+    /// Anything else (chained call result, literal, expression).
+    Unknown,
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Ident,
+    Num,
+    Punct(u8),
+    /// `::`
+    PathSep,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `>>` (counts as two closing angles in generic skipping)
+    Shr,
+    /// `..` / `..=` / `...`
+    DotDot,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Tok {
+    kind: Kind,
+    start: usize,
+    end: usize,
+    line: usize,
+    col: usize,
+}
+
+fn tokenize(text: &str) -> Vec<Tok> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut line_start = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let col = i - line_start + 1;
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Tok { kind: Kind::Ident, start, end: i, line, col });
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let start = i;
+            // Number bodies swallow suffixes and hex digits; a `.`
+            // continues the number only when followed by a digit, so
+            // tuple indices (`x.0`) stay attached while ranges
+            // (`0..n`) do not.
+            while i < bytes.len() {
+                let c = bytes[i];
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    i += 1;
+                } else if c == b'.'
+                    && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    && bytes.get(i.wrapping_sub(1)).is_some_and(|p| p.is_ascii_digit())
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok { kind: Kind::Num, start, end: i, line, col });
+            continue;
+        }
+        // Two-byte operators the parser cares about.
+        let two = (b, bytes.get(i + 1).copied().unwrap_or(0));
+        let (kind, len) = match two {
+            (b':', b':') => (Kind::PathSep, 2),
+            (b'-', b'>') => (Kind::Arrow, 2),
+            (b'=', b'>') => (Kind::FatArrow, 2),
+            (b'>', b'>') => (Kind::Shr, 2),
+            (b'.', b'.') => (Kind::DotDot, if bytes.get(i + 2) == Some(&b'=') { 3 } else { 2 }),
+            _ => (Kind::Punct(b), 1),
+        };
+        toks.push(Tok { kind, start: i, end: i + len, line, col });
+        i += len;
+    }
+    toks
+}
+
+// ---------------------------------------------------------------------
+// Item parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    text: &'a str,
+    toks: Vec<Tok>,
+    pos: usize,
+    lexed: &'a LexedFile,
+    out: ParsedFile,
+}
+
+/// Parses one file. `path` is the workspace-relative reporting path.
+pub fn parse(path: &str, lexed: &LexedFile) -> ParsedFile {
+    let toks = tokenize(&lexed.scrubbed);
+    let mut p = Parser {
+        text: &lexed.scrubbed,
+        toks,
+        pos: 0,
+        lexed,
+        out: ParsedFile { path: path.to_string(), ..ParsedFile::default() },
+    };
+    p.items(None);
+    p.out
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<Tok> {
+        self.toks.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.peek();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn text_of(&self, t: Tok) -> &'a str {
+        &self.text[t.start..t.end]
+    }
+
+    fn is_kw(&self, t: Tok, kw: &str) -> bool {
+        t.kind == Kind::Ident && self.text_of(t) == kw
+    }
+
+    /// Skips a balanced `(…)`/`[…]`/`{…}` group; `open` already bumped.
+    fn skip_group(&mut self, open: u8) {
+        let close = match open {
+            b'(' => b')',
+            b'[' => b']',
+            _ => b'}',
+        };
+        let mut depth = 1usize;
+        while let Some(t) = self.bump() {
+            match t.kind {
+                Kind::Punct(c) if c == open => depth += 1,
+                Kind::Punct(c) if c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Skips a balanced generic argument list; the `<` already bumped.
+    /// `>>` closes two levels; `->`/`=>`/`;` abort (not generics).
+    fn skip_angles(&mut self) {
+        let mut depth = 1isize;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                Kind::Punct(b'<') => depth += 1,
+                Kind::Punct(b'>') => depth -= 1,
+                Kind::Shr => depth -= 2,
+                Kind::Punct(b';') | Kind::Punct(b'{') => return,
+                Kind::Punct(b'(') => {
+                    self.bump();
+                    self.skip_group(b'(');
+                    continue;
+                }
+                _ => {}
+            }
+            self.bump();
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Parses items until EOF or the `}` closing the enclosing block.
+    fn items(&mut self, self_type: Option<&str>) {
+        let mut is_pub = false;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                Kind::Punct(b'}') => {
+                    self.bump();
+                    return;
+                }
+                Kind::Punct(b'#') => {
+                    // Attribute: `#[…]` or `#![…]`.
+                    self.bump();
+                    if let Some(n) = self.peek() {
+                        if n.kind == Kind::Punct(b'!') {
+                            self.bump();
+                        }
+                    }
+                    if let Some(n) = self.peek() {
+                        if n.kind == Kind::Punct(b'[') {
+                            self.bump();
+                            self.skip_group(b'[');
+                        }
+                    }
+                }
+                Kind::Punct(b'{') => {
+                    self.bump();
+                    self.skip_group(b'{');
+                    is_pub = false;
+                }
+                Kind::Ident => {
+                    let word = self.text_of(t);
+                    match word {
+                        "pub" => {
+                            self.bump();
+                            is_pub = true;
+                            if let Some(n) = self.peek() {
+                                if n.kind == Kind::Punct(b'(') {
+                                    self.bump();
+                                    self.skip_group(b'(');
+                                }
+                            }
+                        }
+                        "fn" => {
+                            self.bump();
+                            self.parse_fn(self_type, is_pub, t);
+                            is_pub = false;
+                        }
+                        "impl" => {
+                            self.bump();
+                            self.parse_impl();
+                            is_pub = false;
+                        }
+                        "trait" => {
+                            self.bump();
+                            let name = self.next_ident().unwrap_or_default();
+                            self.skip_to_body_or_semi();
+                            if let Some(n) = self.peek() {
+                                if n.kind == Kind::Punct(b'{') {
+                                    self.bump();
+                                    self.items(Some(&name));
+                                }
+                            }
+                            is_pub = false;
+                        }
+                        "mod" => {
+                            self.bump();
+                            let _name = self.next_ident();
+                            match self.peek().map(|t| t.kind) {
+                                Some(Kind::Punct(b'{')) => {
+                                    self.bump();
+                                    self.items(None);
+                                }
+                                Some(Kind::Punct(b';')) => {
+                                    self.bump();
+                                }
+                                _ => {}
+                            }
+                            is_pub = false;
+                        }
+                        "use" => {
+                            self.bump();
+                            self.parse_use();
+                            is_pub = false;
+                        }
+                        "struct" => {
+                            self.bump();
+                            self.parse_struct();
+                            is_pub = false;
+                        }
+                        "enum" | "union" => {
+                            self.bump();
+                            let _name = self.next_ident();
+                            self.skip_to_body_or_semi();
+                            match self.peek().map(|t| t.kind) {
+                                Some(Kind::Punct(b'{')) => {
+                                    self.bump();
+                                    self.skip_group(b'{');
+                                }
+                                Some(Kind::Punct(b';')) => {
+                                    self.bump();
+                                }
+                                _ => {}
+                            }
+                            is_pub = false;
+                        }
+                        // Modifiers that may precede `fn`.
+                        "const" | "static" | "unsafe" | "extern" | "async" => {
+                            self.bump();
+                            // `const FOO: u32 = …;` / `static X: … = …;`
+                            // end at `;`; `const fn`/`unsafe fn` fall
+                            // through to the `fn` arm next iteration.
+                            if (word == "const" || word == "static")
+                                && !self.peek().is_some_and(|n| self.is_kw(n, "fn"))
+                            {
+                                self.skip_to_semi();
+                                is_pub = false;
+                            }
+                        }
+                        "type" => {
+                            self.bump();
+                            self.skip_to_semi();
+                            is_pub = false;
+                        }
+                        _ => {
+                            self.bump();
+                            is_pub = false;
+                        }
+                    }
+                }
+                _ => {
+                    self.bump();
+                    is_pub = false;
+                }
+            }
+        }
+    }
+
+    fn next_ident(&mut self) -> Option<String> {
+        let t = self.peek()?;
+        if t.kind == Kind::Ident {
+            self.bump();
+            Some(self.text_of(t).to_string())
+        } else {
+            None
+        }
+    }
+
+    /// Skips to (not past) the next `{` or past the next `;` at the
+    /// current nesting level — generic params, supertraits and where
+    /// clauses in between are consumed.
+    fn skip_to_body_or_semi(&mut self) {
+        while let Some(t) = self.peek() {
+            match t.kind {
+                Kind::Punct(b'{') => return,
+                Kind::Punct(b';') => {
+                    self.bump();
+                    return;
+                }
+                Kind::Punct(b'<') => {
+                    self.bump();
+                    self.skip_angles();
+                }
+                Kind::Punct(b'(') => {
+                    self.bump();
+                    self.skip_group(b'(');
+                }
+                Kind::Punct(b'[') => {
+                    self.bump();
+                    self.skip_group(b'[');
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn skip_to_semi(&mut self) {
+        while let Some(t) = self.peek() {
+            match t.kind {
+                Kind::Punct(b';') => {
+                    self.bump();
+                    return;
+                }
+                Kind::Punct(b'{') => {
+                    self.bump();
+                    self.skip_group(b'{');
+                }
+                Kind::Punct(b'(') => {
+                    self.bump();
+                    self.skip_group(b'(');
+                }
+                Kind::Punct(b'[') => {
+                    self.bump();
+                    self.skip_group(b'[');
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// `impl …` — resolves the self type and recurses into the body.
+    fn parse_impl(&mut self) {
+        // Optional generic parameters.
+        if let Some(t) = self.peek() {
+            if t.kind == Kind::Punct(b'<') {
+                self.bump();
+                self.skip_angles();
+            }
+        }
+        // Type path, possibly `Trait for Type`.
+        let mut last_ident = String::new();
+        while let Some(t) = self.peek() {
+            match t.kind {
+                Kind::Ident => {
+                    let w = self.text_of(t).to_string();
+                    self.bump();
+                    if w == "for" {
+                        last_ident.clear();
+                    } else if w == "where" {
+                        self.skip_to_body_or_semi();
+                        break;
+                    } else {
+                        last_ident = w;
+                    }
+                }
+                Kind::Punct(b'<') => {
+                    self.bump();
+                    self.skip_angles();
+                }
+                Kind::Punct(b'{') | Kind::Punct(b';') => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        if let Some(t) = self.peek() {
+            if t.kind == Kind::Punct(b'{') {
+                self.bump();
+                let st = if last_ident.is_empty() { None } else { Some(last_ident) };
+                self.items(st.as_deref());
+            } else if t.kind == Kind::Punct(b';') {
+                self.bump();
+            }
+        }
+    }
+
+    /// `use a::b::{c, d as e};` → records leaf → path for each import.
+    fn parse_use(&mut self) {
+        let mut prefix: Vec<String> = Vec::new();
+        loop {
+            let Some(t) = self.peek() else { return };
+            match t.kind {
+                Kind::Ident => {
+                    let w = self.text_of(t).to_string();
+                    self.bump();
+                    if w == "as" {
+                        if let Some(alias) = self.next_ident() {
+                            let mut full = prefix.clone();
+                            full.push(alias.clone());
+                            self.out.uses.push((alias, full));
+                            prefix.pop();
+                        }
+                    } else {
+                        prefix.push(w);
+                    }
+                }
+                Kind::PathSep => {
+                    self.bump();
+                }
+                Kind::Punct(b'{') => {
+                    self.bump();
+                    self.parse_use_group(&prefix);
+                }
+                Kind::Punct(b';') => {
+                    self.bump();
+                    // A plain `use a::b::c;` imports leaf `c`.
+                    if let Some(leaf) = prefix.last() {
+                        if leaf != "*" {
+                            self.out.uses.push((leaf.clone(), prefix.clone()));
+                        }
+                    }
+                    return;
+                }
+                Kind::Punct(b'*') => {
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_use_group(&mut self, prefix: &[String]) {
+        let mut segs: Vec<String> = Vec::new();
+        loop {
+            let Some(t) = self.peek() else { return };
+            match t.kind {
+                Kind::Ident => {
+                    let w = self.text_of(t).to_string();
+                    self.bump();
+                    if w == "as" {
+                        if let Some(alias) = self.next_ident() {
+                            let mut full = prefix.to_vec();
+                            full.extend(segs.iter().cloned());
+                            full.push(alias.clone());
+                            self.out.uses.push((alias, full));
+                        }
+                        segs.clear();
+                    } else {
+                        segs.push(w);
+                    }
+                }
+                Kind::PathSep => {
+                    self.bump();
+                }
+                Kind::Punct(b'{') => {
+                    self.bump();
+                    let mut deeper = prefix.to_vec();
+                    deeper.extend(segs.drain(..));
+                    self.parse_use_group(&deeper);
+                }
+                Kind::Punct(b',') => {
+                    self.bump();
+                    if let Some(leaf) = segs.last() {
+                        let mut full = prefix.to_vec();
+                        full.extend(segs.iter().cloned());
+                        self.out.uses.push((leaf.clone(), full));
+                    }
+                    segs.clear();
+                }
+                Kind::Punct(b'}') => {
+                    self.bump();
+                    if let Some(leaf) = segs.last() {
+                        let mut full = prefix.to_vec();
+                        full.extend(segs.iter().cloned());
+                        self.out.uses.push((leaf.clone(), full));
+                    }
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// `struct Name { field: Type, … }` → records named field types.
+    fn parse_struct(&mut self) {
+        let Some(name) = self.next_ident() else { return };
+        self.skip_to_body_or_semi_shallow();
+        let mut fields = Vec::new();
+        match self.peek().map(|t| t.kind) {
+            Some(Kind::Punct(b'{')) => {
+                self.bump();
+                // field: Type, …  — at depth 0 of the struct body.
+                loop {
+                    let Some(t) = self.peek() else { break };
+                    match t.kind {
+                        Kind::Punct(b'}') => {
+                            self.bump();
+                            break;
+                        }
+                        Kind::Punct(b'#') => {
+                            self.bump();
+                            if let Some(n) = self.peek() {
+                                if n.kind == Kind::Punct(b'[') {
+                                    self.bump();
+                                    self.skip_group(b'[');
+                                }
+                            }
+                        }
+                        Kind::Ident => {
+                            let w = self.text_of(t).to_string();
+                            self.bump();
+                            if w == "pub" {
+                                if let Some(n) = self.peek() {
+                                    if n.kind == Kind::Punct(b'(') {
+                                        self.bump();
+                                        self.skip_group(b'(');
+                                    }
+                                }
+                                continue;
+                            }
+                            // Expect `: Type…` then `,` or `}`.
+                            if self.peek().is_some_and(|n| n.kind == Kind::Punct(b':')) {
+                                self.bump();
+                                if let Some(ty) = self.first_type_ident_to_comma() {
+                                    fields.push((w, ty));
+                                }
+                            }
+                        }
+                        _ => {
+                            self.bump();
+                        }
+                    }
+                }
+            }
+            Some(Kind::Punct(b'(')) => {
+                // Tuple struct: skip fields, then the trailing `;`.
+                self.bump();
+                self.skip_group(b'(');
+                if self.peek().is_some_and(|t| t.kind == Kind::Punct(b';')) {
+                    self.bump();
+                }
+            }
+            Some(Kind::Punct(b';')) => {
+                self.bump();
+            }
+            _ => {}
+        }
+        self.out.structs.push((name, fields));
+    }
+
+    /// Like [`skip_to_body_or_semi`] but stops before `(` and `;` too,
+    /// so tuple structs and unit structs keep their terminator.
+    fn skip_to_body_or_semi_shallow(&mut self) {
+        while let Some(t) = self.peek() {
+            match t.kind {
+                Kind::Punct(b'{') | Kind::Punct(b'(') | Kind::Punct(b';') => return,
+                Kind::Punct(b'<') => {
+                    self.bump();
+                    self.skip_angles();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes type tokens until a `,` or `}` at the current level and
+    /// returns the first uppercase identifier (the nominal type), if any.
+    fn first_type_ident_to_comma(&mut self) -> Option<String> {
+        let mut found: Option<String> = None;
+        let mut depth = 0isize;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                Kind::Punct(b',') if depth == 0 => {
+                    self.bump();
+                    break;
+                }
+                Kind::Punct(b'}') if depth == 0 => break,
+                Kind::Punct(b'<') | Kind::Punct(b'(') | Kind::Punct(b'[') => {
+                    depth += 1;
+                    self.bump();
+                }
+                Kind::Punct(b'>') | Kind::Punct(b')') | Kind::Punct(b']') => {
+                    depth -= 1;
+                    self.bump();
+                }
+                Kind::Shr => {
+                    depth -= 2;
+                    self.bump();
+                }
+                Kind::Ident => {
+                    let w = self.text_of(t);
+                    if found.is_none()
+                        && w.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                    {
+                        found = Some(w.to_string());
+                    }
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        found
+    }
+
+    /// Parses one `fn` item; the `fn` keyword is already consumed and
+    /// `kw` is its token.
+    fn parse_fn(&mut self, self_type: Option<&str>, is_pub: bool, kw: Tok) {
+        let Some(name) = self.next_ident() else { return };
+        let mut item = FnItem {
+            name,
+            self_type: self_type.map(str::to_string),
+            is_pub,
+            line: kw.line,
+            col: kw.col,
+            start_line: kw.line,
+            end_line: kw.line,
+            in_test: self.lexed.in_test_span(kw.line),
+            params: Vec::new(),
+            locals: Vec::new(),
+            calls: Vec::new(),
+        };
+        // Generic parameters.
+        if self.peek().is_some_and(|t| t.kind == Kind::Punct(b'<')) {
+            self.bump();
+            self.skip_angles();
+        }
+        // Parameters.
+        if self.peek().is_some_and(|t| t.kind == Kind::Punct(b'(')) {
+            self.bump();
+            self.parse_params(&mut item);
+        }
+        // Return type / where clause, then body or `;`.
+        loop {
+            let Some(t) = self.peek() else {
+                self.out.fns.push(item);
+                return;
+            };
+            match t.kind {
+                Kind::Punct(b'{') => {
+                    self.bump();
+                    self.parse_body(&mut item);
+                    break;
+                }
+                Kind::Punct(b';') => {
+                    // Signature only (trait method, extern).
+                    self.bump();
+                    break;
+                }
+                Kind::Punct(b'<') => {
+                    self.bump();
+                    self.skip_angles();
+                }
+                Kind::Punct(b'(') => {
+                    self.bump();
+                    self.skip_group(b'(');
+                }
+                Kind::Punct(b'[') => {
+                    self.bump();
+                    self.skip_group(b'[');
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.out.fns.push(item);
+    }
+
+    /// Parses the parameter list; the `(` is already consumed. Records
+    /// `name: Type` pairs where the type has a nominal ident.
+    fn parse_params(&mut self, item: &mut FnItem) {
+        let mut depth = 1isize;
+        let mut pending: Option<String>;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                Kind::Punct(b'(') | Kind::Punct(b'[') => {
+                    depth += 1;
+                    self.bump();
+                }
+                Kind::Punct(b')') | Kind::Punct(b']') => {
+                    depth -= 1;
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                Kind::Punct(b'<') => {
+                    self.bump();
+                    self.skip_angles();
+                }
+                Kind::Ident if depth == 1 => {
+                    let w = self.text_of(t).to_string();
+                    self.bump();
+                    if self.peek().is_some_and(|n| n.kind == Kind::Punct(b':'))
+                        && w != "self"
+                        && w != "mut"
+                    {
+                        pending = Some(w);
+                        self.bump();
+                        // First uppercase ident in the type, up to `,`
+                        // or the closing `)`.
+                        let mut ty: Option<String> = None;
+                        let mut tdepth = 0isize;
+                        while let Some(n) = self.peek() {
+                            match n.kind {
+                                Kind::Punct(b',') if tdepth == 0 => break,
+                                Kind::Punct(b')') if tdepth == 0 => break,
+                                Kind::Punct(b'(') | Kind::Punct(b'[') => {
+                                    tdepth += 1;
+                                    self.bump();
+                                }
+                                Kind::Punct(b')') | Kind::Punct(b']') => {
+                                    tdepth -= 1;
+                                    self.bump();
+                                }
+                                Kind::Punct(b'<') => {
+                                    self.bump();
+                                    self.skip_angles();
+                                }
+                                Kind::Ident => {
+                                    let tw = self.text_of(n);
+                                    if ty.is_none()
+                                        && tw.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                                    {
+                                        ty = Some(tw.to_string());
+                                    }
+                                    self.bump();
+                                }
+                                _ => {
+                                    self.bump();
+                                }
+                            }
+                        }
+                        if let (Some(name), Some(ty)) = (pending.take(), ty) {
+                            item.params.push((name, ty));
+                        }
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Parses a fn body; the opening `{` is already consumed. Extracts
+    /// call sites and `let` types; recurses for nested `fn` items.
+    fn parse_body(&mut self, item: &mut FnItem) {
+        let mut depth = 1isize;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                Kind::Punct(b'{') => {
+                    depth += 1;
+                    self.bump();
+                }
+                Kind::Punct(b'}') => {
+                    depth -= 1;
+                    item.end_line = t.line;
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                Kind::Ident => {
+                    let w = self.text_of(t);
+                    if w == "fn" {
+                        // Nested item: parse it as its own FnItem.
+                        self.bump();
+                        self.parse_fn(None, false, t);
+                        continue;
+                    }
+                    if w == "let" {
+                        self.bump();
+                        self.parse_let(item);
+                        continue;
+                    }
+                    self.maybe_call(item);
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// `let [mut] name [: Type] [= Init…]` — records the binding's type
+    /// from the annotation or a `Type::ctor(…)` initializer. Consumes
+    /// only what it can classify; the body scan continues after.
+    fn parse_let(&mut self, item: &mut FnItem) {
+        let mut t = match self.peek() {
+            Some(t) => t,
+            None => return,
+        };
+        if self.is_kw(t, "mut") {
+            self.bump();
+            t = match self.peek() {
+                Some(t) => t,
+                None => return,
+            };
+        }
+        if t.kind != Kind::Ident {
+            return;
+        }
+        let name = self.text_of(t).to_string();
+        self.bump();
+        match self.peek().map(|t| t.kind) {
+            Some(Kind::Punct(b':')) => {
+                self.bump();
+                // Annotation: first uppercase ident up to `=` or `;`.
+                let mut ty: Option<String> = None;
+                while let Some(n) = self.peek() {
+                    match n.kind {
+                        Kind::Punct(b'=') | Kind::Punct(b';') => break,
+                        Kind::Punct(b'<') => {
+                            self.bump();
+                            self.skip_angles();
+                        }
+                        Kind::Ident => {
+                            let w = self.text_of(n);
+                            if ty.is_none()
+                                && w.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                            {
+                                ty = Some(w.to_string());
+                            }
+                            self.bump();
+                        }
+                        _ => {
+                            self.bump();
+                        }
+                    }
+                }
+                if let Some(ty) = ty {
+                    item.locals.push((name, ty));
+                }
+            }
+            Some(Kind::Punct(b'=')) => {
+                self.bump();
+                // `= Type::ctor(…)` infers Type.
+                if let Some(first) = self.peek() {
+                    if first.kind == Kind::Ident {
+                        let w = self.text_of(first);
+                        let upper = w.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+                        if upper
+                            && self
+                                .toks
+                                .get(self.pos + 1)
+                                .is_some_and(|n| n.kind == Kind::PathSep)
+                        {
+                            item.locals.push((name, w.to_string()));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Inspects the ident at the cursor: if it heads a call expression,
+    /// records a [`CallSite`]; always consumes at least the ident.
+    fn maybe_call(&mut self, item: &mut FnItem) {
+        let t = match self.peek() {
+            Some(t) => t,
+            None => return,
+        };
+        let word = self.text_of(t).to_string();
+        self.bump();
+        if KEYWORDS.contains(&word.as_str()) {
+            return;
+        }
+        // Accumulate a path: `a::b::c` (with optional turbofish).
+        let mut segs = vec![word];
+        let mut last = t;
+        loop {
+            let Some(n) = self.peek() else { break };
+            match n.kind {
+                Kind::PathSep => {
+                    let after = self.toks.get(self.pos + 1).copied();
+                    match after.map(|a| a.kind) {
+                        Some(Kind::Ident) => {
+                            self.bump(); // ::
+                            let id = self.bump().unwrap_or(n);
+                            segs.push(self.text_of(id).to_string());
+                            last = id;
+                        }
+                        Some(Kind::Punct(b'<')) => {
+                            // Turbofish `::<…>`.
+                            self.bump();
+                            self.bump();
+                            self.skip_angles();
+                        }
+                        _ => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        let is_call = self.peek().is_some_and(|n| n.kind == Kind::Punct(b'('));
+        if !is_call {
+            return;
+        }
+        let name = segs.last().cloned().unwrap_or_default();
+        // Constructors (tuple structs, enum variants) are uppercase by
+        // convention and are not calls the graph needs.
+        if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            return;
+        }
+        let callee = if segs.len() > 1 {
+            Callee::Path(segs)
+        } else {
+            // `.name(` → method; otherwise free call.
+            let before = self.tok_before(t);
+            match before {
+                Some(b) if b.kind == Kind::Punct(b'.') => {
+                    let recv = self.receiver_shape(b);
+                    Callee::Method { name: name.clone(), recv }
+                }
+                _ => Callee::Free(name.clone()),
+            }
+        };
+        item.calls.push(CallSite { line: last.line, col: last.col, callee });
+    }
+
+    /// The token immediately before `t` in the stream, if any.
+    fn tok_before(&self, t: Tok) -> Option<Tok> {
+        // `self.pos` has moved past `t` (and possibly a turbofish), so
+        // search backwards for the token whose span precedes `t`.
+        let idx = self.toks.iter().rposition(|x| x.end <= t.start)?;
+        self.toks.get(idx).copied()
+    }
+
+    /// Classifies the receiver ending at the `.` token `dot`.
+    fn receiver_shape(&self, dot: Tok) -> Receiver {
+        let Some(i) = self.toks.iter().rposition(|x| x.end <= dot.start) else {
+            return Receiver::Unknown;
+        };
+        let r = self.toks[i];
+        if r.kind != Kind::Ident {
+            return Receiver::Unknown;
+        }
+        let rname = self.text_of(r);
+        // Look one more hop back for `self.field`.
+        if let Some(j) = self.toks[..i].iter().rposition(|x| x.end <= r.start) {
+            let p = self.toks[j];
+            if p.kind == Kind::Punct(b'.') {
+                if let Some(k) = self.toks[..j].iter().rposition(|x| x.end <= p.start) {
+                    let pp = self.toks[k];
+                    if pp.kind == Kind::Ident && self.text_of(pp) == "self" {
+                        return Receiver::SelfField(rname.to_string());
+                    }
+                }
+                // Deeper chains: unknown.
+                return Receiver::Unknown;
+            }
+        }
+        if rname == "self" {
+            Receiver::SelfOwn
+        } else {
+            Receiver::Var(rname.to_string())
+        }
+    }
+}
+
+/// Identifiers that can precede `(` without being calls.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "in", "as",
+    "let", "mut", "ref", "move", "where", "unsafe", "dyn", "impl", "fn", "use", "pub", "mod",
+    "struct", "enum", "trait", "type", "const", "static", "true", "false", "crate", "super",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse("crates/x/src/lib.rs", &lex(src))
+    }
+
+    #[test]
+    fn free_fns_and_spans_are_extracted() {
+        let src = "pub fn alpha() {\n    beta();\n}\n\nfn beta() {}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "alpha");
+        assert!(p.fns[0].is_pub);
+        assert_eq!((p.fns[0].start_line, p.fns[0].end_line), (1, 3));
+        assert_eq!(p.fns[0].calls, [CallSite { line: 2, col: 5, callee: Callee::Free("beta".into()) }]);
+        assert_eq!(p.fns[1].name, "beta");
+        assert!(!p.fns[1].is_pub);
+    }
+
+    #[test]
+    fn impl_methods_get_the_self_type() {
+        let src = "impl Collector {\n    pub fn tick(&mut self) {\n        self.flush();\n    }\n}\n\
+                   impl fmt::Display for Frame {\n    fn fmt(&self) {}\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].qualified(), "Collector::tick");
+        assert_eq!(
+            p.fns[0].calls,
+            [CallSite {
+                line: 3,
+                col: 14,
+                callee: Callee::Method { name: "flush".into(), recv: Receiver::SelfOwn }
+            }]
+        );
+        assert_eq!(p.fns[1].qualified(), "Frame::fmt");
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses_resolve_the_type() {
+        let src = "impl<'a, T: Clone> Wrapper<'a, T> where T: Default {\n    fn get(&self) {}\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].qualified(), "Wrapper::get");
+    }
+
+    #[test]
+    fn method_receiver_shapes_are_classified() {
+        let src = "fn f(store: Store, n: usize) {\n    store.offer(n);\n    self.store.drain();\n    make().go();\n}\n";
+        let p = parsed(src);
+        let calls = &p.fns[0].calls;
+        assert_eq!(calls.len(), 4);
+        assert_eq!(
+            calls[0].callee,
+            Callee::Method { name: "offer".into(), recv: Receiver::Var("store".into()) }
+        );
+        assert_eq!(
+            calls[1].callee,
+            Callee::Method { name: "drain".into(), recv: Receiver::SelfField("store".into()) }
+        );
+        assert_eq!(calls[2].callee, Callee::Free("make".into()));
+        assert_eq!(
+            calls[3].callee,
+            Callee::Method { name: "go".into(), recv: Receiver::Unknown }
+        );
+    }
+
+    #[test]
+    fn path_calls_and_turbofish_are_resolved() {
+        let src = "fn f() {\n    wire::decode_frame(b);\n    u32::try_from(x);\n    parse::<u64>(s);\n}\n";
+        let p = parsed(src);
+        let calls = &p.fns[0].calls;
+        assert_eq!(calls[0].callee, Callee::Path(vec!["wire".into(), "decode_frame".into()]));
+        assert_eq!(calls[1].callee, Callee::Path(vec!["u32".into(), "try_from".into()]));
+        assert_eq!(calls[2].callee, Callee::Free("parse".into()));
+    }
+
+    #[test]
+    fn constructors_and_keywords_are_not_calls() {
+        let src = "fn f() -> Option<u32> {\n    if check(x) { return Some(1); }\n    let v = Vec::new();\n    match v.len() { _ => None }\n}\n";
+        let p = parsed(src);
+        let names: Vec<String> = p.fns[0]
+            .calls
+            .iter()
+            .map(|c| match &c.callee {
+                Callee::Free(n) => n.clone(),
+                Callee::Path(p) => p.join("::"),
+                Callee::Method { name, .. } => format!(".{name}"),
+            })
+            .collect();
+        assert_eq!(names, ["check", "Vec::new", ".len"]);
+    }
+
+    #[test]
+    fn params_and_lets_record_nominal_types() {
+        let src = "fn f(cfg: &CollectorConfig, buf: &[u8]) {\n    let d: Detector = make();\n    let t = Interner::new();\n    let plain = 4;\n    cfg.get(); d.scan(); t.intern();\n}\n";
+        let p = parsed(src);
+        let f = &p.fns[0];
+        assert_eq!(f.params, [("cfg".to_string(), "CollectorConfig".to_string())]);
+        assert_eq!(
+            f.locals,
+            [("d".to_string(), "Detector".to_string()), ("t".to_string(), "Interner".to_string())]
+        );
+    }
+
+    #[test]
+    fn use_imports_are_flattened() {
+        let src = "use a::b::c;\nuse x::{y, z as w};\nuse osprof_core::json::Json;\n";
+        let p = parsed(src);
+        assert!(p.uses.contains(&("c".into(), vec!["a".into(), "b".into(), "c".into()])));
+        assert!(p.uses.contains(&("y".into(), vec!["x".into(), "y".into()])));
+        assert!(p.uses.contains(&("w".into(), vec!["x".into(), "z".into(), "w".into()])));
+        assert!(p.uses.contains(&("Json".into(), vec!["osprof_core".into(), "json".into(), "Json".into()])));
+    }
+
+    #[test]
+    fn struct_fields_record_types() {
+        let src = "pub struct Collector {\n    store: ShardedStore,\n    pub names: Vec<Arc<str>>,\n    count: u64,\n}\nstruct Unit;\nstruct Pair(u32, u32);\nfn after() {}\n";
+        let p = parsed(src);
+        assert_eq!(
+            p.fields_of("Collector"),
+            Some(
+                &[
+                    ("store".to_string(), "ShardedStore".to_string()),
+                    ("names".to_string(), "Vec".to_string()),
+                ][..]
+            )
+        );
+        assert!(p.fields_of("Unit").is_some_and(|f| f.is_empty()));
+        assert_eq!(p.fns.len(), 1, "parser recovers after unit and tuple structs");
+    }
+
+    #[test]
+    fn trait_default_methods_and_signatures_are_items() {
+        let src = "trait Engine {\n    fn run(&mut self);\n    fn boot(&mut self) {\n        self.run();\n    }\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].qualified(), "Engine::run");
+        assert!(p.fns[0].calls.is_empty());
+        assert_eq!(p.fns[1].qualified(), "Engine::boot");
+        assert_eq!(p.fns[1].calls.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let p = parsed(src);
+        assert!(!p.fns[0].in_test);
+        assert!(p.fns[1].in_test);
+    }
+
+    #[test]
+    fn nested_fns_and_const_fn_parse() {
+        let src = "const MAX: usize = 16;\npub const fn cap() -> usize { MAX }\nfn outer() {\n    fn inner() {}\n    inner();\n}\n";
+        let p = parsed(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["cap", "inner", "outer"]);
+        assert!(p.fns[2].calls.iter().any(|c| c.callee == Callee::Free("inner".into())));
+    }
+
+    #[test]
+    fn closures_and_struct_literals_stay_inside_the_span() {
+        let src = "fn f() -> Vec<u32> {\n    let v: Vec<u32> = (0..4).map(|x| twice(x)).collect();\n    v\n}\nfn twice(x: u32) -> u32 { x }\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!((p.fns[0].start_line, p.fns[0].end_line), (1, 4));
+        assert!(p.fns[0].calls.iter().any(|c| c.callee == Callee::Free("twice".into())));
+    }
+}

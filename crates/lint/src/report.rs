@@ -29,10 +29,14 @@ pub fn render_text(outcome: &Outcome) -> String {
 }
 
 /// Renders the JSON report.
+///
+/// Schema v2: every diagnostic carries a `call_chain` array — empty
+/// for lexical rules, entry-point-first hops of `{file, line, fn}`
+/// for the semantic ones.
 pub fn render_json(outcome: &Outcome) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"version\": 2,\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", outcome.files_scanned));
     out.push_str(&format!("  \"violations\": {},\n", outcome.diagnostics.len()));
     out.push_str("  \"diagnostics\": [");
@@ -45,8 +49,20 @@ pub fn render_json(outcome: &Outcome) -> String {
         out.push_str(&format!("\"line\": {}, ", d.line));
         out.push_str(&format!("\"col\": {}, ", d.col));
         out.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
-        out.push_str(&format!("\"message\": {}", json_str(&d.message)));
-        out.push('}');
+        out.push_str(&format!("\"message\": {}, ", json_str(&d.message)));
+        out.push_str("\"call_chain\": [");
+        for (j, hop) in d.call_chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"file\": {}, \"line\": {}, \"fn\": {}}}",
+                json_str(&hop.file),
+                hop.line,
+                json_str(&hop.func)
+            ));
+        }
+        out.push_str("]}");
     }
     if !outcome.diagnostics.is_empty() {
         out.push_str("\n  ");
@@ -77,7 +93,7 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::Diagnostic;
+    use crate::rules::{ChainHop, Diagnostic};
 
     #[test]
     fn json_report_is_stable_and_escaped() {
@@ -88,14 +104,42 @@ mod tests {
                 col: 7,
                 rule: "no-panic",
                 message: "uses `unwrap()` \"here\"".into(),
+                call_chain: Vec::new(),
             }],
             files_scanned: 2,
         };
         let json = render_json(&outcome);
-        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"version\": 2"));
         assert!(json.contains("\"files_scanned\": 2"));
         assert!(json.contains("\\\"here\\\""));
+        assert!(json.contains("\"call_chain\": []"));
         assert!(json.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn call_chain_hops_render_in_order() {
+        let outcome = Outcome {
+            diagnostics: vec![Diagnostic {
+                file: "crates/simkernel/src/lib.rs".into(),
+                line: 9,
+                col: 5,
+                rule: "panic-reachability",
+                message: "reachable panic".into(),
+                call_chain: vec![
+                    ChainHop { file: "crates/collector/src/daemon.rs".into(), line: 176, func: "Collector::ingest".into() },
+                    ChainHop { file: "crates/simkernel/src/lib.rs".into(), line: 7, func: "helper".into() },
+                ],
+            }],
+            files_scanned: 1,
+        };
+        let json = render_json(&outcome);
+        assert!(json.contains(
+            "\"call_chain\": [{\"file\": \"crates/collector/src/daemon.rs\", \"line\": 176, \
+             \"fn\": \"Collector::ingest\"}, {\"file\": \"crates/simkernel/src/lib.rs\", \
+             \"line\": 7, \"fn\": \"helper\"}]"
+        ));
+        let text = render_text(&outcome);
+        assert!(text.contains("\n    via Collector::ingest (crates/collector/src/daemon.rs:176)\n"));
     }
 
     #[test]

@@ -2,12 +2,26 @@
 //!
 //! Each rule guards an invariant a previous PR paid for (see DESIGN.md
 //! §11): byte-identical serial/parallel replay, panic-free chaos
-//! ingest, bounded queues, and the hermetic offline build. Rules are
-//! lexical — they match tokens in [scrubbed](crate::lexer) code — so
-//! they are fast, dependency-free, and easy to audit; the price is
-//! that scoping is by path, not by type information.
+//! ingest, bounded queues, and the hermetic offline build. The six
+//! original rules are lexical — they match tokens in
+//! [scrubbed](crate::lexer) code, scoped by path — and the three
+//! semantic rules ([`crate::semantic`]) lift the same token tables
+//! onto the workspace call graph, reporting each finding with the
+//! call chain that reaches it.
 
 use crate::lexer::LexedFile;
+
+/// One hop of call-chain evidence: the fn that carries the
+/// reachability one step closer to the flagged site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChainHop {
+    /// Workspace-relative path declaring the fn.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// `Type::name` for methods, `name` for free fns.
+    pub func: String,
+}
 
 /// A single finding, pointing into one file.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -22,23 +36,35 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable message.
     pub message: String,
+    /// Call-chain evidence, entry point first, flagged fn last.
+    /// Empty for lexical rules.
+    pub call_chain: Vec<ChainHop>,
 }
 
 impl Diagnostic {
-    /// Renders as `file:line:col: error[rule]: message`.
+    /// Renders as `file:line:col: error[rule]: message`, followed by
+    /// one indented `via` line per call-chain hop.
     pub fn render(&self) -> String {
-        format!("{}:{}:{}: error[{}]: {}", self.file, self.line, self.col, self.rule, self.message)
+        let mut s =
+            format!("{}:{}:{}: error[{}]: {}", self.file, self.line, self.col, self.rule, self.message);
+        for hop in &self.call_chain {
+            s.push_str(&format!("\n    via {} ({}:{})", hop.func, hop.file, hop.line));
+        }
+        s
     }
 }
 
 /// Every rule the engine knows, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 9] = [
     "no-panic",
     "no-wallclock",
     "no-unordered-iter",
     "no-unbounded-channel",
     "hermetic-deps",
     "suppression-hygiene",
+    "panic-reachability",
+    "determinism-taint",
+    "decode-overflow",
 ];
 
 /// True when `name` is a known rule.
@@ -46,10 +72,112 @@ pub fn is_known_rule(name: &str) -> bool {
     RULE_NAMES.contains(&name)
 }
 
+/// One rule's documentation, rendered by `osprof-lint explain`.
+///
+/// This table lives next to [`RULE_NAMES`] so the docs cannot drift
+/// from the registry: a unit test asserts the two stay in lockstep.
+pub struct RuleInfo {
+    pub name: &'static str,
+    /// Why the rule exists — which invariant it guards.
+    pub rationale: &'static str,
+    /// Where it applies.
+    pub scope: &'static str,
+    /// How to waive a finding.
+    pub waiver: &'static str,
+}
+
+pub const RULE_INFO: [RuleInfo; 9] = [
+    RuleInfo {
+        name: "no-panic",
+        rationale: "Chaos ingest and crash recovery promise panic-free operation: a \
+                    stray `unwrap`/`expect`/`panic!` turns a recoverable decode error \
+                    into a dead collector.",
+        scope: "Production sources under crates/{collector,core,analysis,federation}/src/, \
+                excluding tests, benches, examples, bins and #[cfg(test)] regions.",
+        waiver: "// lint:allow(no-panic): <why this cannot fail>",
+    },
+    RuleInfo {
+        name: "no-wallclock",
+        rationale: "Replay determinism requires that no code path read real time: \
+                    `Instant::now`, `SystemTime`, `process::id` and `thread::current` \
+                    all vary across runs and would leak into profiles.",
+        scope: "Everywhere except crates/host (measures the real machine), crates/bench \
+                (measures wall-clock running time) and test-like paths.",
+        waiver: "// lint:allow(no-wallclock): <why this value never reaches output>",
+    },
+    RuleInfo {
+        name: "no-unordered-iter",
+        rationale: "HashMap/HashSet iteration order is seeded per process; iterating one \
+                    into report, journal or wire bytes breaks byte-identical replay.",
+        scope: "Output-producing files: crates/{collector,federation,viz}/src/ plus \
+                core's serialize.rs and json.rs, excluding test-like paths.",
+        waiver: "// lint:allow(no-unordered-iter): <why order cannot reach output>",
+    },
+    RuleInfo {
+        name: "no-unbounded-channel",
+        rationale: "The collector's backpressure story assumes bounded queues end to \
+                    end; one `mpsc::channel()` lets a stalled consumer buffer without \
+                    limit.",
+        scope: "crates/{collector,federation}/src/, excluding test-like paths.",
+        waiver: "// lint:allow(no-unbounded-channel): <why this queue is bounded elsewhere>",
+    },
+    RuleInfo {
+        name: "hermetic-deps",
+        rationale: "The workspace builds offline with no registry access; any `version`, \
+                    `git` or `registry` dependency source would break the hermetic build.",
+        scope: "Every Cargo.toml, all *dependencies* sections.",
+        waiver: "None — path (or workspace = true) dependencies only.",
+    },
+    RuleInfo {
+        name: "suppression-hygiene",
+        rationale: "Waivers are load-bearing documentation: a malformed, trailing, \
+                    unknown-rule, or stale suppression (and likewise a malformed \
+                    `lint:dyn` hint) silently hides future violations.",
+        scope: "Every lint:allow suppression and lint:dyn hint in every linted file.",
+        waiver: "None — fix or delete the suppression itself.",
+    },
+    RuleInfo {
+        name: "panic-reachability",
+        rationale: "Lexical no-panic only covers the four scoped crates; this rule walks \
+                    the workspace call graph from public ingest/report entry points and \
+                    flags any transitively reachable panic site — unwrap/expect/panic! \
+                    in out-of-scope helper crates, and slice indexing with arithmetic \
+                    anywhere — with the full call chain as evidence.",
+        scope: "Any fn reachable from public entry-point fns (ingest*/tick*/report*/… \
+                prefixes) in crates/{collector,core,analysis,federation}/src/.",
+        waiver: "// lint:allow(panic-reachability): <why this cannot fail> — and \
+                 // lint:dyn(<fn>, …): <why> to declare dynamic-dispatch edges the \
+                 graph cannot see",
+    },
+    RuleInfo {
+        name: "determinism-taint",
+        rationale: "Nondeterminism sources — HashMap/HashSet iteration, wallclock, \
+                    thread identity, float sorts via partial_cmp — are only safe while \
+                    they stay out of output paths; this rule taints each source and \
+                    flags it when the call graph shows a public entry point (and thus \
+                    report/journal/wire state) can reach it.",
+        scope: "Sources outside the lexical no-unordered-iter/no-wallclock scopes that \
+                are reachable from the same entry-point roots as panic-reachability.",
+        waiver: "// lint:allow(determinism-taint): <why the nondeterminism cannot reach \
+                 output bytes>",
+    },
+    RuleInfo {
+        name: "decode-overflow",
+        rationale: "Wire and journal decode paths process attacker-shaped bytes; a \
+                    narrowing `as` cast, a shift by a variable amount, or an unchecked \
+                    `+`/`*` on untrusted lengths is an overflow (or debug panic) waiting \
+                    for a hostile frame. Use checked_*/try_from.",
+        scope: "decode-prefixed public fns (decode*/parse*/recover*/restore*/resume*) \
+                and everything they reach in wire.rs, wire_view.rs, journal.rs, \
+                segment.rs and intern.rs.",
+        waiver: "// lint:allow(decode-overflow): <why the arithmetic cannot overflow>",
+    },
+];
+
 /// A banned token: the needle plus its boundary requirements and the
 /// diagnostic text to emit where it matches.
-struct Banned {
-    needle: &'static str,
+pub(crate) struct Banned {
+    pub(crate) needle: &'static str,
     /// Require the preceding char to not be an identifier char (so
     /// `my_process::id` does not match `process::id`).
     ident_boundary_before: bool,
@@ -60,7 +188,47 @@ struct Banned {
     message: &'static str,
 }
 
-const PANIC_TOKENS: &[Banned] = &[
+impl Banned {
+    /// The needle with call-syntax decoration stripped, for semantic
+    /// diagnostics that name the token rather than quote the lexical
+    /// message (`.unwrap()` → `unwrap()`, `.expect(` → `expect()`).
+    pub(crate) fn label(&self) -> String {
+        let t = self.needle.trim_start_matches('.');
+        if let Some(stripped) = t.strip_suffix('(') {
+            format!("{stripped}()")
+        } else {
+            t.to_string()
+        }
+    }
+
+    /// 1-based columns where the token matches in a scrubbed line,
+    /// honoring the identifier-boundary requirements.
+    pub(crate) fn cols_in_line(&self, line: &str) -> Vec<usize> {
+        let mut cols = Vec::new();
+        let mut from = 0;
+        while let Some(rel) = line[from..].find(self.needle) {
+            let at = from + rel;
+            from = at + self.needle.len();
+            if self.ident_boundary_before
+                && at > 0
+                && (line.as_bytes()[at - 1].is_ascii_alphanumeric() || line.as_bytes()[at - 1] == b'_')
+            {
+                continue;
+            }
+            if self.ident_boundary_after {
+                if let Some(&next) = line.as_bytes().get(at + self.needle.len()) {
+                    if next.is_ascii_alphanumeric() || next == b'_' {
+                        continue;
+                    }
+                }
+            }
+            cols.push(at + 1);
+        }
+        cols
+    }
+}
+
+pub(crate) const PANIC_TOKENS: &[Banned] = &[
     Banned {
         needle: ".unwrap()",
         ident_boundary_before: false,
@@ -103,7 +271,7 @@ const PANIC_TOKENS: &[Banned] = &[
     },
 ];
 
-const WALLCLOCK_TOKENS: &[Banned] = &[
+pub(crate) const WALLCLOCK_TOKENS: &[Banned] = &[
     Banned {
         needle: "Instant::now",
         ident_boundary_before: true,
@@ -134,7 +302,7 @@ const WALLCLOCK_TOKENS: &[Banned] = &[
     },
 ];
 
-const UNORDERED_TOKENS: &[Banned] = &[
+pub(crate) const UNORDERED_TOKENS: &[Banned] = &[
     Banned {
         needle: "HashMap",
         ident_boundary_before: true,
@@ -216,32 +384,14 @@ fn find_banned(file: &str, lexed: &LexedFile, rule: &'static str, tokens: &[Bann
             continue;
         }
         for t in tokens {
-            let mut from = 0;
-            while let Some(rel) = line[from..].find(t.needle) {
-                let at = from + rel;
-                from = at + t.needle.len();
-                if t.ident_boundary_before
-                    && at > 0
-                    && line.as_bytes()[at - 1].is_ascii_alphanumeric()
-                {
-                    continue;
-                }
-                if t.ident_boundary_before && at > 0 && line.as_bytes()[at - 1] == b'_' {
-                    continue;
-                }
-                if t.ident_boundary_after {
-                    if let Some(&next) = line.as_bytes().get(at + t.needle.len()) {
-                        if next.is_ascii_alphanumeric() || next == b'_' {
-                            continue;
-                        }
-                    }
-                }
+            for col in t.cols_in_line(line) {
                 out.push(Diagnostic {
                     file: file.to_string(),
                     line: line_no,
-                    col: at + 1,
+                    col,
                     rule,
                     message: t.message.split_whitespace().collect::<Vec<_>>().join(" "),
+                    call_chain: Vec::new(),
                 });
             }
         }
@@ -290,6 +440,7 @@ pub fn check_manifest(path: &str, src: &str, out: &mut Vec<Diagnostic>) {
                          builds offline, so every dependency must use `path = ...` \
                          (or `workspace = true`)"
                     ),
+                    call_chain: Vec::new(),
                 });
             }
         }
@@ -371,6 +522,7 @@ fn push_dep_violation(path: &str, line: usize, name: &str, out: &mut Vec<Diagnos
             "dependency `{name}` is not a pure path dependency; the workspace builds \
              offline, so every dependency must use `path = ...` (or `workspace = true`)"
         ),
+        call_chain: Vec::new(),
     });
 }
 
@@ -546,5 +698,16 @@ git_dep = { git = "https://example.com/x.git" }
         check_manifest("Cargo.toml", toml, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn every_rule_has_explain_docs_in_registry_order() {
+        assert_eq!(RULE_INFO.len(), RULE_NAMES.len());
+        for (info, name) in RULE_INFO.iter().zip(RULE_NAMES.iter()) {
+            assert_eq!(info.name, *name, "RULE_INFO order drifted from RULE_NAMES");
+            assert!(!info.rationale.trim().is_empty(), "{name}: empty rationale");
+            assert!(!info.scope.trim().is_empty(), "{name}: empty scope");
+            assert!(!info.waiver.trim().is_empty(), "{name}: empty waiver");
+        }
     }
 }

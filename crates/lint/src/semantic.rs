@@ -1,0 +1,617 @@
+//! The semantic rule families: whole-workspace reachability proofs on
+//! top of [`callgraph`](crate::callgraph).
+//!
+//! Where the lexical rules ask "does this banned token appear in a
+//! scoped file?", the semantic rules ask "can a production entry point
+//! *reach* this site?" — and answer with the call chain as evidence,
+//! the way attribution verdicts carry their dependency path.
+//!
+//! Three families share two reachability passes:
+//!
+//! - **panic-reachability** — sources are panic tokens in files the
+//!   lexical `no-panic` scope does *not* cover (in-scope files already
+//!   fail lexically, and waivers there assert "cannot fail", which
+//!   reachability trusts), plus slice indexing with arithmetic
+//!   (`v[i + 1]`) *everywhere* — the lexical pass never sees indexing.
+//!   A source fires when its enclosing fn is reachable from a public
+//!   entry-point root.
+//! - **determinism-taint** — sources are `HashMap`/`HashSet` outside
+//!   the lexical `no-unordered-iter` scope, wallclock/thread-identity
+//!   tokens inside the `no-wallclock` allowlist (host/bench — allowed
+//!   lexically, but still tainted if profile state can reach them),
+//!   and float sorts via `partial_cmp` anywhere. Same roots: ingest
+//!   and tick feed the exact state that reports and journals render,
+//!   so an entry-only root set is the honest sink approximation.
+//! - **decode-overflow** — sources are narrowing `as` casts, shifts by
+//!   a variable amount, and unchecked `+`/`*` with no literal operand,
+//!   inside the decode files (wire.rs, wire_view.rs, journal.rs,
+//!   segment.rs, intern.rs); they fire when reachable from a
+//!   decode-prefixed public fn, i.e. when hostile bytes steer the
+//!   arithmetic.
+//!
+//! Entry roots are *named*, not annotated: a public non-test fn whose
+//! name starts with an ingest/report-shaped prefix ([`ENTRY_PREFIXES`])
+//! in the four invariant-bearing crates. That convention is already
+//! load-bearing in this workspace (`ingest`, `ingest_bytes`, `tick`,
+//! `report_json`, `recover`, `absorb_report`, …) and keeping it a name
+//! check means no attribute machinery and no drift between the linter
+//! and the code.
+
+use crate::callgraph::{self, Graph, Reach};
+use crate::lexer::LexedFile;
+use crate::parser::ParsedFile;
+use crate::rules::{
+    ChainHop, Diagnostic, Scope, PANIC_TOKENS, UNORDERED_TOKENS, WALLCLOCK_TOKENS,
+};
+
+/// Name prefixes that make a public fn an entry-point root: the ways
+/// profile bytes enter, state advances, and reports leave.
+const ENTRY_PREFIXES: &[&str] = &[
+    "absorb", "aggregate", "append", "attribute", "checkpoint", "decode", "encode", "flush",
+    "ingest", "recover", "render", "report", "restore", "resume", "serve", "tick",
+];
+
+/// Name prefixes that make a public fn a decode root — the fns hostile
+/// bytes flow through.
+const DECODE_PREFIXES: &[&str] = &["decode", "parse", "recover", "restore", "resume"];
+
+/// Basenames of the files whose arithmetic handles wire-shaped input.
+const DECODE_FILES: &[&str] = &["intern.rs", "journal.rs", "segment.rs", "wire.rs", "wire_view.rs"];
+
+fn basename(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// The crates whose public surface counts as entry-point roots — the
+/// same four the lexical `no-panic` scope guards.
+fn entry_scope(path: &str) -> bool {
+    let in_crate = path.starts_with("crates/collector/src/")
+        || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/analysis/src/")
+        || path.starts_with("crates/federation/src/");
+    in_crate && !Scope::is_test_like(path)
+}
+
+fn decode_file_scope(path: &str) -> bool {
+    DECODE_FILES.contains(&basename(path)) && !Scope::is_test_like(path)
+}
+
+/// Runs all three semantic families over the parsed workspace.
+/// `force_all` (explicit files / fixtures) widens root and source
+/// scopes to every given file, exactly like the lexical pass.
+pub fn check(files: &[(String, LexedFile, ParsedFile)], force_all: bool, out: &mut Vec<Diagnostic>) {
+    let graph = callgraph::build(files);
+
+    let entry_roots: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            n.item.is_pub
+                && !n.item.in_test
+                && ENTRY_PREFIXES.iter().any(|p| n.item.name.starts_with(p))
+                && (force_all || entry_scope(n.file))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let decode_roots: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            n.item.is_pub
+                && !n.item.in_test
+                && DECODE_PREFIXES.iter().any(|p| n.item.name.starts_with(p))
+                && (force_all || decode_file_scope(n.file))
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    let entry_reach = graph.reach(&entry_roots);
+    let decode_reach = graph.reach(&decode_roots);
+
+    for (path, lexed, _) in files {
+        if !force_all && Scope::is_test_like(path) {
+            continue;
+        }
+        // Which source kinds this file can contribute. Files the
+        // lexical scope already covers are excluded per family so one
+        // site is owned by exactly one rule (force_all pins both —
+        // the fixtures assert that deliberately).
+        let panic_tokens_here = force_all || !Scope::no_panic(path);
+        let unordered_here = force_all || !Scope::no_unordered_iter(path);
+        let wallclock_here = force_all || !Scope::no_wallclock(path);
+        let decode_here = force_all || decode_file_scope(path);
+
+        for (line_no, line) in lexed.lines() {
+            if lexed.in_test_span(line_no) {
+                continue;
+            }
+            let Some(node) = callgraph::node_at(&graph.nodes, path, line_no) else {
+                continue;
+            };
+            if graph.nodes[node].item.in_test {
+                continue;
+            }
+
+            if entry_reach.reachable(node) {
+                if panic_tokens_here {
+                    for t in PANIC_TOKENS {
+                        for col in t.cols_in_line(line) {
+                            push(out, &graph, &entry_reach, node, path, line_no, col,
+                                "panic-reachability",
+                                format!(
+                                    "`{}` is reachable from public entry `{}`; return a typed \
+                                     error or add `// lint:allow(panic-reachability): <why this \
+                                     cannot fail>`",
+                                    t.label(),
+                                    root_of(&graph, &entry_reach, node),
+                                ));
+                        }
+                    }
+                }
+                for col in arith_index_cols(line) {
+                    push(out, &graph, &entry_reach, node, path, line_no, col,
+                        "panic-reachability",
+                        format!(
+                            "slice index with arithmetic is reachable from public entry `{}` \
+                             and panics out of bounds; bounds-check with `.get()` or add \
+                             `// lint:allow(panic-reachability): <why the index is in bounds>`",
+                            root_of(&graph, &entry_reach, node),
+                        ));
+                }
+                if unordered_here {
+                    for t in UNORDERED_TOKENS {
+                        for col in t.cols_in_line(line) {
+                            push(out, &graph, &entry_reach, node, path, line_no, col,
+                                "determinism-taint",
+                                format!(
+                                    "`{}` iteration order is process-seeded and this fn is \
+                                     reachable from public entry `{}`; use an ordered collection \
+                                     or add `// lint:allow(determinism-taint): <why order cannot \
+                                     reach output>`",
+                                    t.label(),
+                                    root_of(&graph, &entry_reach, node),
+                                ));
+                        }
+                    }
+                }
+                if wallclock_here {
+                    for t in WALLCLOCK_TOKENS {
+                        for col in t.cols_in_line(line) {
+                            push(out, &graph, &entry_reach, node, path, line_no, col,
+                                "determinism-taint",
+                                format!(
+                                    "`{}` is nondeterministic and this fn is reachable from \
+                                     public entry `{}`; take the value as an input or add \
+                                     `// lint:allow(determinism-taint): <why it cannot reach \
+                                     output>`",
+                                    t.label(),
+                                    root_of(&graph, &entry_reach, node),
+                                ));
+                        }
+                    }
+                }
+                for col in float_sort_cols(line) {
+                    push(out, &graph, &entry_reach, node, path, line_no, col,
+                        "determinism-taint",
+                        format!(
+                            "float sort via `partial_cmp` is sensitive to input order and NaN \
+                             and this fn is reachable from public entry `{}`; use `total_cmp` \
+                             or add `// lint:allow(determinism-taint): <why ties cannot occur>`",
+                            root_of(&graph, &entry_reach, node),
+                        ));
+                }
+            }
+
+            if decode_here && decode_reach.reachable(node) {
+                for col in narrowing_cast_cols(line) {
+                    push(out, &graph, &decode_reach, node, path, line_no, col,
+                        "decode-overflow",
+                        format!(
+                            "narrowing `as` cast on a decode path reachable from `{}` silently \
+                             truncates hostile lengths; use `try_from` or add \
+                             `// lint:allow(decode-overflow): <why the value fits>`",
+                            root_of(&graph, &decode_reach, node),
+                        ));
+                }
+                for col in variable_shift_cols(line) {
+                    push(out, &graph, &decode_reach, node, path, line_no, col,
+                        "decode-overflow",
+                        format!(
+                            "shift by a variable amount on a decode path reachable from `{}` \
+                             overflows when the input steers the shift past the width; use \
+                             `checked_shl` or add `// lint:allow(decode-overflow): <why the \
+                             amount is bounded>`",
+                            root_of(&graph, &decode_reach, node),
+                        ));
+                }
+                for col in unchecked_arith_cols(line) {
+                    push(out, &graph, &decode_reach, node, path, line_no, col,
+                        "decode-overflow",
+                        format!(
+                            "unchecked arithmetic between untrusted values on a decode path \
+                             reachable from `{}` can overflow; use `checked_add`/`checked_mul` \
+                             or add `// lint:allow(decode-overflow): <why it cannot overflow>`",
+                            root_of(&graph, &decode_reach, node),
+                        ));
+                }
+            }
+        }
+    }
+}
+
+/// The root name heading `node`'s shortest chain.
+fn root_of(graph: &Graph<'_>, reach: &Reach, node: usize) -> String {
+    let chain = reach.chain(node);
+    graph.nodes[chain[0]].item.qualified()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push(
+    out: &mut Vec<Diagnostic>,
+    graph: &Graph<'_>,
+    reach: &Reach,
+    node: usize,
+    file: &str,
+    line: usize,
+    col: usize,
+    rule: &'static str,
+    message: String,
+) {
+    let call_chain = reach
+        .chain(node)
+        .into_iter()
+        .map(|i| ChainHop {
+            file: graph.nodes[i].file.to_string(),
+            line: graph.nodes[i].item.line,
+            func: graph.nodes[i].item.qualified(),
+        })
+        .collect();
+    out.push(Diagnostic { file: file.to_string(), line, col, rule, message: collapse(&message), call_chain });
+}
+
+/// Collapses interior whitespace, like the lexical messages do.
+fn collapse(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// 1-based columns of `[` starting an index expression whose inner
+/// text contains spaced `+`/`-` arithmetic (and is not a range).
+/// Bare-identifier indexing (`v[i]`) is a documented blind spot: it
+/// panics too, but flagging all ~100 sites would drown the signal —
+/// the arithmetic form is where the off-by-one bugs live.
+fn arith_index_cols(line: &str) -> Vec<usize> {
+    let b = line.as_bytes();
+    let mut cols = Vec::new();
+    for (i, &c) in b.iter().enumerate() {
+        if c != b'[' || i == 0 {
+            continue;
+        }
+        let prev = b[i - 1];
+        if !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']') {
+            continue;
+        }
+        // Matching `]` on this line.
+        let mut depth = 1usize;
+        let mut j = i + 1;
+        while j < b.len() && depth > 0 {
+            match b[j] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if depth != 0 {
+            continue;
+        }
+        let inner = &line[i + 1..j - 1];
+        if !inner.contains("..") && (inner.contains(" + ") || inner.contains(" - ")) {
+            cols.push(i + 1);
+        }
+    }
+    cols
+}
+
+/// 1-based columns of `partial_cmp` on lines that sort by it.
+fn float_sort_cols(line: &str) -> Vec<usize> {
+    if !line.contains(".sort") {
+        return Vec::new();
+    }
+    line.match_indices("partial_cmp").map(|(i, _)| i + 1).collect()
+}
+
+/// Narrowing `as uN` casts. Two exemptions keep the rule honest:
+/// a literal operand (`0x7f as u8`) cannot overflow, and a mask
+/// directly before the cast (`(v & 0x7f) as u8`) proves the value
+/// fits when the mask does.
+fn narrowing_cast_cols(line: &str) -> Vec<usize> {
+    let mut cols = Vec::new();
+    for target in ["u8", "u16", "u32", "usize"] {
+        let needle = format!(" as {target}");
+        for (at, _) in line.match_indices(&needle) {
+            // Ident boundary after the type name.
+            if line.as_bytes().get(at + needle.len()).is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_') {
+                continue;
+            }
+            let before = &line[..at];
+            if operand_is_literal(before) || mask_fits(before, target) {
+                continue;
+            }
+            // Column of the `as` keyword.
+            cols.push(at + 2);
+        }
+    }
+    cols.sort_unstable();
+    cols
+}
+
+/// True when the expression before ` as` ends in an integer literal.
+fn operand_is_literal(before: &str) -> bool {
+    let tail: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    let token: String = tail.chars().rev().collect();
+    token.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// True when the expression before ` as` is `(… & LIT)` with a literal
+/// mask that fits the target width.
+fn mask_fits(before: &str, target: &str) -> bool {
+    if !before.ends_with(')') {
+        return false;
+    }
+    // Matching `(` for the final `)`.
+    let b = before.as_bytes();
+    let mut depth = 0isize;
+    let mut open = None;
+    for i in (0..b.len()).rev() {
+        match b[i] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else { return false };
+    let inner = &before[open + 1..before.len() - 1];
+    let Some(amp) = inner.rfind('&') else { return false };
+    // Reject `&&`.
+    if inner.as_bytes().get(amp.wrapping_sub(1)) == Some(&b'&') {
+        return false;
+    }
+    let lit = inner[amp + 1..].trim();
+    let Some(value) = parse_int_literal(lit) else { return false };
+    let max: u128 = match target {
+        "u8" => u8::MAX as u128,
+        "u16" => u16::MAX as u128,
+        // usize is at least 32 bits on every supported target.
+        _ => u32::MAX as u128,
+    };
+    value <= max
+}
+
+/// Parses `0x7f`, `0b1010`, `255`, `0o17` with `_` separators and an
+/// optional type suffix.
+fn parse_int_literal(s: &str) -> Option<u128> {
+    let s = s.replace('_', "");
+    let s = s.trim();
+    // Strip a type suffix like u8/u64/usize/i32.
+    let stripped = ["usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8"]
+        .iter()
+        .find_map(|suf| s.strip_suffix(suf))
+        .unwrap_or(&s);
+    if let Some(hex) = stripped.strip_prefix("0x").or_else(|| stripped.strip_prefix("0X")) {
+        return u128::from_str_radix(hex, 16).ok();
+    }
+    if let Some(bin) = stripped.strip_prefix("0b") {
+        return u128::from_str_radix(bin, 2).ok();
+    }
+    if let Some(oct) = stripped.strip_prefix("0o") {
+        return u128::from_str_radix(oct, 8).ok();
+    }
+    stripped.parse().ok()
+}
+
+/// 1-based columns of `<<` / `<<=` whose right operand is an
+/// identifier — a shift whose amount the input may steer. Literal
+/// shifts (`1 << 20`) are exempt; `>>` never overflows.
+fn variable_shift_cols(line: &str) -> Vec<usize> {
+    let mut cols = Vec::new();
+    for (at, _) in line.match_indices("<<") {
+        // Skip `<<<` noise and make sure this is not `<<=`-with-literal.
+        let mut rest = line[at + 2..].trim_start_matches('=');
+        rest = rest.trim_start();
+        if rest.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+            cols.push(at + 1);
+        }
+    }
+    cols
+}
+
+/// 1-based columns of spaced ` + ` / ` * ` where *both* operands are
+/// non-literal — untrusted-by-untrusted arithmetic. One literal
+/// operand (`pos + 8`) is exempt: the decode paths bound those
+/// against the buffer length explicitly.
+fn unchecked_arith_cols(line: &str) -> Vec<usize> {
+    let mut cols = Vec::new();
+    for op in [" + ", " * "] {
+        for (at, _) in line.match_indices(op) {
+            let before = &line[..at + 1]; // include the char before the op's space
+            let after = &line[at + op.len()..];
+            let left: String = before
+                .trim_end()
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            let left: String = left.chars().rev().collect();
+            let right: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            let left_lit = left.chars().next().is_some_and(|c| c.is_ascii_digit());
+            let right_lit = right.chars().next().is_some_and(|c| c.is_ascii_digit());
+            // Empty left token = the operand is a `)`/`]` expression:
+            // treat as non-literal.
+            if left_lit || right_lit || right.is_empty() {
+                continue;
+            }
+            cols.push(at + 2);
+        }
+    }
+    cols.sort_unstable();
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn run(files: &[(&str, &str)], force_all: bool) -> Vec<Diagnostic> {
+        let files: Vec<(String, LexedFile, ParsedFile)> = files
+            .iter()
+            .map(|(p, s)| {
+                let lexed = lex(s);
+                let parsed = parse(p, &lexed);
+                (p.to_string(), lexed, parsed)
+            })
+            .collect();
+        let mut out = Vec::new();
+        check(&files, force_all, &mut out);
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn panic_in_helper_crate_reachable_from_entry_is_flagged_with_chain() {
+        let d = run(
+            &[
+                (
+                    "crates/collector/src/daemon.rs",
+                    "pub fn ingest_bytes(b: &[u8]) {\n    crate::simsupport::translate(b);\n}\n",
+                ),
+                (
+                    "crates/simkernel/src/lib.rs",
+                    "pub fn translate(b: &[u8]) {\n    helper_step(b);\n}\nfn helper_step(b: &[u8]) {\n    b.first().unwrap();\n}\n",
+                ),
+            ],
+            false,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "panic-reachability");
+        assert_eq!(d[0].file, "crates/simkernel/src/lib.rs");
+        assert_eq!(d[0].line, 5);
+        let chain: Vec<&str> = d[0].call_chain.iter().map(|h| h.func.as_str()).collect();
+        assert_eq!(chain, ["ingest_bytes", "translate", "helper_step"]);
+    }
+
+    #[test]
+    fn unreachable_panic_sites_are_silent() {
+        let d = run(
+            &[(
+                "crates/simkernel/src/lib.rs",
+                "pub fn orphan(b: &[u8]) {\n    b.first().unwrap();\n}\n",
+            )],
+            false,
+        );
+        assert!(d.is_empty(), "no entry point reaches it: {d:?}");
+    }
+
+    #[test]
+    fn arithmetic_index_is_flagged_even_inside_no_panic_scope() {
+        let d = run(
+            &[(
+                "crates/core/src/bucket.rs",
+                "pub fn decode_bucket(i: usize, t: &[u64]) -> u64 {\n    t[i - 1]\n}\n",
+            )],
+            false,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "panic-reachability");
+        assert!(d[0].message.contains("slice index"));
+    }
+
+    #[test]
+    fn float_sort_taints_when_reachable() {
+        let d = run(
+            &[(
+                "crates/analysis/src/cluster.rs",
+                "pub fn report_clusters(xs: &mut Vec<f64>) {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n}\n",
+            )],
+            false,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "determinism-taint");
+        assert!(d[0].message.contains("total_cmp"));
+    }
+
+    #[test]
+    fn hashmap_outside_lexical_scope_taints_via_graph() {
+        // simnet is outside no-unordered-iter scope, so only the
+        // semantic rule can see this — and only when reachable.
+        let d = run(
+            &[
+                (
+                    "crates/federation/src/merge.rs",
+                    "pub fn absorb_report(r: &Report) {\n    crate::netsupport::shuffle(r);\n}\n",
+                ),
+                (
+                    "crates/simnet/src/lib.rs",
+                    "pub fn shuffle(r: &Report) {\n    let m: HashMap<u64, u64> = make();\n}\n",
+                ),
+            ],
+            false,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "determinism-taint");
+        assert_eq!(d[0].file, "crates/simnet/src/lib.rs");
+    }
+
+    #[test]
+    fn decode_overflow_fires_only_in_decode_files_from_decode_roots() {
+        let wire = "pub fn decode_len(b: &[u8], n: usize, m: usize) -> usize {\n    let x = (b[0] as u64) << 1;\n    let v = n * m;\n    let w = 1u64 << shift_of(b);\n    v\n}\nfn shift_of(b: &[u8]) -> u32 { 0 }\n";
+        let d = run(&[("crates/collector/src/wire.rs", wire)], false);
+        let rules: Vec<(&str, usize)> = d.iter().map(|x| (x.rule, x.line)).collect();
+        // `b[0] as u64` is not narrowing; `n * m` is untrusted arith;
+        // `<< shift_of(b)` is a variable-amount shift.
+        assert_eq!(rules, [("decode-overflow", 3), ("decode-overflow", 4)], "{d:?}");
+        // Same source in a non-decode file: silent.
+        let d2 = run(&[("crates/collector/src/store.rs", wire)], false);
+        assert!(d2.iter().all(|x| x.rule != "decode-overflow"), "{d2:?}");
+    }
+
+    #[test]
+    fn mask_and_literal_casts_are_exempt_variable_shift_is_not() {
+        let src = "pub fn decode_byte(v: u64, shift: u32) -> u8 {\n    let a = (v & 0x7f) as u8;\n    let b = 255 as u8;\n    let c = v as u8;\n    let d = v << shift;\n    a\n}\n";
+        let d = run(&[("crates/collector/src/wire.rs", src)], false);
+        let lines: Vec<usize> = d.iter().map(|x| x.line).collect();
+        assert_eq!(lines, [4, 5], "only the bare cast and the variable shift: {d:?}");
+    }
+
+    #[test]
+    fn lint_dyn_bridges_dispatch_for_reachability() {
+        let src = "pub struct W;\nimpl W {\n    fn work(&self) {\n        danger();\n    }\n}\nfn danger() {\n    panic!(\"boom\");\n}\npub fn ingest_jobs(h: &dyn Fn()) {\n    // lint:dyn(W::work): job registry dispatches through Fn pointers\n    h();\n}\n";
+        let d = run(&[("crates/simkernel/src/jobs.rs", src)], true);
+        assert_eq!(d.len(), 1, "{d:?}");
+        let chain: Vec<&str> = d[0].call_chain.iter().map(|h| h.func.as_str()).collect();
+        assert_eq!(chain, ["ingest_jobs", "W::work", "danger"]);
+    }
+
+    #[test]
+    fn test_spans_and_test_fns_contribute_nothing() {
+        let src = "pub fn tick() {}\n#[cfg(test)]\nmod tests {\n    pub fn ingest_fake(v: &[u8]) {\n        v.first().unwrap();\n    }\n}\n";
+        let d = run(&[("crates/collector/src/daemon.rs", src)], false);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,18 @@
+// Known-bad fixture: a public decode-prefixed fn reaches a narrowing
+// cast, a shift by a variable amount, and unchecked length arithmetic
+// through helpers. All three are decode-overflow with call chains; no
+// lexical rule covers them.
+
+pub fn decode_overflow_fixture(buf: &[u8], shift: u32, len: usize) -> u64 {
+    let word = overflow_word(buf, shift);
+    word.wrapping_add(overflow_len(len, buf.len()) as u64)
+}
+
+fn overflow_word(buf: &[u8], shift: u32) -> u64 {
+    let lo = buf.len() as u32;
+    (lo as u64) << shift
+}
+
+fn overflow_len(len: usize, cap: usize) -> usize {
+    len + cap
+}

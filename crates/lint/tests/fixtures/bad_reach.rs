@@ -1,0 +1,17 @@
+// Known-bad fixture: a public entry fn reaches a panic and an
+// arithmetic slice index two hops down the call graph. The unwrap is
+// double-owned under force_all (lexical no-panic AND semantic
+// panic-reachability with a call chain); the index is semantic-only.
+
+pub fn ingest_reach_fixture(frames: &[u64]) -> u64 {
+    reach_mid(frames)
+}
+
+fn reach_mid(frames: &[u64]) -> u64 {
+    reach_leaf(frames)
+}
+
+fn reach_leaf(frames: &[u64]) -> u64 {
+    let first = frames.first().copied().unwrap();
+    first.wrapping_add(frames[frames.len() - 1])
+}

@@ -1,0 +1,25 @@
+// Known-bad fixture: a public report entry reaches a float sort via
+// partial_cmp, a HashMap iteration, and a wall-clock read through
+// helpers. The HashMap and Instant sites are double-owned under
+// force_all (lexical rule AND determinism-taint with a call chain);
+// the float sort is semantic-only.
+
+pub fn report_taint_fixture(vals: &mut Vec<f64>) -> u64 {
+    taint_order(vals);
+    taint_sum(vals.len() as u64).wrapping_add(taint_stamp())
+}
+
+fn taint_order(vals: &mut [f64]) {
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn taint_sum(n: u64) -> u64 {
+    let mut tags = std::collections::HashMap::new();
+    tags.insert(n, n);
+    tags.values().sum()
+}
+
+fn taint_stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs()
+}

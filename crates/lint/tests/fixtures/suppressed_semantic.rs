@@ -1,0 +1,36 @@
+// Fixture: real semantic violations, each properly waived — zero
+// diagnostics — plus a well-formed `lint:dyn` hint bridging a
+// fn-pointer dispatch the call graph cannot see on its own.
+
+pub fn report_suppressed_fixture(vals: &mut Vec<f64>) -> u64 {
+    suppressed_order(vals);
+    suppressed_pick(vals)
+}
+
+fn suppressed_order(vals: &mut [f64]) {
+    // lint:allow(determinism-taint): inputs are de-NaN'd at ingest, so ties cannot occur
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn suppressed_pick(vals: &[f64]) -> u64 {
+    // lint:allow(panic-reachability): the caller rejects empty batches before dispatch
+    vals[vals.len() - 1] as u64
+}
+
+pub fn decode_suppressed_fixture(buf: &[u8], shift: u32) -> u64 {
+    let masked = shift & 63;
+    // lint:allow(decode-overflow): masked to the word width on the line above
+    dispatch_width(buf) << masked
+}
+
+fn dispatch_width(buf: &[u8]) -> u64 {
+    type Handler = fn(&[u8]) -> u64;
+    let table: [Handler; 1] = [dispatch_noop];
+    let h = table[0];
+    // lint:dyn(dispatch_noop): the only handler registered in this fixture's table
+    h(buf)
+}
+
+fn dispatch_noop(buf: &[u8]) -> u64 {
+    buf.len() as u64
+}

@@ -189,6 +189,129 @@ fn bad_wireview_fixture_trips_every_decode_rule() {
 }
 
 #[test]
+fn bad_reach_fixture_pins_lexical_and_semantic_panic_diagnostics() {
+    // The unwrap is double-owned under force_all: lexical no-panic
+    // (no chain) AND panic-reachability with the three-hop chain. The
+    // arithmetic slice index is semantic-only.
+    let chain = "\n    via ingest_reach_fixture (tests/fixtures/bad_reach.rs:6)\
+                 \n    via reach_mid (tests/fixtures/bad_reach.rs:10)\
+                 \n    via reach_leaf (tests/fixtures/bad_reach.rs:14)";
+    assert_eq!(
+        rendered(&["tests/fixtures/bad_reach.rs"]),
+        [
+            "tests/fixtures/bad_reach.rs:15:40: error[no-panic]: `unwrap()` in production \
+             code; return a typed error or add `// lint:allow(no-panic): <why this cannot \
+             fail>`"
+                .to_string(),
+            format!(
+                "tests/fixtures/bad_reach.rs:15:40: error[panic-reachability]: `unwrap()` is \
+                 reachable from public entry `ingest_reach_fixture`; return a typed error or \
+                 add `// lint:allow(panic-reachability): <why this cannot fail>`{chain}"
+            ),
+            format!(
+                "tests/fixtures/bad_reach.rs:16:30: error[panic-reachability]: slice index \
+                 with arithmetic is reachable from public entry `ingest_reach_fixture` and \
+                 panics out of bounds; bounds-check with `.get()` or add \
+                 `// lint:allow(panic-reachability): <why the index is in bounds>`{chain}"
+            ),
+        ]
+    );
+}
+
+#[test]
+fn bad_taint_fixture_pins_all_three_taint_sources() {
+    // Float sort (semantic-only), HashMap and Instant::now (each
+    // double-owned: the lexical rule fires chainless at the same
+    // position, sorting after determinism-taint).
+    let root = "tests/fixtures/bad_taint.rs:7";
+    assert_eq!(
+        rendered(&["tests/fixtures/bad_taint.rs"]),
+        [
+            format!(
+                "tests/fixtures/bad_taint.rs:13:27: error[determinism-taint]: float sort via \
+                 `partial_cmp` is sensitive to input order and NaN and this fn is reachable \
+                 from public entry `report_taint_fixture`; use `total_cmp` or add \
+                 `// lint:allow(determinism-taint): <why ties cannot occur>`\
+                 \n    via report_taint_fixture ({root})\
+                 \n    via taint_order (tests/fixtures/bad_taint.rs:12)"
+            ),
+            format!(
+                "tests/fixtures/bad_taint.rs:17:38: error[determinism-taint]: `HashMap` \
+                 iteration order is process-seeded and this fn is reachable from public entry \
+                 `report_taint_fixture`; use an ordered collection or add \
+                 `// lint:allow(determinism-taint): <why order cannot reach output>`\
+                 \n    via report_taint_fixture ({root})\
+                 \n    via taint_sum (tests/fixtures/bad_taint.rs:16)"
+            ),
+            "tests/fixtures/bad_taint.rs:17:38: error[no-unordered-iter]: `HashMap` in an \
+             output-producing file: iteration order is seeded per process and leaks into \
+             bytes; use `BTreeMap` or sort before emitting"
+                .to_string(),
+            format!(
+                "tests/fixtures/bad_taint.rs:23:24: error[determinism-taint]: `Instant::now` \
+                 is nondeterministic and this fn is reachable from public entry \
+                 `report_taint_fixture`; take the value as an input or add \
+                 `// lint:allow(determinism-taint): <why it cannot reach output>`\
+                 \n    via report_taint_fixture ({root})\
+                 \n    via taint_stamp (tests/fixtures/bad_taint.rs:22)"
+            ),
+            "tests/fixtures/bad_taint.rs:23:24: error[no-wallclock]: `Instant::now` outside \
+             the timing allowlist breaks replay determinism; take time as an input, or move \
+             the code under crates/host or crates/bench"
+                .to_string(),
+        ]
+    );
+}
+
+#[test]
+fn bad_decode_fixture_pins_all_three_overflow_shapes() {
+    let root = "tests/fixtures/bad_decode.rs:6";
+    assert_eq!(
+        rendered(&["tests/fixtures/bad_decode.rs"]),
+        [
+            format!(
+                "tests/fixtures/bad_decode.rs:12:24: error[decode-overflow]: narrowing `as` \
+                 cast on a decode path reachable from `decode_overflow_fixture` silently \
+                 truncates hostile lengths; use `try_from` or add \
+                 `// lint:allow(decode-overflow): <why the value fits>`\
+                 \n    via decode_overflow_fixture ({root})\
+                 \n    via overflow_word (tests/fixtures/bad_decode.rs:11)"
+            ),
+            format!(
+                "tests/fixtures/bad_decode.rs:13:17: error[decode-overflow]: shift by a \
+                 variable amount on a decode path reachable from `decode_overflow_fixture` \
+                 overflows when the input steers the shift past the width; use `checked_shl` \
+                 or add `// lint:allow(decode-overflow): <why the amount is bounded>`\
+                 \n    via decode_overflow_fixture ({root})\
+                 \n    via overflow_word (tests/fixtures/bad_decode.rs:11)"
+            ),
+            format!(
+                "tests/fixtures/bad_decode.rs:17:9: error[decode-overflow]: unchecked \
+                 arithmetic between untrusted values on a decode path reachable from \
+                 `decode_overflow_fixture` can overflow; use `checked_add`/`checked_mul` or \
+                 add `// lint:allow(decode-overflow): <why it cannot overflow>`\
+                 \n    via decode_overflow_fixture ({root})\
+                 \n    via overflow_len (tests/fixtures/bad_decode.rs:16)"
+            ),
+        ]
+    );
+}
+
+#[test]
+fn semantic_clean_and_suppressed_fixtures_are_silent() {
+    // clean_semantic holds an arithmetic index in an *unreached* fn —
+    // reachability gating, not scoping, keeps it quiet. The
+    // suppressed twin waives one violation per semantic rule and
+    // carries a well-formed lint:dyn hint.
+    let out = lint(&[
+        "tests/fixtures/clean_semantic.rs",
+        "tests/fixtures/suppressed_semantic.rs",
+    ]);
+    assert!(out.is_clean(), "unexpected: {:?}", out.diagnostics);
+    assert_eq!(out.files_scanned, 2);
+}
+
+#[test]
 fn bad_suppression_fixture_yields_all_four_hygiene_errors() {
     assert_eq!(
         rendered(&["tests/fixtures/bad_suppression.rs"]),
@@ -240,16 +363,21 @@ fn combined_json_report_matches_golden() {
     // sorts diagnostics, so argument order must not matter.
     let out = lint(&[
         "tests/fixtures/bad_channel.rs",
+        "tests/fixtures/bad_decode.rs",
         "tests/fixtures/bad_deps.toml",
         "tests/fixtures/bad_overload.rs",
         "tests/fixtures/bad_panic.rs",
+        "tests/fixtures/bad_reach.rs",
         "tests/fixtures/bad_suppression.rs",
+        "tests/fixtures/bad_taint.rs",
         "tests/fixtures/bad_unordered.rs",
         "tests/fixtures/bad_wallclock.rs",
         "tests/fixtures/clean.rs",
+        "tests/fixtures/clean_semantic.rs",
         "tests/fixtures/suppressed.rs",
+        "tests/fixtures/suppressed_semantic.rs",
     ]);
-    assert_eq!(out.diagnostics.len(), 29);
+    assert_eq!(out.diagnostics.len(), 40);
     let json = report::render_json(&out);
     let golden = std::fs::read_to_string("tests/fixtures/lint-report.golden.json")
         .expect("golden exists");

@@ -35,3 +35,10 @@ cargo build -q --release --offline -p osprof-bench --bin ingestbench
 target/release/ingestbench ${MODE[@]+"${MODE[@]}"} --out BENCH_collector.json
 target/release/ingestbench ${MODE[@]+"${MODE[@]}"} --out target/BENCH_collector.repeat.json
 target/release/ingestbench --check BENCH_collector.json target/BENCH_collector.repeat.json
+
+# Append one compact line per run to the throughput history. The line
+# is derived entirely from the emitted document (including its
+# generated_unix stamp), so the log is reproducible from the artifacts.
+mkdir -p results
+target/release/ingestbench --history-line BENCH_collector.json >> results/bench_history.jsonl
+echo "appended results/bench_history.jsonl ($(wc -l < results/bench_history.jsonl) entries)"

@@ -22,9 +22,19 @@ cargo test -q --offline
 
 echo "==> osprof-lint --workspace"
 # Static analysis gate: determinism, hermeticity and no-panic
-# invariants checked lexically over every source file and manifest.
-# Violations land in target/lint-report.json (see DESIGN.md §11).
+# invariants checked lexically over every source file and manifest,
+# plus the call-graph semantic pass (panic-reachability,
+# determinism-taint, decode-overflow). Violations land with call-chain
+# evidence in target/lint-report.json (see DESIGN.md §11 and §16).
 target/release/osprof-lint --workspace
+
+echo "==> lint self-test under two property seeds"
+# The linter's fixture suite pins every diagnostic byte-for-byte; the
+# semantic pass is pure static analysis, so a second seed must not
+# move a single one.
+for seed in 1 0xDEADBEEF; do
+  OSPROF_TEST_SEED="$seed" cargo test -q --offline -p osprof-lint
+done
 
 echo "==> bench smoke run (OSPROF_BENCH_QUICK=1)"
 OSPROF_BENCH_QUICK=1 cargo bench -q --offline >/dev/null
